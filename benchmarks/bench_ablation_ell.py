@@ -1,0 +1,55 @@
+"""Ablation: the density exponent ell (the paper's §2.3 remark).
+
+Theorem 1 holds for every feasible integral ell; the paper notes that
+"there are very few (integral) ell values that are relevant" and that the
+optimum is easy to find by enumeration.  This bench sweeps h(ell) across
+the feasible range at the paper's parameters and at simulation scale,
+and runs P_F at each ell to show the executable adversary tracks the
+formula's ordering.
+"""
+
+from repro.adversary import PFProgram, run_execution
+from repro.analysis import format_table
+from repro.core.params import MB, BoundParams
+from repro.core.theorem1 import lower_bound, waste_profile
+from repro.mm import create_manager
+
+
+def test_ablation_ell_formula(benchmark):
+    params = BoundParams(256 * MB, 1 * MB, 100.0)
+    profile = benchmark(waste_profile, params)
+
+    best = lower_bound(params)
+    assert best.density_exponent == max(profile, key=profile.get)
+    assert len(profile) <= 8  # "very few integral ell values"
+
+    print("\n=== Ablation: h(ell) at M=256MB, n=1MB, c=100 ===")
+    print(format_table(
+        ("ell", "density 2^-ell", "h(ell)"),
+        [(ell, f"1/{1 << ell}", h) for ell, h in sorted(profile.items())],
+    ))
+    print(f"optimum: ell = {best.density_exponent}, h = {best.waste_factor:.4f}")
+
+
+def test_ablation_ell_simulated(benchmark, sim_params):
+    profile = waste_profile(sim_params)
+
+    def run_each_ell():
+        rows = []
+        for ell in sorted(profile):
+            program = PFProgram(sim_params, density_exponent=ell)
+            result = run_execution(
+                sim_params, program,
+                create_manager("sliding-compactor", sim_params),
+            )
+            rows.append((ell, profile[ell], result.waste_factor))
+        return rows
+
+    rows = benchmark.pedantic(run_each_ell, rounds=1, iterations=1)
+    print(f"\n=== Ablation: P_F at each ell ({sim_params.describe()}, "
+          "vs sliding-compactor) ===")
+    print(format_table(("ell", "h(ell) theory", "measured HS/M"), rows))
+    for _, h, measured in rows:
+        # Each ell's own theory value is a floor for its own run (up to
+        # the finite-scale allowance, generously doubled here).
+        assert measured >= max(1.0, h) - 0.1

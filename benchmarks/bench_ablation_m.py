@@ -1,0 +1,33 @@
+"""Ablation: sensitivity to M at fixed n and c (the paper's §2.3 remark).
+
+"We could also depict the lower bound as a function of M ... the lower
+bound as a function of M is very close to a constant function and it
+does not provide an additional interesting information."  This bench
+verifies that claim quantitatively: with n = 1MB, c = 100 fixed, h
+varies by well under 2% as M sweeps 64MB .. 4GB.
+"""
+
+from repro.analysis import format_table
+from repro.core.params import MB, BoundParams
+from repro.core.theorem1 import lower_bound
+
+
+def _sweep():
+    rows = []
+    for m_mb in (64, 128, 256, 512, 1024, 2048, 4096):
+        params = BoundParams(m_mb * MB, 1 * MB, 100.0)
+        rows.append((f"{m_mb}MB", lower_bound(params).waste_factor))
+    return rows
+
+
+def test_ablation_m_flat(benchmark):
+    rows = benchmark(_sweep)
+    factors = [h for _, h in rows]
+    spread = max(factors) - min(factors)
+
+    print("\n=== Ablation: h vs M (n=1MB, c=100) ===")
+    print(format_table(("M", "h"), rows))
+    print(f"spread: {spread:.4f} (paper: 'very close to a constant')")
+    assert spread < 0.05
+    # And monotone: more live space can only help the adversary.
+    assert factors == sorted(factors)

@@ -1,0 +1,72 @@
+"""Model extension: the absolute (B-bounded) compaction budget.
+
+Sweeps the corollary of Theorem 1 for managers limited to ``B`` moved
+words total, from the Robson regime (``B = 0``) to the trivial bound
+(``B`` huge), and validates one point by simulation with the
+:class:`~repro.mm.budget.AbsoluteBudget` ledger actually enforcing the
+cap.
+"""
+
+from repro.adversary import PFProgram
+from repro.adversary.driver import run_execution
+from repro.analysis import format_table
+from repro.analysis.experiments import discretization_allowance
+from repro.core.absolute import lower_bound_absolute
+from repro.core.params import MB, BoundParams
+from repro.mm.budget import AbsoluteBudget
+from repro.mm.compacting import SlidingCompactor
+
+
+def _sweep():
+    params = BoundParams(256 * MB, 1 * MB)
+    rows = []
+    for exponent in (0, 20, 24, 26, 28, 30, 32, 36):
+        budget = 0 if exponent == 0 else 1 << exponent
+        result = lower_bound_absolute(params, budget)
+        rows.append(
+            (
+                f"2^{exponent}" if budget else "0",
+                result.waste_factor,
+                "-" if result.effective_divisor is None
+                else f"{result.effective_divisor:.1f}",
+            )
+        )
+    return rows
+
+
+def test_absolute_budget_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\n=== Lower bound vs absolute budget B (M=256MB, n=1MB) ===")
+    print(format_table(("B (words)", "h", "effective c"), rows))
+    factors = [h for _, h, __ in rows]
+    # Monotone: smaller budgets force more waste; B=0 is the Robson value.
+    assert factors == sorted(factors, reverse=True)
+    assert factors[0] > 10.0  # Robson's ~11x at the paper's parameters
+
+
+def test_absolute_budget_simulated(benchmark, sim_params):
+    params = sim_params.with_compaction(None)
+    budget_words = 256
+    corollary = lower_bound_absolute(params, budget_words)
+    assert corollary.effective_divisor is not None
+    run_params = params.with_compaction(corollary.effective_divisor)
+
+    def run():
+        program = PFProgram(
+            run_params, density_exponent=corollary.density_exponent
+        )
+        return program, run_execution(
+            run_params, program, SlidingCompactor(),
+            budget=AbsoluteBudget(budget_words),
+        )
+
+    program, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    floor = corollary.waste_factor - discretization_allowance(
+        params, corollary.density_exponent or 1
+    )
+    print(f"\n=== B-bounded simulation ({params.describe()}, B={budget_words}) ===")
+    print(f"corollary floor h = {corollary.waste_factor:.4f} "
+          f"(effective c = {corollary.effective_divisor:.1f}); "
+          f"measured {result.waste_factor:.4f} x M, moved {result.total_moved}")
+    assert result.total_moved <= budget_words
+    assert result.waste_factor >= floor - 1e-9

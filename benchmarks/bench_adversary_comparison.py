@@ -1,0 +1,67 @@
+"""Adversary-strength comparison: checkerboard vs P_R vs P_F.
+
+Not a paper figure, but the ablation that motivates the paper's
+construction.  Two readings matter:
+
+* *measured* waste against one particular manager — here Robson's P_R
+  can even top P_F (it runs log2(n) doubling steps where P_F spends most
+  of them on density maintenance), because a lazy compactor never
+  exploits P_R's weakness;
+* *guaranteed* waste — P_R's single-object chunks can be evacuated for
+  almost nothing by a smart c-partial manager, so its floor collapses
+  under compaction, while P_F's density invariant makes its floor (the
+  Theorem-1 ``h``) hold against **every** manager.  The fuzz tests and
+  the pf-experiment grid check exactly that.
+
+The folklore checkerboard baseline trails both, with or without moves.
+"""
+
+from repro.adversary import (
+    CheckerboardProgram,
+    PFProgram,
+    RobsonProgram,
+    run_execution,
+)
+from repro.analysis import format_table
+from repro.mm.registry import create_manager
+
+
+def _compare(sim_params, manager_name: str):
+    rows = []
+    for program_factory in (
+        lambda: CheckerboardProgram(sim_params),
+        lambda: RobsonProgram(sim_params),
+        lambda: PFProgram(sim_params),
+    ):
+        program = program_factory()
+        result = run_execution(
+            sim_params, program, create_manager(manager_name, sim_params)
+        )
+        rows.append(
+            (program.name, result.waste_factor, result.total_moved)
+        )
+    return rows
+
+
+def test_adversary_hierarchy_vs_compactor(benchmark, sim_params):
+    rows = benchmark.pedantic(
+        _compare, args=(sim_params, "sliding-compactor"),
+        rounds=1, iterations=1,
+    )
+    print(f"\n=== Adversary comparison vs sliding-compactor "
+          f"({sim_params.describe()}) ===")
+    print(format_table(("adversary", "HS/M", "moved"), rows))
+    waste = {name: factor for name, factor, _ in rows}
+    assert waste["checkerboard"] < waste["cohen-petrank-PF"]
+    assert waste["cohen-petrank-PF"] > 1.5
+
+
+def test_adversary_hierarchy_vs_first_fit(benchmark, sim_params):
+    rows = benchmark.pedantic(
+        _compare, args=(sim_params, "first-fit"), rounds=1, iterations=1
+    )
+    print(f"\n=== Adversary comparison vs first-fit "
+          f"({sim_params.describe()}) ===")
+    print(format_table(("adversary", "HS/M", "moved"), rows))
+    waste = {name: factor for name, factor, _ in rows}
+    assert waste["checkerboard"] < waste["robson-PR"]

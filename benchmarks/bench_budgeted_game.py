@@ -1,0 +1,38 @@
+"""Exact value of compaction at micro scale — a negative result.
+
+Solves the budgeted micro-heap game for increasing absolute budgets B.
+The curve is *flat*: against an unbounded-time adversary, a finite
+absolute budget buys exactly nothing (the program manufactures crises
+until the budget depletes, then replays the no-compaction attack).
+This is the game-theoretic justification for the paper's model choice —
+the fractional, allocation-accruing c-partial budget is the weakest
+budget notion under which partial compaction can help at all, and the
+corollary bound for B-limited managers (repro.core.absolute) only
+exists because P_F's total allocation is bounded.
+"""
+
+from repro.analysis import format_table
+from repro.exact import minimum_heap_words
+from repro.exact.budgeted import compaction_value_curve, minimum_heap_words_budgeted
+
+
+def _solve():
+    minimum_heap_words_budgeted.cache_clear()
+    return {
+        (4, 2): compaction_value_curve(4, 2, 4),
+        (6, 2): compaction_value_curve(6, 2, 3),
+    }
+
+
+def test_budgeted_game_flat_curve(benchmark):
+    curves = benchmark.pedantic(_solve, rounds=1, iterations=1)
+    print("\n=== Exact game value vs absolute move budget B ===")
+    for (m, n), curve in curves.items():
+        base = minimum_heap_words(m, n)
+        print(f"\nM={m}, n={n} (no-compaction value {base}):")
+        print(format_table(("B (words)", "exact min heap"), curve))
+        for _, value in curve:
+            assert value == base, (
+                "absolute budget changed the game value — the negative "
+                "result no longer holds?"
+            )

@@ -1,0 +1,39 @@
+"""Exact micro-heap game values vs Robson's closed form.
+
+Ground truth for the framework: the program-vs-manager game is solved
+exactly (attractor computation) at micro parameters and compared against
+Robson's formula M (log2 n / 2 + 1) - n + 1.  The formula matches the
+game value exactly at every point we can afford to solve — independent
+confirmation that the analytic machinery the paper builds on is tight,
+not merely asymptotic.
+"""
+
+from repro.analysis import format_table
+from repro.core import robson
+from repro.core.params import BoundParams
+from repro.exact import minimum_heap_words
+
+
+POINTS = ((2, 2), (4, 2), (4, 4), (6, 2), (8, 2))
+
+
+def _solve_all():
+    rows = []
+    for m, n in POINTS:
+        exact = minimum_heap_words(m, n)
+        formula = robson.lower_bound_words(BoundParams(m, n))
+        rows.append((f"M={m}, n={n}", exact, formula, exact / m))
+    return rows
+
+
+def test_exact_game_matches_robson(benchmark):
+    minimum_heap_words.cache_clear()
+    rows = benchmark.pedantic(_solve_all, rounds=1, iterations=1)
+
+    print("\n=== Exact game value vs Robson's formula (no compaction) ===")
+    print(format_table(
+        ("point", "exact heap (game)", "Robson formula", "waste factor"),
+        rows,
+    ))
+    for _, exact, formula, _factor in rows:
+        assert exact == int(formula), "formula-vs-game mismatch"

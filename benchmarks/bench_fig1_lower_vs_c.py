@@ -1,0 +1,36 @@
+"""Figure 1 — lower bound on the waste factor h vs c.
+
+Regenerates the paper's Figure 1: Theorem 1's lower bound at the
+"realistic parameters" M = 256MB, n = 1MB for c in [10, 100], plotted
+against the Bendersky–Petrank 2011 lower bound (which stays pinned at
+the trivial factor 1 across the whole range — the paper's headline).
+
+Paper anchors (prose): h = 2.0 at c = 10, 3.15 at c = 50, 3.5 at c = 100.
+"""
+
+import pytest
+
+from repro.analysis import figure1_series, figure_table, render_figure
+
+
+def _series():
+    return figure1_series()
+
+
+def test_fig1_lower_bound_vs_c(benchmark):
+    figure = benchmark(_series)
+
+    ours = dict(zip(figure.x_values, figure.series["cohen-petrank (Thm 1)"]))
+    prior = figure.series["bendersky-petrank 2011"]
+
+    # The paper's prose anchors.
+    assert ours[10.0] == pytest.approx(2.0, abs=0.1)
+    assert ours[50.0] == pytest.approx(3.15, abs=0.1)
+    assert ours[100.0] == pytest.approx(3.5, abs=0.1)
+    # BP'11 vacuous at practical scale: flat at the trivial factor.
+    assert set(prior) == {1.0}
+
+    print("\n=== Figure 1: lower bound h vs c (M=256MB, n=1MB) ===")
+    print(render_figure(figure))
+    print()
+    print(figure_table(figure))

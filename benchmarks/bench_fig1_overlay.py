@@ -1,0 +1,56 @@
+"""Figure 1, simulated: measured adversarial waste overlaid on theory.
+
+The paper's Figure 1 is a theory curve; this bench produces its
+empirical counterpart at simulation scale — P_F's measured waste per
+manager across the c grid, next to the Theorem-1 floor.  Two shape
+checks matter:
+
+* every measured point sits above the (allowance-adjusted) floor, and
+* the best manager's measured curve *rises with c* like the theory
+  does: less compaction budget means more forced waste, in the
+  simulator just as in the formula.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.experiments import discretization_allowance
+from repro.analysis.sweep import simulation_sweep
+from repro.core.params import BoundParams
+from repro.core.theorem1 import lower_bound
+
+MANAGERS = ("sliding-compactor", "theorem2")
+C_GRID = (10.0, 20.0, 50.0, 100.0)
+
+
+def _sweep(base):
+    return simulation_sweep(base, C_GRID, MANAGERS)
+
+
+def test_fig1_simulated_overlay(benchmark, sim_params):
+    base = sim_params.with_compaction(None)
+    rows = benchmark.pedantic(_sweep, args=(base,), rounds=1, iterations=1)
+
+    table = []
+    for row in rows:
+        params = base.with_compaction(row.c)
+        ell = lower_bound(params).density_exponent or 1
+        floor = max(1.0, row.theorem1_lower - discretization_allowance(params, ell))
+        table.append(
+            (
+                int(row.c),
+                row.theorem1_lower,
+                floor,
+                *(row.measured[name] for name in MANAGERS),
+            )
+        )
+    print(f"\n=== Figure 1, simulated overlay ({base.describe()}) ===")
+    print(format_table(
+        ("c", "theory h", "floor", *(f"measured {m}" for m in MANAGERS)),
+        table,
+    ))
+    for c, _theory, floor, *measured in table:
+        for name, value in zip(MANAGERS, measured):
+            assert value >= floor - 1e-9, f"c={c} {name}: {value} < {floor}"
+    # The best-manager curve rises with c, like the theory curve.
+    best_curve = [min(measured) for *_ignore, measured in
+                  ((r[0], r[3:]) for r in table)]
+    assert best_curve == sorted(best_curve)

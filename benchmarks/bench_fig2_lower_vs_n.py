@@ -1,0 +1,28 @@
+"""Figure 2 — lower bound on the waste factor h vs n.
+
+Regenerates the paper's Figure 2: Theorem 1's bound as the largest
+object size n sweeps 1KB..1GB with c = 100 and M = 256 n (the paper's
+"no single object is a significant part of the heap" setting).
+"""
+
+from repro.analysis import figure2_series, figure_table, render_figure
+
+
+def _series():
+    return figure2_series()
+
+
+def test_fig2_lower_bound_vs_n(benchmark):
+    figure = benchmark(_series)
+    values = figure.series["cohen-petrank (Thm 1)"]
+
+    # Shape: monotone non-decreasing in n; non-trivial by 1MB; > 4x at 1GB.
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    by_n = dict(zip(figure.x_values, values))
+    assert by_n[float(1 << 20)] > 3.0
+    assert by_n[float(1 << 30)] > 4.0
+
+    print("\n=== Figure 2: lower bound h vs n (c=100, M=256n) ===")
+    print(render_figure(figure))
+    print()
+    print(figure_table(figure))

@@ -1,0 +1,29 @@
+"""Operational benchmark: manager throughput on a benign churn workload.
+
+Not a paper figure — this is the engineering benchmark a downstream
+user of the simulator cares about: how fast each registered manager
+serves a fixed random alloc/free stream.  pytest-benchmark reports the
+usual statistics; the waste factor of each manager on the same stream is
+printed for context.
+"""
+
+import pytest
+
+from repro.adversary import RandomChurnWorkload, run_execution
+from repro.core.params import BoundParams
+from repro.mm import create_manager, manager_names
+
+PARAMS = BoundParams(4096, 64, 10.0)
+OPERATIONS = 1500
+
+
+@pytest.mark.parametrize("name", manager_names())
+def test_churn_throughput(benchmark, name):
+    def run():
+        workload = RandomChurnWorkload(PARAMS, operations=OPERATIONS, seed=11)
+        return run_execution(PARAMS, workload, create_manager(name, PARAMS))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\n{name}: waste={result.waste_factor:.3f} x M, "
+          f"moved={result.total_moved} words over {OPERATIONS} ops")
+    assert result.live_peak <= PARAMS.live_space

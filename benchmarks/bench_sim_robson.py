@@ -1,0 +1,34 @@
+"""Simulation: Robson's program P_R vs the non-moving manager family.
+
+The empirical leg of Robson's bound (and the paper's Stage I / Figure 5
+illustration): every non-moving manager driven by P_R must use at least
+M (log2(n)/2 + 1) - n + 1 words — and the classic policies land almost
+exactly on the bound, showing the construction is tight.
+"""
+
+from repro.analysis import (
+    DEFAULT_ROBSON_MANAGERS,
+    experiment_table,
+    robson_experiment,
+)
+from repro.core import robson as robson_bounds
+
+
+def test_sim_robson_vs_nonmoving_managers(benchmark, sim_params_no_c):
+    rows = benchmark.pedantic(
+        robson_experiment,
+        args=(sim_params_no_c, DEFAULT_ROBSON_MANAGERS),
+        rounds=1,
+        iterations=1,
+    )
+
+    bound = robson_bounds.lower_bound_factor(sim_params_no_c)
+    for row in rows:
+        assert row.respects_lower_bound, row.result.summary()
+        # Tightness: nobody should be forced much past ~1.3x the bound.
+        assert row.measured_factor <= bound * 1.35
+
+    print(f"\n=== Robson P_R vs non-moving managers "
+          f"({sim_params_no_c.describe()}) ===")
+    print(f"Robson bound: {bound:.4f} x M (theory, tight)")
+    print(experiment_table(rows))

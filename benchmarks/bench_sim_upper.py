@@ -1,0 +1,55 @@
+"""Simulation: upper-bound constructions under adversarial + benign load.
+
+Two guarantees are stress-tested:
+
+* the Bendersky–Petrank collector A_c must hold heap <= (c+1) M against
+  every program (including the paper's own adversary);
+* the Theorem-2-style manager must stay below Theorem 2's closed-form
+  guarantee on the same programs (a violation would falsify the formula
+  reconstruction).
+"""
+
+from repro.adversary import PFProgram, RandomChurnWorkload, RobsonProgram
+from repro.adversary.driver import run_execution
+from repro.analysis import experiment_table, upper_bound_experiment
+from repro.core import theorem2
+from repro.mm import create_manager
+
+
+def test_sim_bp_collector_guarantee(benchmark, sim_params):
+    rows = benchmark.pedantic(
+        upper_bound_experiment, args=(sim_params,), rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row.respects_upper_bound, row.result.summary()
+
+    print(f"\n=== BP collector A_c guarantee ({sim_params.describe()}) ===")
+    print(f"guarantee: (c+1) = {sim_params.compaction_divisor + 1:.0f} x M")
+    print(experiment_table(rows))
+
+
+def test_sim_theorem2_manager_guarantee(benchmark, sim_params):
+    guarantee = theorem2.upper_bound(sim_params).heap_words
+
+    def run_all():
+        programs = (
+            PFProgram(sim_params),
+            RobsonProgram(sim_params),
+            RandomChurnWorkload(sim_params, operations=3000),
+        )
+        return [
+            run_execution(
+                sim_params, program,
+                create_manager("theorem2", sim_params),
+            )
+            for program in programs
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\n=== Theorem-2 manager vs its guarantee "
+          f"({sim_params.describe()}) ===")
+    print(f"Theorem-2 closed form: {guarantee:.0f} words "
+          f"({guarantee / sim_params.live_space:.3f} x M)")
+    for result in results:
+        print(f"  {result.summary()}")
+        assert result.heap_size <= guarantee, result.summary()

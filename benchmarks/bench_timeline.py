@@ -1,0 +1,50 @@
+"""Waste over time: how each manager's heap grows under attack.
+
+Instruments three managers with the timeline sampler and drives P_F,
+then renders the waste-factor trajectories on one ASCII plot — the
+dynamic view behind the single end-of-run numbers the other benches
+report.  The compactors' curves flatten where they spend budget; the
+non-mover's climbs monotonically through both stages.
+"""
+
+from repro.adversary import PFProgram, run_execution
+from repro.analysis import render_series
+from repro.analysis.timeline import InstrumentedManager
+from repro.mm.registry import create_manager
+
+MANAGERS = ("first-fit", "sliding-compactor", "theorem2")
+
+
+def _run_timelines(sim_params):
+    series = {}
+    for name in MANAGERS:
+        manager = InstrumentedManager(
+            create_manager(name, sim_params), every=256
+        )
+        run_execution(sim_params, PFProgram(sim_params), manager)
+        xs, ys = manager.timeline.series(sim_params.live_space)
+        series[name] = (xs, ys)
+    return series
+
+
+def test_timeline_waste_trajectories(benchmark, sim_params):
+    series = benchmark.pedantic(
+        _run_timelines, args=(sim_params,), rounds=1, iterations=1
+    )
+    # Align on a shared x-axis (event index) by padding with last values.
+    longest = max(len(xs) for xs, _ in series.values())
+    xs_shared = list(range(longest))
+    plot = {}
+    for name, (xs, ys) in series.items():
+        padded = list(ys) + [ys[-1]] * (longest - len(ys))
+        plot[name] = padded
+    print(f"\n=== Waste factor over time under P_F "
+          f"({sim_params.describe()}) ===")
+    print(render_series(
+        xs_shared, plot, width=70, height=16,
+        y_label="HS / M", x_label=f"events (x256)",
+    ))
+    for name, values in plot.items():
+        # High water never shrinks: every trajectory is non-decreasing.
+        assert values == sorted(values), name
+        assert values[-1] > 1.0

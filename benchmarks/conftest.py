@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every bench prints the rows/series it regenerates (the paper's figures
+have no tables, so the printed series *are* the artifact).  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see them inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import BoundParams
+
+
+@pytest.fixture(scope="session")
+def sim_params() -> BoundParams:
+    """The standard scaled-down simulation point (see DESIGN.md):
+    M = 8192 words, n = 128 words, c = 50 — the paper's M = 64 n shape
+    at a size pure Python finishes quickly."""
+    return BoundParams(live_space=8192, max_object=128, compaction_divisor=50.0)
+
+
+@pytest.fixture(scope="session")
+def sim_params_no_c() -> BoundParams:
+    """Simulation point for the no-compaction (Robson) experiments."""
+    return BoundParams(live_space=4096, max_object=64)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fragmentation study: Robson's program vs the classic allocators.
+
+Runs Robson's malicious program P_R (the no-compaction worst case, and
+Stage I of the paper's P_F) against every non-moving allocator in the
+registry, and contrasts the adversarial waste with the same allocators'
+behaviour on a benign random-churn workload — the gap between "what a
+benchmark shows" and "what can be guaranteed" that the paper's
+introduction is about.
+
+Run:  python examples/fragmentation_study.py
+"""
+
+from repro import BoundParams
+from repro.adversary import RandomChurnWorkload, run_execution
+from repro.analysis import (
+    DEFAULT_ROBSON_MANAGERS,
+    experiment_table,
+    format_table,
+    robson_experiment,
+)
+from repro.core import robson as robson_bounds
+from repro.heap.metrics import snapshot
+from repro.mm import create_manager
+
+
+def main() -> None:
+    params = BoundParams(live_space=4096, max_object=64)
+    print(f"Robson's P_R vs non-moving allocators @ {params.describe()}\n")
+
+    rows = robson_experiment(params, DEFAULT_ROBSON_MANAGERS)
+    print(experiment_table(rows))
+    bound = robson_bounds.lower_bound_factor(params)
+    print(
+        f"\nRobson bound: {bound:.4f} x M — note first-fit and best-fit land"
+        f"\nON the bound: the construction is tight, as Robson proved."
+    )
+
+    print("\nSame allocators, benign random churn (not adversarial):\n")
+    churn_rows = []
+    for name in DEFAULT_ROBSON_MANAGERS:
+        workload = RandomChurnWorkload(
+            params.with_compaction(None), operations=4000, seed=99
+        )
+        result = run_execution(params, workload, create_manager(name, params))
+        metrics = result.metrics
+        churn_rows.append(
+            (
+                name,
+                result.waste_factor,
+                f"{metrics.utilization:.2f}",
+                f"{metrics.external_fragmentation:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ("manager", "HS/M (churn)", "utilization", "ext. frag"),
+            churn_rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nThe same allocator that needs ~4x M under attack often stays"
+        "\nnear 1-2x on ordinary churn — which is why worst-case bounds,"
+        "\nnot benchmarks, are what real-time guarantees must cite."
+    )
+
+
+if __name__ == "__main__":
+    main()

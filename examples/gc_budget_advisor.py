@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""GC budget advisor: invert the bounds for capacity planning.
+
+Scenario (the paper's practical payoff): you build a real-time runtime
+with a hard heap budget and need to know how much compaction your
+collector *must* be able to do — or, dually, how much heap you must
+provision for a given compaction rate.  Theorem 1 answers both: any
+guarantee below its curve is unachievable, so the advisor reports
+
+* the minimum heap factor you must provision for a chosen compaction
+  rate, and
+* the minimum compaction rate (largest ``c``) for which a chosen heap
+  factor is not *provably* impossible.
+
+Run:  python examples/gc_budget_advisor.py [live_MB] [max_object_KB]
+"""
+
+import sys
+
+from repro import KB, MB, BoundParams, best_upper_bound, lower_bound
+from repro.analysis import format_table
+
+
+def minimum_compaction_divisor_for(
+    params_base: BoundParams, heap_factor: float, c_range=range(2, 2001)
+) -> float | None:
+    """The largest ``c`` (least compaction) whose Theorem-1 bound stays
+    at or below ``heap_factor`` — beyond it the target is impossible.
+    """
+    best = None
+    for c in c_range:
+        params = params_base.with_compaction(float(c))
+        if lower_bound(params).waste_factor <= heap_factor:
+            best = float(c)
+        else:
+            break  # the bound grows with c; no point continuing
+    return best
+
+
+def main() -> None:
+    live_mb = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    object_kb = int(sys.argv[2]) if len(sys.argv) > 2 else 1024
+    base = BoundParams(live_space=live_mb * MB, max_object=object_kb * KB)
+    print(f"Capacity planning at {base.describe()}\n")
+
+    print("Provisioning table: pick a compaction rate, read the heap floor")
+    rows = []
+    for c in (5, 10, 25, 50, 100, 250, 1000):
+        params = base.with_compaction(float(c))
+        low = lower_bound(params).waste_factor
+        up, up_src = best_upper_bound(params)
+        rows.append(
+            (
+                f"1/{c}",
+                low,
+                f"{low * live_mb:.0f}MB",
+                up,
+                up_src,
+            )
+        )
+    print(
+        format_table(
+            ("compaction", "heap floor (xM)", "floor abs", "heap ceil (xM)",
+             "ceiling source"),
+            rows,
+            precision=3,
+        )
+    )
+
+    print("\nDual query: what compaction rate does a heap budget demand?")
+    rows2 = []
+    for factor in (1.5, 2.0, 2.5, 3.0):
+        c = minimum_compaction_divisor_for(base, factor)
+        if c is None:
+            rate = "full compaction required"
+        else:
+            rate = f"must move >= 1/{c:.0f} of allocations"
+        rows2.append((f"{factor:.1f}x", rate))
+    print(format_table(("heap budget", "required compaction"), rows2))
+
+    print(
+        "\nThese are worst-case guarantees: a benchmark suite may behave"
+        "\nbetter, but a hard-real-time guarantee below the floor is"
+        "\nimpossible for any allocator, manual or automatic (Theorem 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: what do the paper's bounds say about *your* heap?
+
+Computes the full bound envelope — best known lower and upper bounds on
+the heap size a budget-limited compacting memory manager needs — at the
+paper's "realistic parameters" (256MB live space, 1MB largest object)
+across a range of compaction budgets, and reproduces the three numbers
+the paper highlights in its introduction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MB, BoundParams, envelope, lower_bound
+from repro.analysis import format_table
+
+
+def main() -> None:
+    print("Limitations of Partial Compaction: Towards Practical Bounds")
+    print("Cohen & Petrank, PLDI 2013 — bound explorer\n")
+
+    params_no_c = BoundParams(live_space=256 * MB, max_object=1 * MB)
+    print(f"Parameters: {params_no_c.describe()} (the paper's Figure-1 setting)\n")
+
+    rows = []
+    for c in (10, 20, 50, 100):
+        params = params_no_c.with_compaction(float(c))
+        env = envelope(params)
+        result = lower_bound(params)
+        rows.append(
+            (
+                c,
+                f"{100.0 / c:.0f}%",
+                result.waste_factor,
+                result.density_exponent,
+                env.lower_source,
+                env.upper_factor,
+                env.upper_source,
+            )
+        )
+    print(
+        format_table(
+            (
+                "c", "moved", "lower h", "ell", "lower source",
+                "upper", "upper source",
+            ),
+            rows,
+            precision=3,
+        )
+    )
+
+    print(
+        "\nReading the c=100 row: even a manager allowed to move 1% of all"
+        "\nallocated space can be forced to use a 3.5x heap — 896MB for a"
+        "\n256MB live set — and no manager can be forced past the upper"
+        "\nbound.  The paper's prose anchors (2.0 at c=10, 3.15 at c=50,"
+        "\n3.5 at c=100) fall out of the 'lower h' column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — Limitations of Partial Compaction: Towards Practical Bounds.
+
+A full reproduction of Cohen & Petrank (PLDI 2013): closed-form lower and
+upper bounds on the heap size required under budget-limited ("partial")
+compaction, plus a discrete heap simulator, a family of memory managers
+and the paper's adversarial programs, so the bounds can be validated by
+actually running the constructions.
+
+Quickstart::
+
+    from repro import BoundParams, MB, lower_bound
+
+    params = BoundParams(live_space=256 * MB, max_object=1 * MB,
+                         compaction_divisor=100)
+    print(lower_bound(params).waste_factor)   # ~3.5
+
+See :mod:`repro.core` for the bounds, :mod:`repro.heap` and
+:mod:`repro.mm` for the simulation substrate, :mod:`repro.adversary` for
+the malicious programs, and :mod:`repro.analysis` for figure
+regeneration.
+"""
+
+from .core import (
+    GB,
+    KB,
+    MB,
+    PAPER_REALISTIC,
+    BoundEnvelope,
+    BoundParams,
+    LowerBoundResult,
+    UpperBoundResult,
+    best_lower_bound,
+    best_upper_bound,
+    envelope,
+    lower_bound,
+    upper_bound,
+    waste_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundEnvelope",
+    "BoundParams",
+    "GB",
+    "KB",
+    "LowerBoundResult",
+    "MB",
+    "PAPER_REALISTIC",
+    "UpperBoundResult",
+    "__version__",
+    "best_lower_bound",
+    "best_upper_bound",
+    "envelope",
+    "lower_bound",
+    "upper_bound",
+    "waste_profile",
+]

@@ -1,0 +1,252 @@
+"""Object ↔ chunk association — the bookkeeping behind Stage II.
+
+The program :math:`P_F` explicitly maintains, for each chunk ``D`` of the
+current partition, the set :math:`O_D` of objects associated with it
+(§4, Figure 4).  The rules:
+
+* an object is associated *whole* with one chunk, or split into two
+  *halves* associated with two chunks (each half weighs ``|o| / 2``);
+* association survives compaction (the object becomes a *residue*: it is
+  physically dead, but its weight still counts toward the chunk until a
+  new object is allocated over the chunk, or the program's de-allocation
+  procedure releases it);
+* at a step change each pair of sibling chunks merges, and their
+  association sets take a union (two halves of one object landing in the
+  same parent re-combine into a whole);
+* the set ``E`` marks *middle* chunks (Definition 4.12): fully covered
+  by a fresh object but carrying none of its halves; membership ends at
+  the next step change or when an object is associated with the chunk.
+
+Weights use integers scaled by 2 (``HALF = 1``, ``WHOLE = 2``) so chunk
+weights are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..heap.chunks import ChunkId
+
+__all__ = ["AssociationMap", "AssociationEntry", "HALF", "WHOLE"]
+
+HALF = 1
+WHOLE = 2
+
+
+@dataclass
+class AssociationEntry:
+    """One object's association state."""
+
+    object_id: int
+    size: int
+    #: chunk -> HALF or WHOLE (at most two chunks, both HALF, or one WHOLE)
+    chunks: dict[ChunkId, int]
+    #: False once the object is physically dead but still associated.
+    live: bool = True
+
+    @property
+    def weight_words_twice(self) -> int:
+        """Total associated weight, doubled (exact integer)."""
+        return sum(self.chunks.values()) * self.size
+
+
+class AssociationMap:
+    """The program's explicit ``O_D`` bookkeeping plus the ``E`` set."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, AssociationEntry] = {}
+        self._by_chunk: dict[ChunkId, dict[int, int]] = {}
+        self._middle: set[ChunkId] = set()
+
+    # Introspection ----------------------------------------------------------
+
+    def entry(self, object_id: int) -> AssociationEntry | None:
+        """The association entry for an object, if any."""
+        return self._entries.get(object_id)
+
+    def chunk_members(self, chunk: ChunkId) -> dict[int, int]:
+        """``object_id -> HALF|WHOLE`` for a chunk (copy)."""
+        return dict(self._by_chunk.get(chunk, ()))
+
+    def chunk_weight_twice(self, chunk: ChunkId) -> int:
+        """``2 * sum(fraction * |o|)`` over the chunk's associations."""
+        members = self._by_chunk.get(chunk)
+        if not members:
+            return 0
+        return sum(
+            fraction * self._entries[oid].size
+            for oid, fraction in members.items()
+        )
+
+    def chunks(self) -> list[ChunkId]:
+        """Every chunk with at least one association."""
+        return list(self._by_chunk)
+
+    def is_middle(self, chunk: ChunkId) -> bool:
+        """Whether the chunk is currently in ``E``."""
+        return chunk in self._middle
+
+    def middle_chunks(self) -> set[ChunkId]:
+        """A copy of the ``E`` set."""
+        return set(self._middle)
+
+    def object_count(self) -> int:
+        """Number of objects with live association entries."""
+        return len(self._entries)
+
+    # Mutations ---------------------------------------------------------------
+
+    def associate_whole(self, object_id: int, size: int, chunk: ChunkId) -> None:
+        """Associate a (new) object entirely with one chunk."""
+        self._new_entry(object_id, size, {chunk: WHOLE})
+
+    def associate_halves(
+        self, object_id: int, size: int, first: ChunkId, second: ChunkId
+    ) -> None:
+        """Associate half the object with each of two distinct chunks."""
+        if first == second:
+            raise ValueError("halves must go to two distinct chunks")
+        self._new_entry(object_id, size, {first: HALF, second: HALF})
+
+    def _new_entry(
+        self, object_id: int, size: int, chunks: dict[ChunkId, int]
+    ) -> None:
+        if object_id in self._entries:
+            raise ValueError(f"object {object_id} is already associated")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        entry = AssociationEntry(object_id, size, dict(chunks))
+        self._entries[object_id] = entry
+        for chunk, fraction in chunks.items():
+            self._by_chunk.setdefault(chunk, {})[object_id] = fraction
+            self._middle.discard(chunk)  # association ends E membership
+
+    def mark_residue(self, object_id: int) -> None:
+        """The object died (compacted away) but stays associated."""
+        entry = self._entries.get(object_id)
+        if entry is not None:
+            entry.live = False
+
+    def remove_object(self, object_id: int) -> None:
+        """The program de-allocated the object: association ends."""
+        entry = self._entries.pop(object_id, None)
+        if entry is None:
+            return
+        for chunk in entry.chunks:
+            members = self._by_chunk.get(chunk)
+            if members is not None:
+                members.pop(object_id, None)
+                if not members:
+                    del self._by_chunk[chunk]
+
+    def transfer_half(self, object_id: int, away_from: ChunkId) -> ChunkId:
+        """Move a half off ``away_from``; the object becomes whole at the
+        chunk holding its other half (Algorithm 1, line 13).  Returns
+        that chunk so the caller can re-evaluate it.
+        """
+        entry = self._entries.get(object_id)
+        if entry is None:
+            raise KeyError(f"object {object_id} is not associated")
+        if entry.chunks.get(away_from) != HALF:
+            raise ValueError(
+                f"object {object_id} has no half on {away_from}"
+            )
+        others = [c for c in entry.chunks if c != away_from]
+        if len(others) != 1:
+            raise ValueError(f"object {object_id} is not split across two chunks")
+        other = others[0]
+        del entry.chunks[away_from]
+        entry.chunks[other] = WHOLE
+        members = self._by_chunk.get(away_from)
+        if members is not None:
+            members.pop(object_id, None)
+            if not members:
+                del self._by_chunk[away_from]
+        self._by_chunk[other][object_id] = WHOLE
+        return other
+
+    def clear_chunk(self, chunk: ChunkId) -> list[int]:
+        """Drop every association *on this chunk* (a fresh object was
+        placed over it; line 14 replaces ``O_D`` outright).
+
+        An object half-associated with another chunk keeps that other
+        half: dropping it would shrink the other chunk's weight, i.e.
+        decrease the potential — exactly what Claim 4.16 forbids.  (The
+        surviving lone half is how the paper avoids double counting the
+        move of a border object when both its chunks get reused.)
+        Only residues may be cleared: a fully covered chunk cannot hold
+        a live associated object (live objects physically intersect
+        their chunks — Claim 4.15.3 — and placement needs free words),
+        so a live member here means the caller's bookkeeping is wrong.
+        Returns the object ids whose association ended entirely.
+        """
+        members = self._by_chunk.get(chunk)
+        if members:
+            for object_id in members:
+                if self._entries[object_id].live:
+                    raise ValueError(
+                        f"cannot clear {chunk}: object {object_id} is live"
+                    )
+        members = self._by_chunk.pop(chunk, None)
+        self._middle.discard(chunk)
+        if not members:
+            return []
+        fully_released = []
+        for object_id in members:
+            entry = self._entries[object_id]
+            entry.chunks.pop(chunk, None)
+            if not entry.chunks:
+                del self._entries[object_id]
+                fully_released.append(object_id)
+        return fully_released
+
+    def mark_middle(self, chunk: ChunkId) -> None:
+        """Put a chunk into ``E`` (it must carry no associations)."""
+        if self._by_chunk.get(chunk):
+            raise ValueError(f"{chunk} has associations; cannot join E")
+        self._middle.add(chunk)
+
+    def merge_step(self) -> None:
+        """Step change: re-key every association to the parent partition.
+
+        Sibling halves of one object re-combine to a whole; the ``E`` set
+        empties (Definition 4.12: membership ends at a step change).
+        """
+        self._middle.clear()
+        new_by_chunk: dict[ChunkId, dict[int, int]] = {}
+        for entry in self._entries.values():
+            merged: dict[ChunkId, int] = {}
+            for chunk, fraction in entry.chunks.items():
+                parent = chunk.parent
+                merged[parent] = min(WHOLE, merged.get(parent, 0) + fraction)
+            entry.chunks = merged
+            for parent, fraction in merged.items():
+                new_by_chunk.setdefault(parent, {})[entry.object_id] = fraction
+        self._by_chunk = new_by_chunk
+
+    # Validation ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Claim 4.15 structure: forward and reverse maps agree; each
+        object is whole on one chunk or half on exactly two."""
+        for object_id, entry in self._entries.items():
+            fractions = sorted(entry.chunks.values())
+            # [HALF] arises only for residues whose other chunk was
+            # cleared by a fresh allocation; live objects are always
+            # whole-on-one or half-on-two (Claim 4.15).
+            assert fractions in ([WHOLE], [HALF, HALF], [HALF]), (
+                f"object {object_id} has malformed association {entry.chunks}"
+            )
+            if entry.live:
+                assert fractions != [HALF], (
+                    f"live object {object_id} has a dangling half"
+                )
+            for chunk, fraction in entry.chunks.items():
+                assert self._by_chunk.get(chunk, {}).get(object_id) == fraction
+        for chunk, members in self._by_chunk.items():
+            assert members, f"empty member table for {chunk}"
+            assert chunk not in self._middle, (
+                f"{chunk} is in E but has associations"
+            )
+            for object_id, fraction in members.items():
+                assert self._entries[object_id].chunks.get(chunk) == fraction

@@ -1,0 +1,105 @@
+"""Per-step claim checkers for Robson's program (Claim 4.9).
+
+Robson's inequality 1 — the paper's Claim 4.9 — asserts that after step
+``i`` of :math:`P_R` at least :math:`M (i+2) / 2^{i+1}` objects are
+f_i-occupying.  Against a *non-moving* manager this must hold verbatim;
+against a compacting one the ghost extension makes the live+ghost count
+satisfy it (that is exactly what the §4.2 reduction buys).
+
+:class:`Claim49Checker` recomputes the count after every step of a
+:class:`~repro.adversary.robson_program.RobsonProgram` (or Stage I of
+:math:`P_F` — it consumes the same engine) and records the margin; the
+tests assert positivity across the manager family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ghosts import GhostRegistry
+from .robson_program import RobsonEngine
+
+__all__ = ["StepCount", "Claim49Checker", "count_occupying"]
+
+
+@dataclass(frozen=True)
+class StepCount:
+    """One step's occupying-object census."""
+
+    step: int
+    offset: int
+    live_occupying: int
+    ghost_occupying: int
+    required: float
+
+    @property
+    def total(self) -> int:
+        """Live + ghost occupying objects (the reduction's census)."""
+        return self.live_occupying + self.ghost_occupying
+
+    @property
+    def margin(self) -> float:
+        """``total - required`` — Claim 4.9 demands this be >= 0."""
+        return self.total - self.required
+
+
+def count_occupying(
+    engine: RobsonEngine, ghosts: GhostRegistry, offset: int, period: int
+) -> tuple[int, int]:
+    """(live, ghost) objects occupying ``offset`` mod ``period``."""
+    live = sum(
+        1
+        for _, address, size in engine.live_items()
+        if RobsonEngine._occupies(address, size, offset, period)
+    )
+    ghost = sum(
+        1 for g in ghosts if g.occupies_offset(offset, period)
+    )
+    return live, ghost
+
+
+@dataclass
+class Claim49Checker:
+    """Collects :class:`StepCount` records from a Robson-style run.
+
+    Wire it up by calling :meth:`after_step` after each engine step
+    (``RobsonProgram`` does not expose per-step hooks, so the tests use
+    the engine directly; ``PFProgram``'s ``on_stage1_step`` observer hook
+    can drive it too via :meth:`as_pf_observer`).
+    """
+
+    live_bound: int
+    records: list[StepCount] = field(default_factory=list)
+
+    def after_step(
+        self, engine: RobsonEngine, ghosts: GhostRegistry, step: int
+    ) -> StepCount:
+        """Census after step ``step`` (engine offset must be current)."""
+        period = 1 << step
+        live, ghost = count_occupying(engine, ghosts, engine.offset, period)
+        record = StepCount(
+            step=step,
+            offset=engine.offset,
+            live_occupying=live,
+            ghost_occupying=ghost,
+            required=self.live_bound * (step + 2) / (2 ** (step + 1)),
+        )
+        self.records.append(record)
+        return record
+
+    def all_hold(self) -> bool:
+        """Whether every recorded step met Claim 4.9's count."""
+        return all(record.margin >= 0 for record in self.records)
+
+    def as_pf_observer(self, program) -> object:  # noqa: ANN001
+        """An observer object wiring :meth:`after_step` into PFProgram's
+        ``on_stage1_step`` hook."""
+        checker = self
+
+        class _Observer:
+            def on_stage1_step(self, i: int, offset: int) -> None:
+                engine = program._engine
+                assert engine is not None
+                checker.after_step(engine, program.ghosts, i)
+
+        return _Observer()

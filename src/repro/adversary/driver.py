@@ -1,0 +1,201 @@
+"""The execution driver: program × manager → measured heap size.
+
+The driver owns the heap, the budget ledger and the interaction order,
+and enforces every contract of the paper's model:
+
+* the program never exceeds ``M`` simultaneous live words and never
+  allocates an object larger than ``n`` (``LiveSpaceExceeded`` /
+  ``ValueError`` otherwise — a buggy adversary, not a buggy manager);
+* the manager's moves all pass through the budget
+  (:class:`~repro.mm.budget.CompactionBudget` raises on overdraft);
+* the manager's placement must be into free words
+  (:class:`~repro.heap.errors.OverlapError` otherwise);
+* move notifications reach the program immediately.
+
+The figure of merit is ``ExecutionResult.waste_factor`` —
+``HS / M``, the quantity all the paper's bounds speak about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import BoundParams
+from ..heap.errors import LiveSpaceExceeded
+from ..heap.heap import SimHeap
+from ..heap.metrics import HeapMetrics, snapshot
+from ..heap.object_model import HeapObject
+from ..mm.base import ManagerContext, MemoryManager
+from ..mm.budget import BudgetSnapshot, CompactionBudget
+from .base import AdversaryProgram, ProgramMoveListener, ProgramView
+from .trace import TraceLog
+
+__all__ = ["ExecutionDriver", "ExecutionResult", "run_execution"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything measured from one complete execution."""
+
+    params: BoundParams
+    program_name: str
+    manager_name: str
+    heap_size: int
+    live_peak: int
+    total_allocated: int
+    total_freed: int
+    total_moved: int
+    allocation_count: int
+    free_count: int
+    move_count: int
+    budget: BudgetSnapshot
+    metrics: HeapMetrics
+    trace: TraceLog | None = None
+
+    @property
+    def waste_factor(self) -> float:
+        """``HS / M`` — the paper's figure of merit."""
+        return self.heap_size / self.params.live_space
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.program_name} vs {self.manager_name} @ "
+            f"{self.params.describe()}: HS={self.heap_size} words "
+            f"({self.waste_factor:.3f} x M), moved={self.total_moved}"
+        )
+
+
+class ExecutionDriver:
+    """Mediates one (program, manager) interaction."""
+
+    def __init__(
+        self,
+        params: BoundParams,
+        manager: MemoryManager,
+        *,
+        record_trace: bool = False,
+        paranoid: bool = False,
+        budget: CompactionBudget | None = None,
+    ) -> None:
+        self.params = params
+        self.manager = manager
+        self.heap = SimHeap()
+        #: The budget ledger; pass an :class:`~repro.mm.budget.AbsoluteBudget`
+        #: to run the B-bounded model variant instead of the c-partial one.
+        self.budget = budget if budget is not None else CompactionBudget(
+            params.compaction_divisor
+        )
+        self.trace: TraceLog | None = TraceLog() if record_trace else None
+        #: Re-check full heap invariants after every event (slow; tests).
+        self.paranoid = paranoid
+        self.program_move_listener: ProgramMoveListener | None = None
+        self._live_peak = 0
+        self._allocs = 0
+        self._frees = 0
+        self._moves = 0
+        self._ctx = ManagerContext(
+            self.heap, self.budget, move_listener=self._on_manager_move
+        )
+        manager.attach(self._ctx)
+
+    # Program-facing operations (called via ProgramView) -------------------
+
+    def program_allocate(self, size: int) -> HeapObject:
+        """Serve one allocation request through the manager."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if size > self.params.max_object:
+            raise ValueError(
+                f"object of {size} words exceeds the n={self.params.max_object} "
+                "contract"
+            )
+        if self.heap.live_words + size > self.params.live_space:
+            raise LiveSpaceExceeded(
+                f"allocating {size} would put live space at "
+                f"{self.heap.live_words + size} > M={self.params.live_space}"
+            )
+        self._ctx.reset_request_counters()
+        self.manager.prepare(size)
+        # The compaction window may have triggered program frees; the
+        # live-space check above still holds (frees only reduce it).
+        address = self.manager.place(size)
+        obj = self.heap.place(address, size)  # raises OverlapError if bad
+        self.budget.charge_allocation(size)
+        self.manager.on_place(obj)
+        self._allocs += 1
+        self._live_peak = max(self._live_peak, self.heap.live_words)
+        if self.trace is not None:
+            self.trace.record_alloc(self.heap.clock, obj.object_id, size, address)
+        if self.paranoid:
+            self.heap.check_invariants()
+            self.budget.check_invariant()
+        return obj
+
+    def program_free(self, object_id: int) -> None:
+        """Serve one de-allocation."""
+        obj = self.heap.free(object_id)
+        self.manager.on_free(obj)
+        self._frees += 1
+        if self.trace is not None:
+            self.trace.record_free(self.heap.clock, object_id, obj.size, obj.address)
+        if self.paranoid:
+            self.heap.check_invariants()
+
+    def program_mark(self, label: str) -> None:
+        """Record a trace annotation."""
+        if self.trace is not None:
+            self.trace.record_mark(self.heap.clock, label)
+
+    # Manager move notification ----------------------------------------------
+
+    def _on_manager_move(
+        self, obj: HeapObject, old_address: int, new_address: int
+    ) -> None:
+        self._moves += 1
+        if self.trace is not None:
+            self.trace.record_move(
+                self.heap.clock, obj.object_id, obj.size, old_address, new_address
+            )
+        if self.program_move_listener is not None:
+            self.program_move_listener(obj, old_address, new_address)
+
+    # Entry point ---------------------------------------------------------------
+
+    def run(self, program: AdversaryProgram) -> ExecutionResult:
+        """Execute the program to completion and measure."""
+        view = ProgramView(self)
+        program.run(view)
+        return ExecutionResult(
+            params=self.params,
+            program_name=program.name,
+            manager_name=self.manager.name,
+            heap_size=self.heap.high_water,
+            live_peak=self._live_peak,
+            total_allocated=self.heap.total_allocated,
+            total_freed=self.heap.total_freed,
+            total_moved=self.heap.total_moved,
+            allocation_count=self._allocs,
+            free_count=self._frees,
+            move_count=self._moves,
+            budget=self.budget.snapshot(),
+            metrics=snapshot(self.heap),
+            trace=self.trace,
+        )
+
+
+def run_execution(
+    params: BoundParams,
+    program: AdversaryProgram,
+    manager: MemoryManager,
+    *,
+    record_trace: bool = False,
+    paranoid: bool = False,
+    budget: CompactionBudget | None = None,
+) -> ExecutionResult:
+    """Convenience wrapper: build a driver, run, return the result."""
+    driver = ExecutionDriver(
+        params, manager, record_trace=record_trace, paranoid=paranoid,
+        budget=budget,
+    )
+    return driver.run(program)

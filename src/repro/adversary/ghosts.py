@@ -1,0 +1,103 @@
+"""Ghost objects — Definition 4.1.
+
+When the memory manager compacts an object, the program :math:`P_F`
+immediately de-allocates it, but keeps considering it *as if it still
+resided at the address where it was allocated*.  Such a record is a
+ghost: it has no physical presence (the manager may allocate over its
+words), but it participates in the program's de-allocation decisions —
+specifically the f-occupying sums of Robson's offset selection — until
+the de-allocation procedure would have freed it, at which point it
+vanishes for good.
+
+Ghosts live at the object's *birth* address: an object is freed at its
+first move, so it is never moved twice and the birth address is the only
+address a ghost can haunt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..heap.object_model import HeapObject
+
+__all__ = ["Ghost", "GhostRegistry"]
+
+
+@dataclass(frozen=True)
+class Ghost:
+    """A compacted-then-freed object, pinned at its birth address."""
+
+    object_id: int
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the ghost's last haunted word."""
+        return self.address + self.size
+
+    def occupies_offset(self, offset: int, period: int) -> bool:
+        """The f-occupying test (Definition 4.2) at the ghost's address."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= offset < period:
+            raise ValueError("offset must satisfy 0 <= offset < period")
+        first = self.address + ((offset - self.address) % period)
+        return first < self.end
+
+
+class GhostRegistry:
+    """The set of ghosts the program currently still considers."""
+
+    def __init__(self) -> None:
+        self._ghosts: dict[int, Ghost] = {}
+        self._words = 0
+        self._total_created = 0
+
+    def __len__(self) -> int:
+        return len(self._ghosts)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._ghosts
+
+    def __iter__(self) -> Iterator[Ghost]:
+        return iter(list(self._ghosts.values()))
+
+    @property
+    def words(self) -> int:
+        """Total haunted words (counted by :math:`P_F`'s allocation caps)."""
+        return self._words
+
+    @property
+    def total_created(self) -> int:
+        """How many ghosts ever existed (diagnostics)."""
+        return self._total_created
+
+    def record(self, obj: HeapObject) -> Ghost:
+        """Register a just-compacted object as a ghost at its birth address."""
+        if obj.object_id in self._ghosts:
+            raise ValueError(f"object {obj.object_id} is already a ghost")
+        ghost = Ghost(obj.object_id, obj.birth_address, obj.size)
+        self._ghosts[ghost.object_id] = ghost
+        self._words += ghost.size
+        self._total_created += 1
+        return ghost
+
+    def drop(self, object_id: int) -> Ghost:
+        """Remove a ghost (the de-allocation procedure released it)."""
+        ghost = self._ghosts.pop(object_id, None)
+        if ghost is None:
+            raise KeyError(f"no ghost for object {object_id}")
+        self._words -= ghost.size
+        return ghost
+
+    def drop_non_occupying(self, offset: int, period: int) -> list[Ghost]:
+        """Release every ghost that is not f-occupying; returns them."""
+        released = [
+            ghost for ghost in self._ghosts.values()
+            if not ghost.occupies_offset(offset, period)
+        ]
+        for ghost in released:
+            self.drop(ghost.object_id)
+        return released

@@ -1,0 +1,129 @@
+"""The potential function ``u(t)`` (Definitions 4.3 and 4.4).
+
+For a chunk ``D`` of the current partition ``D(i)``:
+
+.. math::
+
+    u_D(t) = \\begin{cases}
+        2^i & D \\in E(t) \\\\
+        \\min\\bigl(2^{\\ell} \\cdot \\textstyle\\sum_{o \\in O_D(t)}
+            w(o) \\, |o|, \\; 2^i\\bigr) & \\text{otherwise}
+    \\end{cases}
+
+(``w(o)`` is 1 for a whole association and ½ per half), and
+
+.. math::  u(t) = \\sum_{D} u_D(t) - n / 4 .
+
+The analysis uses ``u(t)`` as a certified lower bound on the heap size:
+every chunk with non-zero ``u_D`` was touched by an object at some point,
+contributes at most its own size, and all but possibly the last touched
+chunk must lie fully inside the heap (hence the ``- n/4`` correction,
+``n/4`` being the largest possible chunk).
+
+Claim 4.16's two properties — ``u`` never decreases, and each Stage-II
+allocation of ``o`` raises it by at least ``(3/4)|o| - 2^ell * q(o)`` —
+are asserted on real executions by :class:`PotentialObserver`, which is
+the executable form of the paper's proof obligations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..heap.object_model import HeapObject
+from .association import AssociationMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pf_program import PFProgram
+
+__all__ = ["potential_twice", "potential", "PotentialObserver"]
+
+
+def potential_twice(
+    association: AssociationMap,
+    chunk_exponent: int,
+    density_exponent: int,
+    max_object: int,
+) -> int:
+    """``2 * u(t)`` as an exact integer.
+
+    Doubling keeps half-object weights integral; the ``- n/4`` term
+    doubles to ``- n/2`` (``n`` is a power of two ``>= 2``, so this is
+    exact as well).
+    """
+    chunk_size2 = 1 << (chunk_exponent + 1)  # 2 * 2^i
+    total = 0
+    for chunk in association.chunks():
+        weight2 = association.chunk_weight_twice(chunk)
+        total += min(weight2 << density_exponent, chunk_size2)
+    total += len(association.middle_chunks()) * chunk_size2
+    return total - max_object // 2
+
+
+def potential(
+    association: AssociationMap,
+    chunk_exponent: int,
+    density_exponent: int,
+    max_object: int,
+) -> float:
+    """``u(t)`` in words (float because of the halved weights)."""
+    return potential_twice(
+        association, chunk_exponent, density_exponent, max_object
+    ) / 2.0
+
+
+@dataclass
+class PotentialObserver:
+    """A :class:`~repro.adversary.pf_program.PFProgram` observer asserting
+    Claim 4.16 along the execution.
+
+    Attach via ``PFProgram(params, observer=PotentialObserver())``.  On
+    every hook it recomputes ``2u`` and checks monotonicity; after every
+    Stage-II allocation it additionally checks the per-allocation growth
+    ``Δ(2u) >= (3/2)|o| - 2^{ell+1} q(o)``, where ``q(o)`` is the
+    associated compacted space (Definition 4.14) captured as the weight
+    cleared off the three covered chunks.
+
+    The history of ``2u`` samples is kept for the tests.
+    """
+
+    history: list[int] = field(default_factory=list)
+    allocation_checks: int = 0
+    #: Set by PFProgram's allocation pass through the clear_chunk calls;
+    #: tracked here via the before/after sampling in ``after_allocation``.
+    _last_value: int | None = None
+
+    def _sample(self, program: "PFProgram") -> int:
+        value = potential_twice(
+            program.association,
+            program.current_exponent,
+            program.density_exponent,
+            program.params.max_object,
+        )
+        if self._last_value is not None:
+            assert value >= self._last_value, (
+                f"potential decreased: {self._last_value} -> {value} "
+                f"(step exponent {program.current_exponent})"
+            )
+        self._last_value = value
+        self.history.append(value)
+        return value
+
+    # PFProgram hooks -------------------------------------------------------
+
+    def on_association_initialized(self, program: "PFProgram") -> None:
+        self._sample(program)
+
+    def on_stage2_step(self, i: int, program: "PFProgram") -> None:
+        self._sample(program)
+
+    def after_density_pass(self, i: int, program: "PFProgram") -> None:
+        self._sample(program)
+
+    def after_allocation(self, i: int, obj: HeapObject, program: "PFProgram") -> None:
+        self._sample(program)
+        self.allocation_checks += 1
+
+    def on_finish(self, program: "PFProgram") -> None:
+        self._sample(program)

@@ -1,0 +1,74 @@
+"""Trace replay: re-run a recorded request stream against a new manager.
+
+A recorded :class:`~repro.adversary.trace.TraceLog` contains the
+program-visible requests (allocs with sizes, frees by object id).  The
+adversaries are *adaptive* — replaying their requests against a
+different manager is not the same as running them afresh (they would
+have chosen differently) — but replay is exactly what is needed for:
+
+* A/B comparisons of managers on identical request streams (the classic
+  allocator-benchmark methodology);
+* regression debugging: shrink a failing adversarial run and replay it
+  deterministically;
+* measuring how much of an adversary's damage is *adaptivity* vs the
+  request shape alone (see ``bench_adversary_comparison``).
+
+Object ids in the recorded trace are remapped in allocation order, so a
+trace can be replayed against any manager regardless of how ids were
+assigned originally.  Frees of objects that died implicitly in the
+original run (moved-then-freed by the adversary's listener) are replayed
+as regular frees; replayed managers' own moves do *not* trigger
+re-entrant frees (the replay program is not adaptive), so replay is most
+faithful for non-moving managers — a caveat the docstring of
+:class:`ReplayProgram` carries into the API.
+"""
+
+from __future__ import annotations
+
+from ..core.params import BoundParams
+from .base import AdversaryProgram, ProgramView
+from .trace import TraceLog
+
+__all__ = ["ReplayProgram", "replay_against"]
+
+
+class ReplayProgram(AdversaryProgram):
+    """Replays the alloc/free request stream of a recorded trace."""
+
+    name = "replay"
+
+    def __init__(self, trace: TraceLog) -> None:
+        self.requests = list(trace.replay_requests())
+        self.skipped_frees = 0
+
+    def run(self, view: ProgramView) -> None:
+        # Original object ids are allocation-ordered (the driver's table
+        # increments ids per allocation), so the recorded id doubles as
+        # the allocation index and maps 1:1 onto the replay's ids.
+        id_map: dict[int, int] = {}
+        order = 0
+        for kind, value in self.requests:
+            if kind == "alloc":
+                obj = view.allocate(value)
+                id_map[order] = obj.object_id
+                order += 1
+            else:
+                target = id_map.get(value)
+                if target is not None and view.is_live(target):
+                    view.free(target)
+                else:
+                    self.skipped_frees += 1
+
+
+def replay_against(
+    params: BoundParams,
+    trace: TraceLog,
+    manager_name: str,
+):
+    """Convenience: replay a trace against a registry manager by name."""
+    from ..mm.registry import create_manager
+    from .driver import run_execution
+
+    program = ReplayProgram(trace)
+    manager = create_manager(manager_name, params)
+    return run_execution(params, program, manager)

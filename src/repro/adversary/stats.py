@@ -1,0 +1,167 @@
+"""The lemma ledger: the proof's quantities, measured on executions.
+
+The proof of Theorem 1 is an accounting argument over six quantities:
+
+* ``u(t_first)`` / ``u(t_finish)`` — the potential at the stage boundary
+  and at the end (Definitions 4.3/4.4);
+* ``s1`` / ``s2`` — words allocated in Stage I / Stage II;
+* ``q1`` / ``q2`` — words compacted in Stage I / Stage II.
+
+:class:`LemmaLedger` is a :class:`~repro.adversary.pf_program.PFProgram`
+observer that captures all six from a live execution, together with the
+three inequalities they must satisfy:
+
+* Lemma 4.5:  ``u_first >= M (ell+2)/2 - 2^ell q1 - n/4``
+* Claim 4.11: ``s1 <= M (ell + 1 - S(ell)/2)``
+* Lemma 4.6:  ``u_finish - u_first >= (3/4) s2 - 2^ell q2``
+
+and the budget identity ``q1 + q2 <= (s1 + s2)/c``.  The integration
+tests assert them on real runs — the closest a reproduction can get to
+"running the proof".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.series import stage1_series_float
+from .potential import potential_twice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pf_program import PFProgram
+
+__all__ = ["LemmaReport", "LemmaLedger"]
+
+
+@dataclass(frozen=True)
+class LemmaReport:
+    """The six quantities plus derived checks."""
+
+    live_bound: int
+    max_object: int
+    divisor: float
+    density_exponent: int
+    u_first: float
+    u_finish: float
+    s1: int
+    s2: int
+    q1: int
+    q2: int
+
+    # Inequality slacks (>= 0 when the statement holds) -------------------
+
+    @property
+    def lemma_45_floor(self) -> float:
+        """Lemma 4.5's right-hand side."""
+        return (
+            self.live_bound * (self.density_exponent + 2) / 2.0
+            - 2.0**self.density_exponent * self.q1
+            - self.max_object / 4.0
+        )
+
+    @property
+    def lemma_45_slack(self) -> float:
+        """``u_first`` minus its floor."""
+        return self.u_first - self.lemma_45_floor
+
+    @property
+    def claim_411_ceiling(self) -> float:
+        """Claim 4.11's allocation cap for Stage I."""
+        ell = self.density_exponent
+        return self.live_bound * (ell + 1 - stage1_series_float(ell) / 2.0)
+
+    @property
+    def claim_411_slack(self) -> float:
+        """Cap minus actual ``s1``."""
+        return self.claim_411_ceiling - self.s1
+
+    @property
+    def lemma_46_floor(self) -> float:
+        """Lemma 4.6's growth floor."""
+        return 0.75 * self.s2 - 2.0**self.density_exponent * self.q2
+
+    @property
+    def lemma_46_slack(self) -> float:
+        """Actual growth minus the floor."""
+        return (self.u_finish - self.u_first) - self.lemma_46_floor
+
+    @property
+    def budget_slack(self) -> float:
+        """``(s1+s2)/c - (q1+q2)`` — must be non-negative by enforcement."""
+        return (self.s1 + self.s2) / self.divisor - (self.q1 + self.q2)
+
+    def all_hold(self, tolerance: float = 1e-9) -> bool:
+        """Whether every inequality holds (the executable proof check)."""
+        return (
+            self.lemma_45_slack >= -tolerance
+            and self.claim_411_slack >= -tolerance
+            and self.lemma_46_slack >= -tolerance
+            and self.budget_slack >= -tolerance
+        )
+
+    def describe(self) -> str:
+        """A multi-line ledger rendering."""
+        lines = [
+            f"ell={self.density_exponent}  M={self.live_bound}  "
+            f"n={self.max_object}  c={self.divisor:g}",
+            f"u_first  = {self.u_first:10.1f}  (floor {self.lemma_45_floor:10.1f},"
+            f" slack {self.lemma_45_slack:+.1f})",
+            f"s1       = {self.s1:10d}  (cap   {self.claim_411_ceiling:10.1f},"
+            f" slack {self.claim_411_slack:+.1f})",
+            f"u growth = {self.u_finish - self.u_first:10.1f}  "
+            f"(floor {self.lemma_46_floor:10.1f}, slack {self.lemma_46_slack:+.1f})",
+            f"q1+q2    = {self.q1 + self.q2:10d}  "
+            f"(budget {(self.s1 + self.s2) / self.divisor:10.1f},"
+            f" slack {self.budget_slack:+.1f})",
+        ]
+        return "\n".join(lines)
+
+
+class LemmaLedger:
+    """PFProgram observer capturing the proof quantities.
+
+    Attach with ``PFProgram(params, observer=LemmaLedger(driver))`` — it
+    needs the driver to read cumulative allocation/move counters at the
+    stage boundary.
+    """
+
+    def __init__(self, driver) -> None:  # noqa: ANN001 - ExecutionDriver
+        self.driver = driver
+        self._stage_boundary: dict[str, float] = {}
+        self._final: dict[str, float] = {}
+        self.report: LemmaReport | None = None
+
+    def _u(self, program: "PFProgram") -> float:
+        return potential_twice(
+            program.association,
+            program.current_exponent,
+            program.density_exponent,
+            program.params.max_object,
+        ) / 2.0
+
+    def on_association_initialized(self, program: "PFProgram") -> None:
+        heap = self.driver.heap
+        self._stage_boundary = {
+            "u": self._u(program),
+            "allocated": heap.total_allocated,
+            "moved": heap.total_moved,
+        }
+
+    def on_finish(self, program: "PFProgram") -> None:
+        heap = self.driver.heap
+        boundary = self._stage_boundary
+        divisor = program.params.compaction_divisor
+        assert divisor is not None
+        self.report = LemmaReport(
+            live_bound=program.params.live_space,
+            max_object=program.params.max_object,
+            divisor=divisor,
+            density_exponent=program.density_exponent,
+            u_first=boundary["u"],
+            u_finish=self._u(program),
+            s1=int(boundary["allocated"]),
+            s2=int(heap.total_allocated - boundary["allocated"]),
+            q1=int(boundary["moved"]),
+            q2=int(heap.total_moved - boundary["moved"]),
+        )

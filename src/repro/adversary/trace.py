@@ -1,0 +1,98 @@
+"""Execution traces: a flat record of everything that happened.
+
+Traces serve three purposes: debugging adversary logic, replaying an
+interaction against a different manager implementation, and letting the
+test suite assert temporal properties (budget monotonicity, potential
+growth) without instrumenting the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interaction event.
+
+    ``kind`` is one of ``"alloc"``, ``"free"``, ``"move"`` or ``"mark"``
+    (marks are program-inserted annotations such as step boundaries).
+    """
+
+    seq: int
+    kind: str
+    object_id: int | None = None
+    size: int | None = None
+    address: int | None = None
+    old_address: int | None = None
+    label: str | None = None
+
+    def describe(self) -> str:
+        """A compact single-line rendering."""
+        if self.kind == "alloc":
+            return f"#{self.seq} alloc obj={self.object_id} size={self.size} @{self.address}"
+        if self.kind == "free":
+            return f"#{self.seq} free  obj={self.object_id} size={self.size} @{self.address}"
+        if self.kind == "move":
+            return (
+                f"#{self.seq} move  obj={self.object_id} size={self.size} "
+                f"@{self.old_address} -> @{self.address}"
+            )
+        return f"#{self.seq} mark  {self.label}"
+
+
+class TraceLog:
+    """An append-only event log with typed record helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    def record_alloc(self, seq: int, object_id: int, size: int, address: int) -> None:
+        """Log an allocation."""
+        self._events.append(TraceEvent(seq, "alloc", object_id, size, address))
+
+    def record_free(self, seq: int, object_id: int, size: int, address: int) -> None:
+        """Log a de-allocation."""
+        self._events.append(TraceEvent(seq, "free", object_id, size, address))
+
+    def record_move(
+        self, seq: int, object_id: int, size: int,
+        old_address: int, new_address: int,
+    ) -> None:
+        """Log a compaction move."""
+        self._events.append(
+            TraceEvent(seq, "move", object_id, size, new_address, old_address)
+        )
+
+    def record_mark(self, seq: int, label: str) -> None:
+        """Log a program annotation (e.g. ``"stage2 step=5"``)."""
+        self._events.append(TraceEvent(seq, "mark", label=label))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """Every event of one kind, in order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def replay_requests(self) -> Iterator[tuple[str, int]]:
+        """The program-visible request stream: ``("alloc", size)`` and
+        ``("free", object_id)`` pairs, for replaying against another
+        manager.  Moves are omitted — they are the manager's actions.
+        """
+        for event in self._events:
+            if event.kind == "alloc":
+                assert event.size is not None
+                yield ("alloc", event.size)
+            elif event.kind == "free":
+                assert event.object_id is not None
+                yield ("free", event.object_id)

@@ -1,0 +1,286 @@
+"""Benign (non-adversarial) workloads.
+
+The upper-bound constructions promise a heap bound against *every*
+program, so the experiment suite also drives managers with ordinary
+allocation patterns: random churn, a sawtooth ramp, and a size-phase
+workload modelled on the paper's motivating scenario (long-lived small
+objects interleaved with short-lived large ones).  All randomness is
+seeded, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.params import BoundParams
+from .base import AdversaryProgram, ProgramView
+
+__all__ = [
+    "RandomChurnWorkload",
+    "SawtoothWorkload",
+    "PhasedWorkload",
+    "ExponentialChurnWorkload",
+    "BurstyWorkload",
+]
+
+
+class RandomChurnWorkload(AdversaryProgram):
+    """Steady-state churn: random allocs and frees around a target load.
+
+    Parameters
+    ----------
+    params:
+        The ``(M, n, c)`` contract the workload honours.
+    operations:
+        Total number of requests to issue.
+    target_load:
+        Fraction of ``M`` the workload tries to keep live.
+    powers_of_two:
+        Restrict sizes to powers of two (the ``P2`` family) when True.
+    seed:
+        RNG seed.
+    """
+
+    name = "random-churn"
+
+    def __init__(
+        self,
+        params: BoundParams,
+        *,
+        operations: int = 2000,
+        target_load: float = 0.8,
+        powers_of_two: bool = False,
+        seed: int = 0x5EED,
+    ) -> None:
+        if not 0.0 < target_load <= 1.0:
+            raise ValueError("target_load must be in (0, 1]")
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        self.params = params
+        self.operations = operations
+        self.target_load = target_load
+        self.powers_of_two = powers_of_two
+        self.seed = seed
+
+    def _random_size(self, rng: random.Random) -> int:
+        raw = rng.randint(1, self.params.max_object)
+        if self.powers_of_two:
+            # Round *down* so the size never exceeds n.
+            return 1 << (raw.bit_length() - 1)
+        return raw
+
+    def run(self, view: ProgramView) -> None:
+        rng = random.Random(self.seed)
+        live: list[int] = []
+        target = int(self.target_load * view.live_space_bound)
+        for _ in range(self.operations):
+            size = self._random_size(rng)
+            fits = view.live_words + size <= view.live_space_bound
+            if (view.live_words < target or not live) and fits:
+                obj = view.allocate(size)
+                if view.is_live(obj.object_id):
+                    live.append(obj.object_id)
+            elif live:
+                index = rng.randrange(len(live))
+                live[index], live[-1] = live[-1], live[index]
+                victim = live.pop()
+                if view.is_live(victim):
+                    view.free(victim)
+
+
+class SawtoothWorkload(AdversaryProgram):
+    """Repeated fill-to-M / free-most cycles (GC-pressure sawtooth)."""
+
+    name = "sawtooth"
+
+    def __init__(
+        self,
+        params: BoundParams,
+        *,
+        cycles: int = 8,
+        survivor_fraction: float = 0.2,
+        object_size: int | None = None,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 <= survivor_fraction < 1.0:
+            raise ValueError("survivor_fraction must be in [0, 1)")
+        self.params = params
+        self.cycles = cycles
+        self.survivor_fraction = survivor_fraction
+        self.object_size = object_size or max(1, params.max_object // 16)
+        if self.object_size > params.max_object:
+            raise ValueError("object_size exceeds the n contract")
+        self.seed = seed
+
+    def run(self, view: ProgramView) -> None:
+        rng = random.Random(self.seed)
+        live: list[int] = []
+        for _ in range(self.cycles):
+            while view.live_words + self.object_size <= view.live_space_bound:
+                obj = view.allocate(self.object_size)
+                if view.is_live(obj.object_id):
+                    live.append(obj.object_id)
+            rng.shuffle(live)
+            keep = int(len(live) * self.survivor_fraction)
+            doomed, live = live[keep:], live[:keep]
+            for object_id in doomed:
+                if view.is_live(object_id):
+                    view.free(object_id)
+
+
+class PhasedWorkload(AdversaryProgram):
+    """Long-lived small objects pinned under short-lived large phases.
+
+    Phase A allocates small long-lived objects across the heap; phase B
+    repeatedly allocates and frees large objects, which must thread
+    around the survivors — the textbook fragmentation scenario the
+    paper's introduction motivates partial compaction with.
+    """
+
+    name = "phased"
+
+    def __init__(
+        self,
+        params: BoundParams,
+        *,
+        pinned_fraction: float = 0.25,
+        phases: int = 6,
+        seed: int = 23,
+    ) -> None:
+        if not 0.0 < pinned_fraction < 1.0:
+            raise ValueError("pinned_fraction must be in (0, 1)")
+        self.params = params
+        self.pinned_fraction = pinned_fraction
+        self.phases = phases
+        self.seed = seed
+
+    def run(self, view: ProgramView) -> None:
+        rng = random.Random(self.seed)
+        small = max(1, self.params.max_object // 64)
+        large = self.params.max_object
+        spacer = max(small, large // 2)
+        # Phase A: lay down alternating pin/spacer pairs while *keeping
+        # the spacers live* (so later pairs cannot slide into earlier
+        # holes), then free every spacer at once.  The surviving pins
+        # shatter the low heap into half-object holes phase B cannot use.
+        fill_budget = int(self.pinned_fraction * view.live_space_bound)
+        batch: list[int] = []
+        spacers: list[int] = []
+        while view.live_words + small + spacer <= fill_budget:
+            pin = view.allocate(small)
+            pad = view.allocate(spacer)
+            if view.is_live(pin.object_id):
+                batch.append(pin.object_id)
+            if view.is_live(pad.object_id):
+                spacers.append(pad.object_id)
+        for object_id in spacers:
+            if view.is_live(object_id):
+                view.free(object_id)
+        # Phase B: churn large objects in the remaining budget.
+        for _ in range(self.phases):
+            transient: list[int] = []
+            while view.live_words + large <= view.live_space_bound:
+                obj = view.allocate(large)
+                if view.is_live(obj.object_id):
+                    transient.append(obj.object_id)
+            rng.shuffle(transient)
+            for object_id in transient:
+                if view.is_live(object_id):
+                    view.free(object_id)
+
+
+class ExponentialChurnWorkload(AdversaryProgram):
+    """Churn with an exponential size distribution.
+
+    Real allocation traces are dominated by small objects with a long
+    tail; sampling sizes as ``min(n, 1 + round(Exp(scale)))`` gives the
+    classic shape.  Lifetimes are size-correlated (big objects die
+    young), stressing policies differently from uniform churn.
+    """
+
+    name = "exponential-churn"
+
+    def __init__(
+        self,
+        params: BoundParams,
+        *,
+        operations: int = 2000,
+        mean_size: float = 8.0,
+        seed: int = 0xE49,
+    ) -> None:
+        if mean_size <= 0:
+            raise ValueError("mean_size must be positive")
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        self.params = params
+        self.operations = operations
+        self.mean_size = mean_size
+        self.seed = seed
+
+    def run(self, view: ProgramView) -> None:
+        rng = random.Random(self.seed)
+        live: list[tuple[int, int]] = []  # (object id, size)
+        for _ in range(self.operations):
+            size = min(
+                self.params.max_object,
+                1 + int(rng.expovariate(1.0 / self.mean_size)),
+            )
+            if view.live_words + size <= view.live_space_bound and (
+                not live or rng.random() < 0.6
+            ):
+                obj = view.allocate(size)
+                if view.is_live(obj.object_id):
+                    live.append((obj.object_id, size))
+            elif live:
+                # Prefer freeing larger objects (they die young).
+                live.sort(key=lambda pair: -pair[1])
+                cut = max(1, len(live) // 4)
+                index = rng.randrange(cut)
+                object_id, _ = live.pop(index)
+                if view.is_live(object_id):
+                    view.free(object_id)
+
+
+class BurstyWorkload(AdversaryProgram):
+    """Arena-style bursts: allocate a batch, free it all, repeat.
+
+    Each burst picks one size and fills a fraction of the live budget
+    with it, then releases the whole burst — the pattern of
+    request-scoped arenas.  Between bursts a small survivor set persists
+    (the session state), which is what keeps the heap from resetting.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        params: BoundParams,
+        *,
+        bursts: int = 12,
+        survivor_every: int = 16,
+        seed: int = 0xB0B,
+    ) -> None:
+        if bursts < 0:
+            raise ValueError("bursts must be non-negative")
+        if survivor_every < 1:
+            raise ValueError("survivor_every must be at least 1")
+        self.params = params
+        self.bursts = bursts
+        self.survivor_every = survivor_every
+        self.seed = seed
+
+    def run(self, view: ProgramView) -> None:
+        rng = random.Random(self.seed)
+        log_n = self.params.max_object.bit_length() - 1
+        for burst_index in range(self.bursts):
+            size = 1 << rng.randint(0, log_n)
+            batch: list[int] = []
+            budget = int(view.live_space_bound * 0.7)
+            while view.live_words + size <= budget:
+                obj = view.allocate(size)
+                if view.is_live(obj.object_id):
+                    batch.append(obj.object_id)
+            for index, object_id in enumerate(batch):
+                keep = index % self.survivor_every == burst_index % self.survivor_every
+                if not keep and view.is_live(object_id):
+                    view.free(object_id)

@@ -1,0 +1,95 @@
+"""Terminal line plots for figure data (no plotting dependencies).
+
+The benchmarks run in a console, so the figures are rendered as ASCII:
+a character grid with one glyph per series, a y-axis of rounded ticks
+and an x-axis legend.  Good enough to eyeball the curve shapes against
+the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .figures import FigureData
+
+__all__ = ["render_series", "render_figure"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def render_series(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named series over a shared x-axis as an ASCII grid."""
+    if not x_values:
+        return "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    xs = list(x_values)
+    all_ys = [y for ys in series.values() for y in ys if math.isfinite(y)]
+    if not all_ys:
+        return "(no finite data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(y: float) -> int:
+        fraction = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, int((1.0 - fraction) * (height - 1)))
+
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            if math.isfinite(y):
+                grid[row(y)][col(x)] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            tick = f"{y_hi:8.3f} |"
+        elif r == height - 1:
+            tick = f"{y_lo:8.3f} |"
+        else:
+            tick = " " * 9 + "|"
+        lines.append(tick + "".join(cells))
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    padding = max(1, width - len(left) - len(right))
+    lines.append(" " * 10 + left + " " * padding + right)
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData, *, width: int = 72, height: int = 18) -> str:
+    """Render a :class:`~repro.analysis.figures.FigureData`."""
+    return render_series(
+        figure.x_values,
+        {name: list(values) for name, values in figure.series.items()},
+        width=width,
+        height=height,
+        y_label=f"{figure.name}: {figure.y_label}",
+        x_label=figure.x_label,
+    )

@@ -1,0 +1,133 @@
+"""Data series for every figure in the paper's evaluation.
+
+Each ``figureN_series`` function returns a :class:`FigureData` holding
+the x-axis and one or more named y-series, computed from the closed-form
+bounds at the paper's exact parameter presets.  The benchmarks print
+these as tables; :mod:`repro.analysis.ascii_plot` renders them as
+terminal plots.
+
+* **Figure 1** — Theorem-1 lower bound ``h`` vs ``c`` (10..100) at
+  ``M = 256MB, n = 1MB``, against the Bendersky–Petrank '11 lower bound
+  (which stays pinned at the trivial factor 1 across the whole range —
+  the paper's headline comparison).
+* **Figure 2** — ``h`` vs ``n`` (1KB..1GB) at ``c = 100, M = 256 n``.
+* **Figure 3** — upper bounds vs ``c``: Theorem 2 against the prior
+  best ``min(Robson-doubled, (c+1) M)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import bendersky_petrank, robson, tables, theorem1, theorem2
+from ..core.params import BoundParams
+
+__all__ = ["FigureData", "figure1_series", "figure2_series", "figure3_series"]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One figure's data: shared x-axis plus named y-series."""
+
+    name: str
+    x_label: str
+    y_label: str
+    x_values: tuple[float, ...]
+    series: dict[str, tuple[float, ...]]
+
+    def rows(self) -> list[tuple[float, ...]]:
+        """Tabular view: one row per x with every series value."""
+        columns = list(self.series.values())
+        return [
+            (x, *(column[index] for column in columns))
+            for index, x in enumerate(self.x_values)
+        ]
+
+    def header(self) -> tuple[str, ...]:
+        """Column names matching :meth:`rows`."""
+        return (self.x_label, *self.series.keys())
+
+
+def figure1_series(
+    params: BoundParams | None = None,
+    c_values: tuple[int, ...] | None = None,
+) -> FigureData:
+    """Lower bound ``h`` vs compaction divisor ``c`` (paper Figure 1)."""
+    base = params or tables.FIGURE1_PARAMS
+    cs = c_values or tables.FIGURE1_C_RANGE
+    ours = []
+    prior = []
+    for c in cs:
+        point = base.with_compaction(float(c))
+        ours.append(theorem1.lower_bound(point).waste_factor)
+        prior.append(bendersky_petrank.lower_bound_factor(point))
+    return FigureData(
+        name="figure1",
+        x_label="c",
+        y_label="lower bound on waste factor h",
+        x_values=tuple(float(c) for c in cs),
+        series={
+            "cohen-petrank (Thm 1)": tuple(ours),
+            "bendersky-petrank 2011": tuple(prior),
+        },
+    )
+
+
+def figure2_series(
+    n_values: tuple[int, ...] | None = None, c: float = tables.FIGURE2_C
+) -> FigureData:
+    """Lower bound ``h`` vs largest object ``n`` (paper Figure 2)."""
+    ns = n_values or tables.FIGURE2_N_VALUES
+    factors = []
+    for n in ns:
+        point = tables.figure2_params(n, c)
+        factors.append(theorem1.lower_bound(point).waste_factor)
+    return FigureData(
+        name="figure2",
+        x_label="n (words)",
+        y_label="lower bound on waste factor h",
+        x_values=tuple(float(n) for n in ns),
+        series={"cohen-petrank (Thm 1)": tuple(factors)},
+    )
+
+
+def figure3_series(
+    params: BoundParams | None = None,
+    c_values: tuple[int, ...] | None = None,
+) -> FigureData:
+    """Upper bounds vs ``c`` (paper Figure 3).
+
+    Points where Theorem 2's precondition ``c > log2(n)/2`` fails carry
+    the prior-best value for the Theorem-2 series (the theorem is simply
+    inapplicable there, as in the paper's plot).
+    """
+    base = params or tables.FIGURE3_PARAMS
+    cs = c_values or tables.FIGURE3_C_RANGE
+    new_bound = []
+    prior_best = []
+    robson_line = []
+    bp_line = []
+    for c in cs:
+        point = base.with_compaction(float(c))
+        rb = robson.general_upper_bound_factor(point)
+        bp = bendersky_petrank.upper_bound_factor(point)
+        prior = min(rb, bp)
+        robson_line.append(rb)
+        bp_line.append(bp)
+        prior_best.append(prior)
+        if c > theorem2.minimum_compaction_divisor(point):
+            new_bound.append(min(prior, theorem2.upper_bound(point).waste_factor))
+        else:
+            new_bound.append(prior)
+    return FigureData(
+        name="figure3",
+        x_label="c",
+        y_label="upper bound on waste factor",
+        x_values=tuple(float(c) for c in cs),
+        series={
+            "cohen-petrank (Thm 2)": tuple(new_bound),
+            "prior best min(Robson, (c+1)M)": tuple(prior_best),
+            "robson doubled": tuple(robson_line),
+            "bp (c+1)M": tuple(bp_line),
+        },
+    )

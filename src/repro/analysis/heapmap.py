@@ -1,0 +1,68 @@
+"""ASCII heap maps: render a heap snapshot as a block diagram.
+
+One glyph per bucket of words: ``#`` fully live, ``+``/``-`` partially
+live, ``.`` free, past the high-water mark is simply not drawn.  Useful
+in examples and debugging sessions — watching :math:`P_F` shatter a
+first-fit heap is worth a thousand waste factors.
+"""
+
+from __future__ import annotations
+
+from ..heap.heap import SimHeap
+
+__all__ = ["render_heap", "density_bar"]
+
+_GLYPHS = " .-+#"  # by live fraction of the bucket
+
+
+def render_heap(
+    heap: SimHeap, *, width: int = 64, rows: int | None = None
+) -> str:
+    """Render occupancy of ``[0, high_water)`` as glyph rows.
+
+    Each glyph covers ``ceil(high_water / (width * rows))`` words and is
+    shaded by the live fraction of its bucket.  Address labels on the
+    left edge keep the map navigable.
+    """
+    total = heap.high_water
+    if total == 0:
+        return "(empty heap)"
+    if rows is None:
+        rows = max(1, min(16, (total + width * 8 - 1) // (width * 8)))
+    buckets = width * rows
+    per_bucket = -(-total // buckets)  # ceil
+    lines = []
+    for row in range(rows):
+        row_start = row * width * per_bucket
+        if row_start >= total:
+            break
+        glyphs = []
+        for column in range(width):
+            start = row_start + column * per_bucket
+            if start >= total:
+                break
+            end = min(start + per_bucket, total)
+            live = heap.occupied.overlap_words(start, end)
+            fraction = live / (end - start)
+            index = min(len(_GLYPHS) - 1, int(fraction * (len(_GLYPHS) - 1) + 0.999))
+            if fraction == 0.0:
+                index = 1  # '.' for free-but-below-high-water
+            glyphs.append(_GLYPHS[index])
+        lines.append(f"{row_start:>8} |{''.join(glyphs)}|")
+    legend = (
+        f"1 char = {per_bucket} word(s); '#' live, '.' free, "
+        f"high water = {total}"
+    )
+    return "\n".join(lines + [legend])
+
+
+def density_bar(values: list[float], *, width: int = 40) -> str:
+    """A one-line bar chart for small positive series (histograms)."""
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    return "".join(
+        blocks[min(len(blocks) - 1, int(value / peak * (len(blocks) - 1)))]
+        for value in values
+    )[:width]

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benches promise "the same rows the paper reports"; these helpers
+format figure data and experiment grids as aligned monospace tables (and
+CSV when a file is wanted).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .experiments import ExperimentRow
+from .figures import FigureData
+
+__all__ = ["format_table", "figure_table", "experiment_table", "to_csv"]
+
+
+def format_table(
+    header: Sequence[str], rows: Iterable[Sequence[object]], *, precision: int = 4
+) -> str:
+    """Align a header + rows grid into a monospace table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def figure_table(figure: FigureData, *, precision: int = 4) -> str:
+    """Tabulate a figure's series."""
+    return format_table(figure.header(), figure.rows(), precision=precision)
+
+
+def experiment_table(rows: Iterable[ExperimentRow], *, precision: int = 4) -> str:
+    """Tabulate experiment rows: manager, measured vs bound, budget use."""
+    header = (
+        "program", "manager", "HS (words)", "HS/M", "bound", "bound name",
+        "moved", "allocated",
+    )
+    body = [
+        (
+            row.result.program_name,
+            row.result.manager_name,
+            row.result.heap_size,
+            row.measured_factor,
+            row.bound_factor,
+            row.bound_name,
+            row.result.total_moved,
+            row.result.total_allocated,
+        )
+        for row in rows
+    ]
+    return format_table(header, body, precision=precision)
+
+
+def to_csv(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (no quoting needs arise in our data)."""
+    lines = [",".join(str(cell) for cell in header)]
+    for row in rows:
+        lines.append(",".join(str(cell) for cell in row))
+    return "\n".join(lines)

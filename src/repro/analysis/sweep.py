@@ -1,0 +1,115 @@
+"""Parameter sweeps with CSV export.
+
+The figure generators cover the paper's exact plots; this module is the
+general tool: sweep waste factors (theory and/or simulation) over a
+``c`` grid or a manager family and emit rows ready for any plotting
+stack.  Used by ``examples/export_figures.py`` and handy for downstream
+users exploring their own parameter corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..adversary.driver import run_execution
+from ..adversary.pf_program import PFProgram
+from ..core import bendersky_petrank, robson, theorem1, theorem2
+from ..core.params import BoundParams
+from ..mm.registry import create_manager
+from .report import to_csv
+
+__all__ = ["SweepRow", "theory_sweep", "simulation_sweep", "sweep_to_csv"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One sweep point: every bound (and optional measurement) at one c."""
+
+    c: float
+    theorem1_lower: float
+    bp_lower: float
+    theorem2_upper: float | None
+    bp_upper: float
+    robson_upper: float
+    measured: dict[str, float]
+
+    def as_flat(self, manager_order: Sequence[str]) -> tuple:
+        """A CSV-ready tuple (managers in the given order)."""
+        return (
+            self.c,
+            self.theorem1_lower,
+            self.bp_lower,
+            "" if self.theorem2_upper is None else self.theorem2_upper,
+            self.bp_upper,
+            self.robson_upper,
+            *(self.measured.get(name, "") for name in manager_order),
+        )
+
+
+def theory_sweep(
+    base: BoundParams, c_values: Sequence[float]
+) -> list[SweepRow]:
+    """Every closed-form bound across a ``c`` grid (no simulation)."""
+    rows = []
+    for c in c_values:
+        params = base.with_compaction(float(c))
+        t2: float | None
+        if c > theorem2.minimum_compaction_divisor(params):
+            t2 = theorem2.upper_bound(params).waste_factor
+        else:
+            t2 = None
+        rows.append(
+            SweepRow(
+                c=float(c),
+                theorem1_lower=theorem1.lower_bound(params).waste_factor,
+                bp_lower=bendersky_petrank.lower_bound_factor(params),
+                theorem2_upper=t2,
+                bp_upper=bendersky_petrank.upper_bound_factor(params),
+                robson_upper=robson.general_upper_bound_factor(params),
+                measured={},
+            )
+        )
+    return rows
+
+
+def simulation_sweep(
+    base: BoundParams,
+    c_values: Sequence[float],
+    manager_names: Sequence[str],
+) -> list[SweepRow]:
+    """Theory plus measured P_F waste per manager at each ``c``."""
+    rows = []
+    for row in theory_sweep(base, c_values):
+        params = base.with_compaction(row.c)
+        measured = {}
+        for name in manager_names:
+            program = PFProgram(params)
+            result = run_execution(
+                params, program, create_manager(name, params)
+            )
+            measured[name] = result.waste_factor
+        rows.append(
+            SweepRow(
+                c=row.c,
+                theorem1_lower=row.theorem1_lower,
+                bp_lower=row.bp_lower,
+                theorem2_upper=row.theorem2_upper,
+                bp_upper=row.bp_upper,
+                robson_upper=row.robson_upper,
+                measured=measured,
+            )
+        )
+    return rows
+
+
+def sweep_to_csv(
+    rows: Sequence[SweepRow], manager_names: Sequence[str] = ()
+) -> str:
+    """Render sweep rows as CSV text."""
+    header = (
+        "c", "theorem1_lower", "bp2011_lower", "theorem2_upper",
+        "bp2011_upper", "robson_doubled_upper",
+        *(f"measured_{name}" for name in manager_names),
+    )
+    return to_csv(header, [row.as_flat(manager_names) for row in rows])

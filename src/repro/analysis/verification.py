@@ -1,0 +1,148 @@
+"""One-call verification: re-check every reproduction claim.
+
+``python -m repro verify`` (or :func:`verify_reproduction`) runs the
+whole chain of evidence in one pass and reports PASS/FAIL per check:
+
+1. prose anchors — the formulas reproduce the numbers the paper states;
+2. envelope consistency — no lower bound crosses an upper bound on a
+   parameter sample;
+3. Robson witnessed — P_R forces every non-moving manager to the bound;
+4. Theorem 1 witnessed — P_F forces the whole manager family to the
+   (allowance-adjusted) floor;
+5. upper bounds survive — the BP collector holds (c+1)M under attack;
+6. lemma ledger — Lemmas 4.5/4.6 + Claim 4.11 + the budget identity
+   hold on live executions;
+7. exact anchor — the game solver equals Robson's formula at a micro
+   point.
+
+``fast=True`` shrinks the simulation scale so the sweep finishes in a
+few seconds; the default uses the standard simulation parameters.
+This is the command to run after touching *anything*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..adversary.driver import ExecutionDriver
+from ..adversary.pf_program import PFProgram
+from ..adversary.stats import LemmaLedger
+from ..core import robson
+from ..core.envelope import envelope
+from ..core.params import MB, BoundParams
+from ..core.theorem1 import lower_bound
+from ..mm.registry import create_manager
+from .experiments import (
+    DEFAULT_PF_MANAGERS,
+    DEFAULT_ROBSON_MANAGERS,
+    pf_experiment,
+    robson_experiment,
+    upper_bound_experiment,
+)
+
+__all__ = ["CheckResult", "verify_reproduction"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One verification check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check(name: str, fn: Callable[[], str]) -> CheckResult:
+    try:
+        return CheckResult(name, True, fn())
+    except AssertionError as failure:
+        return CheckResult(name, False, str(failure))
+
+
+def verify_reproduction(*, fast: bool = False) -> list[CheckResult]:
+    """Run every check; returns one result per check (never raises)."""
+    sim = BoundParams(2048 if fast else 8192, 64 if fast else 128, 50.0)
+    sim_no_c = BoundParams(1024 if fast else 4096, 32 if fast else 64)
+    results = []
+
+    def prose_anchors() -> str:
+        for c, expected in ((10, 2.0), (50, 3.15), (100, 3.5)):
+            got = lower_bound(BoundParams(256 * MB, 1 * MB, c)).waste_factor
+            assert abs(got - expected) < 0.1, f"h(c={c}) = {got}"
+        return "h(10/50/100) = 2.0 / 3.15 / 3.5 reproduced"
+
+    results.append(_check("prose anchors", prose_anchors))
+
+    def envelopes() -> str:
+        points = 0
+        for m_exp in (16, 22, 28):
+            for n_exp in (8, 14, 20):
+                for c in (None, 5.0, 50.0, 500.0):
+                    if n_exp >= m_exp:
+                        continue
+                    envelope(BoundParams(1 << m_exp, 1 << n_exp, c))
+                    points += 1
+        return f"no bound inversion across {points} parameter points"
+
+    results.append(_check("envelope consistency", envelopes))
+
+    def robson_witnessed() -> str:
+        rows = robson_experiment(sim_no_c, DEFAULT_ROBSON_MANAGERS)
+        for row in rows:
+            assert row.respects_lower_bound, row.result.summary()
+        bound = robson.lower_bound_factor(sim_no_c)
+        best = min(row.measured_factor for row in rows)
+        return (f"{len(rows)} managers >= {bound:.3f}; "
+                f"tightest at {best:.3f}")
+
+    results.append(_check("Robson bound witnessed", robson_witnessed))
+
+    def theorem1_witnessed() -> str:
+        rows = pf_experiment(sim, DEFAULT_PF_MANAGERS)
+        for row in rows:
+            assert row.respects_lower_bound, row.result.summary()
+        floor = rows[0].effective_floor
+        best = min(row.measured_factor for row in rows)
+        return f"{len(rows)} managers >= floor {floor:.3f}; best {best:.3f}"
+
+    results.append(_check("Theorem 1 witnessed", theorem1_witnessed))
+
+    def upper_bounds_survive() -> str:
+        rows = upper_bound_experiment(sim)
+        for row in rows:
+            assert row.respects_upper_bound, row.result.summary()
+        worst = max(row.measured_factor for row in rows)
+        return (f"{len(rows)} programs <= (c+1) = "
+                f"{sim.compaction_divisor + 1:.0f}; worst {worst:.2f}")
+
+    results.append(_check("upper bounds survive attack", upper_bounds_survive))
+
+    def lemma_ledger() -> str:
+        checked = []
+        for name in ("first-fit", "sliding-compactor", "theorem2"):
+            driver = ExecutionDriver(sim, create_manager(name, sim))
+            program = PFProgram(sim)
+            program.observer = LemmaLedger(driver)
+            driver.run(program)
+            report = program.observer.report
+            assert report is not None and report.all_hold(), (
+                f"{name}:\n{report.describe() if report else 'no report'}"
+            )
+            checked.append(name)
+        return f"Lemmas 4.5/4.6 + Claim 4.11 hold vs {', '.join(checked)}"
+
+    results.append(_check("lemma ledger", lemma_ledger))
+
+    def exact_anchor() -> str:
+        from ..exact import minimum_heap_words
+
+        point = (4, 2) if fast else (6, 2)
+        exact = minimum_heap_words(*point)
+        formula = robson.lower_bound_words(BoundParams(*point))
+        assert exact == int(formula), f"game {exact} != formula {formula}"
+        return f"game value at M={point[0]}, n={point[1]} equals Robson: {exact}"
+
+    results.append(_check("exact game anchor", exact_anchor))
+
+    return results

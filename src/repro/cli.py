@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bounds`` — best-known lower/upper bounds at a parameter point;
+* ``figure`` — regenerate a paper figure as an ASCII plot and table;
+* ``simulate`` — run one adversary/workload against one manager;
+* ``experiment`` — run a (program × manager) grid against the bounds;
+* ``exact`` — solve the micro-heap game exactly (optionally budgeted);
+* ``absolute`` — the Theorem-1 corollary for B-bounded managers;
+* ``verify`` — re-run every reproduction check in one pass;
+* ``managers`` / ``programs`` — list what is available.
+
+Everything prints to stdout; exit code 0 unless inputs are invalid or a
+bound is violated (a reproduction failure is an error by design).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .adversary import (
+    CheckerboardProgram,
+    PFProgram,
+    PhasedWorkload,
+    RandomChurnWorkload,
+    RobsonProgram,
+    SawtoothWorkload,
+)
+from .analysis import (
+    experiment_table,
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    figure_table,
+    pf_experiment,
+    render_figure,
+    robson_experiment,
+    upper_bound_experiment,
+)
+from .analysis.heapmap import render_heap
+from .core.absolute import lower_bound_absolute
+from .core.envelope import envelope
+from .core.params import BoundParams
+from .core.theorem1 import lower_bound, waste_profile
+from .exact import (
+    exact_waste_factor,
+    minimum_heap_words,
+    minimum_heap_words_budgeted,
+)
+from .mm.registry import create_manager, manager_names
+
+__all__ = ["main", "build_parser"]
+
+_PROGRAMS = ("pf", "robson", "checkerboard", "churn", "sawtooth", "phased")
+
+
+def _params_from(args: argparse.Namespace) -> BoundParams:
+    c = None if args.c in (None, 0) else float(args.c)
+    return BoundParams(args.live, args.object, c)
+
+
+def _add_param_flags(parser: argparse.ArgumentParser, *, default_live: int,
+                     default_object: int, default_c: float | None) -> None:
+    parser.add_argument(
+        "--live", type=int, default=default_live,
+        help=f"live-space bound M in words (default {default_live})",
+    )
+    parser.add_argument(
+        "--object", type=int, default=default_object,
+        help=f"largest object n in words, a power of two (default {default_object})",
+    )
+    parser.add_argument(
+        "--c", type=float, default=default_c,
+        help="compaction divisor c (0 or omit for no compaction)"
+        if default_c is None else f"compaction divisor c (default {default_c})",
+    )
+
+
+def _make_program(name: str, params: BoundParams):
+    if name == "pf":
+        return PFProgram(params)
+    if name == "robson":
+        return RobsonProgram(params)
+    if name == "checkerboard":
+        return CheckerboardProgram(params)
+    if name == "churn":
+        return RandomChurnWorkload(params)
+    if name == "sawtooth":
+        return SawtoothWorkload(params)
+    if name == "phased":
+        return PhasedWorkload(params)
+    raise ValueError(f"unknown program {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Limitations of Partial Compaction (PLDI'13) toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bounds = commands.add_parser("bounds", help="bounds at one point")
+    _add_param_flags(bounds, default_live=1 << 28, default_object=1 << 20,
+                     default_c=100.0)
+    bounds.add_argument("--profile", action="store_true",
+                        help="also print h(ell) for every feasible ell")
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("which", choices=("fig1", "fig2", "fig3"))
+    figure.add_argument("--table", action="store_true",
+                        help="print the full data table too")
+
+    simulate = commands.add_parser("simulate", help="one program vs one manager")
+    simulate.add_argument("--program", choices=_PROGRAMS, default="pf")
+    simulate.add_argument("--manager", default="first-fit",
+                          help=f"one of: {', '.join(manager_names())}")
+    _add_param_flags(simulate, default_live=8192, default_object=128,
+                     default_c=50.0)
+    simulate.add_argument("--heapmap", action="store_true",
+                          help="render the final heap occupancy")
+
+    experiment = commands.add_parser("experiment", help="grid vs the bounds")
+    experiment.add_argument("which", choices=("robson", "pf", "upper"))
+    _add_param_flags(experiment, default_live=8192, default_object=128,
+                     default_c=50.0)
+
+    exact = commands.add_parser("exact", help="micro-heap exact game value")
+    exact.add_argument("--live", type=int, default=4)
+    exact.add_argument("--object", type=int, default=2)
+    exact.add_argument("--all-sizes", action="store_true",
+                       help="allow every size, not just powers of two")
+    exact.add_argument("--budget", type=int, default=None,
+                       help="solve the budgeted game with B moved words")
+
+    absolute = commands.add_parser(
+        "absolute", help="Theorem-1 corollary for a B-bounded manager"
+    )
+    absolute.add_argument("--live", type=int, default=1 << 28)
+    absolute.add_argument("--object", type=int, default=1 << 20)
+    absolute.add_argument("--budget", type=int, required=True,
+                          help="absolute move budget B, in words")
+
+    verify = commands.add_parser(
+        "verify", help="re-run every reproduction check"
+    )
+    verify.add_argument("--fast", action="store_true",
+                        help="smaller simulation scale (seconds, not minutes)")
+
+    commands.add_parser("managers", help="list registered managers")
+    commands.add_parser("programs", help="list available programs")
+    return parser
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    print(f"parameters: {params.describe()}")
+    if params.allows_compaction:
+        result = lower_bound(params)
+        print(f"theorem 1 lower bound: h = {result.waste_factor:.4f} "
+              f"(ell = {result.density_exponent}) "
+              f"-> heap >= {result.heap_words:.0f} words")
+        if args.profile:
+            for ell, h in sorted(waste_profile(params).items()):
+                print(f"  h(ell={ell}) = {h:.4f}")
+    env = envelope(params)
+    print(f"best lower bound: {env.lower_factor:.4f} x M ({env.lower_source})")
+    print(f"best upper bound: {env.upper_factor:.4f} x M ({env.upper_source})")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    series = {
+        "fig1": figure1_series,
+        "fig2": figure2_series,
+        "fig3": figure3_series,
+    }[args.which]()
+    print(render_figure(series))
+    if args.table:
+        print()
+        print(figure_table(series))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .adversary.driver import ExecutionDriver
+
+    params = _params_from(args)
+    program = _make_program(args.program, params)
+    driver = ExecutionDriver(params, create_manager(args.manager, params))
+    result = driver.run(program)
+    print(result.summary())
+    metrics = result.metrics
+    print(f"utilization {metrics.utilization:.3f}, "
+          f"external fragmentation {metrics.external_fragmentation:.3f}, "
+          f"moves {result.move_count}")
+    if args.heapmap:
+        print(render_heap(driver.heap))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    if args.which == "robson":
+        rows = robson_experiment(params.with_compaction(None))
+        bad = [r for r in rows if not r.respects_lower_bound]
+    elif args.which == "pf":
+        rows = pf_experiment(params)
+        bad = [r for r in rows if not r.respects_lower_bound]
+    else:
+        rows = upper_bound_experiment(params)
+        bad = [r for r in rows if not r.respects_upper_bound]
+    print(experiment_table(rows))
+    if bad:
+        print(f"\nBOUND VIOLATIONS ({len(bad)}):")
+        for row in bad:
+            print(" ", row.result.summary())
+        return 1
+    print("\nall rows respect the bound")
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    if args.budget is not None:
+        words = minimum_heap_words_budgeted(
+            args.live, args.object, args.budget
+        )
+        print(f"exact minimum heap for M={args.live}, n={args.object}, "
+              f"B={args.budget}: {words} words ({words / args.live:.4f} x M)")
+        return 0
+    words = minimum_heap_words(
+        args.live, args.object, power_of_two_sizes=not args.all_sizes
+    )
+    factor = exact_waste_factor(
+        args.live, args.object, power_of_two_sizes=not args.all_sizes
+    )
+    print(f"exact minimum heap for M={args.live}, n={args.object}: "
+          f"{words} words ({factor:.4f} x M)")
+    return 0
+
+
+def _cmd_absolute(args: argparse.Namespace) -> int:
+    params = BoundParams(args.live, args.object)
+    result = lower_bound_absolute(params, args.budget)
+    print(f"parameters: {params.describe()}, B = {args.budget} words")
+    if result.is_trivial:
+        print("corollary: only the trivial bound HS >= M applies")
+    else:
+        print(f"corollary lower bound: h = {result.waste_factor:.4f} "
+              f"(effective c = {result.effective_divisor:.2f}, "
+              f"ell = {result.density_exponent}) -> heap >= "
+              f"{result.heap_words:.0f} words")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "bounds":
+            return _cmd_bounds(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "exact":
+            return _cmd_exact(args)
+        if args.command == "absolute":
+            return _cmd_absolute(args)
+        if args.command == "verify":
+            from .analysis.verification import verify_reproduction
+
+            results = verify_reproduction(fast=args.fast)
+            failures = 0
+            for check in results:
+                status = "PASS" if check.passed else "FAIL"
+                print(f"[{status}] {check.name}: {check.detail}")
+                failures += 0 if check.passed else 1
+            print(f"\n{len(results) - failures}/{len(results)} checks passed")
+            return 0 if failures == 0 else 1
+        if args.command == "managers":
+            print("\n".join(manager_names()))
+            return 0
+        if args.command == "programs":
+            print("\n".join(_PROGRAMS))
+            return 0
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable: argparse enforces the command set")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

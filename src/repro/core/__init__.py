@@ -1,0 +1,51 @@
+"""Closed-form bounds from Cohen & Petrank, PLDI 2013, and prior work.
+
+The package exposes four families of results:
+
+* :mod:`repro.core.theorem1` — the paper's main lower bound on the heap
+  size any ``c``-partial memory manager needs (Theorem 1);
+* :mod:`repro.core.theorem2` — the paper's improved upper bound
+  (Theorem 2);
+* :mod:`repro.core.robson` — Robson's tight no-compaction bounds;
+* :mod:`repro.core.bendersky_petrank` — the POPL'11 bounds the paper
+  improves on.
+
+:mod:`repro.core.envelope` combines them into best-known envelopes, and
+:mod:`repro.core.tables` pins the parameter presets used by the paper's
+figures.
+"""
+
+from . import absolute, bendersky_petrank, robson, series, tables, theorem1, theorem2
+from .absolute import AbsoluteBoundResult, lower_bound_absolute
+from .envelope import BoundEnvelope, best_lower_bound, best_upper_bound, envelope
+from .params import GB, KB, MB, PAPER_REALISTIC, BoundParams
+from .theorem1 import LowerBoundResult, lower_bound, waste_factor_at, waste_profile
+from .theorem2 import UpperBoundResult, reserve_coefficients, upper_bound
+
+__all__ = [
+    "AbsoluteBoundResult",
+    "BoundParams",
+    "BoundEnvelope",
+    "LowerBoundResult",
+    "UpperBoundResult",
+    "PAPER_REALISTIC",
+    "KB",
+    "MB",
+    "GB",
+    "absolute",
+    "bendersky_petrank",
+    "best_lower_bound",
+    "best_upper_bound",
+    "envelope",
+    "lower_bound",
+    "lower_bound_absolute",
+    "reserve_coefficients",
+    "robson",
+    "series",
+    "tables",
+    "theorem1",
+    "theorem2",
+    "upper_bound",
+    "waste_factor_at",
+    "waste_profile",
+]

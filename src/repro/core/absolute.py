@@ -1,0 +1,128 @@
+"""Corollary: Theorem 1 under an *absolute* compaction budget.
+
+Model variant (Bendersky & Petrank's second model; a natural fit for
+pause-time-budgeted collectors): the manager may move at most ``B``
+words in total, regardless of how much the program allocates.
+
+**Reduction.**  Fix any execution of a program ``P`` against a
+B-bounded manager ``A``, and let ``s`` be the total space ``P``
+allocates.  At every point of the execution the manager has moved at
+most ``B = s * (B / s)`` words, so ``A`` behaves as a ``(s/B)``-partial
+manager on this execution, and Theorem 1's program :math:`P_F(c)` with
+``c <= s_{P_F} / B`` forces it to ``h(c) * M``.
+
+The adversary's total allocation is under its own control, so the
+corollary instantiates ``c`` self-consistently: :math:`P_F`'s very
+first step already allocates ``M`` words (Algorithm 1, line 3), hence
+``c = M / B`` is always sound; the full Stage-I+II allocation is larger,
+so :func:`lower_bound_absolute` searches the feasible ``c`` range for
+the best sound instantiation using a *lower* bound on :math:`P_F`'s
+total allocation (Stage 0's ``M`` plus the guaranteed Stage-II ration).
+
+Because ``h`` is increasing in ``c``, shrinking ``B`` (a stingier
+manager) drives the bound up toward the Robson regime, and a huge ``B``
+degrades to the trivial bound — both limits are tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import BoundParams
+from .theorem1 import feasible_density_exponents, waste_factor_at
+
+__all__ = [
+    "AbsoluteBoundResult",
+    "pf_allocation_floor",
+    "lower_bound_absolute",
+]
+
+
+@dataclass(frozen=True)
+class AbsoluteBoundResult:
+    """The corollary's outcome at one ``(M, n, B)`` point."""
+
+    waste_factor: float
+    effective_divisor: float | None
+    density_exponent: int | None
+    params: BoundParams
+    budget_words: int
+
+    @property
+    def heap_words(self) -> float:
+        """The lower bound in words."""
+        return self.waste_factor * self.params.live_space
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when only ``HS >= M`` is claimed."""
+        return self.waste_factor <= 1.0
+
+
+def pf_allocation_floor(params: BoundParams, ell: int, c: float) -> float:
+    """A floor on :math:`P_F(c)`'s total allocation.
+
+    Guaranteed components only: step 0 allocates exactly ``M`` words,
+    and Stage II allocates ``x * M`` per step unless the manager already
+    lost (``x = (1 - 2^{-ell} h) / (ell + 1)``, ``K`` steps).  Stage-I
+    steps 1..ell allocate more, but their amount depends on the
+    manager's compaction, so they are left out — the floor stays sound
+    for every opponent.
+    """
+    probe = params.with_compaction(c)
+    h = waste_factor_at(probe, ell)
+    x = max(0.0, (1.0 - 2.0**-ell * h) / (ell + 1.0))
+    stage2_steps = probe.log_n - 2 * ell - 1
+    return params.live_space * (1.0 + x * stage2_steps)
+
+
+def lower_bound_absolute(
+    params: BoundParams, budget_words: int
+) -> AbsoluteBoundResult:
+    """Best sound Theorem-1 instantiation for a B-bounded manager.
+
+    Searches ``c`` over a fine grid, keeping only self-consistent
+    instantiations (``c <= allocation_floor(c) / B``), and returns the
+    largest resulting ``h``.  ``params.compaction_divisor`` is ignored —
+    the absolute budget replaces it.
+    """
+    if budget_words < 0:
+        raise ValueError("budget_words must be non-negative")
+    base = params.with_compaction(None)
+    if budget_words == 0:
+        # No moves at all: the Robson regime.
+        from . import robson
+
+        return AbsoluteBoundResult(
+            waste_factor=max(1.0, robson.lower_bound_factor(base)),
+            effective_divisor=None,
+            density_exponent=None,
+            params=base,
+            budget_words=0,
+        )
+    best_h = 1.0
+    best_c: float | None = None
+    best_ell: int | None = None
+    # c = M / B is always sound; try growing c while self-consistent.
+    c = max(1.5, params.live_space / budget_words)
+    while c < 1e9:
+        probe = base.with_compaction(c)
+        for ell in feasible_density_exponents(probe):
+            floor = pf_allocation_floor(params, ell, c)
+            if c <= floor / budget_words + 1e-12:
+                h = waste_factor_at(probe, ell)
+                if h > best_h:
+                    best_h, best_c, best_ell = h, c, ell
+        c *= 1.01
+        # Once even the largest possible allocation cannot justify c,
+        # stop: allocation floor is bounded by ~M (1 + K).
+        max_floor = params.live_space * (1.0 + params.log_n)
+        if c > max_floor / budget_words:
+            break
+    return AbsoluteBoundResult(
+        waste_factor=best_h,
+        effective_divisor=best_c,
+        density_exponent=best_ell,
+        params=base,
+        budget_words=budget_words,
+    )

@@ -1,0 +1,83 @@
+"""Bendersky & Petrank's POPL 2011 partial-compaction bounds.
+
+The prior state of the art the paper improves on.  Two results matter:
+
+**Upper bound.**  A simple compacting collector :math:`A_c` serves every
+program in :math:`P(M, n)` within heap :math:`(c + 1) M`: it keeps a
+bump-allocated region of size ``M`` plus ``c`` survivor regions, paying
+one ``1/c`` budget instalment per region evacuation.
+
+**Lower bound.**  A bad program :math:`P_W` forces
+
+.. math::
+
+    HS \\ge \\begin{cases}
+        M \\min\\bigl(c, \\frac{\\log_2 n}{10 \\log_2(c+1)}\\bigr) - 5n
+            & c \\le 4 \\log_2 n \\\\[4pt]
+        \\frac{M}{6} \\cdot \\frac{\\log_2 n}{\\log_2\\log_2 n + 2}
+            - \\frac{n}{2}
+            & c > 4 \\log_2 n .
+    \\end{cases}
+
+The headline of the PLDI'13 paper is that this lower bound is vacuous at
+practical scale: for ``M = 256MB``, ``n = 1MB`` it stays below the trivial
+``HS >= M`` across the whole ``c in [10, 100]`` range of Figure 1
+(it only exceeds ``M`` once ``M > n = 16TB``).  We reproduce the bound so
+the Figure-1 series can show exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .params import BoundParams
+
+__all__ = [
+    "upper_bound_factor",
+    "upper_bound_words",
+    "lower_bound_words",
+    "lower_bound_factor",
+    "regime",
+]
+
+
+def upper_bound_factor(params: BoundParams) -> float:
+    """The ``(c + 1)`` waste factor of the BP'11 collector ``A_c``."""
+    c = params.compaction_divisor
+    if c is None:
+        raise ValueError("the (c+1)M bound needs a finite c")
+    return c + 1.0
+
+
+def upper_bound_words(params: BoundParams) -> float:
+    """``(c + 1) M`` in words."""
+    return upper_bound_factor(params) * params.live_space
+
+
+def regime(params: BoundParams) -> str:
+    """Which branch of the BP'11 lower bound applies: ``"low-c"`` when
+    ``c <= 4 log2 n``, else ``"high-c"``.
+    """
+    c = params.compaction_divisor
+    if c is None:
+        raise ValueError("the BP'11 lower bound needs a finite c")
+    return "low-c" if c <= 4 * params.log_n else "high-c"
+
+
+def lower_bound_words(params: BoundParams) -> float:
+    """The BP'11 lower bound in words (may be far below ``M``)."""
+    c = params.compaction_divisor
+    if c is None:
+        raise ValueError("the BP'11 lower bound needs a finite c")
+    M, n, log_n = params.live_space, params.max_object, params.log_n
+    if regime(params) == "low-c":
+        return M * min(c, log_n / (10.0 * math.log2(c + 1.0))) - 5.0 * n
+    return (M / 6.0) * log_n / (math.log2(log_n) + 2.0) - n / 2.0
+
+
+def lower_bound_factor(params: BoundParams) -> float:
+    """The BP'11 lower bound as a multiple of ``M``, clamped at the
+    trivial factor 1 — matching how Figure 1 plots it ("nothing but the
+    trivial lower bound" at practical scale).
+    """
+    return max(1.0, lower_bound_words(params) / params.live_space)

@@ -1,0 +1,102 @@
+"""Best-known bound envelopes across all four results.
+
+A downstream user asking "how much heap must/does partial compaction
+cost at my parameters?" wants the *best* known bound, not a particular
+theorem.  These helpers combine:
+
+* lower bounds: trivial (``M``), Bendersky–Petrank '11, Cohen–Petrank
+  Theorem 1;
+* upper bounds: Robson's doubled bound (non-moving, hence valid for every
+  ``c``), Bendersky–Petrank ``(c+1)M``, Cohen–Petrank Theorem 2 (when its
+  ``c > log2(n)/2`` precondition holds).
+
+Both envelopes are reported as waste factors (multiples of ``M``) plus an
+attribution of which result is binding, which is exactly what the
+Figure-1/Figure-3 series need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import bendersky_petrank, robson, theorem1, theorem2
+from .params import BoundParams
+
+__all__ = ["BoundEnvelope", "best_lower_bound", "best_upper_bound", "envelope"]
+
+
+@dataclass(frozen=True)
+class BoundEnvelope:
+    """The best lower and upper waste factors with attributions."""
+
+    params: BoundParams
+    lower_factor: float
+    lower_source: str
+    upper_factor: float
+    upper_source: str
+
+    @property
+    def gap(self) -> float:
+        """Multiplicative gap between the best upper and lower bounds."""
+        return self.upper_factor / self.lower_factor
+
+    def is_consistent(self) -> bool:
+        """Lower bounds must never exceed upper bounds."""
+        return self.lower_factor <= self.upper_factor + 1e-9
+
+
+def best_lower_bound(params: BoundParams) -> tuple[float, str]:
+    """The strongest known lower bound (factor, source-name)."""
+    candidates: list[tuple[float, str]] = [(1.0, "trivial")]
+    if params.allows_compaction:
+        candidates.append(
+            (bendersky_petrank.lower_bound_factor(params), "bendersky-petrank-2011")
+        )
+        candidates.append(
+            (theorem1.lower_bound(params).waste_factor, "cohen-petrank-theorem1")
+        )
+    else:
+        # No compaction at all: Robson's tight bound applies.
+        candidates.append((robson.lower_bound_factor(params), "robson"))
+    return max(candidates, key=lambda pair: pair[0])
+
+
+def best_upper_bound(params: BoundParams) -> tuple[float, str]:
+    """The strongest known upper bound (factor, source-name).
+
+    Robson's doubled general-program bound always applies (a manager may
+    simply never spend its budget), so the envelope is finite for every
+    ``c`` including ``None``.
+    """
+    candidates: list[tuple[float, str]] = [
+        (robson.general_upper_bound_factor(params), "robson-doubled")
+    ]
+    c = params.compaction_divisor
+    if c is not None:
+        candidates.append(
+            (bendersky_petrank.upper_bound_factor(params), "bp-(c+1)M")
+        )
+        if c > theorem2.minimum_compaction_divisor(params):
+            candidates.append(
+                (theorem2.upper_bound(params).waste_factor,
+                 "cohen-petrank-theorem2")
+            )
+    return min(candidates, key=lambda pair: pair[0])
+
+
+def envelope(params: BoundParams) -> BoundEnvelope:
+    """Both envelopes at once, with a consistency check.
+
+    Raises :class:`AssertionError` if any lower bound crossed any upper
+    bound — that would mean a bug in one of the calculators, and the
+    property-based tests lean on exactly this check.
+    """
+    low, low_src = best_lower_bound(params)
+    high, high_src = best_upper_bound(params)
+    result = BoundEnvelope(params, low, low_src, high, high_src)
+    if not result.is_consistent():
+        raise AssertionError(
+            f"bound inversion at {params.describe()}: "
+            f"lower {low:.4f} ({low_src}) > upper {high:.4f} ({high_src})"
+        )
+    return result

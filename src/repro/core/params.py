@@ -1,0 +1,175 @@
+"""Parameter objects shared by every bound calculator.
+
+The paper's bounds are functions of three quantities:
+
+``M``
+    The maximum number of words the program may have live simultaneously
+    (the *live-space bound*).  The program family :math:`P(M, n)` never
+    exceeds ``M`` live words.
+
+``n``
+    The size, in words, of the largest object the program may allocate.
+    The smallest object is one word, so ``n`` doubles as the ratio between
+    the largest and smallest allowable object.
+
+``c``
+    The compaction-budget divisor.  A *c-partial* memory manager may move
+    at most ``s / c`` words after the program has allocated ``s`` words in
+    total (Bendersky & Petrank's model, adopted by the paper).
+
+All bounds in :mod:`repro.core` take a :class:`BoundParams` (or the raw
+triple) and return plain floats measured in *words*, or waste factors
+measured in units of ``M``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "BoundParams",
+    "KB",
+    "MB",
+    "GB",
+    "PAPER_REALISTIC",
+    "is_power_of_two",
+    "log2_exact",
+]
+
+#: One kilobyte expressed in words (the paper's plots label axes in bytes
+#: but the model is word-granular; we keep the paper's 1-word = 1-unit
+#: convention so "256MB" means :data:`MB` * 256 words).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive integral power of two."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for a power of two, raising otherwise.
+
+    The paper's adversary :math:`P_F` only works with power-of-two object
+    sizes, so several call sites need the exact integer logarithm rather
+    than a float that might be off by an ulp.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class BoundParams:
+    """A validated ``(M, n, c)`` triple.
+
+    Parameters
+    ----------
+    live_space:
+        ``M`` — the simultaneous live-space bound, in words.
+    max_object:
+        ``n`` — the largest allocatable object, in words.  Must be a power
+        of two for the power-of-two program families the paper analyses.
+    compaction_divisor:
+        ``c`` — the compaction budget is ``1/c`` of allocated space.
+        ``None`` (or ``math.inf``) means *no compaction allowed*, the
+        Robson regime.
+    """
+
+    live_space: int
+    max_object: int
+    compaction_divisor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.live_space <= 0:
+            raise ValueError("live_space (M) must be positive")
+        if self.max_object <= 0:
+            raise ValueError("max_object (n) must be positive")
+        if not is_power_of_two(self.max_object):
+            raise ValueError(
+                "max_object (n) must be a power of two; got "
+                f"{self.max_object}"
+            )
+        if self.max_object > self.live_space:
+            raise ValueError(
+                "max_object (n) may not exceed live_space (M): a single "
+                "object must fit in the live-space bound"
+            )
+        if self.compaction_divisor is not None:
+            if math.isinf(self.compaction_divisor):
+                object.__setattr__(self, "compaction_divisor", None)
+            elif self.compaction_divisor <= 1:
+                raise ValueError(
+                    "compaction_divisor (c) must exceed 1; c <= 1 would let "
+                    "the manager move everything, making compaction free"
+                )
+
+    # Short aliases matching the paper's notation -------------------------
+
+    @property
+    def M(self) -> int:  # noqa: N802 - paper notation
+        """Alias for :attr:`live_space` matching the paper's ``M``."""
+        return self.live_space
+
+    @property
+    def n(self) -> int:
+        """Alias for :attr:`max_object` matching the paper's ``n``."""
+        return self.max_object
+
+    @property
+    def c(self) -> float | None:
+        """Alias for :attr:`compaction_divisor` matching the paper's ``c``."""
+        return self.compaction_divisor
+
+    @property
+    def log_n(self) -> int:
+        """``log2(n)`` as an exact integer."""
+        return log2_exact(self.max_object)
+
+    @property
+    def allows_compaction(self) -> bool:
+        """Whether the manager has any compaction budget at all."""
+        return self.compaction_divisor is not None
+
+    def with_compaction(self, c: float | None) -> "BoundParams":
+        """Return a copy with a different compaction divisor."""
+        return BoundParams(self.live_space, self.max_object, c)
+
+    def scaled(self, factor: int) -> "BoundParams":
+        """Return a copy with both ``M`` and ``n`` multiplied by ``factor``.
+
+        Used by the experiment harness to move between paper scale and
+        simulation scale while preserving the ``M/n`` ratio.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if not is_power_of_two(factor):
+            raise ValueError("factor must be a power of two to keep n one")
+        return BoundParams(
+            self.live_space * factor, self.max_object * factor,
+            self.compaction_divisor,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``M=256MB, n=1MB, c=100``."""
+        c = "inf" if self.compaction_divisor is None else f"{self.compaction_divisor:g}"
+        return (
+            f"M={_format_words(self.live_space)}, "
+            f"n={_format_words(self.max_object)}, c={c}"
+        )
+
+
+def _format_words(words: int) -> str:
+    """Format a word count with a binary-unit suffix when it is round."""
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if words % unit == 0:
+            return f"{words // unit}{name}"
+    return f"{words}w"
+
+
+#: The paper's "realistic parameters" used for Figures 1 and 3:
+#: a live space of 256MB and a largest object of 1MB.
+PAPER_REALISTIC = BoundParams(live_space=256 * MB, max_object=1 * MB)

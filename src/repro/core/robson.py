@@ -1,0 +1,74 @@
+"""Robson's classical no-compaction bounds (JACM 1971, 1974).
+
+For programs restricted to power-of-two object sizes
+(:math:`P_2(M, n)`, with ``n | M``) and memory managers that never move
+objects, Robson proved matching lower and upper bounds:
+
+.. math::
+
+    \\min_A HS(A, P_o) \\;=\\; \\max_P HS(A_o, P)
+        \\;=\\; M\\Bigl(\\tfrac12 \\log_2 n + 1\\Bigr) - n + 1 .
+
+For programs allocating arbitrary sizes, rounding every request up to the
+next power of two at most doubles each object, giving the *doubled*
+upper bound :math:`2 (M (\\tfrac12 \\log_2 n + 1) - n + 1)` (serving
+``2M`` of rounded live space).
+
+These results anchor both ends of the paper:
+
+* the lower-bound program :math:`P_R` (our
+  :class:`repro.adversary.robson_program.RobsonProgram`) realises the
+  lower bound and is reused verbatim as Stage I of :math:`P_F`;
+* the upper bound is one leg of the Figure-3 comparison — the paper's
+  Theorem 2 only matters when it beats both Robson and the
+  Bendersky–Petrank ``(c+1)M`` bound.
+"""
+
+from __future__ import annotations
+
+from .params import BoundParams
+
+__all__ = [
+    "lower_bound_factor",
+    "lower_bound_words",
+    "upper_bound_words",
+    "general_upper_bound_words",
+    "general_upper_bound_factor",
+]
+
+
+def lower_bound_words(params: BoundParams) -> float:
+    """Heap words any non-moving manager needs against Robson's program.
+
+    ``M (log2(n)/2 + 1) - n + 1``, for the power-of-two family
+    :math:`P_2(M, n)`.
+    """
+    M, n = params.live_space, params.max_object
+    return M * (params.log_n / 2.0 + 1.0) - n + 1
+
+
+def lower_bound_factor(params: BoundParams) -> float:
+    """Robson's lower bound as a multiple of ``M``."""
+    return lower_bound_words(params) / params.live_space
+
+
+def upper_bound_words(params: BoundParams) -> float:
+    """Heap words within which Robson's allocator serves all of
+    :math:`P_2(M, n)` — equal to the lower bound (the result is tight).
+    """
+    return lower_bound_words(params)
+
+
+def general_upper_bound_words(params: BoundParams) -> float:
+    """The doubled bound for arbitrary-size programs in ``P(M, n)``.
+
+    Rounding each allocation up to a power of two at most doubles live
+    space, so a power-of-two allocator with budget ``2M`` suffices:
+    ``2 (M (log2(n)/2 + 1) - n + 1)``.
+    """
+    return 2.0 * upper_bound_words(params)
+
+
+def general_upper_bound_factor(params: BoundParams) -> float:
+    """:func:`general_upper_bound_words` as a multiple of ``M``."""
+    return general_upper_bound_words(params) / params.live_space

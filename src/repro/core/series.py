@@ -1,0 +1,87 @@
+"""Numeric series appearing in the paper's closed-form bounds.
+
+The lower bound of Theorem 1 contains the partial sum
+
+.. math::  S(\\ell) = \\sum_{i=1}^{\\ell} \\frac{i}{2^i - 1}
+
+which comes out of Claim 4.11's bound on Stage-I allocation
+(``s1 <= M (ell + 1 - S(ell)/2)``).  The sum converges quickly (to about
+2.7440 as ``ell`` grows), so the handful of values a caller ever needs are
+cheap; we still memoise because the optimizer in :mod:`repro.core.theorem1`
+evaluates the bound for every feasible ``ell``.
+
+Everything here is exact (``fractions.Fraction``) with float convenience
+wrappers, because the tests cross-check the float pipeline against exact
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+__all__ = [
+    "stage1_series",
+    "stage1_series_float",
+    "stage1_series_limit",
+    "geometric_tail",
+    "harmonic_number",
+]
+
+
+@lru_cache(maxsize=None)
+def stage1_series(ell: int) -> Fraction:
+    """Return :math:`\\sum_{i=1}^{\\ell} i / (2^i - 1)` exactly.
+
+    ``ell = 0`` yields the empty sum, 0.
+    """
+    if ell < 0:
+        raise ValueError("ell must be non-negative")
+    total = Fraction(0)
+    for i in range(1, ell + 1):
+        total += Fraction(i, 2**i - 1)
+    return total
+
+
+def stage1_series_float(ell: int) -> float:
+    """Float value of :func:`stage1_series`."""
+    return float(stage1_series(ell))
+
+
+def stage1_series_limit(tolerance: float = 1e-12) -> float:
+    """The limit of the Stage-I series as ``ell`` grows.
+
+    Used only by tests and docs to show the series is bounded (so Stage-I
+    allocation ``s1`` is at most about ``M (ell + 1)`` minus a constant).
+    """
+    total = 0.0
+    i = 1
+    while True:
+        term = i / (2.0**i - 1.0)
+        total += term
+        if term < tolerance:
+            return total
+        i += 1
+
+
+def geometric_tail(ratio: float, first_exponent: int) -> float:
+    """Return :math:`\\sum_{k \\ge e} r^k` for ``0 < r < 1``.
+
+    A helper for sanity analyses of the chunk-density argument: the total
+    space tied down by density ``2^-ell`` across doubling chunk sizes is a
+    geometric series.
+    """
+    if not 0.0 < ratio < 1.0:
+        raise ValueError("ratio must be in (0, 1)")
+    return ratio**first_exponent / (1.0 - ratio)
+
+
+def harmonic_number(k: int) -> float:
+    """Return the ``k``-th harmonic number ``H_k``.
+
+    Appears in fragmentation folklore comparisons in the analysis docs
+    (not in the paper's bound itself).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return sum(1.0 / i for i in range(1, k + 1))

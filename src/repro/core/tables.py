@@ -1,0 +1,71 @@
+"""Named parameter presets for the paper's figures and our experiments.
+
+Keeping the presets in one place means the figure generators, the
+benchmarks and EXPERIMENTS.md all agree on what "the paper's setting"
+is, and on what scaled-down setting the simulations use.
+"""
+
+from __future__ import annotations
+
+from .params import GB, KB, MB, BoundParams
+
+__all__ = [
+    "FIGURE1_PARAMS",
+    "FIGURE1_C_RANGE",
+    "FIGURE2_C",
+    "FIGURE2_N_VALUES",
+    "figure2_params",
+    "FIGURE3_PARAMS",
+    "FIGURE3_C_RANGE",
+    "SIMULATION_SCALE",
+    "simulation_params",
+    "PAPER_PROSE_ANCHORS",
+]
+
+#: Figure 1: lower bound vs c at the "realistic parameters".
+FIGURE1_PARAMS = BoundParams(live_space=256 * MB, max_object=1 * MB)
+FIGURE1_C_RANGE = tuple(range(10, 101))
+
+#: Figure 2: lower bound vs n at c=100, M=256n ("it is uncommon for a
+#: single object to create a significant part of the heap").
+FIGURE2_C = 100.0
+FIGURE2_N_VALUES = tuple(
+    2**exp for exp in range(10, 31)  # 1KB .. 1GB in words
+)
+
+
+def figure2_params(n: int, c: float = FIGURE2_C) -> BoundParams:
+    """The Figure-2 point for a given largest-object size ``n``."""
+    return BoundParams(live_space=256 * n, max_object=n, compaction_divisor=c)
+
+
+#: Figure 3: upper bounds vs c at the same realistic parameters.
+FIGURE3_PARAMS = FIGURE1_PARAMS
+FIGURE3_C_RANGE = tuple(range(10, 101))
+
+#: Default scaled-down setting for heap simulations: keeps the paper's
+#: M = 256 n ratio but at M = 64Ki words, n = 256 words, so a pure-Python
+#: run finishes in seconds.  (repro band: "feasible but slow for large
+#: heap simulations" — this is the documented substitution.)
+SIMULATION_SCALE = BoundParams(live_space=64 * KB, max_object=256)
+
+
+def simulation_params(
+    live_space: int = 64 * KB,
+    max_object: int = 256,
+    c: float | None = None,
+) -> BoundParams:
+    """A scaled-down parameter point for driving the heap simulator."""
+    return BoundParams(live_space, max_object, c)
+
+
+#: Concrete numbers the paper states in prose, used as regression anchors:
+#: (c, expected waste factor h, absolute tolerance).
+PAPER_PROSE_ANCHORS = (
+    (10.0, 2.0, 0.1),
+    (50.0, 3.15, 0.1),
+    (100.0, 3.5, 0.1),
+)
+
+# Re-export the byte-ish units so figure code can annotate axes.
+_ = (KB, GB)

@@ -1,0 +1,221 @@
+"""Theorem 1 — the paper's main lower bound.
+
+For every ``c``-partial memory manager ``A`` and every ``M > n > 1`` there
+is a program :math:`P_F \\in P_2(M, n)` forcing
+
+.. math::  HS(A, P_F) \\ge M \\cdot h(\\ell)
+
+for any integral density exponent :math:`\\ell \\le \\log_2(3c/4)`, where
+
+.. math::
+
+    h(\\ell) = \\frac{\\frac{\\ell+2}{2}
+        - \\frac{2^\\ell}{c}\\Bigl(\\ell + 1 - \\tfrac12 S(\\ell)\\Bigr)
+        + \\Bigl(\\tfrac34 - \\tfrac{2^\\ell}{c}\\Bigr)\\frac{K}{\\ell+1}
+        - \\frac{2n}{M}}
+        {1 + 2^{-\\ell}\\Bigl(\\tfrac34 - \\tfrac{2^\\ell}{c}\\Bigr)
+         \\frac{K}{\\ell+1}}
+
+with :math:`K = \\log_2(n) - 2\\ell - 1` and
+:math:`S(\\ell) = \\sum_{i=1}^{\\ell} i/(2^i-1)`.
+
+The exponent :math:`\\ell` parameterises the adversary: the program
+:math:`P_F` maintains a per-chunk density of at least :math:`2^{-\\ell}`,
+which makes evacuating a chunk cost the manager more budget than the
+allocation that reuses it earns back (hence the feasibility condition
+:math:`2^\\ell \\le 3c/4`).  The theorem holds for *every* feasible
+``ell``; :func:`lower_bound` optimizes over them.
+
+Derivation of the ``h`` fixed point (how the OCR-damaged formula was
+reconstructed; see DESIGN.md):
+
+* Lemma 4.5 (Stage I):  ``u(t_first) >= M (ell+2)/2 - 2^ell q1 - n/4`` and
+  ``s1 <= M (ell + 1 - S(ell)/2)``.
+* Lemma 4.6 (Stage II): ``u(t_finish) - u(t_first) >= (3/4) s2 - 2^ell q2``
+  and — unless the manager already uses ``> M h`` —
+  ``s2 >= M (1 - 2^{-ell} h) K/(ell+1) - 2n``.
+* Budget: ``q1 + q2 <= (s1 + s2)/c``.
+
+Substituting gives ``HS >= M (ell+2)/2 - (2^ell/c) s1
++ (3/4 - 2^ell/c) s2 - n/4``; plugging the extremal ``s1``/``s2`` and
+solving ``HS = M h`` for ``h`` yields the displayed formula (the paper
+folds the ``n/4`` slack into the ``2n/M`` term).  The reconstruction
+reproduces the paper's prose values exactly: ``h = 3.5`` at ``c = 100``,
+``3.15`` at ``c = 50`` and ``2.0`` at ``c = 10`` for ``M = 256MB``,
+``n = 1MB``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import BoundParams
+from .series import stage1_series_float
+
+__all__ = [
+    "LowerBoundResult",
+    "feasible_density_exponents",
+    "waste_factor_at",
+    "waste_factor_exact",
+    "lower_bound",
+    "lower_bound_words",
+    "waste_profile",
+]
+
+
+@dataclass(frozen=True)
+class LowerBoundResult:
+    """The outcome of evaluating Theorem 1 at one parameter point.
+
+    Attributes
+    ----------
+    waste_factor:
+        ``h`` — the heap must be at least ``waste_factor * M`` words.
+        Clamped below at 1.0 (a heap smaller than the live space is
+        impossible, so the theorem never says less than the trivial bound).
+    density_exponent:
+        The ``ell`` achieving the maximum (``None`` when no ``ell`` is
+        feasible and only the trivial bound applies).
+    params:
+        The inputs the bound was evaluated at.
+    raw_factor:
+        The un-clamped ``h`` value (can drop below 1 for tiny heaps where
+        the ``2n/M`` slack dominates; kept for diagnostics and plots).
+    """
+
+    waste_factor: float
+    density_exponent: int | None
+    params: BoundParams
+    raw_factor: float
+
+    @property
+    def heap_words(self) -> float:
+        """The bound expressed in words: ``waste_factor * M``."""
+        return self.waste_factor * self.params.live_space
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when Theorem 1 adds nothing over ``HS >= M``."""
+        return self.waste_factor <= 1.0
+
+
+def feasible_density_exponents(params: BoundParams) -> list[int]:
+    """Every integral ``ell`` Theorem 1 admits for these parameters.
+
+    Two constraints apply:
+
+    * ``2^ell <= 3c/4`` — the chunk density ``2^-ell`` must make chunk
+      evacuation a net budget loss for the manager;
+    * ``log2(n) - 2*ell - 1 >= 1`` — Stage II must have at least one step
+      (``K >= 1``), i.e. ``ell <= (log2(n) - 2) / 2``.
+
+    ``ell`` starts at 1: the density threshold must be a proper fraction.
+    """
+    c = params.compaction_divisor
+    if c is None:
+        # No compaction: any density works; cap is purely the K >= 1 rule.
+        budget_cap = math.inf
+    else:
+        budget_cap = math.floor(math.log2(3.0 * c / 4.0))
+    stage2_cap = (params.log_n - 2) // 2  # ensures K = log n - 2 ell - 1 >= 1
+    top = min(budget_cap, stage2_cap)
+    if math.isinf(top):
+        top = stage2_cap
+    return [ell for ell in range(1, int(top) + 1)]
+
+
+def waste_factor_at(params: BoundParams, ell: int) -> float:
+    """Evaluate ``h(ell)`` without optimizing or clamping.
+
+    Raises :class:`ValueError` when ``ell`` is infeasible, because the
+    theorem genuinely does not hold there (the coefficient
+    ``3/4 - 2^ell/c`` would make more allocation *help* the manager).
+    """
+    if ell not in feasible_density_exponents(params):
+        raise ValueError(
+            f"density exponent ell={ell} is infeasible for {params.describe()}"
+        )
+    c = params.compaction_divisor
+    budget_rate = 0.0 if c is None else (2.0**ell) / c
+    stage2_steps = params.log_n - 2 * ell - 1  # K
+    stage2_gain = (0.75 - budget_rate) * stage2_steps / (ell + 1.0)
+    stage1_gain = (ell + 2.0) / 2.0
+    stage1_cost = budget_rate * (ell + 1.0 - 0.5 * stage1_series_float(ell))
+    slack = 2.0 * params.max_object / params.live_space
+    numerator = stage1_gain - stage1_cost + stage2_gain - slack
+    denominator = 1.0 + (2.0**-ell) * stage2_gain
+    return numerator / denominator
+
+
+def waste_factor_exact(params: BoundParams, ell: int):
+    """``h(ell)`` in exact rational arithmetic (``fractions.Fraction``).
+
+    The float pipeline is plenty accurate for plotting, but the bound is
+    a *guarantee*: the tests cross-check the float value against this
+    exact evaluation so no accumulation of rounding can ever flip a
+    comparison.  Requires a rational ``c`` (floats are converted via
+    ``Fraction(c).limit_denominator``; pass an int for exactness).
+    """
+    from fractions import Fraction
+
+    from .series import stage1_series
+
+    if ell not in feasible_density_exponents(params):
+        raise ValueError(
+            f"density exponent ell={ell} is infeasible for {params.describe()}"
+        )
+    c = params.compaction_divisor
+    budget_rate = (
+        Fraction(0)
+        if c is None
+        else Fraction(2**ell) / Fraction(c).limit_denominator(10**9)
+    )
+    stage2_steps = params.log_n - 2 * ell - 1
+    stage2_gain = (Fraction(3, 4) - budget_rate) * stage2_steps / (ell + 1)
+    numerator = (
+        Fraction(ell + 2, 2)
+        - budget_rate * (ell + 1 - stage1_series(ell) / 2)
+        + stage2_gain
+        - Fraction(2 * params.max_object, params.live_space)
+    )
+    denominator = 1 + Fraction(1, 2**ell) * stage2_gain
+    return numerator / denominator
+
+
+def lower_bound(params: BoundParams) -> LowerBoundResult:
+    """Theorem 1 optimized over the density exponent.
+
+    Returns the largest ``h(ell)`` over all feasible ``ell`` (clamped at
+    the trivial factor 1.0).  When no ``ell`` is feasible — e.g. ``n``
+    too small for Stage II — only the trivial bound is reported.
+    """
+    best_ell: int | None = None
+    best_h = -math.inf
+    for ell in feasible_density_exponents(params):
+        h = waste_factor_at(params, ell)
+        if h > best_h:
+            best_h, best_ell = h, ell
+    if best_ell is None:
+        return LowerBoundResult(1.0, None, params, raw_factor=1.0)
+    return LowerBoundResult(
+        waste_factor=max(1.0, best_h),
+        density_exponent=best_ell if best_h > 1.0 else best_ell,
+        params=params,
+        raw_factor=best_h,
+    )
+
+
+def lower_bound_words(params: BoundParams) -> float:
+    """Theorem 1 as an absolute heap-size bound in words."""
+    return lower_bound(params).heap_words
+
+
+def waste_profile(params: BoundParams) -> dict[int, float]:
+    """``h(ell)`` for every feasible ``ell`` — the ablation the paper's
+    §2.3 remark describes ("very few integral ell values are relevant").
+    """
+    return {
+        ell: waste_factor_at(params, ell)
+        for ell in feasible_density_exponents(params)
+    }

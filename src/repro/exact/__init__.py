@@ -1,0 +1,41 @@
+"""Exact game-theoretic ground truth for micro-heaps.
+
+The paper's model is a program-vs-manager game; this package solves it
+*exactly* for tiny parameters (attractor computation on the finite game
+graph), giving ground truth that anchors the analytic bounds — see
+:mod:`repro.exact.game`.
+"""
+
+from .adversary import ExactAdversaryProgram, solve_program_strategy
+from .budgeted import (
+    BudgetedConfig,
+    compaction_value_curve,
+    minimum_heap_words_budgeted,
+    program_wins_budgeted,
+)
+from .game import (
+    GameConfig,
+    exact_waste_factor,
+    manager_placements,
+    minimum_heap_words,
+    program_moves,
+    program_wins,
+)
+from .strategy import OptimalMicroManager, solve_strategy
+
+__all__ = [
+    "BudgetedConfig",
+    "ExactAdversaryProgram",
+    "GameConfig",
+    "OptimalMicroManager",
+    "solve_program_strategy",
+    "solve_strategy",
+    "compaction_value_curve",
+    "exact_waste_factor",
+    "manager_placements",
+    "minimum_heap_words",
+    "minimum_heap_words_budgeted",
+    "program_moves",
+    "program_wins",
+    "program_wins_budgeted",
+]

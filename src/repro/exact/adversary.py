@@ -1,0 +1,153 @@
+"""The optimal micro-adversary, extracted from the solved game.
+
+:mod:`repro.exact.strategy` extracts the *manager's* optimal strategy at
+the game value ``H*``; this module extracts the *program's* winning
+strategy at ``H* - 1`` — by attractor ranks, so following it always
+makes progress toward a forced failure.
+
+Driven inside the simulator, the extracted adversary forces **every**
+non-moving manager to a heap of at least ``H*``: as long as the manager
+keeps placing within ``[0, H* - 1)`` the program replays its winning
+strategy on the mapped game state, and the first placement touching
+``H* - 1`` or beyond *is* the win (the simulator's heap has no wall, so
+"no placement fits" materializes as "the manager had to grow").
+
+Together with :class:`~repro.exact.strategy.OptimalMicroManager`
+(heap ``<= H*`` against every program) this realizes the exact game
+value from both sides in the simulator — the tightest closure a
+reproduction can offer:
+
+    H*  <=  HS(optimal manager, exact adversary)  <=  H*.
+"""
+
+from __future__ import annotations
+
+from ..adversary.base import AdversaryProgram, ProgramView
+from .game import GameConfig, State, _explore, minimum_heap_words
+
+__all__ = ["solve_program_strategy", "ExactAdversaryProgram"]
+
+
+def solve_program_strategy(
+    config: GameConfig,
+) -> dict[State, tuple[str, object]] | None:
+    """A rank-decreasing winning move per program state, or ``None``
+    when the manager wins at this heap size.
+
+    Moves are ``("free", successor_state)`` or ``("request", size)``.
+    Following the returned moves strictly decreases the attractor rank,
+    so play reaches a dead-end manager node in finitely many steps.
+    """
+    nodes, successors, predecessors = _explore(config)
+    rank: dict = {}
+    pending_counts = {
+        node: len(successors[node]) for node in nodes if node[0] == "Q"
+    }
+    frontier = [
+        node for node in nodes if node[0] == "Q" and not successors[node]
+    ]
+    for node in frontier:
+        rank[node] = 0
+    queue = list(frontier)
+    while queue:
+        node = queue.pop(0)
+        for pred in predecessors.get(node, ()):
+            if pred in rank:
+                continue
+            if pred[0] == "P":
+                rank[pred] = rank[node] + 1
+                queue.append(pred)
+            else:
+                pending_counts[pred] -= 1
+                if pending_counts[pred] == 0:
+                    rank[pred] = (
+                        max(rank[succ] for succ in successors[pred]) + 1
+                    )
+                    queue.append(pred)
+    if ("P", ()) not in rank:
+        return None
+    strategy: dict[State, tuple[str, object]] = {}
+    for node, node_rank in rank.items():
+        if node[0] != "P":
+            continue
+        state = node[1]
+        best_move: tuple[str, object] | None = None
+        best_rank: int | None = None
+        for successor in successors[node]:
+            if successor not in rank or rank[successor] >= node_rank:
+                continue
+            if best_rank is None or rank[successor] < best_rank:
+                best_rank = rank[successor]
+                if successor[0] == "P":
+                    best_move = ("free", successor[1])
+                else:
+                    best_move = ("request", successor[2])
+        assert best_move is not None, "winning P-node without progress move"
+        strategy[state] = best_move
+    return strategy
+
+
+class ExactAdversaryProgram(AdversaryProgram):
+    """Plays the extracted winning strategy against real managers.
+
+    Forces ``HS >= minimum_heap_words(M, n)`` against every *non-moving*
+    manager (a compacting manager changes the mapped state in ways the
+    no-compaction strategy does not model, so the program stops politely
+    and keeps whatever heap it has forced when it sees a move).
+    """
+
+    name = "exact-adversary"
+
+    def __init__(self, live_bound: int, max_object: int) -> None:
+        self.live_bound = live_bound
+        self.max_object = max_object
+        #: The game value this adversary realizes.
+        self.target_heap = minimum_heap_words(live_bound, max_object)
+        config = GameConfig(live_bound, max_object, self.target_heap - 1)
+        strategy = solve_program_strategy(config)
+        assert strategy is not None, (
+            "the program must win below the game value"
+        )
+        self._strategy = strategy
+        self._board_limit = self.target_heap - 1
+        #: Why the run ended: "forced-growth" is the win.
+        self.outcome = "incomplete"
+
+    def run(self, view: ProgramView) -> None:
+        moved = {"flag": False}
+        view.set_move_listener(
+            lambda obj, old, new: moved.__setitem__("flag", True)
+        )
+        # Game-state mapping: object id -> (address, size) on the board.
+        on_board: dict[int, tuple[int, int]] = {}
+        safety = 0
+        limit = 10 * len(self._strategy) + 100
+        while safety < limit:
+            safety += 1
+            state: State = tuple(sorted(on_board.values()))
+            move = self._strategy.get(state)
+            if move is None:
+                self.outcome = "off-strategy"
+                break
+            kind, payload = move
+            if kind == "free":
+                removed = set(state) - set(payload)  # type: ignore[arg-type]
+                target_segment = next(iter(removed))
+                victim = next(
+                    object_id
+                    for object_id, segment in on_board.items()
+                    if segment == target_segment
+                )
+                view.free(victim)
+                del on_board[victim]
+                continue
+            size = payload
+            obj = view.allocate(size)  # type: ignore[arg-type]
+            if moved["flag"]:
+                self.outcome = "manager-moved"
+                break
+            if obj.end > self._board_limit:
+                self.outcome = "forced-growth"
+                break
+            on_board[obj.object_id] = (obj.address, obj.size)
+        view.set_move_listener(None)

@@ -1,0 +1,238 @@
+"""Exact worst-case heap requirements for micro-heaps, by game solving.
+
+The paper's framework (§2.1) is literally a two-player game: the
+*program* (maximizer) issues frees and allocation requests; the *memory
+manager* (minimizer) answers placements.  ``HS`` is the value of that
+game.  For real parameters the game is astronomically large — that is
+why the paper proves bounds — but for micro parameters (``M <= ~8``,
+``n <= 4``, heap limits around a dozen words) it can be solved *exactly*
+by attractor computation on the finite game graph.
+
+This module answers: *what is the smallest heap ``H`` within which some
+manager can serve every program in* :math:`P_2(M, n)` *without
+compaction?*  Formally a safety game:
+
+* **program nodes** — the program may free any live object (staying on
+  turn) or request any admissible size (handing the turn over);
+* **manager nodes** — the manager must place the requested object at
+  some free address in ``[0, H)``; if no placement exists the program
+  has won;
+* infinite play means the manager wins (the program must force a
+  failure in finitely many steps).
+
+The program's winning region is the least fixpoint of the classic
+attractor operator; :func:`minimum_heap_words` then walks ``H`` upward
+until the manager wins.  Ground truth from this solver anchors the
+analytic bounds: Robson's formula is exact in the limit, and the tests
+check the solver brackets it correctly at tiny scale.
+
+No compaction: adding budgeted moves makes the state space infinite
+(the budget accrues without bound).  The c-partial regime is covered by
+the simulation experiments instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+__all__ = [
+    "GameConfig",
+    "State",
+    "program_moves",
+    "manager_placements",
+    "program_wins",
+    "minimum_heap_words",
+    "exact_waste_factor",
+]
+
+#: Sorted tuple of live ``(address, size)`` segments — one game position.
+State = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class GameConfig:
+    """Parameters of one exact game.
+
+    ``live_bound`` is the paper's ``M``; ``max_object`` is ``n``;
+    ``heap_words`` is the candidate heap size ``H`` being tested;
+    ``power_of_two_sizes`` restricts requests to the ``P2`` family
+    (the paper's lower-bound setting).
+    """
+
+    live_bound: int
+    max_object: int
+    heap_words: int
+    power_of_two_sizes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.live_bound < 1:
+            raise ValueError("live_bound must be at least 1")
+        if not 1 <= self.max_object <= self.live_bound:
+            raise ValueError("need 1 <= max_object <= live_bound")
+        if self.heap_words < self.live_bound:
+            raise ValueError(
+                "heap_words below live_bound is trivially unwinnable"
+            )
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """The request sizes the program may issue."""
+        if self.power_of_two_sizes:
+            return tuple(
+                1 << e
+                for e in range(self.max_object.bit_length())
+                if (1 << e) <= self.max_object
+            )
+        return tuple(range(1, self.max_object + 1))
+
+
+def _live_words(state: State) -> int:
+    return sum(size for _, size in state)
+
+
+def _fits(state: State, address: int, size: int, heap_words: int) -> bool:
+    if address < 0 or address + size > heap_words:
+        return False
+    end = address + size
+    for seg_address, seg_size in state:
+        if address < seg_address + seg_size and seg_address < end:
+            return False
+    return True
+
+
+def program_moves(
+    config: GameConfig, state: State
+) -> Iterator[tuple[str, State | int]]:
+    """The program's options: ``("free", new_state)`` per live object,
+    and ``("request", size)`` per admissible size."""
+    for index in range(len(state)):
+        successor = state[:index] + state[index + 1:]
+        yield ("free", successor)
+    live = _live_words(state)
+    for size in config.sizes:
+        if live + size <= config.live_bound:
+            yield ("request", size)
+
+
+def manager_placements(
+    config: GameConfig, state: State, size: int
+) -> list[State]:
+    """Every state reachable by placing ``size`` somewhere free."""
+    results = []
+    for address in range(config.heap_words - size + 1):
+        if _fits(state, address, size, config.heap_words):
+            placed = tuple(sorted(state + ((address, size),)))
+            results.append(placed)
+    return results
+
+
+def _explore(config: GameConfig) -> tuple[set, dict, dict]:
+    """Enumerate the reachable game graph.
+
+    Nodes: ``("P", state)`` program to move, ``("Q", state, size)``
+    manager to answer.  Returns (nodes, successors, predecessors).
+    """
+    initial = ("P", ())
+    nodes = {initial}
+    successors: dict = {}
+    predecessors: dict = {initial: set()}
+    stack = [initial]
+    while stack:
+        node = stack.pop()
+        outs = []
+        if node[0] == "P":
+            state = node[1]
+            for kind, payload in program_moves(config, state):
+                if kind == "free":
+                    nxt = ("P", payload)
+                else:
+                    nxt = ("Q", state, payload)
+                outs.append(nxt)
+        else:
+            _, state, size = node
+            for placed in manager_placements(config, state, size):
+                outs.append(("P", placed))
+        successors[node] = outs
+        for nxt in outs:
+            predecessors.setdefault(nxt, set()).add(node)
+            if nxt not in nodes:
+                nodes.add(nxt)
+                stack.append(nxt)
+    return nodes, successors, predecessors
+
+
+def program_wins(config: GameConfig) -> bool:
+    """Whether the program can force an unservable request in ``H`` words.
+
+    Attractor computation: seed with dead-end manager nodes (no legal
+    placement), propagate backward — a program node joins when *some*
+    successor is winning; a manager node joins when *all* successors
+    are.
+    """
+    nodes, successors, predecessors = _explore(config)
+    winning: set = set()
+    # Count, per manager node, how many successors are not yet winning.
+    pending_counts = {
+        node: len(successors[node]) for node in nodes if node[0] == "Q"
+    }
+    frontier = [
+        node for node in nodes if node[0] == "Q" and not successors[node]
+    ]
+    winning.update(frontier)
+    while frontier:
+        node = frontier.pop()
+        for pred in predecessors.get(node, ()):
+            if pred in winning:
+                continue
+            if pred[0] == "P":
+                winning.add(pred)
+                frontier.append(pred)
+            else:
+                pending_counts[pred] -= 1
+                if pending_counts[pred] == 0:
+                    winning.add(pred)
+                    frontier.append(pred)
+    return ("P", ()) in winning
+
+
+@lru_cache(maxsize=None)
+def minimum_heap_words(
+    live_bound: int, max_object: int, *, power_of_two_sizes: bool = True
+) -> int:
+    """The exact worst-case heap requirement for ``P2(M, n)`` (or the
+    all-sizes family), no compaction: the least ``H`` at which the
+    manager wins the safety game.
+
+    Monotone in ``H`` (more room only helps the manager), so a linear
+    walk from ``M`` terminates at the first manager win; Robson's upper
+    bound guarantees termination.
+    """
+    heap = live_bound
+    # Robson's formula (rounded up generously) bounds the search.
+    log_n = max(1, max_object).bit_length() - 1
+    ceiling = live_bound * (log_n + 2) + max_object + 1
+    while heap <= ceiling:
+        config = GameConfig(
+            live_bound, max_object, heap,
+            power_of_two_sizes=power_of_two_sizes,
+        )
+        if not program_wins(config):
+            return heap
+        heap += 1
+    raise AssertionError(
+        "exact search exceeded the analytic ceiling — solver bug"
+    )
+
+
+def exact_waste_factor(
+    live_bound: int, max_object: int, *, power_of_two_sizes: bool = True
+) -> float:
+    """:func:`minimum_heap_words` normalized by ``M``."""
+    return (
+        minimum_heap_words(
+            live_bound, max_object, power_of_two_sizes=power_of_two_sizes
+        )
+        / live_bound
+    )

@@ -1,0 +1,111 @@
+"""Optimal manager strategies extracted from the solved game.
+
+Solving the game (:mod:`repro.exact.game`) does more than produce a
+number: outside the program's winning region, every manager node has at
+least one placement that stays outside it.  Collecting one such
+placement per reachable state yields a *complete optimal strategy* — a
+manager that provably serves every program in the family within the
+exact minimum heap.
+
+:class:`OptimalMicroManager` wraps that strategy as a
+:class:`~repro.mm.base.MemoryManager`, so the optimum can be *driven* in
+the simulator and compared head-to-head with the classic policies
+(see ``bench_optimal_micro``).  Requests outside the solved family
+(sizes beyond ``n``, live space beyond ``M``, or positions the strategy
+never reached) fall back to first-fit — flagged on the instance so the
+tests can assert the optimum never needed the fallback in-family.
+"""
+
+from __future__ import annotations
+
+from ..mm.base import MemoryManager, find_first_fit
+from .game import GameConfig, State, _explore, manager_placements, minimum_heap_words
+
+__all__ = ["solve_strategy", "OptimalMicroManager"]
+
+
+def solve_strategy(config: GameConfig) -> dict[tuple[State, int], int] | None:
+    """An optimal placement per reachable (state, request) — or ``None``
+    when the program wins at this heap size (no strategy exists).
+
+    The returned placement keeps the game outside the program's winning
+    region, so following it forever never reaches a dead end.
+    """
+    nodes, successors, predecessors = _explore(config)
+    winning: set = set()
+    pending_counts = {
+        node: len(successors[node]) for node in nodes if node[0] == "Q"
+    }
+    frontier = [
+        node for node in nodes if node[0] == "Q" and not successors[node]
+    ]
+    winning.update(frontier)
+    while frontier:
+        node = frontier.pop()
+        for pred in predecessors.get(node, ()):
+            if pred in winning:
+                continue
+            if pred[0] == "P":
+                winning.add(pred)
+                frontier.append(pred)
+            else:
+                pending_counts[pred] -= 1
+                if pending_counts[pred] == 0:
+                    winning.add(pred)
+                    frontier.append(pred)
+    if ("P", ()) in winning:
+        return None
+    strategy: dict[tuple[State, int], int] = {}
+    for node in nodes:
+        if node[0] != "Q" or node in winning:
+            continue
+        _, state, size = node
+        for placed in manager_placements(config, state, size):
+            if ("P", placed) not in winning:
+                # Recover the address from the added segment.
+                added = set(placed) - set(state)
+                address = next(iter(added))[0]
+                strategy[(state, size)] = address
+                break
+        else:  # pragma: no cover - contradicts the attractor computation
+            raise AssertionError("losing manager node outside winning region")
+    return strategy
+
+
+class OptimalMicroManager(MemoryManager):
+    """Plays the exact optimal strategy for ``P2(M, n)`` micro-heaps.
+
+    Guarantees heap ``<= minimum_heap_words(M, n)`` against *every*
+    program in the family — the first provably optimal manager in the
+    registry family (for parameters small enough to solve).
+    """
+
+    name = "optimal-micro"
+
+    def __init__(self, live_bound: int, max_object: int) -> None:
+        super().__init__()
+        self.live_bound = live_bound
+        self.max_object = max_object
+        self.heap_limit = minimum_heap_words(live_bound, max_object)
+        config = GameConfig(live_bound, max_object, self.heap_limit)
+        strategy = solve_strategy(config)
+        assert strategy is not None, "minimum_heap_words returned a loss"
+        self._strategy = strategy
+        #: Number of requests served outside the solved strategy.
+        self.fallbacks = 0
+
+    def _current_state(self) -> State:
+        return tuple(
+            sorted(
+                (obj.address, obj.size)
+                for obj in self.heap.objects.live_objects()
+            )
+        )
+
+    def place(self, size: int) -> int:
+        state = self._current_state()
+        placement = self._strategy.get((state, size))
+        if placement is not None:
+            return placement
+        self.fallbacks += 1
+        return find_first_fit(self.heap, size)

@@ -1,0 +1,55 @@
+"""Discrete word-addressed heap simulator — the paper's execution model.
+
+The paper reasons about an idealized heap: word-granular addresses, a
+memory manager that places, frees and moves objects, and a heap size
+measured as the smallest consecutive prefix serving all requests.  This
+package implements that model exactly:
+
+* :class:`~repro.heap.heap.SimHeap` — the heap with occupancy index and
+  high-water ``HS`` tracking;
+* :class:`~repro.heap.object_model.HeapObject` /
+  :class:`~repro.heap.object_model.ObjectTable` — object identity and
+  lifecycle (including the *f-occupying* test of Definition 4.2);
+* :class:`~repro.heap.intervals.IntervalSet` — the free/occupied index;
+* :class:`~repro.heap.chunks.ChunkPartition` — the aligned ``D(i)``
+  chunk views with step-change coarsening;
+* :mod:`~repro.heap.metrics` — fragmentation metrics for the harness.
+"""
+
+from .chunks import ChunkId, ChunkPartition
+from .errors import (
+    AlignmentError,
+    CompactionBudgetExceeded,
+    HeapError,
+    LiveSpaceExceeded,
+    NotLiveError,
+    OverlapError,
+    PlacementError,
+    ProtocolError,
+)
+from .heap import SimHeap
+from .intervals import IntervalSet
+from .metrics import HeapMetrics, snapshot
+from .object_model import HeapObject, ObjectTable
+from .snapshot import restore_heap, snapshot_heap
+
+__all__ = [
+    "AlignmentError",
+    "ChunkId",
+    "ChunkPartition",
+    "CompactionBudgetExceeded",
+    "HeapError",
+    "HeapMetrics",
+    "HeapObject",
+    "IntervalSet",
+    "LiveSpaceExceeded",
+    "NotLiveError",
+    "ObjectTable",
+    "OverlapError",
+    "PlacementError",
+    "ProtocolError",
+    "SimHeap",
+    "restore_heap",
+    "snapshot",
+    "snapshot_heap",
+]

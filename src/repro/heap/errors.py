@@ -1,0 +1,54 @@
+"""Exception hierarchy for the heap simulator and memory managers.
+
+Every error a simulation can raise derives from :class:`HeapError`, so
+drivers and tests can catch simulator trouble without masking genuine
+Python bugs.  The distinctions matter to the tests: an adversary that
+trips :class:`LiveSpaceExceeded` is buggy (it broke its own ``M``
+contract), while a manager that trips :class:`CompactionBudgetExceeded`
+broke the ``c``-partial contract the paper's model imposes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HeapError",
+    "OverlapError",
+    "NotLiveError",
+    "AlignmentError",
+    "PlacementError",
+    "CompactionBudgetExceeded",
+    "LiveSpaceExceeded",
+    "ProtocolError",
+]
+
+
+class HeapError(Exception):
+    """Base class for all simulator errors."""
+
+
+class OverlapError(HeapError):
+    """An object was placed (or moved) onto words that are not free."""
+
+
+class NotLiveError(HeapError):
+    """An operation referenced an object that is not live in the heap."""
+
+
+class AlignmentError(HeapError):
+    """An address violated an alignment requirement."""
+
+
+class PlacementError(HeapError):
+    """A memory manager returned an unusable placement address."""
+
+
+class CompactionBudgetExceeded(HeapError):
+    """A move would push total compaction past ``allocated / c`` words."""
+
+
+class LiveSpaceExceeded(HeapError):
+    """The program exceeded its simultaneous live-space bound ``M``."""
+
+
+class ProtocolError(HeapError):
+    """The program/manager/driver interaction order was violated."""

@@ -1,0 +1,284 @@
+"""A sorted set of disjoint half-open integer intervals.
+
+This is the workhorse index of the simulator: :class:`IntervalSet`
+tracks which words of the (conceptually unbounded) address space are
+occupied, supports overlap queries, and enumerates the free gaps that
+placement policies search.  Intervals are half-open ``[start, end)`` —
+the natural fit for word ranges.
+
+The implementation keeps two parallel sorted lists (starts, ends) and
+uses :mod:`bisect`; every public operation preserves the invariants
+
+* intervals are pairwise disjoint and non-adjacent (adjacent intervals
+  are coalesced on insert), and
+* both lists are strictly increasing.
+
+Complexities are ``O(log k)`` for queries and ``O(k)`` worst case for
+mutations (list insertion), where ``k`` is the number of maximal
+intervals — small in practice because live heaps are mostly coalesced
+runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """Mutable set of disjoint half-open intervals of non-negative ints."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for start, end in intervals:
+            self.add(start, end)
+
+    # Queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of maximal intervals (not total words)."""
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    def __contains__(self, point: int) -> bool:
+        index = bisect.bisect_right(self._starts, point) - 1
+        return index >= 0 and point < self._ends[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{s}, {e})" for s, e in self)
+        return f"IntervalSet({spans})"
+
+    @property
+    def total(self) -> int:
+        """Total number of words covered."""
+        return sum(e - s for s, e in self)
+
+    @property
+    def span_end(self) -> int:
+        """One past the highest covered word (0 when empty)."""
+        return self._ends[-1] if self._ends else 0
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` intersects any interval."""
+        self._check_range(start, end)
+        if start == end:
+            return False
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index >= 0 and start < self._ends[index]:
+            return True
+        index += 1
+        return index < len(self._starts) and self._starts[index] < end
+
+    def covers(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` lies entirely inside one interval."""
+        self._check_range(start, end)
+        if start == end:
+            return True
+        index = bisect.bisect_right(self._starts, start) - 1
+        return index >= 0 and end <= self._ends[index]
+
+    def overlap_words(self, start: int, end: int) -> int:
+        """How many words of ``[start, end)`` are covered."""
+        self._check_range(start, end)
+        total = 0
+        index = max(0, bisect.bisect_right(self._starts, start) - 1)
+        while index < len(self._starts) and self._starts[index] < end:
+            lo = max(start, self._starts[index])
+            hi = min(end, self._ends[index])
+            if hi > lo:
+                total += hi - lo
+            index += 1
+        return total
+
+    def gaps(self, start: int, end: int) -> Iterator[tuple[int, int]]:
+        """Yield the uncovered sub-ranges of ``[start, end)`` in order."""
+        self._check_range(start, end)
+        cursor = start
+        index = max(0, bisect.bisect_right(self._starts, start) - 1)
+        while index < len(self._starts) and self._starts[index] < end:
+            s, e = self._starts[index], self._ends[index]
+            if e > cursor:
+                if s > cursor:
+                    yield (cursor, min(s, end))
+                cursor = max(cursor, min(e, end))
+                if cursor >= end:
+                    return
+            index += 1
+        if cursor < end:
+            yield (cursor, end)
+
+    def find_first_gap(
+        self, size: int, *, alignment: int = 1, start: int = 0,
+        end: int | None = None,
+    ) -> int | None:
+        """Lowest aligned address of an uncovered run of ``size`` words.
+
+        Searches the gaps of ``[start, end)`` (``end=None`` means the
+        covered span's end — the caller handles the unbounded tail).
+        This is the allocator hot path, so it walks the internal arrays
+        directly instead of going through :meth:`gaps`.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        limit = self.span_end if end is None else end
+        starts, ends = self._starts, self._ends
+        count = len(starts)
+        index = max(0, bisect.bisect_right(starts, start) - 1)
+        cursor = start
+        unaligned = alignment == 1
+        while cursor < limit:
+            if index < count:
+                gap_end = starts[index]
+                if gap_end <= cursor:
+                    interval_end = ends[index]
+                    if interval_end > cursor:
+                        cursor = interval_end
+                    index += 1
+                    continue
+                if gap_end > limit:
+                    gap_end = limit
+            else:
+                gap_end = limit
+            candidate = cursor if unaligned else cursor + ((-cursor) % alignment)
+            if candidate + size <= gap_end:
+                return candidate
+            if index >= count:
+                break
+            cursor = ends[index]
+            index += 1
+        return None
+
+    def find_best_gap(
+        self, size: int, *, alignment: int = 1, end: int | None = None
+    ) -> tuple[int | None, int]:
+        """Best-fit search: ``(address_of_smallest_fitting_gap, largest_gap)``.
+
+        Returns the aligned address inside the smallest gap of ``[0,
+        end)`` that fits ``size`` (``None`` when nothing fits) plus the
+        largest gap size seen, which callers cache as a fast-path hint
+        (gaps only shrink between frees).  Single tight pass — this is a
+        hot path under the adversarial workloads.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        limit = self.span_end if end is None else end
+        starts, ends = self._starts, self._ends
+        count = len(starts)
+        best_address: int | None = None
+        best_waste = -1
+        largest = 0
+        cursor = 0
+        index = 0
+        unaligned = alignment == 1
+        while cursor < limit:
+            if index < count:
+                gap_end = starts[index]
+                if gap_end > limit:
+                    gap_end = limit
+            else:
+                gap_end = limit
+            gap_size = gap_end - cursor
+            if gap_size > 0:
+                if gap_size > largest:
+                    largest = gap_size
+                candidate = cursor if unaligned else cursor + ((-cursor) % alignment)
+                if candidate + size <= gap_end:
+                    waste = gap_size - size
+                    if best_waste < 0 or waste < best_waste:
+                        best_address, best_waste = candidate, waste
+                        # No early exit on a perfect fit: ``largest`` must
+                        # cover *all* gaps to be a safe fast-path hint.
+            if index >= count:
+                break
+            cursor = ends[index]
+            index += 1
+        return best_address, largest
+
+    # Mutations ------------------------------------------------------------
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``; raises if it overlaps existing words."""
+        self._check_range(start, end)
+        if start == end:
+            return
+        if self.overlaps(start, end):
+            raise ValueError(f"[{start}, {end}) overlaps existing intervals")
+        index = bisect.bisect_left(self._starts, start)
+        # Coalesce with the predecessor when adjacent.
+        merged_left = index > 0 and self._ends[index - 1] == start
+        merged_right = index < len(self._starts) and self._starts[index] == end
+        if merged_left and merged_right:
+            self._ends[index - 1] = self._ends[index]
+            del self._starts[index]
+            del self._ends[index]
+        elif merged_left:
+            self._ends[index - 1] = end
+        elif merged_right:
+            self._starts[index] = start
+        else:
+            self._starts.insert(index, start)
+            self._ends.insert(index, end)
+
+    def remove(self, start: int, end: int) -> None:
+        """Delete ``[start, end)``; raises unless it is fully covered."""
+        self._check_range(start, end)
+        if start == end:
+            return
+        if not self.covers(start, end):
+            raise ValueError(f"[{start}, {end}) is not fully covered")
+        index = bisect.bisect_right(self._starts, start) - 1
+        s, e = self._starts[index], self._ends[index]
+        if s == start and e == end:
+            del self._starts[index]
+            del self._ends[index]
+        elif s == start:
+            self._starts[index] = end
+        elif e == end:
+            self._ends[index] = start
+        else:  # split
+            self._ends[index] = start
+            self._starts.insert(index + 1, end)
+            self._ends.insert(index + 1, e)
+
+    def clear(self) -> None:
+        """Remove every interval."""
+        self._starts.clear()
+        self._ends.clear()
+
+    def copy(self) -> "IntervalSet":
+        """An independent copy."""
+        clone = IntervalSet()
+        clone._starts = list(self._starts)
+        clone._ends = list(self._ends)
+        return clone
+
+    # Internal ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_range(start: int, end: int) -> None:
+        if start < 0 or end < start:
+            raise ValueError(f"bad interval [{start}, {end})")
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property-based tests."""
+        assert len(self._starts) == len(self._ends)
+        previous_end = -1
+        for s, e in zip(self._starts, self._ends):
+            assert s < e, f"empty or inverted interval [{s}, {e})"
+            assert s > previous_end, "intervals must be disjoint, sorted, non-adjacent"
+            previous_end = e

@@ -1,0 +1,177 @@
+"""Heap objects and the table tracking them across a simulation.
+
+A :class:`HeapObject` is the simulator's unit of allocation.  Identity is
+a monotonically increasing integer id — never reused, so traces, ghost
+records and association maps can reference objects long after they die
+(the paper's analysis does exactly that: associations outlive frees).
+
+:class:`ObjectTable` owns the id counter and indexes live objects; dead
+objects remain retrievable by id for post-mortem analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .errors import NotLiveError
+
+__all__ = ["HeapObject", "ObjectTable"]
+
+
+@dataclass
+class HeapObject:
+    """One allocated object.
+
+    Attributes
+    ----------
+    object_id:
+        Unique id, never reused.
+    address:
+        Current first word.  Updated in place when the manager moves the
+        object; :attr:`birth_address` keeps the original placement, which
+        is what ghost bookkeeping needs.
+    size:
+        Size in words (immutable).
+    alive:
+        Whether the object is currently allocated in the heap.
+    birth_address:
+        Where the object was first placed.
+    alloc_seq / free_seq:
+        Global event sequence numbers for trace ordering (``free_seq`` is
+        ``None`` while alive).
+    move_count:
+        How many times the manager compacted this object.
+    """
+
+    object_id: int
+    address: int
+    size: int
+    alive: bool = True
+    birth_address: int = field(default=-1)
+    alloc_seq: int = 0
+    free_seq: int | None = None
+    move_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("object size must be positive")
+        if self.address < 0:
+            raise ValueError("addresses are non-negative")
+        if self.birth_address < 0:
+            self.birth_address = self.address
+
+    @property
+    def end(self) -> int:
+        """One past the object's last word."""
+        return self.address + self.size
+
+    def covers(self, word: int) -> bool:
+        """Whether the object currently occupies address ``word``."""
+        return self.address <= word < self.end
+
+    def occupies_offset(self, offset: int, period: int) -> bool:
+        """Whether the object covers a word ``== offset (mod period)``.
+
+        This is the paper's *f-occupying* test (Definition 4.2) with
+        ``period = 2^i`` and ``offset = f_i``: the object is f-occupying
+        iff it occupies a word at address ``k * period + offset`` for
+        some integer ``k``.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= offset < period:
+            raise ValueError("offset must satisfy 0 <= offset < period")
+        first = self.address + ((offset - self.address) % period)
+        return first < self.end
+
+    def overlaps_range(self, start: int, end: int) -> bool:
+        """Whether the object intersects ``[start, end)``."""
+        return self.address < end and start < self.end
+
+
+class ObjectTable:
+    """Allocates ids and indexes every object ever created."""
+
+    def __init__(self) -> None:
+        self._objects: dict[int, HeapObject] = {}
+        self._live: dict[int, HeapObject] = {}
+        self._next_id = 0
+        self._live_words = 0
+
+    # Creation / lifecycle ---------------------------------------------------
+
+    def create(self, address: int, size: int, alloc_seq: int) -> HeapObject:
+        """Register a new live object at ``address``."""
+        obj = HeapObject(
+            object_id=self._next_id, address=address, size=size,
+            alloc_seq=alloc_seq,
+        )
+        self._next_id += 1
+        self._objects[obj.object_id] = obj
+        self._live[obj.object_id] = obj
+        self._live_words += size
+        return obj
+
+    def mark_freed(self, object_id: int, free_seq: int) -> HeapObject:
+        """Transition an object to dead; returns it."""
+        obj = self.require_live(object_id)
+        obj.alive = False
+        obj.free_seq = free_seq
+        del self._live[object_id]
+        self._live_words -= obj.size
+        return obj
+
+    def record_move(self, object_id: int, new_address: int) -> HeapObject:
+        """Update a live object's address after a compaction move."""
+        obj = self.require_live(object_id)
+        obj.address = new_address
+        obj.move_count += 1
+        return obj
+
+    # Lookup -------------------------------------------------------------------
+
+    def get(self, object_id: int) -> HeapObject:
+        """Any object ever created, live or dead."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise NotLiveError(f"unknown object id {object_id}") from None
+
+    def require_live(self, object_id: int) -> HeapObject:
+        """The object, which must currently be live."""
+        obj = self._live.get(object_id)
+        if obj is None:
+            if object_id in self._objects:
+                raise NotLiveError(f"object {object_id} is already freed")
+            raise NotLiveError(f"unknown object id {object_id}")
+        return obj
+
+    def is_live(self, object_id: int) -> bool:
+        """Whether the id names a live object."""
+        return object_id in self._live
+
+    # Aggregates ---------------------------------------------------------------
+
+    @property
+    def live_words(self) -> int:
+        """Total size of live objects."""
+        return self._live_words
+
+    @property
+    def live_count(self) -> int:
+        """Number of live objects."""
+        return len(self._live)
+
+    @property
+    def created_count(self) -> int:
+        """Number of objects ever created."""
+        return self._next_id
+
+    def live_objects(self) -> Iterator[HeapObject]:
+        """Iterate live objects in allocation order."""
+        return iter(list(self._live.values()))
+
+    def all_objects(self) -> Iterator[HeapObject]:
+        """Iterate every object ever created, in id order."""
+        return iter(list(self._objects.values()))

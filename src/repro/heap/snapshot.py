@@ -1,0 +1,90 @@
+"""Heap snapshots: serialize and restore simulator state.
+
+A snapshot captures everything needed to reconstruct a heap mid-run —
+live objects (with ids, birth addresses and move counts), cumulative
+counters and the high-water mark — as a plain JSON-able dict.  Uses:
+
+* golden-file regression tests (freeze a P_F endgame, assert layout);
+* debugging (dump the heap at a failure, reload it in a REPL);
+* handing simulator states between tools without replaying traces.
+
+Restoring yields a :class:`~repro.heap.heap.SimHeap` whose observable
+behaviour matches the original, with one documented exception: the
+object-id counter resumes after the highest live id, so ids of
+*already-dead* objects may be reused by a restored heap (dead objects
+are not serialized — they have no effect on any future behaviour except
+id uniqueness in traces).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .heap import SimHeap
+
+__all__ = ["snapshot_heap", "restore_heap", "dumps", "loads"]
+
+_FORMAT_VERSION = 1
+
+
+def snapshot_heap(heap: SimHeap) -> dict[str, Any]:
+    """Capture the heap's state as a JSON-able dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "high_water": heap.high_water,
+        "total_allocated": heap.total_allocated,
+        "total_freed": heap.total_freed,
+        "total_moved": heap.total_moved,
+        "clock": heap.clock,
+        "objects": [
+            {
+                "id": obj.object_id,
+                "address": obj.address,
+                "size": obj.size,
+                "birth_address": obj.birth_address,
+                "move_count": obj.move_count,
+            }
+            for obj in heap.objects.live_objects()
+        ],
+    }
+
+
+def restore_heap(data: dict[str, Any]) -> SimHeap:
+    """Rebuild a heap from :func:`snapshot_heap` output."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {data.get('version')!r}"
+        )
+    heap = SimHeap()
+    for record in sorted(data["objects"], key=lambda r: r["id"]):
+        obj = heap.place(record["address"], record["size"])
+        obj.birth_address = record["birth_address"]
+        obj.move_count = record["move_count"]
+        # Re-key the object to its original id so traces stay coherent.
+        table = heap.objects
+        if obj.object_id != record["id"]:
+            table._objects.pop(obj.object_id)
+            table._live.pop(obj.object_id)
+            obj.object_id = record["id"]
+            table._objects[obj.object_id] = obj
+            table._live[obj.object_id] = obj
+            table._next_id = max(table._next_id, record["id"] + 1)
+    # Restore the cumulative counters (placement above inflated them).
+    heap._total_allocated = data["total_allocated"]
+    heap._total_freed = data["total_freed"]
+    heap._total_moved = data["total_moved"]
+    heap._high_water = max(data["high_water"], heap.occupied.span_end)
+    heap._seq = data["clock"]
+    heap.check_invariants()
+    return heap
+
+
+def dumps(heap: SimHeap) -> str:
+    """Snapshot to a JSON string."""
+    return json.dumps(snapshot_heap(heap), sort_keys=True)
+
+
+def loads(text: str) -> SimHeap:
+    """Restore from a JSON string."""
+    return restore_heap(json.loads(text))

@@ -1,0 +1,93 @@
+"""Small word-arithmetic helpers used throughout the simulator.
+
+The simulated heap is *word addressed*: addresses and sizes are plain
+non-negative integers counting words, exactly as in the paper's model
+(object sizes range from 1 word to ``n`` words).  These helpers keep the
+power-of-two and alignment arithmetic in one audited place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "next_power_of_two",
+    "floor_log2",
+    "ceil_log2",
+    "chunk_index",
+    "chunk_start",
+    "chunks_spanned",
+]
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Largest multiple of ``alignment`` that is ``<= address``."""
+    _check_alignment(alignment)
+    return address - (address % alignment)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Smallest multiple of ``alignment`` that is ``>= address``."""
+    _check_alignment(alignment)
+    remainder = address % alignment
+    return address if remainder == 0 else address + alignment - remainder
+
+
+def is_aligned(address: int, alignment: int) -> bool:
+    """Whether ``address`` is a multiple of ``alignment``."""
+    _check_alignment(alignment)
+    return address % alignment == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """The least power of two ``>= value`` (``value >= 1``)."""
+    if value < 1:
+        raise ValueError("value must be at least 1")
+    return 1 << (value - 1).bit_length()
+
+
+def floor_log2(value: int) -> int:
+    """``floor(log2(value))`` for ``value >= 1``."""
+    if value < 1:
+        raise ValueError("value must be at least 1")
+    return value.bit_length() - 1
+
+
+def ceil_log2(value: int) -> int:
+    """``ceil(log2(value))`` for ``value >= 1``."""
+    return floor_log2(value) + (0 if value & (value - 1) == 0 else 1)
+
+
+def chunk_index(address: int, chunk_size: int) -> int:
+    """Index of the aligned chunk of ``chunk_size`` containing ``address``.
+
+    Chunks partition the address space from address 0, matching the
+    paper's partitions ``D(i)`` of aligned ``2^i``-word chunks.
+    """
+    _check_alignment(chunk_size)
+    if address < 0:
+        raise ValueError("addresses are non-negative")
+    return address // chunk_size
+
+
+def chunk_start(index: int, chunk_size: int) -> int:
+    """First address of chunk ``index`` in the ``chunk_size`` partition."""
+    _check_alignment(chunk_size)
+    if index < 0:
+        raise ValueError("chunk indices are non-negative")
+    return index * chunk_size
+
+
+def chunks_spanned(address: int, size: int, chunk_size: int) -> range:
+    """Indices of every chunk an object ``[address, address+size)`` touches."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    first = chunk_index(address, chunk_size)
+    last = chunk_index(address + size - 1, chunk_size)
+    return range(first, last + 1)
+
+
+def _check_alignment(alignment: int) -> None:
+    if alignment < 1:
+        raise ValueError("alignment must be at least 1")

@@ -1,0 +1,61 @@
+"""Memory managers: the adversary's opponents and the upper-bound
+constructions.
+
+Non-moving baselines (:mod:`~repro.mm.fits`, :mod:`~repro.mm.segregated`,
+:mod:`~repro.mm.buddy`, :mod:`~repro.mm.robson_manager`) are what
+Robson's bounds govern; compacting managers
+(:mod:`~repro.mm.compacting`, :mod:`~repro.mm.theorem2_manager`) spend
+the ``c``-partial budget enforced by
+:class:`~repro.mm.budget.CompactionBudget`.  Use
+:func:`~repro.mm.registry.create_manager` to construct by name.
+"""
+
+from .base import ManagerContext, MemoryManager
+from .buddy import BuddyManager
+from .budget import AbsoluteBudget, BudgetSnapshot, CompactionBudget
+from .collectors import MarkCompactManager, SemispaceManager
+from .compacting import (
+    BPCollectorManager,
+    CheapestWindowCompactor,
+    SlidingCompactor,
+)
+from .fits import BestFitManager, FirstFitManager, NextFitManager, WorstFitManager
+from .randomized import AdversarialPlacementManager, RandomPlacementManager
+from .registry import (
+    COMPACTING_MANAGERS,
+    MANAGER_FACTORIES,
+    NON_MOVING_MANAGERS,
+    create_manager,
+    manager_names,
+)
+from .robson_manager import RobsonManager
+from .segregated import SegregatedFitManager
+from .theorem2_manager import Theorem2Manager
+
+__all__ = [
+    "AbsoluteBudget",
+    "AdversarialPlacementManager",
+    "BPCollectorManager",
+    "BestFitManager",
+    "BuddyManager",
+    "BudgetSnapshot",
+    "CheapestWindowCompactor",
+    "COMPACTING_MANAGERS",
+    "CompactionBudget",
+    "FirstFitManager",
+    "MANAGER_FACTORIES",
+    "ManagerContext",
+    "MarkCompactManager",
+    "MemoryManager",
+    "NON_MOVING_MANAGERS",
+    "NextFitManager",
+    "RandomPlacementManager",
+    "RobsonManager",
+    "SegregatedFitManager",
+    "SemispaceManager",
+    "SlidingCompactor",
+    "Theorem2Manager",
+    "WorstFitManager",
+    "create_manager",
+    "manager_names",
+]

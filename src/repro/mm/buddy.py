@@ -1,0 +1,121 @@
+"""Binary buddy allocator over a growable power-of-two arena.
+
+Requests round up to a power of two; blocks split in halves on demand
+and coalesce with their buddy on free.  The arena starts empty and
+doubles whenever no block fits, each doubling contributing one new top-
+level free block — so every block ever created is buddy-aligned and the
+coalescing invariant (a block's buddy is its address XOR its size) holds
+globally.
+
+Buddy systems bound external fragmentation at the price of up to 2x
+internal fragmentation, which makes them a distinct point in the
+baseline family the adversarial experiments sweep.
+"""
+
+from __future__ import annotations
+
+from ..heap.object_model import HeapObject
+from ..heap.units import floor_log2, next_power_of_two
+from .base import MemoryManager
+
+__all__ = ["BuddyManager"]
+
+
+class BuddyManager(MemoryManager):
+    """Classic binary buddy with per-order free sets."""
+
+    name = "buddy"
+
+    def __init__(self, *, initial_order: int = 4) -> None:
+        super().__init__()
+        if initial_order < 0:
+            raise ValueError("initial_order must be non-negative")
+        self._initial_order = initial_order
+        # order -> set of free block addresses of size 2^order
+        self._free: dict[int, set[int]] = {}
+        self._arena_words = 0
+        # object id -> (block address, block order)
+        self._blocks: dict[int, tuple[int, int]] = {}
+        self._pending: tuple[int, int] | None = None
+
+    # Arena growth -------------------------------------------------------
+
+    def _grow(self) -> None:
+        """Double the arena, adding one new top-level free block."""
+        if self._arena_words == 0:
+            self._arena_words = 1 << self._initial_order
+            self._free.setdefault(self._initial_order, set()).add(0)
+            return
+        order = floor_log2(self._arena_words)
+        self._free.setdefault(order, set()).add(self._arena_words)
+        self._arena_words *= 2
+
+    # Block management ------------------------------------------------------
+
+    def _take_block(self, order: int) -> int:
+        """Pop (splitting as needed) a free block of exactly ``order``."""
+        if self._free.get(order):
+            return self._pop_min(order)
+        # Find the smallest larger order with a free block.
+        larger = order + 1
+        max_order = floor_log2(self._arena_words) if self._arena_words else -1
+        while larger <= max_order and not self._free.get(larger):
+            larger += 1
+        if larger > max_order:
+            self._grow()
+            return self._take_block(order)
+        # Split down to the requested order, keeping low halves.
+        address = self._pop_min(larger)
+        while larger > order:
+            larger -= 1
+            self._free.setdefault(larger, set()).add(address + (1 << larger))
+        return address
+
+    def _pop_min(self, order: int) -> int:
+        """Pop the lowest-address free block of ``order``."""
+        block = min(self._free[order])
+        self._free[order].discard(block)
+        return block
+
+    def _release_block(self, address: int, order: int) -> None:
+        """Return a block, coalescing with free buddies upward."""
+        while True:
+            buddy = address ^ (1 << order)
+            peers = self._free.get(order)
+            if peers is not None and buddy in peers:
+                peers.discard(buddy)
+                address = min(address, buddy)
+                order += 1
+                continue
+            self._free.setdefault(order, set()).add(address)
+            return
+
+    # MemoryManager interface ----------------------------------------------
+
+    def place(self, size: int) -> int:
+        order = floor_log2(next_power_of_two(size))
+        address = self._take_block(order)
+        self._pending = (address, order)
+        return address
+
+    def on_place(self, obj: HeapObject) -> None:
+        assert self._pending is not None, "on_place without place"
+        self._blocks[obj.object_id] = self._pending
+        self._pending = None
+
+    def on_free(self, obj: HeapObject) -> None:
+        block = self._blocks.pop(obj.object_id, None)
+        if block is None:
+            return
+        self._release_block(*block)
+
+    # Introspection used by tests ----------------------------------------
+
+    @property
+    def arena_words(self) -> int:
+        """Current arena extent (a power of two, or 0 before first use)."""
+        return self._arena_words
+
+    def free_block_count(self, order: int) -> int:
+        """Number of free blocks of ``2^order`` words."""
+        return len(self._free.get(order, ()))

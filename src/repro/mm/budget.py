@@ -1,0 +1,220 @@
+"""Compaction-budget accounting — the ``c``-partial model, enforced.
+
+The paper (following Bendersky & Petrank) defines a *c-partial memory
+manager* as one that, at every point of the execution, has moved at most
+``s / c`` words where ``s`` is the total space allocated so far.  The
+budget therefore *accrues* with allocation and is *spent* by moves; it
+never goes negative.
+
+:class:`CompactionBudget` is the single authority on this rule.  The
+driver charges allocations into it and every move must pass through
+:meth:`charge_move`, which raises
+:class:`~repro.heap.errors.CompactionBudgetExceeded` on violation — so a
+manager physically cannot overspend, and the property-based tests merely
+confirm the ledger arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..heap.errors import CompactionBudgetExceeded
+
+__all__ = ["CompactionBudget", "AbsoluteBudget", "BudgetSnapshot"]
+
+
+@dataclass(frozen=True)
+class BudgetSnapshot:
+    """An immutable view of the ledger, for traces and tests.
+
+    ``divisor`` is set for the fractional (c-partial) model;
+    ``absolute_limit`` for the B-bounded model.  Exactly one is not None
+    unless the manager has no budget at all.
+    """
+
+    allocated_words: int
+    moved_words: int
+    divisor: float | None
+    absolute_limit: int | None = None
+
+    @property
+    def earned(self) -> float:
+        """Total budget available so far (``allocated / c`` or ``B``)."""
+        if self.divisor is not None:
+            return self.allocated_words / self.divisor
+        if self.absolute_limit is not None:
+            return float(self.absolute_limit)
+        return 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Budget words still spendable."""
+        return self.earned - self.moved_words
+
+
+class CompactionBudget:
+    """The mutable ledger enforcing ``moved <= allocated / c``.
+
+    Parameters
+    ----------
+    divisor:
+        The paper's ``c``.  ``None`` means *no compaction allowed*: every
+        move attempt fails (the Robson regime).
+    """
+
+    def __init__(self, divisor: float | None) -> None:
+        if divisor is not None and divisor <= 1:
+            raise ValueError("compaction divisor c must exceed 1")
+        self._divisor = divisor
+        self._allocated = 0
+        self._moved = 0
+
+    # Accrual -----------------------------------------------------------------
+
+    def charge_allocation(self, words: int) -> None:
+        """Record ``words`` of program allocation (accrues budget)."""
+        if words <= 0:
+            raise ValueError("allocation size must be positive")
+        self._allocated += words
+
+    # Spending ----------------------------------------------------------------
+
+    @property
+    def divisor(self) -> float | None:
+        """The configured ``c`` (``None`` = no compaction)."""
+        return self._divisor
+
+    @property
+    def allocated_words(self) -> int:
+        """The paper's ``s`` — total words allocated so far."""
+        return self._allocated
+
+    @property
+    def moved_words(self) -> int:
+        """The paper's ``q`` — total words moved so far."""
+        return self._moved
+
+    @property
+    def remaining(self) -> float:
+        """Budget words still spendable right now."""
+        if self._divisor is None:
+            return 0.0
+        return self._allocated / self._divisor - self._moved
+
+    def can_move(self, words: int) -> bool:
+        """Whether a move of ``words`` fits the budget at this instant."""
+        if words <= 0:
+            raise ValueError("move size must be positive")
+        if self._divisor is None:
+            return False
+        return self._moved + words <= self._allocated / self._divisor
+
+    def charge_move(self, words: int) -> None:
+        """Spend budget for a move, raising if it would overdraw."""
+        if not self.can_move(words):
+            raise CompactionBudgetExceeded(
+                f"move of {words} words exceeds budget: moved={self._moved}, "
+                f"allocated={self._allocated}, c={self._divisor}"
+            )
+        self._moved += words
+
+    def snapshot(self) -> BudgetSnapshot:
+        """An immutable copy of the ledger."""
+        return BudgetSnapshot(self._allocated, self._moved, self._divisor)
+
+    def check_invariant(self) -> None:
+        """Assert the c-partial inequality holds (tests call this)."""
+        if self._divisor is None:
+            assert self._moved == 0, "moves happened with no budget"
+        else:
+            assert self._moved <= self._allocated / self._divisor + 1e-9, (
+                f"c-partial contract violated: moved={self._moved} > "
+                f"{self._allocated}/{self._divisor}"
+            )
+
+
+class AbsoluteBudget:
+    """The B-bounded variant: at most ``limit_words`` moved, ever.
+
+    Bendersky & Petrank's second model (and a natural description of a
+    real pause-time budget): the manager's *total* compaction over the
+    whole execution is capped by an absolute number of words, however
+    much the program allocates.  Duck-types :class:`CompactionBudget`,
+    so the driver and every manager work unchanged.
+
+    The theory connection (see :mod:`repro.core.absolute`): on any
+    execution whose total allocation is ``s``, a B-bounded manager is
+    ``(s / B)``-partial, so Theorem 1 applies with ``c = s / B`` — and
+    since the paper's adversary allocates at least ``M`` words in its
+    very first step, ``c = M / B`` is always a sound instantiation.
+    """
+
+    def __init__(self, limit_words: int) -> None:
+        if limit_words < 0:
+            raise ValueError("limit_words must be non-negative")
+        self._limit = limit_words
+        self._allocated = 0
+        self._moved = 0
+
+    @property
+    def divisor(self) -> float | None:
+        """No fractional divisor: this ledger is absolute.
+
+        Managers that *require* a finite ``c`` (the BP collector) reject
+        an absolute ledger via this None, which is the correct reading:
+        their construction is parameterized by ``c``.
+        """
+        return None
+
+    @property
+    def limit_words(self) -> int:
+        """The absolute cap ``B``."""
+        return self._limit
+
+    @property
+    def allocated_words(self) -> int:
+        """Total words allocated so far."""
+        return self._allocated
+
+    @property
+    def moved_words(self) -> int:
+        """Total words moved so far."""
+        return self._moved
+
+    @property
+    def remaining(self) -> float:
+        """Words of budget left."""
+        return float(self._limit - self._moved)
+
+    def charge_allocation(self, words: int) -> None:
+        """Record an allocation (no accrual in this model)."""
+        if words <= 0:
+            raise ValueError("allocation size must be positive")
+        self._allocated += words
+
+    def can_move(self, words: int) -> bool:
+        """Whether a move of ``words`` fits under the absolute cap."""
+        if words <= 0:
+            raise ValueError("move size must be positive")
+        return self._moved + words <= self._limit
+
+    def charge_move(self, words: int) -> None:
+        """Spend budget, raising on overdraft."""
+        if not self.can_move(words):
+            raise CompactionBudgetExceeded(
+                f"move of {words} words exceeds absolute budget: "
+                f"moved={self._moved}, limit={self._limit}"
+            )
+        self._moved += words
+
+    def snapshot(self) -> BudgetSnapshot:
+        """An immutable copy of the ledger."""
+        return BudgetSnapshot(
+            self._allocated, self._moved, None, absolute_limit=self._limit
+        )
+
+    def check_invariant(self) -> None:
+        """Assert the absolute cap holds."""
+        assert self._moved <= self._limit, (
+            f"absolute budget violated: moved={self._moved} > {self._limit}"
+        )

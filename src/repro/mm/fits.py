@@ -1,0 +1,127 @@
+"""The classic non-moving placement policies.
+
+First-fit, next-fit, best-fit and worst-fit never spend compaction
+budget; they are the managers Robson's bounds speak about and the
+baselines the simulation experiments fragment.  Each policy is a thin
+wrapper over the search helpers in :mod:`repro.mm.base`, optionally with
+an alignment rule (aligned variants place ``2^i``-word objects at
+``2^i``-aligned addresses, the discipline the paper's overview assumes
+to simplify its exposition).
+"""
+
+from __future__ import annotations
+
+from ..heap.object_model import HeapObject
+from ..heap.units import align_up, next_power_of_two
+from .base import (
+    MemoryManager,
+    find_first_fit,
+    find_next_fit,
+    find_worst_fit,
+)
+
+__all__ = [
+    "FirstFitManager",
+    "NextFitManager",
+    "BestFitManager",
+    "WorstFitManager",
+]
+
+
+class FirstFitManager(MemoryManager):
+    """Lowest-address fit; the canonical victim of Robson's program.
+
+    ``aligned=True`` restricts every object of size ``s`` to addresses
+    aligned to the next power of two of ``s`` (power-of-two objects land
+    on their own size, matching the paper's aligned-allocation model).
+    """
+
+    name = "first-fit"
+
+    def __init__(self, *, aligned: bool = False) -> None:
+        super().__init__()
+        self.aligned = aligned
+        if aligned:
+            self.name = "first-fit-aligned"
+        # (size, alignment) -> last fit address.  During a run of pure
+        # allocations free space only shrinks, so the first fit for a
+        # given request shape is monotone — scanning can resume from the
+        # previous hit.  Any free invalidates the cursors (space may
+        # reopen below them).
+        self._cursors: dict[tuple[int, int], int] = {}
+
+    def _alignment(self, size: int) -> int:
+        return next_power_of_two(size) if self.aligned else 1
+
+    def place(self, size: int) -> int:
+        alignment = self._alignment(size)
+        key = (size, alignment)
+        address = find_first_fit(
+            self.heap, size, alignment=alignment,
+            start_at=self._cursors.get(key, 0),
+        )
+        self._cursors[key] = address
+        return address
+
+    def on_free(self, obj: HeapObject) -> None:
+        self._cursors.clear()
+
+
+class NextFitManager(MemoryManager):
+    """First fit resuming from the last placement (roving pointer)."""
+
+    name = "next-fit"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def place(self, size: int) -> int:
+        return find_next_fit(self.heap, size, self._cursor)
+
+    def on_place(self, obj: HeapObject) -> None:
+        self._cursor = obj.end
+
+
+class BestFitManager(MemoryManager):
+    """Smallest-gap fit (minimizes leftover slivers per placement).
+
+    Caches the largest gap seen on each full scan: between frees, gaps
+    only shrink, so a request larger than the cached maximum can go
+    straight to the heap tail without scanning.
+    """
+
+    name = "best-fit"
+
+    def __init__(self, *, aligned: bool = False) -> None:
+        super().__init__()
+        self.aligned = aligned
+        if aligned:
+            self.name = "best-fit-aligned"
+        self._largest_gap_hint: int | None = None
+
+    def place(self, size: int) -> int:
+        alignment = next_power_of_two(size) if self.aligned else 1
+        span_end = self.heap.occupied.span_end
+        hint = self._largest_gap_hint
+        if hint is not None and size > hint:
+            return align_up(span_end, alignment)
+        address, largest = self.heap.occupied.find_best_gap(
+            size, alignment=alignment, end=span_end
+        )
+        self._largest_gap_hint = largest
+        if address is not None:
+            return address
+        return align_up(span_end, alignment)
+
+    def on_free(self, obj: HeapObject) -> None:
+        self._largest_gap_hint = None
+
+
+class WorstFitManager(MemoryManager):
+    """Largest-gap fit (keeps big gaps big — a classic foil to best-fit)."""
+
+    name = "worst-fit"
+
+    def place(self, size: int) -> int:
+        return find_worst_fit(self.heap, size)

@@ -1,0 +1,112 @@
+"""Randomized managers — fuzzing opponents for the lower bound.
+
+A lower bound must hold against *every* manager, including weird ones.
+:class:`RandomPlacementManager` picks uniformly among candidate
+placements (each free gap's aligned start plus the heap tail), and
+optionally performs random budget-affordable moves before an allocation.
+Seeded, so failures reproduce.  The property-based tests drive hundreds
+of these against :math:`P_F`; any run below the Theorem-1 floor is a
+reproduction bug.
+
+:class:`AdversarialPlacementManager` is the opposite stress: it places
+as *high* as possible (maximizing the measured heap), bounding the other
+side of the simulator's dynamic range.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..heap.object_model import HeapObject
+from ..heap.units import align_up
+from .base import MemoryManager
+
+__all__ = ["RandomPlacementManager", "AdversarialPlacementManager"]
+
+
+class RandomPlacementManager(MemoryManager):
+    """Uniform-random placement; optional random compaction."""
+
+    name = "random-placement"
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        move_probability: float = 0.0,
+        max_candidates: int = 64,
+    ) -> None:
+        """``move_probability`` is the per-request chance of attempting
+        one random (budget-affordable) move during :meth:`prepare`.
+        ``max_candidates`` caps the placement choices considered, so
+        pathological heaps do not make the fuzzer quadratic.
+        """
+        super().__init__()
+        if not 0.0 <= move_probability <= 1.0:
+            raise ValueError("move_probability must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self.move_probability = move_probability
+        self.max_candidates = max_candidates
+        if move_probability > 0.0:
+            self.name = "random-mover"
+
+    def _candidates(self, size: int) -> list[int]:
+        found: list[int] = []
+        for gap_start, gap_end in self.heap.free_gaps():
+            if gap_end - gap_start >= size:
+                found.append(gap_start)
+                # A second candidate inside large gaps: right-justified.
+                right = gap_end - size
+                if right != gap_start:
+                    found.append(right)
+            if len(found) >= self.max_candidates:
+                break
+        found.append(align_up(self.heap.occupied.span_end, 1))
+        return found
+
+    def prepare(self, size: int) -> None:
+        if self.move_probability <= 0.0:
+            return
+        if self._rng.random() >= self.move_probability:
+            return
+        live = list(self.heap.objects.live_objects())
+        if not live:
+            return
+        victim = self._rng.choice(live)
+        if not self.ctx.can_afford_move(victim.size):
+            return
+        targets = [
+            gap_start
+            for gap_start, gap_end in self.heap.free_gaps()
+            if gap_end - gap_start >= victim.size
+        ]
+        targets.append(self.heap.occupied.span_end)
+        target = self._rng.choice(targets)
+        # The target may overlap the victim's own words; SimHeap handles
+        # sliding moves, but an arbitrary overlap with *another* object
+        # must be avoided.
+        if target != victim.address:
+            vacated_ok = self.heap.occupied.copy()
+            vacated_ok.remove(victim.address, victim.end)
+            if not vacated_ok.overlaps(target, target + victim.size):
+                self.ctx.move(victim.object_id, target)
+
+    def place(self, size: int) -> int:
+        return self._rng.choice(self._candidates(size))
+
+
+class AdversarialPlacementManager(MemoryManager):
+    """Always places at the current high-water mark (maximal waste).
+
+    The worst conceivable manager: it never reuses anything.  Useful as
+    an upper anchor in experiments and for testing that the driver's
+    accounting tolerates unbounded growth.
+    """
+
+    name = "highest-placement"
+
+    def place(self, size: int) -> int:
+        return self.heap.high_water
+
+    def on_place(self, obj: HeapObject) -> None:  # pragma: no cover - trivial
+        pass

@@ -1,0 +1,88 @@
+"""Name → factory registry for memory managers.
+
+The experiment harness and the benchmarks sweep manager families by
+name; this registry is the single list of what exists.  Factories take
+the execution's :class:`~repro.core.params.BoundParams` because some
+constructions are parameterized by them (the BP collector needs ``M``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.params import BoundParams
+from .base import MemoryManager
+from .buddy import BuddyManager
+from .collectors import MarkCompactManager, SemispaceManager
+from .compacting import (
+    BPCollectorManager,
+    CheapestWindowCompactor,
+    SlidingCompactor,
+)
+from .fits import BestFitManager, FirstFitManager, NextFitManager, WorstFitManager
+from .randomized import AdversarialPlacementManager, RandomPlacementManager
+from .robson_manager import RobsonManager
+from .segregated import SegregatedFitManager
+from .theorem2_manager import Theorem2Manager
+
+__all__ = [
+    "ManagerFactory",
+    "MANAGER_FACTORIES",
+    "NON_MOVING_MANAGERS",
+    "COMPACTING_MANAGERS",
+    "create_manager",
+    "manager_names",
+]
+
+ManagerFactory = Callable[[BoundParams], MemoryManager]
+
+#: Managers that never spend compaction budget.
+NON_MOVING_MANAGERS: dict[str, ManagerFactory] = {
+    "first-fit": lambda params: FirstFitManager(),
+    "first-fit-aligned": lambda params: FirstFitManager(aligned=True),
+    "next-fit": lambda params: NextFitManager(),
+    "best-fit": lambda params: BestFitManager(),
+    "worst-fit": lambda params: WorstFitManager(),
+    "segregated-fit": lambda params: SegregatedFitManager(),
+    "buddy": lambda params: BuddyManager(),
+    "robson": lambda params: RobsonManager(),
+    "robson-rounded": lambda params: RobsonManager(round_sizes=True),
+    "random-placement": lambda params: RandomPlacementManager(seed=0),
+    "highest-placement": lambda params: AdversarialPlacementManager(),
+}
+
+#: Managers that exploit the c-partial budget.
+COMPACTING_MANAGERS: dict[str, ManagerFactory] = {
+    "sliding-compactor": lambda params: SlidingCompactor(),
+    "window-compactor": lambda params: CheapestWindowCompactor(),
+    "bp-collector": lambda params: BPCollectorManager(params.live_space),
+    "theorem2": lambda params: Theorem2Manager(),
+    "mark-compact": lambda params: MarkCompactManager(),
+    "semispace": lambda params: SemispaceManager(params.live_space),
+    "random-mover": lambda params: RandomPlacementManager(
+        seed=1, move_probability=0.3
+    ),
+}
+
+MANAGER_FACTORIES: dict[str, ManagerFactory] = {
+    **NON_MOVING_MANAGERS,
+    **COMPACTING_MANAGERS,
+}
+
+
+def manager_names(*, compacting: bool | None = None) -> list[str]:
+    """Registered names, optionally filtered by compacting-ness."""
+    if compacting is None:
+        return sorted(MANAGER_FACTORIES)
+    table = COMPACTING_MANAGERS if compacting else NON_MOVING_MANAGERS
+    return sorted(table)
+
+
+def create_manager(name: str, params: BoundParams) -> MemoryManager:
+    """Instantiate a registered manager for an execution at ``params``."""
+    try:
+        factory = MANAGER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(MANAGER_FACTORIES))
+        raise KeyError(f"unknown manager {name!r}; known: {known}") from None
+    return factory(params)

@@ -1,0 +1,51 @@
+"""Robson's allocator discipline ``A_o`` for power-of-two programs.
+
+Robson's matching upper bound is achieved by an allocator that places
+every object of size ``2^i`` at a ``2^i``-aligned address, choosing the
+lowest usable one.  Under that discipline an aligned chunk is either
+empty or holds objects no larger than itself, which is what caps the
+waste at ``M (log2(n)/2 + 1) - n + 1`` for programs in ``P2(M, n)``.
+
+:class:`RobsonManager` implements aligned lowest-address placement, plus
+the rounding front-end that extends the discipline to arbitrary-size
+programs (rounding each request to the next power of two — the source of
+the doubled general-program bound).  It never compacts.
+"""
+
+from __future__ import annotations
+
+from ..heap.units import next_power_of_two
+from .base import MemoryManager, find_first_fit
+
+__all__ = ["RobsonManager"]
+
+
+class RobsonManager(MemoryManager):
+    """Aligned lowest-address placement (Robson's ``A_o`` discipline)."""
+
+    name = "robson"
+
+    def __init__(self, *, round_sizes: bool = False) -> None:
+        super().__init__()
+        #: When True, the free-space reservation is the rounded size —
+        #: the general-program variant.  Placement alignment is always
+        #: the rounded power of two either way.
+        self.round_sizes = round_sizes
+        if round_sizes:
+            self.name = "robson-rounded"
+        # Same monotone-scan cursor trick as FirstFitManager.
+        self._cursors: dict[tuple[int, int], int] = {}
+
+    def place(self, size: int) -> int:
+        alignment = next_power_of_two(size)
+        reserve = alignment if self.round_sizes else size
+        key = (reserve, alignment)
+        address = find_first_fit(
+            self.heap, reserve, alignment=alignment,
+            start_at=self._cursors.get(key, 0),
+        )
+        self._cursors[key] = address
+        return address
+
+    def on_free(self, obj) -> None:  # noqa: ANN001 - see MemoryManager
+        self._cursors.clear()

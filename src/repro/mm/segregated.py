@@ -1,0 +1,69 @@
+"""Segregated-fit manager: per-size-class free lists.
+
+Rounds every request up to a power of two and serves it from a free list
+of same-class slots, extending the heap (class-aligned) when the list is
+empty.  Freed slots return to their class and are never split or
+coalesced — the classic fast-path design of production segregated
+allocators, and a useful baseline because its fragmentation profile is
+*internal* (rounding) plus *class-capacity* (slots stranded in the wrong
+class), two failure modes Robson's program does not even need.
+"""
+
+from __future__ import annotations
+
+from ..heap.object_model import HeapObject
+from ..heap.units import align_up, next_power_of_two
+from .base import MemoryManager
+
+__all__ = ["SegregatedFitManager"]
+
+
+class SegregatedFitManager(MemoryManager):
+    """Power-of-two size classes with per-class LIFO free lists."""
+
+    name = "segregated-fit"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # class size (power of two) -> stack of free slot addresses
+        self._free_slots: dict[int, list[int]] = {}
+        # object id -> class size it was served from (>= object size)
+        self._slot_class: dict[int, int] = {}
+        self._frontier = 0
+        self._pending_class: int | None = None
+
+    def _class_of(self, size: int) -> int:
+        return next_power_of_two(size)
+
+    def place(self, size: int) -> int:
+        cls = self._class_of(size)
+        self._pending_class = cls
+        slots = self._free_slots.get(cls)
+        if slots:
+            return slots[-1]  # popped in on_place once the driver commits
+        return align_up(max(self._frontier, self.heap.high_water), cls)
+
+    def on_place(self, obj: HeapObject) -> None:
+        cls = self._pending_class
+        assert cls is not None, "on_place without a preceding place"
+        self._pending_class = None
+        slots = self._free_slots.get(cls)
+        if slots and slots[-1] == obj.address:
+            slots.pop()
+        else:
+            self._frontier = max(self._frontier, obj.address + cls)
+        self._slot_class[obj.object_id] = cls
+
+    def on_free(self, obj: HeapObject) -> None:
+        cls = self._slot_class.pop(obj.object_id, None)
+        if cls is None:
+            # Object was moved by someone else's compaction into space we
+            # do not track; treat its class as its rounded size.
+            cls = self._class_of(obj.size)
+        self._free_slots.setdefault(cls, []).append(obj.address)
+
+    # Introspection used by tests -----------------------------------------
+
+    def free_slot_count(self, size_class: int) -> int:
+        """How many recycled slots the class currently holds."""
+        return len(self._free_slots.get(size_class, ()))

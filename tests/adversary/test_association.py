@@ -1,0 +1,202 @@
+"""Tests for object↔chunk association, including the paper's Figure 4."""
+
+import pytest
+
+from repro.adversary.association import HALF, WHOLE, AssociationMap
+from repro.heap.chunks import ChunkId
+
+
+class TestFigure4Example:
+    """The worked example of the paper's Figure 4.
+
+    Density threshold 2^-2 = 1/4 on chunks of size 8 (2 words/chunk):
+    half of O2 is associated with chunk C7 and half with C8; O3 with C9
+    only.  These suffice for density 1/4 everywhere, so O1 (also on C7)
+    is freeable.
+    """
+
+    def setup_method(self):
+        self.map = AssociationMap()
+        self.c7 = ChunkId(3, 7)
+        self.c8 = ChunkId(3, 8)
+        self.c9 = ChunkId(3, 9)
+        # O1: 2 words, whole on C7.  O2: 4 words, halves on C7/C8.
+        # O3: 2 words, whole on C9.
+        self.map.associate_whole(1, 2, self.c7)
+        self.map.associate_halves(2, 4, self.c7, self.c8)
+        self.map.associate_whole(3, 2, self.c9)
+
+    def test_densities(self):
+        # C7 carries O1 (2) + half O2 (2) = 4 words; C8 half O2 = 2; C9 2.
+        assert self.map.chunk_weight_twice(self.c7) == 8
+        assert self.map.chunk_weight_twice(self.c8) == 4
+        assert self.map.chunk_weight_twice(self.c9) == 4
+
+    def test_o1_is_freeable_at_quarter_density(self):
+        """Freeing O1 keeps every chunk at >= 2 words (density 1/4)."""
+        threshold2 = 4  # 2 words, doubled
+        assert self.map.chunk_weight_twice(self.c7) - WHOLE * 2 >= threshold2
+        self.map.remove_object(1)
+        for chunk in (self.c7, self.c8, self.c9):
+            assert self.map.chunk_weight_twice(chunk) >= threshold2
+
+    def test_invariants_hold(self):
+        self.map.check_invariants()
+
+
+class TestAssociationRules:
+    def test_whole_then_duplicate_rejected(self):
+        amap = AssociationMap()
+        amap.associate_whole(1, 4, ChunkId(2, 0))
+        with pytest.raises(ValueError):
+            amap.associate_whole(1, 4, ChunkId(2, 1))
+
+    def test_halves_need_distinct_chunks(self):
+        amap = AssociationMap()
+        with pytest.raises(ValueError):
+            amap.associate_halves(1, 4, ChunkId(2, 0), ChunkId(2, 0))
+
+    def test_transfer_half(self):
+        amap = AssociationMap()
+        a, b = ChunkId(2, 0), ChunkId(2, 2)
+        amap.associate_halves(1, 4, a, b)
+        other = amap.transfer_half(1, a)
+        assert other == b
+        assert amap.chunk_weight_twice(a) == 0
+        assert amap.chunk_weight_twice(b) == WHOLE * 4
+        amap.check_invariants()
+
+    def test_transfer_requires_half(self):
+        amap = AssociationMap()
+        amap.associate_whole(1, 4, ChunkId(2, 0))
+        with pytest.raises(ValueError):
+            amap.transfer_half(1, ChunkId(2, 0))
+        with pytest.raises(KeyError):
+            amap.transfer_half(9, ChunkId(2, 0))
+
+    def test_remove_object_clears_both_sides(self):
+        amap = AssociationMap()
+        a, b = ChunkId(2, 0), ChunkId(2, 2)
+        amap.associate_halves(1, 4, a, b)
+        amap.remove_object(1)
+        assert amap.chunk_weight_twice(a) == 0
+        assert amap.chunk_weight_twice(b) == 0
+        assert amap.chunks() == []
+        amap.check_invariants()
+
+    def test_residue_marking(self):
+        amap = AssociationMap()
+        amap.associate_whole(1, 4, ChunkId(2, 0))
+        amap.mark_residue(1)
+        entry = amap.entry(1)
+        assert entry is not None and not entry.live
+        # Residues keep their weight.
+        assert amap.chunk_weight_twice(ChunkId(2, 0)) == 8
+
+
+class TestMiddleChunks:
+    def test_mark_and_query(self):
+        amap = AssociationMap()
+        chunk = ChunkId(2, 5)
+        amap.mark_middle(chunk)
+        assert amap.is_middle(chunk)
+        assert amap.middle_chunks() == {chunk}
+
+    def test_association_ends_membership(self):
+        amap = AssociationMap()
+        chunk = ChunkId(2, 5)
+        amap.mark_middle(chunk)
+        amap.associate_whole(1, 4, chunk)
+        assert not amap.is_middle(chunk)
+
+    def test_cannot_mark_associated_chunk(self):
+        amap = AssociationMap()
+        chunk = ChunkId(2, 5)
+        amap.associate_whole(1, 4, chunk)
+        with pytest.raises(ValueError):
+            amap.mark_middle(chunk)
+
+    def test_merge_clears_middles(self):
+        amap = AssociationMap()
+        amap.mark_middle(ChunkId(2, 5))
+        amap.merge_step()
+        assert amap.middle_chunks() == set()
+
+
+class TestMergeStep:
+    def test_sibling_halves_recombine(self):
+        amap = AssociationMap()
+        left, right = ChunkId(2, 4), ChunkId(2, 5)  # siblings
+        amap.associate_halves(1, 8, left, right)
+        amap.merge_step()
+        parent = ChunkId(3, 2)
+        assert amap.chunk_weight_twice(parent) == WHOLE * 8
+        entry = amap.entry(1)
+        assert entry is not None and entry.chunks == {parent: WHOLE}
+        amap.check_invariants()
+
+    def test_non_sibling_halves_stay_split(self):
+        amap = AssociationMap()
+        a, b = ChunkId(2, 5), ChunkId(2, 6)  # adjacent but not siblings
+        amap.associate_halves(1, 8, a, b)
+        amap.merge_step()
+        assert amap.chunk_weight_twice(ChunkId(3, 2)) == HALF * 8
+        assert amap.chunk_weight_twice(ChunkId(3, 3)) == HALF * 8
+        amap.check_invariants()
+
+    def test_weights_preserved_under_merge(self):
+        amap = AssociationMap()
+        amap.associate_whole(1, 2, ChunkId(2, 0))
+        amap.associate_whole(2, 4, ChunkId(2, 1))
+        amap.associate_halves(3, 8, ChunkId(2, 2), ChunkId(2, 4))
+        before = sum(amap.chunk_weight_twice(c) for c in amap.chunks())
+        amap.merge_step()
+        after = sum(amap.chunk_weight_twice(c) for c in amap.chunks())
+        assert before == after
+        amap.check_invariants()
+
+
+class TestClearChunk:
+    def test_clears_wholes(self):
+        amap = AssociationMap()
+        chunk = ChunkId(2, 0)
+        amap.associate_whole(1, 4, chunk)
+        amap.mark_residue(1)
+        released = amap.clear_chunk(chunk)
+        assert released == [1]
+        assert amap.entry(1) is None
+
+    def test_keeps_other_half(self):
+        """Clearing one chunk of a half/half object must NOT shrink the
+        other chunk's weight (potential monotonicity)."""
+        amap = AssociationMap()
+        a, b = ChunkId(2, 0), ChunkId(2, 3)
+        amap.associate_halves(1, 8, a, b)
+        amap.mark_residue(1)
+        released = amap.clear_chunk(a)
+        assert released == []  # object still associated via b
+        assert amap.chunk_weight_twice(b) == HALF * 8
+        amap.check_invariants()
+
+    def test_clearing_second_chunk_releases(self):
+        amap = AssociationMap()
+        a, b = ChunkId(2, 0), ChunkId(2, 3)
+        amap.associate_halves(1, 8, a, b)
+        amap.mark_residue(1)
+        amap.clear_chunk(a)
+        released = amap.clear_chunk(b)
+        assert released == [1]
+
+    def test_clear_rejects_live_members(self):
+        amap = AssociationMap()
+        chunk = ChunkId(2, 0)
+        amap.associate_whole(1, 4, chunk)
+        with pytest.raises(ValueError, match="live"):
+            amap.clear_chunk(chunk)
+
+    def test_clear_ends_middle_membership(self):
+        amap = AssociationMap()
+        chunk = ChunkId(2, 5)
+        amap.mark_middle(chunk)
+        amap.clear_chunk(chunk)
+        assert not amap.is_middle(chunk)

@@ -1,0 +1,102 @@
+"""Property-based tests for the association map.
+
+Random sequences of the operations P_F actually performs must preserve
+the structural invariants (Claim 4.15's shape) and conserve weight
+except where the semantics say otherwise (removal, clearing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.association import HALF, WHOLE, AssociationMap
+from repro.heap.chunks import ChunkId
+
+
+@st.composite
+def association_ops(draw):
+    """A random op sequence over a small chunk universe."""
+    ops = []
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(
+            st.sampled_from(
+                ["whole", "halves", "remove", "transfer", "clear",
+                 "middle", "residue", "merge"]
+            )
+        )
+        ops.append(
+            (
+                kind,
+                draw(st.integers(0, 30)),     # object id selector
+                draw(st.integers(0, 15)),     # chunk index a
+                draw(st.integers(0, 15)),     # chunk index b
+                draw(st.sampled_from([1, 2, 4, 8])),  # size
+            )
+        )
+    return ops
+
+
+class TestAssociationProperties:
+    @given(association_ops())
+    @settings(max_examples=150)
+    def test_invariants_under_random_ops(self, ops):
+        amap = AssociationMap()
+        exponent = 3
+        next_id = 0
+
+        def chunk(index: int) -> ChunkId:
+            return ChunkId(exponent, index)
+
+        for kind, selector, a, b, size in ops:
+            if kind == "whole":
+                amap.associate_whole(next_id, size, chunk(a))
+                next_id += 1
+            elif kind == "halves" and a != b:
+                amap.associate_halves(next_id, size, chunk(a), chunk(b))
+                next_id += 1
+            elif kind == "remove" and next_id:
+                amap.remove_object(selector % next_id)
+            elif kind == "transfer" and next_id:
+                object_id = selector % next_id
+                entry = amap.entry(object_id)
+                if entry is not None and sorted(entry.chunks.values()) == [
+                    HALF, HALF
+                ]:
+                    away = sorted(entry.chunks)[0]
+                    amap.transfer_half(object_id, away)
+            elif kind == "clear":
+                members = amap.chunk_members(chunk(a))
+                if all(
+                    not amap.entry(oid).live  # type: ignore[union-attr]
+                    for oid in members
+                ):
+                    amap.clear_chunk(chunk(a))
+            elif kind == "middle":
+                if not amap.chunk_members(chunk(a)):
+                    amap.mark_middle(chunk(a))
+            elif kind == "residue" and next_id:
+                amap.mark_residue(selector % next_id)
+            elif kind == "merge":
+                exponent += 1
+                amap.merge_step()
+            amap.check_invariants()
+
+    @given(association_ops())
+    @settings(max_examples=100)
+    def test_merge_conserves_weight(self, ops):
+        """A step change never changes total associated weight."""
+        amap = AssociationMap()
+        next_id = 0
+        for kind, selector, a, b, size in ops:
+            if kind == "whole":
+                amap.associate_whole(next_id, size, ChunkId(3, a))
+                next_id += 1
+            elif kind == "halves" and a != b:
+                amap.associate_halves(next_id, size, ChunkId(3, a), ChunkId(3, b))
+                next_id += 1
+        before = sum(amap.chunk_weight_twice(c) for c in amap.chunks())
+        amap.merge_step()
+        after = sum(amap.chunk_weight_twice(c) for c in amap.chunks())
+        assert before == after
+
+    def test_whole_constant_is_twice_half(self):
+        assert WHOLE == 2 * HALF

@@ -1,0 +1,63 @@
+"""Tests for the checkerboard baseline adversary."""
+
+import pytest
+
+from repro.adversary import CheckerboardProgram, PFProgram, RobsonProgram, run_execution
+from repro.core.params import BoundParams
+from repro.mm.registry import create_manager
+
+
+class TestCheckerboard:
+    def test_validation(self):
+        params = BoundParams(1024, 32)
+        with pytest.raises(ValueError):
+            CheckerboardProgram(params, start_size=0)
+        with pytest.raises(ValueError):
+            CheckerboardProgram(params, start_size=64)
+
+    def test_forces_waste_on_first_fit(self):
+        params = BoundParams(1024, 32)
+        result = run_execution(
+            params, CheckerboardProgram(params),
+            create_manager("first-fit", params),
+        )
+        assert result.waste_factor > 1.2
+        assert result.live_peak <= params.live_space
+
+    def test_weaker_than_robson_weaker_than_its_reputation(self):
+        """The adversary hierarchy the experiments lean on: checkerboard
+        < Robson on the same non-moving manager."""
+        params = BoundParams(2048, 64)
+        checker = run_execution(
+            params, CheckerboardProgram(params),
+            create_manager("first-fit", params),
+        )
+        robson = run_execution(
+            params, RobsonProgram(params),
+            create_manager("first-fit", params),
+        )
+        assert checker.waste_factor < robson.waste_factor
+
+    def test_tolerates_compacting_manager(self):
+        params = BoundParams(1024, 32, 10.0)
+        result = run_execution(
+            params, CheckerboardProgram(params),
+            create_manager("sliding-compactor", params),
+        )
+        assert result.budget.moved_words <= (
+            result.budget.allocated_words / 10.0 + 1e-9
+        )
+
+    def test_pf_dominates_checkerboard_under_compaction(self):
+        """P_F's whole point: it hurts a compacting manager far more
+        than the folklore adversary does."""
+        params = BoundParams(8192, 128, 50.0)
+        checker = run_execution(
+            params, CheckerboardProgram(params),
+            create_manager("sliding-compactor", params),
+        )
+        pf = run_execution(
+            params, PFProgram(params),
+            create_manager("sliding-compactor", params),
+        )
+        assert pf.waste_factor > checker.waste_factor

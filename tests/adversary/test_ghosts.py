@@ -1,0 +1,78 @@
+"""Tests for ghost-object bookkeeping (Definition 4.1)."""
+
+import pytest
+
+from repro.adversary.ghosts import Ghost, GhostRegistry
+from repro.heap.object_model import HeapObject
+
+
+def make_obj(object_id=1, address=10, size=4, moved_to=None):
+    obj = HeapObject(object_id=object_id, address=address, size=size)
+    if moved_to is not None:
+        obj.address = moved_to
+        obj.move_count = 1
+    return obj
+
+
+class TestGhost:
+    def test_pins_birth_address(self):
+        """A moved object haunts where it was *allocated*, not where the
+        manager put it."""
+        obj = make_obj(address=10, moved_to=50)
+        registry = GhostRegistry()
+        ghost = registry.record(obj)
+        assert ghost.address == 10
+        assert ghost.size == 4
+        assert ghost.end == 14
+
+    def test_occupies_offset(self):
+        ghost = Ghost(1, 10, 4)
+        assert ghost.occupies_offset(2, 8)
+        assert not ghost.occupies_offset(6, 8)
+        with pytest.raises(ValueError):
+            ghost.occupies_offset(8, 8)
+        with pytest.raises(ValueError):
+            ghost.occupies_offset(0, 0)
+
+
+class TestRegistry:
+    def test_record_and_words(self):
+        registry = GhostRegistry()
+        registry.record(make_obj(1, size=4))
+        registry.record(make_obj(2, address=20, size=6))
+        assert len(registry) == 2
+        assert registry.words == 10
+        assert registry.total_created == 2
+        assert 1 in registry and 3 not in registry
+
+    def test_double_record_rejected(self):
+        registry = GhostRegistry()
+        registry.record(make_obj(1))
+        with pytest.raises(ValueError):
+            registry.record(make_obj(1))
+
+    def test_drop(self):
+        registry = GhostRegistry()
+        registry.record(make_obj(1, size=4))
+        dropped = registry.drop(1)
+        assert dropped.size == 4
+        assert registry.words == 0
+        with pytest.raises(KeyError):
+            registry.drop(1)
+
+    def test_drop_non_occupying(self):
+        registry = GhostRegistry()
+        registry.record(make_obj(1, address=0, size=1))    # offset 0 mod 4
+        registry.record(make_obj(2, address=2, size=1))    # offset 2 mod 4
+        registry.record(make_obj(3, address=6, size=1))    # offset 2 mod 4
+        released = registry.drop_non_occupying(2, 4)
+        assert [g.object_id for g in released] == [1]
+        assert len(registry) == 2
+        assert registry.words == 2
+
+    def test_iteration_snapshot(self):
+        registry = GhostRegistry()
+        registry.record(make_obj(1))
+        for ghost in registry:
+            registry.drop(ghost.object_id)  # safe: iteration is a copy
+        assert len(registry) == 0

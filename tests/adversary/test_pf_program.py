@@ -1,0 +1,211 @@
+"""Tests for the paper's adversary P_F (Algorithm 1).
+
+These are the executable forms of the paper's claims: the Theorem-1
+floor, Prop 4.17's density dichotomy, Claim 4.15's association
+structure, and the contract hygiene of the whole construction.
+"""
+
+import pytest
+
+from repro.adversary.association import WHOLE
+from repro.adversary.driver import run_execution
+from repro.adversary.pf_program import PFProgram
+from repro.analysis.experiments import discretization_allowance
+from repro.core.params import BoundParams
+from repro.core.theorem1 import feasible_density_exponents
+from repro.mm.registry import create_manager
+
+
+def small_params(c=20.0) -> BoundParams:
+    return BoundParams(8192, 128, c)
+
+
+class TestConstruction:
+    def test_requires_finite_c(self):
+        with pytest.raises(ValueError, match="finite c"):
+            PFProgram(BoundParams(8192, 128))
+
+    def test_requires_feasible_n(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            PFProgram(BoundParams(1024, 8, 100.0))
+
+    def test_default_density_exponent_is_optimal(self):
+        from repro.core.theorem1 import lower_bound
+
+        params = small_params()
+        program = PFProgram(params)
+        assert program.density_exponent == lower_bound(params).density_exponent
+
+    def test_explicit_exponent_validated(self):
+        params = small_params()
+        with pytest.raises(ValueError, match="infeasible"):
+            PFProgram(params, density_exponent=10)
+        feasible = feasible_density_exponents(params)
+        program = PFProgram(params, density_exponent=feasible[0])
+        assert program.density_exponent == feasible[0]
+
+    def test_x_fraction_formula(self):
+        params = small_params()
+        program = PFProgram(params)
+        ell, h = program.density_exponent, program.waste_target
+        assert program.x_fraction == pytest.approx(
+            max(0.0, (1 - 2.0**-ell * h) / (ell + 1))
+        )
+
+
+class TestTheorem1Floor:
+    """The paper's main claim, executed: measured HS/M must reach the
+    (discretization-adjusted) h against every manager we field."""
+
+    @pytest.mark.parametrize(
+        "manager_name",
+        ["first-fit", "best-fit", "segregated-fit",
+         "sliding-compactor", "bp-collector", "theorem2"],
+    )
+    def test_floor_holds(self, manager_name):
+        params = small_params(c=50.0)
+        program = PFProgram(params)
+        result = run_execution(
+            params, program, create_manager(manager_name, params)
+        )
+        floor = max(
+            1.0,
+            program.waste_target
+            - discretization_allowance(params, program.density_exponent),
+        )
+        assert result.waste_factor >= floor - 1e-9, (
+            f"{manager_name} beat Theorem 1: {result.summary()} < {floor:.4f}"
+        )
+
+    def test_floor_scales_with_less_compaction(self):
+        """Raising c (less compaction allowed) must raise measured waste
+        against a budget-hungry manager."""
+        results = []
+        for c in (10.0, 100.0):
+            params = small_params(c=c)
+            program = PFProgram(params)
+            result = run_execution(
+                params, program, create_manager("sliding-compactor", params)
+            )
+            results.append(result.waste_factor)
+        assert results[1] >= results[0] - 0.05
+
+
+class TestExecutionHygiene:
+    def test_contracts_respected(self):
+        params = small_params()
+        program = PFProgram(params)
+        result = run_execution(
+            params, program, create_manager("sliding-compactor", params)
+        )
+        assert result.live_peak <= params.live_space
+        assert result.budget.moved_words <= (
+            result.budget.allocated_words / 20.0 + 1e-9
+        )
+
+    def test_heap_invariants_paranoid(self):
+        """Full heap validation after every event on a smaller run."""
+        params = BoundParams(2048, 64, 20.0)
+        program = PFProgram(params)
+        result = run_execution(
+            params, program, create_manager("sliding-compactor", params),
+            paranoid=True,
+        )
+        assert result.waste_factor >= 1.0
+
+
+class DensityObserver:
+    """Asserts Prop 4.17 after every density pass: each associated chunk
+    holds a single object or weight >= 2^(i - ell)."""
+
+    def __init__(self):
+        self.checked_chunks = 0
+
+    def after_density_pass(self, i, program):
+        threshold2 = 1 << (i - program.density_exponent + 1)
+        for chunk in program.association.chunks():
+            members = program.association.chunk_members(chunk)
+            weight2 = program.association.chunk_weight_twice(chunk)
+            assert len(members) == 1 or weight2 >= threshold2, (
+                f"Prop 4.17 violated at step {i}: chunk {chunk} has "
+                f"{len(members)} objects, weight2={weight2} < {threshold2}"
+            )
+            self.checked_chunks += 1
+
+
+class AssociationObserver:
+    """Asserts Claim 4.15 structure at every stage-2 hook."""
+
+    def __init__(self):
+        self.samples = 0
+
+    def _check(self, program):
+        program.association.check_invariants()
+        # Claim 4.15.3 for live objects: they intersect their chunks.
+        for chunk in program.association.chunks():
+            for object_id in program.association.chunk_members(chunk):
+                entry = program.association.entry(object_id)
+                if entry is None or not entry.live:
+                    continue
+                if not program._view.is_live(object_id):
+                    continue
+                address = program._view.address_of(object_id)
+                assert address < chunk.end and chunk.start < address + entry.size, (
+                    f"live object {object_id} does not intersect {chunk}"
+                )
+        self.samples += 1
+
+    def on_stage2_step(self, i, program):
+        self._check(program)
+
+    def after_density_pass(self, i, program):
+        self._check(program)
+
+    def on_finish(self, program):
+        self.samples += 1
+
+
+class TestPaperInvariants:
+    def test_prop_4_17_density_dichotomy(self):
+        params = small_params()
+        observer = DensityObserver()
+        program = PFProgram(params, observer=observer)
+        run_execution(params, program, create_manager("first-fit", params))
+        assert observer.checked_chunks > 0
+
+    def test_claim_4_15_association_structure(self):
+        params = small_params()
+        observer = AssociationObserver()
+        program = PFProgram(params, observer=observer)
+        run_execution(
+            params, program, create_manager("sliding-compactor", params)
+        )
+        assert observer.samples > 0
+
+    def test_stage2_objects_are_half_associated(self):
+        """Line 14: every surviving fresh object has its halves on the
+        first and third covered chunks."""
+        params = small_params()
+        seen = []
+
+        class AllocObserver:
+            def after_allocation(self, i, obj, program):
+                entry = program.association.entry(obj.object_id)
+                assert entry is not None
+                fractions = sorted(entry.chunks.values())
+                assert fractions != [WHOLE]
+                assert len(entry.chunks) == 2
+                for chunk in entry.chunks:
+                    assert chunk.exponent == i
+                seen.append(obj.object_id)
+
+        program = PFProgram(params, observer=AllocObserver())
+        run_execution(params, program, create_manager("first-fit", params))
+        assert seen, "stage II allocated nothing — construction is broken"
+
+    def test_ghosts_only_from_moves(self):
+        params = small_params()
+        program = PFProgram(params)
+        result = run_execution(params, program, create_manager("first-fit", params))
+        assert result.move_count == 0
+        assert program.ghosts.total_created == 0

@@ -1,0 +1,71 @@
+"""Tests for the potential function u(t) and Claim 4.16."""
+
+import pytest
+
+from repro.adversary.association import AssociationMap
+from repro.adversary.driver import run_execution
+from repro.adversary.pf_program import PFProgram
+from repro.adversary.potential import PotentialObserver, potential, potential_twice
+from repro.core.params import BoundParams
+from repro.heap.chunks import ChunkId
+from repro.mm.registry import create_manager
+
+
+class TestPotentialComputation:
+    def test_empty_map(self):
+        amap = AssociationMap()
+        # u = -n/4: doubled = -n/2.
+        assert potential_twice(amap, 4, 2, max_object=64) == -32
+        assert potential(amap, 4, 2, max_object=64) == -16.0
+
+    def test_saturated_chunk(self):
+        amap = AssociationMap()
+        chunk = ChunkId(4, 0)  # size 16
+        amap.associate_whole(1, 16, chunk)  # weight 16, * 2^2 = 64 > 16
+        value = potential_twice(amap, 4, 2, max_object=64)
+        assert value == 2 * 16 - 32
+
+    def test_unsaturated_chunk(self):
+        amap = AssociationMap()
+        chunk = ChunkId(4, 0)
+        amap.associate_whole(1, 2, chunk)  # weight 2 * 2^2 = 8 < 16
+        assert potential_twice(amap, 4, 2, max_object=64) == 2 * 8 - 32
+
+    def test_middle_chunks_count_full(self):
+        amap = AssociationMap()
+        amap.mark_middle(ChunkId(4, 3))
+        assert potential_twice(amap, 4, 2, max_object=64) == 2 * 16 - 32
+
+    def test_half_weights_exact(self):
+        amap = AssociationMap()
+        amap.associate_halves(1, 2, ChunkId(4, 0), ChunkId(4, 5))
+        # Each half weighs 1 word -> 2^2 * 1 = 4 per chunk.
+        assert potential_twice(amap, 4, 2, max_object=64) == 2 * 4 + 2 * 4 - 32
+
+
+class TestClaim416OnExecutions:
+    """Claim 4.16 part 1 (u never decreases) asserted on live runs via
+    the observer, against managers that do and do not compact."""
+
+    @pytest.mark.parametrize(
+        "manager_name", ["first-fit", "sliding-compactor", "theorem2"]
+    )
+    def test_monotone_potential(self, manager_name):
+        params = BoundParams(8192, 128, 20.0)
+        observer = PotentialObserver()
+        program = PFProgram(params, observer=observer)
+        run_execution(params, program, create_manager(manager_name, params))
+        assert observer.allocation_checks > 0
+        assert len(observer.history) > 3
+        assert observer.history == sorted(observer.history)
+
+    def test_final_potential_bounded_by_heap(self):
+        """u(t) is a lower bound on the heap size (the whole point)."""
+        params = BoundParams(8192, 128, 50.0)
+        observer = PotentialObserver()
+        program = PFProgram(params, observer=observer)
+        result = run_execution(
+            params, program, create_manager("first-fit", params)
+        )
+        final_u = observer.history[-1] / 2.0
+        assert final_u <= result.heap_size + 1e-9

@@ -1,0 +1,125 @@
+"""Tests for Robson's bad program P_R (and the shared engine)."""
+
+import pytest
+
+from repro.adversary.driver import run_execution
+from repro.adversary.ghosts import GhostRegistry
+from repro.adversary.robson_program import RobsonProgram
+from repro.core import robson as robson_bounds
+from repro.core.params import BoundParams
+from repro.mm.fits import BestFitManager, FirstFitManager
+from repro.mm.registry import create_manager
+
+
+class TestAgainstNonMovingManagers:
+    """Robson's theorem: every non-moving manager needs
+    ~ M (log2(n)/2 + 1) - n + 1 words against P_R."""
+
+    @pytest.mark.parametrize(
+        "manager_name",
+        ["first-fit", "best-fit", "next-fit", "worst-fit",
+         "segregated-fit", "buddy", "robson"],
+    )
+    def test_forces_robson_bound(self, manager_name):
+        params = BoundParams(2048, 32)
+        bound = robson_bounds.lower_bound_words(params)
+        program = RobsonProgram(params)
+        manager = create_manager(manager_name, params)
+        result = run_execution(params, program, manager)
+        assert result.heap_size >= bound, (
+            f"{manager_name} beat Robson's bound: {result.summary()}"
+        )
+
+    def test_waste_close_to_bound_for_first_fit(self):
+        """First-fit should land *near* the bound, not just above — the
+        construction is tight."""
+        params = BoundParams(4096, 64)
+        result = run_execution(params, RobsonProgram(params), FirstFitManager())
+        bound = robson_bounds.lower_bound_factor(params)
+        assert bound <= result.waste_factor <= bound * 1.25
+
+    def test_live_space_contract_respected(self):
+        params = BoundParams(1024, 16)
+        result = run_execution(params, RobsonProgram(params), BestFitManager())
+        assert result.live_peak <= params.live_space
+
+    def test_no_moves_no_ghosts(self):
+        params = BoundParams(512, 16)
+        program = RobsonProgram(params)
+        result = run_execution(params, program, FirstFitManager())
+        assert result.move_count == 0
+        assert len(program.ghosts) == 0
+
+    def test_partial_run_with_max_step(self):
+        params = BoundParams(512, 16)
+        program = RobsonProgram(params, max_step=2)
+        result = run_execution(params, program, FirstFitManager())
+        # Only steps 0..2: waste is milder than the full bound.
+        assert result.waste_factor < robson_bounds.lower_bound_factor(params)
+        assert result.waste_factor >= 1.0
+
+    def test_max_step_validation(self):
+        params = BoundParams(512, 16)
+        with pytest.raises(ValueError):
+            RobsonProgram(params, max_step=params.log_n + 1)
+
+
+class TestAgainstCompactingManagers:
+    def test_ghosts_appear_when_manager_moves(self):
+        params = BoundParams(1024, 16, 4.0)
+        program = RobsonProgram(params)
+        manager = create_manager("sliding-compactor", params)
+        result = run_execution(params, program, manager)
+        if result.move_count:
+            assert program.ghosts.total_created == result.move_count
+        # Every contract held regardless.
+        assert result.budget.moved_words <= (
+            result.budget.allocated_words / 4.0 + 1e-9
+        )
+        assert result.live_peak <= params.live_space
+
+    def test_bp_collector_stays_within_guarantee(self):
+        params = BoundParams(1024, 16, 4.0)
+        result = run_execution(
+            params, RobsonProgram(params), create_manager("bp-collector", params)
+        )
+        assert result.waste_factor <= 4.0 + 1.0 + 0.1
+
+
+class TestEngineInternals:
+    def test_offset_candidates(self):
+        """f_i is f_{i-1} or f_{i-1} + 2^{i-1} — check via a tiny run."""
+        params = BoundParams(64, 8)
+        program = RobsonProgram(params)
+        run_execution(params, program, FirstFitManager())
+        assert program.engine is not None
+        offset = program.engine.offset
+        assert 0 <= offset < params.max_object
+
+    def test_occupying_word(self):
+        view = None  # the engine only needs the view for steps
+        engine_cls = type(RobsonProgram(BoundParams(64, 8)))
+        _ = engine_cls  # constructed implicitly; direct engine test below
+        from repro.adversary.robson_program import RobsonEngine
+
+        engine = RobsonEngine.__new__(RobsonEngine)
+        engine.offset = 3
+        engine.step_index = 3  # period 8
+        assert engine.occupying_word(0, 8) == 3
+        assert engine.occupying_word(10, 8) == 11
+        with pytest.raises(ValueError):
+            engine.occupying_word(0, 2)  # [0,2) misses offset 3 mod 8
+
+    def test_wasted_space_counts_ghosts(self):
+        from repro.adversary.robson_program import RobsonEngine
+        from repro.heap.object_model import HeapObject
+
+        ghosts = GhostRegistry()
+        ghosts.record(HeapObject(object_id=9, address=1, size=1))
+        engine = RobsonEngine.__new__(RobsonEngine)
+        engine.ghosts = ghosts
+        engine._live = {}
+        engine._live_words = 0
+        # Offset 1, period 2: only the ghost occupies; waste = 2 - 1 = 1.
+        assert engine._wasted_space(1, 2) == 1
+        assert engine._wasted_space(0, 2) == 0

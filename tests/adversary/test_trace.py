@@ -1,0 +1,39 @@
+"""Tests for the trace log."""
+
+from repro.adversary.trace import TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_iterate(self):
+        log = TraceLog()
+        log.record_alloc(1, 0, 8, 0)
+        log.record_move(2, 0, 8, 0, 16)
+        log.record_free(3, 0, 8, 16)
+        log.record_mark(4, "done")
+        assert len(log) == 4
+        kinds = [event.kind for event in log]
+        assert kinds == ["alloc", "move", "free", "mark"]
+        assert log[0].size == 8
+
+    def test_of_kind(self):
+        log = TraceLog()
+        log.record_alloc(1, 0, 4, 0)
+        log.record_alloc(2, 1, 4, 4)
+        log.record_free(3, 0, 4, 0)
+        assert len(log.of_kind("alloc")) == 2
+        assert len(log.of_kind("free")) == 1
+        assert log.of_kind("move") == []
+
+    def test_replay_requests_skips_moves_and_marks(self):
+        log = TraceLog()
+        log.record_alloc(1, 0, 4, 0)
+        log.record_move(2, 0, 4, 0, 16)
+        log.record_mark(3, "step")
+        log.record_free(4, 0, 4, 16)
+        assert list(log.replay_requests()) == [("alloc", 4), ("free", 0)]
+
+    def test_describe_lines(self):
+        assert "alloc" in TraceEvent(1, "alloc", 0, 4, 0).describe()
+        assert "->" in TraceEvent(1, "move", 0, 4, 16, 0).describe()
+        assert "free" in TraceEvent(1, "free", 0, 4, 0).describe()
+        assert "hello" in TraceEvent(1, "mark", label="hello").describe()

@@ -1,0 +1,92 @@
+"""Tests for the experiment harness (small, fast grids)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentRow,
+    best_manager_against_pf,
+    discretization_allowance,
+    pf_experiment,
+    robson_experiment,
+    upper_bound_experiment,
+)
+from repro.core.params import BoundParams
+
+
+SMALL = BoundParams(2048, 64, 20.0)
+SMALL_NO_C = BoundParams(2048, 64)
+
+
+class TestDiscretizationAllowance:
+    def test_formula(self):
+        params = BoundParams(8192, 128, 50.0)
+        expected = (2 * 128 + 32 + 2**3) / 8192
+        assert discretization_allowance(params, 2) == pytest.approx(expected)
+
+    def test_shrinks_with_scale(self):
+        small = discretization_allowance(BoundParams(8192, 128, 50.0), 2)
+        large = discretization_allowance(BoundParams(8192 * 16, 128 * 16, 50.0), 2)
+        assert large == pytest.approx(small, rel=0.05)
+        paper = discretization_allowance(
+            BoundParams(1 << 28, 1 << 20, 50.0), 3
+        )
+        assert paper < 0.01
+
+
+class TestRobsonExperiment:
+    def test_all_rows_respect_bound(self):
+        rows = robson_experiment(SMALL_NO_C, ("first-fit", "best-fit"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.respects_lower_bound
+            assert row.bound_name == "robson-lower"
+            assert row.result.total_moved == 0
+
+
+class TestPFExperiment:
+    def test_all_rows_respect_floor(self):
+        rows = pf_experiment(SMALL, ("first-fit", "sliding-compactor"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.respects_lower_bound, row.result.summary()
+            assert row.allowance > 0
+            assert row.effective_floor >= 1.0
+
+    def test_needs_finite_c(self):
+        with pytest.raises(ValueError):
+            pf_experiment(SMALL_NO_C)
+
+    def test_best_manager_helper(self):
+        name, factor = best_manager_against_pf(
+            SMALL, ("first-fit", "sliding-compactor")
+        )
+        assert name in ("first-fit", "sliding-compactor")
+        assert factor >= 1.0
+
+
+class TestUpperBoundExperiment:
+    def test_bp_guarantee_holds(self):
+        from repro.adversary.pf_program import PFProgram
+        from repro.adversary.workloads import SawtoothWorkload
+
+        rows = upper_bound_experiment(
+            SMALL,
+            programs=(PFProgram(SMALL), SawtoothWorkload(SMALL, cycles=3)),
+        )
+        for row in rows:
+            assert row.respects_upper_bound, row.result.summary()
+            assert row.bound_factor == 21.0
+
+    def test_needs_finite_c(self):
+        with pytest.raises(ValueError):
+            upper_bound_experiment(SMALL_NO_C)
+
+
+class TestRowProperties:
+    def test_factor_math(self):
+        rows = pf_experiment(SMALL, ("first-fit",))
+        row = rows[0]
+        assert row.measured_factor == pytest.approx(
+            row.result.heap_size / SMALL.live_space
+        )
+        assert isinstance(row, ExperimentRow)

@@ -1,0 +1,99 @@
+"""Tests for the figure data series."""
+
+import pytest
+
+from repro.analysis.figures import figure1_series, figure2_series, figure3_series
+from repro.core.params import KB, MB, BoundParams
+
+
+class TestFigure1:
+    def test_paper_anchor_points(self):
+        figure = figure1_series(c_values=(10, 50, 100))
+        ours = figure.series["cohen-petrank (Thm 1)"]
+        assert ours[0] == pytest.approx(2.0, abs=0.1)
+        assert ours[1] == pytest.approx(3.15, abs=0.1)
+        assert ours[2] == pytest.approx(3.5, abs=0.1)
+
+    def test_bp_flat_at_one(self):
+        """The paper's Figure 1 shows BP'11 pinned at the trivial bound."""
+        figure = figure1_series()
+        assert all(v == 1.0 for v in figure.series["bendersky-petrank 2011"])
+
+    def test_ours_dominates_prior(self):
+        figure = figure1_series()
+        ours = figure.series["cohen-petrank (Thm 1)"]
+        prior = figure.series["bendersky-petrank 2011"]
+        assert all(a >= b for a, b in zip(ours, prior))
+
+    def test_monotone_in_c(self):
+        figure = figure1_series()
+        ours = figure.series["cohen-petrank (Thm 1)"]
+        assert all(b >= a - 1e-9 for a, b in zip(ours, ours[1:]))
+
+    def test_rows_and_header(self):
+        figure = figure1_series(c_values=(10, 20))
+        header = figure.header()
+        rows = figure.rows()
+        assert header[0] == "c"
+        assert len(rows) == 2
+        assert len(rows[0]) == len(header)
+        assert rows[0][0] == 10.0
+
+    def test_custom_params(self):
+        figure = figure1_series(
+            params=BoundParams(64 * MB, 1 * MB), c_values=(20, 40)
+        )
+        assert len(figure.x_values) == 2
+
+
+class TestFigure2:
+    def test_default_range_is_1kb_to_1gb(self):
+        figure = figure2_series()
+        assert figure.x_values[0] == float(KB)
+        assert figure.x_values[-1] == float(1 << 30)
+
+    def test_monotone_in_n(self):
+        figure = figure2_series()
+        values = figure.series["cohen-petrank (Thm 1)"]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_large_n_exceeds_4x(self):
+        """At n = 1GB, M = 256n, c = 100 the bound is well past 4x."""
+        figure = figure2_series()
+        assert figure.series["cohen-petrank (Thm 1)"][-1] > 4.0
+
+
+class TestFigure3:
+    def test_new_bound_never_worse_than_prior(self):
+        figure = figure3_series()
+        new = figure.series["cohen-petrank (Thm 2)"]
+        prior = figure.series["prior best min(Robson, (c+1)M)"]
+        assert all(a <= b + 1e-9 for a, b in zip(new, prior))
+
+    def test_improvement_peaks_near_c20(self):
+        figure = figure3_series()
+        new = figure.series["cohen-petrank (Thm 2)"]
+        prior = figure.series["prior best min(Robson, (c+1)M)"]
+        improvements = {
+            int(c): 1 - a / b
+            for c, a, b in zip(figure.x_values, new, prior)
+        }
+        # Meaningful improvement in the paper's highlighted region...
+        assert improvements[20] > 0.10
+        # ...shrinking toward large c.
+        assert improvements[100] < improvements[20]
+
+    def test_prior_is_min_of_components(self):
+        figure = figure3_series(c_values=(15, 30, 60))
+        prior = figure.series["prior best min(Robson, (c+1)M)"]
+        robson = figure.series["robson doubled"]
+        bp = figure.series["bp (c+1)M"]
+        for p, r, b in zip(prior, robson, bp):
+            assert p == pytest.approx(min(r, b))
+
+    def test_inapplicable_region_falls_back(self):
+        """Below c = log2(n)/2 = 10 the Thm-2 series equals prior best."""
+        figure = figure3_series(c_values=(10,))
+        assert figure.series["cohen-petrank (Thm 2)"][0] == pytest.approx(
+            figure.series["prior best min(Robson, (c+1)M)"][0]
+        )

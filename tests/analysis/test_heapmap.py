@@ -1,0 +1,49 @@
+"""Tests for the ASCII heap map."""
+
+from repro.analysis.heapmap import density_bar, render_heap
+from repro.heap.heap import SimHeap
+
+
+class TestRenderHeap:
+    def test_empty(self):
+        assert render_heap(SimHeap()) == "(empty heap)"
+
+    def test_full_heap_is_hashes(self):
+        heap = SimHeap()
+        heap.place(0, 64)
+        art = render_heap(heap, width=16, rows=1)
+        row = art.splitlines()[0]
+        assert "#" * 16 in row
+
+    def test_free_below_high_water_is_dots(self):
+        heap = SimHeap()
+        obj = heap.place(0, 32)
+        heap.place(32, 32)
+        heap.free(obj.object_id)
+        art = render_heap(heap, width=16, rows=1)
+        row = art.splitlines()[0]
+        assert "." in row and "#" in row
+
+    def test_legend_reports_high_water(self):
+        heap = SimHeap()
+        heap.place(0, 10)
+        assert "high water = 10" in render_heap(heap)
+
+    def test_address_labels(self):
+        heap = SimHeap()
+        heap.place(0, 256)
+        art = render_heap(heap, width=16, rows=4)
+        assert art.splitlines()[0].strip().startswith("0")
+
+
+class TestDensityBar:
+    def test_empty(self):
+        assert density_bar([]) == "(no data)"
+
+    def test_peak_is_full_block(self):
+        bar = density_bar([0.0, 0.5, 1.0])
+        assert bar[-1] == "█"
+        assert bar[0] == "▁"
+
+    def test_all_zero(self):
+        assert len(density_bar([0.0, 0.0])) == 2

@@ -1,0 +1,68 @@
+"""Tests for table/CSV rendering and the ASCII plotter."""
+
+import pytest
+
+from repro.analysis.ascii_plot import render_figure, render_series
+from repro.analysis.figures import figure1_series
+from repro.analysis.report import figure_table, format_table, to_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        table = format_table(
+            ("name", "value"), [("a", 1.23456), ("bb", 2.0)], precision=3
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in table
+        assert "2.000" in table
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        table = format_table(("x",), [])
+        assert "x" in table
+
+
+class TestFigureTable:
+    def test_contains_all_series(self):
+        figure = figure1_series(c_values=(10, 20))
+        text = figure_table(figure)
+        assert "cohen-petrank (Thm 1)" in text
+        assert "bendersky-petrank 2011" in text
+        assert "10.0000" in text
+
+
+class TestCsv:
+    def test_round_trip_shape(self):
+        csv = to_csv(("a", "b"), [(1, 2), (3, 4)])
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert len(lines) == 3
+
+
+class TestAsciiPlot:
+    def test_renders_glyphs_and_legend(self):
+        art = render_series(
+            [0, 1, 2, 3], {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20, height=6,
+        )
+        assert "*" in art and "o" in art
+        assert "legend:" in art
+        assert "up" in art and "down" in art
+
+    def test_empty_data(self):
+        assert render_series([], {}) == "(no data)"
+
+    def test_constant_series(self):
+        art = render_series([0, 1], {"flat": [5.0, 5.0]}, width=12, height=4)
+        assert "flat" in art
+
+    def test_too_small_plot_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([0], {"s": [1.0]}, width=2, height=2)
+
+    def test_render_figure(self):
+        art = render_figure(figure1_series(c_values=(10, 50, 100)))
+        assert "figure1" in art
+        assert "c" in art

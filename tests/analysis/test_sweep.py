@@ -1,0 +1,65 @@
+"""Tests for the sweep/CSV tooling."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepRow,
+    simulation_sweep,
+    sweep_to_csv,
+    theory_sweep,
+)
+from repro.core.params import MB, BoundParams
+
+
+class TestTheorySweep:
+    def test_rows_cover_grid(self):
+        base = BoundParams(256 * MB, 1 * MB)
+        rows = theory_sweep(base, (10, 20, 50))
+        assert [row.c for row in rows] == [10.0, 20.0, 50.0]
+
+    def test_bounds_consistent_per_row(self):
+        base = BoundParams(256 * MB, 1 * MB)
+        for row in theory_sweep(base, (10, 20, 50, 100)):
+            upper_candidates = [row.bp_upper, row.robson_upper]
+            if row.theorem2_upper is not None:
+                upper_candidates.append(row.theorem2_upper)
+            assert row.theorem1_lower <= min(upper_candidates) + 1e-9
+            assert row.bp_lower <= min(upper_candidates) + 1e-9
+
+    def test_theorem2_blank_when_inapplicable(self):
+        base = BoundParams(256 * MB, 1 * MB)
+        rows = theory_sweep(base, (5,))
+        assert rows[0].theorem2_upper is None
+
+
+class TestSimulationSweep:
+    def test_measurements_respect_theory(self):
+        base = BoundParams(2048, 64)
+        rows = simulation_sweep(base, (20.0,), ("first-fit",))
+        row = rows[0]
+        assert "first-fit" in row.measured
+        # Measured adversarial waste within the theoretical bracket
+        # (generous: the bracket is for optimal players).
+        assert row.measured["first-fit"] >= 1.0
+        assert row.measured["first-fit"] <= row.robson_upper + 1e-9
+
+
+class TestCsvExport:
+    def test_header_and_shape(self):
+        base = BoundParams(256 * MB, 1 * MB)
+        rows = theory_sweep(base, (10, 20))
+        csv = sweep_to_csv(rows, ())
+        lines = csv.splitlines()
+        assert lines[0].startswith("c,theorem1_lower")
+        assert len(lines) == 3
+
+    def test_manager_columns(self):
+        row = SweepRow(
+            c=10.0, theorem1_lower=2.0, bp_lower=1.0, theorem2_upper=None,
+            bp_upper=11.0, robson_upper=22.0, measured={"x": 2.5},
+        )
+        csv = sweep_to_csv([row], ("x",))
+        assert "measured_x" in csv.splitlines()[0]
+        assert csv.splitlines()[1].endswith("2.5")
+        # None upper renders as an empty cell.
+        assert ",,", csv

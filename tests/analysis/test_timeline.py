@@ -1,0 +1,61 @@
+"""Tests for the timeline instrumentation."""
+
+import pytest
+
+from repro.adversary import PFProgram, RandomChurnWorkload, run_execution
+from repro.analysis.timeline import InstrumentedManager, Timeline, TimelineSample
+from repro.core.params import BoundParams
+from repro.mm import FirstFitManager, SlidingCompactor
+
+
+class TestTimeline:
+    def test_sampling_cadence(self):
+        params = BoundParams(1024, 32)
+        manager = InstrumentedManager(FirstFitManager(), every=10)
+        workload = RandomChurnWorkload(params, operations=300, seed=1)
+        run_execution(params, workload, manager)
+        assert len(manager.timeline) >= 300 // 10 - 1
+        indices = [sample.event_index for sample in manager.timeline.samples]
+        assert indices == sorted(indices)
+        assert all(index % 10 == 0 for index in indices)
+
+    def test_samples_track_heap(self):
+        params = BoundParams(1024, 32)
+        manager = InstrumentedManager(FirstFitManager(), every=1)
+        workload = RandomChurnWorkload(params, operations=100, seed=2)
+        result = run_execution(params, workload, manager)
+        peak = manager.timeline.peak()
+        assert peak.high_water == result.heap_size
+        # High water is monotone along the run.
+        waters = [sample.high_water for sample in manager.timeline.samples]
+        assert waters == sorted(waters)
+
+    def test_series(self):
+        params = BoundParams(1024, 32)
+        manager = InstrumentedManager(FirstFitManager(), every=8)
+        run_execution(
+            params, RandomChurnWorkload(params, operations=120, seed=3),
+            manager,
+        )
+        xs, ys = manager.timeline.series(params.live_space)
+        assert len(xs) == len(ys) == len(manager.timeline)
+        assert all(y >= 0 for y in ys)
+
+    def test_composes_with_compactor_and_adversary(self):
+        params = BoundParams(2048, 64, 10.0)
+        manager = InstrumentedManager(SlidingCompactor(), every=32)
+        result = run_execution(params, PFProgram(params), manager)
+        assert result.waste_factor > 1.0
+        moved = [sample.total_moved for sample in manager.timeline.samples]
+        assert moved == sorted(moved)
+        assert "sliding-compactor+timeline" == manager.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstrumentedManager(FirstFitManager(), every=0)
+        with pytest.raises(ValueError):
+            Timeline().peak()
+
+    def test_sample_dataclass(self):
+        sample = TimelineSample(10, 2048, 1024, 0)
+        assert sample.waste_factor(1024) == 2.0

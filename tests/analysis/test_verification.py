@@ -1,0 +1,37 @@
+"""Tests for the one-call verification runner."""
+
+from repro.analysis.verification import CheckResult, verify_reproduction
+from repro.cli import main
+
+
+class TestVerifyReproduction:
+    def test_all_checks_pass_fast(self):
+        results = verify_reproduction(fast=True)
+        assert len(results) == 7
+        failures = [check for check in results if not check.passed]
+        assert not failures, "\n".join(
+            f"{check.name}: {check.detail}" for check in failures
+        )
+
+    def test_check_names(self):
+        names = [check.name for check in verify_reproduction(fast=True)]
+        assert "prose anchors" in names
+        assert "Theorem 1 witnessed" in names
+        assert "lemma ledger" in names
+        assert "exact game anchor" in names
+
+    def test_details_are_informative(self):
+        for check in verify_reproduction(fast=True):
+            assert check.detail  # every check says what it established
+
+    def test_result_type(self):
+        result = verify_reproduction(fast=True)[0]
+        assert isinstance(result, CheckResult)
+
+
+class TestVerifyCli:
+    def test_cli_exit_zero_on_pass(self, capsys):
+        assert main(["verify", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "7/7 checks passed" in out
+        assert "[PASS]" in out and "[FAIL]" not in out

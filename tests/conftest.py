@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import MB, BoundParams
+
+
+@pytest.fixture
+def paper_params() -> BoundParams:
+    """The paper's Figure-1 setting without a compaction budget."""
+    return BoundParams(live_space=256 * MB, max_object=1 * MB)
+
+
+@pytest.fixture
+def tiny_params() -> BoundParams:
+    """A fast simulation-scale point: M=4096, n=64, no compaction."""
+    return BoundParams(live_space=4096, max_object=64)
+
+
+@pytest.fixture
+def tiny_compaction_params() -> BoundParams:
+    """A fast simulation-scale point with a budget: M=8192, n=128, c=50."""
+    return BoundParams(live_space=8192, max_object=128, compaction_divisor=50)

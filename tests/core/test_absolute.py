@@ -1,0 +1,119 @@
+"""Tests for the absolute-budget corollary."""
+
+import pytest
+
+from repro.core import robson
+from repro.core.absolute import lower_bound_absolute, pf_allocation_floor
+from repro.core.params import MB, BoundParams
+from repro.core.theorem1 import lower_bound
+
+
+PAPER = BoundParams(256 * MB, 1 * MB)
+
+
+class TestCorollary:
+    def test_zero_budget_is_robson(self):
+        result = lower_bound_absolute(PAPER, 0)
+        assert result.waste_factor == pytest.approx(
+            robson.lower_bound_factor(PAPER)
+        )
+        assert result.effective_divisor is None
+
+    def test_huge_budget_goes_trivial(self):
+        result = lower_bound_absolute(PAPER, 10**12)
+        assert result.is_trivial
+
+    def test_monotone_in_budget(self):
+        """A stingier absolute budget can only raise the floor."""
+        budgets = [2**34, 2**30, 2**26, 2**22]
+        factors = [
+            lower_bound_absolute(PAPER, b).waste_factor for b in budgets
+        ]
+        for smaller_budget_factor, larger in zip(factors[1:], factors):
+            assert smaller_budget_factor >= larger - 1e-9
+
+    def test_small_budget_beats_c_partial_at_matching_rate(self):
+        """With B = (total PF allocation) / c the corollary should land
+        near the c-partial bound — sanity link between the models."""
+        c = 100.0
+        probe = PAPER.with_compaction(c)
+        direct = lower_bound(probe)
+        assert direct.density_exponent is not None
+        floor = pf_allocation_floor(PAPER, direct.density_exponent, c)
+        result = lower_bound_absolute(PAPER, int(floor / c))
+        # The corollary searches c on a 1% geometric grid, so allow a
+        # grid-granularity gap below the direct bound.
+        assert result.waste_factor >= direct.waste_factor - 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_absolute(PAPER, -1)
+
+    def test_result_fields(self):
+        result = lower_bound_absolute(PAPER, 2**24)
+        assert result.budget_words == 2**24
+        assert result.heap_words == pytest.approx(
+            result.waste_factor * PAPER.live_space
+        )
+        if not result.is_trivial:
+            assert result.effective_divisor is not None
+            assert result.density_exponent is not None
+
+
+class TestAllocationFloor:
+    def test_at_least_m(self):
+        assert pf_allocation_floor(PAPER, 3, 100.0) >= PAPER.live_space
+
+    def test_grows_with_steps(self):
+        small_n = BoundParams(256 * MB, 1 << 14)
+        assert pf_allocation_floor(PAPER, 3, 100.0) > pf_allocation_floor(
+            small_n, 3, 100.0
+        )
+
+
+class TestAbsoluteBudgetExecution:
+    """The B-bounded ledger drives real executions."""
+
+    def test_pf_respects_absolute_floor(self):
+        from repro.adversary import PFProgram, run_execution
+        from repro.mm.budget import AbsoluteBudget
+        from repro.mm.compacting import SlidingCompactor
+
+        params = BoundParams(8192, 128)
+        budget_words = 256
+        corollary = lower_bound_absolute(params, budget_words)
+        # Drive P_F at the corollary's effective divisor.
+        assert corollary.effective_divisor is not None
+        program = PFProgram(
+            params.with_compaction(corollary.effective_divisor),
+            density_exponent=corollary.density_exponent,
+        )
+        result = run_execution(
+            params.with_compaction(corollary.effective_divisor),
+            program,
+            SlidingCompactor(),
+            budget=AbsoluteBudget(budget_words),
+        )
+        assert result.total_moved <= budget_words
+        from repro.analysis.experiments import discretization_allowance
+
+        floor = corollary.waste_factor - discretization_allowance(
+            params, corollary.density_exponent or 1
+        )
+        assert result.waste_factor >= floor - 1e-9
+
+    def test_ledger_enforced(self):
+        from repro.heap.errors import CompactionBudgetExceeded
+        from repro.mm.budget import AbsoluteBudget
+
+        budget = AbsoluteBudget(10)
+        budget.charge_allocation(1000)
+        budget.charge_move(10)
+        assert budget.remaining == 0.0
+        with pytest.raises(CompactionBudgetExceeded):
+            budget.charge_move(1)
+        budget.check_invariant()
+        snap = budget.snapshot()
+        assert snap.absolute_limit == 10
+        assert snap.earned == 10.0
+        assert snap.remaining == 0.0

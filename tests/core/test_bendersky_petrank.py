@@ -1,0 +1,76 @@
+"""Tests for the Bendersky–Petrank POPL'11 bounds."""
+
+import pytest
+
+from repro.core import bendersky_petrank as bp
+from repro.core.params import GB, MB, BoundParams
+
+
+class TestUpperBound:
+    def test_factor_is_c_plus_one(self):
+        params = BoundParams(4096, 64, 9.0)
+        assert bp.upper_bound_factor(params) == 10.0
+        assert bp.upper_bound_words(params) == pytest.approx(10.0 * 4096)
+
+    def test_needs_finite_c(self):
+        with pytest.raises(ValueError):
+            bp.upper_bound_factor(BoundParams(4096, 64))
+
+
+class TestRegimes:
+    def test_low_c_regime(self):
+        params = BoundParams(256 * MB, 1 * MB, 80.0)  # 4 log n = 80
+        assert bp.regime(params) == "low-c"
+
+    def test_high_c_regime(self):
+        params = BoundParams(256 * MB, 1 * MB, 81.0)
+        assert bp.regime(params) == "high-c"
+
+
+class TestVacuousAtPracticalScale:
+    """The paper's headline: at M=256MB, n=1MB the BP'11 lower bound gives
+    'nothing but the trivial lower bound' across Figure 1's c range."""
+
+    @pytest.mark.parametrize("c", [10, 25, 50, 75, 100])
+    def test_below_trivial_throughout_figure1(self, c):
+        params = BoundParams(256 * MB, 1 * MB, float(c))
+        assert bp.lower_bound_words(params) < params.live_space
+        assert bp.lower_bound_factor(params) == 1.0
+
+    def test_meaningful_only_for_huge_heaps(self):
+        """The paper: the bound only beats M for enormous objects (it
+        cites M > n = 16TB).  Check it does turn non-trivial there:
+        n = 2^41 words with generous live space and c = 10 puts the
+        low-c branch at about 1.18 M."""
+        huge = BoundParams(2**54, 2**50, 10.0)
+        assert bp.lower_bound_words(huge) > huge.live_space
+
+    def test_low_c_formula_values(self):
+        params = BoundParams(256 * MB, 1 * MB, 10.0)
+        # min(10, 20 / (10 log2 11)) * M - 5n
+        import math
+
+        expected = (
+            min(10.0, 20.0 / (10.0 * math.log2(11.0))) * params.live_space
+            - 5.0 * params.max_object
+        )
+        assert bp.lower_bound_words(params) == pytest.approx(expected)
+
+    def test_high_c_formula_values(self):
+        import math
+
+        params = BoundParams(256 * MB, 1 * MB, 100.0)
+        expected = (params.live_space / 6.0) * 20.0 / (
+            math.log2(20.0) + 2.0
+        ) - params.max_object / 2.0
+        assert bp.lower_bound_words(params) == pytest.approx(expected)
+
+    def test_needs_finite_c(self):
+        with pytest.raises(ValueError):
+            bp.lower_bound_words(BoundParams(4096, 64))
+        with pytest.raises(ValueError):
+            bp.regime(BoundParams(4096, 64))
+
+    def test_gb_scale_still_trivial(self):
+        params = BoundParams(64 * GB, 256 * MB, 50.0)
+        assert bp.lower_bound_factor(params) == 1.0

@@ -1,0 +1,105 @@
+"""Algebraic cross-check of the Theorem-1 fixed point.
+
+The closed-form ``h`` was derived by solving ``HS = h M`` in the chain
+
+    HS >= M (ell+2)/2 - (2^ell/c) s1 + (3/4 - 2^ell/c) s2 - n/4
+    s1  = M (ell + 1 - S(ell)/2)          (Claim 4.11, extremal)
+    s2  = M (1 - 2^-ell h) K/(ell+1) - 2n  (Claim 4.18, extremal)
+
+These tests re-derive ``h`` *numerically* — fixed-point iteration over
+exactly those three displayed equations, no simplification — and demand
+agreement with the closed form to machine precision.  Any algebra slip
+in ``waste_factor_at`` (a dropped factor, a sign, a misplaced
+denominator) would show up here immediately.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import BoundParams
+from repro.core.series import stage1_series_float
+from repro.core.theorem1 import feasible_density_exponents, waste_factor_at
+
+
+def fixed_point_h(params: BoundParams, ell: int) -> float:
+    """Solve ``HS = h M`` directly from the (affine) lemma chain.
+
+    The chain maps ``h`` to ``f(h) = A - B h`` (``s2`` is affine in
+    ``h``); evaluating ``f`` at 0 and 1 recovers ``A`` and ``B`` without
+    re-deriving them symbolically, and the fixed point is
+    ``A / (1 + B)``.  (Plain iteration diverges when ``B > 1``, which
+    happens at small ``ell`` — the equation still has the unique
+    solution.)
+    """
+    M, n = params.live_space, params.max_object
+    c = params.compaction_divisor
+    assert c is not None
+    budget_rate = 2.0**ell / c
+    K = params.log_n - 2 * ell - 1
+    s1 = M * (ell + 1 - stage1_series_float(ell) / 2.0)
+
+    def chain(h: float) -> float:
+        s2 = M * (1.0 - 2.0**-ell * h) * K / (ell + 1.0) - 2.0 * n
+        hs = (
+            M * (ell + 2) / 2.0
+            - budget_rate * s1
+            + (0.75 - budget_rate) * s2
+            - n / 4.0
+        )
+        return hs / M
+
+    intercept = chain(0.0)
+    slope = intercept - chain(1.0)  # B
+    return intercept / (1.0 + slope)
+
+
+class TestFixedPointAgreement:
+    @pytest.mark.parametrize("c", [10.0, 20.0, 50.0, 100.0])
+    def test_paper_scale(self, c):
+        params = BoundParams(1 << 28, 1 << 20, c)
+        # The closed form folds (3/4 - 2^ell/c) * 2n + n/4 into a flat 2n
+        # numerator term; the residual is O(n/M) (= 2^-8 here).
+        fold_slack = 3.0 * params.max_object / params.live_space
+        for ell in feasible_density_exponents(params):
+            iterated = fixed_point_h(params, ell)
+            closed = waste_factor_at(params, ell)
+            assert iterated == pytest.approx(closed, abs=fold_slack)
+
+    @given(
+        st.integers(min_value=16, max_value=30),
+        st.integers(min_value=8, max_value=22),
+        st.integers(min_value=5, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_agreement_scales_with_n_over_m(self, m_exp, n_exp, c):
+        """The only discrepancy between the iterated chain and the
+        closed form is the folded slack term, bounded by ~n/M."""
+        n_exp = min(n_exp, m_exp - 4)
+        if n_exp < 4:
+            return
+        params = BoundParams(1 << m_exp, 1 << n_exp, float(c))
+        slack_budget = 3.0 * params.max_object / params.live_space + 1e-9
+        for ell in feasible_density_exponents(params):
+            iterated = fixed_point_h(params, ell)
+            closed = waste_factor_at(params, ell)
+            assert abs(iterated - closed) <= slack_budget
+
+    def test_solution_is_a_fixed_point(self):
+        """Substituting the solution back into the chain reproduces it."""
+        params = BoundParams(1 << 28, 1 << 20, 100.0)
+        for ell in feasible_density_exponents(params):
+            h = fixed_point_h(params, ell)
+            # One more application of the chain must return h itself.
+            M, n = params.live_space, params.max_object
+            budget_rate = 2.0**ell / 100.0
+            K = params.log_n - 2 * ell - 1
+            s1 = M * (ell + 1 - stage1_series_float(ell) / 2.0)
+            s2 = M * (1.0 - 2.0**-ell * h) * K / (ell + 1.0) - 2.0 * n
+            hs = (
+                M * (ell + 2) / 2.0
+                - budget_rate * s1
+                + (0.75 - budget_rate) * s2
+                - n / 4.0
+            )
+            assert hs / M == pytest.approx(h, abs=1e-9)

@@ -1,0 +1,63 @@
+"""Tests for the best-known bound envelopes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import best_lower_bound, best_upper_bound, envelope
+from repro.core.params import MB, BoundParams
+
+
+class TestAttribution:
+    def test_theorem1_wins_at_paper_point(self):
+        factor, source = best_lower_bound(BoundParams(256 * MB, 1 * MB, 100))
+        assert source == "cohen-petrank-theorem1"
+        assert factor == pytest.approx(3.5, abs=0.1)
+
+    def test_robson_wins_without_compaction(self):
+        factor, source = best_lower_bound(BoundParams(256 * MB, 1 * MB))
+        assert source == "robson"
+        assert factor == pytest.approx(11.0, abs=0.1)
+
+    def test_trivial_wins_when_nothing_applies(self):
+        factor, source = best_lower_bound(BoundParams(1024, 8, 100))
+        assert source == "trivial"
+        assert factor == 1.0
+
+    def test_bp_upper_wins_at_small_c(self):
+        factor, source = best_upper_bound(BoundParams(256 * MB, 1 * MB, 3))
+        assert source == "bp-(c+1)M"
+        assert factor == 4.0
+
+    def test_theorem2_wins_at_moderate_c(self):
+        _, source = best_upper_bound(BoundParams(256 * MB, 1 * MB, 30))
+        assert source == "cohen-petrank-theorem2"
+
+    def test_robson_upper_without_compaction(self):
+        factor, source = best_upper_bound(BoundParams(256 * MB, 1 * MB))
+        assert source == "robson-doubled"
+        assert factor == pytest.approx(22.0, abs=0.1)
+
+
+class TestConsistency:
+    def test_gap_positive_at_paper_points(self):
+        for c in (10, 20, 50, 100):
+            env = envelope(BoundParams(256 * MB, 1 * MB, c))
+            assert env.is_consistent()
+            assert env.gap >= 1.0
+
+    @given(
+        st.integers(min_value=8, max_value=30),
+        st.integers(min_value=2, max_value=24),
+        st.one_of(st.none(), st.floats(min_value=1.5, max_value=5000.0)),
+    )
+    @settings(max_examples=120)
+    def test_no_bound_inversion_anywhere(self, m_exp, n_exp, c):
+        """Property: across the whole parameter space, no lower bound may
+        cross an upper bound — this cross-checks all four calculators
+        against each other."""
+        n_exp = min(n_exp, m_exp)
+        params = BoundParams(1 << m_exp, 1 << n_exp, c)
+        env = envelope(params)  # raises AssertionError on inversion
+        assert env.lower_factor >= 1.0
+        assert env.upper_factor >= env.lower_factor

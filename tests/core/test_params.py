@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.core.params`."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    GB,
+    KB,
+    MB,
+    PAPER_REALISTIC,
+    BoundParams,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+class TestPowerOfTwoHelpers:
+    def test_powers_recognized(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_rejected(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 100, 1023):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact_on_powers(self):
+        for exponent in range(25):
+            assert log2_exact(1 << exponent) == exponent
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(3)
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_is_power_of_two_matches_bitcount(self, value):
+        assert is_power_of_two(value) == (bin(value).count("1") == 1)
+
+
+class TestUnits:
+    def test_binary_units_chain(self):
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert KB == 1024
+
+
+class TestBoundParamsValidation:
+    def test_valid_construction(self):
+        params = BoundParams(1024, 64, 10.0)
+        assert params.M == 1024
+        assert params.n == 64
+        assert params.c == 10.0
+        assert params.log_n == 6
+
+    def test_rejects_nonpositive_live_space(self):
+        with pytest.raises(ValueError, match="live_space"):
+            BoundParams(0, 64)
+
+    def test_rejects_non_power_of_two_n(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BoundParams(1024, 100)
+
+    def test_rejects_n_larger_than_m(self):
+        with pytest.raises(ValueError, match="may not exceed"):
+            BoundParams(64, 128)
+
+    def test_rejects_c_at_most_one(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            BoundParams(1024, 64, 1.0)
+        with pytest.raises(ValueError, match="exceed 1"):
+            BoundParams(1024, 64, 0.5)
+
+    def test_infinite_c_normalizes_to_none(self):
+        params = BoundParams(1024, 64, math.inf)
+        assert params.compaction_divisor is None
+        assert not params.allows_compaction
+
+    def test_allows_compaction_flag(self):
+        assert BoundParams(1024, 64, 2.0).allows_compaction
+        assert not BoundParams(1024, 64).allows_compaction
+
+
+class TestBoundParamsDerived:
+    def test_with_compaction_copies(self):
+        base = BoundParams(1024, 64)
+        derived = base.with_compaction(10.0)
+        assert derived.compaction_divisor == 10.0
+        assert base.compaction_divisor is None
+        assert derived.live_space == base.live_space
+
+    def test_scaled_preserves_ratio(self):
+        base = BoundParams(1024, 64, 5.0)
+        scaled = base.scaled(4)
+        assert scaled.live_space == 4096
+        assert scaled.max_object == 256
+        assert scaled.compaction_divisor == 5.0
+        assert scaled.live_space / scaled.max_object == (
+            base.live_space / base.max_object
+        )
+
+    def test_scaled_rejects_bad_factor(self):
+        base = BoundParams(1024, 64)
+        with pytest.raises(ValueError):
+            base.scaled(0)
+        with pytest.raises(ValueError):
+            base.scaled(3)
+
+    def test_describe_uses_units(self):
+        assert "M=256MB" in PAPER_REALISTIC.describe()
+        assert "n=1MB" in PAPER_REALISTIC.describe()
+        assert "c=inf" in PAPER_REALISTIC.describe()
+        assert "c=100" in BoundParams(1024, 64, 100).describe()
+
+    def test_describe_raw_words(self):
+        assert "100w" in BoundParams(100, 4).describe()
+
+    def test_paper_realistic_values(self):
+        assert PAPER_REALISTIC.live_space == 256 * MB
+        assert PAPER_REALISTIC.max_object == 1 * MB
+        assert PAPER_REALISTIC.log_n == 20
+
+    def test_frozen(self):
+        params = BoundParams(1024, 64)
+        with pytest.raises(Exception):
+            params.live_space = 1  # type: ignore[misc]
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_log_n_matches_math(self, m_exp, n_exp):
+        if n_exp > m_exp:
+            n_exp = m_exp
+        params = BoundParams(1 << m_exp, 1 << n_exp)
+        assert params.log_n == n_exp

@@ -1,0 +1,47 @@
+"""Tests for Robson's classical bounds."""
+
+import pytest
+
+from repro.core import robson
+from repro.core.params import MB, BoundParams
+
+
+class TestRobsonBounds:
+    def test_formula_at_paper_point(self):
+        params = BoundParams(256 * MB, 1 * MB)
+        # M (log2(n)/2 + 1) - n + 1 with log n = 20: 11*M - n + 1.
+        expected = 11 * params.live_space - params.max_object + 1
+        assert robson.lower_bound_words(params) == pytest.approx(expected)
+
+    def test_lower_equals_upper(self):
+        """Robson's result is tight."""
+        params = BoundParams(4096, 64)
+        assert robson.lower_bound_words(params) == robson.upper_bound_words(params)
+
+    def test_general_bound_is_doubled(self):
+        params = BoundParams(4096, 64)
+        assert robson.general_upper_bound_words(params) == pytest.approx(
+            2 * robson.upper_bound_words(params)
+        )
+
+    def test_factor_conversion(self):
+        params = BoundParams(4096, 64)
+        assert robson.lower_bound_factor(params) == pytest.approx(
+            robson.lower_bound_words(params) / 4096
+        )
+        assert robson.general_upper_bound_factor(params) == pytest.approx(
+            robson.general_upper_bound_words(params) / 4096
+        )
+
+    def test_grows_logarithmically_in_n(self):
+        """Doubling n adds exactly M/2 - (n_new - n_old) words."""
+        small = BoundParams(1 << 20, 1 << 8)
+        large = BoundParams(1 << 20, 1 << 9)
+        delta = robson.lower_bound_words(large) - robson.lower_bound_words(small)
+        assert delta == pytest.approx((1 << 20) / 2 - (1 << 8))
+
+    def test_unit_object_case(self):
+        """n = 1 (all objects one word): no fragmentation possible; the
+        bound degenerates to exactly M."""
+        params = BoundParams(1024, 1)
+        assert robson.lower_bound_words(params) == pytest.approx(1024)

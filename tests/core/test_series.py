@@ -1,0 +1,88 @@
+"""Tests for :mod:`repro.core.series`."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.series import (
+    geometric_tail,
+    harmonic_number,
+    stage1_series,
+    stage1_series_float,
+    stage1_series_limit,
+)
+
+
+class TestStage1Series:
+    def test_empty_sum(self):
+        assert stage1_series(0) == 0
+
+    def test_first_terms_exact(self):
+        assert stage1_series(1) == Fraction(1)
+        assert stage1_series(2) == Fraction(1) + Fraction(2, 3)
+        assert stage1_series(3) == Fraction(1) + Fraction(2, 3) + Fraction(3, 7)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stage1_series(-1)
+
+    def test_float_matches_exact(self):
+        for ell in range(10):
+            assert stage1_series_float(ell) == pytest.approx(
+                float(stage1_series(ell)), abs=1e-12
+            )
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_monotone_increasing(self, ell):
+        assert stage1_series(ell) > stage1_series(ell - 1)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_bounded_by_limit(self, ell):
+        assert stage1_series_float(ell) <= stage1_series_limit() + 1e-9
+
+    def test_limit_value(self):
+        # The series converges to about 2.7440.
+        assert stage1_series_limit() == pytest.approx(2.7440, abs=1e-3)
+
+    def test_converges_close_to_limit(self):
+        assert stage1_series_float(40) == pytest.approx(
+            stage1_series_limit(), abs=1e-9
+        )
+
+
+class TestGeometricTail:
+    def test_half_from_zero(self):
+        # sum over k>=0 of (1/2)^k = 2
+        assert geometric_tail(0.5, 0) == pytest.approx(2.0)
+
+    def test_half_from_three(self):
+        # sum over k>=3 of (1/2)^k = 1/4
+        assert geometric_tail(0.5, 3) == pytest.approx(0.25)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            geometric_tail(1.0, 0)
+        with pytest.raises(ValueError):
+            geometric_tail(0.0, 0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_matches_partial_sums(self, ratio, start):
+        approx = sum(ratio**k for k in range(start, start + 200))
+        assert geometric_tail(ratio, start) == pytest.approx(approx, rel=1e-4)
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(25 / 12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)

@@ -1,0 +1,45 @@
+"""Tests for the figure parameter presets."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.params import KB, MB
+
+
+class TestPresets:
+    def test_figure1_matches_paper(self):
+        assert tables.FIGURE1_PARAMS.live_space == 256 * MB
+        assert tables.FIGURE1_PARAMS.max_object == 1 * MB
+        assert tables.FIGURE1_C_RANGE[0] == 10
+        assert tables.FIGURE1_C_RANGE[-1] == 100
+
+    def test_figure2_range_is_1kb_to_1gb(self):
+        assert tables.FIGURE2_N_VALUES[0] == KB
+        assert tables.FIGURE2_N_VALUES[-1] == 1 << 30
+        assert tables.FIGURE2_C == 100.0
+
+    def test_figure2_params_keeps_ratio(self):
+        for n in (KB, MB):
+            params = tables.figure2_params(n)
+            assert params.live_space == 256 * n
+            assert params.max_object == n
+            assert params.compaction_divisor == 100.0
+
+    def test_figure3_shares_figure1_setting(self):
+        assert tables.FIGURE3_PARAMS == tables.FIGURE1_PARAMS
+
+    def test_simulation_params(self):
+        params = tables.simulation_params()
+        assert params.live_space == 64 * KB
+        assert params.max_object == 256
+        custom = tables.simulation_params(1024, 32, 10.0)
+        assert custom.compaction_divisor == 10.0
+
+    def test_prose_anchors_hold(self):
+        from repro.core.theorem1 import lower_bound
+
+        for c, expected, tolerance in tables.PAPER_PROSE_ANCHORS:
+            params = tables.FIGURE1_PARAMS.with_compaction(c)
+            assert lower_bound(params).waste_factor == pytest.approx(
+                expected, abs=tolerance
+            )

@@ -1,0 +1,127 @@
+"""Tests for Theorem 1 (the paper's main lower bound)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import MB, BoundParams
+from repro.core.tables import PAPER_PROSE_ANCHORS
+from repro.core.theorem1 import (
+    feasible_density_exponents,
+    lower_bound,
+    lower_bound_words,
+    waste_factor_at,
+    waste_profile,
+)
+
+
+def paper_point(c: float) -> BoundParams:
+    return BoundParams(256 * MB, 1 * MB, c)
+
+
+class TestPaperAnchors:
+    """The numbers the paper states in prose must fall out of the formula."""
+
+    @pytest.mark.parametrize("c, expected, tolerance", PAPER_PROSE_ANCHORS)
+    def test_prose_values(self, c, expected, tolerance):
+        result = lower_bound(paper_point(c))
+        assert result.waste_factor == pytest.approx(expected, abs=tolerance)
+
+    def test_c10_exceeds_2x(self):
+        # "a heap size of 2*M = 512MB is unavoidable" at 10% compaction.
+        assert lower_bound(paper_point(10)).waste_factor >= 2.0 - 1e-6
+
+    def test_beats_trivial_throughout_figure1_range(self):
+        for c in range(10, 101, 5):
+            assert lower_bound(paper_point(c)).waste_factor > 1.5
+
+
+class TestFeasibility:
+    def test_budget_cap(self):
+        # ell <= log2(3c/4): at c=10 that allows ell in {1, 2}.
+        params = paper_point(10)
+        assert feasible_density_exponents(params) == [1, 2]
+
+    def test_stage2_cap(self):
+        # small n limits ell via K >= 1 even with huge c.
+        params = BoundParams(4096, 64, 10_000)  # log n = 6 -> ell <= 2
+        assert feasible_density_exponents(params) == [1, 2]
+
+    def test_no_compaction_uses_stage2_cap_only(self):
+        params = BoundParams(4096, 64)
+        assert feasible_density_exponents(params) == [1, 2]
+
+    def test_tiny_n_gives_nothing(self):
+        params = BoundParams(1024, 8, 100)  # log n = 3 -> no feasible ell
+        assert feasible_density_exponents(params) == []
+        result = lower_bound(params)
+        assert result.is_trivial
+        assert result.waste_factor == 1.0
+
+    def test_waste_factor_at_rejects_infeasible(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            waste_factor_at(paper_point(10), 5)
+
+
+class TestShape:
+    def test_monotone_in_c(self):
+        """Less compaction budget (larger c) can only force more waste."""
+        factors = [lower_bound(paper_point(c)).waste_factor for c in range(10, 101)]
+        for previous, current in zip(factors, factors[1:]):
+            assert current >= previous - 1e-9
+
+    def test_monotone_in_n_at_fixed_ratio(self):
+        """Figure-2 shape: larger n (with M = 256 n) forces more waste."""
+        factors = [
+            lower_bound(BoundParams(256 * (1 << e), 1 << e, 100)).waste_factor
+            for e in range(10, 26)
+        ]
+        for previous, current in zip(factors, factors[1:]):
+            assert current >= previous - 1e-9
+
+    def test_insensitive_to_m_at_fixed_n(self):
+        """The paper: h as a function of M alone is nearly constant."""
+        base = lower_bound(BoundParams(256 * MB, 1 * MB, 100)).waste_factor
+        bigger = lower_bound(BoundParams(1024 * MB, 1 * MB, 100)).waste_factor
+        assert bigger == pytest.approx(base, abs=0.02)
+
+    def test_optimal_ell_is_small(self):
+        """The paper: very few integral ell matter (3 at the anchors)."""
+        for c, _, __ in PAPER_PROSE_ANCHORS:
+            result = lower_bound(paper_point(c))
+            assert result.density_exponent in (1, 2, 3, 4)
+
+    def test_profile_contains_optimum(self):
+        params = paper_point(100)
+        profile = waste_profile(params)
+        best = lower_bound(params)
+        assert best.density_exponent in profile
+        assert profile[best.density_exponent] == pytest.approx(best.raw_factor)
+        assert max(profile.values()) == pytest.approx(best.raw_factor)
+
+
+class TestResultObject:
+    def test_heap_words(self):
+        params = paper_point(100)
+        result = lower_bound(params)
+        assert result.heap_words == pytest.approx(
+            result.waste_factor * params.live_space
+        )
+        assert lower_bound_words(params) == pytest.approx(result.heap_words)
+
+    def test_clamped_at_trivial(self):
+        # A point where the raw formula dips below 1 must clamp.
+        params = BoundParams(128, 64, 3)
+        result = lower_bound(params)
+        assert result.waste_factor >= 1.0
+
+    @given(
+        st.integers(min_value=8, max_value=26),
+        st.integers(min_value=4, max_value=22),
+        st.floats(min_value=2.0, max_value=1000.0),
+    )
+    @settings(max_examples=60)
+    def test_never_below_trivial(self, m_exp, n_exp, c):
+        n_exp = min(n_exp, m_exp)
+        params = BoundParams(1 << m_exp, 1 << n_exp, c)
+        assert lower_bound(params).waste_factor >= 1.0

@@ -1,0 +1,54 @@
+"""Cross-check the float Theorem-1 pipeline against exact rationals."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import BoundParams
+from repro.core.theorem1 import (
+    feasible_density_exponents,
+    waste_factor_at,
+    waste_factor_exact,
+)
+
+
+class TestExactEvaluation:
+    def test_matches_float_at_paper_point(self):
+        params = BoundParams(1 << 28, 1 << 20, 100)
+        for ell in feasible_density_exponents(params):
+            exact = waste_factor_exact(params, ell)
+            assert isinstance(exact, Fraction)
+            assert waste_factor_at(params, ell) == pytest.approx(
+                float(exact), rel=1e-12
+            )
+
+    def test_rejects_infeasible(self):
+        params = BoundParams(1 << 28, 1 << 20, 100)
+        with pytest.raises(ValueError):
+            waste_factor_exact(params, 99)
+
+    def test_integer_c_is_fully_exact(self):
+        """With integer c every quantity is rational; the paper anchor
+        at c = 10 comes out as an exact fraction equal to 2 up to the
+        2n/M slack term."""
+        params = BoundParams(1 << 28, 1 << 20, 10)
+        exact = waste_factor_exact(params, 2)
+        assert exact == Fraction(
+            waste_factor_at(params, 2)
+        ).limit_denominator(10**12)
+
+    @given(
+        st.integers(min_value=12, max_value=30),
+        st.integers(min_value=6, max_value=24),
+        st.integers(min_value=2, max_value=2000),
+    )
+    @settings(max_examples=80)
+    def test_float_never_drifts(self, m_exp, n_exp, c):
+        n_exp = min(n_exp, m_exp)
+        params = BoundParams(1 << m_exp, 1 << n_exp, c)
+        for ell in feasible_density_exponents(params):
+            exact = float(waste_factor_exact(params, ell))
+            approx = waste_factor_at(params, ell)
+            assert approx == pytest.approx(exact, rel=1e-9, abs=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for the extracted optimal adversary."""
+
+import pytest
+
+from repro.adversary import run_execution
+from repro.core.params import BoundParams
+from repro.exact import OptimalMicroManager, minimum_heap_words
+from repro.exact.adversary import ExactAdversaryProgram, solve_program_strategy
+from repro.exact.game import GameConfig
+from repro.mm import BestFitManager, FirstFitManager
+from repro.mm.registry import create_manager
+
+
+class TestProgramStrategy:
+    def test_none_at_game_value(self):
+        minimum = minimum_heap_words(4, 2)
+        assert solve_program_strategy(GameConfig(4, 2, minimum)) is None
+
+    def test_exists_below_game_value(self):
+        minimum = minimum_heap_words(4, 2)
+        strategy = solve_program_strategy(GameConfig(4, 2, minimum - 1))
+        assert strategy is not None
+        assert () in strategy  # the empty heap has a first move
+        kind, payload = strategy[()]
+        assert kind in ("free", "request")
+
+    def test_moves_are_legal(self):
+        minimum = minimum_heap_words(6, 2)
+        config = GameConfig(6, 2, minimum - 1)
+        strategy = solve_program_strategy(config)
+        assert strategy is not None
+        for state, (kind, payload) in strategy.items():
+            live = sum(size for _, size in state)
+            if kind == "request":
+                assert payload in config.sizes
+                assert live + payload <= config.live_bound  # type: ignore[operator]
+            else:
+                assert len(payload) == len(state) - 1  # type: ignore[arg-type]
+
+
+class TestExactAdversaryInSimulator:
+    @pytest.mark.parametrize("m, n", [(4, 2), (6, 2)])
+    @pytest.mark.parametrize("manager_name", ["first-fit", "best-fit",
+                                              "segregated-fit"])
+    def test_forces_game_value(self, m, n, manager_name):
+        params = BoundParams(m, n)
+        program = ExactAdversaryProgram(m, n)
+        result = run_execution(
+            params, program, create_manager(manager_name, params)
+        )
+        assert program.outcome == "forced-growth"
+        assert result.heap_size >= program.target_heap
+
+    def test_game_value_realized_from_both_sides(self):
+        """The capstone: optimal adversary vs optimal manager lands on
+        exactly H* — neither side can do better, and the simulator
+        confirms it."""
+        m, n = 6, 2
+        target = minimum_heap_words(m, n)
+        params = BoundParams(m, n)
+        program = ExactAdversaryProgram(m, n)
+        manager = OptimalMicroManager(m, n)
+        result = run_execution(params, program, manager)
+        assert result.heap_size == target
+        assert program.outcome == "forced-growth"
+        assert manager.fallbacks == 0
+
+    def test_beats_robson_program_at_micro_scale(self):
+        """At M = 6, n = 2 Robson's asymptotic construction leaves a
+        word on the table against careful managers; the exact adversary
+        does not."""
+        from repro.adversary import RobsonProgram
+
+        m, n = 6, 2
+        params = BoundParams(m, n)
+        manager = OptimalMicroManager(m, n)
+        robson_result = run_execution(params, RobsonProgram(params), manager)
+        exact_program = ExactAdversaryProgram(m, n)
+        exact_result = run_execution(
+            params, exact_program, OptimalMicroManager(m, n)
+        )
+        assert exact_result.heap_size > robson_result.heap_size
+
+    def test_stops_politely_on_moves(self):
+        """Against a compacting manager the no-compaction strategy stops
+        rather than corrupting its mapped state."""
+        params = BoundParams(4, 2, 2.0)
+        program = ExactAdversaryProgram(4, 2)
+        result = run_execution(
+            params, program, create_manager("sliding-compactor", params)
+        )
+        assert program.outcome in (
+            "forced-growth", "manager-moved", "off-strategy", "incomplete"
+        )
+        assert result.live_peak <= params.live_space

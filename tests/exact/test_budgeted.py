@@ -1,0 +1,81 @@
+"""Tests for the budgeted exact game."""
+
+import pytest
+
+from repro.exact import minimum_heap_words
+from repro.exact.budgeted import (
+    BudgetedConfig,
+    budgeted_manager_actions,
+    compaction_value_curve,
+    minimum_heap_words_budgeted,
+    program_wins_budgeted,
+)
+from repro.exact.game import GameConfig
+
+
+class TestActions:
+    def test_move_targets_and_placements(self):
+        config = BudgetedConfig(GameConfig(4, 2, 4), move_budget=1)
+        state = ((1, 1),)
+        actions = budgeted_manager_actions(config, state, 2, budget=1)
+        moves = {(s, b) for kind, s, b in actions if kind == "move"}
+        places = {s for kind, s, b in actions if kind == "place"}
+        # The 1-word object can move to 0, 2 or 3, each costing 1.
+        assert (((0, 1),), 0) in moves
+        assert (((2, 1),), 0) in moves
+        assert (((3, 1),), 0) in moves
+        # The 2-word request fits at 2 (words 2,3) without any move.
+        assert tuple(sorted(((1, 1), (2, 2)))) in places
+
+    def test_budget_gates_moves(self):
+        config = BudgetedConfig(GameConfig(4, 2, 4), move_budget=0)
+        actions = budgeted_manager_actions(config, ((1, 1),), 2, budget=0)
+        assert all(kind == "place" for kind, _, __ in actions)
+
+    def test_slide_allowed(self):
+        """An object may slide into a range overlapping its own words."""
+        config = BudgetedConfig(GameConfig(4, 2, 4), move_budget=2)
+        actions = budgeted_manager_actions(config, ((1, 2),), 1, budget=2)
+        moved_states = {s for kind, s, _ in actions if kind == "move"}
+        assert ((0, 2),) in moved_states  # slide left by one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetedConfig(GameConfig(4, 2, 5), move_budget=-1)
+
+
+class TestGameValues:
+    def test_zero_budget_matches_base_game(self):
+        for m, n in ((4, 2), (6, 2)):
+            assert minimum_heap_words_budgeted(m, n, 0) == minimum_heap_words(m, n)
+
+    def test_monotone_in_budget(self):
+        values = [minimum_heap_words_budgeted(4, 2, b) for b in range(4)]
+        for previous, current in zip(values, values[1:]):
+            assert current <= previous
+
+    def test_absolute_budget_buys_nothing_against_patience(self):
+        """The negative result the budgeted game proves: an *absolute*
+        budget is worthless against an unbounded-time adversary — it can
+        manufacture crises until the budget depletes, then replay the
+        no-compaction attack.  (This is exactly why the paper adopts the
+        fractional, allocation-accruing budget; the corollary in
+        repro.core.absolute holds only because P_F's total allocation is
+        bounded.)"""
+        base = minimum_heap_words(4, 2)
+        for budget in (1, 2, 4, 6):
+            assert minimum_heap_words_budgeted(4, 2, budget) == base
+
+    def test_curve_shape(self):
+        curve = compaction_value_curve(4, 2, 3)
+        assert curve[0] == (0, minimum_heap_words(4, 2))
+        assert [b for b, _ in curve] == [0, 1, 2, 3]
+
+    def test_program_wins_below_value(self):
+        value = minimum_heap_words_budgeted(4, 2, 2)
+        assert program_wins_budgeted(
+            BudgetedConfig(GameConfig(4, 2, value - 1), 2)
+        )
+        assert not program_wins_budgeted(
+            BudgetedConfig(GameConfig(4, 2, value), 2)
+        )

@@ -1,0 +1,98 @@
+"""Tests for the exact game solver."""
+
+import pytest
+
+from repro.core import robson
+from repro.core.params import BoundParams
+from repro.exact import (
+    GameConfig,
+    exact_waste_factor,
+    manager_placements,
+    minimum_heap_words,
+    program_moves,
+    program_wins,
+)
+
+
+class TestConfig:
+    def test_sizes_powers_of_two(self):
+        config = GameConfig(8, 4, 10)
+        assert config.sizes == (1, 2, 4)
+
+    def test_sizes_all(self):
+        config = GameConfig(8, 3, 10, power_of_two_sizes=False)
+        assert config.sizes == (1, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GameConfig(0, 1, 1)
+        with pytest.raises(ValueError):
+            GameConfig(4, 8, 10)
+        with pytest.raises(ValueError):
+            GameConfig(4, 2, 3)  # heap below live bound
+
+
+class TestMoves:
+    def test_program_moves_from_empty(self):
+        config = GameConfig(4, 2, 5)
+        moves = list(program_moves(config, ()))
+        # No frees possible; both sizes fit the live budget.
+        assert moves == [("request", 1), ("request", 2)]
+
+    def test_program_moves_respect_live_bound(self):
+        config = GameConfig(2, 2, 4)
+        state = (((0, 2),))
+        moves = list(program_moves(config, tuple(state)))
+        kinds = [m for m in moves if m[0] == "request"]
+        assert kinds == []  # live already at M
+
+    def test_free_moves(self):
+        config = GameConfig(4, 2, 5)
+        state = ((0, 1), (2, 1))
+        frees = [m[1] for m in program_moves(config, state) if m[0] == "free"]
+        assert ((2, 1),) in frees
+        assert ((0, 1),) in frees
+
+    def test_manager_placements(self):
+        config = GameConfig(4, 2, 5)
+        state = ((1, 2),)
+        placements = manager_placements(config, state, 2)
+        # Free words: 0 (too narrow alone), 3, 4 -> place at 3 only.
+        assert placements == [tuple(sorted(((1, 2), (3, 2))))]
+
+    def test_no_placements_when_full(self):
+        config = GameConfig(4, 2, 4)
+        state = ((0, 2), (2, 2))
+        assert manager_placements(config, state, 1) == []
+
+
+class TestGameValue:
+    def test_trivial_m_equals_n(self):
+        """All objects one word: M words always suffice."""
+        assert minimum_heap_words(4, 1) == 4
+
+    @pytest.mark.parametrize("m, n", [(2, 2), (4, 2), (4, 4), (6, 2)])
+    def test_matches_robson_formula(self, m, n):
+        """The exact game value equals Robson's closed form
+        M (log2 n / 2 + 1) - n + 1 at every micro point we can afford —
+        independent confirmation that the formula is tight."""
+        expected = robson.lower_bound_words(BoundParams(m, n))
+        assert minimum_heap_words(m, n) == int(expected)
+
+    def test_program_wins_below_minimum(self):
+        minimum = minimum_heap_words(4, 2)
+        assert program_wins(GameConfig(4, 2, minimum - 1))
+        assert not program_wins(GameConfig(4, 2, minimum))
+
+    def test_monotone_in_heap(self):
+        minimum = minimum_heap_words(4, 2)
+        assert not program_wins(GameConfig(4, 2, minimum + 1))
+
+    def test_waste_factor(self):
+        assert exact_waste_factor(4, 2) == pytest.approx(5 / 4)
+
+    def test_all_sizes_at_least_powers(self):
+        """Letting the program use every size can only help it."""
+        pow2 = minimum_heap_words(4, 2, power_of_two_sizes=True)
+        full = minimum_heap_words(4, 2, power_of_two_sizes=False)
+        assert full >= pow2

@@ -1,0 +1,97 @@
+"""Tests for the extracted optimal manager strategy."""
+
+import pytest
+
+from repro.adversary import (
+    CheckerboardProgram,
+    RandomChurnWorkload,
+    RobsonProgram,
+    run_execution,
+)
+from repro.core.params import BoundParams
+from repro.exact import GameConfig, OptimalMicroManager, minimum_heap_words, solve_strategy
+
+
+class TestSolveStrategy:
+    def test_none_below_minimum(self):
+        minimum = minimum_heap_words(4, 2)
+        assert solve_strategy(GameConfig(4, 2, minimum - 1)) is None
+
+    def test_exists_at_minimum(self):
+        minimum = minimum_heap_words(4, 2)
+        strategy = solve_strategy(GameConfig(4, 2, minimum))
+        assert strategy is not None
+        # The empty-heap request for each size must be covered.
+        assert ((), 1) in strategy
+        assert ((), 2) in strategy
+
+    def test_placements_are_legal(self):
+        minimum = minimum_heap_words(4, 2)
+        config = GameConfig(4, 2, minimum)
+        strategy = solve_strategy(config)
+        assert strategy is not None
+        for (state, size), address in strategy.items():
+            assert 0 <= address <= config.heap_words - size
+            for seg_address, seg_size in state:
+                assert (
+                    address + size <= seg_address
+                    or seg_address + seg_size <= address
+                )
+
+
+class TestOptimalMicroManager:
+    @pytest.mark.parametrize("m, n", [(4, 2), (6, 2)])
+    def test_holds_the_exact_bound_vs_robson(self, m, n):
+        params = BoundParams(m, n)
+        manager = OptimalMicroManager(m, n)
+        result = run_execution(params, RobsonProgram(params), manager)
+        assert result.heap_size <= manager.heap_limit
+        assert manager.fallbacks == 0
+
+    def test_holds_the_exact_bound_vs_checkerboard(self):
+        params = BoundParams(6, 2)
+        manager = OptimalMicroManager(6, 2)
+        result = run_execution(params, CheckerboardProgram(params), manager)
+        assert result.heap_size <= manager.heap_limit
+        assert manager.fallbacks == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_holds_the_exact_bound_vs_random_churn(self, seed):
+        params = BoundParams(6, 2)
+        manager = OptimalMicroManager(6, 2)
+        workload = RandomChurnWorkload(
+            params, operations=600, powers_of_two=True, seed=seed
+        )
+        result = run_execution(params, workload, manager)
+        assert result.heap_size <= manager.heap_limit
+        assert manager.fallbacks == 0
+
+    def test_beats_first_fit_against_robson(self):
+        """The optimum can resist P_R below the game value; first-fit
+        cannot — the head-to-head that makes 'optimal' mean something."""
+        params = BoundParams(6, 2)
+        from repro.mm import FirstFitManager
+
+        optimal = run_execution(
+            params, RobsonProgram(params), OptimalMicroManager(6, 2)
+        )
+        greedy = run_execution(
+            params, RobsonProgram(params), FirstFitManager()
+        )
+        assert optimal.heap_size <= greedy.heap_size
+
+    def test_off_family_requests_fall_back(self):
+        """A non-power-of-two size is outside the solved family: served
+        via the fallback, flagged on the instance."""
+        from repro.adversary.base import AdversaryProgram
+
+        class OddProgram(AdversaryProgram):
+            name = "odd"
+
+            def run(self, view):
+                view.allocate(3)  # not a power of two
+
+        params = BoundParams(8, 4)
+        manager = OptimalMicroManager(8, 4)
+        run_execution(params, OddProgram(), manager)
+        assert manager.fallbacks == 1

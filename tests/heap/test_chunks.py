@@ -1,0 +1,119 @@
+"""Tests for chunk ids and partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.chunks import ChunkId, ChunkPartition
+from repro.heap.heap import SimHeap
+
+
+class TestChunkId:
+    def test_geometry(self):
+        chunk = ChunkId(3, 5)  # [40, 48)
+        assert chunk.size == 8
+        assert chunk.start == 40
+        assert chunk.end == 48
+        assert chunk.contains(40) and chunk.contains(47)
+        assert not chunk.contains(48)
+
+    def test_parent_and_halves(self):
+        chunk = ChunkId(3, 5)
+        assert chunk.parent == ChunkId(4, 2)
+        left, right = ChunkId(4, 2).halves()
+        assert left == ChunkId(3, 4)
+        assert right == ChunkId(3, 5)
+
+    def test_sibling(self):
+        assert ChunkId(3, 4).sibling == ChunkId(3, 5)
+        assert ChunkId(3, 5).sibling == ChunkId(3, 4)
+
+    def test_neighbors(self):
+        chunk = ChunkId(2, 1)
+        assert chunk.left_neighbor == ChunkId(2, 0)
+        assert chunk.right_neighbor == ChunkId(2, 2)
+        assert ChunkId(2, 0).left_neighbor is None
+
+    def test_ordering_and_hash(self):
+        assert ChunkId(2, 1) < ChunkId(2, 2) < ChunkId(3, 0)
+        assert len({ChunkId(2, 1), ChunkId(2, 1)}) == 1
+
+    @given(st.integers(1, 20), st.integers(0, 1000))
+    def test_parent_contains_child(self, exponent, index):
+        child = ChunkId(exponent, index)
+        parent = child.parent
+        assert parent.start <= child.start
+        assert child.end <= parent.end
+        assert child in parent.halves() or child.sibling in parent.halves()
+
+
+class TestChunkPartition:
+    def test_chunk_of(self):
+        partition = ChunkPartition(3)
+        assert partition.chunk_of(0) == ChunkId(3, 0)
+        assert partition.chunk_of(7) == ChunkId(3, 0)
+        assert partition.chunk_of(8) == ChunkId(3, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ChunkPartition(-1)
+        with pytest.raises(ValueError):
+            ChunkPartition(3).chunk_of(-1)
+
+    def test_chunks_of_object(self):
+        partition = ChunkPartition(3)
+        heap = SimHeap()
+        obj = heap.place(6, 4)  # spans chunks 0 and 1
+        assert partition.chunks_of_object(obj) == [ChunkId(3, 0), ChunkId(3, 1)]
+
+    def test_fully_covered_by(self):
+        partition = ChunkPartition(3)
+        # Aligned 32-word object covers 4 chunks.
+        assert partition.fully_covered_by(0, 32) == [
+            ChunkId(3, k) for k in range(4)
+        ]
+        # Unaligned 32-word object covers exactly 3 full chunks.
+        assert partition.fully_covered_by(4, 36) == [
+            ChunkId(3, 1), ChunkId(3, 2), ChunkId(3, 3)
+        ]
+        assert partition.fully_covered_by(5, 5) == []
+
+    def test_occupancy_and_density(self):
+        partition = ChunkPartition(3)
+        heap = SimHeap()
+        heap.place(0, 2)
+        heap.place(6, 4)
+        chunk0 = ChunkId(3, 0)
+        assert partition.occupancy(heap, chunk0) == 4  # 2 + 2 of the straddler
+        assert partition.density(heap, chunk0) == pytest.approx(0.5)
+
+    def test_used_chunks(self):
+        partition = ChunkPartition(3)
+        heap = SimHeap()
+        heap.place(0, 2)
+        heap.place(20, 2)
+        used = list(partition.used_chunks(heap))
+        assert used == [ChunkId(3, 0), ChunkId(3, 2)]
+
+    def test_coarsen(self):
+        assert ChunkPartition(3).coarsen().exponent == 4
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 16)), max_size=20),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=80)
+    def test_occupancies_matches_per_chunk(self, placements, exponent):
+        """The bulk sweep must agree with per-chunk queries."""
+        heap = SimHeap()
+        for position, size in placements:
+            if heap.is_free(position, size):
+                heap.place(position, size)
+        partition = ChunkPartition(exponent)
+        bulk = partition.occupancies(heap)
+        for index, words in bulk.items():
+            assert words == partition.occupancy(heap, ChunkId(exponent, index))
+            assert 0 < words <= partition.chunk_size
+        assert sum(bulk.values()) == heap.live_words
+        for chunk in partition.used_chunks(heap):
+            assert chunk.index in bulk

@@ -1,0 +1,156 @@
+"""Tests for the simulated heap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.errors import NotLiveError, OverlapError, PlacementError
+from repro.heap.heap import SimHeap
+
+
+class TestPlacement:
+    def test_place_tracks_everything(self):
+        heap = SimHeap()
+        obj = heap.place(10, 4)
+        assert obj.address == 10 and obj.size == 4
+        assert heap.live_words == 4
+        assert heap.high_water == 14
+        assert heap.total_allocated == 4
+        assert not heap.is_free(12, 1)
+        assert heap.is_free(0, 10)
+
+    def test_overlap_rejected(self):
+        heap = SimHeap()
+        heap.place(10, 4)
+        with pytest.raises(OverlapError):
+            heap.place(12, 4)
+        with pytest.raises(OverlapError):
+            heap.place(8, 3)
+
+    def test_bad_placement_rejected(self):
+        heap = SimHeap()
+        with pytest.raises(PlacementError):
+            heap.place(-1, 4)
+        with pytest.raises(PlacementError):
+            heap.place(0, 0)
+
+    def test_high_water_monotone(self):
+        heap = SimHeap()
+        obj = heap.place(100, 10)
+        assert heap.high_water == 110
+        heap.free(obj.object_id)
+        assert heap.high_water == 110  # never shrinks
+        heap.place(0, 5)
+        assert heap.high_water == 110
+
+
+class TestFree:
+    def test_free_releases_words(self):
+        heap = SimHeap()
+        obj = heap.place(0, 8)
+        heap.free(obj.object_id)
+        assert heap.live_words == 0
+        assert heap.is_free(0, 8)
+        assert heap.total_freed == 8
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(NotLiveError):
+            SimHeap().free(7)
+
+    def test_free_gaps(self):
+        heap = SimHeap()
+        a = heap.place(0, 4)
+        heap.place(4, 4)
+        heap.place(8, 4)
+        heap.free(a.object_id)
+        assert list(heap.free_gaps()) == [(0, 4)]
+
+
+class TestMove:
+    def test_move_updates_state(self):
+        heap = SimHeap()
+        obj = heap.place(0, 4)
+        heap.move(obj.object_id, 10)
+        assert obj.address == 10
+        assert obj.birth_address == 0
+        assert heap.is_free(0, 4)
+        assert not heap.is_free(10, 4)
+        assert heap.total_moved == 4
+        assert heap.high_water == 14
+
+    def test_move_to_same_place_is_noop(self):
+        heap = SimHeap()
+        obj = heap.place(0, 4)
+        heap.move(obj.object_id, 0)
+        assert heap.total_moved == 0
+
+    def test_move_onto_occupied_rolls_back(self):
+        heap = SimHeap()
+        a = heap.place(0, 4)
+        heap.place(10, 4)
+        with pytest.raises(OverlapError):
+            heap.move(a.object_id, 9)
+        # State unchanged after the failed move.
+        assert a.address == 0
+        assert not heap.is_free(0, 4)
+        heap.check_invariants()
+
+    def test_sliding_move_overlapping_own_range(self):
+        """memmove-style slides (target overlaps source) must work."""
+        heap = SimHeap()
+        a = heap.place(0, 2)
+        b = heap.place(4, 8)
+        heap.free(a.object_id)
+        heap.move(b.object_id, 0)  # [0,8) overlaps old [4,12)
+        assert b.address == 0
+        assert heap.is_free(8, 4)
+        heap.check_invariants()
+
+    def test_move_dead_object_raises(self):
+        heap = SimHeap()
+        obj = heap.place(0, 4)
+        heap.free(obj.object_id)
+        with pytest.raises(NotLiveError):
+            heap.move(obj.object_id, 10)
+
+    def test_negative_target_raises(self):
+        heap = SimHeap()
+        obj = heap.place(0, 4)
+        with pytest.raises(PlacementError):
+            heap.move(obj.object_id, -1)
+
+
+class TestClockAndInvariants:
+    def test_clock_advances(self):
+        heap = SimHeap()
+        t0 = heap.clock
+        obj = heap.place(0, 1)
+        t1 = heap.clock
+        heap.free(obj.object_id)
+        assert t0 < t1 < heap.clock
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 50),
+                              st.integers(1, 9)), max_size=60))
+    @settings(max_examples=100)
+    def test_random_op_soundness(self, ops):
+        """Random place/free/move sequences keep the heap consistent."""
+        heap = SimHeap()
+        live: list[int] = []
+        for kind, position, size in ops:
+            if kind == 0:  # place
+                if heap.is_free(position, size):
+                    live.append(heap.place(position, size).object_id)
+            elif kind == 1 and live:  # free oldest
+                heap.free(live.pop(0))
+            elif kind == 2 and live:  # try a move
+                victim = live[position % len(live)]
+                obj = heap.objects.require_live(victim)
+                target = position * 3
+                try:
+                    heap.move(victim, target)
+                except OverlapError:
+                    pass
+                assert obj.alive
+            heap.check_invariants()
+        assert heap.total_allocated >= heap.total_freed
+        assert heap.high_water >= heap.occupied.span_end

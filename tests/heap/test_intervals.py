@@ -1,0 +1,242 @@
+"""Tests for the interval index, including a model-based property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.intervals import IntervalSet
+
+
+class TestBasics:
+    def test_empty(self):
+        s = IntervalSet()
+        assert len(s) == 0
+        assert not s
+        assert s.total == 0
+        assert s.span_end == 0
+        assert 0 not in s
+
+    def test_add_and_contains(self):
+        s = IntervalSet([(2, 5)])
+        assert 2 in s and 4 in s
+        assert 1 not in s and 5 not in s
+        assert s.total == 3
+        assert s.span_end == 5
+
+    def test_add_overlap_raises(self):
+        s = IntervalSet([(2, 5)])
+        with pytest.raises(ValueError):
+            s.add(4, 6)
+        with pytest.raises(ValueError):
+            s.add(0, 3)
+        with pytest.raises(ValueError):
+            s.add(3, 4)
+
+    def test_add_empty_is_noop(self):
+        s = IntervalSet()
+        s.add(3, 3)
+        assert len(s) == 0
+
+    def test_bad_interval_rejected(self):
+        s = IntervalSet()
+        with pytest.raises(ValueError):
+            s.add(5, 3)
+        with pytest.raises(ValueError):
+            s.add(-1, 3)
+
+    def test_coalesce_left(self):
+        s = IntervalSet([(0, 3)])
+        s.add(3, 6)
+        assert list(s) == [(0, 6)]
+
+    def test_coalesce_right(self):
+        s = IntervalSet([(3, 6)])
+        s.add(0, 3)
+        assert list(s) == [(0, 6)]
+
+    def test_coalesce_both(self):
+        s = IntervalSet([(0, 3), (6, 9)])
+        s.add(3, 6)
+        assert list(s) == [(0, 9)]
+
+    def test_remove_whole(self):
+        s = IntervalSet([(2, 5)])
+        s.remove(2, 5)
+        assert len(s) == 0
+
+    def test_remove_prefix_suffix(self):
+        s = IntervalSet([(2, 8)])
+        s.remove(2, 4)
+        assert list(s) == [(4, 8)]
+        s.remove(6, 8)
+        assert list(s) == [(4, 6)]
+
+    def test_remove_splits(self):
+        s = IntervalSet([(0, 10)])
+        s.remove(4, 6)
+        assert list(s) == [(0, 4), (6, 10)]
+
+    def test_remove_uncovered_raises(self):
+        s = IntervalSet([(2, 5)])
+        with pytest.raises(ValueError):
+            s.remove(4, 7)
+        with pytest.raises(ValueError):
+            s.remove(0, 1)
+
+    def test_eq_and_copy(self):
+        s = IntervalSet([(1, 3), (5, 9)])
+        c = s.copy()
+        assert s == c
+        c.remove(1, 3)
+        assert s != c
+
+    def test_repr(self):
+        assert "[1, 3)" in repr(IntervalSet([(1, 3)]))
+
+
+class TestQueries:
+    def test_overlaps(self):
+        s = IntervalSet([(2, 5), (8, 10)])
+        assert s.overlaps(0, 3)
+        assert s.overlaps(4, 9)
+        assert not s.overlaps(5, 8)
+        assert not s.overlaps(10, 20)
+        assert not s.overlaps(3, 3)
+
+    def test_covers(self):
+        s = IntervalSet([(2, 8)])
+        assert s.covers(2, 8)
+        assert s.covers(3, 5)
+        assert not s.covers(1, 3)
+        assert not s.covers(7, 9)
+        assert s.covers(4, 4)
+
+    def test_overlap_words(self):
+        s = IntervalSet([(2, 5), (8, 10)])
+        assert s.overlap_words(0, 20) == 5
+        assert s.overlap_words(3, 9) == 3
+        assert s.overlap_words(5, 8) == 0
+
+    def test_gaps(self):
+        s = IntervalSet([(2, 5), (8, 10)])
+        assert list(s.gaps(0, 12)) == [(0, 2), (5, 8), (10, 12)]
+        assert list(s.gaps(2, 10)) == [(5, 8)]
+        assert list(s.gaps(3, 4)) == []
+
+    def test_gaps_empty_set(self):
+        assert list(IntervalSet().gaps(0, 5)) == [(0, 5)]
+
+
+class TestFindFirstGap:
+    def test_finds_lowest(self):
+        s = IntervalSet([(2, 5), (8, 10)])
+        assert s.find_first_gap(2, end=12) == 0
+        assert s.find_first_gap(3, end=12) == 5
+        assert s.find_first_gap(2, start=3, end=12) == 5
+
+    def test_none_when_too_big(self):
+        s = IntervalSet([(2, 5)])
+        assert s.find_first_gap(10, end=7) is None
+
+    def test_alignment(self):
+        s = IntervalSet([(0, 3)])
+        # Free: [3, 16). First 4-aligned fit of size 4 is at 4.
+        assert s.find_first_gap(4, alignment=4, end=16) == 4
+
+    def test_alignment_skips_short_gap(self):
+        s = IntervalSet([(0, 2), (5, 8)])
+        # Gap [2,5) has 4-aligned candidate 4 with 1 word: too small.
+        assert s.find_first_gap(2, alignment=4, end=16) == 8
+
+    def test_tail_region_beyond_span(self):
+        s = IntervalSet([(0, 4)])
+        assert s.find_first_gap(8, end=20) == 4
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            IntervalSet().find_first_gap(0)
+
+
+class TestFindBestGap:
+    def test_prefers_smallest_fit(self):
+        s = IntervalSet([(3, 10), (12, 20), (24, 30)])
+        # Gaps in [0,30): [0,3) size 3, [10,12) size 2, [20,24) size 4.
+        address, largest = s.find_best_gap(2, end=30)
+        assert address == 10
+        assert largest == 4
+
+    def test_none_when_nothing_fits(self):
+        s = IntervalSet([(3, 10)])
+        address, largest = s.find_best_gap(5, end=10)
+        assert address is None
+        assert largest == 3
+
+    def test_ties_take_lowest(self):
+        s = IntervalSet([(2, 4), (6, 8)])
+        # Gaps: [0,2), [4,6), [8,10) all size 2.
+        address, _ = s.find_best_gap(2, end=10)
+        assert address == 0
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of add/remove ops over a small universe."""
+    ops = []
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(st.sampled_from(["add", "remove"]))
+        start = draw(st.integers(0, 60))
+        length = draw(st.integers(1, 12))
+        ops.append((kind, start, start + length))
+    return ops
+
+
+class TestModelBased:
+    @given(operations())
+    @settings(max_examples=200)
+    def test_matches_naive_set_of_words(self, ops):
+        """The interval set must behave exactly like a set of words."""
+        real = IntervalSet()
+        model: set[int] = set()
+        for kind, start, end in ops:
+            words = set(range(start, end))
+            if kind == "add":
+                if words & model:
+                    with pytest.raises(ValueError):
+                        real.add(start, end)
+                else:
+                    real.add(start, end)
+                    model |= words
+            else:
+                if words <= model:
+                    real.remove(start, end)
+                    model -= words
+                else:
+                    with pytest.raises(ValueError):
+                        real.remove(start, end)
+            real.check_invariants()
+            assert real.total == len(model)
+            for probe in range(0, 75, 7):
+                assert (probe in real) == (probe in model)
+
+    @given(operations(), st.integers(1, 10), st.integers(1, 8))
+    @settings(max_examples=100)
+    def test_find_first_gap_matches_naive(self, ops, size, alignment):
+        real = IntervalSet()
+        model: set[int] = set()
+        for kind, start, end in ops:
+            words = set(range(start, end))
+            if kind == "add" and not (words & model):
+                real.add(start, end)
+                model |= words
+            elif kind == "remove" and words <= model:
+                real.remove(start, end)
+                model -= words
+        limit = 80
+        expected = None
+        for candidate in range(0, limit, alignment):
+            if candidate + size <= limit and not any(
+                w in model for w in range(candidate, candidate + size)
+            ):
+                expected = candidate
+                break
+        assert real.find_first_gap(size, alignment=alignment, end=limit) == expected

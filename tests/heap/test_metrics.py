@@ -1,0 +1,85 @@
+"""Tests for heap metrics."""
+
+import pytest
+
+from repro.heap.heap import SimHeap
+from repro.heap.metrics import (
+    chunk_density_histogram,
+    external_fragmentation,
+    largest_free_gap,
+    snapshot,
+    utilization,
+)
+
+
+def fragmented_heap() -> SimHeap:
+    """[0,2) live, [2,6) free, [6,8) live, [8,16) free, [16,18) live."""
+    heap = SimHeap()
+    keep1 = heap.place(0, 2)
+    hole1 = heap.place(2, 4)
+    keep2 = heap.place(6, 2)
+    hole2 = heap.place(8, 8)
+    heap.place(16, 2)
+    heap.free(hole1.object_id)
+    heap.free(hole2.object_id)
+    _ = (keep1, keep2)
+    return heap
+
+
+class TestSnapshot:
+    def test_empty_heap(self):
+        metrics = snapshot(SimHeap())
+        assert metrics.high_water == 0
+        assert metrics.utilization == 1.0
+        assert metrics.external_fragmentation == 0.0
+        assert metrics.free_words == 0
+
+    def test_fragmented_heap(self):
+        metrics = snapshot(fragmented_heap())
+        assert metrics.high_water == 18
+        assert metrics.live_words == 6
+        assert metrics.free_words == 12
+        assert metrics.free_gaps == 2
+        assert metrics.largest_gap == 8
+        assert metrics.utilization == pytest.approx(6 / 18)
+        assert metrics.external_fragmentation == pytest.approx(1 - 8 / 12)
+
+    def test_waste_factor(self):
+        metrics = snapshot(fragmented_heap())
+        assert metrics.waste_factor(6) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            metrics.waste_factor(0)
+
+    def test_convenience_wrappers(self):
+        heap = fragmented_heap()
+        assert utilization(heap) == pytest.approx(6 / 18)
+        assert largest_free_gap(heap) == 8
+        assert external_fragmentation(heap) == pytest.approx(1 - 8 / 12)
+
+    def test_counts_match_heap(self):
+        heap = fragmented_heap()
+        metrics = snapshot(heap)
+        assert metrics.total_allocated == heap.total_allocated
+        assert metrics.total_moved == 0
+        assert metrics.live_objects == 3
+
+
+class TestDensityHistogram:
+    def test_buckets(self):
+        heap = fragmented_heap()
+        # Chunks of 8 words: chunk0 has 4 live (density .5), chunk1 has 0,
+        # chunk2 has 2 (density .25).
+        histogram = chunk_density_histogram(heap, 3, buckets=4)
+        assert sum(histogram) == 2  # only used chunks counted
+        assert histogram[2] == 1  # density 0.5
+        assert histogram[1] == 1  # density 0.25
+
+    def test_full_chunk_lands_in_last_bucket(self):
+        heap = SimHeap()
+        heap.place(0, 8)
+        histogram = chunk_density_histogram(heap, 3, buckets=4)
+        assert histogram == [0, 0, 0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_density_histogram(SimHeap(), 3, buckets=0)

@@ -1,0 +1,132 @@
+"""Tests for heap objects and the object table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.heap.errors import NotLiveError
+from repro.heap.object_model import HeapObject, ObjectTable
+
+
+class TestHeapObject:
+    def test_construction_defaults(self):
+        obj = HeapObject(object_id=1, address=10, size=4)
+        assert obj.end == 14
+        assert obj.birth_address == 10
+        assert obj.alive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeapObject(object_id=1, address=0, size=0)
+        with pytest.raises(ValueError):
+            HeapObject(object_id=1, address=-1, size=2)
+
+    def test_covers(self):
+        obj = HeapObject(object_id=1, address=10, size=4)
+        assert obj.covers(10) and obj.covers(13)
+        assert not obj.covers(9) and not obj.covers(14)
+
+    def test_overlaps_range(self):
+        obj = HeapObject(object_id=1, address=10, size=4)
+        assert obj.overlaps_range(0, 11)
+        assert obj.overlaps_range(13, 20)
+        assert not obj.overlaps_range(0, 10)
+        assert not obj.overlaps_range(14, 20)
+
+
+class TestOccupiesOffset:
+    """The f-occupying test of Definition 4.2."""
+
+    def test_basic(self):
+        # Object [10, 14), period 8: covers words 10..13; offsets mod 8
+        # covered are 2,3,4,5.
+        obj = HeapObject(object_id=1, address=10, size=4)
+        for offset in (2, 3, 4, 5):
+            assert obj.occupies_offset(offset, 8)
+        for offset in (0, 1, 6, 7):
+            assert not obj.occupies_offset(offset, 8)
+
+    def test_object_spanning_full_period(self):
+        obj = HeapObject(object_id=1, address=5, size=8)
+        assert all(obj.occupies_offset(f, 8) for f in range(8))
+
+    def test_validation(self):
+        obj = HeapObject(object_id=1, address=0, size=1)
+        with pytest.raises(ValueError):
+            obj.occupies_offset(0, 0)
+        with pytest.raises(ValueError):
+            obj.occupies_offset(8, 8)
+
+    @given(
+        st.integers(0, 1000), st.integers(1, 64),
+        st.integers(0, 63), st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+    )
+    def test_matches_naive_scan(self, address, size, offset, period):
+        offset %= period
+        obj = HeapObject(object_id=1, address=address, size=size)
+        naive = any(
+            word % period == offset for word in range(address, address + size)
+        )
+        assert obj.occupies_offset(offset, period) == naive
+
+
+class TestObjectTable:
+    def test_create_and_lookup(self):
+        table = ObjectTable()
+        obj = table.create(5, 3, alloc_seq=1)
+        assert obj.object_id == 0
+        assert table.get(0) is obj
+        assert table.require_live(0) is obj
+        assert table.is_live(0)
+        assert table.live_words == 3
+        assert table.live_count == 1
+        assert table.created_count == 1
+
+    def test_ids_never_reused(self):
+        table = ObjectTable()
+        first = table.create(0, 1, alloc_seq=1)
+        table.mark_freed(first.object_id, free_seq=2)
+        second = table.create(0, 1, alloc_seq=3)
+        assert second.object_id != first.object_id
+
+    def test_mark_freed(self):
+        table = ObjectTable()
+        obj = table.create(5, 3, alloc_seq=1)
+        freed = table.mark_freed(obj.object_id, free_seq=2)
+        assert freed is obj
+        assert not obj.alive
+        assert obj.free_seq == 2
+        assert table.live_words == 0
+        assert not table.is_live(obj.object_id)
+        # Dead objects remain retrievable.
+        assert table.get(obj.object_id) is obj
+
+    def test_double_free_raises(self):
+        table = ObjectTable()
+        obj = table.create(5, 3, alloc_seq=1)
+        table.mark_freed(obj.object_id, free_seq=2)
+        with pytest.raises(NotLiveError, match="already freed"):
+            table.mark_freed(obj.object_id, free_seq=3)
+
+    def test_unknown_id_raises(self):
+        table = ObjectTable()
+        with pytest.raises(NotLiveError, match="unknown"):
+            table.get(42)
+        with pytest.raises(NotLiveError, match="unknown"):
+            table.require_live(42)
+
+    def test_record_move(self):
+        table = ObjectTable()
+        obj = table.create(5, 3, alloc_seq=1)
+        table.record_move(obj.object_id, 20)
+        assert obj.address == 20
+        assert obj.birth_address == 5
+        assert obj.move_count == 1
+
+    def test_iteration(self):
+        table = ObjectTable()
+        a = table.create(0, 1, alloc_seq=1)
+        b = table.create(2, 1, alloc_seq=2)
+        table.mark_freed(a.object_id, free_seq=3)
+        assert [o.object_id for o in table.live_objects()] == [b.object_id]
+        assert [o.object_id for o in table.all_objects()] == [0, 1]

@@ -1,0 +1,77 @@
+"""Tests for heap snapshot/restore."""
+
+import pytest
+
+from repro.heap.heap import SimHeap
+from repro.heap.snapshot import dumps, loads, restore_heap, snapshot_heap
+
+
+def busy_heap() -> SimHeap:
+    heap = SimHeap()
+    a = heap.place(0, 4)
+    heap.place(8, 2)
+    c = heap.place(16, 8)
+    heap.free(a.object_id)
+    heap.move(c.object_id, 0)
+    return heap
+
+
+class TestSnapshotRoundTrip:
+    def test_layout_preserved(self):
+        original = busy_heap()
+        restored = loads(dumps(original))
+        assert list(restored.occupied) == list(original.occupied)
+        assert restored.high_water == original.high_water
+        assert restored.live_words == original.live_words
+
+    def test_counters_preserved(self):
+        original = busy_heap()
+        restored = loads(dumps(original))
+        assert restored.total_allocated == original.total_allocated
+        assert restored.total_freed == original.total_freed
+        assert restored.total_moved == original.total_moved
+        assert restored.clock == original.clock
+
+    def test_object_identity_preserved(self):
+        original = busy_heap()
+        restored = loads(dumps(original))
+        for obj in original.objects.live_objects():
+            twin = restored.objects.require_live(obj.object_id)
+            assert twin.address == obj.address
+            assert twin.size == obj.size
+            assert twin.birth_address == obj.birth_address
+            assert twin.move_count == obj.move_count
+
+    def test_restored_heap_is_usable(self):
+        restored = loads(dumps(busy_heap()))
+        obj = restored.place(100, 4)
+        restored.free(obj.object_id)
+        restored.check_invariants()
+
+    def test_id_counter_resumes_past_live_ids(self):
+        original = busy_heap()
+        restored = loads(dumps(original))
+        fresh = restored.place(200, 1)
+        live_ids = {o.object_id for o in original.objects.live_objects()}
+        assert fresh.object_id not in live_ids
+
+    def test_version_check(self):
+        data = snapshot_heap(SimHeap())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            restore_heap(data)
+
+    def test_snapshot_of_pf_endgame(self):
+        """Snapshot a real adversarial endgame and restore it."""
+        from repro.adversary import PFProgram
+        from repro.adversary.driver import ExecutionDriver
+        from repro.core.params import BoundParams
+        from repro.mm import FirstFitManager
+
+        params = BoundParams(2048, 64, 20.0)
+        driver = ExecutionDriver(params, FirstFitManager())
+        driver.run(PFProgram(params))
+        restored = loads(dumps(driver.heap))
+        assert restored.high_water == driver.heap.high_water
+        assert restored.live_words == driver.heap.live_words
+        restored.check_invariants()

@@ -1,0 +1,107 @@
+"""Tests for the word-arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.heap.units import (
+    align_down,
+    align_up,
+    ceil_log2,
+    chunk_index,
+    chunk_start,
+    chunks_spanned,
+    floor_log2,
+    is_aligned,
+    next_power_of_two,
+)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(13, 4) == 12
+        assert align_down(12, 4) == 12
+        assert align_down(3, 4) == 0
+        assert align_down(7, 1) == 7
+
+    def test_align_up(self):
+        assert align_up(13, 4) == 16
+        assert align_up(12, 4) == 12
+        assert align_up(0, 4) == 0
+
+    def test_is_aligned(self):
+        assert is_aligned(16, 8)
+        assert not is_aligned(12, 8)
+        assert is_aligned(5, 1)
+
+    def test_bad_alignment_rejected(self):
+        for fn in (lambda: align_up(3, 0), lambda: align_down(3, -1),
+                   lambda: is_aligned(3, 0)):
+            with pytest.raises(ValueError):
+                fn()
+
+    @given(st.integers(0, 10**6), st.integers(1, 4096))
+    def test_align_sandwich(self, address, alignment):
+        down, up = align_down(address, alignment), align_up(address, alignment)
+        assert down <= address <= up
+        assert down % alignment == 0 and up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestLogs:
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1025) == 2048
+
+    def test_floor_ceil_log2(self):
+        assert floor_log2(1) == 0
+        assert floor_log2(7) == 2
+        assert floor_log2(8) == 3
+        assert ceil_log2(7) == 3
+        assert ceil_log2(8) == 3
+
+    def test_rejects_nonpositive(self):
+        for fn in (next_power_of_two, floor_log2, ceil_log2):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    @given(st.integers(1, 10**9))
+    def test_power_of_two_bracket(self, value):
+        p = next_power_of_two(value)
+        assert p >= value
+        assert p < 2 * value or value == 1
+        assert p & (p - 1) == 0
+
+
+class TestChunks:
+    def test_chunk_index_and_start(self):
+        assert chunk_index(0, 8) == 0
+        assert chunk_index(7, 8) == 0
+        assert chunk_index(8, 8) == 1
+        assert chunk_start(3, 8) == 24
+
+    def test_chunks_spanned(self):
+        assert list(chunks_spanned(0, 8, 8)) == [0]
+        assert list(chunks_spanned(4, 8, 8)) == [0, 1]
+        assert list(chunks_spanned(8, 16, 8)) == [1, 2]
+        assert list(chunks_spanned(7, 2, 8)) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_index(-1, 8)
+        with pytest.raises(ValueError):
+            chunk_start(-1, 8)
+        with pytest.raises(ValueError):
+            list(chunks_spanned(0, 0, 8))
+
+    @given(st.integers(0, 10**5), st.integers(1, 10**3),
+           st.sampled_from([1, 2, 4, 8, 64, 1024]))
+    def test_span_covers_every_word(self, address, size, chunk):
+        indices = list(chunks_spanned(address, size, chunk))
+        for word in (address, address + size - 1):
+            assert word // chunk in indices
+        assert indices == sorted(indices)
+        assert indices[0] == address // chunk
+        assert indices[-1] == (address + size - 1) // chunk

@@ -1,0 +1,112 @@
+"""Tests for the manager context and the shared fit searches."""
+
+import pytest
+
+from repro.heap.heap import SimHeap
+from repro.mm.base import (
+    ManagerContext,
+    find_best_fit,
+    find_first_fit,
+    find_next_fit,
+    find_worst_fit,
+    iter_free_gaps,
+)
+from repro.mm.budget import CompactionBudget
+
+
+def heap_with_holes() -> SimHeap:
+    """Live: [3,10), [12,20), [24,30).  Gaps: [0,3), [10,12), [20,24)."""
+    heap = SimHeap()
+    for start, size in ((3, 7), (12, 8), (24, 6)):
+        heap.place(start, size)
+    return heap
+
+
+class TestFitSearches:
+    def test_first_fit_scans_low_to_high(self):
+        heap = heap_with_holes()
+        assert find_first_fit(heap, 2) == 0
+        assert find_first_fit(heap, 3) == 0
+        assert find_first_fit(heap, 4) == 20
+        assert find_first_fit(heap, 5) == 30  # tail
+
+    def test_first_fit_start_at(self):
+        heap = heap_with_holes()
+        assert find_first_fit(heap, 2, start_at=5) == 10
+        assert find_first_fit(heap, 2, start_at=25) == 30
+
+    def test_best_fit_prefers_tightest(self):
+        heap = heap_with_holes()
+        assert find_best_fit(heap, 2) == 10  # the 2-word hole
+        assert find_best_fit(heap, 3) == 0   # exact 3-word hole
+        assert find_best_fit(heap, 4) == 20
+
+    def test_worst_fit_prefers_biggest(self):
+        heap = heap_with_holes()
+        assert find_worst_fit(heap, 2) == 20  # the 4-word hole
+
+    def test_next_fit_resumes_then_wraps(self):
+        heap = heap_with_holes()
+        assert find_next_fit(heap, 2, cursor=11) == 20
+        assert find_next_fit(heap, 2, cursor=25) == 0  # wraps
+
+    def test_tail_starts_at_span_end(self):
+        heap = SimHeap()
+        top = heap.place(10, 10)
+        heap.free(top.object_id)
+        heap.place(0, 4)
+        # Span is [0,4); the old high water (20) is irrelevant for fits.
+        assert find_first_fit(heap, 100) == 4
+        assert find_best_fit(heap, 100) == 4
+        assert find_worst_fit(heap, 100) == 4
+
+    def test_iter_free_gaps_tail_is_unbounded(self):
+        heap = heap_with_holes()
+        gaps = list(iter_free_gaps(heap))
+        assert gaps[-1] == (30, None)
+        finite = gaps[:-1]
+        assert finite == [(0, 3), (10, 12), (20, 24)]
+
+    def test_alignment_respected(self):
+        heap = heap_with_holes()
+        # The [20,24) hole has an 8-aligned candidate only at 24 (taken),
+        # so an aligned 4-word request goes to the tail rounded up.
+        assert find_first_fit(heap, 4, alignment=8) == 32
+
+
+class TestManagerContext:
+    def test_move_charges_and_notifies(self):
+        heap = SimHeap()
+        budget = CompactionBudget(2.0)
+        events = []
+        ctx = ManagerContext(
+            heap, budget,
+            move_listener=lambda obj, old, new: events.append((old, new)),
+        )
+        obj = heap.place(0, 4)
+        budget.charge_allocation(8)
+        ctx.move(obj.object_id, 10)
+        assert events == [(0, 10)]
+        assert budget.moved_words == 4
+        assert ctx.moves_this_request == 1
+        ctx.reset_request_counters()
+        assert ctx.moves_this_request == 0
+
+    def test_move_without_budget_raises_before_heap_change(self):
+        from repro.heap.errors import CompactionBudgetExceeded
+
+        heap = SimHeap()
+        ctx = ManagerContext(heap, CompactionBudget(None))
+        obj = heap.place(0, 4)
+        with pytest.raises(CompactionBudgetExceeded):
+            ctx.move(obj.object_id, 10)
+        assert obj.address == 0  # untouched
+
+    def test_can_afford_move(self):
+        heap = SimHeap()
+        budget = CompactionBudget(4.0)
+        ctx = ManagerContext(heap, budget)
+        assert not ctx.can_afford_move(1)
+        budget.charge_allocation(8)
+        assert ctx.can_afford_move(2)
+        assert not ctx.can_afford_move(3)

@@ -1,0 +1,101 @@
+"""Tests for the binary buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.heap import SimHeap
+from repro.mm.base import ManagerContext
+from repro.mm.buddy import BuddyManager
+from repro.mm.budget import CompactionBudget
+
+
+def attach(manager=None):
+    manager = manager or BuddyManager()
+    heap = SimHeap()
+    manager.attach(ManagerContext(heap, CompactionBudget(None)))
+    return heap, manager
+
+
+def do_alloc(heap, manager, size):
+    address = manager.place(size)
+    obj = heap.place(address, size)
+    manager.on_place(obj)
+    return obj
+
+
+def do_free(heap, manager, obj):
+    heap.free(obj.object_id)
+    manager.on_free(obj)
+
+
+class TestBuddyBasics:
+    def test_block_addresses_are_size_aligned(self):
+        heap, manager = attach()
+        for size in (1, 2, 3, 5, 8, 13):
+            obj = do_alloc(heap, manager, size)
+            block = 1 << (size - 1).bit_length() if size > 1 else 1
+            assert obj.address % block == 0
+
+    def test_splitting_keeps_low_half(self):
+        heap, manager = attach(BuddyManager(initial_order=4))
+        a = do_alloc(heap, manager, 4)
+        assert a.address == 0
+        b = do_alloc(heap, manager, 4)
+        assert b.address == 4
+
+    def test_coalescing_restores_block(self):
+        heap, manager = attach(BuddyManager(initial_order=3))
+        a = do_alloc(heap, manager, 4)
+        b = do_alloc(heap, manager, 4)
+        do_free(heap, manager, a)
+        do_free(heap, manager, b)
+        # The two order-2 buddies must have merged back to order 3.
+        assert manager.free_block_count(3) == 1
+        assert manager.free_block_count(2) == 0
+
+    def test_arena_doubles_on_demand(self):
+        heap, manager = attach(BuddyManager(initial_order=2))
+        assert manager.arena_words == 0
+        do_alloc(heap, manager, 4)
+        assert manager.arena_words == 4
+        do_alloc(heap, manager, 4)
+        assert manager.arena_words == 8
+
+    def test_large_request_grows_enough(self):
+        heap, manager = attach(BuddyManager(initial_order=2))
+        obj = do_alloc(heap, manager, 64)
+        assert obj.size == 64
+        assert manager.arena_words >= 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BuddyManager(initial_order=-1)
+
+
+class TestBuddyProperty:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 32)),
+            min_size=1, max_size=120,
+        )
+    )
+    @settings(max_examples=80)
+    def test_random_streams_stay_sound(self, events):
+        """No overlap ever (SimHeap enforces), blocks stay buddy-aligned,
+        and frees always coalesce into legal orders."""
+        heap, manager = attach(BuddyManager(initial_order=3))
+        live = []
+        for is_alloc, size in events:
+            if is_alloc:
+                obj = do_alloc(heap, manager, size)
+                block = 1 << (size - 1).bit_length() if size > 1 else 1
+                assert obj.address % block == 0
+                live.append(obj)
+            elif live:
+                do_free(heap, manager, live.pop(0))
+            heap.check_invariants()
+        # Free everything; all space must come back as free blocks.
+        for obj in live:
+            do_free(heap, manager, obj)
+        assert heap.live_words == 0

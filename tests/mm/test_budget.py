@@ -1,0 +1,97 @@
+"""Tests for the compaction-budget ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.errors import CompactionBudgetExceeded
+from repro.mm.budget import CompactionBudget
+
+
+class TestBasics:
+    def test_initial_state(self):
+        budget = CompactionBudget(10.0)
+        assert budget.divisor == 10.0
+        assert budget.allocated_words == 0
+        assert budget.moved_words == 0
+        assert budget.remaining == 0.0
+
+    def test_accrual(self):
+        budget = CompactionBudget(10.0)
+        budget.charge_allocation(100)
+        assert budget.remaining == pytest.approx(10.0)
+        assert budget.can_move(10)
+        assert not budget.can_move(11)
+
+    def test_spending(self):
+        budget = CompactionBudget(10.0)
+        budget.charge_allocation(100)
+        budget.charge_move(7)
+        assert budget.moved_words == 7
+        assert budget.remaining == pytest.approx(3.0)
+
+    def test_overdraft_raises_and_preserves_state(self):
+        budget = CompactionBudget(10.0)
+        budget.charge_allocation(100)
+        with pytest.raises(CompactionBudgetExceeded):
+            budget.charge_move(11)
+        assert budget.moved_words == 0
+
+    def test_no_compaction_mode(self):
+        budget = CompactionBudget(None)
+        budget.charge_allocation(1000)
+        assert not budget.can_move(1)
+        assert budget.remaining == 0.0
+        with pytest.raises(CompactionBudgetExceeded):
+            budget.charge_move(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompactionBudget(1.0)
+        budget = CompactionBudget(10.0)
+        with pytest.raises(ValueError):
+            budget.charge_allocation(0)
+        with pytest.raises(ValueError):
+            budget.can_move(0)
+
+    def test_snapshot(self):
+        budget = CompactionBudget(4.0)
+        budget.charge_allocation(40)
+        budget.charge_move(3)
+        snap = budget.snapshot()
+        assert snap.allocated_words == 40
+        assert snap.moved_words == 3
+        assert snap.earned == pytest.approx(10.0)
+        assert snap.remaining == pytest.approx(7.0)
+        # Snapshot is a copy: further spending does not change it.
+        budget.charge_move(2)
+        assert snap.moved_words == 3
+
+    def test_snapshot_without_divisor(self):
+        snap = CompactionBudget(None).snapshot()
+        assert snap.earned == 0.0
+        assert snap.remaining == 0.0
+
+
+class TestLedgerProperty:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 50)), max_size=100
+        ),
+        st.floats(min_value=1.5, max_value=100.0),
+    )
+    @settings(max_examples=150)
+    def test_invariant_holds_under_any_sequence(self, events, divisor):
+        """After any interleaving of accruals and (attempted) spends, the
+        c-partial inequality holds."""
+        budget = CompactionBudget(divisor)
+        for is_alloc, words in events:
+            if is_alloc:
+                budget.charge_allocation(words)
+            else:
+                try:
+                    budget.charge_move(words)
+                except CompactionBudgetExceeded:
+                    pass
+            budget.check_invariant()
+        assert budget.moved_words <= budget.allocated_words / divisor + 1e-9

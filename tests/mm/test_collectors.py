@@ -1,0 +1,158 @@
+"""Tests for the mark-compact and semispace collectors."""
+
+import pytest
+
+from repro.adversary import PFProgram, RandomChurnWorkload, run_execution
+from repro.core.params import BoundParams
+from repro.heap.heap import SimHeap
+from repro.mm.base import ManagerContext
+from repro.mm.budget import CompactionBudget
+from repro.mm.collectors import MarkCompactManager, SemispaceManager
+
+
+def attach(manager, divisor=4.0):
+    heap = SimHeap()
+    ctx = ManagerContext(heap, CompactionBudget(divisor))
+    manager.attach(ctx)
+    return heap, ctx
+
+
+def do_alloc(heap, manager, size, budget):
+    manager.prepare(size)
+    address = manager.place(size)
+    obj = heap.place(address, size)
+    budget.charge_allocation(size)
+    manager.on_place(obj)
+    return obj
+
+
+def do_free(heap, manager, obj):
+    heap.free(obj.object_id)
+    manager.on_free(obj)
+
+
+class TestMarkCompact:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkCompactManager(trigger_utilization=0.0)
+
+    def test_compacts_when_sparse(self):
+        manager = MarkCompactManager(trigger_utilization=0.9)
+        heap, ctx = attach(manager, divisor=2.0)
+        objs = [do_alloc(heap, manager, 4, ctx.budget) for _ in range(4)]
+        for obj in objs[:3]:
+            do_free(heap, manager, obj)
+        # Utilization 4/16 < 0.9 and budget (16/2=8 >= 4): compacts.
+        do_alloc(heap, manager, 4, ctx.budget)
+        assert manager.collections >= 1
+        assert objs[3].address == 0  # slid to the bottom
+        ctx.budget.check_invariant()
+
+    def test_no_compaction_without_budget(self):
+        manager = MarkCompactManager(trigger_utilization=0.9)
+        heap, ctx = attach(manager, divisor=10_000.0)
+        objs = [do_alloc(heap, manager, 4, ctx.budget) for _ in range(4)]
+        for obj in objs[:3]:
+            do_free(heap, manager, obj)
+        do_alloc(heap, manager, 4, ctx.budget)
+        assert manager.collections == 0
+        assert heap.total_moved == 0
+
+    def test_survives_adversary(self):
+        params = BoundParams(2048, 64, 10.0)
+        result = run_execution(params, PFProgram(params), MarkCompactManager())
+        assert result.live_peak <= params.live_space
+        assert result.budget.moved_words <= (
+            result.budget.allocated_words / 10.0 + 1e-9
+        )
+
+
+class TestSemispace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SemispaceManager(0)
+
+    def test_bump_allocation_in_active_space(self):
+        manager = SemispaceManager(16)
+        heap, ctx = attach(manager)
+        a = do_alloc(heap, manager, 4, ctx.budget)
+        b = do_alloc(heap, manager, 4, ctx.budget)
+        assert (a.address, b.address) == (0, 4)
+
+    def test_flip_on_fill(self):
+        manager = SemispaceManager(8)
+        heap, ctx = attach(manager, divisor=2.0)
+        a = do_alloc(heap, manager, 4, ctx.budget)
+        b = do_alloc(heap, manager, 4, ctx.budget)
+        do_free(heap, manager, a)
+        # From-space [0,8) is bump-full; evacuation copies b to [8,16).
+        c = do_alloc(heap, manager, 4, ctx.budget)
+        assert manager.collections == 1
+        assert b.address == 8
+        assert c.address == 12
+        ctx.budget.check_invariant()
+
+    def test_footprint_bounded_two_spaces_under_churn(self):
+        params = BoundParams(256, 16, 2.0)
+        manager = SemispaceManager(params.live_space)
+        result = run_execution(
+            params,
+            RandomChurnWorkload(params, operations=3000, seed=5),
+            manager,
+        )
+        # Classic copying-collector footprint: two semispaces.
+        assert result.heap_size <= 2 * params.live_space
+        assert manager.collections > 0
+
+    def test_survives_adversary(self):
+        params = BoundParams(2048, 64, 10.0)
+        manager = SemispaceManager(params.live_space)
+        result = run_execution(params, PFProgram(params), manager)
+        assert result.budget.moved_words <= (
+            result.budget.allocated_words / 10.0 + 1e-9
+        )
+
+
+class TestRandomized:
+    def test_random_placement_sound(self):
+        from repro.mm.randomized import RandomPlacementManager
+
+        params = BoundParams(512, 16, 5.0)
+        result = run_execution(
+            params,
+            RandomChurnWorkload(params, operations=800, seed=2),
+            RandomPlacementManager(seed=7),
+            paranoid=True,
+        )
+        assert result.live_peak <= params.live_space
+
+    def test_random_mover_respects_budget(self):
+        from repro.mm.randomized import RandomPlacementManager
+
+        params = BoundParams(512, 16, 5.0)
+        result = run_execution(
+            params,
+            RandomChurnWorkload(params, operations=800, seed=2),
+            RandomPlacementManager(seed=7, move_probability=0.5),
+            paranoid=True,
+        )
+        assert result.budget.moved_words <= (
+            result.budget.allocated_words / 5.0 + 1e-9
+        )
+
+    def test_highest_placement_never_reuses(self):
+        from repro.mm.randomized import AdversarialPlacementManager
+
+        params = BoundParams(64, 8)
+        result = run_execution(
+            params,
+            RandomChurnWorkload(params, operations=200, seed=2),
+            AdversarialPlacementManager(),
+        )
+        assert result.heap_size == result.total_allocated
+
+    def test_move_probability_validation(self):
+        from repro.mm.randomized import RandomPlacementManager
+
+        with pytest.raises(ValueError):
+            RandomPlacementManager(move_probability=1.5)

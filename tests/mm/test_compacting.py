@@ -1,0 +1,170 @@
+"""Tests for the compacting managers (and the move plumbing)."""
+
+import pytest
+
+from repro.core.params import BoundParams
+from repro.heap.errors import CompactionBudgetExceeded
+from repro.heap.heap import SimHeap
+from repro.mm.base import ManagerContext
+from repro.mm.budget import CompactionBudget
+from repro.mm.compacting import AddressIndex, BPCollectorManager, SlidingCompactor
+
+
+def attach(manager, divisor=10.0, move_listener=None):
+    heap = SimHeap()
+    ctx = ManagerContext(heap, CompactionBudget(divisor), move_listener)
+    manager.attach(ctx)
+    return heap, ctx
+
+
+def do_alloc(heap, manager, size, budget):
+    manager.prepare(size)
+    address = manager.place(size)
+    obj = heap.place(address, size)
+    budget.charge_allocation(size)
+    manager.on_place(obj)
+    return obj
+
+
+def do_free(heap, manager, obj):
+    heap.free(obj.object_id)
+    manager.on_free(obj)
+
+
+class TestAddressIndex:
+    def test_ordering(self):
+        from repro.heap.object_model import HeapObject
+
+        index = AddressIndex()
+        a = HeapObject(1, 10, 2)
+        b = HeapObject(2, 5, 2)
+        index.add(a)
+        index.add(b)
+        assert index.first_at_or_after(0) == 2
+        assert index.first_at_or_after(6) == 1
+        assert index.first_at_or_after(11) is None
+
+    def test_discard_specific_entry(self):
+        from repro.heap.object_model import HeapObject
+
+        index = AddressIndex()
+        index.add(HeapObject(1, 5, 2))
+        index.add(HeapObject(2, 5, 2))  # same address is possible transiently
+        index.discard(1, 5)
+        assert index.first_at_or_after(0) == 2
+        assert len(index) == 1
+
+    def test_moved(self):
+        from repro.heap.object_model import HeapObject
+
+        index = AddressIndex()
+        obj = HeapObject(1, 10, 2)
+        index.add(obj)
+        obj.address = 3
+        index.moved(obj, 10)
+        assert index.first_at_or_after(0) == 1
+        assert index.first_at_or_after(4) is None
+
+
+class TestSlidingCompactor:
+    def test_no_compaction_when_gap_fits(self):
+        manager = SlidingCompactor()
+        heap, ctx = attach(manager)
+        a = do_alloc(heap, manager, 4, ctx.budget)
+        do_alloc(heap, manager, 4, ctx.budget)
+        do_free(heap, manager, a)
+        do_alloc(heap, manager, 4, ctx.budget)
+        assert heap.total_moved == 0
+
+    def test_slides_to_make_room(self):
+        manager = SlidingCompactor()
+        heap, ctx = attach(manager, divisor=2.0)
+        a = do_alloc(heap, manager, 4, ctx.budget)
+        b = do_alloc(heap, manager, 4, ctx.budget)
+        do_free(heap, manager, a)
+        # A 6-word request fits nowhere below HW (two 4-word zones);
+        # sliding b left makes [4, 8) + tail contiguous.
+        placed = do_alloc(heap, manager, 6, ctx.budget)
+        assert heap.total_moved == 4
+        assert b.address == 0
+        assert placed.address == 4
+        assert heap.high_water == 10  # no growth needed
+
+    def test_respects_budget(self):
+        manager = SlidingCompactor()
+        heap, ctx = attach(manager, divisor=1000.0)  # essentially no budget
+        a = do_alloc(heap, manager, 4, ctx.budget)
+        do_alloc(heap, manager, 4, ctx.budget)
+        do_free(heap, manager, a)
+        do_alloc(heap, manager, 6, ctx.budget)
+        assert heap.total_moved == 0  # could not afford the slide
+        assert heap.high_water == 14  # had to grow instead
+        ctx.budget.check_invariant()
+
+    def test_move_listener_fires(self):
+        moves = []
+        manager = SlidingCompactor()
+        heap, ctx = attach(
+            manager, divisor=2.0,
+            move_listener=lambda obj, old, new: moves.append((obj.object_id, old, new)),
+        )
+        a = do_alloc(heap, manager, 4, ctx.budget)
+        b = do_alloc(heap, manager, 4, ctx.budget)
+        do_free(heap, manager, a)
+        do_alloc(heap, manager, 6, ctx.budget)
+        assert moves == [(b.object_id, 4, 0)]
+
+
+class TestBPCollector:
+    def test_needs_finite_c(self):
+        manager = BPCollectorManager(1024)
+        heap = SimHeap()
+        with pytest.raises(ValueError):
+            manager.attach(ManagerContext(heap, CompactionBudget(None)))
+
+    def test_arena_sizing(self):
+        manager = BPCollectorManager(1000)
+        _, ctx = attach(manager, divisor=4.0)
+        assert manager.arena_end == 4 * 1000 + 1000 + 1
+
+    def test_bump_allocation(self):
+        manager = BPCollectorManager(1024)
+        heap, ctx = attach(manager, divisor=4.0)
+        a = do_alloc(heap, manager, 10, ctx.budget)
+        b = do_alloc(heap, manager, 10, ctx.budget)
+        assert (a.address, b.address) == (0, 10)
+
+    def test_compacts_at_arena_end(self):
+        live_bound = 64
+        manager = BPCollectorManager(live_bound)
+        heap, ctx = attach(manager, divisor=2.0)
+        survivors = []
+        # Fill and churn until the bump pointer crosses the arena end.
+        for round_index in range(30):
+            obj = do_alloc(heap, manager, 16, ctx.budget)
+            if round_index % 4 == 0:
+                survivors.append(obj)
+            else:
+                do_free(heap, manager, obj)
+        assert manager.arena_end is not None
+        assert heap.total_moved > 0  # it did compact
+        assert heap.high_water <= manager.arena_end
+        ctx.budget.check_invariant()
+
+    def test_respects_guarantee_under_churn(self):
+        params = BoundParams(256, 16, 3.0)
+        manager = BPCollectorManager(params.live_space)
+        heap, ctx = attach(manager, divisor=3.0)
+        import random
+
+        rng = random.Random(1)
+        live = []
+        for _ in range(4000):
+            if heap.live_words + 16 <= params.live_space and (
+                not live or rng.random() < 0.55
+            ):
+                live.append(do_alloc(heap, manager, 16, ctx.budget))
+            elif live:
+                do_free(heap, manager, live.pop(rng.randrange(len(live))))
+        assert heap.high_water <= (3.0 + 1.0) * params.live_space + 16 + 1
+        ctx.budget.check_invariant()

@@ -1,0 +1,228 @@
+"""Tests for the classic placement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import BoundParams
+from repro.heap.heap import SimHeap
+from repro.mm.base import ManagerContext
+from repro.mm.budget import CompactionBudget
+from repro.mm.fits import (
+    BestFitManager,
+    FirstFitManager,
+    NextFitManager,
+    WorstFitManager,
+)
+
+
+def attach(manager):
+    heap = SimHeap()
+    ctx = ManagerContext(heap, CompactionBudget(None))
+    manager.attach(ctx)
+    return heap
+
+
+def do_alloc(heap, manager, size):
+    manager.prepare(size)
+    address = manager.place(size)
+    obj = heap.place(address, size)
+    manager.on_place(obj)
+    return obj
+
+
+def do_free(heap, manager, obj):
+    heap.free(obj.object_id)
+    manager.on_free(obj)
+
+
+class TestFirstFit:
+    def test_packs_from_zero(self):
+        manager = FirstFitManager()
+        heap = attach(manager)
+        a = do_alloc(heap, manager, 4)
+        b = do_alloc(heap, manager, 4)
+        assert (a.address, b.address) == (0, 4)
+
+    def test_reuses_lowest_hole(self):
+        manager = FirstFitManager()
+        heap = attach(manager)
+        a = do_alloc(heap, manager, 4)
+        do_alloc(heap, manager, 4)
+        c = do_alloc(heap, manager, 4)
+        do_free(heap, manager, a)
+        do_free(heap, manager, c)
+        d = do_alloc(heap, manager, 3)
+        assert d.address == 0
+
+    def test_skips_too_small_holes(self):
+        manager = FirstFitManager()
+        heap = attach(manager)
+        a = do_alloc(heap, manager, 2)
+        do_alloc(heap, manager, 4)
+        do_free(heap, manager, a)
+        big = do_alloc(heap, manager, 4)
+        assert big.address == 6
+
+    def test_aligned_variant(self):
+        manager = FirstFitManager(aligned=True)
+        heap = attach(manager)
+        do_alloc(heap, manager, 3)  # occupies [0, 3), alignment 4
+        b = do_alloc(heap, manager, 4)
+        assert b.address == 4
+        c = do_alloc(heap, manager, 8)
+        assert c.address == 8
+        assert manager.name == "first-fit-aligned"
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 8)), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=100)
+    def test_cursor_cache_matches_reference(self, events):
+        """The monotone-cursor optimization must be invisible: compare
+        against a cache-free reference on random alloc/free streams."""
+        cached = FirstFitManager()
+        heap_cached = attach(cached)
+        reference_heap = SimHeap()
+        live_cached = []
+        live_reference = []
+        for is_alloc, size in events:
+            if is_alloc:
+                obj = do_alloc(heap_cached, cached, size)
+                # Reference: naive scan every time.
+                from repro.mm.base import find_first_fit
+
+                address = find_first_fit(reference_heap, size)
+                ref = reference_heap.place(address, size)
+                assert obj.address == ref.address, "cursor broke first-fit"
+                live_cached.append(obj)
+                live_reference.append(ref)
+            elif live_cached:
+                victim = len(live_cached) // 2
+                do_free(heap_cached, cached, live_cached.pop(victim))
+                reference_heap.free(live_reference.pop(victim).object_id)
+
+
+class TestNextFit:
+    def test_roves_forward_past_earlier_hole(self):
+        manager = NextFitManager()
+        heap = attach(manager)
+        a = do_alloc(heap, manager, 2)
+        b = do_alloc(heap, manager, 2)
+        do_alloc(heap, manager, 2)
+        d = do_alloc(heap, manager, 2)
+        do_alloc(heap, manager, 2)  # cap keeps d's hole inside the span
+        do_free(heap, manager, b)
+        do_free(heap, manager, d)
+        e = do_alloc(heap, manager, 2)  # wraps: lands in b's hole
+        assert e.address == 2
+        do_free(heap, manager, a)
+        f = do_alloc(heap, manager, 2)
+        # The cursor sits after e; next-fit takes d's hole ahead of it,
+        # skipping a's earlier hole (first-fit would have chosen 0).
+        assert f.address == 6
+
+    def test_wraps_to_reuse_low_hole(self):
+        manager = NextFitManager()
+        heap = attach(manager)
+        a = do_alloc(heap, manager, 4)
+        do_alloc(heap, manager, 4)
+        do_free(heap, manager, a)
+        # Cursor sits at the span end; nothing fits above it, so the
+        # roving pointer wraps and reuses the freed low hole rather than
+        # growing the heap.
+        c = do_alloc(heap, manager, 2)
+        assert c.address == 0
+
+
+class TestBestFit:
+    def test_picks_tightest_hole(self):
+        manager = BestFitManager()
+        heap = attach(manager)
+        objs = [do_alloc(heap, manager, s) for s in (3, 1, 5, 1, 4, 1)]
+        do_free(heap, manager, objs[0])  # hole [0,3)
+        do_free(heap, manager, objs[2])  # hole [4,9)
+        do_free(heap, manager, objs[4])  # hole [10,14)
+        placed = do_alloc(heap, manager, 4)
+        assert placed.address == 10  # the size-4 hole, not the size-5 one
+
+    def test_hint_does_not_break_semantics(self):
+        manager = BestFitManager()
+        heap = attach(manager)
+        a = do_alloc(heap, manager, 6)
+        do_alloc(heap, manager, 1)
+        do_free(heap, manager, a)  # hole [0,6)
+        do_alloc(heap, manager, 8)  # too big -> tail; hint now 6
+        placed = do_alloc(heap, manager, 6)  # must still find the hole
+        assert placed.address == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 8)), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=80)
+    def test_hint_matches_reference(self, events):
+        cached = BestFitManager()
+        heap_cached = attach(cached)
+        reference = SimHeap()
+        live_c, live_r = [], []
+        for is_alloc, size in events:
+            if is_alloc:
+                obj = do_alloc(heap_cached, cached, size)
+                from repro.mm.base import find_best_fit
+
+                ref = reference.place(find_best_fit(reference, size), size)
+                assert obj.address == ref.address, "hint broke best-fit"
+                live_c.append(obj)
+                live_r.append(ref)
+            elif live_c:
+                index = len(live_c) // 3
+                do_free(heap_cached, cached, live_c.pop(index))
+                reference.free(live_r.pop(index).object_id)
+
+
+class TestWorstFit:
+    def test_picks_biggest_hole(self):
+        manager = WorstFitManager()
+        heap = attach(manager)
+        objs = [do_alloc(heap, manager, s) for s in (3, 1, 5, 1)]
+        do_free(heap, manager, objs[0])
+        do_free(heap, manager, objs[2])
+        placed = do_alloc(heap, manager, 2)
+        assert placed.address == 4  # inside the 5-word hole
+
+
+class TestLifecycle:
+    def test_double_attach_rejected(self):
+        manager = FirstFitManager()
+        attach(manager)
+        with pytest.raises(Exception):
+            attach(manager)
+
+    def test_unattached_access_rejected(self):
+        from repro.heap.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            FirstFitManager().place(1)
+
+    def test_registry_smoke(self):
+        from repro.mm.registry import create_manager, manager_names
+
+        params = BoundParams(1024, 64, 10)
+        for name in manager_names():
+            manager = create_manager(name, params)
+            assert manager.name == name
+        with pytest.raises(KeyError):
+            create_manager("nope", params)
+
+    def test_registry_filters(self):
+        from repro.mm.registry import manager_names
+
+        compacting = manager_names(compacting=True)
+        fixed = manager_names(compacting=False)
+        assert "sliding-compactor" in compacting
+        assert "first-fit" in fixed
+        assert not set(compacting) & set(fixed)

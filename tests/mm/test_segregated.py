@@ -1,0 +1,82 @@
+"""Tests for the segregated-fit manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.heap import SimHeap
+from repro.mm.base import ManagerContext
+from repro.mm.budget import CompactionBudget
+from repro.mm.segregated import SegregatedFitManager
+
+
+def attach():
+    manager = SegregatedFitManager()
+    heap = SimHeap()
+    manager.attach(ManagerContext(heap, CompactionBudget(None)))
+    return heap, manager
+
+
+def do_alloc(heap, manager, size):
+    address = manager.place(size)
+    obj = heap.place(address, size)
+    manager.on_place(obj)
+    return obj
+
+
+def do_free(heap, manager, obj):
+    heap.free(obj.object_id)
+    manager.on_free(obj)
+
+
+class TestSegregated:
+    def test_class_alignment(self):
+        heap, manager = attach()
+        a = do_alloc(heap, manager, 3)  # class 4
+        b = do_alloc(heap, manager, 3)
+        assert a.address % 4 == 0
+        assert b.address % 4 == 0
+        assert b.address >= a.address + 4
+
+    def test_slot_reuse_same_class(self):
+        heap, manager = attach()
+        a = do_alloc(heap, manager, 4)
+        do_alloc(heap, manager, 4)
+        do_free(heap, manager, a)
+        assert manager.free_slot_count(4) == 1
+        c = do_alloc(heap, manager, 4)
+        assert c.address == a.address
+        assert manager.free_slot_count(4) == 0
+
+    def test_no_cross_class_reuse(self):
+        heap, manager = attach()
+        a = do_alloc(heap, manager, 8)
+        do_alloc(heap, manager, 8)
+        do_free(heap, manager, a)
+        small = do_alloc(heap, manager, 2)
+        # Class 2 never reuses the class-8 slot.
+        assert small.address != a.address or manager.free_slot_count(8) == 1
+
+    def test_rounded_reservation(self):
+        """A 5-word object occupies a class-8 slot; the next 8-word
+        object must not land inside that slot's padding."""
+        heap, manager = attach()
+        a = do_alloc(heap, manager, 5)
+        b = do_alloc(heap, manager, 8)
+        assert b.address >= a.address + 8
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 16)),
+            min_size=1, max_size=100,
+        )
+    )
+    @settings(max_examples=80)
+    def test_random_streams_sound(self, events):
+        heap, manager = attach()
+        live = []
+        for is_alloc, size in events:
+            if is_alloc:
+                live.append(do_alloc(heap, manager, size))
+            elif live:
+                do_free(heap, manager, live.pop())
+            heap.check_invariants()

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestBounds:
+    def test_default_paper_point(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "h = 3.4849" in out
+        assert "cohen-petrank-theorem1" in out
+        assert "cohen-petrank-theorem2" in out
+
+    def test_profile_flag(self, capsys):
+        assert main(["bounds", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "h(ell=3)" in out
+
+    def test_no_compaction(self, capsys):
+        assert main(["bounds", "--c", "0", "--live", "4096",
+                     "--object", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "robson" in out
+
+    def test_bad_params_exit_2(self, capsys):
+        assert main(["bounds", "--object", "100"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which", ["fig1", "fig2", "fig3"])
+    def test_renders(self, which, capsys):
+        assert main(["figure", which]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_table_flag(self, capsys):
+        assert main(["figure", "fig1", "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "cohen-petrank (Thm 1)" in out
+
+
+class TestSimulate:
+    def test_pf_run(self, capsys):
+        assert main([
+            "simulate", "--program", "pf", "--manager", "first-fit",
+            "--live", "2048", "--object", "64", "--c", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cohen-petrank-PF vs first-fit" in out
+        assert "utilization" in out
+
+    def test_heapmap_flag(self, capsys):
+        assert main([
+            "simulate", "--program", "checkerboard", "--manager", "best-fit",
+            "--live", "512", "--object", "16", "--c", "0", "--heapmap",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "high water" in out
+
+    def test_unknown_manager_exit_2(self, capsys):
+        assert main(["simulate", "--manager", "nope",
+                     "--live", "512", "--object", "16"]) == 2
+        assert "unknown manager" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_pf_grid(self, capsys):
+        assert main(["experiment", "pf", "--live", "2048", "--object", "64",
+                     "--c", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem1-h" in out
+        assert "all rows respect the bound" in out
+
+    def test_robson_grid(self, capsys):
+        assert main(["experiment", "robson", "--live", "1024",
+                     "--object", "32"]) == 0
+        assert "robson-lower" in capsys.readouterr().out
+
+    def test_upper_grid(self, capsys):
+        assert main(["experiment", "upper", "--live", "1024",
+                     "--object", "32", "--c", "10"]) == 0
+        assert "bp-(c+1)M" in capsys.readouterr().out
+
+
+class TestMisc:
+    def test_exact(self, capsys):
+        assert main(["exact", "--live", "4", "--object", "2"]) == 0
+        assert "5 words" in capsys.readouterr().out
+
+    def test_exact_budgeted(self, capsys):
+        assert main(["exact", "--live", "4", "--object", "2",
+                     "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "B=2" in out and "5 words" in out
+
+    def test_absolute(self, capsys):
+        assert main(["absolute", "--budget", str(1 << 24)]) == 0
+        out = capsys.readouterr().out
+        assert "corollary lower bound" in out
+        assert "effective c" in out
+
+    def test_absolute_trivial(self, capsys):
+        assert main(["absolute", "--budget", str(1 << 40)]) == 0
+        assert "trivial" in capsys.readouterr().out
+
+    def test_managers_list(self, capsys):
+        assert main(["managers"]) == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out and "semispace" in out
+
+    def test_programs_list(self, capsys):
+        assert main(["programs"]) == 0
+        assert "pf" in capsys.readouterr().out
+
+    def test_parser_help_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"

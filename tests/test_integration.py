@@ -1,0 +1,147 @@
+"""End-to-end integration tests crossing every package boundary.
+
+These are the tests a reviewer would run first: the theory, the
+simulator, the managers and the adversaries must all agree with each
+other on shared parameter points.
+"""
+
+import pytest
+
+import repro
+from repro import BoundParams, envelope, lower_bound, upper_bound
+from repro.adversary import (
+    PFProgram,
+    PotentialObserver,
+    RandomChurnWorkload,
+    RobsonProgram,
+    run_execution,
+)
+from repro.analysis import (
+    discretization_allowance,
+    experiment_table,
+    pf_experiment,
+    robson_experiment,
+)
+from repro.core import robson as robson_bounds
+from repro.mm import create_manager, manager_names
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_quickstart(self):
+        """The README quickstart must work exactly as written."""
+        params = BoundParams(
+            live_space=256 * repro.MB, max_object=1 * repro.MB,
+            compaction_divisor=100,
+        )
+        assert lower_bound(params).waste_factor == pytest.approx(3.5, abs=0.1)
+
+    def test_envelope_is_exported(self):
+        env = envelope(BoundParams(256 * repro.MB, repro.MB, 50))
+        assert env.lower_factor < env.upper_factor
+
+
+class TestTheoryVsSimulationConsistency:
+    """The central cross-check: closed-form bounds vs actual executions."""
+
+    def test_lower_bound_witnessed_by_pf(self):
+        """No manager in the registry beats Theorem 1's floor."""
+        params = BoundParams(8192, 128, 25.0)
+        rows = pf_experiment(
+            params,
+            ("first-fit", "best-fit", "segregated-fit",
+             "sliding-compactor", "bp-collector", "theorem2"),
+        )
+        table = experiment_table(rows)
+        for row in rows:
+            assert row.respects_lower_bound, f"violation!\n{table}"
+
+    def test_robson_bound_witnessed(self):
+        params = BoundParams(4096, 64)
+        rows = robson_experiment(params)
+        for row in rows:
+            assert row.respects_lower_bound
+
+    def test_robson_construction_is_tight_for_aligned_managers(self):
+        """Against the aligned first-fit discipline the measured waste
+        should be within a few percent of the bound (tightness)."""
+        params = BoundParams(4096, 64)
+        result = run_execution(
+            params, RobsonProgram(params), create_manager("robson", params)
+        )
+        bound = robson_bounds.lower_bound_factor(params)
+        assert result.waste_factor == pytest.approx(bound, rel=0.15)
+
+    def test_upper_bound_survives_all_programs(self):
+        """The BP collector must hold (c+1)M against every program we
+        have, including the paper's own adversary."""
+        params = BoundParams(2048, 64, 8.0)
+        guarantee = (8.0 + 1.0) * params.live_space
+        programs = (
+            PFProgram(params),
+            RobsonProgram(params),
+            RandomChurnWorkload(params, operations=1500),
+        )
+        for program in programs:
+            result = run_execution(
+                params, program, create_manager("bp-collector", params)
+            )
+            assert result.heap_size <= guarantee + 64 + 1
+
+    def test_theorem2_bound_not_violated_by_its_manager(self):
+        """Our Theorem-2-style manager must stay below the Theorem-2
+        closed-form guarantee on the adversary (a violation would mean
+        the formula reconstruction is wrong or the manager overspends)."""
+        params = BoundParams(8192, 128, 25.0)
+        result = run_execution(
+            params, PFProgram(params), create_manager("theorem2", params)
+        )
+        guarantee = upper_bound(params).heap_words
+        assert result.heap_size <= guarantee + 1e-9
+
+    def test_potential_certificate_below_measured_heap(self):
+        """u(t) certifies the lower bound: final u <= measured HS."""
+        params = BoundParams(8192, 128, 25.0)
+        observer = PotentialObserver()
+        program = PFProgram(params, observer=observer)
+        result = run_execution(
+            params, program, create_manager("sliding-compactor", params)
+        )
+        floor = program.waste_target - discretization_allowance(
+            params, program.density_exponent
+        )
+        assert observer.history[-1] / 2.0 <= result.heap_size
+        assert result.waste_factor >= floor - 1e-9
+
+
+class TestEveryRegisteredManagerSurvivesChurn:
+    """Smoke across the whole registry: any manager must serve a benign
+    workload without tripping heap, budget or protocol errors."""
+
+    @pytest.mark.parametrize("name", manager_names())
+    def test_churn(self, name):
+        params = BoundParams(1024, 32, 10.0)
+        workload = RandomChurnWorkload(params, operations=600, seed=3)
+        result = run_execution(
+            params, workload, create_manager(name, params), paranoid=True
+        )
+        assert result.heap_size >= params.live_space * 0.5
+        result.budget.remaining  # ledger remained consistent
+
+
+class TestScaleInvariance:
+    def test_pf_waste_stable_across_scales(self):
+        """Doubling (M, n) together should not change measured waste
+        much — the construction is scale-free (the paper's bounds depend
+        on M/n and log n only, up to discretization)."""
+        base = BoundParams(4096, 64, 20.0)
+        doubled = base.scaled(2)
+        waste = []
+        for params in (base, doubled):
+            result = run_execution(
+                params, PFProgram(params), create_manager("first-fit", params)
+            )
+            waste.append(result.waste_factor)
+        assert waste[1] == pytest.approx(waste[0], rel=0.15)
