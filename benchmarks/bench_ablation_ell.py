@@ -31,7 +31,7 @@ def test_ablation_ell_formula(benchmark):
     print(f"optimum: ell = {best.density_exponent}, h = {best.waste_factor:.4f}")
 
 
-def test_ablation_ell_simulated(benchmark, sim_params):
+def test_ablation_ell_simulated(benchmark, sim_params, bench_record):
     profile = waste_profile(sim_params)
 
     def run_each_ell():
@@ -49,6 +49,15 @@ def test_ablation_ell_simulated(benchmark, sim_params):
     print(f"\n=== Ablation: P_F at each ell ({sim_params.describe()}, "
           "vs sliding-compactor) ===")
     print(format_table(("ell", "h(ell) theory", "measured HS/M"), rows))
+    bench_record(
+        "ablation_ell",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor,
+         "manager": "sliding-compactor"},
+        {"rows": [{"ell": ell, "h_theory": h, "measured": measured}
+                  for ell, h, measured in rows]},
+    )
     for _, h, measured in rows:
         # Each ell's own theory value is a floor for its own run (up to
         # the finite-scale allowance, generously doubled here).

@@ -20,13 +20,19 @@ def _sweep():
     return rows
 
 
-def test_ablation_m_flat(benchmark):
+def test_ablation_m_flat(benchmark, bench_record):
     rows = benchmark(_sweep)
     factors = [h for _, h in rows]
     spread = max(factors) - min(factors)
 
     print("\n=== Ablation: h vs M (n=1MB, c=100) ===")
     print(format_table(("M", "h"), rows))
+    bench_record(
+        "ablation_m",
+        {"max_object": 1 * MB, "compaction_divisor": 100.0},
+        {"rows": [{"M": label, "h": h} for label, h in rows],
+         "spread": spread},
+    )
     print(f"spread: {spread:.4f} (paper: 'very close to a constant')")
     assert spread < 0.05
     # And monotone: more live space can only help the adversary.

@@ -44,7 +44,7 @@ def test_absolute_budget_sweep(benchmark):
     assert factors[0] > 10.0  # Robson's ~11x at the paper's parameters
 
 
-def test_absolute_budget_simulated(benchmark, sim_params):
+def test_absolute_budget_simulated(benchmark, sim_params, bench_record):
     params = sim_params.with_compaction(None)
     budget_words = 256
     corollary = lower_bound_absolute(params, budget_words)
@@ -70,3 +70,13 @@ def test_absolute_budget_simulated(benchmark, sim_params):
           f"measured {result.waste_factor:.4f} x M, moved {result.total_moved}")
     assert result.total_moved <= budget_words
     assert result.waste_factor >= floor - 1e-9
+    bench_record(
+        "absolute_budget",
+        {"live_space": params.live_space, "max_object": params.max_object,
+         "budget_words": budget_words},
+        {"corollary_h": corollary.waste_factor,
+         "effective_c": corollary.effective_divisor,
+         "measured": result.waste_factor,
+         "moved_words": result.total_moved,
+         "wall_seconds": result.wall_seconds},
+    )

@@ -43,7 +43,19 @@ def _compare(sim_params, manager_name: str):
     return rows
 
 
-def test_adversary_hierarchy_vs_compactor(benchmark, sim_params):
+def _record_comparison(bench_record, sim_params, manager_name, rows):
+    bench_record(
+        f"adversary_comparison__{manager_name}",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor,
+         "manager": manager_name},
+        {"rows": [{"adversary": name, "waste_factor": factor, "moved": moved}
+                  for name, factor, moved in rows]},
+    )
+
+
+def test_adversary_hierarchy_vs_compactor(benchmark, sim_params, bench_record):
     rows = benchmark.pedantic(
         _compare, args=(sim_params, "sliding-compactor"),
         rounds=1, iterations=1,
@@ -51,17 +63,19 @@ def test_adversary_hierarchy_vs_compactor(benchmark, sim_params):
     print(f"\n=== Adversary comparison vs sliding-compactor "
           f"({sim_params.describe()}) ===")
     print(format_table(("adversary", "HS/M", "moved"), rows))
+    _record_comparison(bench_record, sim_params, "sliding-compactor", rows)
     waste = {name: factor for name, factor, _ in rows}
     assert waste["checkerboard"] < waste["cohen-petrank-PF"]
     assert waste["cohen-petrank-PF"] > 1.5
 
 
-def test_adversary_hierarchy_vs_first_fit(benchmark, sim_params):
+def test_adversary_hierarchy_vs_first_fit(benchmark, sim_params, bench_record):
     rows = benchmark.pedantic(
         _compare, args=(sim_params, "first-fit"), rounds=1, iterations=1
     )
     print(f"\n=== Adversary comparison vs first-fit "
           f"({sim_params.describe()}) ===")
     print(format_table(("adversary", "HS/M", "moved"), rows))
+    _record_comparison(bench_record, sim_params, "first-fit", rows)
     waste = {name: factor for name, factor, _ in rows}
     assert waste["checkerboard"] < waste["robson-PR"]

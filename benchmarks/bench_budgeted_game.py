@@ -24,7 +24,7 @@ def _solve():
     }
 
 
-def test_budgeted_game_flat_curve(benchmark):
+def test_budgeted_game_flat_curve(benchmark, bench_record):
     curves = benchmark.pedantic(_solve, rounds=1, iterations=1)
     print("\n=== Exact game value vs absolute move budget B ===")
     for (m, n), curve in curves.items():
@@ -36,3 +36,9 @@ def test_budgeted_game_flat_curve(benchmark):
                 "absolute budget changed the game value — the negative "
                 "result no longer holds?"
             )
+    bench_record(
+        "budgeted_game",
+        {"points": [{"M": m, "n": n} for m, n in curves]},
+        {"curves": {f"M={m},n={n}": [{"B": b, "value": v} for b, v in curve]
+                    for (m, n), curve in curves.items()}},
+    )

@@ -26,7 +26,7 @@ def _solve_all():
     return rows
 
 
-def test_exact_game_matches_robson(benchmark):
+def test_exact_game_matches_robson(benchmark, bench_record):
     minimum_heap_words.cache_clear()
     rows = benchmark.pedantic(_solve_all, rounds=1, iterations=1)
 
@@ -35,5 +35,12 @@ def test_exact_game_matches_robson(benchmark):
         ("point", "exact heap (game)", "Robson formula", "waste factor"),
         rows,
     ))
+    bench_record(
+        "exact_game",
+        {"points": [f"M={m},n={n}" for m, n in POINTS]},
+        {"rows": [{"point": point, "exact": exact, "formula": formula,
+                   "waste_factor": factor}
+                  for point, exact, formula, factor in rows]},
+    )
     for _, exact, formula, _factor in rows:
         assert exact == int(formula), "formula-vs-game mismatch"

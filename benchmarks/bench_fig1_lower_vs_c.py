@@ -17,7 +17,7 @@ def _series():
     return figure1_series()
 
 
-def test_fig1_lower_bound_vs_c(benchmark):
+def test_fig1_lower_bound_vs_c(benchmark, bench_record):
     figure = benchmark(_series)
 
     ours = dict(zip(figure.x_values, figure.series["cohen-petrank (Thm 1)"]))
@@ -34,3 +34,10 @@ def test_fig1_lower_bound_vs_c(benchmark):
     print(render_figure(figure))
     print()
     print(figure_table(figure))
+    bench_record(
+        "fig1_lower_vs_c",
+        {"M": "256MB", "n": "1MB", "c_range": [10, 100]},
+        {"x_values": list(figure.x_values),
+         "series": {name: list(values)
+                    for name, values in figure.series.items()}},
+    )

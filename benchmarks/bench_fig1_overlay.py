@@ -25,7 +25,7 @@ def _sweep(base):
     return simulation_sweep(base, C_GRID, MANAGERS)
 
 
-def test_fig1_simulated_overlay(benchmark, sim_params):
+def test_fig1_simulated_overlay(benchmark, sim_params, bench_record):
     base = sim_params.with_compaction(None)
     rows = benchmark.pedantic(_sweep, args=(base,), rounds=1, iterations=1)
 
@@ -47,6 +47,14 @@ def test_fig1_simulated_overlay(benchmark, sim_params):
         ("c", "theory h", "floor", *(f"measured {m}" for m in MANAGERS)),
         table,
     ))
+    bench_record(
+        "fig1_overlay",
+        {"live_space": base.live_space, "max_object": base.max_object,
+         "c_grid": list(C_GRID), "managers": list(MANAGERS)},
+        {"rows": [{"c": c, "theory": theory, "floor": floor,
+                   "measured": dict(zip(MANAGERS, measured))}
+                  for c, theory, floor, *measured in table]},
+    )
     for c, _theory, floor, *measured in table:
         for name, value in zip(MANAGERS, measured):
             assert value >= floor - 1e-9, f"c={c} {name}: {value} < {floor}"

@@ -12,7 +12,7 @@ def _series():
     return figure2_series()
 
 
-def test_fig2_lower_bound_vs_n(benchmark):
+def test_fig2_lower_bound_vs_n(benchmark, bench_record):
     figure = benchmark(_series)
     values = figure.series["cohen-petrank (Thm 1)"]
 
@@ -26,3 +26,10 @@ def test_fig2_lower_bound_vs_n(benchmark):
     print(render_figure(figure))
     print()
     print(figure_table(figure))
+    bench_record(
+        "fig2_lower_vs_n",
+        {"c": 100.0, "M": "256n"},
+        {"x_values": list(figure.x_values),
+         "series": {name: list(series_values)
+                    for name, series_values in figure.series.items()}},
+    )

@@ -14,7 +14,7 @@ def _series():
     return figure3_series()
 
 
-def test_fig3_upper_bound_vs_c(benchmark):
+def test_fig3_upper_bound_vs_c(benchmark, bench_record):
     figure = benchmark(_series)
     new = dict(zip(figure.x_values, figure.series["cohen-petrank (Thm 2)"]))
     prior = dict(
@@ -35,3 +35,12 @@ def test_fig3_upper_bound_vs_c(benchmark):
     print(figure_table(figure))
     print(f"\nimprovement over prior best: {improvement_20:.1%} at c=20, "
           f"{improvement_100:.1%} at c=100 (paper: ~15% max at c=20)")
+    bench_record(
+        "fig3_upper_vs_c",
+        {"M": "256MB", "n": "1MB"},
+        {"x_values": list(figure.x_values),
+         "series": {name: list(values)
+                    for name, values in figure.series.items()},
+         "improvement_c20": improvement_20,
+         "improvement_c100": improvement_100},
+    )

@@ -30,7 +30,7 @@ def _run_ledgers(sim_params):
     return reports
 
 
-def test_lemma_ledger(benchmark, sim_params):
+def test_lemma_ledger(benchmark, sim_params, bench_record):
     reports = benchmark.pedantic(
         _run_ledgers, args=(sim_params,), rounds=1, iterations=1
     )
@@ -39,3 +39,13 @@ def test_lemma_ledger(benchmark, sim_params):
         print(f"\n[{name}]  measured HS/M = {waste:.4f}")
         print(report.describe())
         assert report.all_hold(), f"{name} broke a lemma:\n{report.describe()}"
+    bench_record(
+        "lemma_ledger",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor,
+         "managers": list(MANAGERS)},
+        {"rows": [{"manager": name, "waste_factor": waste,
+                   "all_hold": report.all_hold()}
+                  for name, (report, waste) in reports.items()]},
+    )

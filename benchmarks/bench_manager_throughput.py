@@ -18,7 +18,7 @@ OPERATIONS = 1500
 
 
 @pytest.mark.parametrize("name", manager_names())
-def test_churn_throughput(benchmark, name):
+def test_churn_throughput(benchmark, name, bench_record):
     def run():
         workload = RandomChurnWorkload(PARAMS, operations=OPERATIONS, seed=11)
         return run_execution(PARAMS, workload, create_manager(name, PARAMS))
@@ -26,4 +26,14 @@ def test_churn_throughput(benchmark, name):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     print(f"\n{name}: waste={result.waste_factor:.3f} x M, "
           f"moved={result.total_moved} words over {OPERATIONS} ops")
+    bench_record(
+        f"manager_throughput__{name}",
+        {"live_space": PARAMS.live_space, "max_object": PARAMS.max_object,
+         "compaction_divisor": PARAMS.compaction_divisor,
+         "operations": OPERATIONS, "manager": name},
+        {"waste_factor": result.waste_factor,
+         "moved_words": result.total_moved,
+         "wall_seconds": result.wall_seconds,
+         "events_per_second": result.events_per_second},
+    )
     assert result.live_peak <= PARAMS.live_space

@@ -54,7 +54,7 @@ def _head_to_head():
     return rows
 
 
-def test_optimal_micro_head_to_head(benchmark):
+def test_optimal_micro_head_to_head(benchmark, bench_record):
     rows = benchmark.pedantic(_head_to_head, rounds=1, iterations=1)
     print("\n=== Optimal micro-manager vs first-fit (exact game values) ===")
     print(format_table(
@@ -63,6 +63,16 @@ def test_optimal_micro_head_to_head(benchmark):
          "optimal vs exact adversary"),
         rows,
     ))
+    bench_record(
+        "optimal_micro",
+        {"points": [f"M={m},n={n}" for m, n in POINTS]},
+        {"rows": [{"point": point, "game_value": game_value,
+                   "optimal_vs_pr": optimal_hs, "first_fit_vs_pr": greedy_hs,
+                   "optimal_vs_churn": churn_hs,
+                   "optimal_vs_exact": closure_hs}
+                  for point, game_value, optimal_hs, greedy_hs, churn_hs,
+                  closure_hs in rows]},
+    )
     for _, game_value, optimal_hs, greedy_hs, churn_hs, closure_hs in rows:
         assert optimal_hs <= game_value       # the guarantee
         assert churn_hs <= game_value

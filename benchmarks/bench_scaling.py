@@ -41,7 +41,18 @@ def _sweep(scales):
     return rows
 
 
-def test_scaling_m_sweep(benchmark):
+def _record_sweep(bench_record, name, scales, rows):
+    bench_record(
+        name,
+        {"c": C, "scales": [f"M={live},n={objects}"
+                            for live, objects in scales]},
+        {"rows": [{"scale": scale, "theory_h": h, "allowance": allowance,
+                   "measured": measured}
+                  for scale, h, allowance, measured in rows]},
+    )
+
+
+def test_scaling_m_sweep(benchmark, bench_record):
     """Fixed n: measured waste is nearly constant in M."""
     scales = ((2048, 64), (4096, 64), (8192, 64), (16384, 64))
     rows = benchmark.pedantic(_sweep, args=(scales,), rounds=1, iterations=1)
@@ -49,13 +60,14 @@ def test_scaling_m_sweep(benchmark):
     print(format_table(
         ("scale", "theory h", "allowance", "measured HS/M"), rows
     ))
+    _record_sweep(bench_record, "scaling_m_sweep", scales, rows)
     measured = [m for *_rest, m in rows]
     assert max(measured) - min(measured) < 0.25
     for _, h, allowance, m in rows:
         assert m >= h - allowance - 1e-9
 
 
-def test_scaling_ratio_sweep(benchmark):
+def test_scaling_ratio_sweep(benchmark, bench_record):
     """M = 64 n: theory and measurement climb together with log n."""
     scales = ((2048, 32), (4096, 64), (8192, 128), (16384, 256))
     rows = benchmark.pedantic(_sweep, args=(scales,), rounds=1, iterations=1)
@@ -63,6 +75,7 @@ def test_scaling_ratio_sweep(benchmark):
     print(format_table(
         ("scale", "theory h", "allowance", "measured HS/M"), rows
     ))
+    _record_sweep(bench_record, "scaling_ratio_sweep", scales, rows)
     theory = [h for _, h, __, ___ in rows]
     measured = [m for *_rest, m in rows]
     assert theory == sorted(theory)

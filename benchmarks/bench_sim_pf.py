@@ -14,7 +14,7 @@ from repro.analysis import (
 )
 
 
-def test_sim_pf_vs_manager_family(benchmark, sim_params):
+def test_sim_pf_vs_manager_family(benchmark, sim_params, bench_record):
     rows = benchmark.pedantic(
         pf_experiment,
         args=(sim_params, DEFAULT_PF_MANAGERS),
@@ -33,6 +33,20 @@ def test_sim_pf_vs_manager_family(benchmark, sim_params):
     print(experiment_table(rows))
     print(f"\nbest manager: {best.result.manager_name} at "
           f"{best.measured_factor:.4f} x M >= floor — Theorem 1 witnessed")
+    bench_record(
+        "sim_pf",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor,
+         "managers": list(DEFAULT_PF_MANAGERS)},
+        {"bound_factor": rows[0].bound_factor,
+         "effective_floor": rows[0].effective_floor,
+         "rows": [{"manager": row.result.manager_name,
+                   "measured": row.measured_factor,
+                   "moved": row.result.total_moved}
+                  for row in rows],
+         "best_manager": best.result.manager_name},
+    )
 
 
 def test_sim_pf_larger_scale_ell3(benchmark):

@@ -14,7 +14,8 @@ from repro.analysis import (
 from repro.core import robson as robson_bounds
 
 
-def test_sim_robson_vs_nonmoving_managers(benchmark, sim_params_no_c):
+def test_sim_robson_vs_nonmoving_managers(benchmark, sim_params_no_c,
+                                          bench_record):
     rows = benchmark.pedantic(
         robson_experiment,
         args=(sim_params_no_c, DEFAULT_ROBSON_MANAGERS),
@@ -32,3 +33,13 @@ def test_sim_robson_vs_nonmoving_managers(benchmark, sim_params_no_c):
           f"({sim_params_no_c.describe()}) ===")
     print(f"Robson bound: {bound:.4f} x M (theory, tight)")
     print(experiment_table(rows))
+    bench_record(
+        "sim_robson",
+        {"live_space": sim_params_no_c.live_space,
+         "max_object": sim_params_no_c.max_object,
+         "managers": list(DEFAULT_ROBSON_MANAGERS)},
+        {"bound_factor": bound,
+         "rows": [{"manager": row.result.manager_name,
+                   "measured": row.measured_factor}
+                  for row in rows]},
+    )

@@ -16,7 +16,7 @@ from repro.core import theorem2
 from repro.mm import create_manager
 
 
-def test_sim_bp_collector_guarantee(benchmark, sim_params):
+def test_sim_bp_collector_guarantee(benchmark, sim_params, bench_record):
     rows = benchmark.pedantic(
         upper_bound_experiment, args=(sim_params,), rounds=1, iterations=1
     )
@@ -26,9 +26,19 @@ def test_sim_bp_collector_guarantee(benchmark, sim_params):
     print(f"\n=== BP collector A_c guarantee ({sim_params.describe()}) ===")
     print(f"guarantee: (c+1) = {sim_params.compaction_divisor + 1:.0f} x M")
     print(experiment_table(rows))
+    bench_record(
+        "sim_upper_bp",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor},
+        {"guarantee_factor": sim_params.compaction_divisor + 1,
+         "rows": [{"program": row.result.program_name,
+                   "measured": row.measured_factor}
+                  for row in rows]},
+    )
 
 
-def test_sim_theorem2_manager_guarantee(benchmark, sim_params):
+def test_sim_theorem2_manager_guarantee(benchmark, sim_params, bench_record):
     guarantee = theorem2.upper_bound(sim_params).heap_words
 
     def run_all():
@@ -53,3 +63,14 @@ def test_sim_theorem2_manager_guarantee(benchmark, sim_params):
     for result in results:
         print(f"  {result.summary()}")
         assert result.heap_size <= guarantee, result.summary()
+    bench_record(
+        "sim_upper_theorem2",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor},
+        {"guarantee_words": guarantee,
+         "rows": [{"program": result.program_name,
+                   "heap_words": result.heap_size,
+                   "waste_factor": result.waste_factor}
+                  for result in results]},
+    )

@@ -27,7 +27,7 @@ def _run_timelines(sim_params):
     return series
 
 
-def test_timeline_waste_trajectories(benchmark, sim_params):
+def test_timeline_waste_trajectories(benchmark, sim_params, bench_record):
     series = benchmark.pedantic(
         _run_timelines, args=(sim_params,), rounds=1, iterations=1
     )
@@ -44,6 +44,16 @@ def test_timeline_waste_trajectories(benchmark, sim_params):
         xs_shared, plot, width=70, height=16,
         y_label="HS / M", x_label=f"events (x256)",
     ))
+    bench_record(
+        "timeline",
+        {"live_space": sim_params.live_space,
+         "max_object": sim_params.max_object,
+         "compaction_divisor": sim_params.compaction_divisor,
+         "managers": list(MANAGERS), "sample_every": 256},
+        {"final_waste": {name: values[-1] for name, values in plot.items()},
+         "trajectory_points": {name: len(values)
+                               for name, values in plot.items()}},
+    )
     for name, values in plot.items():
         # High water never shrinks: every trajectory is non-decreasing.
         assert values == sorted(values), name

@@ -3,13 +3,77 @@
 Every bench prints the rows/series it regenerates (the paper's figures
 have no tables, so the printed series *are* the artifact).  Run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them inline.
+
+Machine-readable output: every bench also emits one JSON record through
+the :func:`bench_record` fixture — schema ``{"name", "params",
+"wall_s", "results"}`` — printed to stdout as a ``BENCH_JSON `` line
+and, with ``--bench-out DIR``, written to ``DIR/BENCH_<name>.json`` so
+perf trajectories can be collected across commits.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.core.params import BoundParams
+
+BENCH_JSON_PREFIX = "BENCH_JSON "
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-out",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="also write each bench's JSON record to DIR/BENCH_<name>.json",
+    )
+
+
+def make_bench_payload(name: str, params: dict, wall_s: float,
+                       results: dict) -> dict:
+    """The one benchmark-record schema (see module docstring)."""
+    return {
+        "name": name,
+        "params": params,
+        "wall_s": round(wall_s, 6),
+        "results": results,
+    }
+
+
+@pytest.fixture
+def bench_record(request):
+    """Emit this bench's machine-readable record.
+
+    Call as ``bench_record(name, params, results)`` — ``wall_s`` is the
+    time from fixture setup to the call, covering the measured body of
+    the test.  Prints one ``BENCH_JSON {...}`` line (visible with
+    ``-s``) and honours ``--bench-out DIR``.
+    """
+    start = time.perf_counter()
+
+    def record(name: str, params: dict, results: dict) -> dict:
+        payload = make_bench_payload(
+            name, params, time.perf_counter() - start, results
+        )
+        line = json.dumps(payload, sort_keys=True, default=str)
+        print(f"\n{BENCH_JSON_PREFIX}{line}")
+        out_dir = request.config.getoption("--bench-out")
+        if out_dir:
+            target = Path(out_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            (target / f"BENCH_{name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True, default=str)
+                + "\n",
+                encoding="utf-8",
+            )
+        return payload
+
+    return record
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,7 @@ The figure of merit is ``ExecutionResult.waste_factor`` —
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..core.params import BoundParams
@@ -27,6 +28,7 @@ from ..heap.metrics import HeapMetrics, snapshot
 from ..heap.object_model import HeapObject
 from ..mm.base import ManagerContext, MemoryManager
 from ..mm.budget import BudgetSnapshot, CompactionBudget
+from ..obs.events import Alloc, CompactionWindow, EventBus, Free, Move
 from .base import AdversaryProgram, ProgramMoveListener, ProgramView
 from .trace import TraceLog
 
@@ -51,11 +53,25 @@ class ExecutionResult:
     budget: BudgetSnapshot
     metrics: HeapMetrics
     trace: TraceLog | None = None
+    #: Wall-clock duration of :meth:`ExecutionDriver.run`, in seconds.
+    wall_seconds: float = 0.0
 
     @property
     def waste_factor(self) -> float:
         """``HS / M`` — the paper's figure of merit."""
         return self.heap_size / self.params.live_space
+
+    @property
+    def event_count(self) -> int:
+        """Total heap events (allocations + frees + moves)."""
+        return self.allocation_count + self.free_count + self.move_count
+
+    @property
+    def events_per_second(self) -> float:
+        """Heap-event throughput over the measured wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.event_count / self.wall_seconds
 
     def summary(self) -> str:
         """One-line human-readable result."""
@@ -77,15 +93,23 @@ class ExecutionDriver:
         record_trace: bool = False,
         paranoid: bool = False,
         budget: CompactionBudget | None = None,
+        observer: EventBus | None = None,
     ) -> None:
         self.params = params
         self.manager = manager
         self.heap = SimHeap()
+        #: The telemetry bus, or None (the null-sink fast path: every
+        #: emission site below guards on this, so uninstrumented runs
+        #: pay one comparison per operation and build no event objects).
+        self.observer = observer
         #: The budget ledger; pass an :class:`~repro.mm.budget.AbsoluteBudget`
         #: to run the B-bounded model variant instead of the c-partial one.
         self.budget = budget if budget is not None else CompactionBudget(
-            params.compaction_divisor
+            params.compaction_divisor, observer=observer
         )
+        if budget is not None and observer is not None \
+                and getattr(budget, "observer", None) is None:
+            budget.observer = observer
         self.trace: TraceLog | None = TraceLog() if record_trace else None
         #: Re-check full heap invariants after every event (slow; tests).
         self.paranoid = paranoid
@@ -95,9 +119,10 @@ class ExecutionDriver:
         self._frees = 0
         self._moves = 0
         self._ctx = ManagerContext(
-            self.heap, self.budget, move_listener=self._on_manager_move
+            self.heap, self.budget, move_listener=self._on_manager_move,
+            observer=observer,
         )
-        manager.attach(self._ctx)
+        manager.attach(self._ctx, observer=observer)
 
     # Program-facing operations (called via ProgramView) -------------------
 
@@ -115,8 +140,16 @@ class ExecutionDriver:
                 f"allocating {size} would put live space at "
                 f"{self.heap.live_words + size} > M={self.params.live_space}"
             )
+        observer = self.observer
+        start_ns = time.perf_counter_ns() if observer is not None else 0
         self._ctx.reset_request_counters()
         self.manager.prepare(size)
+        if observer is not None and self._ctx.moves_this_request:
+            observer.emit(CompactionWindow(
+                request_size=size,
+                moves=self._ctx.moves_this_request,
+                moved_words=self._ctx.moved_words_this_request,
+            ))
         # The compaction window may have triggered program frees; the
         # live-space check above still holds (frees only reduce it).
         address = self.manager.place(size)
@@ -125,6 +158,11 @@ class ExecutionDriver:
         self.manager.on_place(obj)
         self._allocs += 1
         self._live_peak = max(self._live_peak, self.heap.live_words)
+        if observer is not None:
+            observer.emit(Alloc(
+                object_id=obj.object_id, size=size, address=address,
+                latency_ns=time.perf_counter_ns() - start_ns,
+            ))
         if self.trace is not None:
             self.trace.record_alloc(self.heap.clock, obj.object_id, size, address)
         if self.paranoid:
@@ -137,6 +175,10 @@ class ExecutionDriver:
         obj = self.heap.free(object_id)
         self.manager.on_free(obj)
         self._frees += 1
+        if self.observer is not None:
+            self.observer.emit(Free(
+                object_id=object_id, size=obj.size, address=obj.address,
+            ))
         if self.trace is not None:
             self.trace.record_free(self.heap.clock, object_id, obj.size, obj.address)
         if self.paranoid:
@@ -153,6 +195,13 @@ class ExecutionDriver:
         self, obj: HeapObject, old_address: int, new_address: int
     ) -> None:
         self._moves += 1
+        if self.observer is not None:
+            # Emitted before the program's listener so a consequent
+            # free (P_F's immediate-free rule) follows its move.
+            self.observer.emit(Move(
+                object_id=obj.object_id, size=obj.size,
+                old_address=old_address, new_address=new_address,
+            ))
         if self.trace is not None:
             self.trace.record_move(
                 self.heap.clock, obj.object_id, obj.size, old_address, new_address
@@ -165,7 +214,9 @@ class ExecutionDriver:
     def run(self, program: AdversaryProgram) -> ExecutionResult:
         """Execute the program to completion and measure."""
         view = ProgramView(self)
+        start = time.perf_counter()
         program.run(view)
+        wall_seconds = time.perf_counter() - start
         return ExecutionResult(
             params=self.params,
             program_name=program.name,
@@ -181,6 +232,7 @@ class ExecutionDriver:
             budget=self.budget.snapshot(),
             metrics=snapshot(self.heap),
             trace=self.trace,
+            wall_seconds=wall_seconds,
         )
 
 
@@ -192,10 +244,11 @@ def run_execution(
     record_trace: bool = False,
     paranoid: bool = False,
     budget: CompactionBudget | None = None,
+    observer: EventBus | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a driver, run, return the result."""
     driver = ExecutionDriver(
         params, manager, record_trace=record_trace, paranoid=paranoid,
-        budget=budget,
+        budget=budget, observer=observer,
     )
     return driver.run(program)

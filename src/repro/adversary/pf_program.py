@@ -42,6 +42,7 @@ from ..core.params import BoundParams
 from ..core.theorem1 import feasible_density_exponents, lower_bound, waste_factor_at
 from ..heap.chunks import ChunkId, ChunkPartition
 from ..heap.object_model import HeapObject
+from ..obs.events import EventBus, StageTransition
 from .association import WHOLE, AssociationMap
 from .base import AdversaryProgram, ProgramView
 from .ghosts import GhostRegistry
@@ -61,6 +62,7 @@ class PFProgram(AdversaryProgram):
         *,
         density_exponent: int | None = None,
         observer: Any = None,
+        bus: EventBus | None = None,
     ) -> None:
         """Build the adversary for one parameter point.
 
@@ -70,7 +72,9 @@ class PFProgram(AdversaryProgram):
         ``on_association_initialized(program)``,
         ``on_stage2_step(i, program)``, ``after_density_pass(i, program)``,
         ``after_allocation(i, obj, program)`` and ``on_finish(program)``;
-        the invariant-checking tests ride these hooks.
+        the invariant-checking tests ride these hooks.  ``bus`` is the
+        optional telemetry bus: every Stage I/II round boundary emits a
+        :class:`~repro.obs.events.StageTransition` through it.
         """
         if params.compaction_divisor is None:
             raise ValueError(
@@ -102,6 +106,7 @@ class PFProgram(AdversaryProgram):
             / (density_exponent + 1.0),
         )
         self.observer = observer
+        self.bus = bus
         # Execution state (populated by run()).
         self.ghosts = GhostRegistry()
         self.association = AssociationMap()
@@ -116,6 +121,12 @@ class PFProgram(AdversaryProgram):
         method = getattr(self.observer, hook, None)
         if method is not None:
             method(*args)
+
+    def _emit_stage(self, stage: str, step: int, label: str = "") -> None:
+        if self.bus is not None:
+            self.bus.emit(StageTransition(
+                program=self.name, stage=stage, step=step, label=label,
+            ))
 
     # Move handling (Definition 4.1 + Stage-II residue rule) -----------------
 
@@ -138,9 +149,11 @@ class PFProgram(AdversaryProgram):
         engine = RobsonEngine(view, self.ghosts)
         self._engine = engine
         view.mark("PF stage1 step=0")
+        self._emit_stage("I", 0, "stage I begin")
         engine.initial_step()
         for i in range(1, self.density_exponent + 1):
             view.mark(f"PF stage1 step={i}")
+            self._emit_stage("I", i)
             engine.step(i)
             self._notify("on_stage1_step", i, engine.offset)
         # Null steps ell+1 .. 2*ell-1: nothing happens.
@@ -245,9 +258,13 @@ class PFProgram(AdversaryProgram):
 
     def _run_stage2(self, view: ProgramView) -> None:
         self.stage = 2
+        first_step = 2 * self.density_exponent
         last_step = self.params.log_n - 2
-        for i in range(2 * self.density_exponent, last_step + 1):
+        for i in range(first_step, last_step + 1):
             view.mark(f"PF stage2 step={i}")
+            self._emit_stage(
+                "II", i, "stage I -> stage II" if i == first_step else "",
+            )
             self.current_exponent = i
             self.association.merge_step()
             self._notify("on_stage2_step", i, self)

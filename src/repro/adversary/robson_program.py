@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..core.params import BoundParams
 from ..heap.object_model import HeapObject
+from ..obs.events import EventBus, StageTransition
 from .base import AdversaryProgram, ProgramView
 from .ghosts import GhostRegistry
 
@@ -141,7 +142,13 @@ class RobsonProgram(AdversaryProgram):
 
     name = "robson-PR"
 
-    def __init__(self, params: BoundParams, *, max_step: int | None = None) -> None:
+    def __init__(
+        self,
+        params: BoundParams,
+        *,
+        max_step: int | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
         self.params = params
         self.max_step = params.log_n if max_step is None else max_step
         if not 0 <= self.max_step <= params.log_n:
@@ -150,6 +157,15 @@ class RobsonProgram(AdversaryProgram):
             )
         self.ghosts = GhostRegistry()
         self.engine: RobsonEngine | None = None
+        #: Optional telemetry bus: each round boundary emits a
+        #: :class:`~repro.obs.events.StageTransition`.
+        self.bus = bus
+
+    def _emit_stage(self, step: int, label: str = "") -> None:
+        if self.bus is not None:
+            self.bus.emit(StageTransition(
+                program=self.name, stage="robson", step=step, label=label,
+            ))
 
     def run(self, view: ProgramView) -> None:
         engine = RobsonEngine(view, self.ghosts)
@@ -163,8 +179,10 @@ class RobsonProgram(AdversaryProgram):
 
         view.set_move_listener(on_move)
         view.mark("robson step=0")
+        self._emit_stage(0, "initial fill")
         engine.initial_step()
         for i in range(1, self.max_step + 1):
             view.mark(f"robson step={i}")
+            self._emit_stage(i)
             engine.step(i)
         view.set_move_listener(None)

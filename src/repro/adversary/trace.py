@@ -8,7 +8,8 @@ growth) without instrumenting the hot path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from typing import Iterator
 
 __all__ = ["TraceEvent", "TraceLog"]
@@ -83,6 +84,37 @@ class TraceLog:
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """Every event of one kind, in order."""
         return [event for event in self._events if event.kind == kind]
+
+    # JSONL interop (same line discipline as repro.obs.export) -------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per event, one per line, ``None`` fields omitted.
+
+        The encoding matches the observability layer's JSONL discipline
+        (flat dicts, sorted keys), so trace files and
+        ``events.jsonl`` exports can share tooling.
+        """
+        lines = []
+        for event in self._events:
+            record = {
+                key: value
+                for key, value in asdict(event).items()
+                if value is not None
+            }
+            lines.append(json.dumps(record, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceLog":
+        """Rebuild a log from :meth:`to_jsonl` output (round-trip exact)."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            log._events.append(TraceEvent(**record))
+        return log
 
     def replay_requests(self) -> Iterator[tuple[str, int]]:
         """The program-visible request stream: ``("alloc", size)`` and

@@ -16,6 +16,8 @@ and the scale is part of every result row).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
 
 from ..adversary.base import AdversaryProgram
 from ..adversary.driver import ExecutionResult, run_execution
@@ -62,6 +64,27 @@ DEFAULT_PF_MANAGERS = (
     "mark-compact",
     "semispace",
 )
+
+
+def _run_row(
+    params: BoundParams,
+    program: AdversaryProgram,
+    manager_name: str,
+    telemetry_dir: Union[str, Path, None],
+) -> ExecutionResult:
+    """One grid cell: plain execution, or a recorded one when requested.
+
+    With ``telemetry_dir`` set, the row runs fully instrumented and its
+    manifest/JSONL pair lands in ``<dir>/<program>__<manager>/`` —
+    renderable individually with ``repro report``.
+    """
+    manager = create_manager(manager_name, params)
+    if telemetry_dir is None:
+        return run_execution(params, program, manager)
+    from ..obs.telemetry import run_recorded  # local: avoid import cycle
+
+    row_dir = Path(telemetry_dir) / f"{program.name}__{manager_name}"
+    return run_recorded(params, program, manager, row_dir)
 
 
 def discretization_allowance(params: BoundParams, density_exponent: int) -> float:
@@ -120,18 +143,20 @@ class ExperimentRow:
 def robson_experiment(
     params: BoundParams,
     manager_names_to_run: tuple[str, ...] = DEFAULT_ROBSON_MANAGERS,
+    *,
+    telemetry_dir: Union[str, Path, None] = None,
 ) -> list[ExperimentRow]:
     """Robson's :math:`P_R` against the non-moving manager family.
 
     The reference bound is Robson's lower bound factor — every row's
-    measured waste must be at or above it.
+    measured waste must be at or above it.  ``telemetry_dir`` records
+    each row as a manifest/JSONL run under a per-row subdirectory.
     """
     bound = robson_bounds.lower_bound_factor(params)
     rows = []
     for name in manager_names_to_run:
         program = RobsonProgram(params)
-        manager = create_manager(name, params)
-        result = run_execution(params, program, manager)
+        result = _run_row(params, program, name, telemetry_dir)
         rows.append(ExperimentRow(result, bound, "robson-lower"))
     return rows
 
@@ -141,20 +166,21 @@ def pf_experiment(
     manager_names_to_run: tuple[str, ...] = DEFAULT_PF_MANAGERS,
     *,
     density_exponent: int | None = None,
+    telemetry_dir: Union[str, Path, None] = None,
 ) -> list[ExperimentRow]:
     """The paper's :math:`P_F` against a manager family.
 
     The reference is the Theorem-1 factor ``h`` at the adversary's
     density exponent — the theorem says *no* c-partial manager can stay
-    below it.
+    below it.  ``telemetry_dir`` records each row as a manifest/JSONL
+    run under a per-row subdirectory.
     """
     if params.compaction_divisor is None:
         raise ValueError("pf_experiment needs a finite c in params")
     rows = []
     for name in manager_names_to_run:
         program = PFProgram(params, density_exponent=density_exponent)
-        manager = create_manager(name, params)
-        result = run_execution(params, program, manager)
+        result = _run_row(params, program, name, telemetry_dir)
         bound = max(1.0, program.waste_target)
         rows.append(
             ExperimentRow(
@@ -171,6 +197,7 @@ def upper_bound_experiment(
     params: BoundParams,
     *,
     programs: tuple[AdversaryProgram, ...] | None = None,
+    telemetry_dir: Union[str, Path, None] = None,
 ) -> list[ExperimentRow]:
     """The BP collector against adversarial and benign programs.
 
@@ -192,8 +219,7 @@ def upper_bound_experiment(
         )
     rows = []
     for program in programs:
-        manager = create_manager("bp-collector", params)
-        result = run_execution(params, program, manager)
+        result = _run_row(params, program, "bp-collector", telemetry_dir)
         rows.append(ExperimentRow(result, c + 1.0, "bp-(c+1)M"))
     return rows
 

@@ -37,6 +37,21 @@ class Timeline:
     def __init__(self) -> None:
         self.samples: list[TimelineSample] = []
 
+    @classmethod
+    def from_samples(cls, samples) -> "Timeline":
+        """Adapt :class:`repro.obs.sampler.SamplePoint` series (or any
+        objects with ``event_index``/``high_water``/``live_words`` and an
+        optional move count) into a plottable timeline."""
+        timeline = cls()
+        for point in samples:
+            timeline.append(TimelineSample(
+                event_index=point.event_index,
+                high_water=point.high_water,
+                live_words=point.live_words,
+                total_moved=getattr(point, "total_moved", 0),
+            ))
+        return timeline
+
     def __len__(self) -> int:
         return len(self.samples)
 
@@ -72,9 +87,9 @@ class InstrumentedManager(MemoryManager):
 
     # Delegation ------------------------------------------------------------
 
-    def attach(self, ctx: ManagerContext) -> None:
-        super().attach(ctx)
-        self.inner.attach(ctx)
+    def attach(self, ctx: ManagerContext, observer=None) -> None:
+        super().attach(ctx, observer)
+        self.inner.attach(ctx, observer)
 
     def prepare(self, size: int) -> None:
         self.inner.prepare(size)

@@ -4,8 +4,12 @@ Commands:
 
 * ``bounds`` — best-known lower/upper bounds at a parameter point;
 * ``figure`` — regenerate a paper figure as an ASCII plot and table;
-* ``simulate`` — run one adversary/workload against one manager;
-* ``experiment`` — run a (program × manager) grid against the bounds;
+* ``simulate`` — run one adversary/workload against one manager
+  (``--telemetry DIR`` records a manifest/JSONL run);
+* ``experiment`` — run a (program × manager) grid against the bounds
+  (``--telemetry DIR`` records every row);
+* ``report`` — render a recorded run directory (sparklines, the
+  replayed waste trajectory and the stage-transition table);
 * ``exact`` — solve the micro-heap game exactly (optionally budgeted);
 * ``absolute`` — the Theorem-1 corollary for B-bounded managers;
 * ``verify`` — re-run every reproduction check in one pass;
@@ -122,11 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
                      default_c=50.0)
     simulate.add_argument("--heapmap", action="store_true",
                           help="render the final heap occupancy")
+    simulate.add_argument("--telemetry", metavar="DIR", default=None,
+                          help="record the run (manifest.json + events.jsonl) "
+                               "into DIR for `repro report`")
 
     experiment = commands.add_parser("experiment", help="grid vs the bounds")
     experiment.add_argument("which", choices=("robson", "pf", "upper"))
     _add_param_flags(experiment, default_live=8192, default_object=128,
                      default_c=50.0)
+    experiment.add_argument("--telemetry", metavar="DIR", default=None,
+                            help="record each grid row into DIR/<program>__"
+                                 "<manager>/")
+
+    report = commands.add_parser(
+        "report", help="render a recorded run directory"
+    )
+    report.add_argument("directory", help="run directory written by "
+                                          "--telemetry")
+    report.add_argument("--width", type=int, default=60,
+                        help="sparkline width in cells (default 60)")
+    report.add_argument("--no-plot", action="store_true",
+                        help="skip the full trajectory plot")
 
     exact = commands.add_parser("exact", help="micro-heap exact game value")
     exact.add_argument("--live", type=int, default=4)
@@ -190,30 +210,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     params = _params_from(args)
     program = _make_program(args.program, params)
-    driver = ExecutionDriver(params, create_manager(args.manager, params))
-    result = driver.run(program)
+    manager = create_manager(args.manager, params)
+    if args.telemetry:
+        from .obs.telemetry import run_recorded
+
+        drivers: list = []
+        result = run_recorded(
+            params, program, manager, args.telemetry,
+            on_driver=drivers.append,
+        )
+        heap = drivers[0].heap
+    else:
+        driver = ExecutionDriver(params, manager)
+        result = driver.run(program)
+        heap = driver.heap
     print(result.summary())
     metrics = result.metrics
     print(f"utilization {metrics.utilization:.3f}, "
           f"external fragmentation {metrics.external_fragmentation:.3f}, "
           f"moves {result.move_count}")
+    print(f"wall {result.wall_seconds:.4f} s, "
+          f"{result.events_per_second:,.0f} events/s")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry} "
+              f"(render with: repro report {args.telemetry})")
     if args.heapmap:
-        print(render_heap(driver.heap))
+        print(render_heap(heap))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.export import load_run
+    from .obs.report import render_run
+
+    try:
+        run = load_run(args.directory)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_run(run, width=args.width, plot=not args.no_plot))
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     params = _params_from(args)
+    telemetry_dir = args.telemetry
     if args.which == "robson":
-        rows = robson_experiment(params.with_compaction(None))
+        rows = robson_experiment(params.with_compaction(None),
+                                 telemetry_dir=telemetry_dir)
         bad = [r for r in rows if not r.respects_lower_bound]
     elif args.which == "pf":
-        rows = pf_experiment(params)
+        rows = pf_experiment(params, telemetry_dir=telemetry_dir)
         bad = [r for r in rows if not r.respects_lower_bound]
     else:
-        rows = upper_bound_experiment(params)
+        rows = upper_bound_experiment(params, telemetry_dir=telemetry_dir)
         bad = [r for r in rows if not r.respects_upper_bound]
     print(experiment_table(rows))
+    if telemetry_dir:
+        print(f"\nper-row telemetry written under {telemetry_dir}/")
     if bad:
         print(f"\nBOUND VIOLATIONS ({len(bad)}):")
         for row in bad:
@@ -269,6 +323,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "exact":
             return _cmd_exact(args)
         if args.command == "absolute":

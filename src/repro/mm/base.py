@@ -28,6 +28,7 @@ from ..heap.errors import ProtocolError
 from ..heap.heap import SimHeap
 from ..heap.object_model import HeapObject
 from ..heap.units import align_up
+from ..obs.events import EventBus
 from .budget import CompactionBudget
 
 __all__ = [
@@ -53,11 +54,16 @@ class ManagerContext:
         heap: SimHeap,
         budget: CompactionBudget,
         move_listener: MoveListener | None = None,
+        observer: EventBus | None = None,
     ) -> None:
         self.heap = heap
         self.budget = budget
+        #: The telemetry bus (None = uninstrumented).  Managers may emit
+        #: their own events through it; the driver emits the standard set.
+        self.observer = observer
         self._move_listener = move_listener
         self._moves_this_request = 0
+        self._moved_words_this_request = 0
 
     def move(self, object_id: int, new_address: int) -> HeapObject:
         """Compact one object, spending budget and notifying the program.
@@ -72,6 +78,7 @@ class ManagerContext:
         old_address = obj.address
         self.heap.move(object_id, new_address)
         self._moves_this_request += 1
+        self._moved_words_this_request += obj.size
         if self._move_listener is not None:
             self._move_listener(obj, old_address, new_address)
         return obj
@@ -83,11 +90,17 @@ class ManagerContext:
     def reset_request_counters(self) -> None:
         """Called by the driver at each allocation request boundary."""
         self._moves_this_request = 0
+        self._moved_words_this_request = 0
 
     @property
     def moves_this_request(self) -> int:
         """Moves performed since the current allocation request began."""
         return self._moves_this_request
+
+    @property
+    def moved_words_this_request(self) -> int:
+        """Words moved since the current allocation request began."""
+        return self._moved_words_this_request
 
 
 class MemoryManager(ABC):
@@ -107,6 +120,8 @@ class MemoryManager(ABC):
 
     def __init__(self) -> None:
         self._ctx: ManagerContext | None = None
+        #: The telemetry bus handed to :meth:`attach` (None = off).
+        self.observer: EventBus | None = None
 
     @property
     def ctx(self) -> ManagerContext:
@@ -120,11 +135,17 @@ class MemoryManager(ABC):
         """Shorthand for ``self.ctx.heap``."""
         return self.ctx.heap
 
-    def attach(self, ctx: ManagerContext) -> None:
-        """Bind to an execution.  Managers are single-use."""
+    def attach(self, ctx: ManagerContext, observer: EventBus | None = None) -> None:
+        """Bind to an execution.  Managers are single-use.
+
+        ``observer`` is the optional telemetry bus; it is stored on the
+        manager (and defaults to the context's bus when omitted) so
+        subclasses can emit policy-specific events.
+        """
         if self._ctx is not None:
             raise ProtocolError(f"manager {self.name!r} attached twice")
         self._ctx = ctx
+        self.observer = observer if observer is not None else ctx.observer
         self.on_attach()
 
     # Hooks ---------------------------------------------------------------

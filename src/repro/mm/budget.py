@@ -17,8 +17,13 @@ confirm the ledger arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..heap.errors import CompactionBudgetExceeded
+from ..obs.events import BudgetCharge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import EventBus
 
 __all__ = ["CompactionBudget", "AbsoluteBudget", "BudgetSnapshot"]
 
@@ -60,14 +65,25 @@ class CompactionBudget:
     divisor:
         The paper's ``c``.  ``None`` means *no compaction allowed*: every
         move attempt fails (the Robson regime).
+    observer:
+        Optional telemetry bus; every successful charge emits a
+        :class:`~repro.obs.events.BudgetCharge` with the remaining
+        budget, so reports can plot the ledger draining.
     """
 
-    def __init__(self, divisor: float | None) -> None:
+    def __init__(self, divisor: float | None,
+                 observer: "EventBus | None" = None) -> None:
         if divisor is not None and divisor <= 1:
             raise ValueError("compaction divisor c must exceed 1")
         self._divisor = divisor
         self._allocated = 0
         self._moved = 0
+        self.observer = observer
+
+    def _emit_charge(self, reason: str, words: int) -> None:
+        self.observer.emit(  # type: ignore[union-attr]
+            BudgetCharge(reason=reason, words=words, remaining=self.remaining)
+        )
 
     # Accrual -----------------------------------------------------------------
 
@@ -76,6 +92,8 @@ class CompactionBudget:
         if words <= 0:
             raise ValueError("allocation size must be positive")
         self._allocated += words
+        if self.observer is not None:
+            self._emit_charge("alloc", words)
 
     # Spending ----------------------------------------------------------------
 
@@ -117,6 +135,8 @@ class CompactionBudget:
                 f"allocated={self._allocated}, c={self._divisor}"
             )
         self._moved += words
+        if self.observer is not None:
+            self._emit_charge("move", words)
 
     def snapshot(self) -> BudgetSnapshot:
         """An immutable copy of the ledger."""
@@ -149,12 +169,14 @@ class AbsoluteBudget:
     very first step, ``c = M / B`` is always a sound instantiation.
     """
 
-    def __init__(self, limit_words: int) -> None:
+    def __init__(self, limit_words: int,
+                 observer: "EventBus | None" = None) -> None:
         if limit_words < 0:
             raise ValueError("limit_words must be non-negative")
         self._limit = limit_words
         self._allocated = 0
         self._moved = 0
+        self.observer = observer
 
     @property
     def divisor(self) -> float | None:
@@ -191,6 +213,10 @@ class AbsoluteBudget:
         if words <= 0:
             raise ValueError("allocation size must be positive")
         self._allocated += words
+        if self.observer is not None:
+            self.observer.emit(BudgetCharge(
+                reason="alloc", words=words, remaining=self.remaining,
+            ))
 
     def can_move(self, words: int) -> bool:
         """Whether a move of ``words`` fits under the absolute cap."""
@@ -206,6 +232,10 @@ class AbsoluteBudget:
                 f"moved={self._moved}, limit={self._limit}"
             )
         self._moved += words
+        if self.observer is not None:
+            self.observer.emit(BudgetCharge(
+                reason="move", words=words, remaining=self.remaining,
+            ))
 
     def snapshot(self) -> BudgetSnapshot:
         """An immutable copy of the ledger."""

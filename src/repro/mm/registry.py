@@ -69,6 +69,13 @@ MANAGER_FACTORIES: dict[str, ManagerFactory] = {
     **COMPACTING_MANAGERS,
 }
 
+#: Convenience aliases accepted by :func:`create_manager` (not listed by
+#: :func:`manager_names`): family names resolve to a canonical member.
+MANAGER_ALIASES: dict[str, str] = {
+    "compacting": "sliding-compactor",
+    "non-moving": "first-fit",
+}
+
 
 def manager_names(*, compacting: bool | None = None) -> list[str]:
     """Registered names, optionally filtered by compacting-ness."""
@@ -79,7 +86,8 @@ def manager_names(*, compacting: bool | None = None) -> list[str]:
 
 
 def create_manager(name: str, params: BoundParams) -> MemoryManager:
-    """Instantiate a registered manager for an execution at ``params``."""
+    """Instantiate a registered manager (or alias) at ``params``."""
+    name = MANAGER_ALIASES.get(name, name)
     try:
         factory = MANAGER_FACTORIES[name]
     except KeyError:

@@ -1,0 +1,111 @@
+"""Unified telemetry: events, metrics, time series and run manifests.
+
+This package is the observability substrate of the reproduction.  One
+typed :class:`~repro.obs.events.EventBus` carries everything that
+happens during an execution (allocations, frees, moves, compaction
+windows, budget charges, adversary stage transitions); subscribers turn
+the stream into :mod:`metrics <repro.obs.metrics>` (counters, gauges,
+latency/size histograms), a :mod:`sampled time series
+<repro.obs.sampler>`, and a persisted :mod:`manifest/JSONL pair
+<repro.obs.export>` that ``repro report`` renders.
+
+Instrumentation is strictly opt-in: every hook in the driver, the budget
+ledger and the adversary programs is an ``EventBus | None`` defaulting
+to ``None``, and the ``None`` path costs one pointer comparison per
+operation (``tools/check_overhead.py`` enforces the ceiling).
+
+Quickstart::
+
+    from repro.adversary import PFProgram
+    from repro.core.params import BoundParams
+    from repro.mm.registry import create_manager
+    from repro.obs import run_recorded
+
+    params = BoundParams(8192, 128, 50.0)
+    result = run_recorded(
+        params, PFProgram(params), create_manager("first-fit", params),
+        "runs/demo",
+    )
+    # runs/demo now holds manifest.json + events.jsonl;
+    # render with: python -m repro report runs/demo
+"""
+
+from .events import (
+    Alloc,
+    BudgetCharge,
+    CompactionWindow,
+    EventBus,
+    EventSink,
+    Free,
+    Move,
+    StageTransition,
+    TelemetryEvent,
+    event_from_dict,
+)
+from .export import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    SCHEMA_VERSION,
+    JsonlEventWriter,
+    RunData,
+    build_manifest,
+    load_manifest,
+    load_run,
+    peak_rss_kb,
+    read_events,
+    write_events,
+    write_manifest,
+)
+from .metrics import (
+    LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    power_of_two_buckets,
+)
+from .report import render_run, replay_waste_trajectory, sparkline, stage_rows
+from .sampler import HeapSampler, SamplePoint
+from .telemetry import DEFAULT_SAMPLE_EVERY, Telemetry, run_recorded
+
+__all__ = [
+    "Alloc",
+    "BudgetCharge",
+    "CompactionWindow",
+    "Counter",
+    "DEFAULT_SAMPLE_EVERY",
+    "EVENTS_FILENAME",
+    "EventBus",
+    "EventSink",
+    "Free",
+    "Gauge",
+    "HeapSampler",
+    "Histogram",
+    "JsonlEventWriter",
+    "LATENCY_BUCKETS_NS",
+    "MANIFEST_FILENAME",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "Move",
+    "RunData",
+    "SCHEMA_VERSION",
+    "SamplePoint",
+    "StageTransition",
+    "Telemetry",
+    "TelemetryEvent",
+    "build_manifest",
+    "event_from_dict",
+    "load_manifest",
+    "load_run",
+    "peak_rss_kb",
+    "power_of_two_buckets",
+    "read_events",
+    "render_run",
+    "replay_waste_trajectory",
+    "run_recorded",
+    "sparkline",
+    "stage_rows",
+    "write_events",
+    "write_manifest",
+]

@@ -1,0 +1,223 @@
+"""Typed telemetry events and the fan-out :class:`EventBus`.
+
+The observability layer speaks one vocabulary: six event types covering
+everything that happens during an execution —
+
+* :class:`Alloc` / :class:`Free` — the program's requests, as served;
+* :class:`Move` — one compaction move (the manager's paid-for action);
+* :class:`CompactionWindow` — a closed compaction window that actually
+  moved something, aggregated per allocation request;
+* :class:`StageTransition` — adversary phase boundaries (Robson rounds,
+  :math:`P_F` Stage I/II steps) so time series can be cut per stage;
+* :class:`BudgetCharge` — every ledger mutation, with the remaining
+  budget after it.
+
+Events are mutable dataclasses whose ``seq`` field is stamped by the bus
+at emission, giving every subscriber a shared monotone clock regardless
+of which component produced the event.
+
+**Null-sink fast path.** Instrumentation call sites hold an
+``EventBus | None`` and guard every emission with ``if bus is not
+None:`` — an uninstrumented run pays one pointer comparison per
+operation and never constructs an event object.  With a bus attached but
+no subscribers, :meth:`EventBus.emit` is a counter increment plus an
+empty loop.  This is what keeps the hot path within the repo's
+throughput budget (see ``tools/check_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, ClassVar, Dict, Type
+
+__all__ = [
+    "TelemetryEvent",
+    "Alloc",
+    "Free",
+    "Move",
+    "CompactionWindow",
+    "StageTransition",
+    "BudgetCharge",
+    "EventBus",
+    "EventSink",
+    "event_from_dict",
+]
+
+#: A subscriber: any callable taking one event.
+EventSink = Callable[["TelemetryEvent"], None]
+
+
+@dataclass
+class TelemetryEvent:
+    """Base class for all telemetry events.
+
+    ``seq`` is the bus-wide emission index (stamped by
+    :meth:`EventBus.emit`; ``-1`` until then).  Subclasses set the
+    ``kind`` class attribute, which keys the JSONL encoding.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready flat dict (``kind`` + every field)."""
+        record: dict = {"kind": self.kind}
+        for field in fields(self):
+            record[field.name] = getattr(self, field.name)
+        return record
+
+
+@dataclass
+class Alloc(TelemetryEvent):
+    """One served allocation request.
+
+    ``latency_ns`` covers the manager's whole service of the request
+    (compaction window + placement search), measured by the driver with
+    ``perf_counter_ns`` — zero when latency capture is off.
+    """
+
+    kind: ClassVar[str] = "alloc"
+
+    object_id: int
+    size: int
+    address: int
+    latency_ns: int = 0
+    seq: int = -1
+
+
+@dataclass
+class Free(TelemetryEvent):
+    """One program de-allocation."""
+
+    kind: ClassVar[str] = "free"
+
+    object_id: int
+    size: int
+    address: int
+    seq: int = -1
+
+
+@dataclass
+class Move(TelemetryEvent):
+    """One compaction move (emitted before the program's move listener
+    runs, so a consequent :class:`Free` always follows its move)."""
+
+    kind: ClassVar[str] = "move"
+
+    object_id: int
+    size: int
+    old_address: int
+    new_address: int
+    seq: int = -1
+
+
+@dataclass
+class CompactionWindow(TelemetryEvent):
+    """A compaction window that moved at least one object.
+
+    Aggregates the window preceding one allocation request:
+    ``request_size`` is the allocation being prepared for, ``moves`` /
+    ``moved_words`` what the manager spent inside the window.  Windows
+    that move nothing are not emitted (they are the overwhelmingly
+    common case and carry no information beyond the following
+    :class:`Alloc`).
+    """
+
+    kind: ClassVar[str] = "compaction_window"
+
+    request_size: int
+    moves: int
+    moved_words: int
+    seq: int = -1
+
+
+@dataclass
+class StageTransition(TelemetryEvent):
+    """An adversary phase boundary.
+
+    ``stage`` is the program's phase name (``"I"`` / ``"II"`` for
+    :math:`P_F`, ``"robson"`` for :math:`P_R`), ``step`` the round index
+    within it.  ``label`` carries the human-readable boundary name; the
+    Stage I → Stage II hand-off of :math:`P_F` is labelled
+    ``"stage I -> stage II"`` so reports can highlight it.
+    """
+
+    kind: ClassVar[str] = "stage_transition"
+
+    program: str
+    stage: str
+    step: int
+    label: str = ""
+    seq: int = -1
+
+
+@dataclass
+class BudgetCharge(TelemetryEvent):
+    """One compaction-ledger mutation.
+
+    ``reason`` is ``"alloc"`` (accrual) or ``"move"`` (spend);
+    ``remaining`` the spendable budget immediately after the charge.
+    """
+
+    kind: ClassVar[str] = "budget_charge"
+
+    reason: str
+    words: int
+    remaining: float
+    seq: int = -1
+
+
+_EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
+    cls.kind: cls
+    for cls in (Alloc, Free, Move, CompactionWindow, StageTransition, BudgetCharge)
+}
+
+
+def event_from_dict(record: dict) -> TelemetryEvent:
+    """Inverse of :meth:`TelemetryEvent.to_dict` (raises on unknown kind)."""
+    payload = dict(record)
+    kind = payload.pop("kind", None)
+    cls = _EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown telemetry event kind {kind!r}")
+    return cls(**payload)
+
+
+class EventBus:
+    """Synchronous fan-out of events to subscribers, in subscription order.
+
+    The bus owns the emission counter: every event gets the next ``seq``
+    at :meth:`emit` time, so events from the driver, the budget ledger
+    and the adversary program interleave on one shared clock.
+    """
+
+    __slots__ = ("_sinks", "_count")
+
+    def __init__(self) -> None:
+        self._sinks: list[EventSink] = []
+        self._count = 0
+
+    @property
+    def event_count(self) -> int:
+        """Events emitted so far (the next event's ``seq``)."""
+        return self._count
+
+    @property
+    def sink_count(self) -> int:
+        """Number of current subscribers."""
+        return len(self._sinks)
+
+    def subscribe(self, sink: EventSink) -> EventSink:
+        """Add a subscriber; returns it (handy for inline lambdas)."""
+        self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: EventSink) -> None:
+        """Remove a subscriber (raises ``ValueError`` if absent)."""
+        self._sinks.remove(sink)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Stamp ``event.seq`` and deliver to every subscriber in order."""
+        event.seq = self._count
+        self._count += 1
+        for sink in self._sinks:
+            sink(event)

@@ -1,0 +1,248 @@
+"""Run-report rendering: ``repro report <dir>`` lives here.
+
+Given a recorded run (the manifest/JSONL pair of
+:mod:`repro.obs.export`), renders a terminal summary: the headline
+numbers, unicode sparklines for the sampled series, the reconstructed
+waste-factor trajectory, and the per-stage progression table with every
+:class:`~repro.obs.events.StageTransition` marker — the Stage I →
+Stage II hand-off of :math:`P_F` included.
+
+The trajectory is *reconstructed from the event stream* rather than the
+sampled series: ``Alloc``/``Move`` events carry addresses, so the
+high-water mark and live-word count can be replayed exactly, giving the
+report event-granular waste numbers at each stage boundary even when the
+sampler ran at a coarse cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import Alloc, Free, Move, StageTransition, TelemetryEvent
+from .export import RunData
+
+__all__ = [
+    "sparkline",
+    "replay_waste_trajectory",
+    "StageRow",
+    "stage_rows",
+    "render_run",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], *, width: int = 60) -> str:
+    """A one-line unicode sparkline, resampled to at most ``width`` cells.
+
+    Resampling takes the maximum of each bin (peaks are the story in
+    waste plots); a flat series renders as a line of low blocks.
+    """
+    if not values:
+        return "(no data)"
+    if width < 1:
+        raise ValueError("width must be positive")
+    if len(values) > width:
+        binned = []
+        for column in range(width):
+            lo = column * len(values) // width
+            hi = max(lo + 1, (column + 1) * len(values) // width)
+            binned.append(max(values[lo:hi]))
+        values = binned
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(values)
+    cells = []
+    for value in values:
+        level = int((value - lo) / span * (len(_BLOCKS) - 1))
+        cells.append(_BLOCKS[level])
+    return "".join(cells)
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """Replayed heap state right after one event."""
+
+    seq: int
+    high_water: int
+    live_words: int
+
+
+def replay_waste_trajectory(
+    events: list[TelemetryEvent], *, every: int = 1
+) -> list[TrajectoryPoint]:
+    """Replay alloc/free/move events into a high-water/live trajectory.
+
+    ``every`` thins the output (a point per ``every`` heap events); the
+    final state is always included.
+    """
+    if every < 1:
+        raise ValueError("every must be positive")
+    points: list[TrajectoryPoint] = []
+    high_water = 0
+    live = 0
+    seen = 0
+    last: TrajectoryPoint | None = None
+    for event in events:
+        if isinstance(event, Alloc):
+            live += event.size
+            high_water = max(high_water, event.address + event.size)
+        elif isinstance(event, Free):
+            live -= event.size
+        elif isinstance(event, Move):
+            high_water = max(high_water, event.new_address + event.size)
+        else:
+            continue
+        seen += 1
+        last = TrajectoryPoint(event.seq, high_water, live)
+        if seen % every == 0:
+            points.append(last)
+    if last is not None and (not points or points[-1] is not last):
+        points.append(last)
+    return points
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """One stage boundary with the replayed waste level at that instant."""
+
+    program: str
+    stage: str
+    step: int
+    label: str
+    seq: int
+    high_water: int
+    live_words: int
+
+    def waste_factor(self, live_bound: int) -> float:
+        """``HS / M`` when the boundary was crossed."""
+        return self.high_water / live_bound
+
+
+def stage_rows(events: list[TelemetryEvent]) -> list[StageRow]:
+    """Every stage transition, annotated with the replayed heap state."""
+    rows: list[StageRow] = []
+    high_water = 0
+    live = 0
+    for event in events:
+        if isinstance(event, Alloc):
+            live += event.size
+            high_water = max(high_water, event.address + event.size)
+        elif isinstance(event, Free):
+            live -= event.size
+        elif isinstance(event, Move):
+            high_water = max(high_water, event.new_address + event.size)
+        elif isinstance(event, StageTransition):
+            rows.append(
+                StageRow(
+                    program=event.program,
+                    stage=event.stage,
+                    step=event.step,
+                    label=event.label,
+                    seq=event.seq,
+                    high_water=high_water,
+                    live_words=live,
+                )
+            )
+    return rows
+
+
+def _format_stage_table(rows: list[StageRow], live_bound: int) -> str:
+    from ..analysis.report import format_table  # local: avoid import cycle
+
+    header = ("stage", "step", "label", "seq", "HS (words)", "HS/M")
+    body = [
+        (
+            row.stage,
+            row.step,
+            row.label or "-",
+            row.seq,
+            row.high_water,
+            row.waste_factor(live_bound),
+        )
+        for row in rows
+    ]
+    return format_table(header, body)
+
+
+def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
+    """The full terminal report for one recorded run."""
+    manifest = run.manifest
+    live_bound = run.live_space_bound
+    result = manifest.get("result", {})
+    lines = [
+        f"run: {manifest['program']} vs {manifest['manager']}",
+        (
+            "params: M={live_space} n={max_object} "
+            "c={compaction_divisor}".format(**manifest["params"])
+        ),
+        (
+            f"result: HS={result.get('heap_size', '?')} words "
+            f"({result.get('waste_factor', float('nan')):.4f} x M), "
+            f"allocs={result.get('allocation_count', '?')} "
+            f"frees={result.get('free_count', '?')} "
+            f"moves={result.get('move_count', '?')}"
+        ),
+        (
+            f"timing: {manifest.get('wall_seconds', 0.0):.4f} s wall, "
+            f"{manifest.get('events_per_second', 0.0):,.0f} events/s, "
+            f"peak RSS {manifest.get('peak_rss_kb') or '?'} KiB, "
+            f"{manifest.get('event_count', 0)} telemetry events"
+        ),
+    ]
+
+    samples = manifest.get("samples", [])
+    if samples:
+        waste = [s["high_water"] / live_bound for s in samples]
+        live = [float(s["live_words"]) for s in samples]
+        frag = [float(s["external_fragmentation"]) for s in samples]
+        budget = [float(s["budget_remaining"]) for s in samples]
+        lines.append("")
+        lines.append(f"sampled series ({len(samples)} points):")
+        lines.append(
+            f"  waste HS/M   [{min(waste):.3f}..{max(waste):.3f}] "
+            + sparkline(waste, width=width)
+        )
+        lines.append(
+            f"  live words   [{min(live):.0f}..{max(live):.0f}] "
+            + sparkline(live, width=width)
+        )
+        lines.append(
+            f"  ext. frag    [{min(frag):.3f}..{max(frag):.3f}] "
+            + sparkline(frag, width=width)
+        )
+        lines.append(
+            f"  budget left  [{min(budget):.0f}..{max(budget):.0f}] "
+            + sparkline(budget, width=width)
+        )
+
+    trajectory = replay_waste_trajectory(run.events, every=1)
+    rows = stage_rows(run.events)
+    if trajectory and plot:
+        from ..analysis.ascii_plot import render_series  # avoid import cycle
+
+        xs = list(range(len(trajectory)))
+        ys = [point.high_water / live_bound for point in trajectory]
+        lines.append("")
+        lines.append("waste-factor trajectory (replayed from events):")
+        lines.append(
+            render_series(
+                xs,
+                {"HS/M": ys},
+                width=min(72, max(16, width)),
+                height=12,
+                x_label="heap events",
+            )
+        )
+    if rows:
+        lines.append("")
+        lines.append("stage progression:")
+        lines.append(_format_stage_table(rows, live_bound))
+    elif run.events:
+        lines.append("")
+        lines.append("stage progression: (no stage transitions recorded)")
+    else:
+        lines.append("")
+        lines.append("events.jsonl missing or empty: headline numbers only")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""The telemetry facade: one object bundling bus, metrics and sampler.
+
+:class:`Telemetry` is what callers actually hold: it owns an
+:class:`~repro.obs.events.EventBus`, keeps a
+:class:`~repro.obs.metrics.MetricsRegistry` fed by a
+:class:`~repro.obs.metrics.MetricsCollector`, and — once bound to a
+driver — a :class:`~repro.obs.sampler.HeapSampler` producing the time
+series.  :func:`run_recorded` is the one-call path the CLI and the
+experiment grids use: build telemetry, instrument driver + program, run,
+persist a ``manifest.json`` / ``events.jsonl`` pair.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from .events import EventBus
+from .export import (
+    EVENTS_FILENAME,
+    JsonlEventWriter,
+    build_manifest,
+    write_manifest,
+)
+from .metrics import MetricsCollector, MetricsRegistry
+from .sampler import HeapSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversary.base import AdversaryProgram
+    from ..adversary.driver import ExecutionDriver, ExecutionResult
+    from ..core.params import BoundParams
+    from ..mm.base import MemoryManager
+
+__all__ = ["Telemetry", "run_recorded", "DEFAULT_SAMPLE_EVERY"]
+
+#: Default sampling cadence (bus events between heap snapshots).
+DEFAULT_SAMPLE_EVERY = 256
+
+
+class Telemetry:
+    """Bus + metrics + (once bound) sampler, wired together.
+
+    Create one per execution, pass ``telemetry.bus`` as the driver's
+    ``observer=`` and the program's ``bus=``, then call :meth:`bind`
+    with the driver so the sampler can snapshot its heap and budget.
+    """
+
+    def __init__(self, *, sample_every: int = DEFAULT_SAMPLE_EVERY) -> None:
+        self.bus = EventBus()
+        self.registry = MetricsRegistry()
+        self.collector = MetricsCollector(self.registry)
+        self.bus.subscribe(self.collector)
+        self.sample_every = sample_every
+        self.sampler: HeapSampler | None = None
+
+    def bind(self, driver: "ExecutionDriver") -> "Telemetry":
+        """Attach the heap sampler to a constructed driver; returns self."""
+        if self.sampler is not None:
+            raise ValueError("telemetry already bound to a driver")
+        self.sampler = HeapSampler(
+            driver.heap,
+            driver.budget,
+            every=self.sample_every,
+            live_bound=driver.params.live_space,
+        )
+        self.bus.subscribe(self.sampler)
+        return self
+
+    def instrument_program(self, program: "AdversaryProgram") -> None:
+        """Point the program's telemetry at this bus, if it has the hook.
+
+        Programs advertise the hook as a ``bus`` attribute
+        (:class:`~repro.adversary.pf_program.PFProgram` and
+        :class:`~repro.adversary.robson_program.RobsonProgram` emit
+        :class:`~repro.obs.events.StageTransition` through it); benign
+        workloads simply lack the attribute and stay uninstrumented.
+        """
+        if hasattr(program, "bus"):
+            program.bus = self.bus
+
+    def samples_as_dicts(self) -> list[dict]:
+        """The sampled series (empty before :meth:`bind` / any samples)."""
+        return self.sampler.to_dicts() if self.sampler is not None else []
+
+
+def run_recorded(
+    params: "BoundParams",
+    program: "AdversaryProgram",
+    manager: "MemoryManager",
+    directory: Union[str, Path],
+    *,
+    sample_every: int = DEFAULT_SAMPLE_EVERY,
+    record_trace: bool = False,
+    paranoid: bool = False,
+    budget=None,
+    extra_config: dict | None = None,
+    on_driver=None,
+) -> "ExecutionResult":
+    """Run one fully instrumented execution and persist it.
+
+    Writes ``manifest.json`` and ``events.jsonl`` into ``directory``
+    (created if needed) and returns the
+    :class:`~repro.adversary.driver.ExecutionResult` as usual.
+    ``on_driver`` (if given) is called with the constructed driver
+    before the run — callers needing post-run heap access (e.g. the
+    CLI's ``--heapmap``) capture it there.
+    """
+    from ..adversary.driver import ExecutionDriver  # avoid import cycle
+
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+
+    telemetry = Telemetry(sample_every=sample_every)
+    writer = JsonlEventWriter()
+    telemetry.bus.subscribe(writer)
+    telemetry.instrument_program(program)
+
+    driver = ExecutionDriver(
+        params,
+        manager,
+        record_trace=record_trace,
+        paranoid=paranoid,
+        budget=budget,
+        observer=telemetry.bus,
+    )
+    telemetry.bind(driver)
+    if on_driver is not None:
+        on_driver(driver)
+    result = driver.run(program)
+
+    writer.write(target / EVENTS_FILENAME)
+    budget_snapshot = result.budget
+    config = {"sample_every": sample_every, "record_trace": record_trace,
+              "paranoid": paranoid}
+    if extra_config:
+        config.update(extra_config)
+    manifest = build_manifest(
+        program=result.program_name,
+        manager=result.manager_name,
+        params={
+            "live_space": params.live_space,
+            "max_object": params.max_object,
+            "compaction_divisor": params.compaction_divisor,
+        },
+        config=config,
+        result={
+            "heap_size": result.heap_size,
+            "waste_factor": result.waste_factor,
+            "live_peak": result.live_peak,
+            "total_allocated": result.total_allocated,
+            "total_freed": result.total_freed,
+            "total_moved": result.total_moved,
+            "allocation_count": result.allocation_count,
+            "free_count": result.free_count,
+            "move_count": result.move_count,
+            "budget": {
+                "allocated_words": budget_snapshot.allocated_words,
+                "moved_words": budget_snapshot.moved_words,
+                "divisor": budget_snapshot.divisor,
+                "absolute_limit": budget_snapshot.absolute_limit,
+                "remaining": budget_snapshot.remaining,
+            },
+        },
+        metrics=telemetry.registry.as_dict(),
+        samples=telemetry.samples_as_dicts(),
+        wall_seconds=result.wall_seconds,
+        events_per_second=result.events_per_second,
+        event_count=telemetry.bus.event_count,
+    )
+    write_manifest(target, manifest)
+    return result

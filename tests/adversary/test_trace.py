@@ -37,3 +37,47 @@ class TestTraceLog:
         assert "->" in TraceEvent(1, "move", 0, 4, 16, 0).describe()
         assert "free" in TraceEvent(1, "free", 0, 4, 0).describe()
         assert "hello" in TraceEvent(1, "mark", label="hello").describe()
+
+
+class TestJsonlRoundTrip:
+    def _populated_log(self) -> TraceLog:
+        log = TraceLog()
+        log.record_alloc(1, 0, 8, 0)
+        log.record_move(2, 0, 8, 0, 16)
+        log.record_free(3, 0, 8, 16)
+        log.record_mark(4, "stage2 step=5")
+        return log
+
+    def test_round_trip_exact(self):
+        log = self._populated_log()
+        restored = TraceLog.from_jsonl(log.to_jsonl())
+        assert list(restored) == list(log)
+
+    def test_one_json_object_per_line_none_fields_omitted(self):
+        import json
+
+        lines = self._populated_log().to_jsonl().splitlines()
+        assert len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "alloc"
+        assert "label" not in records[0]          # None fields omitted
+        assert "old_address" in records[1]        # moves keep both addresses
+        assert records[3] == {"seq": 4, "kind": "mark", "label": "stage2 step=5"}
+        for record in records:
+            assert list(record) == sorted(record)  # sorted keys, stable diffs
+
+    def test_empty_log(self):
+        assert TraceLog().to_jsonl() == ""
+        assert len(TraceLog.from_jsonl("")) == 0
+
+    def test_round_trip_preserves_replay_stream(self):
+        log = self._populated_log()
+        restored = TraceLog.from_jsonl(log.to_jsonl())
+        assert list(restored.replay_requests()) == list(log.replay_requests())
+
+    def test_trailing_newline_and_blank_lines_tolerated(self):
+        text = self._populated_log().to_jsonl()
+        assert text.endswith("\n")
+        assert list(TraceLog.from_jsonl(text + "\n\n")) == list(
+            self._populated_log()
+        )

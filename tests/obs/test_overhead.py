@@ -1,0 +1,26 @@
+"""Opt-in overhead smoke check (deselected by default).
+
+Timing assertions are inherently machine-sensitive, so this test is
+excluded from the default run by the ``-m 'not overhead'`` addopts and
+must be requested explicitly::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_overhead.py -m overhead
+
+It shares its implementation with ``tools/check_overhead.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from check_overhead import measure  # noqa: E402
+
+
+@pytest.mark.overhead
+def test_instrumented_run_within_2x():
+    report = measure(repeats=3)
+    print(f"\ntelemetry overhead: {report.describe()}")
+    assert report.ratio <= 2.0, report.describe()

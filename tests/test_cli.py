@@ -118,3 +118,60 @@ class TestMisc:
     def test_parser_help_builds(self):
         parser = build_parser()
         assert parser.prog == "repro"
+
+
+class TestTelemetry:
+    def _record(self, tmp_path, capsys):
+        target = tmp_path / "demo"
+        assert main([
+            "simulate", "--program", "pf", "--manager", "compacting",
+            "--live", "2048", "--object", "64", "--c", "20",
+            "--telemetry", str(target),
+        ]) == 0
+        return target, capsys.readouterr().out
+
+    def test_simulate_telemetry_writes_run_dir(self, tmp_path, capsys):
+        target, out = self._record(tmp_path, capsys)
+        assert (target / "manifest.json").is_file()
+        assert (target / "events.jsonl").is_file()
+        assert "telemetry written to" in out
+        assert "events/s" in out
+
+    def test_report_renders_recorded_run(self, tmp_path, capsys):
+        target, _ = self._record(tmp_path, capsys)
+        assert main(["report", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "cohen-petrank-PF vs sliding-compactor" in out
+        assert "stage progression:" in out
+        assert "stage I -> stage II" in out
+        assert "waste-factor trajectory" in out
+
+    def test_report_no_plot(self, tmp_path, capsys):
+        target, _ = self._record(tmp_path, capsys)
+        assert main(["report", str(target), "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "waste-factor trajectory" not in out
+        assert "stage progression:" in out
+
+    def test_report_missing_dir_exit_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate_wall_clock_always_printed(self, capsys):
+        assert main([
+            "simulate", "--program", "checkerboard", "--manager", "first-fit",
+            "--live", "512", "--object", "16", "--c", "0",
+        ]) == 0
+        assert "wall " in capsys.readouterr().out
+
+    def test_experiment_telemetry(self, tmp_path, capsys):
+        target = tmp_path / "grid"
+        assert main([
+            "experiment", "robson", "--live", "1024", "--object", "32",
+            "--telemetry", str(target),
+        ]) == 0
+        assert "per-row telemetry" in capsys.readouterr().out
+        run_dirs = list(target.iterdir())
+        assert run_dirs
+        for run_dir in run_dirs:
+            assert (run_dir / "manifest.json").is_file()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Telemetry overhead smoke check.
+
+Runs the same P_F execution twice — once uninstrumented (the null-sink
+fast path: ``observer=None`` everywhere) and once with a full
+:class:`repro.obs.telemetry.Telemetry` attached (metrics collector,
+heap sampler and JSONL buffer all subscribed) — and fails if the
+instrumented run is more than ``--threshold`` (default 2.0) times
+slower.  Each variant runs ``--repeats`` times and the *minimum* wall
+time is compared, the standard trick to suppress scheduler noise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_overhead.py [--threshold 2.0]
+
+Exit status 0 when within budget, 1 when over.  The same check runs as
+an opt-in pytest marker: ``pytest tests/obs/test_overhead.py -m overhead``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.adversary import PFProgram
+from repro.adversary.driver import ExecutionDriver
+from repro.core.params import BoundParams
+from repro.mm import create_manager
+from repro.obs.export import JsonlEventWriter
+from repro.obs.telemetry import Telemetry
+
+#: The workload: big enough to dominate per-run setup, small enough to
+#: finish in well under a second per repeat at pure-Python speed.
+PARAMS = BoundParams(live_space=4096, max_object=64, compaction_divisor=20.0)
+MANAGER = "sliding-compactor"
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Minimum wall times (seconds) and their ratio."""
+
+    baseline_s: float
+    instrumented_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.instrumented_s / self.baseline_s if self.baseline_s else float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"baseline {self.baseline_s * 1e3:.1f} ms, "
+            f"instrumented {self.instrumented_s * 1e3:.1f} ms, "
+            f"ratio {self.ratio:.2f}x"
+        )
+
+
+def _run_baseline() -> float:
+    program = PFProgram(PARAMS)
+    driver = ExecutionDriver(PARAMS, create_manager(MANAGER, PARAMS))
+    start = time.perf_counter()
+    driver.run(program)
+    return time.perf_counter() - start
+
+
+def _run_instrumented() -> float:
+    telemetry = Telemetry()
+    telemetry.bus.subscribe(JsonlEventWriter())
+    program = PFProgram(PARAMS)
+    telemetry.instrument_program(program)
+    driver = ExecutionDriver(
+        PARAMS, create_manager(MANAGER, PARAMS), observer=telemetry.bus
+    )
+    telemetry.bind(driver)
+    start = time.perf_counter()
+    driver.run(program)
+    return time.perf_counter() - start
+
+
+def measure(repeats: int = 3) -> OverheadReport:
+    """Run both variants ``repeats`` times; compare the minima."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    baseline = min(_run_baseline() for _ in range(repeats))
+    instrumented = min(_run_instrumented() for _ in range(repeats))
+    return OverheadReport(baseline_s=baseline, instrumented_s=instrumented)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="maximum tolerated instrumented/baseline ratio")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per variant (minimum is compared)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    report = measure(repeats=args.repeats)
+    print(f"telemetry overhead: {report.describe()} "
+          f"(threshold {args.threshold:.2f}x)")
+    if report.ratio > args.threshold:
+        print("FAIL: instrumentation exceeds the overhead budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

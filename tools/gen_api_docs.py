@@ -33,6 +33,9 @@ MODULES = [
     "repro.analysis.heapmap",
     "repro.exact", "repro.exact.game", "repro.exact.strategy",
     "repro.exact.budgeted",
+    "repro.obs", "repro.obs.events", "repro.obs.metrics",
+    "repro.obs.sampler", "repro.obs.export", "repro.obs.telemetry",
+    "repro.obs.report",
     "repro.cli",
 ]
 
