@@ -1,0 +1,37 @@
+"""Operational benchmark: what the invariant sanitizer costs.
+
+Not a paper figure — this captures the checker subsystem's price in the
+perf trajectory: the same :math:`P_F` execution baseline (null-sink),
+instrumented (full telemetry), and sanitized (telemetry plus the whole
+:mod:`repro.check` checker set).  The ratios land in the ``BENCH_JSON``
+record so a commit that makes the checkers quadratic shows up as a
+trajectory jump, not a mystery slowdown.
+
+The ad-hoc equivalent is ``PYTHONPATH=src python
+tools/check_overhead.py``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+from check_overhead import MANAGER, PARAMS, measure  # noqa: E402
+
+
+def test_sanitizer_overhead(benchmark, bench_record):
+    report = benchmark.pedantic(
+        lambda: measure(repeats=1, sanitize=True), rounds=1, iterations=1
+    )
+    print(f"\nsanitizer overhead: {report.describe()}")
+    bench_record(
+        "sanitizer_overhead",
+        {"live_space": PARAMS.live_space, "max_object": PARAMS.max_object,
+         "compaction_divisor": PARAMS.compaction_divisor,
+         "manager": MANAGER},
+        report.to_bench_payload()["results"],
+    )
+    # A hard wall rather than a tight budget: timing is machine-noisy,
+    # but a checker gone quadratic blows straight through 25x.
+    assert report.sanitizer_ratio is not None
+    assert report.sanitizer_ratio < 25.0, report.describe()

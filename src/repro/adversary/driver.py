@@ -144,15 +144,18 @@ class ExecutionDriver:
         start_ns = time.perf_counter_ns() if observer is not None else 0
         self._ctx.reset_request_counters()
         self.manager.prepare(size)
+        # The compaction window may have triggered program frees; the
+        # live-space check above still holds (frees only reduce it).
+        address = self.manager.place(size)
+        # The window closes only now: some managers compact lazily inside
+        # place() (e.g. the Theorem-2 evacuator), and those moves belong
+        # to this request's window just the same.
         if observer is not None and self._ctx.moves_this_request:
             observer.emit(CompactionWindow(
                 request_size=size,
                 moves=self._ctx.moves_this_request,
                 moved_words=self._ctx.moved_words_this_request,
             ))
-        # The compaction window may have triggered program frees; the
-        # live-space check above still holds (frees only reduce it).
-        address = self.manager.place(size)
         obj = self.heap.place(address, size)  # raises OverlapError if bad
         self.budget.charge_allocation(size)
         self.manager.on_place(obj)

@@ -12,7 +12,15 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Iterator
 
-__all__ = ["TraceEvent", "TraceLog"]
+__all__ = ["TraceEvent", "TraceLog", "TRACE_SCHEMA_VERSION"]
+
+#: Bump on any incompatible change to the trace line encoding.  The
+#: version rides the first JSONL line as ``{"kind": "trace", "schema": N}``
+#: so readers can refuse traces they would misparse.
+TRACE_SCHEMA_VERSION = 1
+
+#: The event vocabulary a trace line may carry.
+_TRACE_KINDS = frozenset({"alloc", "free", "move", "mark"})
 
 
 @dataclass(frozen=True)
@@ -90,11 +98,14 @@ class TraceLog:
     def to_jsonl(self) -> str:
         """One JSON object per event, one per line, ``None`` fields omitted.
 
-        The encoding matches the observability layer's JSONL discipline
-        (flat dicts, sorted keys), so trace files and
+        The first line is a schema header (``{"kind": "trace", "schema":
+        N}``); the rest matches the observability layer's JSONL
+        discipline (flat dicts, sorted keys), so trace files and
         ``events.jsonl`` exports can share tooling.
         """
-        lines = []
+        lines = [json.dumps(
+            {"kind": "trace", "schema": TRACE_SCHEMA_VERSION}, sort_keys=True
+        )]
         for event in self._events:
             record = {
                 key: value
@@ -102,18 +113,40 @@ class TraceLog:
                 if value is not None
             }
             lines.append(json.dumps(record, sort_keys=True))
-        return "\n".join(lines) + ("\n" if lines else "")
+        return "\n".join(lines) + "\n"
 
     @classmethod
     def from_jsonl(cls, text: str) -> "TraceLog":
-        """Rebuild a log from :meth:`to_jsonl` output (round-trip exact)."""
+        """Rebuild a log from :meth:`to_jsonl` output (round-trip exact).
+
+        Raises ``ValueError`` on a schema-version mismatch, an unknown
+        event kind, or a malformed record.  Headerless input (the pre-
+        versioning encoding) is still accepted.
+        """
         log = cls()
+        first = True
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             record = json.loads(line)
-            log._events.append(TraceEvent(**record))
+            if first:
+                first = False
+                if isinstance(record, dict) and record.get("kind") == "trace":
+                    schema = record.get("schema")
+                    if schema != TRACE_SCHEMA_VERSION:
+                        raise ValueError(
+                            f"trace schema {schema!r} unsupported "
+                            f"(expected {TRACE_SCHEMA_VERSION})"
+                        )
+                    continue
+            kind = record.get("kind") if isinstance(record, dict) else None
+            if kind not in _TRACE_KINDS:
+                raise ValueError(f"unknown trace event kind {kind!r}")
+            try:
+                log._events.append(TraceEvent(**record))
+            except TypeError as error:
+                raise ValueError(f"malformed trace record {record!r}") from error
         return log
 
     def replay_requests(self) -> Iterator[tuple[str, int]]:

@@ -71,20 +71,48 @@ def _run_row(
     program: AdversaryProgram,
     manager_name: str,
     telemetry_dir: Union[str, Path, None],
+    sanitize: bool = False,
 ) -> ExecutionResult:
     """One grid cell: plain execution, or a recorded one when requested.
 
     With ``telemetry_dir`` set, the row runs fully instrumented and its
     manifest/JSONL pair lands in ``<dir>/<program>__<manager>/`` —
-    renderable individually with ``repro report``.
+    renderable individually with ``repro report``.  With ``sanitize``
+    set, the full :mod:`repro.check` checker set rides the run and an
+    :class:`~repro.check.InvariantViolationError` aborts the grid on the
+    first row that breaks a paper invariant.
     """
     manager = create_manager(manager_name, params)
+    sanitizer = None
+    if sanitize:
+        from ..check import CheckContext, Sanitizer  # local: avoid cycle
+
+        sanitizer = Sanitizer(CheckContext.from_params(
+            params, program=program.name, manager=manager_name,
+        ))
+        sanitizer.attach_program(program)
     if telemetry_dir is None:
-        return run_execution(params, program, manager)
+        if sanitizer is None:
+            return run_execution(params, program, manager)
+        from ..obs.events import EventBus
+
+        bus = EventBus()
+        sanitizer.attach(bus)
+        if hasattr(program, "bus"):
+            program.bus = bus
+        result = run_execution(params, program, manager, observer=bus)
+        sanitizer.finish()
+        return result
     from ..obs.telemetry import run_recorded  # local: avoid import cycle
 
     row_dir = Path(telemetry_dir) / f"{program.name}__{manager_name}"
-    return run_recorded(params, program, manager, row_dir)
+    result = run_recorded(
+        params, program, manager, row_dir,
+        extra_sinks=None if sanitizer is None else [sanitizer],
+    )
+    if sanitizer is not None:
+        sanitizer.finish()
+    return result
 
 
 def discretization_allowance(params: BoundParams, density_exponent: int) -> float:
@@ -145,18 +173,20 @@ def robson_experiment(
     manager_names_to_run: tuple[str, ...] = DEFAULT_ROBSON_MANAGERS,
     *,
     telemetry_dir: Union[str, Path, None] = None,
+    sanitize: bool = False,
 ) -> list[ExperimentRow]:
     """Robson's :math:`P_R` against the non-moving manager family.
 
     The reference bound is Robson's lower bound factor — every row's
     measured waste must be at or above it.  ``telemetry_dir`` records
-    each row as a manifest/JSONL run under a per-row subdirectory.
+    each row as a manifest/JSONL run under a per-row subdirectory;
+    ``sanitize`` runs the :mod:`repro.check` checkers alongside.
     """
     bound = robson_bounds.lower_bound_factor(params)
     rows = []
     for name in manager_names_to_run:
         program = RobsonProgram(params)
-        result = _run_row(params, program, name, telemetry_dir)
+        result = _run_row(params, program, name, telemetry_dir, sanitize)
         rows.append(ExperimentRow(result, bound, "robson-lower"))
     return rows
 
@@ -167,20 +197,22 @@ def pf_experiment(
     *,
     density_exponent: int | None = None,
     telemetry_dir: Union[str, Path, None] = None,
+    sanitize: bool = False,
 ) -> list[ExperimentRow]:
     """The paper's :math:`P_F` against a manager family.
 
     The reference is the Theorem-1 factor ``h`` at the adversary's
     density exponent — the theorem says *no* c-partial manager can stay
     below it.  ``telemetry_dir`` records each row as a manifest/JSONL
-    run under a per-row subdirectory.
+    run under a per-row subdirectory; ``sanitize`` runs the
+    :mod:`repro.check` checkers alongside.
     """
     if params.compaction_divisor is None:
         raise ValueError("pf_experiment needs a finite c in params")
     rows = []
     for name in manager_names_to_run:
         program = PFProgram(params, density_exponent=density_exponent)
-        result = _run_row(params, program, name, telemetry_dir)
+        result = _run_row(params, program, name, telemetry_dir, sanitize)
         bound = max(1.0, program.waste_target)
         rows.append(
             ExperimentRow(
@@ -198,6 +230,7 @@ def upper_bound_experiment(
     *,
     programs: tuple[AdversaryProgram, ...] | None = None,
     telemetry_dir: Union[str, Path, None] = None,
+    sanitize: bool = False,
 ) -> list[ExperimentRow]:
     """The BP collector against adversarial and benign programs.
 
@@ -219,7 +252,8 @@ def upper_bound_experiment(
         )
     rows = []
     for program in programs:
-        result = _run_row(params, program, "bp-collector", telemetry_dir)
+        result = _run_row(params, program, "bp-collector", telemetry_dir,
+                          sanitize)
         rows.append(ExperimentRow(result, c + 1.0, "bp-(c+1)M"))
     return rows
 

@@ -1,0 +1,183 @@
+"""Budget replay checker: re-derive the c-partial ledger from raw events.
+
+The live ledger (:class:`~repro.mm.budget.CompactionBudget`) is the
+enforcement point for ``moved <= allocated / c``; this checker rebuilds
+the same ledger from :class:`~repro.obs.events.BudgetCharge` /
+:class:`~repro.obs.events.Alloc` / :class:`~repro.obs.events.Move`
+events using exact integer arithmetic only — the inequality is checked
+as ``moved * num <= allocated * den`` where ``c = num / den`` exactly
+(floats are binary rationals, so :func:`float.as_integer_ratio` loses
+nothing) — and flags:
+
+* any instant where the replayed ledger violates the c-partial (or
+  B-bounded) inequality (``overspent``);
+* a ``BudgetCharge`` whose ``remaining`` drifts from the exactly
+  recomputed remaining budget (``ledger-drift``) — the live ledger
+  publishes a float for display, so the comparison allows one part in
+  10^9 of relative slack, far below any word-sized discrepancy;
+* disagreement between the charge stream and the heap-event stream:
+  every move charge must be followed by its ``Move`` of the same size,
+  every alloc charge by its ``Alloc`` (``charge-mismatch``), and the
+  end-of-stream totals must agree (``total-mismatch``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+
+from ..mm.budget import divisor_as_integer_ratio
+from ..obs.events import Alloc, BudgetCharge, Move, TelemetryEvent
+from .base import CheckContext, Checker
+
+__all__ = ["BudgetReplayChecker"]
+
+#: Relative slack for comparing the ledger's float ``remaining`` against
+#: the exact replay — display rounding only, never a whole word.
+_REMAINING_RTOL = Fraction(1, 10**9)
+
+
+class BudgetReplayChecker(Checker):
+    """Exact-integer replay of the compaction budget."""
+
+    name = "budget-replay"
+    invariant = (
+        "at every instant, moved_words * c_num <= allocated_words * c_den "
+        "(c-partial) or moved_words <= B (B-bounded), replayed exactly"
+    )
+
+    def __init__(self, context: CheckContext) -> None:
+        super().__init__(context)
+        if context.divisor is not None:
+            self._num, self._den = divisor_as_integer_ratio(context.divisor)
+        else:
+            self._num, self._den = 0, 1
+        # Replayed ledger (exact integers throughout).
+        self._allocated = 0
+        self._moved = 0
+        # Heap-event-side totals, cross-checked at finalize.
+        self._alloc_words = 0
+        self._move_words = 0
+        # Charges not yet matched by their heap event (FIFO per reason).
+        self._pending_alloc: deque[tuple[int, int]] = deque()
+        self._pending_move: deque[tuple[int, int]] = deque()
+
+    # Exact inequality -------------------------------------------------------
+
+    def _within_budget(self) -> bool:
+        if self.context.divisor is not None:
+            return self._moved * self._num <= self._allocated * self._den
+        if self.context.absolute_limit is not None:
+            return self._moved <= self.context.absolute_limit
+        # No budget model at all.  With a manifest, that *means* no
+        # compaction is allowed (the Robson regime); with no manifest the
+        # model is simply unknown and the inequality cannot be judged.
+        return self._moved == 0 if self.context.budget_known else True
+
+    def _exact_remaining(self) -> Fraction:
+        if self.context.divisor is not None:
+            return (
+                Fraction(self._allocated * self._den, self._num) - self._moved
+            )
+        if self.context.absolute_limit is not None:
+            return Fraction(self.context.absolute_limit - self._moved)
+        return Fraction(0)
+
+    # Event handlers ---------------------------------------------------------
+
+    def feed(self, event: TelemetryEvent) -> None:
+        if isinstance(event, BudgetCharge):
+            self._on_charge(event)
+        elif isinstance(event, Alloc):
+            self._match(event.seq, "alloc", self._pending_alloc, event.size)
+            self._alloc_words += event.size
+        elif isinstance(event, Move):
+            self._match(event.seq, "move", self._pending_move, event.size)
+            self._move_words += event.size
+
+    def _on_charge(self, event: BudgetCharge) -> None:
+        if event.words <= 0:
+            self.report(
+                "bad-charge",
+                f"budget charge of {event.words} words (must be positive)",
+                seq=event.seq,
+            )
+            return
+        if event.reason == "alloc":
+            self._allocated += event.words
+            self._pending_alloc.append((event.seq, event.words))
+        elif event.reason == "move":
+            self._moved += event.words
+            self._pending_move.append((event.seq, event.words))
+            if not self._within_budget():
+                self.report(
+                    "overspent",
+                    f"replayed ledger violates the budget: "
+                    f"moved={self._moved}, allocated={self._allocated}, "
+                    f"c={self.context.divisor}, "
+                    f"B={self.context.absolute_limit}",
+                    seq=event.seq,
+                )
+        else:
+            self.report(
+                "bad-charge",
+                f"unknown budget-charge reason {event.reason!r}",
+                seq=event.seq,
+            )
+            return
+        if self.context.budget_known:
+            self._check_remaining(event)
+
+    def _check_remaining(self, event: BudgetCharge) -> None:
+        """The live ledger's float ``remaining`` must track the exact one."""
+        exact = self._exact_remaining()
+        reported = Fraction(event.remaining)
+        tolerance = _REMAINING_RTOL * max(abs(exact), Fraction(1))
+        if abs(reported - exact) > tolerance:
+            self.report(
+                "ledger-drift",
+                f"live ledger reports remaining={event.remaining!r} after the "
+                f"{event.reason} charge of {event.words}, but exact replay "
+                f"gives {float(exact)!r} "  # lint: float-ok
+                f"(allocated={self._allocated}, moved={self._moved})",
+                seq=event.seq,
+            )
+
+    def _match(self, seq: int, reason: str,
+               pending: deque[tuple[int, int]], size: int) -> None:
+        """Pair a heap event with its preceding charge of the same words."""
+        if not pending:
+            self.report(
+                "charge-mismatch",
+                f"{reason} of {size} words with no preceding budget charge",
+                seq=seq,
+            )
+            return
+        charge_seq, charged = pending.popleft()
+        if charged != size:
+            self.report(
+                "charge-mismatch",
+                f"{reason} of {size} words but the matching budget charge "
+                f"(event #{charge_seq}) was for {charged}",
+                seq=seq,
+            )
+
+    def finalize(self) -> None:
+        if self._allocated != self._alloc_words:
+            self.report(
+                "total-mismatch",
+                f"budget accrued {self._allocated} allocated words but Alloc "
+                f"events total {self._alloc_words}",
+            )
+        if self._moved != self._move_words:
+            self.report(
+                "total-mismatch",
+                f"budget spent {self._moved} moved words but Move events "
+                f"total {self._move_words}",
+            )
+        if not self._within_budget():  # pragma: no cover - caught per charge
+            self.report(
+                "overspent",
+                f"final ledger violates the budget: moved={self._moved}, "
+                f"allocated={self._allocated}",
+            )

@@ -1,0 +1,167 @@
+"""Determinism checker: same configuration ⇒ identical event stream.
+
+Every program in this repo is deterministic — the adversaries
+(:math:`P_F`, :math:`P_R`) by construction, the benign workloads by
+seeded RNG — so re-running the same (program, manager, params, seed)
+must reproduce the event stream *bit for bit*.  The check works over a
+canonical digest:
+
+* :func:`event_stream_digest` hashes (SHA-256) the canonical JSON of
+  every event, **excluding** ``latency_ns`` and any negative ``seq``
+  placeholder — wall-clock latency is the one legitimately
+  non-deterministic field;
+* :func:`run_recorded` stores the digest in the manifest as
+  ``event_digest``;
+* :class:`DeterminismChecker` recomputes the digest from the events it
+  is fed and flags a mismatch against the manifest's recorded one
+  (``digest-mismatch``) — which catches both a corrupted trace and a
+  non-deterministic producer;
+* :func:`replay_digest` actually re-runs the recorded configuration and
+  returns the fresh digest, for the strongest form of the check
+  (``repro check --replay``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..obs.events import TelemetryEvent
+from .base import CheckContext, Checker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversary.base import AdversaryProgram
+    from ..core.params import BoundParams
+
+__all__ = [
+    "canonical_event_bytes",
+    "event_stream_digest",
+    "DeterminismChecker",
+    "replay_digest",
+]
+
+#: Fields excluded from the canonical form (timing noise).
+_NONDETERMINISTIC_FIELDS = frozenset({"latency_ns"})
+
+
+def canonical_event_bytes(event: TelemetryEvent) -> bytes:
+    """One event's canonical JSON line (stable field order, no timing)."""
+    record = {
+        key: value
+        for key, value in event.to_dict().items()
+        if key not in _NONDETERMINISTIC_FIELDS
+    }
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode() + b"\n"
+
+
+def event_stream_digest(events: Iterable[TelemetryEvent]) -> str:
+    """SHA-256 hex digest of a whole event stream's canonical form."""
+    digest = hashlib.sha256()
+    for event in events:
+        digest.update(canonical_event_bytes(event))
+    return digest.hexdigest()
+
+
+class DeterminismChecker(Checker):
+    """Recompute the stream digest; compare against the recorded one."""
+
+    name = "determinism"
+    invariant = (
+        "the canonical event-stream digest matches the one the producing "
+        "run recorded (same configuration => identical stream)"
+    )
+
+    def __init__(self, context: CheckContext) -> None:
+        super().__init__(context)
+        self._hasher = hashlib.sha256()
+        #: The computed hex digest (set at :meth:`finalize`).
+        self.digest: str | None = None
+
+    def feed(self, event: TelemetryEvent) -> None:
+        self._hasher.update(canonical_event_bytes(event))
+
+    def finalize(self) -> None:
+        self.digest = self._hasher.hexdigest()
+        expected = self.context.expected_digest
+        if expected is not None and self.digest != expected:
+            self.report(
+                "digest-mismatch",
+                f"event-stream digest {self.digest} does not match the "
+                f"recorded event_digest {expected}: the trace was altered "
+                "or the producer is non-deterministic",
+            )
+
+
+# Replay -----------------------------------------------------------------------
+
+
+def _rebuild_program(name: str, params: "BoundParams") -> "AdversaryProgram | None":
+    """A fresh program instance for a recorded run, by recorded name.
+
+    Returns None for program families this module cannot reconstruct
+    (custom programs recorded by library users).  All built-in programs
+    are deterministic with their default seeds, which is exactly what
+    the recording path uses.
+    """
+    from ..adversary import (
+        CheckerboardProgram,
+        PFProgram,
+        PhasedWorkload,
+        RandomChurnWorkload,
+        RobsonProgram,
+        SawtoothWorkload,
+    )
+
+    factories = {
+        PFProgram.name: PFProgram,
+        RobsonProgram.name: RobsonProgram,
+        CheckerboardProgram.name: CheckerboardProgram,
+        RandomChurnWorkload.name: RandomChurnWorkload,
+        SawtoothWorkload.name: SawtoothWorkload,
+        PhasedWorkload.name: PhasedWorkload,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        return None
+    return factory(params)
+
+
+def replay_digest(manifest: Mapping[str, object]) -> str | None:
+    """Re-run a recorded configuration; return the fresh stream digest.
+
+    Returns None when the manifest names a program this module cannot
+    rebuild.  Raises ``ValueError`` on malformed parameters.
+    """
+    from ..core.params import BoundParams
+    from ..mm.registry import create_manager
+    from ..obs.events import EventBus
+
+    raw_params = manifest.get("params")
+    program_name = manifest.get("program")
+    manager_name = manifest.get("manager")
+    if not isinstance(raw_params, Mapping) or not isinstance(program_name, str) \
+            or not isinstance(manager_name, str):
+        raise ValueError("manifest lacks params/program/manager")
+    divisor = raw_params.get("compaction_divisor")
+    params = BoundParams(
+        int(raw_params["live_space"]),  # type: ignore[index, call-overload]
+        int(raw_params["max_object"]),  # type: ignore[index, call-overload]
+        float(divisor) if isinstance(divisor, (int, float)) else None,
+    )
+    program = _rebuild_program(program_name, params)
+    if program is None:
+        return None
+
+    from ..adversary.driver import ExecutionDriver
+
+    bus = EventBus()
+    hasher = hashlib.sha256()
+    bus.subscribe(lambda event: hasher.update(canonical_event_bytes(event)))
+    if hasattr(program, "bus"):
+        program.bus = bus
+    driver = ExecutionDriver(params, create_manager(manager_name, params),
+                             observer=bus)
+    driver.run(program)
+    return hasher.hexdigest()

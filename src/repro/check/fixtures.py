@@ -1,0 +1,259 @@
+"""Fault injection: corrupted traces every checker must provably flag.
+
+A sanitizer that only ever sees clean runs is untested code.  Each
+injector here takes a *clean* recorded event stream, makes a deep copy,
+and plants exactly one seeded fault of a known class; the registry maps
+every fixture to the checker and rule that must fire on it, and
+``tests/check/test_fixtures.py`` runs the whole matrix — mutation
+testing for the analysis layer itself.
+
+Injectors never mutate their input and raise ``ValueError`` when the
+stream lacks the event shape they corrupt (e.g. asking for a missing
+compaction window in a run that never compacted), so a silently-vacuous
+fixture cannot pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..obs.events import (
+    Alloc,
+    BudgetCharge,
+    CompactionWindow,
+    Free,
+    Move,
+    StageTransition,
+    TelemetryEvent,
+    event_from_dict,
+)
+from .base import CheckContext
+
+__all__ = ["Fixture", "FIXTURES", "clone_events", "corrupt"]
+
+#: An injector: (clean events, context) -> corrupted events.
+Injector = Callable[
+    [Sequence[TelemetryEvent], CheckContext], "list[TelemetryEvent]"
+]
+
+
+def clone_events(events: Iterable[TelemetryEvent]) -> list[TelemetryEvent]:
+    """Deep-copy a stream via its own serialization round-trip."""
+    return [event_from_dict(event.to_dict()) for event in events]
+
+
+def _first_index(events: Sequence[TelemetryEvent], kind: type,
+                 label: str, *, index: int = 0) -> int:
+    matches = [i for i, e in enumerate(events) if isinstance(e, kind)]
+    if len(matches) <= index:
+        raise ValueError(
+            f"cannot inject {label}: stream has {len(matches)} "
+            f"{kind.__name__} event(s), need > {index}"
+        )
+    return matches[index]
+
+
+# Injectors --------------------------------------------------------------------
+
+
+def inject_overlap(events: Sequence[TelemetryEvent],
+                   context: CheckContext) -> list[TelemetryEvent]:
+    """Relocate the second allocation onto the first (live words collide)."""
+    corrupted = clone_events(events)
+    first = corrupted[_first_index(corrupted, Alloc, "overlap", index=0)]
+    second = corrupted[_first_index(corrupted, Alloc, "overlap", index=1)]
+    assert isinstance(first, Alloc) and isinstance(second, Alloc)
+    second.address = first.address
+    return corrupted
+
+
+def inject_double_free(events: Sequence[TelemetryEvent],
+                       context: CheckContext) -> list[TelemetryEvent]:
+    """Replay the first free immediately after itself."""
+    corrupted = clone_events(events)
+    index = _first_index(corrupted, Free, "double free")
+    duplicate = event_from_dict(corrupted[index].to_dict())
+    corrupted.insert(index + 1, duplicate)
+    return corrupted
+
+
+def inject_missing_window(events: Sequence[TelemetryEvent],
+                          context: CheckContext) -> list[TelemetryEvent]:
+    """Drop the first compaction window (its moves become unaccounted)."""
+    corrupted = clone_events(events)
+    del corrupted[_first_index(corrupted, CompactionWindow, "missing window")]
+    return corrupted
+
+
+def inject_budget_overspend(events: Sequence[TelemetryEvent],
+                            context: CheckContext) -> list[TelemetryEvent]:
+    """Inflate the first move charge a thousandfold (ledger overdraw)."""
+    corrupted = clone_events(events)
+    for event in corrupted:
+        if isinstance(event, BudgetCharge) and event.reason == "move":
+            event.words *= 1000
+            return corrupted
+    raise ValueError("cannot inject overspend: no move charges in the stream")
+
+
+def inject_ledger_drift(events: Sequence[TelemetryEvent],
+                        context: CheckContext) -> list[TelemetryEvent]:
+    """Shift a reported ``remaining`` by a whole word (display ledger lies)."""
+    corrupted = clone_events(events)
+    index = _first_index(corrupted, BudgetCharge, "ledger drift")
+    charge = corrupted[index]
+    assert isinstance(charge, BudgetCharge)
+    charge.remaining += 1.0
+    return corrupted
+
+
+def inject_oversize(events: Sequence[TelemetryEvent],
+                    context: CheckContext) -> list[TelemetryEvent]:
+    """Blow the first allocation up past the ``n`` contract."""
+    if context.max_object is None:
+        raise ValueError("cannot inject oversize: context lacks max_object")
+    corrupted = clone_events(events)
+    alloc = corrupted[_first_index(corrupted, Alloc, "oversize")]
+    assert isinstance(alloc, Alloc)
+    alloc.size = 4 * context.max_object
+    return corrupted
+
+
+def inject_non_power_of_two(events: Sequence[TelemetryEvent],
+                            context: CheckContext) -> list[TelemetryEvent]:
+    """Make the first allocation three words (illegal for P_F / P_R)."""
+    corrupted = clone_events(events)
+    alloc = corrupted[_first_index(corrupted, Alloc, "non-power-of-two")]
+    assert isinstance(alloc, Alloc)
+    alloc.size = 3
+    return corrupted
+
+
+def inject_live_overflow(events: Sequence[TelemetryEvent],
+                         context: CheckContext) -> list[TelemetryEvent]:
+    """Insert a phantom M-word allocation while others are live."""
+    if context.live_space is None:
+        raise ValueError("cannot inject live overflow: context lacks M")
+    corrupted = clone_events(events)
+    index = _first_index(corrupted, Alloc, "live overflow")
+    anchor = corrupted[index]
+    assert isinstance(anchor, Alloc)
+    phantom = Alloc(
+        object_id=10**9,
+        size=context.live_space,
+        address=anchor.address + 10**9,
+        seq=anchor.seq,
+    )
+    corrupted.insert(index + 1, phantom)
+    return corrupted
+
+
+def inject_stage_skip(events: Sequence[TelemetryEvent],
+                      context: CheckContext) -> list[TelemetryEvent]:
+    """Jump the second stage transition five steps ahead."""
+    corrupted = clone_events(events)
+    stage = corrupted[_first_index(corrupted, StageTransition, "stage skip",
+                                   index=1)]
+    assert isinstance(stage, StageTransition)
+    stage.step += 5
+    return corrupted
+
+
+def inject_stage2_size(events: Sequence[TelemetryEvent],
+                       context: CheckContext) -> list[TelemetryEvent]:
+    """Halve the first Stage-II allocation (breaks the 2^(i+2) law)."""
+    corrupted = clone_events(events)
+    in_stage2 = False
+    for event in corrupted:
+        if isinstance(event, StageTransition) and event.stage == "II":
+            in_stage2 = True
+        elif in_stage2 and isinstance(event, Alloc):
+            event.size //= 2
+            return corrupted
+    raise ValueError("cannot inject stage2 size fault: no Stage II allocation")
+
+
+def inject_truncation(events: Sequence[TelemetryEvent],
+                      context: CheckContext) -> list[TelemetryEvent]:
+    """Drop the final event (any tampering changes the stream digest)."""
+    if not events:
+        raise ValueError("cannot truncate an empty stream")
+    return clone_events(events)[:-1]
+
+
+def inject_move_of_freed(events: Sequence[TelemetryEvent],
+                         context: CheckContext) -> list[TelemetryEvent]:
+    """Move an object right after it was freed (use-after-free)."""
+    corrupted = clone_events(events)
+    index = _first_index(corrupted, Free, "use-after-free")
+    freed = corrupted[index]
+    assert isinstance(freed, Free)
+    ghost_move = Move(
+        object_id=freed.object_id,
+        size=freed.size,
+        old_address=freed.address,
+        new_address=freed.address + 10**9,
+        seq=freed.seq,
+    )
+    corrupted.insert(index + 1, ghost_move)
+    return corrupted
+
+
+# Registry ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One fault class: its injector and the finding it must produce."""
+
+    name: str
+    checker: str
+    rule: str
+    inject: Injector
+    #: What the fault models, for docs and failure messages.
+    description: str
+
+
+FIXTURES: tuple[Fixture, ...] = (
+    Fixture("overlap", "shadow-heap", "overlap", inject_overlap,
+            "two live objects on the same words"),
+    Fixture("double-free", "shadow-heap", "double-free", inject_double_free,
+            "the same object freed twice"),
+    Fixture("use-after-free", "shadow-heap", "use-after-free",
+            inject_move_of_freed, "a freed object moved afterwards"),
+    Fixture("missing-window", "shadow-heap", "moves-without-window",
+            inject_missing_window,
+            "compaction moves with no enclosing window"),
+    Fixture("budget-overspend", "budget-replay", "overspent",
+            inject_budget_overspend,
+            "the replayed ledger violates moved <= allocated/c"),
+    Fixture("ledger-drift", "budget-replay", "ledger-drift",
+            inject_ledger_drift,
+            "the live ledger's remaining diverges from the exact replay"),
+    Fixture("oversize", "program-model", "oversize", inject_oversize,
+            "an object larger than the n contract"),
+    Fixture("non-power-of-two", "program-model", "non-power-of-two",
+            inject_non_power_of_two,
+            "a non-power-of-two size from P_F / P_R"),
+    Fixture("live-overflow", "program-model", "live-overflow",
+            inject_live_overflow, "live words exceed M"),
+    Fixture("stage-skip", "program-model", "stage-skip", inject_stage_skip,
+            "a stage transition out of schedule"),
+    Fixture("stage2-size", "density", "stage2-size", inject_stage2_size,
+            "a Stage-II allocation of the wrong size"),
+    Fixture("truncation", "determinism", "digest-mismatch", inject_truncation,
+            "a tampered (truncated) event stream"),
+)
+
+
+def corrupt(
+    name: str,
+    events: Sequence[TelemetryEvent],
+    context: CheckContext,
+) -> list[TelemetryEvent]:
+    """Apply the named fixture's injector to a clean stream."""
+    for fixture in FIXTURES:
+        if fixture.name == name:
+            return fixture.inject(events, context)
+    raise KeyError(f"unknown fixture {name!r}")

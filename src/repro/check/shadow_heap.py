@@ -1,0 +1,239 @@
+"""Shadow-heap checker: replay the heap from events, flag impossibilities.
+
+The sanitizer keeps its own model of the heap — which object ids are
+live, where each one sits, which words are occupied — built purely from
+:class:`~repro.obs.events.Alloc` / :class:`~repro.obs.events.Free` /
+:class:`~repro.obs.events.Move` events, and flags anything the real
+:class:`~repro.heap.heap.SimHeap` would have refused:
+
+* two live objects overlapping (``overlap`` / ``move-overlap``);
+* a free of an unknown or already-freed id (``free-unknown`` /
+  ``double-free``) or a move of one (``move-unknown`` /
+  ``use-after-free``);
+* an event whose size/address disagrees with the shadow's record of the
+  object (``metadata-mismatch``);
+* moves outside a compaction window: every move must be accounted for by
+  a :class:`~repro.obs.events.CompactionWindow` before the next
+  :class:`~repro.obs.events.Alloc` closes the request
+  (``moves-without-window`` / ``window-mismatch`` / ``empty-window``).
+
+The window rules encode the interaction model of §2.1: the manager may
+only compact inside the window the driver opens before each allocation,
+and the driver aggregates exactly the moves of that window into one
+``CompactionWindow`` event (omitted when nothing moved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..heap.intervals import IntervalSet
+from ..obs.events import Alloc, CompactionWindow, Free, Move, TelemetryEvent
+from .base import CheckContext, Checker
+
+__all__ = ["ShadowHeapChecker"]
+
+
+@dataclass
+class _ShadowObject:
+    """One live object in the shadow model."""
+
+    address: int
+    size: int
+
+
+class ShadowHeapChecker(Checker):
+    """Independent replay of heap state from the event stream."""
+
+    name = "shadow-heap"
+    invariant = (
+        "live objects are disjoint; every free/move targets a live object "
+        "with matching metadata; moves happen only inside compaction windows"
+    )
+
+    def __init__(self, context: CheckContext) -> None:
+        super().__init__(context)
+        self._live: dict[int, _ShadowObject] = {}
+        self._freed: set[int] = set()
+        self._occupied = IntervalSet()
+        # Window accounting for the current allocation request.
+        self._pending_moves = 0
+        self._pending_words = 0
+        self._window_moves = 0
+        self._window_words = 0
+        self._window_seen = False
+
+    # Event handlers ---------------------------------------------------------
+
+    def feed(self, event: TelemetryEvent) -> None:
+        if isinstance(event, Alloc):
+            self._on_alloc(event)
+        elif isinstance(event, Free):
+            self._on_free(event)
+        elif isinstance(event, Move):
+            self._on_move(event)
+        elif isinstance(event, CompactionWindow):
+            self._on_window(event)
+
+    def _occupy(self, address: int, size: int, rule: str, seq: int,
+                object_id: int) -> None:
+        """Claim ``[address, address + size)`` in the shadow occupancy."""
+        try:
+            self._occupied.add(address, address + size)
+        except ValueError:
+            self.report(
+                rule,
+                f"object {object_id} placed at [{address}, {address + size}) "
+                "overlaps live words",
+                seq=seq,
+            )
+
+    def _release(self, obj: _ShadowObject) -> None:
+        """Drop an object's words, tolerating earlier overlap corruption."""
+        try:
+            self._occupied.remove(obj.address, obj.address + obj.size)
+        except ValueError:
+            # The interval was never (fully) claimed because its
+            # placement already overlapped; that violation is on record.
+            pass
+
+    def _on_alloc(self, event: Alloc) -> None:
+        self._close_window(event.seq)
+        if event.size <= 0:
+            self.report(
+                "bad-size",
+                f"alloc of object {event.object_id} has size {event.size}",
+                seq=event.seq,
+            )
+            return
+        if event.object_id in self._live:
+            self.report(
+                "duplicate-id",
+                f"object id {event.object_id} allocated while already live",
+                seq=event.seq,
+            )
+            return
+        if event.object_id in self._freed:
+            self.report(
+                "id-reuse",
+                f"object id {event.object_id} reused after being freed "
+                "(the simulator never recycles ids)",
+                seq=event.seq,
+            )
+        self._occupy(event.address, event.size, "overlap", event.seq,
+                     event.object_id)
+        self._live[event.object_id] = _ShadowObject(event.address, event.size)
+
+    def _on_free(self, event: Free) -> None:
+        obj = self._live.pop(event.object_id, None)
+        if obj is None:
+            if event.object_id in self._freed:
+                self.report(
+                    "double-free",
+                    f"object {event.object_id} freed twice",
+                    seq=event.seq,
+                )
+            else:
+                self.report(
+                    "free-unknown",
+                    f"free of unknown object id {event.object_id}",
+                    seq=event.seq,
+                )
+            return
+        if obj.address != event.address or obj.size != event.size:
+            self.report(
+                "metadata-mismatch",
+                f"free of object {event.object_id} reports "
+                f"(address={event.address}, size={event.size}) but the shadow "
+                f"heap has (address={obj.address}, size={obj.size})",
+                seq=event.seq,
+            )
+        self._release(obj)
+        self._freed.add(event.object_id)
+
+    def _on_move(self, event: Move) -> None:
+        obj = self._live.get(event.object_id)
+        if obj is None:
+            rule = ("use-after-free" if event.object_id in self._freed
+                    else "move-unknown")
+            self.report(
+                rule,
+                f"move of {'freed' if rule == 'use-after-free' else 'unknown'} "
+                f"object id {event.object_id}",
+                seq=event.seq,
+            )
+            return
+        if obj.address != event.old_address or obj.size != event.size:
+            self.report(
+                "metadata-mismatch",
+                f"move of object {event.object_id} reports "
+                f"(old_address={event.old_address}, size={event.size}) but the "
+                f"shadow heap has (address={obj.address}, size={obj.size})",
+                seq=event.seq,
+            )
+        self._release(obj)
+        self._occupy(event.new_address, obj.size, "move-overlap", event.seq,
+                     event.object_id)
+        obj.address = event.new_address
+        self._pending_moves += 1
+        self._pending_words += obj.size
+
+    def _on_window(self, event: CompactionWindow) -> None:
+        if self._window_seen:
+            self.report(
+                "window-mismatch",
+                "two compaction windows inside one allocation request",
+                seq=event.seq,
+            )
+        if event.moves <= 0:
+            self.report(
+                "empty-window",
+                "compaction window reports zero moves (empty windows are "
+                "not emitted)",
+                seq=event.seq,
+            )
+        self._window_seen = True
+        self._window_moves = event.moves
+        self._window_words = event.moved_words
+
+    def _close_window(self, seq: int) -> None:
+        """An Alloc closes the request; reconcile moves vs. window."""
+        if self._pending_moves and not self._window_seen:
+            self.report(
+                "moves-without-window",
+                f"{self._pending_moves} move(s) ({self._pending_words} words) "
+                "not covered by any compaction window",
+                seq=seq,
+            )
+        elif self._window_seen and (
+            self._window_moves != self._pending_moves
+            or self._window_words != self._pending_words
+        ):
+            self.report(
+                "window-mismatch",
+                f"compaction window claims {self._window_moves} move(s) / "
+                f"{self._window_words} words but the stream shows "
+                f"{self._pending_moves} / {self._pending_words}",
+                seq=seq,
+            )
+        self._pending_moves = 0
+        self._pending_words = 0
+        self._window_moves = 0
+        self._window_words = 0
+        self._window_seen = False
+
+    def finalize(self) -> None:
+        if self._window_seen:
+            # The driver emits a window only immediately before the Alloc
+            # that closes the same request; a trailing one is impossible.
+            self.report(
+                "window-mismatch",
+                "compaction window after the final allocation",
+            )
+        elif self._pending_moves:
+            self.report(
+                "moves-without-window",
+                f"{self._pending_moves} trailing move(s) "
+                f"({self._pending_words} words) after the final allocation "
+                "request, covered by no compaction window",
+            )

@@ -8,6 +8,9 @@ Commands:
   (``--telemetry DIR`` records a manifest/JSONL run);
 * ``experiment`` — run a (program × manager) grid against the bounds
   (``--telemetry DIR`` records every row);
+* ``check`` — static analysis of a recorded run: replay the event
+  stream through the paper-invariant checkers (``--replay`` also
+  re-runs the configuration and compares stream digests);
 * ``report`` — render a recorded run directory (sparklines, the
   replayed waste trajectory and the stage-transition table);
 * ``exact`` — solve the micro-heap game exactly (optionally budgeted);
@@ -129,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--telemetry", metavar="DIR", default=None,
                           help="record the run (manifest.json + events.jsonl) "
                                "into DIR for `repro report`")
+    simulate.add_argument("--sanitize", action="store_true",
+                          help="run the paper-invariant checkers online "
+                               "(exit 1 on any violation)")
 
     experiment = commands.add_parser("experiment", help="grid vs the bounds")
     experiment.add_argument("which", choices=("robson", "pf", "upper"))
@@ -137,6 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--telemetry", metavar="DIR", default=None,
                             help="record each grid row into DIR/<program>__"
                                  "<manager>/")
+    experiment.add_argument("--sanitize", action="store_true",
+                            help="run the paper-invariant checkers on every "
+                                 "row (exit 1 on any violation)")
+
+    check = commands.add_parser(
+        "check",
+        help="static analysis of a recorded run (paper-invariant sanitizer)",
+    )
+    check.add_argument("path", help="run directory written by --telemetry, "
+                                    "or a bare events.jsonl trace")
+    check.add_argument("--replay", action="store_true",
+                       help="additionally re-run the recorded configuration "
+                            "and compare event-stream digests")
+    check.add_argument("--max-violations", type=int, default=20,
+                       help="violations to print before eliding (default 20)")
 
     report = commands.add_parser(
         "report", help="render a recorded run directory"
@@ -211,6 +232,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     params = _params_from(args)
     program = _make_program(args.program, params)
     manager = create_manager(args.manager, params)
+    sanitizer = None
+    if args.sanitize:
+        from .check import CheckContext, Sanitizer
+
+        sanitizer = Sanitizer(CheckContext.from_params(
+            params, program=program.name, manager=args.manager,
+        ))
+        sanitizer.attach_program(program)
     if args.telemetry:
         from .obs.telemetry import run_recorded
 
@@ -218,10 +247,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = run_recorded(
             params, program, manager, args.telemetry,
             on_driver=drivers.append,
+            extra_sinks=None if sanitizer is None else [sanitizer],
         )
         heap = drivers[0].heap
     else:
-        driver = ExecutionDriver(params, manager)
+        observer = None
+        if sanitizer is not None:
+            from .obs.events import EventBus
+
+            observer = EventBus()
+            sanitizer.attach(observer)
+            if hasattr(program, "bus"):
+                program.bus = observer
+        driver = ExecutionDriver(params, manager, observer=observer)
         result = driver.run(program)
         heap = driver.heap
     print(result.summary())
@@ -236,6 +274,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"(render with: repro report {args.telemetry})")
     if args.heapmap:
         print(render_heap(heap))
+    if sanitizer is not None:
+        report = sanitizer.finish(raise_on_violation=False)
+        print()
+        print("sanitizer:", "clean" if report.ok else "VIOLATIONS")
+        print(report.describe())
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .check import check_run_directory, check_trace_file, replay_digest
+
+    path = Path(args.path)
+    try:
+        if path.is_dir():
+            report = check_run_directory(path)
+        elif path.is_file():
+            report = check_trace_file(path)
+        else:
+            print(f"error: no such run directory or trace: {path}",
+                  file=sys.stderr)
+            return 2
+    except (FileNotFoundError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot load {path}: {error}", file=sys.stderr)
+        return 2
+    print(report.describe(max_violations=args.max_violations))
+    failed = not report.ok
+    if args.replay:
+        if not path.is_dir():
+            print("error: --replay needs a run directory (manifest.json)",
+                  file=sys.stderr)
+            return 2
+        from .obs.export import load_manifest
+
+        manifest = load_manifest(path)
+        fresh = replay_digest(manifest)
+        recorded = manifest.get("event_digest")
+        if fresh is None:
+            print("replay: skipped (program not reconstructible)")
+        elif fresh == recorded:
+            print(f"replay: deterministic (digest {fresh})")
+        else:
+            print(f"replay: DIGEST MISMATCH (recorded {recorded}, "
+                  f"replayed {fresh})")
+            failed = True
+    if failed:
+        print("\nFAIL: paper invariants violated", file=sys.stderr)
+        return 1
+    print("\nOK: all invariants hold")
     return 0
 
 
@@ -253,18 +343,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .check import InvariantViolationError
+
     params = _params_from(args)
     telemetry_dir = args.telemetry
-    if args.which == "robson":
-        rows = robson_experiment(params.with_compaction(None),
-                                 telemetry_dir=telemetry_dir)
-        bad = [r for r in rows if not r.respects_lower_bound]
-    elif args.which == "pf":
-        rows = pf_experiment(params, telemetry_dir=telemetry_dir)
-        bad = [r for r in rows if not r.respects_lower_bound]
-    else:
-        rows = upper_bound_experiment(params, telemetry_dir=telemetry_dir)
-        bad = [r for r in rows if not r.respects_upper_bound]
+    sanitize = args.sanitize
+    try:
+        if args.which == "robson":
+            rows = robson_experiment(params.with_compaction(None),
+                                     telemetry_dir=telemetry_dir,
+                                     sanitize=sanitize)
+            bad = [r for r in rows if not r.respects_lower_bound]
+        elif args.which == "pf":
+            rows = pf_experiment(params, telemetry_dir=telemetry_dir,
+                                 sanitize=sanitize)
+            bad = [r for r in rows if not r.respects_lower_bound]
+        else:
+            rows = upper_bound_experiment(params, telemetry_dir=telemetry_dir,
+                                          sanitize=sanitize)
+            bad = [r for r in rows if not r.respects_upper_bound]
+    except InvariantViolationError as error:
+        print("SANITIZER VIOLATIONS:", file=sys.stderr)
+        print(error.report.describe(), file=sys.stderr)
+        return 1
     print(experiment_table(rows))
     if telemetry_dir:
         print(f"\nper-row telemetry written under {telemetry_dir}/")
@@ -323,6 +424,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "exact":

@@ -234,5 +234,5 @@ def exact_waste_factor(
         minimum_heap_words(
             live_bound, max_object, power_of_two_sizes=power_of_two_sizes
         )
-        / live_bound
+        / live_bound  # lint: float-ok - presentation-layer ratio
     )

@@ -25,7 +25,26 @@ from ..obs.events import BudgetCharge
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.events import EventBus
 
-__all__ = ["CompactionBudget", "AbsoluteBudget", "BudgetSnapshot"]
+__all__ = [
+    "CompactionBudget",
+    "AbsoluteBudget",
+    "BudgetSnapshot",
+    "divisor_as_integer_ratio",
+]
+
+
+def divisor_as_integer_ratio(divisor: "float | int") -> tuple[int, int]:
+    """The divisor's exact ``(numerator, denominator)`` pair.
+
+    Floats are binary rationals, so ``c`` as given (even a non-integral
+    one like ``12.5``) has an exact integer ratio; every enforcement
+    comparison below cross-multiplies with it instead of dividing, so
+    boundary moves are never admitted or denied by float rounding.
+    """
+    numerator, denominator = divisor.as_integer_ratio()
+    if numerator <= 0 or denominator <= 0:
+        raise ValueError(f"divisor must be positive, got {divisor!r}")
+    return numerator, denominator
 
 
 @dataclass(frozen=True)
@@ -44,17 +63,35 @@ class BudgetSnapshot:
 
     @property
     def earned(self) -> float:
-        """Total budget available so far (``allocated / c`` or ``B``)."""
+        """Total budget available so far (``allocated / c`` or ``B``).
+
+        Display only — enforcement goes through :meth:`within_budget`,
+        which compares exactly.
+        """
         if self.divisor is not None:
-            return self.allocated_words / self.divisor
+            return self.allocated_words / self.divisor  # lint: float-ok
         if self.absolute_limit is not None:
-            return float(self.absolute_limit)
-        return 0.0
+            return float(self.absolute_limit)  # lint: float-ok
+        return 0.0  # lint: float-ok
 
     @property
     def remaining(self) -> float:
-        """Budget words still spendable."""
+        """Budget words still spendable (display only; see :meth:`within_budget`)."""
         return self.earned - self.moved_words
+
+    def within_budget(self) -> bool:
+        """The ledger inequality, checked exactly.
+
+        ``moved <= allocated / c`` becomes ``moved * num <= allocated *
+        den`` where ``c = num / den`` exactly; the B-bounded model is
+        already integral.  No budget at all means no moves are legal.
+        """
+        if self.divisor is not None:
+            numerator, denominator = divisor_as_integer_ratio(self.divisor)
+            return self.moved_words * numerator <= self.allocated_words * denominator
+        if self.absolute_limit is not None:
+            return self.moved_words <= self.absolute_limit
+        return self.moved_words == 0
 
 
 class CompactionBudget:
@@ -76,6 +113,11 @@ class CompactionBudget:
         if divisor is not None and divisor <= 1:
             raise ValueError("compaction divisor c must exceed 1")
         self._divisor = divisor
+        # Exact integer form of c for the enforcement comparisons.
+        if divisor is None:
+            self._num, self._den = 0, 1
+        else:
+            self._num, self._den = divisor_as_integer_ratio(divisor)
         self._allocated = 0
         self._moved = 0
         self.observer = observer
@@ -114,18 +156,27 @@ class CompactionBudget:
 
     @property
     def remaining(self) -> float:
-        """Budget words still spendable right now."""
+        """Budget words still spendable right now (display only).
+
+        Telemetry and reports want a scalar; enforcement never touches
+        this — :meth:`can_move` compares exactly.
+        """
         if self._divisor is None:
-            return 0.0
-        return self._allocated / self._divisor - self._moved
+            return 0.0  # lint: float-ok
+        return self._allocated / self._divisor - self._moved  # lint: float-ok
 
     def can_move(self, words: int) -> bool:
-        """Whether a move of ``words`` fits the budget at this instant."""
+        """Whether a move of ``words`` fits the budget at this instant.
+
+        Exact integer cross-multiplication: ``moved + words <=
+        allocated / c`` iff ``(moved + words) * num <= allocated * den``
+        with ``c = num / den``, so boundary moves are decided exactly.
+        """
         if words <= 0:
             raise ValueError("move size must be positive")
         if self._divisor is None:
             return False
-        return self._moved + words <= self._allocated / self._divisor
+        return (self._moved + words) * self._num <= self._allocated * self._den
 
     def charge_move(self, words: int) -> None:
         """Spend budget for a move, raising if it would overdraw."""
@@ -143,11 +194,11 @@ class CompactionBudget:
         return BudgetSnapshot(self._allocated, self._moved, self._divisor)
 
     def check_invariant(self) -> None:
-        """Assert the c-partial inequality holds (tests call this)."""
+        """Assert the c-partial inequality holds, exactly (tests call this)."""
         if self._divisor is None:
             assert self._moved == 0, "moves happened with no budget"
         else:
-            assert self._moved <= self._allocated / self._divisor + 1e-9, (
+            assert self._moved * self._num <= self._allocated * self._den, (
                 f"c-partial contract violated: moved={self._moved} > "
                 f"{self._allocated}/{self._divisor}"
             )
@@ -206,7 +257,7 @@ class AbsoluteBudget:
     @property
     def remaining(self) -> float:
         """Words of budget left."""
-        return float(self._limit - self._moved)
+        return float(self._limit - self._moved)  # lint: float-ok
 
     def charge_allocation(self, words: int) -> None:
         """Record an allocation (no accrual in this model)."""

@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 from typing import Union
 
-from .events import EventBus, TelemetryEvent, event_from_dict
+from .events import TelemetryEvent, event_from_dict
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -122,8 +122,14 @@ def build_manifest(
     wall_seconds: float = 0.0,
     events_per_second: float = 0.0,
     event_count: int = 0,
+    event_digest: str | None = None,
 ) -> dict:
-    """Assemble a schema-versioned manifest dict (see module docs)."""
+    """Assemble a schema-versioned manifest dict (see module docs).
+
+    ``event_digest`` is the canonical event-stream digest (see
+    :func:`repro.check.determinism.event_stream_digest`), which lets
+    ``repro check`` detect trace tampering and replay divergence.
+    """
     return {
         "schema": SCHEMA_VERSION,
         "kind": "repro-run",
@@ -135,6 +141,7 @@ def build_manifest(
         "wall_seconds": wall_seconds,
         "events_per_second": events_per_second,
         "event_count": event_count,
+        "event_digest": event_digest,
         "peak_rss_kb": peak_rss_kb(),
         "result": result,
         "metrics": metrics or {},

@@ -37,6 +37,14 @@ __all__ = ["Telemetry", "run_recorded", "DEFAULT_SAMPLE_EVERY"]
 DEFAULT_SAMPLE_EVERY = 256
 
 
+def _stream_digest(writer: JsonlEventWriter) -> str:
+    """Canonical digest of the buffered stream (lazy import: obs must
+    not depend on check at module load)."""
+    from ..check.determinism import event_stream_digest
+
+    return event_stream_digest(writer.events)
+
+
 class Telemetry:
     """Bus + metrics + (once bound) sampler, wired together.
 
@@ -95,6 +103,7 @@ def run_recorded(
     budget=None,
     extra_config: dict | None = None,
     on_driver=None,
+    extra_sinks=None,
 ) -> "ExecutionResult":
     """Run one fully instrumented execution and persist it.
 
@@ -103,7 +112,13 @@ def run_recorded(
     :class:`~repro.adversary.driver.ExecutionResult` as usual.
     ``on_driver`` (if given) is called with the constructed driver
     before the run — callers needing post-run heap access (e.g. the
-    CLI's ``--heapmap``) capture it there.
+    CLI's ``--heapmap``) capture it there.  ``extra_sinks`` (an iterable
+    of event callables, e.g. a :class:`repro.check.Sanitizer`) are
+    subscribed to the bus before the run.
+
+    The manifest records ``event_digest``, the canonical SHA-256 of the
+    emitted stream, so ``repro check`` can detect any later tampering
+    with ``events.jsonl`` and verify deterministic replays.
     """
     from ..adversary.driver import ExecutionDriver  # avoid import cycle
 
@@ -113,6 +128,9 @@ def run_recorded(
     telemetry = Telemetry(sample_every=sample_every)
     writer = JsonlEventWriter()
     telemetry.bus.subscribe(writer)
+    if extra_sinks is not None:
+        for sink in extra_sinks:
+            telemetry.bus.subscribe(sink)
     telemetry.instrument_program(program)
 
     driver = ExecutionDriver(
@@ -166,6 +184,7 @@ def run_recorded(
         wall_seconds=result.wall_seconds,
         events_per_second=result.events_per_second,
         event_count=telemetry.bus.event_count,
+        event_digest=_stream_digest(writer),
     )
     write_manifest(target, manifest)
     return result

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.adversary import PFProgram, RobsonProgram, run_execution
+from repro.adversary import PFProgram, run_execution
 from repro.adversary.claims import Claim49Checker, count_occupying
 from repro.adversary.ghosts import GhostRegistry
 from repro.adversary.robson_program import RobsonEngine

@@ -1,6 +1,10 @@
 """Tests for the trace log."""
 
-from repro.adversary.trace import TraceEvent, TraceLog
+import json
+
+import pytest
+
+from repro.adversary.trace import TRACE_SCHEMA_VERSION, TraceEvent, TraceLog
 
 
 class TestTraceLog:
@@ -54,21 +58,23 @@ class TestJsonlRoundTrip:
         assert list(restored) == list(log)
 
     def test_one_json_object_per_line_none_fields_omitted(self):
-        import json
-
         lines = self._populated_log().to_jsonl().splitlines()
-        assert len(lines) == 4
+        assert len(lines) == 5                    # schema header + 4 events
         records = [json.loads(line) for line in lines]
-        assert records[0]["kind"] == "alloc"
-        assert "label" not in records[0]          # None fields omitted
-        assert "old_address" in records[1]        # moves keep both addresses
-        assert records[3] == {"seq": 4, "kind": "mark", "label": "stage2 step=5"}
+        assert records[0] == {"kind": "trace", "schema": TRACE_SCHEMA_VERSION}
+        assert records[1]["kind"] == "alloc"
+        assert "label" not in records[1]          # None fields omitted
+        assert "old_address" in records[2]        # moves keep both addresses
+        assert records[4] == {"seq": 4, "kind": "mark", "label": "stage2 step=5"}
         for record in records:
             assert list(record) == sorted(record)  # sorted keys, stable diffs
 
     def test_empty_log(self):
-        assert TraceLog().to_jsonl() == ""
-        assert len(TraceLog.from_jsonl("")) == 0
+        text = TraceLog().to_jsonl()
+        assert json.loads(text) == {"kind": "trace",
+                                    "schema": TRACE_SCHEMA_VERSION}
+        assert len(TraceLog.from_jsonl(text)) == 0
+        assert len(TraceLog.from_jsonl("")) == 0  # headerless legacy input
 
     def test_round_trip_preserves_replay_stream(self):
         log = self._populated_log()
@@ -80,4 +86,55 @@ class TestJsonlRoundTrip:
         assert text.endswith("\n")
         assert list(TraceLog.from_jsonl(text + "\n\n")) == list(
             self._populated_log()
+        )
+
+
+class TestJsonlEdgeCases:
+    def test_unicode_labels_round_trip(self):
+        log = TraceLog()
+        log.record_mark(1, "stufe II — schritt 5 ≤ ℓ")
+        log.record_mark(2, "日本語ラベル ☃")
+        restored = TraceLog.from_jsonl(log.to_jsonl())
+        assert [event.label for event in restored] == [
+            "stufe II — schritt 5 ≤ ℓ", "日本語ラベル ☃",
+        ]
+
+    def test_schema_version_mismatch_rejected(self):
+        header = json.dumps({"kind": "trace",
+                             "schema": TRACE_SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError, match="schema"):
+            TraceLog.from_jsonl(header + "\n")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            TraceLog.from_jsonl('{"seq": 1, "kind": "teleport"}\n')
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            TraceLog.from_jsonl('{"seq": 1, "kind": "alloc", "bogus": 3}\n')
+
+    def test_headerless_legacy_input_accepted(self):
+        lines = [
+            '{"kind": "alloc", "seq": 1, "object_id": 0, "size": 8, "address": 0}',
+            '{"kind": "free", "seq": 2, "object_id": 0, "size": 8, "address": 0}',
+        ]
+        log = TraceLog.from_jsonl("\n".join(lines) + "\n")
+        assert [event.kind for event in log] == ["alloc", "free"]
+
+    def test_full_pf_run_round_trips(self):
+        from repro.adversary.driver import run_execution
+        from repro.adversary.pf_program import PFProgram
+        from repro.core.params import BoundParams
+        from repro.mm.registry import create_manager
+
+        params = BoundParams(4096, 64, 20.0)
+        result = run_execution(
+            params, PFProgram(params), create_manager("first-fit", params),
+            record_trace=True,
+        )
+        assert result.trace is not None and len(result.trace) > 0
+        restored = TraceLog.from_jsonl(result.trace.to_jsonl())
+        assert list(restored) == list(result.trace)
+        assert list(restored.replay_requests()) == list(
+            result.trace.replay_requests()
         )

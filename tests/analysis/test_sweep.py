@@ -1,7 +1,5 @@
 """Tests for the sweep/CSV tooling."""
 
-import pytest
-
 from repro.analysis.sweep import (
     SweepRow,
     simulation_sweep,

@@ -1,0 +1,49 @@
+"""Shared fixtures for the checker-subsystem tests.
+
+The expensive part — a fully recorded :math:`P_F` run — happens once
+per session; every fixture-matrix and CLI test reuses the same
+directory read-only (injectors deep-copy before corrupting).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.pf_program import PFProgram
+from repro.check import CheckContext
+from repro.core.params import BoundParams
+from repro.mm.registry import create_manager
+from repro.obs.export import load_run
+from repro.obs.telemetry import run_recorded
+
+#: Small enough to record in well under a second, big enough that every
+#: fixture's target event shape (windows, stage-II allocs...) exists.
+CHECK_PARAMS = BoundParams(live_space=4096, max_object=64,
+                           compaction_divisor=20.0)
+CHECK_MANAGER = "sliding-compactor"
+
+
+@pytest.fixture(scope="session")
+def clean_run_dir(tmp_path_factory) -> Path:
+    """A recorded, sanitizer-clean P_F run (manifest + events)."""
+    directory = tmp_path_factory.mktemp("clean-run") / "pf"
+    program = PFProgram(CHECK_PARAMS)
+    run_recorded(
+        CHECK_PARAMS, program, create_manager(CHECK_MANAGER, CHECK_PARAMS),
+        directory,
+    )
+    return directory
+
+
+@pytest.fixture(scope="session")
+def clean_run(clean_run_dir):
+    """The loaded manifest/events pair of :func:`clean_run_dir`."""
+    return load_run(clean_run_dir)
+
+
+@pytest.fixture(scope="session")
+def clean_context(clean_run) -> CheckContext:
+    """The run's contract context, recovered from its manifest."""
+    return CheckContext.from_manifest(clean_run.manifest)

@@ -7,7 +7,6 @@ from repro.core.params import BoundParams
 from repro.exact import OptimalMicroManager, minimum_heap_words
 from repro.exact.adversary import ExactAdversaryProgram, solve_program_strategy
 from repro.exact.game import GameConfig
-from repro.mm import BestFitManager, FirstFitManager
 from repro.mm.registry import create_manager
 
 

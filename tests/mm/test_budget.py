@@ -1,11 +1,18 @@
 """Tests for the compaction-budget ledger."""
 
+from fractions import Fraction
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.heap.errors import CompactionBudgetExceeded
-from repro.mm.budget import CompactionBudget
+from repro.mm.budget import (
+    AbsoluteBudget,
+    BudgetSnapshot,
+    CompactionBudget,
+    divisor_as_integer_ratio,
+)
 
 
 class TestBasics:
@@ -71,6 +78,83 @@ class TestBasics:
         snap = CompactionBudget(None).snapshot()
         assert snap.earned == 0.0
         assert snap.remaining == 0.0
+
+
+class TestExactBoundary:
+    """Enforcement must be exact at the budget boundary, however large
+    the ledger grows — float division of ``allocated / c`` rounds there.
+    """
+
+    def test_boundary_move_admitted_despite_float_rounding_down(self):
+        # allocated = 3 * 2^55 + 3 is not float-representable; it rounds
+        # down, so allocated / 3.0 == 2^55 while the true budget is
+        # 2^55 + 1.  The final one-word boundary move is legal and a
+        # float comparison would deny it.
+        allocated = 3 * 2**55 + 3
+        assert float(allocated) != allocated  # the premise of the test
+        budget = CompactionBudget(3.0)
+        budget.charge_allocation(allocated)
+        budget.charge_move(2**55)
+        assert budget.can_move(1)
+        budget.charge_move(1)  # exact: (2^55 + 1) * 3 == allocated
+        budget.check_invariant()
+        assert not budget.can_move(1)  # one more word would overdraw
+
+    def test_overdraw_denied_despite_float_rounding_up(self):
+        # allocated = 3 * 2^55 - 3 rounds UP to 3 * 2^55 in float, so
+        # allocated / 3.0 == 2^55 while the true budget is 2^55 - 1.
+        # A float comparison would admit one word too many.
+        allocated = 3 * 2**55 - 3
+        assert float(allocated) > allocated
+        budget = CompactionBudget(3.0)
+        budget.charge_allocation(allocated)
+        budget.charge_move(2**55 - 1)
+        assert not budget.can_move(1)
+        with pytest.raises(CompactionBudgetExceeded):
+            budget.charge_move(1)
+        budget.check_invariant()
+
+    def test_non_integral_divisor_is_exact(self):
+        # 12.5 = 25/2 exactly; the boundary sits at allocated * 2 / 25.
+        budget = CompactionBudget(12.5)
+        budget.charge_allocation(25)
+        assert budget.can_move(2)
+        assert not budget.can_move(3)
+        num, den = divisor_as_integer_ratio(12.5)
+        assert Fraction(num, den) == Fraction(25, 2)
+
+    def test_divisor_ratio_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisor_as_integer_ratio(0.0)
+        with pytest.raises(ValueError):
+            divisor_as_integer_ratio(-3.0)
+
+    def test_snapshot_within_budget_is_exact(self):
+        at_boundary = BudgetSnapshot(
+            allocated_words=3 * 2**55 + 3, moved_words=2**55 + 1, divisor=3.0
+        )
+        assert at_boundary.within_budget()
+        over = BudgetSnapshot(
+            allocated_words=3 * 2**55 + 3, moved_words=2**55 + 2, divisor=3.0
+        )
+        assert not over.within_budget()
+
+    def test_snapshot_within_budget_absolute_and_none(self):
+        absolute = BudgetSnapshot(10**6, 512, None, absolute_limit=512)
+        assert absolute.within_budget()
+        assert not BudgetSnapshot(
+            10**6, 513, None, absolute_limit=512
+        ).within_budget()
+        no_budget = BudgetSnapshot(10**6, 0, None)
+        assert no_budget.within_budget()
+        assert not BudgetSnapshot(10**6, 1, None).within_budget()
+
+    def test_absolute_budget_snapshot_round_trip(self):
+        ledger = AbsoluteBudget(100)
+        ledger.charge_allocation(10**9)
+        ledger.charge_move(100)
+        assert ledger.snapshot().within_budget()
+        ledger.check_invariant()
 
 
 class TestLedgerProperty:

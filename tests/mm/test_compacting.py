@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.params import BoundParams
-from repro.heap.errors import CompactionBudgetExceeded
 from repro.heap.heap import SimHeap
 from repro.mm.base import ManagerContext
 from repro.mm.budget import CompactionBudget

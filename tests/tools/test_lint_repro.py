@@ -1,0 +1,159 @@
+"""Tests for the repository lint gate (tools/lint_repro.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO_ROOT / "tools" / "lint_repro.py"
+)
+assert _spec is not None and _spec.loader is not None
+lint_repro = importlib.util.module_from_spec(_spec)
+sys.modules["lint_repro"] = lint_repro  # dataclasses needs the module entry
+_spec.loader.exec_module(lint_repro)
+
+
+def _findings(tmp_path, source: str, *, relpath: str = "snippet.py"):
+    """Lint one synthetic file and return its finding rules."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return [finding.rule for finding in lint_repro.lint_file(target)]
+
+
+class TestNoFloatRule:
+    def _lint_scoped(self, source: str):
+        """Run just the no-float rule, bypassing the repo-path scoping."""
+        import ast
+
+        tree = ast.parse(source)
+        return [f.rule for f in lint_repro.check_no_float(
+            Path("scoped.py"), tree, source)]
+
+    def test_flags_float_literal_division_and_cast(self):
+        source = "x = 0.5\ny = a / b\nz = float(a)\n"
+        assert self._lint_scoped(source) == ["no-float"] * 3
+
+    def test_pragma_exempts_the_line(self):
+        source = "x = a / b  # lint: float-ok\ny = a / b\n"
+        assert self._lint_scoped(source) == ["no-float"]
+
+    def test_integer_arithmetic_is_clean(self):
+        source = "x = (a + b) * 2 ** 8 // 3\n"
+        assert self._lint_scoped(source) == []
+
+    def test_scope_covers_budget_and_exact(self):
+        assert lint_repro._in_no_float_scope(
+            REPO_ROOT / "src/repro/mm/budget.py")
+        assert lint_repro._in_no_float_scope(
+            REPO_ROOT / "src/repro/exact/game.py")
+        assert not lint_repro._in_no_float_scope(
+            REPO_ROOT / "src/repro/analysis/experiments.py")
+
+
+class TestUnseededRandomRule:
+    def test_flags_module_level_draws(self, tmp_path):
+        rules = _findings(
+            tmp_path, "import random\nvalue = random.randint(0, 7)\n"
+        )
+        assert "unseeded-random" in rules
+
+    def test_flags_from_import_of_global_functions(self, tmp_path):
+        rules = _findings(tmp_path, "from random import shuffle\n")
+        assert "unseeded-random" in rules
+
+    def test_seeded_instance_is_clean(self, tmp_path):
+        rules = _findings(
+            tmp_path,
+            "import random\nrng = random.Random(7)\nvalue = rng.randint(0, 7)\n",
+        )
+        assert "unseeded-random" not in rules
+
+
+class TestAllConsistencyRule:
+    def test_flags_phantom_export(self, tmp_path):
+        rules = _findings(tmp_path, '__all__ = ["missing"]\n')
+        assert rules == ["all-consistency"]
+
+    def test_flags_duplicate_entry(self, tmp_path):
+        rules = _findings(
+            tmp_path, '__all__ = ["thing", "thing"]\nthing = 1\n'
+        )
+        assert rules == ["all-consistency"]
+
+    def test_conditional_binding_counts(self, tmp_path):
+        source = (
+            '__all__ = ["maybe"]\n'
+            "try:\n    from os import getcwd as maybe\n"
+            "except ImportError:\n    maybe = None\n"
+        )
+        assert _findings(tmp_path, source) == []
+
+
+class TestBareExceptRule:
+    def test_flags_bare_except(self, tmp_path):
+        source = "try:\n    x = 1\nexcept:\n    pass\n"
+        assert "bare-except" in _findings(tmp_path, source)
+
+    def test_typed_except_is_clean(self, tmp_path):
+        source = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert "bare-except" not in _findings(tmp_path, source)
+
+
+class TestUnusedImportRule:
+    def test_flags_dead_import(self, tmp_path):
+        assert _findings(tmp_path, "import json\nx = 1\n") == ["unused-import"]
+
+    def test_string_forward_reference_counts_as_use(self, tmp_path):
+        source = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n    from json import JSONDecoder\n"
+            'def f(x: "JSONDecoder") -> None: ...\n'
+        )
+        assert _findings(tmp_path, source) == []
+
+    def test_reexport_via_all_counts_as_use(self, tmp_path):
+        source = 'from json import loads\n__all__ = ["loads"]\n'
+        assert _findings(tmp_path, source) == []
+
+
+class TestEventRegistryRule:
+    def test_real_events_module_is_clean(self):
+        path = REPO_ROOT / "src" / "repro" / "obs" / "events.py"
+        rules = [finding.rule for finding in lint_repro.lint_file(path)]
+        assert rules == []
+
+    def test_unregistered_event_is_flagged(self, tmp_path):
+        import ast
+
+        source = (
+            "class TelemetryEvent: ...\n"
+            "class Rogue(TelemetryEvent):\n"
+            '    kind: ClassVar[str] = "rogue"\n'
+            "_EVENT_TYPES = {}\n"
+            "__all__ = []\n"
+        )
+        findings = list(lint_repro.check_event_registry(
+            Path("events.py"), ast.parse(source)))
+        assert {finding.rule for finding in findings} == {"event-registry"}
+        assert len(findings) == 2  # unregistered AND unexported
+
+
+class TestRepoIsClean:
+    def test_src_and_tools_pass(self, capsys):
+        status = lint_repro.main([
+            str(REPO_ROOT / "src" / "repro"), str(REPO_ROOT / "tools"),
+        ])
+        output = capsys.readouterr().out
+        assert status == 0, output
+        assert "0 findings" in output
+
+    def test_exit_status_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    x = 1\nexcept:\n    pass\n")
+        assert lint_repro.main([str(bad)]) == 1
+        assert "bare-except" in capsys.readouterr().out

@@ -1,31 +1,42 @@
 #!/usr/bin/env python
-"""Telemetry overhead smoke check.
+"""Telemetry and sanitizer overhead smoke check.
 
-Runs the same P_F execution twice — once uninstrumented (the null-sink
-fast path: ``observer=None`` everywhere) and once with a full
+Runs the same P_F execution three ways — uninstrumented (the null-sink
+fast path: ``observer=None`` everywhere), with a full
 :class:`repro.obs.telemetry.Telemetry` attached (metrics collector,
-heap sampler and JSONL buffer all subscribed) — and fails if the
-instrumented run is more than ``--threshold`` (default 2.0) times
-slower.  Each variant runs ``--repeats`` times and the *minimum* wall
-time is compared, the standard trick to suppress scheduler noise.
+heap sampler and JSONL buffer all subscribed), and with the
+:class:`repro.check.Sanitizer` checker set riding the instrumented bus
+— and fails if instrumentation is more than ``--threshold`` (default
+2.0) times slower or sanitizing more than ``--sanitize-threshold``
+(default 6.0) times slower than the baseline.  Each variant runs
+``--repeats`` times and the *minimum* wall time is compared, the
+standard trick to suppress scheduler noise.
 
 Usage::
 
     PYTHONPATH=src python tools/check_overhead.py [--threshold 2.0]
 
-Exit status 0 when within budget, 1 when over.  The same check runs as
-an opt-in pytest marker: ``pytest tests/obs/test_overhead.py -m overhead``.
+Exit status 0 when within budget, 1 when over.  The measurements are
+also emitted as one ``BENCH_JSON {...}`` record (same schema as the
+``bench_record`` fixture in ``benchmarks/conftest.py``) and, with
+``--bench-out DIR``, written to ``DIR/BENCH_telemetry_overhead.json``
+so the perf trajectory captures the checker cost across commits.  The
+same check runs as an opt-in pytest marker:
+``pytest tests/obs/test_overhead.py -m overhead``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.adversary import PFProgram
 from repro.adversary.driver import ExecutionDriver
+from repro.check import CheckContext, Sanitizer
 from repro.core.params import BoundParams
 from repro.mm import create_manager
 from repro.obs.export import JsonlEventWriter
@@ -39,21 +50,63 @@ MANAGER = "sliding-compactor"
 
 @dataclass(frozen=True)
 class OverheadReport:
-    """Minimum wall times (seconds) and their ratio."""
+    """Minimum wall times (seconds) and their ratios.
+
+    ``sanitized_s`` is ``None`` when the sanitizer variant was not
+    measured (the default for :func:`measure`, keeping the historical
+    two-variant interface).
+    """
 
     baseline_s: float
     instrumented_s: float
+    sanitized_s: float | None = None
 
     @property
     def ratio(self) -> float:
         return self.instrumented_s / self.baseline_s if self.baseline_s else float("inf")
 
+    @property
+    def sanitizer_ratio(self) -> float | None:
+        """Sanitized/baseline ratio (``None`` when not measured)."""
+        if self.sanitized_s is None:
+            return None
+        return self.sanitized_s / self.baseline_s if self.baseline_s else float("inf")
+
     def describe(self) -> str:
-        return (
+        text = (
             f"baseline {self.baseline_s * 1e3:.1f} ms, "
             f"instrumented {self.instrumented_s * 1e3:.1f} ms, "
             f"ratio {self.ratio:.2f}x"
         )
+        if self.sanitized_s is not None:
+            text += (
+                f"; sanitized {self.sanitized_s * 1e3:.1f} ms, "
+                f"ratio {self.sanitizer_ratio:.2f}x"
+            )
+        return text
+
+    def to_bench_payload(self) -> dict:
+        """The ``BENCH_JSON`` record (``bench_record`` fixture schema)."""
+        results = {
+            "baseline_s": round(self.baseline_s, 6),
+            "instrumented_s": round(self.instrumented_s, 6),
+            "instrumented_ratio": round(self.ratio, 4),
+        }
+        if self.sanitized_s is not None and self.sanitizer_ratio is not None:
+            results["sanitized_s"] = round(self.sanitized_s, 6)
+            results["sanitized_ratio"] = round(self.sanitizer_ratio, 4)
+        return {
+            "name": "telemetry_overhead",
+            "params": {
+                "live_space": PARAMS.live_space,
+                "max_object": PARAMS.max_object,
+                "compaction_divisor": PARAMS.compaction_divisor,
+                "manager": MANAGER,
+            },
+            "wall_s": round(self.baseline_s + self.instrumented_s
+                            + (self.sanitized_s or 0.0), 6),
+            "results": results,
+        }
 
 
 def _run_baseline() -> float:
@@ -78,33 +131,85 @@ def _run_instrumented() -> float:
     return time.perf_counter() - start
 
 
-def measure(repeats: int = 3) -> OverheadReport:
-    """Run both variants ``repeats`` times; compare the minima."""
+def _run_sanitized() -> float:
+    telemetry = Telemetry()
+    telemetry.bus.subscribe(JsonlEventWriter())
+    program = PFProgram(PARAMS)
+    telemetry.instrument_program(program)
+    sanitizer = Sanitizer(CheckContext.from_params(
+        PARAMS, program=program.name, manager=MANAGER,
+    ))
+    sanitizer.attach(telemetry.bus)
+    sanitizer.attach_program(program)
+    driver = ExecutionDriver(
+        PARAMS, create_manager(MANAGER, PARAMS), observer=telemetry.bus
+    )
+    telemetry.bind(driver)
+    start = time.perf_counter()
+    driver.run(program)
+    sanitizer.finish()
+    return time.perf_counter() - start
+
+
+def measure(repeats: int = 3, *, sanitize: bool = False) -> OverheadReport:
+    """Run the variants ``repeats`` times each; compare the minima.
+
+    ``sanitize=False`` (the default) measures baseline vs instrumented
+    only, preserving the historical interface; ``sanitize=True`` adds
+    the checker-loaded variant as ``sanitized_s``.
+    """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     baseline = min(_run_baseline() for _ in range(repeats))
     instrumented = min(_run_instrumented() for _ in range(repeats))
-    return OverheadReport(baseline_s=baseline, instrumented_s=instrumented)
+    sanitized = (min(_run_sanitized() for _ in range(repeats))
+                 if sanitize else None)
+    return OverheadReport(baseline_s=baseline, instrumented_s=instrumented,
+                          sanitized_s=sanitized)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="maximum tolerated instrumented/baseline ratio")
+    parser.add_argument("--sanitize-threshold", type=float, default=6.0,
+                        help="maximum tolerated sanitized/baseline ratio")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per variant (minimum is compared)")
+    parser.add_argument("--no-sanitize", action="store_true",
+                        help="skip the sanitizer-loaded variant")
+    parser.add_argument("--bench-out", metavar="DIR", default=None,
+                        help="also write the BENCH_JSON record to "
+                             "DIR/BENCH_telemetry_overhead.json")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    if args.threshold <= 0:
-        parser.error("--threshold must be positive")
+    if args.threshold <= 0 or args.sanitize_threshold <= 0:
+        parser.error("thresholds must be positive")
 
-    report = measure(repeats=args.repeats)
+    report = measure(repeats=args.repeats, sanitize=not args.no_sanitize)
     print(f"telemetry overhead: {report.describe()} "
-          f"(threshold {args.threshold:.2f}x)")
+          f"(thresholds {args.threshold:.2f}x / "
+          f"{args.sanitize_threshold:.2f}x)")
+    payload = report.to_bench_payload()
+    print("BENCH_JSON " + json.dumps(payload, sort_keys=True))
+    if args.bench_out:
+        target = Path(args.bench_out)
+        target.mkdir(parents=True, exist_ok=True)
+        (target / f"BENCH_{payload['name']}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    failed = False
     if report.ratio > args.threshold:
         print("FAIL: instrumentation exceeds the overhead budget",
               file=sys.stderr)
+        failed = True
+    sanitizer_ratio = report.sanitizer_ratio
+    if sanitizer_ratio is not None and sanitizer_ratio > args.sanitize_threshold:
+        print("FAIL: sanitizer exceeds the overhead budget", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("OK")
     return 0

@@ -36,6 +36,10 @@ MODULES = [
     "repro.obs", "repro.obs.events", "repro.obs.metrics",
     "repro.obs.sampler", "repro.obs.export", "repro.obs.telemetry",
     "repro.obs.report",
+    "repro.check", "repro.check.base", "repro.check.shadow_heap",
+    "repro.check.budget_replay", "repro.check.program_model",
+    "repro.check.density", "repro.check.determinism",
+    "repro.check.fixtures", "repro.check.runner",
     "repro.cli",
 ]
 
