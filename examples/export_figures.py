@@ -3,14 +3,18 @@
 
 Writes ``figure1.csv``, ``figure2.csv``, ``figure3.csv`` (the paper's
 closed-form series at full scale) and ``simulation_sweep.csv`` (measured
-P_F waste across managers at simulation scale) into ``--outdir``
+P_F waste across managers at simulation scale) into ``outdir``
 (default: ``./figures``), ready for any plotting stack.
 
-Run:  python examples/export_figures.py [outdir]
+The simulation leg runs through the parallel engine: ``--jobs N`` fans
+the (c, manager) grid over worker processes, ``--cache-dir DIR`` reuses
+finished points across invocations.
+
+Run:  python examples/export_figures.py [outdir] [--jobs N] [--cache-dir DIR]
 """
 
+import argparse
 import pathlib
-import sys
 
 from repro import KB, BoundParams
 from repro.analysis import figure1_series, figure2_series, figure3_series, to_csv
@@ -22,7 +26,16 @@ def figure_csv(figure) -> str:
 
 
 def main() -> None:
-    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("outdir", nargs="?", default="figures",
+                        help="output directory (default ./figures)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation sweep")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk result cache for the simulation sweep")
+    args = parser.parse_args()
+
+    outdir = pathlib.Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
 
     for name, series in (
@@ -36,7 +49,10 @@ def main() -> None:
 
     managers = ("first-fit", "sliding-compactor", "theorem2")
     base = BoundParams(8 * KB, 128)
-    rows = simulation_sweep(base, (10.0, 20.0, 50.0, 100.0), managers)
+    rows = simulation_sweep(
+        base, (10.0, 20.0, 50.0, 100.0), managers,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     path = outdir / "simulation_sweep.csv"
     path.write_text(sweep_to_csv(rows, managers) + "\n")
     print(f"wrote {path} ({len(rows)} rows; managers: {', '.join(managers)})")

@@ -1,0 +1,85 @@
+"""The program catalog: short names ⇔ constructible program instances.
+
+Three subsystems need to rebuild an adversary/workload from a plain
+string: the CLI (``repro simulate --program pf``), the determinism
+replayer (``repro check --replay``) and the parallel execution engine
+(worker processes receive a :class:`~repro.parallel.tasks.SimTask`, not
+a live object).  This module is the single registry they all share, so
+a new program is wired everywhere by adding one factory entry.
+
+Keys are the CLI's short names (``"pf"``, ``"robson"``, ``"churn"``,
+…).  Every factory takes a :class:`~repro.core.params.BoundParams`
+plus optional keyword arguments and returns a *deterministic* program:
+the adversaries by construction, the workloads by seeded RNG — the
+property the result cache and the digest checks rest on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .base import AdversaryProgram
+from .checkerboard import CheckerboardProgram
+from .pf_program import PFProgram
+from .robson_program import RobsonProgram
+from .workloads import (
+    BurstyWorkload,
+    ExponentialChurnWorkload,
+    PhasedWorkload,
+    RandomChurnWorkload,
+    SawtoothWorkload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.params import BoundParams
+
+__all__ = [
+    "PROGRAM_FACTORIES",
+    "program_names",
+    "make_program",
+    "program_key_for",
+]
+
+ProgramFactory = Callable[..., AdversaryProgram]
+
+#: Short name -> factory.  The order here is the CLI's listing order.
+PROGRAM_FACTORIES: dict[str, ProgramFactory] = {
+    "pf": PFProgram,
+    "robson": RobsonProgram,
+    "checkerboard": CheckerboardProgram,
+    "churn": RandomChurnWorkload,
+    "sawtooth": SawtoothWorkload,
+    "phased": PhasedWorkload,
+    "exponential-churn": ExponentialChurnWorkload,
+    "bursty": BurstyWorkload,
+}
+
+#: Reverse map: program class -> short name (for turning an instance
+#: back into a task spec).
+_KEY_BY_CLASS = {factory: key for key, factory in PROGRAM_FACTORIES.items()}
+
+
+def program_names() -> list[str]:
+    """Registered short names, in listing order."""
+    return list(PROGRAM_FACTORIES)
+
+
+def make_program(name: str, params: "BoundParams",
+                 **options: object) -> AdversaryProgram:
+    """Build a fresh program by short name (raises ``KeyError`` style
+    ``ValueError`` listing what exists)."""
+    factory = PROGRAM_FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(sorted(PROGRAM_FACTORIES))
+        raise ValueError(f"unknown program {name!r}; known: {known}")
+    return factory(params, **options)
+
+
+def program_key_for(program: AdversaryProgram) -> str | None:
+    """The short name that rebuilds ``program``'s class, if registered.
+
+    Only exact class matches count: a subclass may carry extra state the
+    factory would not reproduce, so it cannot be shipped to a worker by
+    name.
+    """
+    return _KEY_BY_CLASS.get(type(program))

@@ -141,7 +141,10 @@ class ExecutionDriver:
                 f"{self.heap.live_words + size} > M={self.params.live_space}"
             )
         observer = self.observer
-        start_ns = time.perf_counter_ns() if observer is not None else 0
+        # One has_sinks check per request: a subscriber-less bus takes
+        # the same zero-allocation fast path as no bus at all.
+        emitting = observer is not None and observer.has_sinks
+        start_ns = time.perf_counter_ns() if emitting else 0
         self._ctx.reset_request_counters()
         self.manager.prepare(size)
         # The compaction window may have triggered program frees; the
@@ -150,7 +153,7 @@ class ExecutionDriver:
         # The window closes only now: some managers compact lazily inside
         # place() (e.g. the Theorem-2 evacuator), and those moves belong
         # to this request's window just the same.
-        if observer is not None and self._ctx.moves_this_request:
+        if emitting and self._ctx.moves_this_request:
             observer.emit(CompactionWindow(
                 request_size=size,
                 moves=self._ctx.moves_this_request,
@@ -161,7 +164,7 @@ class ExecutionDriver:
         self.manager.on_place(obj)
         self._allocs += 1
         self._live_peak = max(self._live_peak, self.heap.live_words)
-        if observer is not None:
+        if emitting:
             observer.emit(Alloc(
                 object_id=obj.object_id, size=size, address=address,
                 latency_ns=time.perf_counter_ns() - start_ns,
@@ -178,7 +181,7 @@ class ExecutionDriver:
         obj = self.heap.free(object_id)
         self.manager.on_free(obj)
         self._frees += 1
-        if self.observer is not None:
+        if self.observer is not None and self.observer.has_sinks:
             self.observer.emit(Free(
                 object_id=object_id, size=obj.size, address=obj.address,
             ))
@@ -198,7 +201,7 @@ class ExecutionDriver:
         self, obj: HeapObject, old_address: int, new_address: int
     ) -> None:
         self._moves += 1
-        if self.observer is not None:
+        if self.observer is not None and self.observer.has_sinks:
             # Emitted before the program's listener so a consequent
             # free (P_F's immediate-free rule) follows its move.
             self.observer.emit(Move(

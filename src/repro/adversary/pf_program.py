@@ -123,7 +123,7 @@ class PFProgram(AdversaryProgram):
             method(*args)
 
     def _emit_stage(self, stage: str, step: int, label: str = "") -> None:
-        if self.bus is not None:
+        if self.bus is not None and self.bus.has_sinks:
             self.bus.emit(StageTransition(
                 program=self.name, stage=stage, step=step, label=label,
             ))

@@ -162,7 +162,7 @@ class RobsonProgram(AdversaryProgram):
         self.bus = bus
 
     def _emit_stage(self, step: int, label: str = "") -> None:
-        if self.bus is not None:
+        if self.bus is not None and self.bus.has_sinks:
             self.bus.emit(StageTransition(
                 program=self.name, stage="robson", step=step, label=label,
             ))

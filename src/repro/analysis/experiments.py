@@ -39,6 +39,7 @@ __all__ = [
     "upper_bound_experiment",
     "DEFAULT_ROBSON_MANAGERS",
     "DEFAULT_PF_MANAGERS",
+    "DEFAULT_UPPER_BOUND_PROGRAMS",
 ]
 
 #: Non-moving managers the Robson experiment sweeps.
@@ -64,6 +65,29 @@ DEFAULT_PF_MANAGERS = (
     "mark-compact",
     "semispace",
 )
+
+
+def _engine_rows(
+    params: BoundParams,
+    grid: "list[tuple[str, str, dict]]",
+    jobs: int,
+    cache_dir: Union[str, Path, None],
+) -> list[ExecutionResult]:
+    """Run a (program, manager) grid through the parallel engine.
+
+    ``grid`` rows are ``(program_key, manager_name, program_options)``.
+    Used by the experiment entry points whenever no per-row sinks
+    (telemetry recording, sanitizer) are requested — those still take
+    the serial in-process path below.
+    """
+    from ..parallel import ParallelEngine, SimTask  # local: keep import light
+
+    engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir)
+    tasks = [
+        SimTask.build(params, manager, program, **options)
+        for program, manager, options in grid
+    ]
+    return [result.to_execution_result() for result in engine.run(tasks)]
 
 
 def _run_row(
@@ -174,6 +198,8 @@ def robson_experiment(
     *,
     telemetry_dir: Union[str, Path, None] = None,
     sanitize: bool = False,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
 ) -> list[ExperimentRow]:
     """Robson's :math:`P_R` against the non-moving manager family.
 
@@ -181,8 +207,17 @@ def robson_experiment(
     measured waste must be at or above it.  ``telemetry_dir`` records
     each row as a manifest/JSONL run under a per-row subdirectory;
     ``sanitize`` runs the :mod:`repro.check` checkers alongside.
+    ``jobs``/``cache_dir`` fan the grid over the parallel engine —
+    available only on the plain path (telemetry and sanitizer runs need
+    in-process sinks and stay serial).
     """
     bound = robson_bounds.lower_bound_factor(params)
+    if telemetry_dir is None and not sanitize:
+        grid = [("robson", name, {}) for name in manager_names_to_run]
+        return [
+            ExperimentRow(result, bound, "robson-lower")
+            for result in _engine_rows(params, grid, jobs, cache_dir)
+        ]
     rows = []
     for name in manager_names_to_run:
         program = RobsonProgram(params)
@@ -198,6 +233,8 @@ def pf_experiment(
     density_exponent: int | None = None,
     telemetry_dir: Union[str, Path, None] = None,
     sanitize: bool = False,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
 ) -> list[ExperimentRow]:
     """The paper's :math:`P_F` against a manager family.
 
@@ -205,24 +242,39 @@ def pf_experiment(
     density exponent — the theorem says *no* c-partial manager can stay
     below it.  ``telemetry_dir`` records each row as a manifest/JSONL
     run under a per-row subdirectory; ``sanitize`` runs the
-    :mod:`repro.check` checkers alongside.
+    :mod:`repro.check` checkers alongside.  ``jobs``/``cache_dir``
+    route the grid through the parallel engine on the plain path
+    (instrumented runs stay serial).
     """
     if params.compaction_divisor is None:
         raise ValueError("pf_experiment needs a finite c in params")
+    # One reference instance supplies the bound/allowance (they depend
+    # only on params + density_exponent, not on execution state).
+    reference = PFProgram(params, density_exponent=density_exponent)
+    bound = max(1.0, reference.waste_target)
+    allowance = discretization_allowance(params, reference.density_exponent)
+    if telemetry_dir is None and not sanitize:
+        options = ({} if density_exponent is None
+                   else {"density_exponent": density_exponent})
+        grid = [("pf", name, options) for name in manager_names_to_run]
+        return [
+            ExperimentRow(result, bound, "theorem1-h", allowance=allowance)
+            for result in _engine_rows(params, grid, jobs, cache_dir)
+        ]
     rows = []
     for name in manager_names_to_run:
         program = PFProgram(params, density_exponent=density_exponent)
         result = _run_row(params, program, name, telemetry_dir, sanitize)
-        bound = max(1.0, program.waste_target)
         rows.append(
-            ExperimentRow(
-                result, bound, "theorem1-h",
-                allowance=discretization_allowance(
-                    params, program.density_exponent
-                ),
-            )
+            ExperimentRow(result, bound, "theorem1-h", allowance=allowance)
         )
     return rows
+
+
+#: Program catalog keys the upper-bound experiment runs by default.
+DEFAULT_UPPER_BOUND_PROGRAMS = (
+    "pf", "robson", "churn", "sawtooth", "phased",
+)
 
 
 def upper_bound_experiment(
@@ -231,6 +283,8 @@ def upper_bound_experiment(
     programs: tuple[AdversaryProgram, ...] | None = None,
     telemetry_dir: Union[str, Path, None] = None,
     sanitize: bool = False,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
 ) -> list[ExperimentRow]:
     """The BP collector against adversarial and benign programs.
 
@@ -238,10 +292,20 @@ def upper_bound_experiment(
     it.  (Theorem 2's own manager is exercised in the same sweep via
     :data:`DEFAULT_PF_MANAGERS`; its *guarantee* is checked separately in
     the benchmarks because its bound formula needs the coefficients.)
+    With the default program set, ``jobs``/``cache_dir`` route through
+    the parallel engine; custom ``programs`` instances are not
+    picklable-by-spec and run serially.
     """
     c = params.compaction_divisor
     if c is None:
         raise ValueError("upper_bound_experiment needs a finite c")
+    if programs is None and telemetry_dir is None and not sanitize:
+        grid = [(key, "bp-collector", {})
+                for key in DEFAULT_UPPER_BOUND_PROGRAMS]
+        return [
+            ExperimentRow(result, c + 1.0, "bp-(c+1)M")
+            for result in _engine_rows(params, grid, jobs, cache_dir)
+        ]
     if programs is None:
         programs = (
             PFProgram(params),

@@ -9,15 +9,16 @@ users exploring their own parameter corners.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence, Union
 
-from ..adversary.driver import run_execution
-from ..adversary.pf_program import PFProgram
 from ..core import bendersky_petrank, robson, theorem1, theorem2
 from ..core.params import BoundParams
-from ..mm.registry import create_manager
 from .report import to_csv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.engine import ParallelEngine
 
 __all__ = ["SweepRow", "theory_sweep", "simulation_sweep", "sweep_to_csv"]
 
@@ -77,29 +78,37 @@ def simulation_sweep(
     base: BoundParams,
     c_values: Sequence[float],
     manager_names: Sequence[str],
+    *,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
+    engine: "ParallelEngine | None" = None,
 ) -> list[SweepRow]:
-    """Theory plus measured P_F waste per manager at each ``c``."""
+    """Theory plus measured P_F waste per manager at each ``c``.
+
+    The measured leg runs through the
+    :class:`~repro.parallel.engine.ParallelEngine`: ``jobs`` worker
+    processes fan the (c, manager) grid out, ``cache_dir`` recalls
+    already-computed points from disk.  The defaults (``jobs=1``, no
+    cache) execute in-process and produce exactly the historical serial
+    results.  Pass a pre-built ``engine`` to share one cache/stats
+    object across calls (``jobs``/``cache_dir`` are then ignored).
+    """
+    from ..parallel import ParallelEngine, SimTask  # local: keep import light
+
+    theory_rows = theory_sweep(base, c_values)
+    if engine is None:
+        engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir)
+    tasks = [
+        SimTask.build(base.with_compaction(row.c), name, "pf")
+        for row in theory_rows
+        for name in manager_names
+    ]
+    results = iter(engine.run(tasks))
     rows = []
-    for row in theory_sweep(base, c_values):
-        params = base.with_compaction(row.c)
-        measured = {}
-        for name in manager_names:
-            program = PFProgram(params)
-            result = run_execution(
-                params, program, create_manager(name, params)
-            )
-            measured[name] = result.waste_factor
-        rows.append(
-            SweepRow(
-                c=row.c,
-                theorem1_lower=row.theorem1_lower,
-                bp_lower=row.bp_lower,
-                theorem2_upper=row.theorem2_upper,
-                bp_upper=row.bp_upper,
-                robson_upper=row.robson_upper,
-                measured=measured,
-            )
-        )
+    for row in theory_rows:
+        measured = {name: next(results).waste_factor
+                    for name in manager_names}
+        rows.append(replace(row, measured=measured))
     return rows
 
 

@@ -104,24 +104,17 @@ def _rebuild_program(name: str, params: "BoundParams") -> "AdversaryProgram | No
     (custom programs recorded by library users).  All built-in programs
     are deterministic with their default seeds, which is exactly what
     the recording path uses.
-    """
-    from ..adversary import (
-        CheckerboardProgram,
-        PFProgram,
-        PhasedWorkload,
-        RandomChurnWorkload,
-        RobsonProgram,
-        SawtoothWorkload,
-    )
 
-    factories = {
-        PFProgram.name: PFProgram,
-        RobsonProgram.name: RobsonProgram,
-        CheckerboardProgram.name: CheckerboardProgram,
-        RandomChurnWorkload.name: RandomChurnWorkload,
-        SawtoothWorkload.name: SawtoothWorkload,
-        PhasedWorkload.name: PhasedWorkload,
-    }
+    Manifests record the program's *display* name (``program.name``,
+    e.g. ``"cohen-petrank-PF"``) rather than the catalog short key, so
+    this resolves through the display names of every catalog entry —
+    one registry (:mod:`repro.adversary.catalog`) serves the CLI, the
+    parallel engine and this replayer.
+    """
+    from ..adversary.catalog import PROGRAM_FACTORIES
+
+    factories = {factory.name: factory  # type: ignore[attr-defined]
+                 for factory in PROGRAM_FACTORIES.values()}
     factory = factories.get(name)
     if factory is None:
         return None

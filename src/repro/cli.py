@@ -7,7 +7,12 @@ Commands:
 * ``simulate`` — run one adversary/workload against one manager
   (``--telemetry DIR`` records a manifest/JSONL run);
 * ``experiment`` — run a (program × manager) grid against the bounds
-  (``--telemetry DIR`` records every row);
+  (``--telemetry DIR`` records every row; ``--jobs``/``--cache-dir``
+  fan the grid over worker processes and a result cache);
+* ``sweep`` — measured P_F waste over a ``c`` grid × manager family,
+  parallel/cached, with a BENCH_JSON summary line;
+* ``figures`` — export every figure's CSV plus the simulation sweep
+  into a directory (the scripted form of ``figure``);
 * ``check`` — static analysis of a recorded run: replay the event
   stream through the paper-invariant checkers (``--replay`` also
   re-runs the configuration and compares stream digests);
@@ -28,14 +33,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .adversary import (
-    CheckerboardProgram,
-    PFProgram,
-    PhasedWorkload,
-    RandomChurnWorkload,
-    RobsonProgram,
-    SawtoothWorkload,
-)
+from .adversary.catalog import make_program, program_names
 from .analysis import (
     experiment_table,
     figure1_series,
@@ -61,7 +59,11 @@ from .mm.registry import create_manager, manager_names
 
 __all__ = ["main", "build_parser"]
 
-_PROGRAMS = ("pf", "robson", "checkerboard", "churn", "sawtooth", "phased")
+#: Default ``repro sweep`` grid: figure-3 style c values, all feasible
+#: for P_F at the default M=8192/n=128 simulation scale (c=2 is not:
+#: Stage II needs a density exponent, see theorem1.feasible_exponents).
+_SWEEP_DEFAULT_GRID = (5.0, 10.0, 20.0, 50.0, 100.0)
+_SWEEP_DEFAULT_MANAGERS = ("first-fit", "sliding-compactor", "theorem2")
 
 
 def _params_from(args: argparse.Namespace) -> BoundParams:
@@ -86,20 +88,24 @@ def _add_param_flags(parser: argparse.ArgumentParser, *, default_live: int,
     )
 
 
-def _make_program(name: str, params: BoundParams):
-    if name == "pf":
-        return PFProgram(params)
-    if name == "robson":
-        return RobsonProgram(params)
-    if name == "checkerboard":
-        return CheckerboardProgram(params)
-    if name == "churn":
-        return RandomChurnWorkload(params)
-    if name == "sawtooth":
-        return SawtoothWorkload(params)
-    if name == "phased":
-        return PhasedWorkload(params)
-    raise ValueError(f"unknown program {name!r}")
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache-dir``: the parallel-engine knobs."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation grid (default 1; "
+             "0 = all available cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk result cache; repeated runs reuse finished points",
+    )
+
+
+def _engine_from(args: argparse.Namespace):
+    from .parallel import ParallelEngine, default_jobs
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    return ParallelEngine(jobs=jobs, cache_dir=args.cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the full data table too")
 
     simulate = commands.add_parser("simulate", help="one program vs one manager")
-    simulate.add_argument("--program", choices=_PROGRAMS, default="pf")
+    simulate.add_argument("--program", choices=program_names(), default="pf")
     simulate.add_argument("--manager", default="first-fit",
                           help=f"one of: {', '.join(manager_names())}")
     _add_param_flags(simulate, default_live=8192, default_object=128,
@@ -146,6 +152,39 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--sanitize", action="store_true",
                             help="run the paper-invariant checkers on every "
                                  "row (exit 1 on any violation)")
+    _add_engine_flags(experiment)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="measured P_F waste over a c grid x manager family",
+    )
+    sweep.add_argument("--live", type=int, default=8192,
+                       help="live-space bound M in words (default 8192)")
+    sweep.add_argument("--object", type=int, default=128,
+                       help="largest object n in words (default 128)")
+    sweep.add_argument(
+        "--grid", default=",".join(str(c) for c in _SWEEP_DEFAULT_GRID),
+        metavar="C1,C2,...",
+        help="comma-separated compaction divisors "
+             f"(default {','.join(str(c) for c in _SWEEP_DEFAULT_GRID)})",
+    )
+    sweep.add_argument(
+        "--managers", default=",".join(_SWEEP_DEFAULT_MANAGERS),
+        metavar="NAME,...",
+        help="comma-separated manager names "
+             f"(default {','.join(_SWEEP_DEFAULT_MANAGERS)})",
+    )
+    sweep.add_argument("--csv", metavar="PATH", default=None,
+                       help="also write the sweep as CSV to PATH")
+    _add_engine_flags(sweep)
+
+    figures = commands.add_parser(
+        "figures",
+        help="export figure CSVs + the simulation sweep into a directory",
+    )
+    figures.add_argument("--outdir", default="figures",
+                         help="output directory (default ./figures)")
+    _add_engine_flags(figures)
 
     check = commands.add_parser(
         "check",
@@ -230,7 +269,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .adversary.driver import ExecutionDriver
 
     params = _params_from(args)
-    program = _make_program(args.program, params)
+    program = make_program(args.program, params)
     manager = create_manager(args.manager, params)
     sanitizer = None
     if args.sanitize:
@@ -345,22 +384,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .check import InvariantViolationError
 
+    from .parallel import default_jobs
+
     params = _params_from(args)
     telemetry_dir = args.telemetry
     sanitize = args.sanitize
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    engine_kwargs = {"jobs": jobs, "cache_dir": args.cache_dir}
     try:
         if args.which == "robson":
             rows = robson_experiment(params.with_compaction(None),
                                      telemetry_dir=telemetry_dir,
-                                     sanitize=sanitize)
+                                     sanitize=sanitize, **engine_kwargs)
             bad = [r for r in rows if not r.respects_lower_bound]
         elif args.which == "pf":
             rows = pf_experiment(params, telemetry_dir=telemetry_dir,
-                                 sanitize=sanitize)
+                                 sanitize=sanitize, **engine_kwargs)
             bad = [r for r in rows if not r.respects_lower_bound]
         else:
             rows = upper_bound_experiment(params, telemetry_dir=telemetry_dir,
-                                          sanitize=sanitize)
+                                          sanitize=sanitize, **engine_kwargs)
             bad = [r for r in rows if not r.respects_upper_bound]
     except InvariantViolationError as error:
         print("SANITIZER VIOLATIONS:", file=sys.stderr)
@@ -375,6 +418,83 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(" ", row.result.summary())
         return 1
     print("\nall rows respect the bound")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.sweep import simulation_sweep, sweep_to_csv
+
+    try:
+        c_values = tuple(float(c) for c in args.grid.split(",") if c)
+    except ValueError:
+        print(f"error: bad --grid {args.grid!r} (want C1,C2,...)",
+              file=sys.stderr)
+        return 2
+    managers = tuple(name for name in args.managers.split(",") if name)
+    known = set(manager_names())
+    unknown = [name for name in managers if name not in known]
+    if not c_values or not managers or unknown:
+        detail = (f"unknown managers: {', '.join(unknown)}" if unknown
+                  else "empty --grid or --managers")
+        print(f"error: {detail}", file=sys.stderr)
+        return 2
+    base = BoundParams(args.live, args.object)
+    engine = _engine_from(args)
+    rows = simulation_sweep(base, c_values, managers, engine=engine)
+    csv_text = sweep_to_csv(rows, managers)
+    if args.csv:
+        from pathlib import Path
+
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(csv_text + "\n", encoding="utf-8")
+        print(f"wrote {path} ({len(rows)} rows)")
+    else:
+        print(csv_text)
+    stats = engine.stats.as_dict()
+    print("BENCH_JSON " + json.dumps({
+        "name": "repro_sweep",
+        "params": {
+            "live": args.live, "object": args.object,
+            "grid": list(c_values), "managers": list(managers),
+        },
+        "wall_s": stats["wall_seconds"],
+        "results": stats,
+    }, sort_keys=True))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import to_csv
+    from .analysis.sweep import simulation_sweep, sweep_to_csv
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, series in (
+        ("figure1", figure1_series()),
+        ("figure2", figure2_series()),
+        ("figure3", figure3_series()),
+    ):
+        path = outdir / f"{name}.csv"
+        path.write_text(to_csv(series.header(), series.rows()) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path} ({len(series.x_values)} rows)")
+    managers = _SWEEP_DEFAULT_MANAGERS
+    engine = _engine_from(args)
+    rows = simulation_sweep(
+        BoundParams(8192, 128), (10.0, 20.0, 50.0, 100.0), managers,
+        engine=engine,
+    )
+    path = outdir / "simulation_sweep.csv"
+    path.write_text(sweep_to_csv(rows, managers) + "\n", encoding="utf-8")
+    stats = engine.stats
+    print(f"wrote {path} ({len(rows)} rows; managers: {', '.join(managers)})")
+    print(f"sweep: {stats.executed} simulated, {stats.cache_hits} cached, "
+          f"jobs={stats.jobs}, {stats.wall_seconds:.2f}s")
     return 0
 
 
@@ -424,6 +544,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
         if args.command == "check":
             return _cmd_check(args)
         if args.command == "report":
@@ -447,7 +571,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("\n".join(manager_names()))
             return 0
         if args.command == "programs":
-            print("\n".join(_PROGRAMS))
+            print("\n".join(program_names()))
             return 0
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -17,6 +17,22 @@ Complexities are ``O(log k)`` for queries and ``O(k)`` worst case for
 mutations (list insertion), where ``k`` is the number of maximal
 intervals — small in practice because live heaps are mostly coalesced
 runs.
+
+**The max-gap hint.**  The set maintains :attr:`IntervalSet.max_gap_hint`,
+an upper bound on the size of the largest *internal* gap (an uncovered
+run inside ``[0, span_end)``), updated in ``O(1)`` on every mutation:
+
+* ``add`` can only shrink existing gaps, except when it appends past the
+  old span end — which turns the old tail into one new gap of known size;
+* ``remove`` grows exactly one gap, whose post-coalesce extent is
+  computable from the two neighbouring intervals;
+* a full-span :meth:`find_best_gap` scan re-tightens the hint to the
+  exact maximum.
+
+The gap searches bail out in ``O(1)`` whenever the requested size
+exceeds the hint — the allocator hot path under adversarial churn,
+where most oversized requests previously paid a full scan from
+address 0 just to learn that nothing fits.
 """
 
 from __future__ import annotations
@@ -30,11 +46,14 @@ __all__ = ["IntervalSet"]
 class IntervalSet:
     """Mutable set of disjoint half-open intervals of non-negative ints."""
 
-    __slots__ = ("_starts", "_ends")
+    __slots__ = ("_starts", "_ends", "_max_gap_hint")
 
     def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
         self._starts: list[int] = []
         self._ends: list[int] = []
+        # Upper bound on the largest internal gap; exact after a
+        # full-span find_best_gap scan.  See the module docstring.
+        self._max_gap_hint: int = 0
         for start, end in intervals:
             self.add(start, end)
 
@@ -72,6 +91,18 @@ class IntervalSet:
     def span_end(self) -> int:
         """One past the highest covered word (0 when empty)."""
         return self._ends[-1] if self._ends else 0
+
+    @property
+    def max_gap_hint(self) -> int:
+        """An upper bound on the largest internal gap size.
+
+        Maintained in ``O(1)`` across mutations and re-tightened to the
+        exact maximum by every full-span :meth:`find_best_gap` scan.
+        Safe to use only in the "nothing fits" direction: ``size >
+        max_gap_hint`` guarantees no internal gap holds ``size`` words;
+        the converse promises nothing.
+        """
+        return self._max_gap_hint
 
     def overlaps(self, start: int, end: int) -> bool:
         """Whether ``[start, end)`` intersects any interval."""
@@ -135,7 +166,13 @@ class IntervalSet:
         """
         if size <= 0:
             raise ValueError("size must be positive")
-        limit = self.span_end if end is None else end
+        span = self.span_end
+        limit = span if end is None else end
+        if size > self._max_gap_hint and limit <= span:
+            # Every gap of [start, limit) is inside an internal gap, and
+            # no internal gap holds `size` words.  (limit > span would
+            # expose the tail, which the hint does not cover.)
+            return None
         starts, ends = self._starts, self._ends
         count = len(starts)
         index = max(0, bisect.bisect_right(starts, start) - 1)
@@ -170,13 +207,19 @@ class IntervalSet:
 
         Returns the aligned address inside the smallest gap of ``[0,
         end)`` that fits ``size`` (``None`` when nothing fits) plus the
-        largest gap size seen, which callers cache as a fast-path hint
-        (gaps only shrink between frees).  Single tight pass — this is a
-        hot path under the adversarial workloads.
+        largest gap size seen — or, when the maintained
+        :attr:`max_gap_hint` already proves nothing fits, ``(None,
+        hint)`` in ``O(1)`` without scanning at all (the second element
+        is then an upper bound rather than an exact maximum, which is
+        the only direction callers use it in).  A completed full-span
+        scan re-tightens the hint to the exact maximum.
         """
         if size <= 0:
             raise ValueError("size must be positive")
-        limit = self.span_end if end is None else end
+        span = self.span_end
+        limit = span if end is None else end
+        if size > self._max_gap_hint and limit <= span:
+            return None, self._max_gap_hint
         starts, ends = self._starts, self._ends
         count = len(starts)
         best_address: int | None = None
@@ -207,6 +250,9 @@ class IntervalSet:
                 break
             cursor = ends[index]
             index += 1
+        if limit == span:
+            # A full-span scan saw every internal gap: the hint is exact.
+            self._max_gap_hint = largest
         return best_address, largest
 
     # Mutations ------------------------------------------------------------
@@ -218,6 +264,14 @@ class IntervalSet:
             return
         if self.overlaps(start, end):
             raise ValueError(f"[{start}, {end}) overlaps existing intervals")
+        old_span = self._ends[-1] if self._ends else 0
+        if start > old_span:
+            # Appending past the old span turns the old tail into a new
+            # internal gap [old_span, start); everything else is
+            # untouched.  Insertions at or below old_span only consume
+            # gap space, so the hint stays a valid upper bound.
+            if start - old_span > self._max_gap_hint:
+                self._max_gap_hint = start - old_span
         index = bisect.bisect_left(self._starts, start)
         # Coalesce with the predecessor when adjacent.
         merged_left = index > 0 and self._ends[index - 1] == start
@@ -254,17 +308,40 @@ class IntervalSet:
             self._ends[index] = start
             self._starts.insert(index + 1, end)
             self._ends.insert(index + 1, e)
+        self._grow_hint_after_remove(start)
+
+    def _grow_hint_after_remove(self, point: int) -> None:
+        """Re-cover the hint after a removal freed words at ``point``.
+
+        Exactly one gap grew: the one now containing ``point``.  Its
+        post-coalesce extent runs from the predecessor interval's end
+        (or 0) to the successor's start; with no successor the freed
+        words joined the tail, which is not an internal gap.
+        """
+        starts = self._starts
+        if not starts:
+            self._max_gap_hint = 0
+            return
+        index = bisect.bisect_right(starts, point) - 1
+        left = self._ends[index] if index >= 0 else 0
+        right_index = index + 1
+        if right_index < len(starts):
+            gap = starts[right_index] - left
+            if gap > self._max_gap_hint:
+                self._max_gap_hint = gap
 
     def clear(self) -> None:
         """Remove every interval."""
         self._starts.clear()
         self._ends.clear()
+        self._max_gap_hint = 0
 
     def copy(self) -> "IntervalSet":
         """An independent copy."""
         clone = IntervalSet()
         clone._starts = list(self._starts)
         clone._ends = list(self._ends)
+        clone._max_gap_hint = self._max_gap_hint
         return clone
 
     # Internal ---------------------------------------------------------------
@@ -282,3 +359,9 @@ class IntervalSet:
             assert s < e, f"empty or inverted interval [{s}, {e})"
             assert s > previous_end, "intervals must be disjoint, sorted, non-adjacent"
             previous_end = e
+        exact = max((s - e for s, e in zip(self._starts, [0] + self._ends[:-1])),
+                    default=0)
+        assert self._max_gap_hint >= exact, (
+            f"max_gap_hint {self._max_gap_hint} underestimates the true "
+            f"largest gap {exact}"
+        )

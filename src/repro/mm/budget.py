@@ -134,7 +134,7 @@ class CompactionBudget:
         if words <= 0:
             raise ValueError("allocation size must be positive")
         self._allocated += words
-        if self.observer is not None:
+        if self.observer is not None and self.observer.has_sinks:
             self._emit_charge("alloc", words)
 
     # Spending ----------------------------------------------------------------
@@ -186,7 +186,7 @@ class CompactionBudget:
                 f"allocated={self._allocated}, c={self._divisor}"
             )
         self._moved += words
-        if self.observer is not None:
+        if self.observer is not None and self.observer.has_sinks:
             self._emit_charge("move", words)
 
     def snapshot(self) -> BudgetSnapshot:
@@ -264,7 +264,7 @@ class AbsoluteBudget:
         if words <= 0:
             raise ValueError("allocation size must be positive")
         self._allocated += words
-        if self.observer is not None:
+        if self.observer is not None and self.observer.has_sinks:
             self.observer.emit(BudgetCharge(
                 reason="alloc", words=words, remaining=self.remaining,
             ))
@@ -283,7 +283,7 @@ class AbsoluteBudget:
                 f"moved={self._moved}, limit={self._limit}"
             )
         self._moved += words
-        if self.observer is not None:
+        if self.observer is not None and self.observer.has_sinks:
             self.observer.emit(BudgetCharge(
                 reason="move", words=words, remaining=self.remaining,
             ))

@@ -86,9 +86,11 @@ class NextFitManager(MemoryManager):
 class BestFitManager(MemoryManager):
     """Smallest-gap fit (minimizes leftover slivers per placement).
 
-    Caches the largest gap seen on each full scan: between frees, gaps
-    only shrink, so a request larger than the cached maximum can go
-    straight to the heap tail without scanning.
+    Oversized requests short-circuit straight to the heap tail via the
+    :class:`~repro.heap.intervals.IntervalSet` maintained max-gap hint,
+    which — unlike the per-manager cache this class used to keep —
+    survives frees (the interval index updates it in O(1) per mutation
+    instead of invalidating).
     """
 
     name = "best-fit"
@@ -98,24 +100,16 @@ class BestFitManager(MemoryManager):
         self.aligned = aligned
         if aligned:
             self.name = "best-fit-aligned"
-        self._largest_gap_hint: int | None = None
 
     def place(self, size: int) -> int:
         alignment = next_power_of_two(size) if self.aligned else 1
         span_end = self.heap.occupied.span_end
-        hint = self._largest_gap_hint
-        if hint is not None and size > hint:
-            return align_up(span_end, alignment)
-        address, largest = self.heap.occupied.find_best_gap(
+        address, _ = self.heap.occupied.find_best_gap(
             size, alignment=alignment, end=span_end
         )
-        self._largest_gap_hint = largest
         if address is not None:
             return address
         return align_up(span_end, alignment)
-
-    def on_free(self, obj: HeapObject) -> None:
-        self._largest_gap_hint = None
 
 
 class WorstFitManager(MemoryManager):

@@ -17,12 +17,15 @@ at emission, giving every subscriber a shared monotone clock regardless
 of which component produced the event.
 
 **Null-sink fast path.** Instrumentation call sites hold an
-``EventBus | None`` and guard every emission with ``if bus is not
-None:`` — an uninstrumented run pays one pointer comparison per
-operation and never constructs an event object.  With a bus attached but
-no subscribers, :meth:`EventBus.emit` is a counter increment plus an
-empty loop.  This is what keeps the hot path within the repo's
-throughput budget (see ``tools/check_overhead.py``).
+``EventBus | None`` and guard every emission with ``if bus is not None
+and bus.has_sinks:`` — an uninstrumented run pays one pointer
+comparison per operation, a run with a bus but no subscribers pays one
+extra truthiness check, and *neither constructs an event object*.
+Call sites that cannot hoist the guard can use :meth:`EventBus.emit_lazy`
+with a zero-arg factory instead.  This is what keeps the hot path
+within the repo's throughput budget (see ``tools/check_overhead.py``
+and ``benchmarks/bench_sanitizer_overhead.py``, which tracks the
+no-sink ratio).
 """
 
 from __future__ import annotations
@@ -206,6 +209,18 @@ class EventBus:
         """Number of current subscribers."""
         return len(self._sinks)
 
+    @property
+    def has_sinks(self) -> bool:
+        """Whether anyone is listening.
+
+        Hot loops guard event construction on this so a subscriber-less
+        bus costs one attribute check per operation and zero
+        allocations.  Events skipped this way are never emitted at all:
+        they advance neither ``seq`` nor :attr:`event_count` (nobody
+        observed them, so there is nothing to order).
+        """
+        return bool(self._sinks)
+
     def subscribe(self, sink: EventSink) -> EventSink:
         """Add a subscriber; returns it (handy for inline lambdas)."""
         self._sinks.append(sink)
@@ -221,3 +236,13 @@ class EventBus:
         self._count += 1
         for sink in self._sinks:
             sink(event)
+
+    def emit_lazy(self, factory: Callable[[], TelemetryEvent]) -> None:
+        """Emit ``factory()`` only if someone is subscribed.
+
+        The zero-allocation form for call sites that cannot hoist a
+        ``has_sinks`` guard: with no subscribers the factory is never
+        invoked and no event object exists.
+        """
+        if self._sinks:
+            self.emit(factory())

@@ -1,0 +1,274 @@
+"""Task specifications and the worker entry point.
+
+A :class:`SimTask` is the picklable, JSON-able description of one grid
+point: parameters, manager name, program short name (see
+:mod:`repro.adversary.catalog`) and program options.  Workers receive
+tasks — never live objects — rebuild the configuration from the
+registries, run it with a private :class:`~repro.obs.events.EventBus`,
+and ship back a :class:`TaskResult`: every scalar the analysis layer
+needs plus the canonical event-stream digest that anchors
+serial-vs-parallel equivalence (see
+:func:`repro.check.determinism.event_stream_digest`).
+
+:func:`run_task` is the one function executed in worker processes; it
+must stay importable at module top level so the process pool can pickle
+references to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..adversary.catalog import make_program
+from ..adversary.driver import ExecutionResult, run_execution
+from ..check.determinism import canonical_event_bytes
+from ..core.params import BoundParams
+from ..heap.metrics import HeapMetrics
+from ..mm.budget import BudgetSnapshot
+from ..mm.registry import create_manager
+from ..obs.events import EventBus, TelemetryEvent
+
+__all__ = ["SimTask", "TaskResult", "StreamDigest", "run_task"]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent, deterministic simulation to run.
+
+    ``program_options`` is a sorted tuple of ``(name, value)`` pairs
+    passed to the program factory (e.g. ``density_exponent``); values
+    must be JSON-serializable scalars so the task can be hashed into a
+    cache key and rebuilt bit-identically in a worker.
+    """
+
+    live_space: int
+    max_object: int
+    compaction_divisor: float | None
+    manager: str
+    program: str
+    program_options: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def build(cls, params: BoundParams, manager: str, program: str,
+              **options: Any) -> "SimTask":
+        """The convenient constructor: params object + keyword options."""
+        return cls(
+            live_space=params.live_space,
+            max_object=params.max_object,
+            compaction_divisor=params.compaction_divisor,
+            manager=manager,
+            program=program,
+            program_options=tuple(sorted(options.items())),
+        )
+
+    @property
+    def params(self) -> BoundParams:
+        """The task's :class:`~repro.core.params.BoundParams`."""
+        return BoundParams(self.live_space, self.max_object,
+                           self.compaction_divisor)
+
+    def options_dict(self) -> dict[str, Any]:
+        """``program_options`` as a keyword dict."""
+        return dict(self.program_options)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding (tuples become lists)."""
+        record = asdict(self)
+        record["program_options"] = [list(pair)
+                                     for pair in self.program_options]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "SimTask":
+        """Inverse of :meth:`to_dict`."""
+        divisor = record["compaction_divisor"]
+        return cls(
+            live_space=int(record["live_space"]),
+            max_object=int(record["max_object"]),
+            compaction_divisor=float(divisor) if divisor is not None else None,
+            manager=str(record["manager"]),
+            program=str(record["program"]),
+            program_options=tuple(
+                (str(name), value)
+                for name, value in record.get("program_options", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Everything a grid cell produces, in picklable/JSON-able form.
+
+    Carries the full scalar surface of
+    :class:`~repro.adversary.driver.ExecutionResult` (plus the budget
+    snapshot and heap metrics as plain dicts) so cache hits can
+    reconstruct a faithful result object without re-running anything,
+    and the canonical ``event_digest`` so byte-identical behaviour
+    across ``--jobs`` values is checkable.
+    """
+
+    task: SimTask
+    program_name: str
+    manager_name: str
+    heap_size: int
+    live_peak: int
+    total_allocated: int
+    total_freed: int
+    total_moved: int
+    allocation_count: int
+    free_count: int
+    move_count: int
+    budget: dict
+    metrics: dict
+    event_digest: str
+    event_count: int
+    wall_seconds: float = field(compare=False)
+    from_cache: bool = field(default=False, compare=False)
+
+    @property
+    def waste_factor(self) -> float:
+        """``HS / M`` — the paper's figure of merit."""
+        return self.heap_size / self.task.live_space
+
+    def to_execution_result(self) -> ExecutionResult:
+        """Rebuild a faithful :class:`ExecutionResult` (trace-less)."""
+        return ExecutionResult(
+            params=self.task.params,
+            program_name=self.program_name,
+            manager_name=self.manager_name,
+            heap_size=self.heap_size,
+            live_peak=self.live_peak,
+            total_allocated=self.total_allocated,
+            total_freed=self.total_freed,
+            total_moved=self.total_moved,
+            allocation_count=self.allocation_count,
+            free_count=self.free_count,
+            move_count=self.move_count,
+            budget=BudgetSnapshot(**self.budget),
+            metrics=HeapMetrics(**self.metrics),
+            trace=None,
+            wall_seconds=self.wall_seconds,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding (cache ``result.json`` schema)."""
+        record = asdict(self)
+        record["task"] = self.task.to_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TaskResult":
+        """Inverse of :meth:`to_dict`; always marks the result cached."""
+        return cls(
+            task=SimTask.from_dict(record["task"]),
+            program_name=str(record["program_name"]),
+            manager_name=str(record["manager_name"]),
+            heap_size=int(record["heap_size"]),
+            live_peak=int(record["live_peak"]),
+            total_allocated=int(record["total_allocated"]),
+            total_freed=int(record["total_freed"]),
+            total_moved=int(record["total_moved"]),
+            allocation_count=int(record["allocation_count"]),
+            free_count=int(record["free_count"]),
+            move_count=int(record["move_count"]),
+            budget=dict(record["budget"]),
+            metrics=dict(record["metrics"]),
+            event_digest=str(record["event_digest"]),
+            event_count=int(record["event_count"]),
+            wall_seconds=float(record["wall_seconds"]),
+            from_cache=True,
+        )
+
+
+class StreamDigest:
+    """Bus sink computing the canonical stream digest incrementally."""
+
+    def __init__(self) -> None:
+        self._hasher = hashlib.sha256()
+        self.count = 0
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        """Deliver one event (the bus-subscriber interface)."""
+        self._hasher.update(canonical_event_bytes(event))
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        """The digest over everything fed so far."""
+        return self._hasher.hexdigest()
+
+
+def _result_from_execution(task: SimTask, result: ExecutionResult,
+                           digest: StreamDigest) -> TaskResult:
+    return TaskResult(
+        task=task,
+        program_name=result.program_name,
+        manager_name=result.manager_name,
+        heap_size=result.heap_size,
+        live_peak=result.live_peak,
+        total_allocated=result.total_allocated,
+        total_freed=result.total_freed,
+        total_moved=result.total_moved,
+        allocation_count=result.allocation_count,
+        free_count=result.free_count,
+        move_count=result.move_count,
+        budget=asdict(result.budget),
+        metrics=asdict(result.metrics),
+        event_digest=digest.hexdigest(),
+        event_count=digest.count,
+        wall_seconds=result.wall_seconds,
+    )
+
+
+def run_task(task: SimTask, record_root: str | None = None) -> TaskResult:
+    """Execute one task; the worker-process entry point.
+
+    Every run gets its own :class:`~repro.obs.events.EventBus` with a
+    digest sink, so the canonical event digest is computed whether or
+    not the run is archived.  With ``record_root`` set, the run is
+    additionally persisted as a standard ``repro check``-able run
+    directory under ``<record_root>/<cache key>/`` (manifest.json +
+    events.jsonl) plus a ``result.json`` the cache reads back — written
+    last, so a directory with ``result.json`` is always complete.
+    """
+    params = task.params
+    program = make_program(task.program, params, **task.options_dict())
+    manager = create_manager(task.manager, params)
+    digest = StreamDigest()
+
+    if record_root is None:
+        bus = EventBus()
+        bus.subscribe(digest)
+        if hasattr(program, "bus"):
+            program.bus = bus
+        result = run_execution(params, program, manager, observer=bus)
+        return _result_from_execution(task, result, digest)
+
+    from .cache import RESULT_FILENAME, task_digest  # local: avoid cycle
+    from ..obs.telemetry import run_recorded
+
+    key = task_digest(task)
+    target = Path(record_root) / key
+    result = run_recorded(
+        params, program, manager, target,
+        extra_config={"task": task.to_dict(), "cache_key": key},
+        extra_sinks=[digest],
+    )
+    task_result = _result_from_execution(task, result, digest)
+    payload = task_result.to_dict()
+    payload["cache_key"] = key
+    _write_json_atomic(target / RESULT_FILENAME, payload)
+    return task_result
+
+
+def _write_json_atomic(path: Path, payload: dict[str, Any]) -> None:
+    """Write JSON via a same-directory temp file + rename."""
+    import json
+    import os
+
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)

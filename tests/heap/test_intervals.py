@@ -240,3 +240,116 @@ class TestModelBased:
                 expected = candidate
                 break
         assert real.find_first_gap(size, alignment=alignment, end=limit) == expected
+
+
+def _apply_ops(ops):
+    """Build (IntervalSet, word-set model) from an op sequence."""
+    real = IntervalSet()
+    model: set[int] = set()
+    for kind, start, end in ops:
+        words = set(range(start, end))
+        if kind == "add" and not (words & model):
+            real.add(start, end)
+            model |= words
+        elif kind == "remove" and words <= model:
+            real.remove(start, end)
+            model -= words
+    return real, model
+
+
+def _naive_gaps(model, limit):
+    """The uncovered maximal runs of [0, limit) of a word-set model."""
+    gaps, cursor = [], None
+    for word in range(limit):
+        if word in model:
+            if cursor is not None:
+                gaps.append((cursor, word))
+                cursor = None
+        elif cursor is None:
+            cursor = word
+    if cursor is not None:
+        gaps.append((cursor, limit))
+    return gaps
+
+
+class TestMaxGapHint:
+    """The O(1)-maintained hint vs a naive reference.
+
+    The hint is an *upper bound* on the largest internal gap, so the
+    only safe inference is "size > hint => nothing fits" — these tests
+    pin both the bound itself (never an underestimate, across add
+    coalesce/append and remove split/shrink paths) and the query
+    results it gates (always identical to a naive full scan, including
+    when the early bail-out fires).
+    """
+
+    @given(operations())
+    @settings(max_examples=200)
+    def test_hint_never_underestimates(self, ops):
+        real, model = _apply_ops(ops)
+        internal = _naive_gaps(model, real.span_end)
+        exact = max((e - s for s, e in internal), default=0)
+        assert real.max_gap_hint >= exact
+        real.check_invariants()
+
+    @given(operations(), st.integers(1, 14), st.integers(1, 4))
+    @settings(max_examples=200)
+    def test_queries_within_span_match_naive(self, ops, size, alignment):
+        """The bail-out path (end <= span) returns exactly what a scan would."""
+        real, model = _apply_ops(ops)
+        limit = real.span_end
+        expected = None
+        for candidate in range(0, max(limit - size + 1, 0), alignment):
+            if not any(w in model for w in range(candidate, candidate + size)):
+                expected = candidate
+                break
+        assert (real.find_first_gap(size, alignment=alignment, end=limit)
+                == expected)
+        fitting = [(s, e) for s, e in _naive_gaps(model, limit)
+                   if e - s >= size]
+        address, _ = real.find_best_gap(size, end=limit)
+        if not fitting:
+            assert address is None
+        else:
+            # Smallest fitting gap, lowest address on ties; alignment=1
+            # means the gap start itself is the placement.
+            best = min(fitting, key=lambda g: (g[1] - g[0], g[0]))
+            assert address == best[0]
+
+    @given(operations())
+    @settings(max_examples=150)
+    def test_full_scan_retightens_to_exact(self, ops):
+        real, model = _apply_ops(ops)
+        internal = _naive_gaps(model, real.span_end)
+        exact = max((e - s for s, e in internal), default=0)
+        _, largest = real.find_best_gap(1)  # size 1: never bails when gaps exist
+        if exact:
+            assert largest == exact
+            assert real.max_gap_hint == exact
+        else:
+            assert real.max_gap_hint >= largest == 0 or largest == exact
+
+    @given(operations())
+    @settings(max_examples=100)
+    def test_copy_and_clear_carry_the_hint(self, ops):
+        real, _ = _apply_ops(ops)
+        clone = real.copy()
+        assert clone.max_gap_hint == real.max_gap_hint
+        clone.check_invariants()
+        clone.clear()
+        assert clone.max_gap_hint == 0
+        assert real.max_gap_hint >= 0  # original untouched
+
+    def test_remove_split_grows_hint(self):
+        s = IntervalSet([(0, 10)])
+        assert s.max_gap_hint == 0
+        s.remove(3, 7)  # splits into [0,3) + [7,10): internal gap of 4
+        assert s.max_gap_hint >= 4
+        assert s.find_first_gap(4, end=10) == 3
+        assert s.find_first_gap(5, end=10) is None  # via the bail-out
+
+    def test_append_past_span_grows_hint(self):
+        s = IntervalSet([(0, 4)])
+        s.add(10, 12)  # the old tail [4,10) becomes an internal gap
+        assert s.max_gap_hint >= 6
+        assert s.find_first_gap(6, end=12) == 4

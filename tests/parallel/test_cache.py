@@ -1,0 +1,83 @@
+"""Cache-key semantics: stability, invalidation, collision safety."""
+
+import json
+
+import pytest
+
+from repro.core.params import BoundParams
+from repro.parallel import ResultCache, SimTask, run_task, task_digest
+from repro.parallel.cache import RESULT_FILENAME
+
+PARAMS = BoundParams(2048, 32, 8.0)
+
+
+def _task(**overrides):
+    spec = dict(params=PARAMS, manager="first-fit", program="pf")
+    spec.update(overrides)
+    return SimTask.build(spec.pop("params"), spec.pop("manager"),
+                         spec.pop("program"), **spec)
+
+
+class TestTaskDigest:
+    def test_stable_across_instances(self):
+        assert task_digest(_task()) == task_digest(_task())
+
+    def test_every_field_is_load_bearing(self):
+        base = task_digest(_task())
+        assert task_digest(_task(manager="best-fit")) != base
+        assert task_digest(_task(program="robson")) != base
+        assert task_digest(_task(params=BoundParams(4096, 32, 8.0))) != base
+        assert task_digest(_task(params=BoundParams(2048, 64, 8.0))) != base
+        assert task_digest(_task(params=BoundParams(2048, 32, 4.0))) != base
+        assert task_digest(_task(density_exponent=3)) != base
+
+    def test_code_version_invalidates(self):
+        task = _task()
+        assert (task_digest(task, code_version="0.1+cache1")
+                != task_digest(task, code_version="0.2+cache1"))
+
+    def test_roundtrips_through_dict(self):
+        task = _task(density_exponent=3)
+        clone = SimTask.from_dict(json.loads(json.dumps(task.to_dict())))
+        assert clone == task
+        assert task_digest(clone) == task_digest(task)
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, tmp_path):
+        assert ResultCache(tmp_path).get(_task()) is None
+
+    def test_hit_after_recorded_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executed = run_task(_task(), record_root=str(tmp_path))
+        hit = cache.get(_task())
+        assert hit is not None
+        assert hit.from_cache
+        assert hit == executed  # wall_seconds/from_cache excluded
+
+    def test_incomplete_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_task(_task(), record_root=str(tmp_path))
+        (cache.entry_dir(_task()) / RESULT_FILENAME).unlink()
+        assert cache.get(_task()) is None
+
+    def test_task_mismatch_is_a_miss(self, tmp_path):
+        # A result stored under the wrong key (collision / tampering)
+        # must not be returned for the colliding task.
+        cache = ResultCache(tmp_path)
+        run_task(_task(), record_root=str(tmp_path))
+        other = _task(manager="best-fit")
+        wrong_dir = cache.entry_dir(other)
+        wrong_dir.mkdir()
+        source = cache.entry_dir(_task()) / RESULT_FILENAME
+        (wrong_dir / RESULT_FILENAME).write_text(source.read_text())
+        assert cache.get(other) is None
+
+    def test_execution_count_starts_at_zero(self, tmp_path):
+        assert ResultCache(tmp_path).execution_count() == 0
+
+
+class TestUnknownProgram:
+    def test_run_task_rejects_unknown_program(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            run_task(SimTask.build(PARAMS, "first-fit", "nonesuch"))

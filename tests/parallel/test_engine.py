@@ -1,0 +1,128 @@
+"""Serial/parallel equivalence and cache behaviour of the engine.
+
+The load-bearing property: the *same grid* run at any ``--jobs`` value,
+cold or warm cache, produces byte-identical results — anchored by the
+canonical event digest every task computes.
+"""
+
+import pytest
+
+from repro.analysis.sweep import simulation_sweep, sweep_to_csv
+from repro.core.params import BoundParams
+from repro.parallel import ParallelEngine, ResultCache, SimTask, run_task
+
+#: Small enough that a 12-task grid finishes in seconds even serially.
+BASE = BoundParams(live_space=2048, max_object=32)
+GRID = (5.0, 10.0)
+MANAGERS = ("first-fit", "best-fit")
+
+
+def _tasks():
+    return [
+        SimTask.build(BASE.with_compaction(c), manager, "pf")
+        for c in GRID
+        for manager in MANAGERS
+    ]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_matches_serial(self, jobs):
+        serial = ParallelEngine(jobs=1).run(_tasks())
+        parallel = ParallelEngine(jobs=jobs).run(_tasks())
+        # TaskResult equality covers every scalar plus the event digest
+        # (wall_seconds/from_cache are compare=False).
+        assert serial == parallel
+        assert [r.event_digest for r in serial] == \
+               [r.event_digest for r in parallel]
+
+    def test_sweep_rows_and_csv_identical_across_jobs(self):
+        by_jobs = {
+            jobs: simulation_sweep(BASE, GRID, MANAGERS, jobs=jobs)
+            for jobs in (1, 2, 4)
+        }
+        assert by_jobs[1] == by_jobs[2] == by_jobs[4]
+        csvs = {sweep_to_csv(rows, MANAGERS) for rows in by_jobs.values()}
+        assert len(csvs) == 1
+
+    def test_grid_digest_identical_across_jobs(self):
+        digests = set()
+        for jobs in (1, 2):
+            engine = ParallelEngine(jobs=jobs)
+            engine.run(_tasks())
+            digests.add(engine.stats.grid_digest)
+        assert len(digests) == 1
+        assert digests.pop()  # non-empty
+
+
+class TestCache:
+    def test_cold_run_executes_everything(self, tmp_path):
+        engine = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        results = engine.run(_tasks())
+        assert engine.stats.executed == len(results) == 4
+        assert engine.stats.cache_hits == 0
+        assert all(not r.from_cache for r in results)
+        # The execution manifest counts exactly the simulations run.
+        assert ResultCache(tmp_path).execution_count() == 4
+
+    def test_warm_run_executes_nothing(self, tmp_path):
+        cold_engine = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        cold = cold_engine.run(_tasks())
+        warm_engine = ParallelEngine(jobs=2, cache_dir=tmp_path)
+        warm = warm_engine.run(_tasks())
+        assert warm_engine.stats.executed == 0
+        assert warm_engine.stats.cache_hits == len(cold)
+        assert all(r.from_cache for r in warm)
+        assert cold == warm
+        assert cold_engine.stats.grid_digest == warm_engine.stats.grid_digest
+        # No new manifest lines: the warm run did zero simulations.
+        assert ResultCache(tmp_path).execution_count() == len(cold)
+
+    def test_partial_hit_executes_only_the_new_points(self, tmp_path):
+        ParallelEngine(jobs=1, cache_dir=tmp_path).run(_tasks()[:2])
+        engine = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        engine.run(_tasks())
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.executed == 2
+        assert ResultCache(tmp_path).execution_count() == 4
+
+    def test_cached_results_match_uncached(self, tmp_path):
+        uncached = ParallelEngine(jobs=1).run(_tasks())
+        ParallelEngine(jobs=1, cache_dir=tmp_path).run(_tasks())
+        cached = ParallelEngine(jobs=1, cache_dir=tmp_path).run(_tasks())
+        assert uncached == cached
+
+    def test_cache_entries_pass_repro_check(self, tmp_path):
+        from repro.check import check_run_directory
+
+        engine = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        engine.run(_tasks()[:2])
+        entries = engine.cache.entry_dirs()
+        assert len(entries) == 2
+        for entry in entries:
+            report = check_run_directory(entry)
+            assert report.ok, report.describe()
+
+
+class TestEngineBasics:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(jobs=0)
+
+    def test_empty_grid(self):
+        engine = ParallelEngine(jobs=2)
+        assert engine.run([]) == []
+        assert engine.stats.total == 0
+
+    def test_run_task_digest_matches_recorded_manifest(self, tmp_path):
+        # The digest computed on the fly equals the one a recorded run
+        # stores in its manifest — same canonical byte stream.
+        import json
+
+        task = _tasks()[0]
+        plain = run_task(task)
+        recorded = run_task(task, record_root=str(tmp_path))
+        assert plain.event_digest == recorded.event_digest
+        entry = next(p for p in tmp_path.iterdir() if p.is_dir())
+        manifest = json.loads((entry / "manifest.json").read_text())
+        assert manifest["event_digest"] == plain.event_digest

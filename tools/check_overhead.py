@@ -1,16 +1,19 @@
 #!/usr/bin/env python
 """Telemetry and sanitizer overhead smoke check.
 
-Runs the same P_F execution three ways — uninstrumented (the null-sink
-fast path: ``observer=None`` everywhere), with a full
+Runs the same P_F execution four ways — uninstrumented (``observer=None``
+everywhere), with an :class:`repro.obs.events.EventBus` attached but
+*zero* subscribers (the ``has_sinks`` lazy-construction fast path: no
+event objects are built at all), with a full
 :class:`repro.obs.telemetry.Telemetry` attached (metrics collector,
 heap sampler and JSONL buffer all subscribed), and with the
 :class:`repro.check.Sanitizer` checker set riding the instrumented bus
-— and fails if instrumentation is more than ``--threshold`` (default
-2.0) times slower or sanitizing more than ``--sanitize-threshold``
-(default 6.0) times slower than the baseline.  Each variant runs
-``--repeats`` times and the *minimum* wall time is compared, the
-standard trick to suppress scheduler noise.
+— and fails if the subscriber-free bus is more than
+``--no-sink-threshold`` (default 1.5) times slower, instrumentation
+more than ``--threshold`` (default 2.0) times slower, or sanitizing
+more than ``--sanitize-threshold`` (default 6.0) times slower than the
+baseline.  Each variant runs ``--repeats`` times and the *minimum* wall
+time is compared, the standard trick to suppress scheduler noise.
 
 Usage::
 
@@ -52,14 +55,15 @@ MANAGER = "sliding-compactor"
 class OverheadReport:
     """Minimum wall times (seconds) and their ratios.
 
-    ``sanitized_s`` is ``None`` when the sanitizer variant was not
-    measured (the default for :func:`measure`, keeping the historical
-    two-variant interface).
+    ``sanitized_s`` / ``no_sink_s`` are ``None`` when those variants
+    were not measured (the default for :func:`measure`, keeping the
+    historical two-variant interface).
     """
 
     baseline_s: float
     instrumented_s: float
     sanitized_s: float | None = None
+    no_sink_s: float | None = None
 
     @property
     def ratio(self) -> float:
@@ -72,12 +76,24 @@ class OverheadReport:
             return None
         return self.sanitized_s / self.baseline_s if self.baseline_s else float("inf")
 
+    @property
+    def no_sink_ratio(self) -> float | None:
+        """Subscriber-free-bus/baseline ratio (``None`` if unmeasured)."""
+        if self.no_sink_s is None:
+            return None
+        return self.no_sink_s / self.baseline_s if self.baseline_s else float("inf")
+
     def describe(self) -> str:
         text = (
             f"baseline {self.baseline_s * 1e3:.1f} ms, "
             f"instrumented {self.instrumented_s * 1e3:.1f} ms, "
             f"ratio {self.ratio:.2f}x"
         )
+        if self.no_sink_s is not None:
+            text += (
+                f"; no-sink bus {self.no_sink_s * 1e3:.1f} ms, "
+                f"ratio {self.no_sink_ratio:.2f}x"
+            )
         if self.sanitized_s is not None:
             text += (
                 f"; sanitized {self.sanitized_s * 1e3:.1f} ms, "
@@ -92,6 +108,9 @@ class OverheadReport:
             "instrumented_s": round(self.instrumented_s, 6),
             "instrumented_ratio": round(self.ratio, 4),
         }
+        if self.no_sink_s is not None and self.no_sink_ratio is not None:
+            results["no_sink_s"] = round(self.no_sink_s, 6)
+            results["no_sink_ratio"] = round(self.no_sink_ratio, 4)
         if self.sanitized_s is not None and self.sanitizer_ratio is not None:
             results["sanitized_s"] = round(self.sanitized_s, 6)
             results["sanitized_ratio"] = round(self.sanitizer_ratio, 4)
@@ -104,7 +123,8 @@ class OverheadReport:
                 "manager": MANAGER,
             },
             "wall_s": round(self.baseline_s + self.instrumented_s
-                            + (self.sanitized_s or 0.0), 6),
+                            + (self.sanitized_s or 0.0)
+                            + (self.no_sink_s or 0.0), 6),
             "results": results,
         }
 
@@ -112,6 +132,21 @@ class OverheadReport:
 def _run_baseline() -> float:
     program = PFProgram(PARAMS)
     driver = ExecutionDriver(PARAMS, create_manager(MANAGER, PARAMS))
+    start = time.perf_counter()
+    driver.run(program)
+    return time.perf_counter() - start
+
+
+def _run_no_sink() -> float:
+    from repro.obs.events import EventBus
+
+    bus = EventBus()  # attached but zero subscribers: has_sinks is False
+    program = PFProgram(PARAMS)
+    if hasattr(program, "bus"):
+        program.bus = bus
+    driver = ExecutionDriver(
+        PARAMS, create_manager(MANAGER, PARAMS), observer=bus
+    )
     start = time.perf_counter()
     driver.run(program)
     return time.perf_counter() - start
@@ -151,12 +186,14 @@ def _run_sanitized() -> float:
     return time.perf_counter() - start
 
 
-def measure(repeats: int = 3, *, sanitize: bool = False) -> OverheadReport:
+def measure(repeats: int = 3, *, sanitize: bool = False,
+            no_sink: bool = False) -> OverheadReport:
     """Run the variants ``repeats`` times each; compare the minima.
 
     ``sanitize=False`` (the default) measures baseline vs instrumented
     only, preserving the historical interface; ``sanitize=True`` adds
-    the checker-loaded variant as ``sanitized_s``.
+    the checker-loaded variant as ``sanitized_s``; ``no_sink=True``
+    adds the subscriber-free-bus variant as ``no_sink_s``.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -164,8 +201,10 @@ def measure(repeats: int = 3, *, sanitize: bool = False) -> OverheadReport:
     instrumented = min(_run_instrumented() for _ in range(repeats))
     sanitized = (min(_run_sanitized() for _ in range(repeats))
                  if sanitize else None)
+    empty_bus = (min(_run_no_sink() for _ in range(repeats))
+                 if no_sink else None)
     return OverheadReport(baseline_s=baseline, instrumented_s=instrumented,
-                          sanitized_s=sanitized)
+                          sanitized_s=sanitized, no_sink_s=empty_bus)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -174,6 +213,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="maximum tolerated instrumented/baseline ratio")
     parser.add_argument("--sanitize-threshold", type=float, default=6.0,
                         help="maximum tolerated sanitized/baseline ratio")
+    parser.add_argument("--no-sink-threshold", type=float, default=1.5,
+                        help="maximum tolerated subscriber-free-bus/"
+                             "baseline ratio (target is ~1.05)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per variant (minimum is compared)")
     parser.add_argument("--no-sanitize", action="store_true",
@@ -184,13 +226,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    if args.threshold <= 0 or args.sanitize_threshold <= 0:
+    if (args.threshold <= 0 or args.sanitize_threshold <= 0
+            or args.no_sink_threshold <= 0):
         parser.error("thresholds must be positive")
 
-    report = measure(repeats=args.repeats, sanitize=not args.no_sanitize)
+    report = measure(repeats=args.repeats, sanitize=not args.no_sanitize,
+                     no_sink=True)
     print(f"telemetry overhead: {report.describe()} "
           f"(thresholds {args.threshold:.2f}x / "
-          f"{args.sanitize_threshold:.2f}x)")
+          f"{args.sanitize_threshold:.2f}x / "
+          f"no-sink {args.no_sink_threshold:.2f}x)")
     payload = report.to_bench_payload()
     print("BENCH_JSON " + json.dumps(payload, sort_keys=True))
     if args.bench_out:
@@ -208,6 +253,11 @@ def main(argv: list[str] | None = None) -> int:
     sanitizer_ratio = report.sanitizer_ratio
     if sanitizer_ratio is not None and sanitizer_ratio > args.sanitize_threshold:
         print("FAIL: sanitizer exceeds the overhead budget", file=sys.stderr)
+        failed = True
+    no_sink_ratio = report.no_sink_ratio
+    if no_sink_ratio is not None and no_sink_ratio > args.no_sink_threshold:
+        print("FAIL: subscriber-free bus exceeds the overhead budget",
+              file=sys.stderr)
         failed = True
     if failed:
         return 1

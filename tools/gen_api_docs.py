@@ -26,7 +26,7 @@ MODULES = [
     "repro.adversary.potential", "repro.adversary.stats",
     "repro.adversary.claims", "repro.adversary.checkerboard",
     "repro.adversary.workloads", "repro.adversary.replay",
-    "repro.adversary.trace",
+    "repro.adversary.trace", "repro.adversary.catalog",
     "repro.analysis", "repro.analysis.figures", "repro.analysis.experiments",
     "repro.analysis.sweep", "repro.analysis.timeline",
     "repro.analysis.report", "repro.analysis.ascii_plot",
@@ -36,6 +36,8 @@ MODULES = [
     "repro.obs", "repro.obs.events", "repro.obs.metrics",
     "repro.obs.sampler", "repro.obs.export", "repro.obs.telemetry",
     "repro.obs.report",
+    "repro.parallel", "repro.parallel.tasks", "repro.parallel.cache",
+    "repro.parallel.engine",
     "repro.check", "repro.check.base", "repro.check.shadow_heap",
     "repro.check.budget_replay", "repro.check.program_model",
     "repro.check.density", "repro.check.determinism",

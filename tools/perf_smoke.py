@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Perf regression smoke: re-run the baseline benches and compare.
+
+Re-runs the benchmark set recorded in ``BENCH_BASELINE.json``
+(``bench_sim_pf.py``, ``bench_manager_throughput.py``,
+``bench_scaling.py``) through pytest with ``--bench-out``, then
+compares each record's ``wall_s`` against the committed baseline and
+fails when any bench is more than ``--factor`` (default 2.0) times
+slower.  The generous factor absorbs machine-to-machine and scheduler
+noise while still catching accidental quadratics; per-bench ratios are
+printed either way so the trajectory is visible in CI logs.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_smoke.py [--factor 2.0]
+    PYTHONPATH=src python tools/perf_smoke.py --rebaseline
+
+``--rebaseline`` rewrites ``BENCH_BASELINE.json`` from the fresh run
+instead of comparing (do this on the reference machine after deliberate
+perf-relevant changes).  Exit status 0 when within budget, 1 on
+regression, 2 on harness problems (missing baseline, bench failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_BASELINE.json"
+
+#: The benchmark files whose records the baseline tracks.
+BENCH_FILES = (
+    "benchmarks/bench_sim_pf.py",
+    "benchmarks/bench_manager_throughput.py",
+    "benchmarks/bench_scaling.py",
+)
+
+
+def run_benches(out_dir: Path) -> dict[str, dict]:
+    """Run the tracked benches; return records keyed by bench name."""
+    command = [
+        sys.executable, "-m", "pytest", *BENCH_FILES,
+        "--benchmark-only", "-q", "-p", "no:cacheprovider",
+        "--bench-out", str(out_dir),
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    if completed.returncode != 0:
+        raise RuntimeError(f"benchmarks failed (exit {completed.returncode})")
+    records = {}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        records[payload["name"]] = payload
+    if not records:
+        raise RuntimeError(f"no BENCH_*.json records appeared in {out_dir}")
+    return records
+
+
+def load_baseline() -> dict[str, dict]:
+    if not BASELINE_PATH.is_file():
+        raise RuntimeError(
+            f"{BASELINE_PATH.name} missing; create it with --rebaseline"
+        )
+    payload = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    return payload["benches"]
+
+
+def write_baseline(records: dict[str, dict]) -> None:
+    BASELINE_PATH.write_text(json.dumps({
+        "schema": 1,
+        "note": ("Wall-clock baselines for tools/perf_smoke.py. Regenerate "
+                 "with: PYTHONPATH=src python tools/perf_smoke.py "
+                 "--rebaseline"),
+        "benches": records,
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def compare(fresh: dict[str, dict], baseline: dict[str, dict],
+            factor: float) -> list[str]:
+    """Regression messages (empty = within budget)."""
+    failures = []
+    for name, record in sorted(baseline.items()):
+        current = fresh.get(name)
+        if current is None:
+            failures.append(f"{name}: bench disappeared from the run")
+            continue
+        old, new = record["wall_s"], current["wall_s"]
+        ratio = new / old if old else float("inf")
+        status = "FAIL" if ratio > factor else "ok"
+        print(f"  [{status}] {name}: {old:.3f}s -> {new:.3f}s "
+              f"({ratio:.2f}x, budget {factor:.1f}x)")
+        if ratio > factor:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  [new ] {name}: {fresh[name]['wall_s']:.3f}s (no baseline)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="maximum tolerated wall_s ratio vs baseline")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="rewrite BENCH_BASELINE.json from this run")
+    args = parser.parse_args(argv)
+    if args.factor <= 1.0:
+        parser.error("--factor must be above 1.0")
+
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-") as scratch:
+        try:
+            fresh = run_benches(Path(scratch))
+        except RuntimeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.rebaseline:
+        write_baseline(fresh)
+        print(f"rebaselined {len(fresh)} benches into {BASELINE_PATH.name}")
+        return 0
+    try:
+        baseline = load_baseline()
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"perf smoke vs {BASELINE_PATH.name} "
+          f"({len(baseline)} benches, budget {args.factor:.1f}x):")
+    failures = compare(fresh, baseline, args.factor)
+    if failures:
+        print("\nPERF REGRESSIONS:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("OK: no bench exceeded the budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
