@@ -10,13 +10,16 @@ package implements that model exactly:
 * :class:`~repro.heap.object_model.HeapObject` /
   :class:`~repro.heap.object_model.ObjectTable` — object identity and
   lifecycle (including the *f-occupying* test of Definition 4.2);
-* :class:`~repro.heap.intervals.IntervalSet` — the free/occupied index;
+* :class:`~repro.heap.intervals.IntervalSet` — the free/occupied index,
+  backed by the :class:`~repro.heap.gap_index.GapIndex` O(log k)
+  free-gap search structures;
 * :class:`~repro.heap.chunks.ChunkPartition` — the aligned ``D(i)``
   chunk views with step-change coarsening;
 * :mod:`~repro.heap.metrics` — fragmentation metrics for the harness.
 """
 
 from .chunks import ChunkId, ChunkPartition
+from .gap_index import GapIndex, SearchStats
 from .errors import (
     AlignmentError,
     CompactionBudgetExceeded,
@@ -38,6 +41,7 @@ __all__ = [
     "ChunkId",
     "ChunkPartition",
     "CompactionBudgetExceeded",
+    "GapIndex",
     "HeapError",
     "HeapMetrics",
     "HeapObject",
@@ -48,6 +52,7 @@ __all__ = [
     "OverlapError",
     "PlacementError",
     "ProtocolError",
+    "SearchStats",
     "SimHeap",
     "restore_heap",
     "snapshot",

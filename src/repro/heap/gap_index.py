@@ -1,0 +1,334 @@
+"""Size-indexed free-gap structures for O(log k) placement search.
+
+The adversarial programs of the paper (:math:`P_F`, Robson's
+:math:`P_R`) exist precisely to shatter the heap into many small
+fragments, so under the workloads this repository cares most about the
+free-gap count ``k`` is large — and, before this module, every
+placement paid an O(k) linear scan over the gaps.  Real allocators
+solve the same problem with size-segregated free structures (TLSF-style
+class lists, the Cartesian trees of jemalloc); :class:`GapIndex` brings
+that design to the simulator.
+
+The index is maintained *incrementally* by
+:class:`~repro.heap.intervals.IntervalSet`: every interval mutation
+changes at most two free gaps (an insertion splits the gap it lands in;
+a removal merges up to two neighbours), so each ``add``/``remove``
+costs O(log k) search plus an O(k) C-level ``memmove`` — the same shape
+as the interval arrays themselves.  Two views are kept consistent:
+
+* ``_gap_buckets`` — power-of-two size classes, each an address-sorted
+  list of gap starts, plus a bitmask of the non-empty classes.  Serves
+  *first-fit*: classes whose minimum size guarantees a fit contribute
+  their lowest eligible address via one ``bisect``; only the boundary
+  classes (where a gap may or may not fit, e.g. under alignment) are
+  scanned, and the scan stops at the first fit or once past the best
+  candidate so far.
+* ``_size_order`` — one list of ``(size, start)`` pairs in ascending
+  order.  Serves *best-fit* (the successor of ``(size, -1)`` is the
+  smallest fitting gap at the lowest address — exactly the naive
+  scan's tie-break), *worst-fit* (walk size groups from the top) and
+  the exact maximum gap size in O(1).
+
+Determinism is the contract: every query returns byte-identical
+answers to the naive linear scans kept as ``IntervalSet._naive_*``
+references, enforced by the differential property suite in
+``tests/heap/test_gap_index.py``.
+
+:class:`SearchStats` is the micro-profiling hook: plain integer
+counters (searches, index hits, linear-scan fallbacks, gaps examined)
+cheap enough to leave always-on; the telemetry layer lifts them into
+the run manifest as ``placement.*`` metrics and ``repro report``
+renders them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable
+
+__all__ = ["GapIndex", "SearchStats"]
+
+
+class SearchStats:
+    """Always-on allocator search counters (see module docstring)."""
+
+    __slots__ = ("searches", "index_hits", "scan_fallbacks", "gaps_examined")
+
+    def __init__(self) -> None:
+        self.searches = 0
+        self.index_hits = 0
+        self.scan_fallbacks = 0
+        self.gaps_examined = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.searches = 0
+        self.index_hits = 0
+        self.scan_fallbacks = 0
+        self.gaps_examined = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready summary (manifest / BENCH_JSON material)."""
+        return {
+            "searches": self.searches,
+            "index_hits": self.index_hits,
+            "scan_fallbacks": self.scan_fallbacks,
+            "gaps_examined": self.gaps_examined,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchStats(searches={self.searches}, "
+            f"index_hits={self.index_hits}, "
+            f"scan_fallbacks={self.scan_fallbacks}, "
+            f"gaps_examined={self.gaps_examined})"
+        )
+
+
+class GapIndex:
+    """Incrementally-maintained size index over a set of free gaps.
+
+    Gaps are half-open ``[start, end)`` ranges, pairwise disjoint and
+    non-adjacent (the owner guarantees both — they are the maximal
+    uncovered runs of an :class:`~repro.heap.intervals.IntervalSet`
+    below its covered span).  All query methods answer over the full
+    indexed population; range clipping is the owner's job.
+    """
+
+    __slots__ = ("_gap_end", "_gap_buckets", "_class_mask", "_size_order")
+
+    def __init__(self) -> None:
+        #: gap start -> gap end.
+        self._gap_end: dict[int, int] = {}
+        #: size class (floor log2 of size) -> address-sorted gap starts.
+        self._gap_buckets: dict[int, list[int]] = {}
+        #: bit ``c`` set iff class ``c`` is non-empty.
+        self._class_mask: int = 0
+        #: every gap as (size, start), ascending.
+        self._size_order: list[tuple[int, int]] = []
+
+    # Introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of indexed gaps."""
+        return len(self._gap_end)
+
+    def __iter__(self) -> "Iterable[tuple[int, int]]":
+        """Yield ``(start, end)`` pairs in address order."""
+        return iter(sorted(
+            (start, end) for start, end in self._gap_end.items()
+        ))
+
+    @property
+    def max_size(self) -> int:
+        """The exact largest gap size (0 when no gaps), in O(1)."""
+        return self._size_order[-1][0] if self._size_order else 0
+
+    # Maintenance ------------------------------------------------------------
+
+    def add(self, start: int, end: int) -> None:
+        """Index the gap ``[start, end)`` (must not already be present)."""
+        size = end - start
+        self._gap_end[start] = end
+        cls = size.bit_length() - 1
+        bucket = self._gap_buckets.get(cls)
+        if bucket is None:
+            bucket = self._gap_buckets[cls] = []
+        insort(bucket, start)
+        self._class_mask |= 1 << cls
+        insort(self._size_order, (size, start))
+
+    def remove(self, start: int, end: int) -> None:
+        """Drop the gap ``[start, end)`` (must be present, exact extent)."""
+        size = end - start
+        recorded = self._gap_end.get(start)
+        if recorded != end:
+            raise ValueError(
+                f"gap [{start}, {end}) is not indexed (recorded end: {recorded})"
+            )
+        del self._gap_end[start]
+        cls = size.bit_length() - 1
+        bucket = self._gap_buckets[cls]
+        del bucket[bisect_left(bucket, start)]
+        if not bucket:
+            self._class_mask &= ~(1 << cls)
+        order = self._size_order
+        del order[bisect_left(order, (size, start))]
+
+    def clear(self) -> None:
+        """Drop every gap."""
+        self._gap_end.clear()
+        self._gap_buckets.clear()
+        self._class_mask = 0
+        self._size_order.clear()
+
+    def copy(self) -> "GapIndex":
+        """An independent copy."""
+        clone = GapIndex()
+        clone._gap_end = dict(self._gap_end)
+        clone._gap_buckets = {
+            cls: list(bucket) for cls, bucket in self._gap_buckets.items()
+        }
+        clone._class_mask = self._class_mask
+        clone._size_order = list(self._size_order)
+        return clone
+
+    # Queries ----------------------------------------------------------------
+
+    def find_first(
+        self, size: int, *, alignment: int = 1, start: int = 0,
+        stats: SearchStats | None = None,
+    ) -> int | None:
+        """First-fit: lowest aligned address among gaps starting at
+        ``>= start`` that hold ``size`` words.
+
+        Only classes large enough to possibly fit are visited.  A class
+        whose minimum gap size guarantees an aligned fit contributes
+        its lowest eligible start via one ``bisect``; boundary classes
+        are scanned in address order, stopping at the first fit or once
+        past the best candidate found so far.
+        """
+        # Classes below floor(log2(size)) hold gaps strictly smaller
+        # than ``size`` and can never fit.
+        min_class = size.bit_length() - 1
+        mask = self._class_mask >> min_class << min_class
+        # A gap of at least ``size + alignment - 1`` words fits at any
+        # phase; classes at or above this threshold never need a scan.
+        sure = size if alignment == 1 else size + alignment - 1
+        best_start: int | None = None
+        best_candidate = 0
+        examined = 0
+        gap_end = self._gap_end
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            cls = low_bit.bit_length() - 1
+            bucket = self._gap_buckets[cls]
+            position = bisect_left(bucket, start)
+            if low_bit >= sure:
+                # Everything in this class fits: its lowest eligible
+                # start is the class winner.
+                if position < len(bucket):
+                    gap_start = bucket[position]
+                    if best_start is None or gap_start < best_start:
+                        examined += 1
+                        best_start = gap_start
+                        best_candidate = (
+                            gap_start if alignment == 1
+                            else gap_start + (-gap_start) % alignment
+                        )
+                continue
+            while position < len(bucket):
+                gap_start = bucket[position]
+                if best_start is not None and gap_start >= best_start:
+                    break
+                examined += 1
+                candidate = (
+                    gap_start if alignment == 1
+                    else gap_start + (-gap_start) % alignment
+                )
+                if candidate + size <= gap_end[gap_start]:
+                    best_start = gap_start
+                    best_candidate = candidate
+                    break
+                position += 1
+        if stats is not None:
+            stats.gaps_examined += examined
+        return best_candidate if best_start is not None else None
+
+    def find_best(
+        self, size: int, *, alignment: int = 1,
+        stats: SearchStats | None = None,
+    ) -> int | None:
+        """Best-fit: aligned address inside the smallest fitting gap
+        (ties: lowest address) — the naive scan's exact tie-break.
+
+        With ``alignment == 1`` the successor of ``(size, -1)`` answers
+        in O(log k); alignment may step past gaps whose phase loses too
+        many words.
+        """
+        order = self._size_order
+        position = bisect_left(order, (size, -1))
+        examined = 0
+        while position < len(order):
+            gap_size, gap_start = order[position]
+            examined += 1
+            candidate = (
+                gap_start if alignment == 1
+                else gap_start + (-gap_start) % alignment
+            )
+            if candidate + size <= gap_start + gap_size:
+                if stats is not None:
+                    stats.gaps_examined += examined
+                return candidate
+            position += 1
+        if stats is not None:
+            stats.gaps_examined += examined
+        return None
+
+    def find_worst(
+        self, size: int, *, alignment: int = 1,
+        stats: SearchStats | None = None,
+    ) -> int | None:
+        """Worst-fit: aligned address inside the largest fitting gap
+        (ties: lowest address).
+
+        Walks size groups from the top; within one group gaps are
+        address-ordered, so the first aligned fit is the group winner.
+        """
+        order = self._size_order
+        high = len(order)
+        examined = 0
+        while high:
+            top_size = order[high - 1][0]
+            if top_size < size:
+                break
+            low = bisect_left(order, (top_size, -1), 0, high)
+            for position in range(low, high):
+                gap_size, gap_start = order[position]
+                examined += 1
+                candidate = (
+                    gap_start if alignment == 1
+                    else gap_start + (-gap_start) % alignment
+                )
+                if candidate + size <= gap_start + gap_size:
+                    if stats is not None:
+                        stats.gaps_examined += examined
+                    return candidate
+            high = low
+        if stats is not None:
+            stats.gaps_examined += examined
+        return None
+
+    # Validation -------------------------------------------------------------
+
+    def check_consistency(self, expected: Iterable[tuple[int, int]]) -> None:
+        """Assert the index holds exactly ``expected`` (asserts; tests)."""
+        reference = sorted(expected)
+        assert sorted(self._gap_end.items()) == reference, (
+            f"gap population drifted: {sorted(self._gap_end.items())} != "
+            f"{reference}"
+        )
+        assert self._size_order == sorted(
+            (end - start, start) for start, end in reference
+        ), "size order drifted"
+        assert self._size_order == sorted(self._size_order), (
+            "size order is unsorted"
+        )
+        rebuilt_mask = 0
+        seen = 0
+        for cls, bucket in self._gap_buckets.items():
+            assert bucket == sorted(bucket), f"bucket {cls} is unsorted"
+            for gap_start in bucket:
+                size = self._gap_end[gap_start] - gap_start
+                assert size.bit_length() - 1 == cls, (
+                    f"gap [{gap_start}, {self._gap_end[gap_start]}) filed "
+                    f"in class {cls}"
+                )
+            if bucket:
+                rebuilt_mask |= 1 << cls
+            seen += len(bucket)
+        assert seen == len(reference), "bucket population drifted"
+        assert rebuilt_mask == self._class_mask, (
+            f"class mask {self._class_mask:b} != rebuilt {rebuilt_mask:b}"
+        )

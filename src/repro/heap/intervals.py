@@ -13,26 +13,31 @@ uses :mod:`bisect`; every public operation preserves the invariants
   are coalesced on insert), and
 * both lists are strictly increasing.
 
-Complexities are ``O(log k)`` for queries and ``O(k)`` worst case for
-mutations (list insertion), where ``k`` is the number of maximal
-intervals — small in practice because live heaps are mostly coalesced
-runs.
+**The gap index.**  Alongside the interval arrays the set maintains a
+:class:`~repro.heap.gap_index.GapIndex` over its free gaps — the
+maximal uncovered runs inside ``[0, span_end)``.  Every mutation
+changes at most two gaps (an ``add`` consumes or splits the gap it
+lands in; a ``remove`` merges up to two neighbours into one), so the
+index updates in O(log k) per mutation, and the placement searches —
+:meth:`find_first_gap`, :meth:`find_best_gap`, :meth:`find_worst_gap`
+— answer in O(log k) instead of the O(k) linear scan the allocator hot
+path used to pay under adversarial fragmentation.  The linear scans
+survive as the ``_naive_*`` reference implementations: they serve the
+rare queries the index cannot (a search limit below the covered span,
+which clips gaps) and anchor the differential property tests that
+guarantee the index returns *byte-identical* answers.
 
-**The max-gap hint.**  The set maintains :attr:`IntervalSet.max_gap_hint`,
-an upper bound on the size of the largest *internal* gap (an uncovered
-run inside ``[0, span_end)``), updated in ``O(1)`` on every mutation:
+:attr:`IntervalSet.max_gap_hint` — historically an O(1)-maintained
+upper bound on the largest internal gap — is now **exact**, read
+straight off the index, so oversized requests still bail out in O(1)
+but with no slack.  :attr:`IntervalSet.total` is likewise O(1),
+maintained as a covered-word count across mutations.
 
-* ``add`` can only shrink existing gaps, except when it appends past the
-  old span end — which turns the old tail into one new gap of known size;
-* ``remove`` grows exactly one gap, whose post-coalesce extent is
-  computable from the two neighbouring intervals;
-* a full-span :meth:`find_best_gap` scan re-tightens the hint to the
-  exact maximum.
-
-The gap searches bail out in ``O(1)`` whenever the requested size
-exceeds the hint — the allocator hot path under adversarial churn,
-where most oversized requests previously paid a full scan from
-address 0 just to learn that nothing fits.
+Search traffic is micro-profiled through
+:class:`~repro.heap.gap_index.SearchStats` (:attr:`search_stats`):
+index hits vs linear fallbacks and gaps examined, cheap enough to stay
+always-on and surfaced by the telemetry layer as ``placement.*``
+metrics.
 """
 
 from __future__ import annotations
@@ -40,20 +45,24 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Iterator
 
+from .gap_index import GapIndex, SearchStats
+
 __all__ = ["IntervalSet"]
 
 
 class IntervalSet:
     """Mutable set of disjoint half-open intervals of non-negative ints."""
 
-    __slots__ = ("_starts", "_ends", "_max_gap_hint")
+    __slots__ = ("_starts", "_ends", "_gaps", "_covered", "_search_stats")
 
     def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
         self._starts: list[int] = []
         self._ends: list[int] = []
-        # Upper bound on the largest internal gap; exact after a
-        # full-span find_best_gap scan.  See the module docstring.
-        self._max_gap_hint: int = 0
+        #: Incremental index over the free gaps of [0, span_end).
+        self._gaps = GapIndex()
+        #: Covered words, maintained across mutations (O(1) ``total``).
+        self._covered = 0
+        self._search_stats = SearchStats()
         for start, end in intervals:
             self.add(start, end)
 
@@ -84,8 +93,8 @@ class IntervalSet:
 
     @property
     def total(self) -> int:
-        """Total number of words covered."""
-        return sum(e - s for s, e in self)
+        """Total number of words covered (O(1); maintained incrementally)."""
+        return self._covered
 
     @property
     def span_end(self) -> int:
@@ -94,15 +103,24 @@ class IntervalSet:
 
     @property
     def max_gap_hint(self) -> int:
-        """An upper bound on the largest internal gap size.
+        """The **exact** largest internal gap size, in O(1).
 
-        Maintained in ``O(1)`` across mutations and re-tightened to the
-        exact maximum by every full-span :meth:`find_best_gap` scan.
-        Safe to use only in the "nothing fits" direction: ``size >
-        max_gap_hint`` guarantees no internal gap holds ``size`` words;
-        the converse promises nothing.
+        Read straight off the gap index (the name survives from when
+        this was only an upper bound).  ``size > max_gap_hint``
+        guarantees no internal gap holds ``size`` words, and a gap of
+        exactly this size exists whenever the value is non-zero.
         """
-        return self._max_gap_hint
+        return self._gaps.max_size
+
+    @property
+    def gap_count(self) -> int:
+        """Number of free gaps inside ``[0, span_end)`` (O(1))."""
+        return len(self._gaps)
+
+    @property
+    def search_stats(self) -> SearchStats:
+        """Cumulative placement-search counters for this set."""
+        return self._search_stats
 
     def overlaps(self, start: int, end: int) -> bool:
         """Whether ``[start, end)`` intersects any interval."""
@@ -153,6 +171,25 @@ class IntervalSet:
         if cursor < end:
             yield (cursor, end)
 
+    def free_run_start(self, point: int) -> int:
+        """Start of the maximal free run containing the free ``point``.
+
+        Raises if ``point`` is covered.  Used by cursor caches to learn
+        how far down a de-allocation's coalesced gap reaches (the
+        lowest address where new fits may have appeared).
+        """
+        if point < 0:
+            raise ValueError(f"bad point {point}")
+        index = bisect.bisect_right(self._starts, point) - 1
+        if index < 0:
+            return 0
+        end = self._ends[index]
+        if point < end:
+            raise ValueError(f"point {point} is covered")
+        return end
+
+    # Placement search ------------------------------------------------------
+
     def find_first_gap(
         self, size: int, *, alignment: int = 1, start: int = 0,
         end: int | None = None,
@@ -161,23 +198,143 @@ class IntervalSet:
 
         Searches the gaps of ``[start, end)`` (``end=None`` means the
         covered span's end — the caller handles the unbounded tail).
-        This is the allocator hot path, so it walks the internal arrays
-        directly instead of going through :meth:`gaps`.
+        Backed by the gap index whenever the limit does not clip the
+        covered span (the allocator hot path); a limit *below* the span
+        falls back to the naive linear scan, counted in
+        :attr:`search_stats`.
         """
         if size <= 0:
             raise ValueError("size must be positive")
         span = self.span_end
         limit = span if end is None else end
-        if size > self._max_gap_hint and limit <= span:
-            # Every gap of [start, limit) is inside an internal gap, and
-            # no internal gap holds `size` words.  (limit > span would
-            # expose the tail, which the hint does not cover.)
+        stats = self._search_stats
+        stats.searches += 1
+        if limit < span:
+            stats.scan_fallbacks += 1
+            return self._naive_find_first_gap(
+                size, alignment=alignment, start=start, end=limit, stats=stats
+            )
+        stats.index_hits += 1
+        found = self._indexed_first_fit(size, alignment, start, stats)
+        if found is not None:
+            return found
+        if limit > span:
+            # The region [span, limit) is uncovered: one tail gap.
+            cursor = span if start <= span else start
+            candidate = (
+                cursor if alignment == 1 else cursor + (-cursor) % alignment
+            )
+            if candidate + size <= limit:
+                stats.gaps_examined += 1
+                return candidate
+        return None
+
+    def _indexed_first_fit(
+        self, size: int, alignment: int, start: int, stats: SearchStats
+    ) -> int | None:
+        """Index-backed first-fit over the internal gaps at ``>= start``."""
+        gaps = self._gaps
+        if size > gaps.max_size:
+            return None  # O(1): no internal gap can hold `size` words
+        starts = self._starts
+        if start > 0 and starts:
+            # A gap straddling `start` is invisible to the index query
+            # below (its start lies before the bound); test its clipped
+            # remainder [start, gap_end) first — it is the lowest
+            # possible placement.
+            index = bisect.bisect_right(starts, start) - 1
+            gap_end = 0
+            if index < 0:
+                if start < starts[0]:
+                    gap_end = starts[0]
+            elif start >= self._ends[index] and index + 1 < len(starts):
+                gap_end = starts[index + 1]
+            if gap_end:
+                stats.gaps_examined += 1
+                candidate = (
+                    start if alignment == 1 else start + (-start) % alignment
+                )
+                if candidate + size <= gap_end:
+                    return candidate
+        return gaps.find_first(
+            size, alignment=alignment, start=start, stats=stats
+        )
+
+    def find_best_gap(
+        self, size: int, *, alignment: int = 1, end: int | None = None
+    ) -> tuple[int | None, int]:
+        """Best-fit search: ``(address_of_smallest_fitting_gap, largest_gap)``.
+
+        Returns the aligned address inside the smallest gap of ``[0,
+        end)`` that fits ``size`` — ties broken toward the lowest
+        address — plus the exact largest gap size (``None`` for the
+        address when nothing fits).  Index-backed in O(log k) when the
+        limit equals the covered span; other limits fall back to the
+        naive scan.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        span = self.span_end
+        limit = span if end is None else end
+        stats = self._search_stats
+        stats.searches += 1
+        if limit != span:
+            stats.scan_fallbacks += 1
+            return self._naive_find_best_gap(
+                size, alignment=alignment, end=limit, stats=stats
+            )
+        stats.index_hits += 1
+        gaps = self._gaps
+        largest = gaps.max_size
+        if size > largest:
+            return None, largest
+        return gaps.find_best(size, alignment=alignment, stats=stats), largest
+
+    def find_worst_gap(
+        self, size: int, *, alignment: int = 1, end: int | None = None
+    ) -> int | None:
+        """Worst-fit search: aligned address inside the *largest* gap of
+        ``[0, end)`` that fits ``size`` (ties: lowest address), or
+        ``None``.  Index-backed in O(log k) at the covered-span limit.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        span = self.span_end
+        limit = span if end is None else end
+        stats = self._search_stats
+        stats.searches += 1
+        if limit != span:
+            stats.scan_fallbacks += 1
+            return self._naive_find_worst_gap(
+                size, alignment=alignment, end=limit, stats=stats
+            )
+        stats.index_hits += 1
+        gaps = self._gaps
+        if size > gaps.max_size:
             return None
+        return gaps.find_worst(size, alignment=alignment, stats=stats)
+
+    # Naive reference scans --------------------------------------------------
+    #
+    # The pre-index linear scans, kept verbatim: they serve limits the
+    # index cannot (a limit clipping the covered span) and anchor the
+    # differential tests asserting the index answers are byte-identical.
+
+    def _naive_find_first_gap(
+        self, size: int, *, alignment: int = 1, start: int = 0,
+        end: int | None = None, stats: SearchStats | None = None,
+    ) -> int | None:
+        """Reference linear scan for :meth:`find_first_gap`."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        limit = self.span_end if end is None else end
         starts, ends = self._starts, self._ends
         count = len(starts)
         index = max(0, bisect.bisect_right(starts, start) - 1)
         cursor = start
+        examined = 0
         unaligned = alignment == 1
+        found: int | None = None
         while cursor < limit:
             if index < count:
                 gap_end = starts[index]
@@ -191,35 +348,27 @@ class IntervalSet:
                     gap_end = limit
             else:
                 gap_end = limit
+            examined += 1
             candidate = cursor if unaligned else cursor + ((-cursor) % alignment)
             if candidate + size <= gap_end:
-                return candidate
+                found = candidate
+                break
             if index >= count:
                 break
             cursor = ends[index]
             index += 1
-        return None
+        if stats is not None:
+            stats.gaps_examined += examined
+        return found
 
-    def find_best_gap(
-        self, size: int, *, alignment: int = 1, end: int | None = None
+    def _naive_find_best_gap(
+        self, size: int, *, alignment: int = 1, end: int | None = None,
+        stats: SearchStats | None = None,
     ) -> tuple[int | None, int]:
-        """Best-fit search: ``(address_of_smallest_fitting_gap, largest_gap)``.
-
-        Returns the aligned address inside the smallest gap of ``[0,
-        end)`` that fits ``size`` (``None`` when nothing fits) plus the
-        largest gap size seen — or, when the maintained
-        :attr:`max_gap_hint` already proves nothing fits, ``(None,
-        hint)`` in ``O(1)`` without scanning at all (the second element
-        is then an upper bound rather than an exact maximum, which is
-        the only direction callers use it in).  A completed full-span
-        scan re-tightens the hint to the exact maximum.
-        """
+        """Reference linear scan for :meth:`find_best_gap`."""
         if size <= 0:
             raise ValueError("size must be positive")
-        span = self.span_end
-        limit = span if end is None else end
-        if size > self._max_gap_hint and limit <= span:
-            return None, self._max_gap_hint
+        limit = self.span_end if end is None else end
         starts, ends = self._starts, self._ends
         count = len(starts)
         best_address: int | None = None
@@ -227,6 +376,7 @@ class IntervalSet:
         largest = 0
         cursor = 0
         index = 0
+        examined = 0
         unaligned = alignment == 1
         while cursor < limit:
             if index < count:
@@ -237,6 +387,7 @@ class IntervalSet:
                 gap_end = limit
             gap_size = gap_end - cursor
             if gap_size > 0:
+                examined += 1
                 if gap_size > largest:
                     largest = gap_size
                 candidate = cursor if unaligned else cursor + ((-cursor) % alignment)
@@ -245,15 +396,37 @@ class IntervalSet:
                     if best_waste < 0 or waste < best_waste:
                         best_address, best_waste = candidate, waste
                         # No early exit on a perfect fit: ``largest`` must
-                        # cover *all* gaps to be a safe fast-path hint.
+                        # cover *all* gaps to stay exact.
             if index >= count:
                 break
             cursor = ends[index]
             index += 1
-        if limit == span:
-            # A full-span scan saw every internal gap: the hint is exact.
-            self._max_gap_hint = largest
+        if stats is not None:
+            stats.gaps_examined += examined
         return best_address, largest
+
+    def _naive_find_worst_gap(
+        self, size: int, *, alignment: int = 1, end: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> int | None:
+        """Reference linear scan for :meth:`find_worst_gap`."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        limit = self.span_end if end is None else end
+        best_address: int | None = None
+        best_size = -1
+        examined = 0
+        for gap_start, gap_end in self.gaps(0, limit):
+            examined += 1
+            candidate = (
+                gap_start if alignment == 1
+                else gap_start + (-gap_start) % alignment
+            )
+            if candidate + size <= gap_end and gap_end - gap_start > best_size:
+                best_address, best_size = candidate, gap_end - gap_start
+        if stats is not None:
+            stats.gaps_examined += examined
+        return best_address
 
     # Mutations ------------------------------------------------------------
 
@@ -264,29 +437,42 @@ class IntervalSet:
             return
         if self.overlaps(start, end):
             raise ValueError(f"[{start}, {end}) overlaps existing intervals")
-        old_span = self._ends[-1] if self._ends else 0
-        if start > old_span:
-            # Appending past the old span turns the old tail into a new
-            # internal gap [old_span, start); everything else is
-            # untouched.  Insertions at or below old_span only consume
-            # gap space, so the hint stays a valid upper bound.
-            if start - old_span > self._max_gap_hint:
-                self._max_gap_hint = start - old_span
-        index = bisect.bisect_left(self._starts, start)
-        # Coalesce with the predecessor when adjacent.
-        merged_left = index > 0 and self._ends[index - 1] == start
-        merged_right = index < len(self._starts) and self._starts[index] == end
-        if merged_left and merged_right:
-            self._ends[index - 1] = self._ends[index]
-            del self._starts[index]
-            del self._ends[index]
-        elif merged_left:
-            self._ends[index - 1] = end
-        elif merged_right:
-            self._starts[index] = start
+        starts, ends = self._starts, self._ends
+        index = bisect.bisect_left(starts, start)
+        gaps = self._gaps
+        if index == len(starts):
+            # Appending at or past the old span end: when strictly past,
+            # the old tail [old_span, start) becomes a new internal gap;
+            # nothing else changes.
+            old_span = ends[-1] if ends else 0
+            if start > old_span:
+                gaps.add(old_span, start)
         else:
-            self._starts.insert(index, start)
-            self._ends.insert(index, end)
+            # The insertion lands inside the gap (left_bound, right_bound)
+            # between its neighbours (the leading gap when index == 0);
+            # it splits into at most two smaller gaps.
+            right_bound = starts[index]
+            left_bound = ends[index - 1] if index else 0
+            gaps.remove(left_bound, right_bound)
+            if left_bound < start:
+                gaps.add(left_bound, start)
+            if end < right_bound:
+                gaps.add(end, right_bound)
+        # Coalesce with the neighbours when adjacent.
+        merged_left = index > 0 and ends[index - 1] == start
+        merged_right = index < len(starts) and starts[index] == end
+        if merged_left and merged_right:
+            ends[index - 1] = ends[index]
+            del starts[index]
+            del ends[index]
+        elif merged_left:
+            ends[index - 1] = end
+        elif merged_right:
+            starts[index] = start
+        else:
+            starts.insert(index, start)
+            ends.insert(index, end)
+        self._covered += end - start
 
     def remove(self, start: int, end: int) -> None:
         """Delete ``[start, end)``; raises unless it is fully covered."""
@@ -295,53 +481,62 @@ class IntervalSet:
             return
         if not self.covers(start, end):
             raise ValueError(f"[{start}, {end}) is not fully covered")
-        index = bisect.bisect_right(self._starts, start) - 1
-        s, e = self._starts[index], self._ends[index]
+        starts, ends = self._starts, self._ends
+        index = bisect.bisect_right(starts, start) - 1
+        s, e = starts[index], ends[index]
+        gaps = self._gaps
+        last = index == len(starts) - 1
         if s == start and e == end:
-            del self._starts[index]
-            del self._ends[index]
+            # Whole interval: its flanking gaps (and itself) merge into
+            # one — unless it was the last interval, in which case the
+            # span shrinks and the left gap joins the (unindexed) tail.
+            left_bound = ends[index - 1] if index else 0
+            if not last:
+                gaps.remove(e, starts[index + 1])
+                if left_bound < s:
+                    gaps.remove(left_bound, s)
+                gaps.add(left_bound, starts[index + 1])
+            elif left_bound < s:
+                gaps.remove(left_bound, s)
+            del starts[index]
+            del ends[index]
         elif s == start:
-            self._starts[index] = end
+            # Prefix: the gap on the left (the leading gap when index
+            # == 0) grows to absorb the freed words.
+            left_bound = ends[index - 1] if index else 0
+            if left_bound < s:
+                gaps.remove(left_bound, s)
+            gaps.add(left_bound, end)
+            starts[index] = end
         elif e == end:
-            self._ends[index] = start
-        else:  # split
-            self._ends[index] = start
-            self._starts.insert(index + 1, end)
-            self._ends.insert(index + 1, e)
-        self._grow_hint_after_remove(start)
-
-    def _grow_hint_after_remove(self, point: int) -> None:
-        """Re-cover the hint after a removal freed words at ``point``.
-
-        Exactly one gap grew: the one now containing ``point``.  Its
-        post-coalesce extent runs from the predecessor interval's end
-        (or 0) to the successor's start; with no successor the freed
-        words joined the tail, which is not an internal gap.
-        """
-        starts = self._starts
-        if not starts:
-            self._max_gap_hint = 0
-            return
-        index = bisect.bisect_right(starts, point) - 1
-        left = self._ends[index] if index >= 0 else 0
-        right_index = index + 1
-        if right_index < len(starts):
-            gap = starts[right_index] - left
-            if gap > self._max_gap_hint:
-                self._max_gap_hint = gap
+            # Suffix: the gap on the right grows — unless this is the
+            # last interval, where the span shrinks instead.
+            if not last:
+                gaps.remove(e, starts[index + 1])
+                gaps.add(start, starts[index + 1])
+            ends[index] = start
+        else:
+            # Interior: the interval splits around one brand-new gap.
+            gaps.add(start, end)
+            ends[index] = start
+            starts.insert(index + 1, end)
+            ends.insert(index + 1, e)
+        self._covered -= end - start
 
     def clear(self) -> None:
         """Remove every interval."""
         self._starts.clear()
         self._ends.clear()
-        self._max_gap_hint = 0
+        self._gaps.clear()
+        self._covered = 0
 
     def copy(self) -> "IntervalSet":
-        """An independent copy."""
+        """An independent copy (search counters start fresh)."""
         clone = IntervalSet()
         clone._starts = list(self._starts)
         clone._ends = list(self._ends)
-        clone._max_gap_hint = self._max_gap_hint
+        clone._gaps = self._gaps.copy()
+        clone._covered = self._covered
         return clone
 
     # Internal ---------------------------------------------------------------
@@ -352,16 +547,29 @@ class IntervalSet:
             raise ValueError(f"bad interval [{start}, {end})")
 
     def check_invariants(self) -> None:
-        """Assert structural invariants; used by property-based tests."""
+        """Assert structural invariants; used by property-based tests.
+
+        Covers the interval arrays, the covered-word count, and full
+        gap-index consistency (population, size order, class buckets,
+        exact max-gap).
+        """
         assert len(self._starts) == len(self._ends)
         previous_end = -1
+        words = 0
         for s, e in zip(self._starts, self._ends):
             assert s < e, f"empty or inverted interval [{s}, {e})"
             assert s > previous_end, "intervals must be disjoint, sorted, non-adjacent"
             previous_end = e
-        exact = max((s - e for s, e in zip(self._starts, [0] + self._ends[:-1])),
-                    default=0)
-        assert self._max_gap_hint >= exact, (
-            f"max_gap_hint {self._max_gap_hint} underestimates the true "
-            f"largest gap {exact}"
+            words += e - s
+        assert self._covered == words, (
+            f"covered-word count {self._covered} != recomputed {words}"
+        )
+        expected_gaps = [
+            (s, e) for s, e in zip([0] + self._ends[:-1], self._starts)
+            if s < e
+        ]
+        self._gaps.check_consistency(expected_gaps)
+        exact = max((e - s for s, e in expected_gaps), default=0)
+        assert self._gaps.max_size == exact, (
+            f"max gap {self._gaps.max_size} != exact {exact}"
         )

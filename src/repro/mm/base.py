@@ -40,6 +40,7 @@ __all__ = [
     "find_best_fit",
     "find_worst_fit",
     "find_next_fit",
+    "find_relocation_target",
 ]
 
 #: Called after every compaction move: (object, old_address, new_address).
@@ -187,14 +188,6 @@ def iter_free_gaps(
         yield (span_end, None)
 
 
-def _usable(start: int, end: int | None, size: int, alignment: int) -> int | None:
-    """The first aligned address in the gap that fits ``size``, if any."""
-    address = align_up(start, alignment)
-    if end is None or address + size <= end:
-        return address
-    return None
-
-
 def find_first_fit(
     heap: SimHeap, size: int, *, alignment: int = 1, start_at: int = 0
 ) -> int:
@@ -246,16 +239,31 @@ def find_best_fit(heap: SimHeap, size: int, *, alignment: int = 1) -> int:
 
 def find_worst_fit(heap: SimHeap, size: int, *, alignment: int = 1) -> int:
     """Address of the *largest* gap that fits (ties: lowest address)."""
+    found = heap.occupied.find_worst_gap(size, alignment=alignment)
+    if found is not None:
+        return found
+    return align_up(heap.occupied.span_end, alignment)
+
+
+def find_relocation_target(
+    heap: SimHeap, size: int, avoid_start: int, avoid_end: int
+) -> int:
+    """Lowest free address for ``size`` words outside ``[avoid_start, avoid_end)``.
+
+    The relocation search used while *evacuating* a region: any gap
+    intersecting the region contributes only its part **above**
+    ``avoid_end`` (the part below would re-fragment what is being
+    cleared).  Falls back to the free tail past both the covered span
+    and the region.  Kept as a deliberate linear scan: the clipping
+    semantics are not expressible as a plain gap-index query, and
+    evacuations are rare next to placements.
+    """
     span_end = heap.occupied.span_end
-    best_address: int | None = None
-    best_size = -1
     for gap_start, gap_end in heap.free_gaps(upto=span_end):
-        candidate = _usable(gap_start, gap_end, size, alignment)
-        if candidate is None:
-            continue
-        gap_size = gap_end - gap_start
-        if gap_size > best_size:
-            best_address, best_size = candidate, gap_size
-    if best_address is not None:
-        return best_address
-    return align_up(span_end, alignment)
+        start = gap_start
+        if start < avoid_end and gap_end > avoid_start:
+            # Gap intersects the region; only use the part above it.
+            start = max(start, avoid_end)
+        if gap_end - start >= size:
+            return start
+    return max(span_end, avoid_end)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import bisect
 
 from ..heap.object_model import HeapObject
-from .base import MemoryManager, find_first_fit
+from .base import MemoryManager, find_first_fit, find_relocation_target
 
 __all__ = [
     "AddressIndex",
@@ -281,25 +281,13 @@ class CheapestWindowCompactor(MemoryManager):
         for victim in victims:
             if not self.ctx.can_afford_move(victim.size):
                 return  # budget shifted mid-evacuation; abort politely
-            target = self._relocation_target(victim, start, start + size)
-            if target is None:
-                return
+            target = find_relocation_target(
+                self.heap, victim.size, start, start + size
+            )
             self.ctx.move(victim.object_id, target)
             self._layout_epoch += 1
         if self.heap.is_free(start, size):
             self._pending_target = start
-
-    def _relocation_target(
-        self, victim, avoid_start: int, avoid_end: int
-    ):  # noqa: ANN001, ANN201 - HeapObject -> int | None
-        span_end = self.heap.occupied.span_end
-        for gap_start, gap_end in self.heap.free_gaps(upto=span_end):
-            usable_start = gap_start
-            if usable_start < avoid_end and gap_end > avoid_start:
-                usable_start = max(usable_start, avoid_end)
-            if gap_end - usable_start >= victim.size:
-                return usable_start
-        return max(span_end, avoid_end)
 
     def place(self, size: int) -> int:
         if self._pending_target is not None and self.heap.is_free(

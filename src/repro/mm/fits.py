@@ -46,8 +46,9 @@ class FirstFitManager(MemoryManager):
         # (size, alignment) -> last fit address.  During a run of pure
         # allocations free space only shrinks, so the first fit for a
         # given request shape is monotone — scanning can resume from the
-        # previous hit.  Any free invalidates the cursors (space may
-        # reopen below them).
+        # previous hit.  A free reopens space only inside the coalesced
+        # run it lands in, so just the cursors above that run's start
+        # (where a lower fit may now exist) are invalidated.
         self._cursors: dict[tuple[int, int], int] = {}
 
     def _alignment(self, size: int) -> int:
@@ -64,7 +65,15 @@ class FirstFitManager(MemoryManager):
         return address
 
     def on_free(self, obj: HeapObject) -> None:
-        self._cursors.clear()
+        # Every placement opportunity this free creates lies inside the
+        # coalesced free run containing the freed words, so any cursor
+        # at or below the run's start still has no fit below it.  Note
+        # the run may reach *below* ``obj.address`` when the free merges
+        # with an adjacent gap — hence the heap query, not the raw range.
+        threshold = self.heap.occupied.free_run_start(obj.address)
+        for key, cached in list(self._cursors.items()):
+            if cached > threshold:
+                del self._cursors[key]
 
 
 class NextFitManager(MemoryManager):

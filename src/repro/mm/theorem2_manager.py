@@ -25,7 +25,7 @@ from __future__ import annotations
 from ..heap.chunks import ChunkId, ChunkPartition
 from ..heap.object_model import HeapObject
 from ..heap.units import align_up, floor_log2, next_power_of_two
-from .base import MemoryManager
+from .base import MemoryManager, find_relocation_target
 
 __all__ = ["Theorem2Manager"]
 
@@ -115,28 +115,14 @@ class Theorem2Manager(MemoryManager):
         for victim in victims:
             if not self.ctx.can_afford_move(victim.size):
                 return None  # partial evacuation; region not reusable
-            target = self._relocation_target(victim, best_chunk.start, best_chunk.end)
-            if target is None:
-                return None
+            target = find_relocation_target(
+                self.heap, victim.size, best_chunk.start, best_chunk.end
+            )
             self.ctx.move(victim.object_id, target)
             self._layout_epoch += 1
         if self.heap.is_free(best_chunk.start, cls):
             return best_chunk.start
         return None
-
-    def _relocation_target(
-        self, victim: HeapObject, avoid_start: int, avoid_end: int
-    ) -> int | None:
-        """A free address for ``victim`` outside the region being cleared."""
-        span_end = self.heap.occupied.span_end
-        for gap_start, gap_end in self.heap.free_gaps(upto=span_end):
-            start = gap_start
-            if start < avoid_end and gap_end > avoid_start:
-                # Gap intersects the region; only use the part above it.
-                start = max(start, avoid_end)
-            if gap_end - start >= victim.size:
-                return start
-        return max(span_end, avoid_end)
 
     # Placement ----------------------------------------------------------------
 

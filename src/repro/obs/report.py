@@ -166,6 +166,38 @@ def _format_stage_table(rows: list[StageRow], live_bound: int) -> str:
     return format_table(header, body)
 
 
+def _format_placement_line(metrics: dict) -> str | None:
+    """The allocator micro-profile line, or None when not recorded.
+
+    Summarizes the ``placement.*`` counters (gap-index search traffic)
+    plus the mean placement latency from the ``alloc.latency_ns``
+    histogram.
+    """
+
+    def counter(name: str) -> int | None:
+        entry = metrics.get(name)
+        return entry.get("value") if isinstance(entry, dict) else None
+
+    searches = counter("placement.searches")
+    if searches is None:
+        return None
+    hits = counter("placement.index_hits") or 0
+    fallbacks = counter("placement.scan_fallbacks") or 0
+    examined = counter("placement.gaps_examined") or 0
+    hit_pct = 100.0 * hits / searches if searches else 0.0
+    per_search = examined / searches if searches else 0.0
+    line = (
+        f"placement: {searches} searches "
+        f"({hit_pct:.1f}% index, {fallbacks} scan fallbacks), "
+        f"{per_search:.2f} gaps examined/search"
+    )
+    latency = metrics.get("alloc.latency_ns")
+    if isinstance(latency, dict) and latency.get("count"):
+        mean_ns = latency.get("total", 0) / latency["count"]
+        line += f", {mean_ns:,.0f} ns/alloc placement"
+    return line
+
+
 def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
     """The full terminal report for one recorded run."""
     manifest = run.manifest
@@ -191,6 +223,9 @@ def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
             f"{manifest.get('event_count', 0)} telemetry events"
         ),
     ]
+    placement = _format_placement_line(manifest.get("metrics", {}))
+    if placement:
+        lines.append(placement)
 
     samples = manifest.get("samples", [])
     if samples:

@@ -31,7 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.params import BoundParams
     from ..mm.base import MemoryManager
 
-__all__ = ["Telemetry", "run_recorded", "DEFAULT_SAMPLE_EVERY"]
+__all__ = [
+    "Telemetry",
+    "run_recorded",
+    "record_placement_metrics",
+    "DEFAULT_SAMPLE_EVERY",
+]
 
 #: Default sampling cadence (bus events between heap snapshots).
 DEFAULT_SAMPLE_EVERY = 256
@@ -91,6 +96,22 @@ class Telemetry:
         return self.sampler.to_dicts() if self.sampler is not None else []
 
 
+def record_placement_metrics(
+    registry: MetricsRegistry, driver: "ExecutionDriver"
+) -> None:
+    """Lift the heap's placement-search counters into ``registry``.
+
+    The :class:`~repro.heap.gap_index.SearchStats` live on the interval
+    set (out-of-band: they never enter the event stream, so digests stay
+    identical whether searches hit the index or the naive scan).  This
+    copies them into ``placement.*`` counters so manifests and
+    ``repro report`` surface them.
+    """
+    stats = driver.heap.occupied.search_stats
+    for name, value in stats.as_dict().items():
+        registry.counter(f"placement.{name}").inc(value)
+
+
 def run_recorded(
     params: "BoundParams",
     program: "AdversaryProgram",
@@ -145,6 +166,7 @@ def run_recorded(
     if on_driver is not None:
         on_driver(driver)
     result = driver.run(program)
+    record_placement_metrics(telemetry.registry, driver)
 
     writer.write(target / EVENTS_FILENAME)
     budget_snapshot = result.budget

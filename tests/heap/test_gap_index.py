@@ -1,0 +1,329 @@
+"""Differential and invariant tests for the free-gap index.
+
+Two layers:
+
+* :class:`GapIndex` unit tests against hand-built gap populations —
+  maintenance, the three query families, and ``check_consistency``.
+* Hypothesis suites driving random ``add``/``remove``/query
+  interleavings through :class:`IntervalSet`, asserting after every
+  step that (a) the structural invariants (interval arrays, covered
+  count, full index consistency) hold and (b) every indexed search
+  answer is byte-identical to the ``_naive_*`` linear-scan reference —
+  the determinism contract the allocator hot path relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.gap_index import GapIndex, SearchStats
+from repro.heap.intervals import IntervalSet
+
+# Strategy pieces -------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=160)
+sizes = st.integers(min_value=1, max_value=40)
+alignments = st.sampled_from([1, 2, 4, 8])
+
+
+@st.composite
+def interval_ops(draw, max_ops=40):
+    """A random interleaving of add/remove operations."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    return [
+        (draw(addresses), draw(st.integers(min_value=1, max_value=24)))
+        for _ in range(count)
+    ]
+
+
+def apply_ops(ops):
+    """Build an IntervalSet from (address, length) ops.
+
+    Each op adds the range when it is fully free, removes it when fully
+    covered, and otherwise removes the covered sub-pieces — exercising
+    whole/prefix/suffix/interior removals and both add cases.
+    """
+    s = IntervalSet()
+    for address, length in ops:
+        end = address + length
+        if not s.overlaps(address, end):
+            s.add(address, end)
+        elif s.covers(address, end):
+            s.remove(address, end)
+        else:
+            covered = [
+                (max(address, cs), min(end, ce))
+                for cs, ce in s
+                if cs < end and ce > address
+            ]
+            for piece_start, piece_end in covered:
+                s.remove(piece_start, piece_end)
+        s.check_invariants()
+    return s
+
+
+# GapIndex unit tests ---------------------------------------------------------
+
+
+class TestGapIndexBasics:
+    def test_empty(self):
+        g = GapIndex()
+        assert len(g) == 0
+        assert g.max_size == 0
+        assert list(g) == []
+        assert g.find_first(1) is None
+        assert g.find_best(1) is None
+        assert g.find_worst(1) is None
+
+    def test_add_remove_roundtrip(self):
+        g = GapIndex()
+        g.add(10, 14)
+        g.add(0, 2)
+        g.add(20, 52)
+        assert len(g) == 3
+        assert list(g) == [(0, 2), (10, 14), (20, 52)]
+        assert g.max_size == 32
+        g.check_consistency([(0, 2), (10, 14), (20, 52)])
+        g.remove(20, 52)
+        assert g.max_size == 4
+        g.check_consistency([(0, 2), (10, 14)])
+
+    def test_remove_unknown_gap_raises(self):
+        g = GapIndex()
+        g.add(10, 14)
+        with pytest.raises(ValueError):
+            g.remove(11, 14)  # not a recorded start
+        with pytest.raises(ValueError):
+            g.remove(10, 13)  # recorded start, wrong extent
+        g.check_consistency([(10, 14)])  # failed removes left it intact
+
+    def test_copy_is_independent(self):
+        g = GapIndex()
+        g.add(0, 4)
+        clone = g.copy()
+        clone.add(10, 30)
+        assert len(g) == 1 and len(clone) == 2
+        g.check_consistency([(0, 4)])
+        clone.check_consistency([(0, 4), (10, 30)])
+
+    def test_clear(self):
+        g = GapIndex()
+        g.add(0, 4)
+        g.clear()
+        assert len(g) == 0 and g.max_size == 0
+        g.check_consistency([])
+
+    def test_first_fit_prefers_lowest_address(self):
+        g = GapIndex()
+        g.add(100, 200)   # large, high
+        g.add(0, 6)       # small, low
+        assert g.find_first(4) == 0
+        assert g.find_first(7) == 100
+        # `start` bounds gap *starts*: the straddling gap [0, 6) is out
+        # of scope by contract (IntervalSet tests its remainder itself).
+        assert g.find_first(4, start=1) == 100
+        assert g.find_first(4, start=101) is None
+
+    def test_first_fit_alignment_can_skip_a_gap(self):
+        g = GapIndex()
+        g.add(3, 8)       # 5 words but only 4 at alignment 4 (addr 4)
+        g.add(16, 21)
+        assert g.find_first(5, alignment=4) == 16
+        assert g.find_first(4, alignment=4) == 4
+
+    def test_best_fit_tie_breaks_to_lowest_address(self):
+        g = GapIndex()
+        g.add(50, 54)
+        g.add(10, 14)
+        g.add(0, 8)
+        assert g.find_best(3) == 10
+        assert g.find_best(5) == 0
+
+    def test_worst_fit_prefers_largest_then_lowest(self):
+        g = GapIndex()
+        g.add(0, 4)
+        g.add(40, 48)
+        g.add(10, 18)
+        assert g.find_worst(2) == 10
+        assert g.find_worst(9) is None
+
+    def test_stats_accumulate(self):
+        g = GapIndex()
+        g.add(0, 4)
+        g.add(10, 20)
+        stats = SearchStats()
+        g.find_first(2, stats=stats)
+        g.find_best(2, stats=stats)
+        g.find_worst(2, stats=stats)
+        assert stats.gaps_examined > 0
+        assert stats.as_dict()["gaps_examined"] == stats.gaps_examined
+        stats.reset()
+        assert stats.as_dict() == {
+            "searches": 0, "index_hits": 0,
+            "scan_fallbacks": 0, "gaps_examined": 0,
+        }
+
+
+# IntervalSet integration -----------------------------------------------------
+
+
+class TestIntervalSetIndex:
+    def test_gap_count_and_exact_hint(self):
+        s = IntervalSet([(4, 6), (10, 12), (40, 44)])
+        assert s.gap_count == 3  # [0,4) [6,10) [12,40)
+        assert s.max_gap_hint == 28
+        s.remove(10, 12)  # merges [6,10)+[10,12)+[12,40)
+        assert s.gap_count == 2
+        assert s.max_gap_hint == 34
+
+    def test_total_is_maintained(self):
+        s = IntervalSet()
+        assert s.total == 0
+        s.add(0, 10)
+        s.add(20, 25)
+        assert s.total == 15
+        s.remove(2, 4)
+        assert s.total == 13
+        s.clear()
+        assert s.total == 0
+
+    def test_copy_carries_index_and_total(self):
+        s = IntervalSet([(4, 6), (10, 12)])
+        clone = s.copy()
+        clone.add(6, 10)
+        s.check_invariants()
+        clone.check_invariants()
+        assert s.total == 4 and clone.total == 8
+        assert s.gap_count == 2 and clone.gap_count == 1
+
+    def test_free_run_start(self):
+        s = IntervalSet([(4, 6), (10, 12)])
+        assert s.free_run_start(0) == 0
+        assert s.free_run_start(7) == 6
+        assert s.free_run_start(100) == 12
+        with pytest.raises(ValueError):
+            s.free_run_start(5)
+        with pytest.raises(ValueError):
+            s.free_run_start(-1)
+
+    def test_limit_below_span_falls_back_to_scan(self):
+        s = IntervalSet([(0, 2), (6, 8), (20, 22)])
+        before = s.search_stats.scan_fallbacks
+        assert s.find_first_gap(2, end=8) == 2
+        assert s.search_stats.scan_fallbacks == before + 1
+        assert s.find_best_gap(2, end=8) == (2, 4)
+        assert s.find_worst_gap(2, end=8) == 2
+        assert s.search_stats.scan_fallbacks == before + 3
+
+    def test_limit_above_span_uses_tail(self):
+        s = IntervalSet([(0, 8)])
+        assert s.find_first_gap(4, end=12) == 8
+        assert s.find_first_gap(5, end=12) is None
+        assert s.find_first_gap(4, alignment=8, end=17) == 8
+        assert s.find_first_gap(4, start=9, end=14) == 9
+
+    def test_straddling_start_bound_is_found(self):
+        s = IntervalSet([(0, 2), (12, 14)])
+        # The gap [2, 12) straddles start=4; naive finds 4.
+        assert s.find_first_gap(4, start=4) == 4
+        assert s.find_first_gap(4, start=4) == s._naive_find_first_gap(
+            4, start=4
+        )
+        # Clipped remainder too small: must fall through to later gaps.
+        s2 = IntervalSet([(0, 2), (8, 10), (20, 22)])
+        assert s2.find_first_gap(5, start=5) == 10
+        assert s2.find_first_gap(5, start=5) == s2._naive_find_first_gap(
+            5, start=5
+        )
+
+
+# Hypothesis differential suites ----------------------------------------------
+
+
+class TestDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=interval_ops(), size=sizes, alignment=alignments,
+           start=addresses)
+    def test_first_fit_matches_naive(self, ops, size, alignment, start):
+        s = apply_ops(ops)
+        indexed = s.find_first_gap(size, alignment=alignment, start=start)
+        naive = s._naive_find_first_gap(size, alignment=alignment, start=start)
+        assert indexed == naive
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=interval_ops(), size=sizes, alignment=alignments)
+    def test_best_fit_matches_naive(self, ops, size, alignment):
+        s = apply_ops(ops)
+        assert s.find_best_gap(size, alignment=alignment) == (
+            s._naive_find_best_gap(size, alignment=alignment)
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=interval_ops(), size=sizes, alignment=alignments)
+    def test_worst_fit_matches_naive(self, ops, size, alignment):
+        s = apply_ops(ops)
+        assert s.find_worst_gap(size, alignment=alignment) == (
+            s._naive_find_worst_gap(size, alignment=alignment)
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=interval_ops(), size=sizes, alignment=alignments,
+           start=addresses,
+           limit_delta=st.integers(min_value=-60, max_value=60))
+    def test_explicit_limits_match_naive(self, ops, size, alignment,
+                                         start, limit_delta):
+        """Limits below, at, and above the covered span all agree with
+        the reference (below-span limits take the scan fallback; the
+        others exercise the index + tail paths)."""
+        s = apply_ops(ops)
+        limit = max(0, s.span_end + limit_delta)
+        indexed = s.find_first_gap(
+            size, alignment=alignment, start=start, end=limit
+        )
+        naive = s._naive_find_first_gap(
+            size, alignment=alignment, start=start, end=limit
+        )
+        assert indexed == naive
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=interval_ops())
+    def test_invariants_after_every_mutation(self, ops):
+        # apply_ops calls check_invariants (covered count, exact
+        # max-gap, full index consistency) after each step.
+        s = apply_ops(ops)
+        # And the index agrees with a scan-derived gap list at the end.
+        expected = list(s.gaps(0, s.span_end))
+        assert list(s._gaps) == expected
+        assert s.gap_count == len(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=interval_ops(), queries=st.lists(
+        st.tuples(st.sampled_from(["first", "best", "worst"]),
+                  sizes, alignments),
+        min_size=1, max_size=8,
+    ))
+    def test_query_mutation_interleaving(self, ops, queries):
+        """Queries issued mid-mutation-stream also match the reference."""
+        s = IntervalSet()
+        pending = list(queries)
+        for address, length in ops:
+            end = address + length
+            if not s.overlaps(address, end):
+                s.add(address, end)
+            elif s.covers(address, end):
+                s.remove(address, end)
+            if pending:
+                kind, size, alignment = pending.pop()
+                if kind == "first":
+                    assert s.find_first_gap(size, alignment=alignment) == (
+                        s._naive_find_first_gap(size, alignment=alignment)
+                    )
+                elif kind == "best":
+                    assert s.find_best_gap(size, alignment=alignment) == (
+                        s._naive_find_best_gap(size, alignment=alignment)
+                    )
+                else:
+                    assert s.find_worst_gap(size, alignment=alignment) == (
+                        s._naive_find_worst_gap(size, alignment=alignment)
+                    )
+                s.check_invariants()

@@ -143,6 +143,43 @@ class TestEventRegistryRule:
         assert len(findings) == 2  # unregistered AND unexported
 
 
+class TestIntervalInternalsRule:
+    def test_flags_every_internal_attribute(self, tmp_path):
+        source = (
+            "def f(s):\n"
+            "    a = s._starts[0]\n"
+            "    b = s._ends[-1]\n"
+            "    c = s._gap_end\n"
+            "    d = s._gap_buckets\n"
+            "    e = s._class_mask\n"
+            "    g = s._size_order\n"
+        )
+        rules = _findings(tmp_path, source)
+        assert rules == ["interval-internals"] * 6
+
+    def test_flags_writes_too(self, tmp_path):
+        rules = _findings(tmp_path, "def f(s):\n    s._starts = []\n")
+        assert rules == ["interval-internals"]
+
+    def test_public_api_is_clean(self, tmp_path):
+        source = (
+            "def f(s):\n"
+            "    s.add(0, 4)\n"
+            "    return s.find_first_gap(2), s.total, s.gap_count\n"
+        )
+        assert _findings(tmp_path, source) == []
+
+    def test_heap_package_is_exempt(self):
+        assert lint_repro._in_heap_package(
+            REPO_ROOT / "src/repro/heap/intervals.py")
+        assert lint_repro._in_heap_package(
+            REPO_ROOT / "src/repro/heap/gap_index.py")
+        assert not lint_repro._in_heap_package(
+            REPO_ROOT / "src/repro/mm/base.py")
+        assert not lint_repro._in_heap_package(
+            REPO_ROOT / "tests/heap/test_intervals.py")
+
+
 class TestRepoIsClean:
     def test_src_and_tools_pass(self, capsys):
         status = lint_repro.main([

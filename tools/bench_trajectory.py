@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Append one dated record to the committed perf trajectory.
+
+``BENCH_BASELINE.json`` answers "is this commit slower than the
+reference?"; ``BENCH_TRAJECTORY.json`` answers "how has performance
+moved over time?".  Each invocation appends one record::
+
+    {
+      "date": "2026-08-06T12:34:56Z",
+      "commit": "8d02b25",
+      "sweep": {...},       # `repro sweep` BENCH_JSON (engine stats)
+      "gap_index": {...}    # bench_gap_index results (naive vs indexed)
+    }
+
+to the ``records`` list (the file is created on first use), so the
+allocator microbench speedup and the end-to-end sweep wall time travel
+together.  CI runs this in the perf-smoke job and uploads the file as
+an artifact; committing a refreshed file on perf-relevant PRs extends
+the committed trajectory.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_trajectory.py [--output PATH]
+        [--grid 20,50] [--managers first-fit,best-fit]
+        [--live 4096] [--object 64] [--jobs N]
+
+Exit status 0 on success, 2 when a bench or the sweep fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_TRAJECTORY.json"
+BENCH_JSON_PREFIX = "BENCH_JSON "
+
+
+def run_sweep(args: argparse.Namespace) -> dict:
+    """Run ``repro sweep`` and return its parsed BENCH_JSON record."""
+    command = [
+        sys.executable, "-m", "repro", "sweep",
+        "--live", str(args.live), "--object", str(args.object),
+        "--grid", args.grid, "--managers", args.managers,
+        "--jobs", str(args.jobs),
+    ]
+    completed = subprocess.run(
+        command, cwd=REPO_ROOT, capture_output=True, text=True
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"repro sweep failed (exit {completed.returncode}):\n"
+            f"{completed.stderr.strip()}"
+        )
+    for line in completed.stdout.splitlines():
+        if line.startswith(BENCH_JSON_PREFIX):
+            return json.loads(line[len(BENCH_JSON_PREFIX):])
+    raise RuntimeError("repro sweep printed no BENCH_JSON line")
+
+
+def run_gap_index_bench() -> dict:
+    """Run the allocator microbench; return its BENCH record."""
+    with tempfile.TemporaryDirectory(prefix="bench-trajectory-") as scratch:
+        command = [
+            sys.executable, "-m", "pytest",
+            "benchmarks/bench_gap_index.py",
+            "-q", "-p", "no:cacheprovider", "--bench-out", scratch,
+        ]
+        completed = subprocess.run(command, cwd=REPO_ROOT)
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"bench_gap_index failed (exit {completed.returncode})"
+            )
+        record = Path(scratch) / "BENCH_gap_index.json"
+        if not record.is_file():
+            raise RuntimeError("bench_gap_index emitted no record")
+        return json.loads(record.read_text(encoding="utf-8"))
+
+
+def current_commit() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        )
+        return completed.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trajectory(path: Path) -> dict:
+    if path.is_file():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != 1 or "records" not in payload:
+            raise RuntimeError(f"{path.name} has an unexpected schema")
+        return payload
+    return {
+        "schema": 1,
+        "note": ("Dated perf trajectory (repro sweep + allocator "
+                 "microbench). Append with: PYTHONPATH=src python "
+                 "tools/bench_trajectory.py"),
+        "records": [],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=TRAJECTORY_PATH,
+                        metavar="PATH",
+                        help="trajectory file to append to")
+    parser.add_argument("--live", type=int, default=4096,
+                        help="sweep live-space bound M (words)")
+    parser.add_argument("--object", type=int, default=64,
+                        help="sweep largest object n (words, power of two)")
+    parser.add_argument("--grid", default="20,50",
+                        help="sweep compaction-divisor grid C1,C2,...")
+    parser.add_argument("--managers", default="first-fit,best-fit",
+                        help="sweep manager family, comma-separated")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="sweep worker processes")
+    args = parser.parse_args(argv)
+
+    try:
+        sweep = run_sweep(args)
+        gap_index = run_gap_index_bench()
+        trajectory = load_trajectory(args.output)
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    record = {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": current_commit(),
+        "sweep": {"params": sweep["params"], "wall_s": sweep["wall_s"],
+                  "results": sweep["results"]},
+        "gap_index": {"params": gap_index["params"],
+                      "wall_s": gap_index["wall_s"],
+                      "results": gap_index["results"]},
+    }
+    trajectory["records"].append(record)
+    args.output.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    speedup = record["gap_index"]["results"].get("speedup")
+    print(f"appended record #{len(trajectory['records'])} to "
+          f"{args.output.name}: sweep {record['sweep']['wall_s']:.3f}s, "
+          f"gap index {speedup}x vs naive")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

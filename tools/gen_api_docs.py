@@ -14,6 +14,7 @@ MODULES = [
     "repro.core.envelope", "repro.core.absolute", "repro.core.series",
     "repro.core.tables",
     "repro.heap", "repro.heap.heap", "repro.heap.intervals",
+    "repro.heap.gap_index",
     "repro.heap.object_model", "repro.heap.chunks", "repro.heap.metrics",
     "repro.heap.units", "repro.heap.errors",
     "repro.mm", "repro.mm.base", "repro.mm.budget", "repro.mm.fits",

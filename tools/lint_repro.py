@@ -25,6 +25,12 @@ encodes the ones that have bitten (or nearly bitten) the reproduction:
 * ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and
   checker ``AssertionError``s; name the exception.
 * ``unused-import`` — dead imports hide real dependencies.
+* ``interval-internals`` — code outside ``src/repro/heap/`` must not
+  touch the interval/gap-index internals (``_starts``, ``_ends``,
+  ``_gap_end``, ``_gap_buckets``, ``_class_mask``, ``_size_order``).
+  The gap index mirrors the interval arrays; an external mutation (or
+  even an order-dependent read) bypasses that maintenance and silently
+  desynchronizes placement search.  Go through the public API.
 
 Usage::
 
@@ -70,6 +76,14 @@ _GLOBAL_RANDOM_FUNCS = frozenset({
 })
 
 EVENTS_MODULE = "src/repro/obs/events.py"
+
+#: Interval-set / gap-index internals owned by ``src/repro/heap/``.
+_INTERVAL_INTERNALS = frozenset({
+    "_starts", "_ends",
+    "_gap_end", "_gap_buckets", "_class_mask", "_size_order",
+})
+
+_HEAP_PACKAGE = "src/repro/heap"
 
 
 @dataclass(frozen=True)
@@ -343,6 +357,23 @@ def check_unused_imports(path: Path, tree: ast.Module,
 
 
 # ---------------------------------------------------------------------------
+# Rule: interval-internals (runs everywhere except src/repro/heap/)
+# ---------------------------------------------------------------------------
+
+def check_interval_internals(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """Flag attribute access to interval/gap-index internals."""
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr in _INTERVAL_INTERNALS):
+            yield Finding(
+                path, node.lineno, "interval-internals",
+                f"direct access to {node.attr!r}: the gap index mirrors "
+                "the interval arrays, so external pokes desynchronize "
+                "placement search; use the IntervalSet public API",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -355,6 +386,14 @@ def _in_no_float_scope(path: Path) -> bool:
     return (posix in NO_FLOAT_FILES
             or any(posix.startswith(prefix + "/")
                    for prefix in NO_FLOAT_DIRS))
+
+
+def _in_heap_package(path: Path) -> bool:
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        return False
+    return rel.as_posix().startswith(_HEAP_PACKAGE + "/")
 
 
 def lint_file(path: Path) -> list[Finding]:
@@ -371,6 +410,8 @@ def lint_file(path: Path) -> list[Finding]:
     findings.extend(check_all_consistency(path, tree))
     findings.extend(check_bare_except(path, tree))
     findings.extend(check_unused_imports(path, tree, source))
+    if not _in_heap_package(path):
+        findings.extend(check_interval_internals(path, tree))
     try:
         if path.resolve().relative_to(REPO_ROOT).as_posix() == EVENTS_MODULE:
             findings.extend(check_event_registry(path, tree))
