@@ -14,7 +14,6 @@ checks matter:
 from repro.analysis import format_table
 from repro.analysis.experiments import discretization_allowance
 from repro.analysis.sweep import simulation_sweep
-from repro.core.params import BoundParams
 from repro.core.theorem1 import lower_bound
 
 MANAGERS = ("sliding-compactor", "theorem2")

@@ -18,6 +18,10 @@ Commands:
   re-runs the configuration and compares stream digests);
 * ``report`` — render a recorded run directory (sparklines, the
   replayed waste trajectory and the stage-transition table);
+* ``staticcheck`` — whole-program static analysis of this repository
+  (interprocedural float-taint into the budget code, determinism of
+  digest-relevant code, worker picklability/purity, plus the per-module
+  lint rules), gated by the committed baseline;
 * ``exact`` — solve the micro-heap game exactly (optionally budgeted);
 * ``absolute`` — the Theorem-1 corollary for B-bounded managers;
 * ``verify`` — re-run every reproduction check in one pass;
@@ -207,6 +211,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sparkline width in cells (default 60)")
     report.add_argument("--no-plot", action="store_true",
                         help="skip the full trajectory plot")
+
+    staticcheck = commands.add_parser(
+        "staticcheck",
+        help="whole-program static analysis (taint/determinism/pickle + lint)",
+    )
+    staticcheck.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze "
+             "(default: src/repro tools, as one program)",
+    )
+    staticcheck.add_argument("--format", choices=("text", "json", "sarif"),
+                             default="text", help="report format")
+    staticcheck.add_argument("--output", metavar="FILE", default=None,
+                             help="write the report to FILE instead of stdout "
+                                  "(a one-line summary still prints)")
+    staticcheck.add_argument("--baseline", metavar="FILE", default=None,
+                             help="baseline file (default: the committed "
+                                  ".staticcheck-baseline.json)")
+    staticcheck.add_argument("--no-baseline", action="store_true",
+                             help="ignore any baseline: report everything")
+    staticcheck.add_argument("--update-baseline", action="store_true",
+                             help="accept current findings into the baseline "
+                                  "file and exit 0")
+    staticcheck.add_argument("--rules", metavar="NAME,...", default=None,
+                             help="run only these rules/passes (names or "
+                                  "rule ids, comma-separated)")
+    staticcheck.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalog and exit")
+    staticcheck.add_argument("--max-findings", type=int, default=100,
+                             help="findings to print before eliding "
+                                  "(text format, default 100)")
 
     exact = commands.add_parser("exact", help="micro-heap exact game value")
     exact.add_argument("--live", type=int, default=4)
@@ -498,6 +533,68 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .staticcheck import rule_catalog, render_text, to_json, to_sarif
+    from .staticcheck.baseline import DEFAULT_BASELINE_NAME, Baseline
+    from .staticcheck.runner import repo_root, run_staticcheck
+
+    if args.list_rules:
+        for spec in rule_catalog():
+            ids = ", ".join(spec.rule_ids)
+            print(f"{spec.name} [{spec.kind}] ({ids})")
+            print(f"    {spec.description}")
+        return 0
+
+    root = repo_root()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    rules = ([token for token in args.rules.split(",") if token]
+             if args.rules else None)
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / DEFAULT_BASELINE_NAME)
+    baseline = Baseline() if args.no_baseline else None
+
+    if args.update_baseline:
+        result = run_staticcheck(paths, root=root, rules=rules,
+                                 baseline=Baseline())
+        updated = Baseline.from_findings(result.findings, root)
+        updated.save(baseline_path)
+        print(f"wrote {baseline_path} ({len(updated.entries)} entries); "
+              "add a justification to every new entry")
+        return 0
+
+    result = run_staticcheck(paths, root=root, rules=rules,
+                             baseline=baseline, baseline_path=baseline_path)
+    if args.format == "text":
+        document = render_text(result.findings, result.suppressed,
+                               len(result.stale_entries),
+                               result.files_checked, root,
+                               result.wall_seconds,
+                               max_findings=args.max_findings)
+    elif args.format == "json":
+        document = to_json(result.findings, result.suppressed,
+                           len(result.stale_entries), result.files_checked,
+                           root)
+    else:
+        document = to_sarif(result.findings, result.suppressed,
+                            rule_catalog(), root)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(document + "\n", encoding="utf-8")
+        status = "FAIL" if result.findings else "OK"
+        print(f"{status}: {result.files_checked} files checked, "
+              f"{len(result.findings)} findings "
+              f"({len(result.suppressed)} baselined) -> {out}")
+    else:
+        print(document)
+    for entry in result.stale_entries:
+        print(f"stale baseline entry: {entry.rule} @ {entry.path} "
+              f"({entry.fingerprint}) — remove it", file=sys.stderr)
+    return result.exit_code
+
+
 def _cmd_exact(args: argparse.Namespace) -> int:
     if args.budget is not None:
         words = minimum_heap_words_budgeted(
@@ -552,6 +649,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_check(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "staticcheck":
+            return _cmd_staticcheck(args)
         if args.command == "exact":
             return _cmd_exact(args)
         if args.command == "absolute":

@@ -1,0 +1,68 @@
+"""Whole-program static analysis for the reproduction's own invariants.
+
+Generic linters check style; this package proves repository-specific
+properties the paper's claims rest on, *interprocedurally*:
+
+* **float-taint** (:mod:`~repro.staticcheck.taint`) — no float value,
+  produced anywhere in the program, reaches the budget-critical code
+  whose comparisons Theorem 1 makes ULP-tight;
+* **determinism** (:mod:`~repro.staticcheck.determinism`) — code that
+  can reach an event emission or digest is free of iteration-order,
+  identity, environment and wall-clock nondeterminism;
+* **pickle** (:mod:`~repro.staticcheck.picklecheck`) — task specs are
+  picklable and worker-reachable code never mutates module state;
+* the seven per-module lint rules migrated from ``tools/lint_repro.py``
+  (:mod:`~repro.staticcheck.rules_lint`).
+
+Everything registers into one plugin registry
+(:data:`~repro.staticcheck.base.RULE_REGISTRY`); ``repro staticcheck``
+runs it all, gated by a committed baseline of justified suppressions.
+See ``docs/static-analysis.md`` for the architecture and the rule
+catalog, and :mod:`repro.staticcheck.fixtures` for the known-bad corpus
+proving each pass actually fires.
+"""
+
+from .base import (
+    Finding,
+    RuleSpec,
+    Severity,
+    StaticCheckConfig,
+    module_rule,
+    program_pass,
+    rule_catalog,
+)
+from .baseline import Baseline, BaselineEntry
+from .callgraph import CallGraph, build_call_graph
+from .model import FunctionInfo, ModuleInfo, Program, module_name_for
+from .output import render_text, to_json, to_sarif
+from .runner import (
+    AnalysisResult,
+    iter_python_files,
+    run_on_program,
+    run_staticcheck,
+)
+
+__all__ = [
+    "Finding",
+    "RuleSpec",
+    "Severity",
+    "StaticCheckConfig",
+    "module_rule",
+    "program_pass",
+    "rule_catalog",
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
+    "build_call_graph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "module_name_for",
+    "render_text",
+    "to_json",
+    "to_sarif",
+    "AnalysisResult",
+    "iter_python_files",
+    "run_on_program",
+    "run_staticcheck",
+]

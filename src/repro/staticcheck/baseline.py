@@ -1,0 +1,141 @@
+"""Baseline (suppression) file: accepted findings, with justifications.
+
+The committed baseline (``.staticcheck-baseline.json`` at the repo
+root) is the analyzer's escape hatch: a finding whose fingerprint
+appears there is *suppressed* — reported in the summary count but not
+failing the gate.  Every entry carries a ``justification`` string, so
+the file doubles as a reviewable ledger of accepted debt; CI fails on
+any finding **not** in the baseline, which is how "seeding a float-taint
+bug via a helper function fails CI" is enforced.
+
+Fingerprints hash (rule, file, symbol, message, occurrence) — not line
+numbers — so entries survive unrelated edits; entries whose finding has
+disappeared are *stale* and reported so the file shrinks over time
+instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: The committed baseline's file name (repo root).
+DEFAULT_BASELINE_NAME = ".staticcheck-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    message: str
+    justification: str = "TODO: justify this suppression"
+
+    @classmethod
+    def from_finding(cls, finding: Finding, root: Path,
+                     justification: str | None = None) -> "BaselineEntry":
+        """An entry suppressing ``finding``."""
+        try:
+            rel = finding.path.relative_to(root).as_posix()
+        except ValueError:
+            rel = finding.path.as_posix()
+        return cls(
+            fingerprint=finding.fingerprint,
+            rule=finding.rule,
+            path=rel,
+            message=finding.message,
+            justification=justification
+            or "TODO: justify this suppression",
+        )
+
+
+@dataclass
+class Baseline:
+    """The suppression set, as loaded from (or written to) disk."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> set[str]:
+        """All suppressed fingerprints."""
+        return {entry.fingerprint for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != 1:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        entries = [
+            BaselineEntry(
+                fingerprint=str(raw["fingerprint"]),
+                rule=str(raw.get("rule", "?")),
+                path=str(raw.get("path", "?")),
+                message=str(raw.get("message", "")),
+                justification=str(raw.get("justification", "")),
+            )
+            for raw in payload.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted, one entry per finding)."""
+        payload = {
+            "version": 1,
+            "comment": (
+                "Accepted repro-staticcheck findings. Every entry needs a "
+                "justification; remove entries as the underlying findings "
+                "are fixed (stale entries are reported by the runner)."
+            ),
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries,
+                                    key=lambda e: (e.path, e.rule,
+                                                   e.fingerprint))
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    def split(self, findings: Sequence[Finding]) -> tuple[
+            list[Finding], list[Finding], list[BaselineEntry]]:
+        """(new, suppressed, stale) for one analysis run.
+
+        *new* findings are not in the baseline (they fail the gate),
+        *suppressed* ones are, and *stale* entries matched nothing.
+        """
+        known = self.fingerprints
+        new = [f for f in findings if f.fingerprint not in known]
+        suppressed = [f for f in findings if f.fingerprint in known]
+        seen = {f.fingerprint for f in findings}
+        stale = [entry for entry in self.entries
+                 if entry.fingerprint not in seen]
+        return new, suppressed, stale
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding], root: Path,
+                      justification: str | None = None) -> "Baseline":
+        """A baseline accepting every given finding (``--update-baseline``)."""
+        return cls(entries=[
+            BaselineEntry.from_finding(finding, root, justification)
+            for finding in findings
+        ])

@@ -1,0 +1,462 @@
+"""Known-bad programs every analysis pass must provably flag.
+
+The runtime checkers have :mod:`repro.check.fixtures` — corrupted event
+streams each sanitizer rule must catch; this is the same idea one level
+up.  Each fixture here is a tiny in-memory program (a ``{relpath:
+source}`` mapping laid out like the real tree, so the default
+:class:`~repro.staticcheck.base.StaticCheckConfig` applies unchanged)
+seeded with exactly one bug of a known class, plus the rule id that must
+fire on it.  ``tests/staticcheck/test_fixtures.py`` runs the whole
+matrix both ways: the bad program must produce the expected rule, and
+the ``fixed`` variant (where provided) must come back clean — mutation
+testing for the analyzer itself, so a pass that silently stops firing
+fails CI.
+
+Fixtures never touch the disk: they go through
+:meth:`~repro.staticcheck.model.Program.from_sources` and
+:func:`~repro.staticcheck.runner.run_on_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from textwrap import dedent
+
+from .base import Finding, StaticCheckConfig
+from .model import Program
+from .runner import run_on_program
+
+__all__ = ["StaticFixture", "STATIC_FIXTURES", "run_fixture"]
+
+
+@dataclass(frozen=True)
+class StaticFixture:
+    """One seeded-bug program and the rule that must flag it."""
+
+    name: str
+    description: str
+    #: The pass (registry name) under test — fixtures run only this pass,
+    #: so a finding can only come from the analysis it exercises.
+    pass_name: str
+    #: The rule id the seeded bug must trigger.
+    expect_rule: str
+    #: ``{relpath: source}`` of the seeded-bug program.
+    files: dict[str, str]
+    #: Substring that must appear in the flagged symbol (when set).
+    expect_symbol: str | None = None
+    #: Optional clean variant: same program with the bug repaired; the
+    #: pass must report nothing on it.
+    fixed_files: dict[str, str] = field(default_factory=dict)
+
+
+def run_fixture(fixture: StaticFixture, *,
+                fixed: bool = False) -> list[Finding]:
+    """Run the fixture's pass over its (bad or fixed) program."""
+    files = fixture.fixed_files if fixed else fixture.files
+    if not files:
+        raise ValueError(f"fixture {fixture.name!r} has no "
+                         f"{'fixed' if fixed else 'bad'} files")
+    program = Program.from_sources(files)
+    return run_on_program(program, StaticCheckConfig(),
+                          rules=[fixture.pass_name])
+
+
+def _src(text: str) -> str:
+    return dedent(text).lstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# float-taint pass
+# ---------------------------------------------------------------------------
+
+#: A helper module whose return value is float-tainted.
+_TAINTED_HELPER = _src("""
+    \"\"\"Utility helpers (not budget-critical themselves).\"\"\"
+
+
+    def average_ratio(moved: int, total: int) -> float:
+        if total == 0:
+            return 0.0
+        return moved / total
+""")
+
+_FIXTURE_TAINT_RETURN = StaticFixture(
+    name="taint-through-return",
+    description=(
+        "a budget-file function returns the result of a helper (defined "
+        "in another module) whose own return is float-tainted; per-line "
+        "lint cannot see this, the interprocedural summary must"
+    ),
+    pass_name="float-taint",
+    expect_rule="float-taint",
+    expect_symbol="repro.mm.budget.current_ratio",
+    files={
+        "src/repro/util/ratios.py": _TAINTED_HELPER,
+        "src/repro/mm/budget.py": _src("""
+            \"\"\"Budget accounting (exact arithmetic only).\"\"\"
+
+            from repro.util.ratios import average_ratio
+
+
+            def current_ratio(moved: int, total: int) -> int:
+                return average_ratio(moved, total)
+        """),
+    },
+    fixed_files={
+        "src/repro/util/ratios.py": _src("""
+            \"\"\"Utility helpers (not budget-critical themselves).\"\"\"
+
+
+            def scaled_ratio(moved: int, total: int) -> int:
+                if total == 0:
+                    return 0
+                return (moved * 1000) // total
+        """),
+        "src/repro/mm/budget.py": _src("""
+            \"\"\"Budget accounting (exact arithmetic only).\"\"\"
+
+            from repro.util.ratios import scaled_ratio
+
+
+            def current_ratio(moved: int, total: int) -> int:
+                return scaled_ratio(moved, total)
+        """),
+    },
+)
+
+_FIXTURE_TAINT_CALL = StaticFixture(
+    name="taint-through-call",
+    description=(
+        "taint crosses two call hops: budget code calls a clean-looking "
+        "wrapper which calls a deep helper built on time.time(); the "
+        "summary fixpoint must propagate float-ness up the chain"
+    ),
+    pass_name="float-taint",
+    expect_rule="float-taint",
+    expect_symbol="repro.mm.budget.charge_estimate",
+    files={
+        "src/repro/util/clock.py": _src("""
+            import time
+
+
+            def stamp():
+                return time.time()
+
+
+            def wrapped_stamp():
+                return stamp()
+        """),
+        "src/repro/mm/budget.py": _src("""
+            from repro.util.clock import wrapped_stamp
+
+
+            def charge_estimate(size: int):
+                return wrapped_stamp()
+        """),
+    },
+    fixed_files={
+        "src/repro/util/clock.py": _src("""
+            import time
+
+
+            def stamp():
+                return time.time_ns()
+
+
+            def wrapped_stamp():
+                return stamp()
+        """),
+        "src/repro/mm/budget.py": _src("""
+            from repro.util.clock import wrapped_stamp
+
+
+            def charge_estimate(size: int):
+                return wrapped_stamp()
+        """),
+    },
+)
+
+_FIXTURE_TAINT_ARG = StaticFixture(
+    name="taint-through-arg",
+    description=(
+        "a caller outside the budget files passes a float literal into a "
+        "budget function whose parameter is declared int — the taint "
+        "enters through the argument, not the return"
+    ),
+    pass_name="float-taint",
+    expect_rule="float-taint-arg",
+    expect_symbol="repro.sim.engine.run_step",
+    files={
+        "src/repro/mm/budget.py": _src("""
+            def charge(amount: int) -> int:
+                return amount * 2
+        """),
+        "src/repro/sim/engine.py": _src("""
+            from repro.mm.budget import charge
+
+
+            def run_step():
+                return charge(0.5)
+        """),
+    },
+    fixed_files={
+        "src/repro/mm/budget.py": _src("""
+            def charge(amount: int) -> int:
+                return amount * 2
+        """),
+        "src/repro/sim/engine.py": _src("""
+            from repro.mm.budget import charge
+
+
+            def run_step():
+                return charge(1)
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# determinism pass
+# ---------------------------------------------------------------------------
+
+_FIXTURE_UNORDERED_DICT = StaticFixture(
+    name="unordered-dict-into-digest",
+    description=(
+        "the canonical digest helper iterates a dict through set(), "
+        "re-randomizing insertion order under hash seeding — the classic "
+        "unordered-collection-into-digest bug"
+    ),
+    pass_name="determinism",
+    expect_rule="unordered-iteration",
+    expect_symbol="repro.check.determinism.canonical_event_bytes",
+    files={
+        "src/repro/check/determinism.py": _src("""
+            def canonical_event_bytes(payload: dict) -> bytes:
+                parts = []
+                for key in set(payload):
+                    parts.append(f"{key}={payload[key]}")
+                return "|".join(parts).encode("ascii")
+        """),
+    },
+    fixed_files={
+        "src/repro/check/determinism.py": _src("""
+            def canonical_event_bytes(payload: dict) -> bytes:
+                parts = []
+                for key in sorted(payload):
+                    parts.append(f"{key}={payload[key]}")
+                return "|".join(parts).encode("ascii")
+        """),
+    },
+)
+
+_FIXTURE_ID_ORDERING = StaticFixture(
+    name="id-ordering-before-emit",
+    description=(
+        "a function that emits events orders its work list with "
+        "sorted(key=id): object addresses differ across runs, so event "
+        "order — and the digest — diverges"
+    ),
+    pass_name="determinism",
+    expect_rule="id-ordering",
+    expect_symbol="repro.sim.engine.flush",
+    files={
+        "src/repro/sim/engine.py": _src("""
+            def flush(self, pending):
+                for item in sorted(pending, key=id):
+                    self.bus.emit(item)
+        """),
+    },
+    fixed_files={
+        "src/repro/sim/engine.py": _src("""
+            def flush(self, pending):
+                for item in sorted(pending, key=lambda e: e.seq):
+                    self.bus.emit(item)
+        """),
+    },
+)
+
+_FIXTURE_TIME_READ = StaticFixture(
+    name="time-into-digest",
+    description=(
+        "a wall-clock read (time.time) inside emit-reachable code: the "
+        "emitted payload would differ between identically-seeded runs"
+    ),
+    pass_name="determinism",
+    expect_rule="time-read",
+    expect_symbol="repro.obs.bus.stamp_and_emit",
+    files={
+        "src/repro/obs/bus.py": _src("""
+            import time
+
+
+            def stamp_and_emit(bus, event):
+                event.stamp = time.time()
+                bus.emit(event)
+        """),
+    },
+    fixed_files={
+        "src/repro/obs/bus.py": _src("""
+            import time
+
+
+            def stamp_and_emit(bus, event):
+                event.latency = time.perf_counter()
+                bus.emit(event)
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# pickle pass
+# ---------------------------------------------------------------------------
+
+#: The worker module skeleton shared by the pickle fixtures.
+_FIXTURE_UNPICKLABLE_FIELD = StaticFixture(
+    name="unpicklable-task-field",
+    description=(
+        "a SimTask field annotated Callable: the spec would fail (or "
+        "worse, partially survive) pickling into the worker pool"
+    ),
+    pass_name="pickle",
+    expect_rule="unpicklable-field",
+    expect_symbol="repro.parallel.tasks.SimTask",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            from dataclasses import dataclass
+            from typing import Callable
+
+
+            @dataclass(frozen=True)
+            class SimTask:
+                seed: int
+                on_done: Callable[[int], None]
+
+
+            def run_task(task: SimTask):
+                return task.seed
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/tasks.py": _src("""
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class SimTask:
+                seed: int
+                done_event: str
+
+
+            def run_task(task: SimTask):
+                return task.seed
+        """),
+    },
+)
+
+_FIXTURE_LAMBDA_DEFAULT = StaticFixture(
+    name="lambda-default-field",
+    description=(
+        "a task-spec field defaulting to a lambda — unpicklable even "
+        "though the annotation looks innocent"
+    ),
+    pass_name="pickle",
+    expect_rule="unpicklable-field",
+    expect_symbol="repro.parallel.tasks.SimTask",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class SimTask:
+                seed: int
+                keyfn: object = lambda x: x
+
+
+            def run_task(task: SimTask):
+                return task.seed
+        """),
+    },
+)
+
+_FIXTURE_WORKER_MUTATION = StaticFixture(
+    name="worker-global-mutation",
+    description=(
+        "worker-reachable code (two hops below run_task) appends to a "
+        "module-level list: per-process copies diverge silently and "
+        "results depend on chunk scheduling"
+    ),
+    pass_name="pickle",
+    expect_rule="worker-global-mutation",
+    expect_symbol="repro.parallel.stats.record",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.parallel.stats import record
+
+
+            def run_task(task):
+                record(task)
+                return task
+        """),
+        "src/repro/parallel/stats.py": _src("""
+            HISTORY = []
+
+
+            def record(task):
+                HISTORY.append(task)
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.parallel.stats import record
+
+
+            def run_task(task):
+                return record(task)
+        """),
+        "src/repro/parallel/stats.py": _src("""
+            def record(task):
+                history = []
+                history.append(task)
+                return history
+        """),
+    },
+)
+
+_FIXTURE_WORKER_GLOBAL = StaticFixture(
+    name="worker-global-assign",
+    description=(
+        "run_task itself rebinds a module global via a ``global`` "
+        "declaration — the canonical worker-state bug"
+    ),
+    pass_name="pickle",
+    expect_rule="worker-global-mutation",
+    expect_symbol="repro.parallel.tasks.run_task",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            COUNTER = 0
+
+
+            def run_task(task):
+                global COUNTER
+                COUNTER = COUNTER + 1
+                return COUNTER
+        """),
+    },
+)
+
+
+#: The full corpus, in documentation order.
+STATIC_FIXTURES: tuple[StaticFixture, ...] = (
+    _FIXTURE_TAINT_RETURN,
+    _FIXTURE_TAINT_CALL,
+    _FIXTURE_TAINT_ARG,
+    _FIXTURE_UNORDERED_DICT,
+    _FIXTURE_ID_ORDERING,
+    _FIXTURE_TIME_READ,
+    _FIXTURE_UNPICKLABLE_FIELD,
+    _FIXTURE_LAMBDA_DEFAULT,
+    _FIXTURE_WORKER_MUTATION,
+    _FIXTURE_WORKER_GLOBAL,
+)

@@ -1,0 +1,137 @@
+"""Report rendering: text, JSON, and SARIF 2.1.0.
+
+Text is the human gate output (one ``path:line: rule: message`` line
+per finding, like the old ``lint_repro`` output, plus a summary).  JSON
+is the machine form of the same.  SARIF is what CI uploads as an
+artifact: a minimal-but-valid SARIF 2.1.0 log with the full rule
+catalog in ``tool.driver.rules``, one result per finding, and the
+stable fingerprint under ``fingerprints`` so SARIF viewers dedupe
+across commits the same way the baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .base import Finding, RuleSpec
+
+__all__ = ["render_text", "to_json", "to_sarif"]
+
+#: SARIF schema constants.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-staticcheck"
+
+
+def render_text(new: Sequence[Finding], suppressed: Sequence[Finding],
+                stale_count: int, files_checked: int, root: Path,
+                wall_seconds: float | None = None,
+                max_findings: int = 100) -> str:
+    """The console report."""
+    lines = [finding.describe(root) for finding in new[:max_findings]]
+    if len(new) > max_findings:
+        lines.append(f"... {len(new) - max_findings} more findings elided "
+                     f"(--max-findings)")
+    status = "FAIL" if new else "OK"
+    summary = (f"{status}: {files_checked} files checked, "
+               f"{len(new)} findings")
+    if suppressed:
+        summary += f" ({len(suppressed)} baselined)"
+    if stale_count:
+        summary += f"; {stale_count} stale baseline entr" + (
+            "y" if stale_count == 1 else "ies")
+    if wall_seconds is not None:
+        summary += f" [{wall_seconds:.2f}s]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json(new: Sequence[Finding], suppressed: Sequence[Finding],
+            stale_count: int, files_checked: int, root: Path) -> str:
+    """The ``--format json`` document."""
+    return json.dumps({
+        "tool": _TOOL_NAME,
+        "files_checked": files_checked,
+        "finding_count": len(new),
+        "suppressed_count": len(suppressed),
+        "stale_baseline_entries": stale_count,
+        "findings": [finding.to_dict(root) for finding in new],
+        "suppressed": [finding.to_dict(root) for finding in suppressed],
+    }, indent=2, sort_keys=True)
+
+
+def to_sarif(new: Sequence[Finding], suppressed: Sequence[Finding],
+             catalog: Sequence[RuleSpec], root: Path) -> str:
+    """The ``--format sarif`` document (SARIF 2.1.0).
+
+    Baselined findings are included with ``suppressions`` so viewers
+    show them greyed out rather than losing them entirely.
+    """
+    rules = []
+    seen_ids: set[str] = set()
+    for spec in catalog:
+        for rule_id in spec.rule_ids:
+            if rule_id in seen_ids:
+                continue
+            seen_ids.add(rule_id)
+            rules.append({
+                "id": rule_id,
+                "shortDescription": {"text": spec.description},
+                "properties": {"pass": spec.name, "kind": spec.kind},
+            })
+    # Findings may carry rule ids outside the catalog (defensive).
+    for finding in [*new, *suppressed]:
+        if finding.rule not in seen_ids:
+            seen_ids.add(finding.rule)
+            rules.append({"id": finding.rule,
+                          "shortDescription": {"text": finding.rule}})
+
+    def result(finding: Finding, suppressed_entry: bool) -> dict:
+        try:
+            uri = finding.path.relative_to(root).as_posix()
+        except ValueError:
+            uri = finding.path.as_posix()
+        record: dict = {
+            "ruleId": finding.rule,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+            "fingerprints": {f"{_TOOL_NAME}/v1": finding.fingerprint},
+        }
+        if finding.symbol:
+            record["properties"] = {"symbol": finding.symbol,
+                                    "pass": finding.source}
+        if suppressed_entry:
+            record["suppressions"] = [{"kind": "external",
+                                       "justification": "baselined"}]
+        return record
+
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri":
+                        "https://example.invalid/repro/staticcheck",
+                    "rules": rules,
+                },
+            },
+            "results": [
+                *(result(finding, False) for finding in new),
+                *(result(finding, True) for finding in suppressed),
+            ],
+        }],
+    }
+    return json.dumps(log, indent=2)

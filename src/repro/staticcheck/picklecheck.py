@@ -1,0 +1,209 @@
+"""Picklability & purity pass for the parallel worker boundary.
+
+The parallel engine (PR 3) ships :class:`~repro.parallel.tasks.SimTask`
+specs into worker processes and merges :class:`TaskResult`\\ s back;
+byte-identical serial-vs-parallel behaviour relies on two properties the
+runtime can only discover by crashing (or worse, by silently diverging):
+
+* **picklability** — every field of the task-spec classes must cross
+  ``pickle``.  The pass inspects the annotated fields of the configured
+  task classes (``StaticCheckConfig.task_classes``) and flags
+  annotations naming unpicklable machinery (callables, generators,
+  iterators, open files, locks, threads, sockets) and lambda defaults —
+  rule ``unpicklable-field``;
+* **purity** — code reachable from the worker entry points
+  (``StaticCheckConfig.worker_entry_points``, transitively over the
+  call graph) must not mutate module-level state: a worker that bumps a
+  module global produces results that depend on which process ran which
+  chunk, which is exactly the nondeterminism the ordered-merge design
+  exists to rule out.  Flagged as ``worker-global-mutation``: ``global``
+  writes, and in-place mutation (subscript stores, ``append``/``update``
+  /... calls) of names bound to module-level mutable containers.
+
+Suppression: ``# lint: pickle-ok`` on any line of the statement.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .base import Finding, StaticCheckConfig, program_pass
+from .callgraph import build_call_graph
+from .model import FunctionInfo, ModuleInfo, Program
+
+__all__ = ["PickleAnalysis", "run_picklecheck"]
+
+#: Annotation tokens that cannot cross the pickle boundary.
+_UNPICKLABLE_TOKENS = re.compile(
+    r"\b(Callable|Generator|Iterator|AsyncIterator|Coroutine|"
+    r"IO|TextIO|BinaryIO|FileIO|socket|Socket|Thread|Lock|RLock|"
+    r"Condition|Semaphore|Event|Queue|Pool|Executor|ModuleType|"
+    r"FrameType|TracebackType)\b"
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "appendleft", "remove", "discard",
+    "clear", "sort", "reverse",
+})
+
+
+class PickleAnalysis:
+    """Task-class field checks + the worker purity walk."""
+
+    def __init__(self, program: Program, config: StaticCheckConfig) -> None:
+        self.program = program
+        self.config = config
+        self.graph = build_call_graph(program)
+        roots = [
+            resolved for name in config.worker_entry_points
+            if (resolved := program.resolve_symbol(name)) is not None
+        ]
+        #: Everything a worker process may execute.
+        self.worker_scope: set[str] = self.graph.reachable(roots)
+
+    # -- picklability of task-spec fields ------------------------------------
+
+    def field_findings(self) -> Iterator[Finding]:
+        """``unpicklable-field`` over the configured task classes."""
+        for name in self.config.task_classes:
+            qualname = self.program.resolve_symbol(name)
+            if qualname is None:
+                continue
+            info = self.program.classes.get(qualname)
+            if info is None:
+                continue
+            module = self.program.modules[info.module]
+            exempt = module.pickle_ok_lines
+            for field_name, annotation, default, line in info.fields:
+                if line in exempt:
+                    continue
+                match = _UNPICKLABLE_TOKENS.search(annotation)
+                if match:
+                    yield Finding(
+                        module.path, line, "unpicklable-field",
+                        f"task-spec field {field_name!r} of {qualname} is "
+                        f"annotated {annotation!r}: {match.group(0)} values "
+                        "cannot cross the worker pickle boundary",
+                        symbol=qualname, source="pickle",
+                    )
+                if isinstance(default, ast.Lambda):
+                    yield Finding(
+                        module.path, line, "unpicklable-field",
+                        f"task-spec field {field_name!r} of {qualname} "
+                        "defaults to a lambda: lambdas cannot be pickled "
+                        "into worker processes",
+                        symbol=qualname, source="pickle",
+                    )
+
+    # -- worker purity -------------------------------------------------------
+
+    def purity_findings(self) -> Iterator[Finding]:
+        """``worker-global-mutation`` over the worker-reachable scope."""
+        for qualname in sorted(self.worker_scope):
+            function = self.program.functions.get(qualname)
+            if function is None or function.is_module_body:
+                continue
+            module = self.program.modules[function.module]
+            yield from self._check_function(function, module)
+
+    def _check_function(self, function: FunctionInfo,
+                        module: ModuleInfo) -> Iterator[Finding]:
+        exempt = module.pickle_ok_lines
+        declared_global: set[str] = set()
+        assert isinstance(function.node,
+                          (ast.FunctionDef, ast.AsyncFunctionDef))
+        # Names shadowed locally are not module-state mutations.
+        local_names = {
+            target.id
+            for node in ast.walk(function.node)
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign))
+            for target in (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+            if isinstance(target, ast.Name)
+        }
+        local_names.update(function.params)
+        mutables = module.module_level_mutables - local_names
+
+        for node in ast.walk(function.node):
+            line = getattr(node, "lineno", 0)
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                continue
+            if line in exempt:
+                continue
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    yield from self._check_store(
+                        function, module, target, declared_global, mutables,
+                        line)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS):
+                root = _root_name(node.func.value)
+                if root is not None and root in mutables:
+                    yield Finding(
+                        module.path, line, "worker-global-mutation",
+                        f"worker-reachable {function.qualname} mutates "
+                        f"module-level {root!r} via .{node.func.attr}(): "
+                        "results would depend on process scheduling; pass "
+                        "state through the task instead",
+                        symbol=function.qualname, source="pickle",
+                    )
+
+    def _check_store(self, function: FunctionInfo, module: ModuleInfo,
+                     target: ast.expr, declared_global: set[str],
+                     mutables: set[str], line: int) -> Iterator[Finding]:
+        if isinstance(target, ast.Name):
+            if target.id in declared_global:
+                yield Finding(
+                    module.path, line, "worker-global-mutation",
+                    f"worker-reachable {function.qualname} assigns the "
+                    f"module global {target.id!r}: worker processes do not "
+                    "share it back, so serial and parallel runs diverge",
+                    symbol=function.qualname, source="pickle",
+                )
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root is not None and root in mutables:
+                yield Finding(
+                    module.path, line, "worker-global-mutation",
+                    f"worker-reachable {function.qualname} stores into "
+                    f"module-level {root!r}: mutation is invisible across "
+                    "the process boundary and order-dependent within it",
+                    symbol=function.qualname, source="pickle",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_store(
+                    function, module, element, declared_global, mutables,
+                    line)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+@program_pass(
+    "pickle",
+    "task-spec fields must be picklable and worker-reachable code must "
+    "not touch module-level mutable state (serial == parallel, always)",
+    rule_ids=("unpicklable-field", "worker-global-mutation"),
+)
+def run_picklecheck(program: Program,
+                    config: StaticCheckConfig) -> Iterator[Finding]:
+    """The registered pass entry point."""
+    analysis = PickleAnalysis(program, config)
+    yield from analysis.field_findings()
+    yield from analysis.purity_findings()

@@ -1,0 +1,421 @@
+"""Interprocedural float-taint analysis into budget-critical sinks.
+
+Theorem 1's bound is exact-arithmetic-tight: a single ULP of float
+drift flips ``can_move`` at the budget boundary (the regression tests in
+``tests/mm/test_budget.py`` construct exact such points).  The
+per-module ``no-float`` rule catches float *syntax* inside the
+budget-critical files, but it cannot see a float produced in one
+function and consumed in budget code two calls away.  This pass can:
+
+1. **Summaries.** For every function in the program, compute whether
+   its return value is float-tainted: a return expression is tainted if
+   it contains a float literal, true division, ``float(...)``, a
+   ``math.*``/``time.*`` call (minus the integer-returning exceptions),
+   a parameter annotated ``float``, or a call to a function whose
+   summary is already tainted.  Local variables propagate taint through
+   assignments.  Summaries iterate to a fixpoint over the call graph,
+   so taint flows through arbitrarily long helper chains.
+2. **Sink checks.** Inside the budget-critical scope
+   (``src/repro/exact/``, ``mm/budget.py``, ``check/budget_replay.py``):
+
+   * ``float-taint`` — a call whose resolved callee returns a tainted
+     value (the taint path is spelled out hop by hop in the message);
+   * ``float-taint-arg`` — *anywhere* in the program, a tainted
+     argument passed into a budget-critical function whose matching
+     parameter is **not** annotated as float-accepting.  Parameters
+     annotated ``float`` (e.g. the compaction divisor ``c``, which the
+     ledger immediately converts with ``as_integer_ratio``) are declared
+     boundaries and exempt: the sink module's own ``no-float``
+     discipline governs what happens after the boundary.
+
+``# lint: float-ok`` pragmas suppress both rules statement-wide —
+including on multi-line statements — and also stop taint at the source:
+a function whose only float production is pragma-exempted (a
+display-layer conversion) has a clean summary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Finding, StaticCheckConfig, program_pass
+from .callgraph import CallGraph, CallSite, build_call_graph
+from .model import FunctionInfo, ModuleInfo, Program
+
+__all__ = [
+    "FloatTaintAnalysis",
+    "run_float_taint",
+    "MATH_INT_RETURNING",
+]
+
+#: ``math`` members that return integers (not taint sources).
+MATH_INT_RETURNING = frozenset({
+    "ceil", "floor", "gcd", "lcm", "isqrt", "factorial", "comb", "perm",
+    "trunc",
+})
+
+#: Annotation substrings that declare a parameter float-accepting.
+_FLOAT_ACCEPTING_MARKERS = ("float", "Fraction", "Any", "object")
+
+
+def _annotation_accepts_float(annotation: str | None) -> bool:
+    if annotation is None:
+        return False
+    return any(marker in annotation for marker in _FLOAT_ACCEPTING_MARKERS)
+
+
+def _is_external_float_source(dotted: str) -> bool:
+    """Whether an out-of-program callee is a float producer."""
+    if dotted.startswith("math."):
+        return dotted.split(".", 1)[1] not in MATH_INT_RETURNING
+    if dotted.startswith("time."):
+        return not dotted.endswith("_ns")
+    return False
+
+
+class FloatTaintAnalysis:
+    """Function summaries + the sink walk, shared with the fixtures."""
+
+    def __init__(self, program: Program, config: StaticCheckConfig,
+                 graph: CallGraph | None = None) -> None:
+        self.program = program
+        self.config = config
+        self.graph = graph if graph is not None else build_call_graph(program)
+        #: qualname -> True when the function's return value is tainted.
+        self.tainted: dict[str, bool] = {}
+        #: qualname -> human-readable reason, for taint-path messages.
+        self.reasons: dict[str, str] = {}
+        #: qualname -> next hop (callee) the taint came through, if any.
+        self.via: dict[str, str | None] = {}
+        self._compute_summaries()
+
+    # -- expression-level taint ----------------------------------------------
+
+    def _call_taint(self, module: ModuleInfo, node: ast.Call,
+                    owner_class: str | None) -> tuple[bool, str | None]:
+        """(tainted, callee) for one call expression."""
+        if (isinstance(node.func, ast.Name) and node.func.id == "float"):
+            return True, "float()"
+        callee = self.program.resolve_call(module, node,
+                                           owner_class=owner_class)
+        if callee is None:
+            return False, None
+        if callee in self.program.functions:
+            return bool(self.tainted.get(callee)), callee
+        if callee in self.program.classes:
+            return False, callee  # constructing an object is not a float
+        return _is_external_float_source(callee), callee
+
+    def expr_taint(self, module: ModuleInfo, node: ast.expr | None,
+                   env: dict[str, bool], exempt: set[int],
+                   owner_class: str | None = None) -> bool:
+        """Whether an expression's value is float-tainted."""
+        if node is None:
+            return False
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float) and line not in exempt
+        if isinstance(node, ast.Name):
+            return env.get(node.id, False)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div) and line not in exempt:
+                return True
+            return (self.expr_taint(module, node.left, env, exempt,
+                                    owner_class)
+                    or self.expr_taint(module, node.right, env, exempt,
+                                       owner_class))
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_taint(module, node.operand, env, exempt,
+                                   owner_class)
+        if isinstance(node, ast.BoolOp):
+            return any(self.expr_taint(module, value, env, exempt,
+                                       owner_class)
+                       for value in node.values)
+        if isinstance(node, ast.IfExp):
+            return (self.expr_taint(module, node.body, env, exempt,
+                                    owner_class)
+                    or self.expr_taint(module, node.orelse, env, exempt,
+                                       owner_class))
+        if isinstance(node, ast.Call):
+            if line in exempt:
+                return False
+            tainted, _ = self._call_taint(module, node, owner_class)
+            return tainted
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.expr_taint(module, elt, env, exempt, owner_class)
+                       for elt in node.elts)
+        if isinstance(node, ast.Subscript):
+            return self.expr_taint(module, node.value, env, exempt,
+                                   owner_class)
+        if isinstance(node, ast.Starred):
+            return self.expr_taint(module, node.value, env, exempt,
+                                   owner_class)
+        if isinstance(node, ast.NamedExpr):
+            return self.expr_taint(module, node.value, env, exempt,
+                                   owner_class)
+        # Attribute access (properties), comparisons, f-strings,
+        # comprehensions: not treated as taint carriers.
+        return False
+
+    # -- function summaries --------------------------------------------------
+
+    def _initial_env(self, function: FunctionInfo) -> dict[str, bool]:
+        env: dict[str, bool] = {}
+        for param in function.params:
+            annotation = function.annotations.get(param)
+            if annotation is not None and "float" in annotation:
+                env[param] = True
+        return env
+
+    def _summarize(self, function: FunctionInfo) -> tuple[bool, str, str | None]:
+        """(tainted, reason, via-callee) for one function's return value."""
+        module = self.program.modules[function.module]
+        exempt = module.float_ok_lines
+        env = self._initial_env(function)
+        result: list[tuple[bool, str, str | None]] = [(False, "", None)]
+
+        def scan_stmt(stmt: ast.stmt) -> None:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                return
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = stmt.value
+                tainted = self.expr_taint(module, value, env, exempt,
+                                          function.owner_class)
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if isinstance(stmt, ast.AugAssign):
+                            env[target.id] = env.get(target.id, False) or tainted
+                        else:
+                            env[target.id] = tainted
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                env[elt.id] = tainted
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                if self.expr_taint(module, stmt.value, env, exempt,
+                                   function.owner_class):
+                    reason, via = self._return_reason(module, stmt.value, env,
+                                                     exempt,
+                                                     function.owner_class)
+                    result[0] = (True, reason, via)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    scan_stmt(child)
+                elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                    for grandchild in ast.iter_child_nodes(child):
+                        if isinstance(grandchild, ast.stmt):
+                            scan_stmt(grandchild)
+
+        if function.is_module_body:
+            return False, "", None
+        # Two passes over the body so a taint assigned below a loop's
+        # first read still converges (cheap alternative to per-function
+        # fixpoints; the repo has no taint-through-loop-carried cases).
+        for _ in range(2):
+            for stmt in function.body:
+                scan_stmt(stmt)
+        return result[0]
+
+    def _return_reason(self, module: ModuleInfo, node: ast.expr,
+                       env: dict[str, bool], exempt: set[int],
+                       owner_class: str | None) -> tuple[str, str | None]:
+        """A short provenance string for a tainted return expression."""
+        for sub in ast.walk(node):
+            line = getattr(sub, "lineno", 0)
+            if (isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, float) and line not in exempt):
+                return f"float literal {sub.value!r}", None
+            if (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div)
+                    and line not in exempt):
+                return "true division `/`", None
+            if isinstance(sub, ast.Call) and line not in exempt:
+                tainted, callee = self._call_taint(module, sub, owner_class)
+                if tainted and callee is not None:
+                    return f"call to {callee}", callee
+        tainted_names = sorted(
+            sub.id for sub in ast.walk(node)
+            if isinstance(sub, ast.Name) and env.get(sub.id)
+        )
+        if tainted_names:
+            return f"tainted local {tainted_names[0]!r}", None
+        return "tainted expression", None
+
+    def _compute_summaries(self) -> None:
+        for qualname in self.program.functions:
+            self.tainted[qualname] = False
+        for _ in range(20):
+            changed = False
+            for qualname, function in self.program.functions.items():
+                tainted, reason, via = self._summarize(function)
+                if tainted and not self.tainted[qualname]:
+                    self.tainted[qualname] = True
+                    self.reasons[qualname] = reason
+                    self.via[qualname] = via
+                    changed = True
+            if not changed:
+                break
+
+    def taint_path(self, qualname: str, limit: int = 6) -> str:
+        """``f <- g <- h (float literal 0.5)`` provenance chain."""
+        hops = [qualname]
+        current: str | None = qualname
+        while current is not None and len(hops) <= limit:
+            nxt = self.via.get(current)
+            if nxt is None or nxt in hops:
+                break
+            hops.append(nxt)
+            current = nxt
+        origin = self.reasons.get(hops[-1], "")
+        chain = " <- ".join(hops)
+        return f"{chain} ({origin})" if origin else chain
+
+    # -- sink checks ---------------------------------------------------------
+
+    def sink_findings(self) -> Iterator[Finding]:
+        """Both sink rules over the whole program."""
+        for function in self.program.functions.values():
+            module = self.program.modules[function.module]
+            in_sink = self.config.is_float_sink(module.relpath)
+            exempt = module.float_ok_lines
+            env = self._local_env(function)
+            for site in self.graph.sites.get(function.qualname, ()):
+                if site.callee is None:
+                    continue
+                if in_sink:
+                    yield from self._check_tainted_return(
+                        function, module, site, exempt)
+                yield from self._check_tainted_args(
+                    function, module, site, env, exempt)
+
+    def _local_env(self, function: FunctionInfo) -> dict[str, bool]:
+        """Local taint environment after simulating the body once."""
+        module = self.program.modules[function.module]
+        exempt = module.float_ok_lines
+        env = self._initial_env(function)
+        if function.is_module_body:
+            body = [stmt for stmt in function.body
+                    if not isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.ClassDef))]
+        else:
+            body = list(function.body)
+        for _ in range(2):
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef,
+                                         ast.ClassDef)):
+                        continue
+                    if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                        tainted = self.expr_taint(
+                            module, node.value, env, exempt,
+                            function.owner_class)
+                        targets = (node.targets
+                                   if isinstance(node, ast.Assign)
+                                   else [node.target])
+                        for target in targets:
+                            if isinstance(target, ast.Name):
+                                env[target.id] = tainted
+        return env
+
+    def _check_tainted_return(self, function: FunctionInfo,
+                              module: ModuleInfo, site: CallSite,
+                              exempt: set[int]) -> Iterator[Finding]:
+        callee = site.callee
+        assert callee is not None
+        if callee in self.program.functions:
+            if not self.tainted.get(callee):
+                return
+            detail = self.taint_path(callee)
+        elif _is_external_float_source(callee):
+            detail = f"{callee} returns a float"
+        else:
+            return
+        if set(_stmt_lines(site.node)) & exempt or site.line in exempt:
+            return
+        yield Finding(
+            module.path, site.line, "float-taint",
+            f"budget-critical code receives a float-tainted value: "
+            f"{detail}; use exact integer or Fraction arithmetic "
+            "(or a `# lint: float-ok` pragma for display-only values)",
+            symbol=function.qualname,
+            source="float-taint",
+        )
+
+    def _check_tainted_args(self, function: FunctionInfo,
+                            module: ModuleInfo, site: CallSite,
+                            env: dict[str, bool],
+                            exempt: set[int]) -> Iterator[Finding]:
+        callee = site.callee
+        assert callee is not None
+        params: tuple[str, ...]
+        annotations: dict[str, str]
+        if callee in self.program.functions:
+            target = self.program.functions[callee]
+            target_module = self.program.modules[target.module]
+            if not self.config.is_float_sink(target_module.relpath):
+                return
+            params = target.params
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+            annotations = target.annotations
+        elif callee in self.program.classes:
+            info = self.program.classes[callee]
+            target_module = self.program.modules[info.module]
+            if not self.config.is_float_sink(target_module.relpath):
+                return
+            resolved = self.program.init_params_of(callee)
+            if resolved is None:
+                return
+            params, annotations = resolved
+        else:
+            return
+        if site.line in exempt:
+            return
+        call = site.node
+        bound: list[tuple[str | None, ast.expr]] = []
+        for position, arg in enumerate(call.args):
+            name = params[position] if position < len(params) else None
+            bound.append((name, arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bound.append((keyword.arg, keyword.value))
+        for name, arg in bound:
+            if _annotation_accepts_float(
+                    annotations.get(name) if name else None):
+                continue
+            if not self.expr_taint(module, arg, env, exempt,
+                                   function.owner_class):
+                continue
+            label = f"parameter {name!r}" if name else "a parameter"
+            yield Finding(
+                module.path, site.line, "float-taint-arg",
+                f"float-tainted argument flows into budget-critical "
+                f"{callee} ({label} is not declared float-accepting); "
+                "budget arithmetic must stay exact",
+                symbol=function.qualname,
+                source="float-taint",
+            )
+
+
+def _stmt_lines(node: ast.AST) -> range:
+    start = getattr(node, "lineno", 0)
+    end = getattr(node, "end_lineno", start) or start
+    return range(start, end + 1)
+
+
+@program_pass(
+    "float-taint",
+    "interprocedural float taint must not reach budget-critical code "
+    "(Theorem 1 is ULP-tight at the budget boundary)",
+    rule_ids=("float-taint", "float-taint-arg"),
+)
+def run_float_taint(program: Program,
+                    config: StaticCheckConfig) -> Iterator[Finding]:
+    """The registered pass entry point."""
+    analysis = FloatTaintAnalysis(program, config)
+    yield from analysis.sink_findings()

@@ -1,0 +1,188 @@
+"""Baseline workflow, report formats, and the ``repro staticcheck`` CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+from repro.cli import main
+from repro.staticcheck.base import StaticCheckConfig
+from repro.staticcheck.baseline import Baseline, BaselineEntry
+from repro.staticcheck.model import Program
+from repro.staticcheck.output import to_sarif
+from repro.staticcheck.runner import run_on_program, run_staticcheck
+from repro.staticcheck import rule_catalog
+
+_BAD_BUDGET = dedent("""
+    def charge(amount: int):
+        return amount / 2
+""").lstrip("\n")
+
+
+def _bad_findings():
+    program = Program.from_sources({"src/repro/mm/budget.py": _BAD_BUDGET})
+    return run_on_program(program, StaticCheckConfig())
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_preserves_entries(self, tmp_path):
+        findings = _bad_findings()
+        baseline = Baseline.from_findings(findings, Path("/virtual"),
+                                          justification="historic debt")
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.fingerprints == baseline.fingerprints
+        assert all(e.justification == "historic debt"
+                   for e in loaded.entries)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_split_new_suppressed_stale(self):
+        findings = _bad_findings()
+        assert findings
+        suppressing = Baseline.from_findings(findings[:1], Path("/virtual"))
+        suppressing.entries.append(BaselineEntry(
+            fingerprint="deadbeefdeadbeef", rule="no-float",
+            path="gone.py", message="fixed long ago"))
+        new, suppressed, stale = suppressing.split(findings)
+        assert len(suppressed) == 1
+        assert len(new) == len(findings) - 1
+        assert [e.fingerprint for e in stale] == ["deadbeefdeadbeef"]
+
+    def test_fingerprints_survive_line_shifts(self):
+        shifted = Program.from_sources({
+            "src/repro/mm/budget.py": "# a comment\n\n" + _BAD_BUDGET,
+        })
+        original = {f.fingerprint for f in _bad_findings()}
+        moved = {f.fingerprint
+                 for f in run_on_program(shifted, StaticCheckConfig())}
+        assert original == moved
+
+
+class TestRunStaticcheckGate:
+    def _write_bad_tree(self, root: Path) -> Path:
+        bad = root / "src" / "repro" / "mm"
+        bad.mkdir(parents=True)
+        (bad / "budget.py").write_text(_BAD_BUDGET, encoding="utf-8")
+        return root
+
+    def test_findings_fail_then_baseline_suppresses(self, tmp_path):
+        root = self._write_bad_tree(tmp_path)
+        result = run_staticcheck([root / "src"], root=root)
+        assert result.exit_code == 1
+        assert [f.rule for f in result.findings] == ["no-float"]
+
+        baseline = Baseline.from_findings(result.findings, root)
+        baseline.save(root / ".staticcheck-baseline.json")
+        again = run_staticcheck([root / "src"], root=root)
+        assert again.exit_code == 0
+        assert len(again.suppressed) == 1
+
+    def test_syntax_errors_are_findings(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def oops(:\n", encoding="utf-8")
+        result = run_staticcheck([target], root=tmp_path)
+        assert result.exit_code == 1
+        assert [f.rule for f in result.findings] == ["syntax-error"]
+        assert result.findings[0].fingerprint
+
+
+class TestSarif:
+    def test_structure_and_fingerprints(self):
+        findings = _bad_findings()
+        document = json.loads(to_sarif(findings, [], rule_catalog(),
+                                       Path("/virtual")))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-staticcheck"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"no-float", "float-taint", "unordered-iteration",
+                "unpicklable-field"} <= rule_ids
+        results = run["results"]
+        assert len(results) == len(findings)
+        for record in results:
+            assert record["fingerprints"]["repro-staticcheck/v1"]
+            assert record["locations"][0]["physicalLocation"][
+                "artifactLocation"]["uri"].endswith("budget.py")
+
+    def test_suppressed_findings_carry_suppressions(self):
+        findings = _bad_findings()
+        document = json.loads(to_sarif([], findings, rule_catalog(),
+                                       Path("/virtual")))
+        for record in document["runs"][0]["results"]:
+            assert record["suppressions"]
+
+
+class TestCli:
+    def _bad_file(self, tmp_path: Path) -> Path:
+        target = tmp_path / "snippet.py"
+        target.write_text("try:\n    x = 1\nexcept:\n    pass\n",
+                          encoding="utf-8")
+        return target
+
+    def test_clean_run_exits_zero(self, capsys):
+        status = main(["staticcheck", "src/repro", "tools"])
+        output = capsys.readouterr().out
+        assert status == 0, output
+        assert "OK:" in output
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        status = main(["staticcheck", str(target), "--no-baseline"])
+        output = capsys.readouterr().out
+        assert status == 1
+        assert "bare-except" in output
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["staticcheck", "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_rule_filter_runs_only_that_rule(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        status = main(["staticcheck", str(target), "--no-baseline",
+                       "--rules", "unused-import"])
+        assert status == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        main(["staticcheck", str(target), "--no-baseline",
+              "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finding_count"] == 1
+        assert payload["findings"][0]["rule"] == "bare-except"
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        out = tmp_path / "report.sarif"
+        status = main(["staticcheck", str(target), "--no-baseline",
+                       "--format", "sarif", "--output", str(out)])
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().out
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["runs"][0]["results"]
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        status = main(["staticcheck", str(target),
+                       "--baseline", str(baseline_path),
+                       "--update-baseline"])
+        assert status == 0
+        assert baseline_path.exists()
+        capsys.readouterr()
+        status = main(["staticcheck", str(target),
+                       "--baseline", str(baseline_path)])
+        output = capsys.readouterr().out
+        assert status == 0, output
+        assert "1 baselined" in output
+
+    def test_list_rules_covers_passes_and_lint(self, capsys):
+        assert main(["staticcheck", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for name in ("float-taint", "determinism", "pickle", "no-float",
+                     "interval-internals"):
+            assert name in output

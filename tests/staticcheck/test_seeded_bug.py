@@ -1,0 +1,141 @@
+"""Acceptance gate: seeding a float-taint bug into the real tree fails CI.
+
+The ISSUE's litmus test for the whole framework: take the *actual*
+repository sources, add an innocent-looking helper module whose return
+value is secretly a float, route it into ``mm/budget.py`` through that
+intermediate call — exactly the interprocedural shape the old per-line
+``no-float`` rule could never see — and assert the analyzer (running
+with the committed baseline) reports it and fails the gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.model import Program
+from repro.staticcheck.runner import (
+    default_paths,
+    iter_python_files,
+    repo_root,
+    run_on_program,
+)
+
+ROOT = repo_root()
+
+
+@pytest.fixture(scope="module")
+def real_sources() -> dict[str, str]:
+    """The real ``src/repro`` + ``tools`` tree as in-memory sources."""
+    sources: dict[str, str] = {}
+    for path in iter_python_files(default_paths(ROOT)):
+        rel = path.resolve().relative_to(ROOT).as_posix()
+        sources[rel] = path.read_text(encoding="utf-8")
+    return sources
+
+
+#: The helper the "attacker" adds: nothing about its signature admits
+#: the float — only its body (an unannotated true division) does.
+_HELPER = dedent("""
+    \"\"\"Innocent-looking helper.\"\"\"
+
+
+    def occupancy_fraction(used, capacity):
+        if capacity == 0:
+            return 0
+        return used / capacity
+""").lstrip("\n")
+
+#: The seeded call site inside the real budget module (the import is
+#: top-level, as a real edit would be).
+_SEEDED_CALL = dedent("""
+
+
+    from repro.util.occupancy import occupancy_fraction
+
+
+    def seeded_occupancy(used: int, capacity: int):
+        return occupancy_fraction(used, capacity)
+""")
+
+
+def test_seeded_float_taint_via_helper_fails_the_gate(real_sources):
+    sources = dict(real_sources)
+    assert "src/repro/mm/budget.py" in sources
+    sources["src/repro/util/occupancy.py"] = _HELPER
+    sources["src/repro/mm/budget.py"] += _SEEDED_CALL
+
+    program = Program.from_sources(sources, root=ROOT)
+    findings = run_on_program(program)
+
+    taint = [f for f in findings if f.rule == "float-taint"
+             and f.path == ROOT / "src/repro/mm/budget.py"]
+    assert taint, (
+        "seeded interprocedural float bug was not caught; findings: "
+        + "; ".join(f.describe(ROOT) for f in findings)
+    )
+    assert any("seeded_occupancy" in (f.symbol or "") for f in taint)
+
+    # ... and the committed baseline does not excuse it: the gate fails.
+    baseline = Baseline.load(ROOT / ".staticcheck-baseline.json")
+    new, _suppressed, _stale = baseline.split(findings)
+    assert any(f.rule == "float-taint" for f in new)
+
+
+def test_unseeded_real_tree_is_clean(real_sources):
+    """Control arm: without the seeded bug the same scope passes."""
+    program = Program.from_sources(dict(real_sources), root=ROOT)
+    findings = run_on_program(program)
+    baseline = Baseline.load(ROOT / ".staticcheck-baseline.json")
+    new, _suppressed, _stale = baseline.split(findings)
+    assert new == [], [f.describe(ROOT) for f in new]
+
+
+def test_seeded_bug_in_worker_scope_is_caught(real_sources):
+    """Second seed: a worker-reachable global mutation in the real tree."""
+    sources = dict(real_sources)
+    tasks = "src/repro/parallel/tasks.py"
+    assert tasks in sources
+    sources[tasks] += dedent("""
+
+
+        _SEEDED_STATS: dict = {}
+
+
+        def _seeded_record(task):
+            _SEEDED_STATS[task.seed] = task
+    """)
+    # Route it into the real worker entry point.
+    sources[tasks] = sources[tasks].replace(
+        "def run_task(", "def _seeded_gate(task):\n"
+        "    _seeded_record(task)\n\n\ndef run_task(", 1)
+    sources[tasks] = sources[tasks].replace(
+        "    _seeded_record(task)",
+        "    _seeded_record(task)", 1)
+    program = Program.from_sources(sources, root=ROOT)
+    # run_task must call the seeded gate for reachability; patch its body
+    # is fragile, so instead point the config at the seeded gate.
+    from repro.staticcheck.base import StaticCheckConfig
+
+    config = StaticCheckConfig(
+        worker_entry_points=("repro.parallel.tasks._seeded_gate",))
+    findings = run_on_program(program, config, rules=["pickle"])
+    assert any(f.rule == "worker-global-mutation" for f in findings), [
+        f.describe(ROOT) for f in findings
+    ]
+
+
+def test_real_repo_on_disk_runs_clean():
+    """End-to-end: the shipped tree + committed baseline gate passes."""
+    from repro.staticcheck.runner import run_staticcheck
+
+    root = repo_root()
+    scope = [*default_paths(root), root / "tests", root / "benchmarks"]
+    result = run_staticcheck(scope, root=root)
+    assert result.parse_errors == []
+    assert result.ok, [f.describe(root) for f in result.findings]
+    assert result.stale_entries == []
+    assert Path(root / ".staticcheck-baseline.json").exists()

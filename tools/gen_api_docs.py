@@ -43,6 +43,12 @@ MODULES = [
     "repro.check.budget_replay", "repro.check.program_model",
     "repro.check.density", "repro.check.determinism",
     "repro.check.fixtures", "repro.check.runner",
+    "repro.staticcheck", "repro.staticcheck.base",
+    "repro.staticcheck.model", "repro.staticcheck.callgraph",
+    "repro.staticcheck.rules_lint", "repro.staticcheck.taint",
+    "repro.staticcheck.determinism", "repro.staticcheck.picklecheck",
+    "repro.staticcheck.baseline", "repro.staticcheck.output",
+    "repro.staticcheck.runner", "repro.staticcheck.fixtures",
     "repro.cli",
 ]
 

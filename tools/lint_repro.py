@@ -1,432 +1,124 @@
 #!/usr/bin/env python3
-"""Repository-specific AST lint gate.
+"""Repository lint gate — compatibility shim over ``repro.staticcheck``.
 
-Generic linters cannot know this repository's invariants; this tool
-encodes the ones that have bitten (or nearly bitten) the reproduction:
+The seven repository-specific rules that used to live here (``no-float``,
+``unseeded-random``, ``event-registry``, ``all-consistency``,
+``bare-except``, ``unused-import``, ``interval-internals``) are now
+plugins in :mod:`repro.staticcheck.rules_lint`, where they run alongside
+the whole-program passes (float-taint, determinism, picklability) under
+``repro staticcheck``.  This script keeps the historical command-line
+contract alive for muscle memory and existing automation:
 
-* ``no-float`` — budget-critical code must use exact integer (or
-  ``fractions.Fraction``) arithmetic.  Theorem 1's bound is tight enough
-  that a ULP of drift flips ``can_move`` at the boundary (see the
-  regression tests in ``tests/mm/test_budget.py``).  Scope:
-  ``src/repro/exact/`` plus the modules listed in
-  :data:`NO_FLOAT_FILES`.  Float literals, ``float(...)`` calls and true
-  division ``/`` are flagged unless the line carries a
-  ``# lint: float-ok`` pragma (for presentation-layer conversions).
-* ``unseeded-random`` — every random draw must come from a seeded
-  ``random.Random(seed)`` instance; the module-level functions share
-  hidden global state and break the determinism checker's
-  same-seed-same-digest guarantee.
-* ``event-registry`` — every ``TelemetryEvent`` subclass declared in
-  ``src/repro/obs/events.py`` must be registered in ``_EVENT_TYPES``
-  and exported via ``__all__``; an unregistered event silently breaks
-  ``event_from_dict`` round-trips and therefore ``repro check``.
-* ``all-consistency`` — every name in a module's ``__all__`` must be
-  bound at module top level (and listed only once).
-* ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and
-  checker ``AssertionError``s; name the exception.
-* ``unused-import`` — dead imports hide real dependencies.
-* ``interval-internals`` — code outside ``src/repro/heap/`` must not
-  touch the interval/gap-index internals (``_starts``, ``_ends``,
-  ``_gap_end``, ``_gap_buckets``, ``_class_mask``, ``_size_order``).
-  The gap index mirrors the interval arrays; an external mutation (or
-  even an order-dependent read) bypasses that maintenance and silently
-  desynchronizes placement search.  Go through the public API.
+* same invocation: ``python tools/lint_repro.py [paths ...]`` (default
+  scope ``src/repro tools``);
+* same output: one ``path:line: rule: message`` line per finding and a
+  ``{OK|FAIL}: N files checked, M findings`` summary;
+* same exit status: non-zero iff any finding.
 
-Usage::
-
-    python tools/lint_repro.py [paths ...]     # default: src/repro tools
-
-Exit status is non-zero iff any finding is reported.
+Only the per-module lint rules run here — the interprocedural passes
+need the whole program and belong to ``repro staticcheck`` (which CI
+runs).  New code should call ``repro staticcheck`` directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
-import io
-import re
 import sys
-import tokenize
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterator, List
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: Files (relative to the repo root) under the exact-arithmetic rule in
-#: addition to everything below ``src/repro/exact/``.
-NO_FLOAT_FILES = (
-    "src/repro/mm/budget.py",
-    "src/repro/check/budget_replay.py",
+from repro.staticcheck.base import (  # noqa: E402
+    FLOAT_OK_PRAGMA,
+    Finding,
+    StaticCheckConfig,
+    rule_catalog,
 )
+from repro.staticcheck.model import ModuleInfo  # noqa: E402
+from repro.staticcheck.runner import iter_python_files  # noqa: E402
+from repro.staticcheck import rules_lint  # noqa: E402
 
-NO_FLOAT_DIRS = ("src/repro/exact",)
+_CONFIG = StaticCheckConfig()
 
-#: The pragma that exempts one line from the ``no-float`` rule.
-FLOAT_OK_PRAGMA = "lint: float-ok"
+#: Historical aliases (other tooling imports these from here).
+NO_FLOAT_FILES = _CONFIG.float_sink_files
+NO_FLOAT_DIRS = _CONFIG.float_sink_dirs
+EVENTS_MODULE = _CONFIG.events_module
+_GLOBAL_RANDOM_FUNCS = rules_lint.GLOBAL_RANDOM_FUNCS
+_INTERVAL_INTERNALS = rules_lint.INTERVAL_INTERNALS
+_HEAP_PACKAGE = _CONFIG.heap_package
 
-#: ``random`` module-level callables that draw from the hidden global
-#: RNG.  ``random.Random`` (the seeded class) is deliberately absent.
-_GLOBAL_RANDOM_FUNCS = frozenset({
-    "betavariate", "choice", "choices", "expovariate", "gammavariate",
-    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
-    "randbytes", "randint", "random", "randrange", "sample", "seed",
-    "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
-    "weibullvariate",
-})
-
-EVENTS_MODULE = "src/repro/obs/events.py"
-
-#: Interval-set / gap-index internals owned by ``src/repro/heap/``.
-_INTERVAL_INTERNALS = frozenset({
-    "_starts", "_ends",
-    "_gap_end", "_gap_buckets", "_class_mask", "_size_order",
-})
-
-_HEAP_PACKAGE = "src/repro/heap"
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint violation."""
-
-    path: Path
-    line: int
-    rule: str
-    message: str
-
-    def describe(self) -> str:
-        rel = self.path
-        try:
-            rel = self.path.relative_to(REPO_ROOT)
-        except ValueError:
-            pass
-        return f"{rel}:{self.line}: {self.rule}: {self.message}"
+__all__ = [
+    "Finding",
+    "FLOAT_OK_PRAGMA",
+    "NO_FLOAT_FILES",
+    "NO_FLOAT_DIRS",
+    "check_no_float",
+    "check_event_registry",
+    "lint_file",
+    "iter_python_files",
+    "main",
+]
 
 
-def _pragma_lines(source: str, pragma: str) -> set[int]:
-    """Line numbers whose trailing comment carries ``pragma``."""
-    lines: set[int] = set()
+def _relpath(path: Path) -> str:
+    """Repo-root-relative POSIX path, or the bare name for outsiders."""
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type == tokenize.COMMENT and pragma in token.string:
-                lines.add(token.start[0])
-    except tokenize.TokenizeError:
-        pass
-    return lines
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.name
 
 
-def _node_lines(node: ast.AST) -> range:
-    """The source lines a node spans (1-based, inclusive)."""
-    start = getattr(node, "lineno", 0)
-    end = getattr(node, "end_lineno", start) or start
-    return range(start, end + 1)
+def _module_for(path: Path, tree: ast.Module, source: str,
+                relpath: str | None = None) -> ModuleInfo:
+    return ModuleInfo(relpath if relpath is not None else _relpath(path),
+                      path, source, tree)
 
-
-# ---------------------------------------------------------------------------
-# Rule: no-float
-# ---------------------------------------------------------------------------
-
-def check_no_float(path: Path, tree: ast.Module, source: str) -> Iterator[Finding]:
-    """Flag float arithmetic outside ``# lint: float-ok`` lines."""
-    exempt = _pragma_lines(source, FLOAT_OK_PRAGMA)
-
-    def flagged(node: ast.AST, message: str) -> Iterator[Finding]:
-        if not exempt.intersection(_node_lines(node)):
-            yield Finding(path, getattr(node, "lineno", 0), "no-float", message)
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Constant) and isinstance(node.value, float):
-            yield from flagged(node, f"float literal {node.value!r}")
-        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
-            yield from flagged(
-                node, "true division `/` (use integer or Fraction arithmetic)"
-            )
-        elif (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "float"):
-            yield from flagged(node, "float(...) conversion")
-
-
-# ---------------------------------------------------------------------------
-# Rule: unseeded-random
-# ---------------------------------------------------------------------------
-
-def check_unseeded_random(path: Path, tree: ast.Module) -> Iterator[Finding]:
-    """Flag global-state ``random`` usage (module functions or bare imports)."""
-    for node in ast.walk(tree):
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and isinstance(node.func.value, ast.Name)
-                and node.func.value.id == "random"
-                and node.func.attr in _GLOBAL_RANDOM_FUNCS):
-            yield Finding(
-                path, node.lineno, "unseeded-random",
-                f"random.{node.func.attr}() uses the hidden global RNG; "
-                "draw from a seeded random.Random(seed) instance",
-            )
-        elif isinstance(node, ast.ImportFrom) and node.module == "random":
-            bad = sorted(
-                alias.name for alias in node.names
-                if alias.name in _GLOBAL_RANDOM_FUNCS
-            )
-            if bad:
-                yield Finding(
-                    path, node.lineno, "unseeded-random",
-                    f"importing {', '.join(bad)} from random binds the "
-                    "global RNG; use a seeded random.Random(seed) instance",
-                )
-
-
-# ---------------------------------------------------------------------------
-# Rule: event-registry (runs only on src/repro/obs/events.py)
-# ---------------------------------------------------------------------------
-
-def _kind_of(class_node: ast.ClassDef) -> str | None:
-    """The ``kind: ClassVar[str] = "..."`` value of an event class."""
-    for statement in class_node.body:
-        if (isinstance(statement, ast.AnnAssign)
-                and isinstance(statement.target, ast.Name)
-                and statement.target.id == "kind"
-                and isinstance(statement.value, ast.Constant)
-                and isinstance(statement.value.value, str)):
-            return statement.value.value
-    return None
-
-
-def check_event_registry(path: Path, tree: ast.Module) -> Iterator[Finding]:
-    """Every concrete event class must be in ``_EVENT_TYPES`` and ``__all__``."""
-    event_classes: dict[str, int] = {}
-    registered: set[str] = set()
-    exported: set[str] = set()
-    for node in tree.body:
-        if isinstance(node, ast.ClassDef):
-            bases = {base.id for base in node.bases
-                     if isinstance(base, ast.Name)}
-            kind = _kind_of(node)
-            if "TelemetryEvent" in bases and kind is not None:
-                event_classes[node.name] = node.lineno
-        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
-            raw_targets = (node.targets if isinstance(node, ast.Assign)
-                           else [node.target])
-            targets = [t.id for t in raw_targets if isinstance(t, ast.Name)]
-            if "_EVENT_TYPES" in targets and node.value is not None:
-                for name_node in ast.walk(node.value):
-                    if isinstance(name_node, ast.Name):
-                        registered.add(name_node.id)
-            if "__all__" in targets and isinstance(
-                    node.value, (ast.List, ast.Tuple)):
-                exported = {
-                    element.value for element in node.value.elts
-                    if isinstance(element, ast.Constant)
-                    and isinstance(element.value, str)
-                }
-    for name, line in sorted(event_classes.items(), key=lambda item: item[1]):
-        if name not in registered:
-            yield Finding(
-                path, line, "event-registry",
-                f"event class {name} is not registered in _EVENT_TYPES; "
-                "event_from_dict cannot round-trip it",
-            )
-        if name not in exported:
-            yield Finding(
-                path, line, "event-registry",
-                f"event class {name} is missing from __all__",
-            )
-
-
-# ---------------------------------------------------------------------------
-# Rule: all-consistency
-# ---------------------------------------------------------------------------
-
-def _top_level_names(tree: ast.Module) -> set[str] | None:
-    """Names bound at module scope (None when ``import *`` defeats analysis)."""
-    names: set[str] = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.ClassDef)):
-            names.add(node.name)
-        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
-            targets = (node.targets if isinstance(node, ast.Assign)
-                       else [node.target])
-            for target in targets:
-                for name_node in ast.walk(target):
-                    if isinstance(name_node, ast.Name):
-                        names.add(name_node.id)
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                names.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(node, ast.ImportFrom):
-            for alias in node.names:
-                if alias.name == "*":
-                    return None
-                names.add(alias.asname or alias.name)
-        elif isinstance(node, (ast.If, ast.Try)):
-            # TYPE_CHECKING blocks and import fallbacks bind names too.
-            inner = ast.Module(body=list(ast.iter_child_nodes(node)),
-                               type_ignores=[])
-            nested = _top_level_names(inner)
-            if nested is None:
-                return None
-            names.update(nested)
-    return names
-
-
-def check_all_consistency(path: Path, tree: ast.Module) -> Iterator[Finding]:
-    """``__all__`` entries must be unique and bound in the module."""
-    for node in tree.body:
-        if not (isinstance(node, ast.Assign)
-                and any(isinstance(t, ast.Name) and t.id == "__all__"
-                        for t in node.targets)
-                and isinstance(node.value, (ast.List, ast.Tuple))):
-            continue
-        entries = [element.value for element in node.value.elts
-                   if isinstance(element, ast.Constant)
-                   and isinstance(element.value, str)]
-        seen: set[str] = set()
-        for entry in entries:
-            if entry in seen:
-                yield Finding(path, node.lineno, "all-consistency",
-                              f"duplicate __all__ entry {entry!r}")
-            seen.add(entry)
-        defined = _top_level_names(tree)
-        if defined is None:
-            return
-        for entry in entries:
-            if entry not in defined:
-                yield Finding(
-                    path, node.lineno, "all-consistency",
-                    f"__all__ exports {entry!r} but the module never binds it",
-                )
-
-
-# ---------------------------------------------------------------------------
-# Rule: bare-except
-# ---------------------------------------------------------------------------
-
-def check_bare_except(path: Path, tree: ast.Module) -> Iterator[Finding]:
-    """Flag ``except:`` clauses."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            yield Finding(
-                path, node.lineno, "bare-except",
-                "bare `except:` swallows KeyboardInterrupt and checker "
-                "AssertionErrors; name the exception type",
-            )
-
-
-# ---------------------------------------------------------------------------
-# Rule: unused-import
-# ---------------------------------------------------------------------------
-
-def check_unused_imports(path: Path, tree: ast.Module,
-                         source: str) -> Iterator[Finding]:
-    """Flag imports never referenced (by name, ``__all__``, or strings).
-
-    String constants count as uses because quoted forward references
-    (``driver: "ExecutionDriver"``) and Sphinx roles in docstrings refer
-    to names linters cannot see; the rule errs lenient on purpose.
-    """
-    imported: dict[str, int] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                imported[alias.asname or alias.name.split(".")[0]] = node.lineno
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name != "*":
-                    imported[alias.asname or alias.name] = node.lineno
-    if not imported:
-        return
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            used.add(node.attr)
-        elif (isinstance(node, ast.Constant)
-                and isinstance(node.value, str)):
-            used.update(re.findall(r"\w+", node.value))
-    for name, line in sorted(imported.items(), key=lambda item: item[1]):
-        if name not in used:
-            yield Finding(path, line, "unused-import",
-                          f"{name!r} is imported but never used")
-
-
-# ---------------------------------------------------------------------------
-# Rule: interval-internals (runs everywhere except src/repro/heap/)
-# ---------------------------------------------------------------------------
-
-def check_interval_internals(path: Path, tree: ast.Module) -> Iterator[Finding]:
-    """Flag attribute access to interval/gap-index internals."""
-    for node in ast.walk(tree):
-        if (isinstance(node, ast.Attribute)
-                and node.attr in _INTERVAL_INTERNALS):
-            yield Finding(
-                path, node.lineno, "interval-internals",
-                f"direct access to {node.attr!r}: the gap index mirrors "
-                "the interval arrays, so external pokes desynchronize "
-                "placement search; use the IntervalSet public API",
-            )
-
-
-# ---------------------------------------------------------------------------
-# Driver
-# ---------------------------------------------------------------------------
 
 def _in_no_float_scope(path: Path) -> bool:
-    try:
-        rel = path.resolve().relative_to(REPO_ROOT)
-    except ValueError:
-        return False
-    posix = rel.as_posix()
-    return (posix in NO_FLOAT_FILES
-            or any(posix.startswith(prefix + "/")
-                   for prefix in NO_FLOAT_DIRS))
+    return _CONFIG.is_float_sink(_relpath(path))
 
 
 def _in_heap_package(path: Path) -> bool:
-    try:
-        rel = path.resolve().relative_to(REPO_ROOT)
-    except ValueError:
-        return False
-    return rel.as_posix().startswith(_HEAP_PACKAGE + "/")
+    return _CONFIG.in_heap_package(_relpath(path))
 
 
-def lint_file(path: Path) -> list[Finding]:
-    """Run every applicable rule on one file."""
+def check_no_float(path: Path, tree: ast.Module,
+                   source: str) -> Iterator[Finding]:
+    """The ``no-float`` rule, unscoped (legacy signature).
+
+    The plugin gates itself on the budget-file scope; callers of this
+    legacy entry point have already decided the file is in scope, so the
+    module is presented under a sink relpath.
+    """
+    module = _module_for(path, tree, source,
+                         relpath=_CONFIG.float_sink_files[0])
+    yield from rules_lint.check_no_float(module, _CONFIG)
+
+
+def check_event_registry(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """The ``event-registry`` rule, unscoped (legacy signature)."""
+    module = _module_for(path, tree, "", relpath=_CONFIG.events_module)
+    yield from rules_lint.check_event_registry(module, _CONFIG)
+
+
+def lint_file(path: Path) -> List[Finding]:
+    """Run every applicable per-module rule on one file."""
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
         return [Finding(path, error.lineno or 0, "syntax-error", str(error))]
-    findings: list[Finding] = []
-    if _in_no_float_scope(path):
-        findings.extend(check_no_float(path, tree, source))
-    findings.extend(check_unseeded_random(path, tree))
-    findings.extend(check_all_consistency(path, tree))
-    findings.extend(check_bare_except(path, tree))
-    findings.extend(check_unused_imports(path, tree, source))
-    if not _in_heap_package(path):
-        findings.extend(check_interval_internals(path, tree))
-    try:
-        if path.resolve().relative_to(REPO_ROOT).as_posix() == EVENTS_MODULE:
-            findings.extend(check_event_registry(path, tree))
-    except ValueError:
-        pass
+    module = _module_for(path, tree, source)
+    findings: List[Finding] = []
+    for spec in rule_catalog():
+        if spec.kind == "module":
+            findings.extend(spec.func(module, _CONFIG))
     return findings
-
-
-def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    """Expand files/directories into the .py files beneath them."""
-    for path in paths:
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -437,13 +129,13 @@ def main(argv: list[str] | None = None) -> int:
         help="files or directories to lint (default: src/repro tools)",
     )
     arguments = parser.parse_args(argv)
-    findings: list[Finding] = []
+    findings: List[Finding] = []
     checked = 0
     for path in iter_python_files(arguments.paths):
         checked += 1
         findings.extend(lint_file(path))
     for finding in findings:
-        print(finding.describe())
+        print(finding.describe(REPO_ROOT))
     status = "FAIL" if findings else "OK"
     print(f"{status}: {checked} files checked, {len(findings)} findings")
     return 1 if findings else 0
