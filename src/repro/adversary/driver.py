@@ -29,6 +29,7 @@ from ..heap.object_model import HeapObject
 from ..mm.base import ManagerContext, MemoryManager
 from ..mm.budget import BudgetSnapshot, CompactionBudget
 from ..obs.events import Alloc, CompactionWindow, EventBus, Free, Move
+from ..obs.trace import StageSpanSink, Tracer, active_tracer
 from .base import AdversaryProgram, ProgramMoveListener, ProgramView
 from .trace import TraceLog
 
@@ -94,6 +95,7 @@ class ExecutionDriver:
         paranoid: bool = False,
         budget: CompactionBudget | None = None,
         observer: EventBus | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.params = params
         self.manager = manager
@@ -102,6 +104,13 @@ class ExecutionDriver:
         #: emission site below guards on this, so uninstrumented runs
         #: pay one comparison per operation and build no event objects).
         self.observer = observer
+        #: The span tracer, hoisted through active_tracer so a disabled
+        #: tracer costs exactly what no tracer costs (one comparison);
+        #: _fine_tracer is non-None only when per-operation spans are on.
+        self.tracer = active_tracer(tracer)
+        self._fine_tracer = (self.tracer
+                             if self.tracer is not None and self.tracer.fine
+                             else None)
         #: The budget ledger; pass an :class:`~repro.mm.budget.AbsoluteBudget`
         #: to run the B-bounded model variant instead of the c-partial one.
         self.budget = budget if budget is not None else CompactionBudget(
@@ -118,9 +127,13 @@ class ExecutionDriver:
         self._allocs = 0
         self._frees = 0
         self._moves = 0
+        if self._fine_tracer is not None:
+            # The budget ledger's enforcement spans ride the same tracer
+            # (the attribute is None on uninstrumented ledgers).
+            self.budget.tracer = self._fine_tracer
         self._ctx = ManagerContext(
             self.heap, self.budget, move_listener=self._on_manager_move,
-            observer=observer,
+            observer=observer, tracer=self._fine_tracer,
         )
         manager.attach(self._ctx, observer=observer)
 
@@ -145,6 +158,12 @@ class ExecutionDriver:
         # the same zero-allocation fast path as no bus at all.
         emitting = observer is not None and observer.has_sinks
         start_ns = time.perf_counter_ns() if emitting else 0
+        tracer = self._fine_tracer
+        if tracer is not None:
+            alloc_span = tracer.begin_unchecked("alloc", {"size": size})
+            search_stats = self.heap.occupied.search_stats
+            searches_before = search_stats.searches
+            gaps_before = search_stats.gaps_examined
         self._ctx.reset_request_counters()
         self.manager.prepare(size)
         # The compaction window may have triggered program frees; the
@@ -169,6 +188,15 @@ class ExecutionDriver:
                 object_id=obj.object_id, size=size, address=address,
                 latency_ns=time.perf_counter_ns() - start_ns,
             ))
+        if tracer is not None:
+            alloc_span.set(
+                address=address,
+                moves=self._ctx.moves_this_request,
+                moved_words=self._ctx.moved_words_this_request,
+                searches=search_stats.searches - searches_before,
+                gaps_examined=search_stats.gaps_examined - gaps_before,
+            )
+            tracer.end(alloc_span)
         if self.trace is not None:
             self.trace.record_alloc(self.heap.clock, obj.object_id, size, address)
         if self.paranoid:
@@ -178,9 +206,15 @@ class ExecutionDriver:
 
     def program_free(self, object_id: int) -> None:
         """Serve one de-allocation."""
+        tracer = self._fine_tracer
+        if tracer is not None:
+            free_span = tracer.begin_unchecked("free")
         obj = self.heap.free(object_id)
         self.manager.on_free(obj)
         self._frees += 1
+        if tracer is not None:
+            free_span.set(size=obj.size, address=obj.address)
+            tracer.end(free_span)
         if self.observer is not None and self.observer.has_sinks:
             self.observer.emit(Free(
                 object_id=object_id, size=obj.size, address=obj.address,
@@ -218,11 +252,40 @@ class ExecutionDriver:
     # Entry point ---------------------------------------------------------------
 
     def run(self, program: AdversaryProgram) -> ExecutionResult:
-        """Execute the program to completion and measure."""
+        """Execute the program to completion and measure.
+
+        With a tracer attached the whole execution sits under one
+        ``run`` span, and — when a bus is wired too — a
+        :class:`~repro.obs.trace.StageSpanSink` converts the program's
+        :class:`~repro.obs.events.StageTransition` events into
+        ``stage:*`` child spans, giving the trace per-phase attribution
+        without the program knowing about tracers.
+        """
         view = ProgramView(self)
+        tracer = self.tracer
+        stage_sink = None
+        if tracer is not None:
+            run_span = tracer.begin_unchecked("run", {
+                "program": program.name,
+                "manager": self.manager.name,
+                "live_space": self.params.live_space,
+                "max_object": self.params.max_object,
+            })
+            if self.observer is not None:
+                stage_sink = StageSpanSink(tracer)
+                self.observer.subscribe(stage_sink)
         start = time.perf_counter()
         program.run(view)
         wall_seconds = time.perf_counter() - start
+        if tracer is not None:
+            if stage_sink is not None:
+                stage_sink.finish()
+                self.observer.unsubscribe(stage_sink)
+            run_span.set(
+                heap_size=self.heap.high_water,
+                allocs=self._allocs, frees=self._frees, moves=self._moves,
+            )
+            tracer.end(run_span)
         return ExecutionResult(
             params=self.params,
             program_name=program.name,
@@ -251,10 +314,11 @@ def run_execution(
     paranoid: bool = False,
     budget: CompactionBudget | None = None,
     observer: EventBus | None = None,
+    tracer: Tracer | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a driver, run, return the result."""
     driver = ExecutionDriver(
         params, manager, record_trace=record_trace, paranoid=paranoid,
-        budget=budget, observer=observer,
+        budget=budget, observer=observer, tracer=tracer,
     )
     return driver.run(program)

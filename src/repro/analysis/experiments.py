@@ -72,17 +72,20 @@ def _engine_rows(
     grid: "list[tuple[str, str, dict]]",
     jobs: int,
     cache_dir: Union[str, Path, None],
+    tracer=None,
 ) -> list[ExecutionResult]:
     """Run a (program, manager) grid through the parallel engine.
 
     ``grid`` rows are ``(program_key, manager_name, program_options)``.
     Used by the experiment entry points whenever no per-row sinks
     (telemetry recording, sanitizer) are requested — those still take
-    the serial in-process path below.
+    the serial in-process path below.  ``tracer`` (an enabled
+    :class:`~repro.obs.trace.Tracer`) records per-task spans across
+    worker lanes.
     """
     from ..parallel import ParallelEngine, SimTask  # local: keep import light
 
-    engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir)
+    engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir, tracer=tracer)
     tasks = [
         SimTask.build(params, manager, program, **options)
         for program, manager, options in grid
@@ -96,6 +99,7 @@ def _run_row(
     manager_name: str,
     telemetry_dir: Union[str, Path, None],
     sanitize: bool = False,
+    tracer=None,
 ) -> ExecutionResult:
     """One grid cell: plain execution, or a recorded one when requested.
 
@@ -117,14 +121,15 @@ def _run_row(
         sanitizer.attach_program(program)
     if telemetry_dir is None:
         if sanitizer is None:
-            return run_execution(params, program, manager)
+            return run_execution(params, program, manager, tracer=tracer)
         from ..obs.events import EventBus
 
         bus = EventBus()
         sanitizer.attach(bus)
         if hasattr(program, "bus"):
             program.bus = bus
-        result = run_execution(params, program, manager, observer=bus)
+        result = run_execution(params, program, manager, observer=bus,
+                               tracer=tracer)
         sanitizer.finish()
         return result
     from ..obs.telemetry import run_recorded  # local: avoid import cycle
@@ -133,6 +138,7 @@ def _run_row(
     result = run_recorded(
         params, program, manager, row_dir,
         extra_sinks=None if sanitizer is None else [sanitizer],
+        tracer=tracer,
     )
     if sanitizer is not None:
         sanitizer.finish()
@@ -200,6 +206,7 @@ def robson_experiment(
     sanitize: bool = False,
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
+    tracer=None,
 ) -> list[ExperimentRow]:
     """Robson's :math:`P_R` against the non-moving manager family.
 
@@ -216,12 +223,13 @@ def robson_experiment(
         grid = [("robson", name, {}) for name in manager_names_to_run]
         return [
             ExperimentRow(result, bound, "robson-lower")
-            for result in _engine_rows(params, grid, jobs, cache_dir)
+            for result in _engine_rows(params, grid, jobs, cache_dir, tracer)
         ]
     rows = []
     for name in manager_names_to_run:
         program = RobsonProgram(params)
-        result = _run_row(params, program, name, telemetry_dir, sanitize)
+        result = _run_row(params, program, name, telemetry_dir, sanitize,
+                          tracer)
         rows.append(ExperimentRow(result, bound, "robson-lower"))
     return rows
 
@@ -235,6 +243,7 @@ def pf_experiment(
     sanitize: bool = False,
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
+    tracer=None,
 ) -> list[ExperimentRow]:
     """The paper's :math:`P_F` against a manager family.
 
@@ -259,12 +268,13 @@ def pf_experiment(
         grid = [("pf", name, options) for name in manager_names_to_run]
         return [
             ExperimentRow(result, bound, "theorem1-h", allowance=allowance)
-            for result in _engine_rows(params, grid, jobs, cache_dir)
+            for result in _engine_rows(params, grid, jobs, cache_dir, tracer)
         ]
     rows = []
     for name in manager_names_to_run:
         program = PFProgram(params, density_exponent=density_exponent)
-        result = _run_row(params, program, name, telemetry_dir, sanitize)
+        result = _run_row(params, program, name, telemetry_dir, sanitize,
+                          tracer)
         rows.append(
             ExperimentRow(result, bound, "theorem1-h", allowance=allowance)
         )
@@ -285,6 +295,7 @@ def upper_bound_experiment(
     sanitize: bool = False,
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
+    tracer=None,
 ) -> list[ExperimentRow]:
     """The BP collector against adversarial and benign programs.
 
@@ -304,7 +315,7 @@ def upper_bound_experiment(
                 for key in DEFAULT_UPPER_BOUND_PROGRAMS]
         return [
             ExperimentRow(result, c + 1.0, "bp-(c+1)M")
-            for result in _engine_rows(params, grid, jobs, cache_dir)
+            for result in _engine_rows(params, grid, jobs, cache_dir, tracer)
         ]
     if programs is None:
         programs = (
@@ -317,7 +328,7 @@ def upper_bound_experiment(
     rows = []
     for program in programs:
         result = _run_row(params, program, "bp-collector", telemetry_dir,
-                          sanitize)
+                          sanitize, tracer)
         rows.append(ExperimentRow(result, c + 1.0, "bp-(c+1)M"))
     return rows
 

@@ -18,6 +18,10 @@ Commands:
   re-runs the configuration and compares stream digests);
 * ``report`` — render a recorded run directory (sparklines, the
   replayed waste trajectory and the stage-transition table);
+* ``trace`` — render or export a recorded span trace: Chrome
+  ``trace_event`` JSON (Perfetto), a self-time table, raw spans, or the
+  fragmentation timeline (``--timeline``); the ``--trace`` flag on
+  ``simulate``/``experiment``/``sweep`` records one;
 * ``staticcheck`` — whole-program static analysis of this repository
   (interprocedural float-taint into the budget code, determinism of
   digest-relevant code, worker picklability/purity, plus the per-module
@@ -105,11 +109,39 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _engine_from(args: argparse.Namespace):
+def _add_trace_flag(parser: argparse.ArgumentParser,
+                    default_out: str) -> None:
+    """``--trace [PATH]``: span tracing with a Chrome trace export."""
+    parser.add_argument(
+        "--trace", nargs="?", const=default_out, default=None,
+        metavar="PATH",
+        help="record hierarchical spans and export a Chrome trace_event "
+             f"JSON (Perfetto-loadable) to PATH (default {default_out})",
+    )
+
+
+def _engine_from(args: argparse.Namespace, tracer=None):
     from .parallel import ParallelEngine, default_jobs
 
     jobs = args.jobs if args.jobs > 0 else default_jobs()
-    return ParallelEngine(jobs=jobs, cache_dir=args.cache_dir)
+    return ParallelEngine(jobs=jobs, cache_dir=args.cache_dir,
+                          tracer=tracer)
+
+
+def _export_chrome_trace(tracer, path: str, *, trace_name: str) -> None:
+    """Write a tracer's spans as a Chrome trace and say where it went."""
+    import json as json_mod
+    from pathlib import Path
+
+    from .obs.trace import to_chrome_trace
+
+    document = to_chrome_trace(tracer.spans, trace_name=trace_name)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json_mod.dumps(document) + "\n", encoding="utf-8")
+    lanes = document["otherData"]["lanes"]
+    print(f"trace: {len(tracer.spans)} spans across {lanes} lanes -> "
+          f"{target} (open in Perfetto / chrome://tracing)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--sanitize", action="store_true",
                           help="run the paper-invariant checkers online "
                                "(exit 1 on any violation)")
+    _add_trace_flag(simulate, "trace.json")
 
     experiment = commands.add_parser("experiment", help="grid vs the bounds")
     experiment.add_argument("which", choices=("robson", "pf", "upper"))
@@ -157,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run the paper-invariant checkers on every "
                                  "row (exit 1 on any violation)")
     _add_engine_flags(experiment)
+    _add_trace_flag(experiment, "experiment-trace.json")
 
     sweep = commands.add_parser(
         "sweep",
@@ -181,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="PATH", default=None,
                        help="also write the sweep as CSV to PATH")
     _add_engine_flags(sweep)
+    _add_trace_flag(sweep, "sweep-trace.json")
 
     figures = commands.add_parser(
         "figures",
@@ -201,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "and compare event-stream digests")
     check.add_argument("--max-violations", type=int, default=20,
                        help="violations to print before eliding (default 20)")
+
+    trace = commands.add_parser(
+        "trace",
+        help="render or export a recorded span trace (trace.jsonl)",
+    )
+    trace.add_argument("path", help="run directory containing trace.jsonl "
+                                    "(written by --telemetry with --trace), "
+                                    "or a bare trace.jsonl file")
+    trace.add_argument("--format", choices=("chrome", "tree", "json"),
+                       default="tree",
+                       help="chrome = trace_event JSON (Perfetto), "
+                            "tree = self-time table, json = raw spans "
+                            "(default tree)")
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="write the document to FILE instead of stdout")
+    trace.add_argument("--top", type=int, default=20, metavar="N",
+                       help="span names shown in the tree table (default 20)")
+    trace.add_argument("--timeline", action="store_true",
+                       help="render the fragmentation timeline replayed "
+                            "from fine alloc/free spans instead")
 
     report = commands.add_parser(
         "report", help="render a recorded run directory"
@@ -233,7 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="ignore any baseline: report everything")
     staticcheck.add_argument("--update-baseline", action="store_true",
                              help="accept current findings into the baseline "
-                                  "file and exit 0")
+                                  "file and exit 0; refuses to write entries "
+                                  "with placeholder justifications")
+    staticcheck.add_argument("--allow-unjustified", action="store_true",
+                             help="with --update-baseline: write the baseline "
+                                  "even if entries still carry the TODO "
+                                  "justification placeholder")
     staticcheck.add_argument("--rules", metavar="NAME,...", default=None,
                              help="run only these rules/passes (names or "
                                   "rule ids, comma-separated)")
@@ -307,6 +367,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     program = make_program(args.program, params)
     manager = create_manager(args.manager, params)
     sanitizer = None
+    tracer = None
+    if args.trace is not None:
+        from .obs.trace import Tracer
+
+        # Single-run drill-down: fine tracing (per-alloc/free/move
+        # spans with SearchStats deltas), not just run/stage spans.
+        tracer = Tracer(fine=True)
     if args.sanitize:
         from .check import CheckContext, Sanitizer
 
@@ -322,18 +389,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             params, program, manager, args.telemetry,
             on_driver=drivers.append,
             extra_sinks=None if sanitizer is None else [sanitizer],
+            tracer=tracer,
         )
         heap = drivers[0].heap
     else:
         observer = None
-        if sanitizer is not None:
+        if sanitizer is not None or tracer is not None:
             from .obs.events import EventBus
 
             observer = EventBus()
-            sanitizer.attach(observer)
+            if sanitizer is not None:
+                sanitizer.attach(observer)
             if hasattr(program, "bus"):
                 program.bus = observer
-        driver = ExecutionDriver(params, manager, observer=observer)
+        driver = ExecutionDriver(params, manager, observer=observer,
+                                 tracer=tracer)
         result = driver.run(program)
         heap = driver.heap
     print(result.summary())
@@ -346,6 +416,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.telemetry:
         print(f"telemetry written to {args.telemetry} "
               f"(render with: repro report {args.telemetry})")
+    if tracer is not None:
+        tracer.close_open()
+        _export_chrome_trace(
+            tracer, args.trace,
+            trace_name=f"simulate {args.program} vs {args.manager}",
+        )
     if args.heapmap:
         print(render_heap(heap))
     if sanitizer is not None:
@@ -403,6 +479,53 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .obs.profile import render_timeline, render_top
+    from .obs.trace import read_trace, to_chrome_trace
+
+    try:
+        spans = read_trace(args.path)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not spans:
+        print("error: trace is empty", file=sys.stderr)
+        return 2
+
+    if args.timeline:
+        live_bound = None
+        base = Path(args.path)
+        manifest_dir = base if base.is_dir() else base.parent
+        try:
+            from .obs.export import load_manifest
+
+            manifest = load_manifest(manifest_dir)
+            live_bound = int(manifest["params"]["live_space"])
+        except (FileNotFoundError, ValueError, KeyError, TypeError):
+            pass  # timeline renders without the waste-factor rows
+        document = render_timeline(spans, live_bound=live_bound)
+    elif args.format == "chrome":
+        document = json_mod.dumps(to_chrome_trace(
+            spans, trace_name=str(args.path)))
+    elif args.format == "json":
+        document = "\n".join(json_mod.dumps(span.to_dict(), sort_keys=True)
+                             for span in spans)
+    else:
+        document = render_top(spans, limit=args.top)
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(document + "\n", encoding="utf-8")
+        print(f"wrote {out} ({len(spans)} spans)")
+    else:
+        print(document)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.export import load_run
     from .obs.report import render_run
@@ -425,7 +548,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     telemetry_dir = args.telemetry
     sanitize = args.sanitize
     jobs = args.jobs if args.jobs > 0 else default_jobs()
-    engine_kwargs = {"jobs": jobs, "cache_dir": args.cache_dir}
+    tracer = None
+    if args.trace is not None:
+        from .obs.trace import Tracer
+
+        tracer = Tracer()
+    engine_kwargs = {"jobs": jobs, "cache_dir": args.cache_dir,
+                     "tracer": tracer}
     try:
         if args.which == "robson":
             rows = robson_experiment(params.with_compaction(None),
@@ -447,6 +576,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     print(experiment_table(rows))
     if telemetry_dir:
         print(f"\nper-row telemetry written under {telemetry_dir}/")
+    if tracer is not None:
+        tracer.close_open()
+        _export_chrome_trace(tracer, args.trace,
+                             trace_name=f"experiment {args.which}")
     if bad:
         print(f"\nBOUND VIOLATIONS ({len(bad)}):")
         for row in bad:
@@ -476,7 +609,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {detail}", file=sys.stderr)
         return 2
     base = BoundParams(args.live, args.object)
-    engine = _engine_from(args)
+    tracer = None
+    if args.trace is not None:
+        from .obs.trace import Tracer
+
+        tracer = Tracer()
+    engine = _engine_from(args, tracer=tracer)
     rows = simulation_sweep(base, c_values, managers, engine=engine)
     csv_text = sweep_to_csv(rows, managers)
     if args.csv:
@@ -488,7 +626,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {path} ({len(rows)} rows)")
     else:
         print(csv_text)
-    stats = engine.stats.as_dict()
+    stats_obj = engine.stats
+    print(f"sweep: {stats_obj.executed} simulated, "
+          f"{stats_obj.cache_hits} cache hits, "
+          f"{stats_obj.cache_misses} misses, "
+          f"{stats_obj.cache_evictions} evicted, "
+          f"jobs={stats_obj.jobs}, {stats_obj.wall_seconds:.2f}s")
+    if tracer is not None:
+        tracer.close_open()
+        _export_chrome_trace(tracer, args.trace, trace_name="repro sweep")
+    stats = stats_obj.as_dict()
     print("BENCH_JSON " + json.dumps({
         "name": "repro_sweep",
         "params": {
@@ -537,7 +684,8 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .staticcheck import rule_catalog, render_text, to_json, to_sarif
-    from .staticcheck.baseline import DEFAULT_BASELINE_NAME, Baseline
+    from .staticcheck.baseline import (DEFAULT_BASELINE_NAME,
+                                       UNJUSTIFIED_PLACEHOLDER, Baseline)
     from .staticcheck.runner import repo_root, run_staticcheck
 
     if args.list_rules:
@@ -558,10 +706,26 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
     if args.update_baseline:
         result = run_staticcheck(paths, root=root, rules=rules,
                                  baseline=Baseline())
-        updated = Baseline.from_findings(result.findings, root)
+        previous = Baseline.load(baseline_path)
+        updated = Baseline.from_findings(result.findings, root,
+                                         previous=previous)
+        unjustified = updated.unjustified()
+        if unjustified and not args.allow_unjustified:
+            print(f"refusing to write {baseline_path}: "
+                  f"{len(unjustified)} entries lack a justification "
+                  f"(still {UNJUSTIFIED_PLACEHOLDER!r})", file=sys.stderr)
+            for entry in unjustified:
+                print(f"  {entry.rule} @ {entry.path}: {entry.message}",
+                      file=sys.stderr)
+            print("edit the justifications and re-run, or pass "
+                  "--allow-unjustified to write the placeholders anyway",
+                  file=sys.stderr)
+            return 1
         updated.save(baseline_path)
-        print(f"wrote {baseline_path} ({len(updated.entries)} entries); "
-              "add a justification to every new entry")
+        note = (" (contains unjustified placeholder entries)"
+                if unjustified else "")
+        print(f"wrote {baseline_path} ({len(updated.entries)} entries)"
+              f"{note}; add a justification to every new entry")
         return 0
 
     result = run_staticcheck(paths, root=root, rules=rules,
@@ -647,6 +811,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_figures(args)
         if args.command == "check":
             return _cmd_check(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "staticcheck":

@@ -29,6 +29,7 @@ from ..heap.heap import SimHeap
 from ..heap.object_model import HeapObject
 from ..heap.units import align_up
 from ..obs.events import EventBus
+from ..obs.trace import Tracer
 from .budget import CompactionBudget
 
 __all__ = [
@@ -56,12 +57,17 @@ class ManagerContext:
         budget: CompactionBudget,
         move_listener: MoveListener | None = None,
         observer: EventBus | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.heap = heap
         self.budget = budget
         #: The telemetry bus (None = uninstrumented).  Managers may emit
         #: their own events through it; the driver emits the standard set.
         self.observer = observer
+        #: The fine-grained span tracer (None unless per-operation
+        #: tracing is on — the driver only wires it in fine mode, so the
+        #: common path pays one comparison per move).
+        self.tracer = tracer
         self._move_listener = move_listener
         self._moves_this_request = 0
         self._moved_words_this_request = 0
@@ -75,6 +81,12 @@ class ManagerContext:
         :math:`P_F` frees the object immediately).
         """
         obj = self.heap.objects.require_live(object_id)
+        tracer = self.tracer
+        if tracer is not None:
+            move_span = tracer.begin_unchecked("move", {
+                "words": obj.size, "old_address": obj.address,
+                "new_address": new_address,
+            })
         self.budget.charge_move(obj.size)
         old_address = obj.address
         self.heap.move(object_id, new_address)
@@ -82,6 +94,8 @@ class ManagerContext:
         self._moved_words_this_request += obj.size
         if self._move_listener is not None:
             self._move_listener(obj, old_address, new_address)
+        if tracer is not None:
+            tracer.end(move_span)
         return obj
 
     def can_afford_move(self, words: int) -> bool:

@@ -24,6 +24,7 @@ from ..obs.events import BudgetCharge
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.events import EventBus
+    from ..obs.trace import Tracer
 
 __all__ = [
     "CompactionBudget",
@@ -121,6 +122,9 @@ class CompactionBudget:
         self._allocated = 0
         self._moved = 0
         self.observer = observer
+        #: Fine-grained span tracer (the driver sets this only when
+        #: per-operation tracing is on; None costs one comparison).
+        self.tracer: "Tracer | None" = None
 
     def _emit_charge(self, reason: str, words: int) -> None:
         self.observer.emit(  # type: ignore[union-attr]
@@ -180,7 +184,13 @@ class CompactionBudget:
 
     def charge_move(self, words: int) -> None:
         """Spend budget for a move, raising if it would overdraw."""
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.begin_unchecked("budget.move", {"words": words})
         if not self.can_move(words):
+            if tracer is not None:
+                span.set(rejected=True)
+                tracer.end(span)
             raise CompactionBudgetExceeded(
                 f"move of {words} words exceeds budget: moved={self._moved}, "
                 f"allocated={self._allocated}, c={self._divisor}"
@@ -188,6 +198,9 @@ class CompactionBudget:
         self._moved += words
         if self.observer is not None and self.observer.has_sinks:
             self._emit_charge("move", words)
+        if tracer is not None:
+            span.set(moved=self._moved)
+            tracer.end(span)
 
     def snapshot(self) -> BudgetSnapshot:
         """An immutable copy of the ledger."""
@@ -228,6 +241,8 @@ class AbsoluteBudget:
         self._allocated = 0
         self._moved = 0
         self.observer = observer
+        #: Fine-grained span tracer (duck-typing CompactionBudget).
+        self.tracer: "Tracer | None" = None
 
     @property
     def divisor(self) -> float | None:
@@ -277,7 +292,13 @@ class AbsoluteBudget:
 
     def charge_move(self, words: int) -> None:
         """Spend budget, raising on overdraft."""
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.begin_unchecked("budget.move", {"words": words})
         if not self.can_move(words):
+            if tracer is not None:
+                span.set(rejected=True)
+                tracer.end(span)
             raise CompactionBudgetExceeded(
                 f"move of {words} words exceeds absolute budget: "
                 f"moved={self._moved}, limit={self._limit}"
@@ -287,6 +308,9 @@ class AbsoluteBudget:
             self.observer.emit(BudgetCharge(
                 reason="move", words=words, remaining=self.remaining,
             ))
+        if tracer is not None:
+            span.set(moved=self._moved)
+            tracer.end(span)
 
     def snapshot(self) -> BudgetSnapshot:
         """An immutable copy of the ledger."""

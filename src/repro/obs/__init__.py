@@ -66,8 +66,19 @@ from .metrics import (
     power_of_two_buckets,
 )
 from .report import render_run, replay_waste_trajectory, sparkline, stage_rows
+from .profile import aggregate_spans, profile_block, render_timeline, render_top
 from .sampler import HeapSampler, SamplePoint
 from .telemetry import DEFAULT_SAMPLE_EVERY, Telemetry, run_recorded
+from .trace import (
+    TRACE_FILENAME,
+    Span,
+    StageSpanSink,
+    Tracer,
+    active_tracer,
+    read_trace,
+    to_chrome_trace,
+    write_trace,
+)
 
 __all__ = [
     "Alloc",
@@ -91,21 +102,33 @@ __all__ = [
     "RunData",
     "SCHEMA_VERSION",
     "SamplePoint",
+    "Span",
+    "StageSpanSink",
     "StageTransition",
+    "TRACE_FILENAME",
     "Telemetry",
     "TelemetryEvent",
+    "Tracer",
+    "active_tracer",
+    "aggregate_spans",
     "build_manifest",
     "event_from_dict",
     "load_manifest",
     "load_run",
     "peak_rss_kb",
     "power_of_two_buckets",
+    "profile_block",
     "read_events",
+    "read_trace",
     "render_run",
+    "render_timeline",
+    "render_top",
     "replay_waste_trajectory",
     "run_recorded",
     "sparkline",
     "stage_rows",
+    "to_chrome_trace",
     "write_events",
     "write_manifest",
+    "write_trace",
 ]

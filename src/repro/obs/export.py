@@ -123,14 +123,19 @@ def build_manifest(
     events_per_second: float = 0.0,
     event_count: int = 0,
     event_digest: str | None = None,
+    profile: dict | None = None,
 ) -> dict:
     """Assemble a schema-versioned manifest dict (see module docs).
 
     ``event_digest`` is the canonical event-stream digest (see
     :func:`repro.check.determinism.event_stream_digest`), which lets
     ``repro check`` detect trace tampering and replay divergence.
+    ``profile`` is the optional span-profile block
+    (:func:`repro.obs.profile.profile_block`) — out-of-band timing, so
+    its presence never changes the digest; readers treat the key as
+    optional (pre-tracing manifests simply lack it).
     """
-    return {
+    manifest = {
         "schema": SCHEMA_VERSION,
         "kind": "repro-run",
         "created_unix": time.time(),
@@ -147,6 +152,9 @@ def build_manifest(
         "metrics": metrics or {},
         "samples": samples or [],
     }
+    if profile is not None:
+        manifest["profile"] = profile
+    return manifest
 
 
 def write_manifest(directory: _PathLike, manifest: dict) -> Path:

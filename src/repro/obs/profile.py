@@ -1,0 +1,266 @@
+"""Trace aggregation: self-time trees, manifest profile blocks, timelines.
+
+Companion to :mod:`repro.obs.trace`: that module *records* spans, this
+one answers questions about them —
+
+* :func:`aggregate_spans` folds a span set into per-name cumulative /
+  self time (self = cumulative minus the cumulative time of direct
+  children), the flamegraph-style table ``repro trace --top`` prints
+  via :func:`render_top`;
+* :func:`profile_block` is the ``profile.*`` manifest block recorded
+  next to the existing ``placement.*`` metrics: per-phase attribution a
+  later reader can consume without the raw trace;
+* :func:`render_timeline` replays *fine* alloc/free spans into a heap
+  occupancy + waste-factor timeline over span time, rendered with the
+  same sparkline machinery ``repro report`` uses;
+* :func:`lane_wall_ns` sums per-lane busy time, the cross-check that a
+  parallel sweep's per-task spans account for the engine's wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .report import sparkline
+from .trace import Span
+
+__all__ = [
+    "SpanStats",
+    "aggregate_spans",
+    "render_top",
+    "profile_block",
+    "lane_wall_ns",
+    "task_span_total_ns",
+    "render_timeline",
+]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing for one span name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+    max_ns: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready record (manifest ``profile.by_name`` entries)."""
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "self_ns": self.self_ns,
+            "max_ns": self.max_ns,
+        }
+
+
+def aggregate_spans(spans: Sequence[Span]) -> dict[str, SpanStats]:
+    """Per-name cumulative/self statistics over a span set.
+
+    Self time subtracts only *direct* children, so a name's ``self_ns``
+    over the whole table sums (within clock noise) to the trace's total
+    busy time even when scopes nest arbitrarily deep.
+    """
+    by_name: dict[str, SpanStats] = {}
+    child_ns: dict[int, int] = {}
+    for span in spans:
+        if span.parent_id is not None and span.duration_ns > 0:
+            child_ns[span.parent_id] = (child_ns.get(span.parent_id, 0)
+                                        + span.duration_ns)
+    for span in spans:
+        duration = span.duration_ns
+        if duration <= 0:
+            continue
+        stats = by_name.get(span.name)
+        if stats is None:
+            stats = by_name[span.name] = SpanStats(span.name)
+        stats.count += 1
+        stats.total_ns += duration
+        stats.self_ns += max(0, duration - child_ns.get(span.span_id, 0))
+        stats.max_ns = max(stats.max_ns, duration)
+    return by_name
+
+
+def render_top(spans: Sequence[Span], *, limit: int = 20) -> str:
+    """The ``repro trace --top`` table: hottest span names by self time."""
+    table = aggregate_spans(spans)
+    if not table:
+        return "(no closed spans)"
+    total_self = sum(stats.self_ns for stats in table.values()) or 1
+    rows = sorted(table.values(), key=lambda s: s.self_ns, reverse=True)
+    elided = max(0, len(rows) - limit)
+    rows = rows[:limit]
+    from ..analysis.report import format_table  # local: avoid import cycle
+
+    header = ("span", "count", "total ms", "self ms", "self %", "max ms")
+    body = [
+        (
+            stats.name,
+            stats.count,
+            f"{stats.total_ns / 1e6:.3f}",  # lint: float-ok
+            f"{stats.self_ns / 1e6:.3f}",  # lint: float-ok
+            f"{100.0 * stats.self_ns / total_self:.1f}",  # lint: float-ok
+            f"{stats.max_ns / 1e6:.3f}",  # lint: float-ok
+        )
+        for stats in rows
+    ]
+    text = format_table(header, body)
+    if elided:
+        text += f"\n... ({elided} more span names)"
+    return text
+
+
+def lane_wall_ns(spans: Iterable[Span]) -> dict[int, int]:
+    """Busy nanoseconds per lane, counting only each lane's root spans.
+
+    A lane's roots are its spans with no parent *in the same lane* —
+    adopted worker trees hang beneath a main-lane task span, so a
+    worker lane's single root is its ``run``/``task`` span and nested
+    spans are not double-counted.
+    """
+    spans = list(spans)
+    lane_of = {span.span_id: span.lane for span in spans}
+    totals: dict[int, int] = {}
+    for span in spans:
+        if span.duration_ns <= 0:
+            continue
+        parent_lane = lane_of.get(span.parent_id) if span.parent_id else None
+        if parent_lane == span.lane:
+            continue  # nested within the same lane: already counted
+        totals[span.lane] = totals.get(span.lane, 0) + span.duration_ns
+    return totals
+
+
+def task_span_total_ns(spans: Iterable[Span],
+                       prefix: str = "task:") -> int:
+    """Summed duration of every per-task span (lane roots of a sweep)."""
+    return sum(span.duration_ns for span in spans
+               if span.name.startswith(prefix))
+
+
+def profile_block(spans: Sequence[Span], *, dropped: int = 0) -> dict[str, Any]:
+    """The manifest's ``profile`` block for one traced execution.
+
+    Out-of-band like ``placement.*``: nothing here feeds the event
+    digest.  ``phases`` lists stage spans in start order with absolute
+    offsets rebased to the trace start, so a reader can reconstruct the
+    per-phase timeline without the raw span file.
+    """
+    closed = [span for span in spans if span.duration_ns > 0]
+    t0 = min((span.start_ns for span in closed), default=0)
+    wall_ns = max((span.end_ns for span in closed), default=t0) - t0
+    phases = [
+        {
+            "name": span.name,
+            "start_ns": span.start_ns - t0,
+            "duration_ns": span.duration_ns,
+            "lane": span.lane,
+            **({"attrs": span.attrs} if span.attrs else {}),
+        }
+        for span in sorted(closed, key=lambda s: (s.start_ns, s.span_id))
+        if span.name.startswith(("stage:", "task:", "run", "engine."))
+    ]
+    return {
+        "schema": 1,
+        "span_count": len(closed),
+        "dropped": dropped,
+        "wall_ns": wall_ns,
+        "lanes": sorted({span.lane for span in closed}),
+        "by_name": {name: stats.as_dict()
+                    for name, stats in sorted(aggregate_spans(closed).items())},
+        "phases": phases,
+    }
+
+
+# Fragmentation timeline -------------------------------------------------------
+
+
+@dataclass
+class _TimelinePoint:
+    """Heap state replayed at one fine-span boundary."""
+
+    t_ns: int
+    live_words: int
+    high_water: int
+
+
+@dataclass
+class _Timeline:
+    points: list[_TimelinePoint] = field(default_factory=list)
+
+
+def _replay_fine_spans(spans: Sequence[Span]) -> _Timeline:
+    """Replay ``alloc``/``free`` fine spans into occupancy over time."""
+    timeline = _Timeline()
+    live = 0
+    high_water = 0
+    moments = []
+    for span in spans:
+        if span.name not in ("alloc", "free") or not span.attrs:
+            continue
+        size = span.attrs.get("size")
+        if size is None:
+            continue
+        moments.append((span.start_ns, span.name, int(size),
+                        span.attrs.get("address")))
+    moments.sort(key=lambda m: m[0])
+    for t_ns, kind, size, address in moments:
+        if kind == "alloc":
+            live += size
+            if address is not None:
+                high_water = max(high_water, int(address) + size)
+        else:
+            live -= size
+        timeline.points.append(_TimelinePoint(t_ns, live, high_water))
+    return timeline
+
+
+def render_timeline(spans: Sequence[Span], *, live_bound: int | None = None,
+                    width: int = 60) -> str:
+    """The fragmentation timeline: occupancy and waste over span time.
+
+    Needs a *fine* trace (per-alloc/free spans carrying ``size`` and
+    ``address`` attributes); coarse traces degrade to an explanatory
+    message rather than raising, so ``repro trace --timeline`` is safe
+    on any trace file.
+    """
+    timeline = _replay_fine_spans(spans)
+    points = timeline.points
+    if not points:
+        return ("timeline: no fine alloc/free spans in this trace "
+                "(record with fine tracing, e.g. `repro simulate --trace`)")
+    t0, t1 = points[0].t_ns, points[-1].t_ns
+    span_ms = (t1 - t0) / 1e6  # lint: float-ok
+    live = [float(p.live_words) for p in points]
+    hw = [float(p.high_water) for p in points]
+    lines = [
+        f"fragmentation timeline ({len(points)} heap events over "
+        f"{span_ms:.2f} ms):",
+        f"  live words   [{min(live):.0f}..{max(live):.0f}] "
+        + sparkline(live, width=width),
+        f"  high water   [{min(hw):.0f}..{max(hw):.0f}] "
+        + sparkline(hw, width=width),
+    ]
+    if live_bound:
+        waste = [p.high_water / live_bound for p in points]  # lint: float-ok
+        occupancy = [p.live_words / live_bound for p in points]  # lint: float-ok
+        lines.append(
+            f"  waste HS/M   [{min(waste):.3f}..{max(waste):.3f}] "
+            + sparkline(waste, width=width)
+        )
+        lines.append(
+            f"  occupancy    [{min(occupancy):.3f}..{max(occupancy):.3f}] "
+            + sparkline(occupancy, width=width)
+        )
+    stage_spans = [span for span in spans if span.name.startswith("stage:")]
+    if stage_spans:
+        lines.append("  stages:")
+        for span in sorted(stage_spans, key=lambda s: s.start_ns):
+            offset_ms = (span.start_ns - t0) / 1e6  # lint: float-ok
+            lines.append(
+                f"    +{offset_ms:9.2f} ms  {span.name} "
+                f"({span.duration_ns / 1e6:.2f} ms)"  # lint: float-ok
+            )
+    return "\n".join(lines)

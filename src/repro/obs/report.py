@@ -198,16 +198,56 @@ def _format_placement_line(metrics: dict) -> str | None:
     return line
 
 
-def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
-    """The full terminal report for one recorded run."""
-    manifest = run.manifest
-    live_bound = run.live_space_bound
-    result = manifest.get("result", {})
+def _format_profile_lines(profile: dict) -> list[str]:
+    """Summary lines for a manifest's ``profile`` block (may be absent)."""
+    wall_ns = profile.get("wall_ns", 0)
+    lanes = profile.get("lanes", [])
     lines = [
-        f"run: {manifest['program']} vs {manifest['manager']}",
+        "",
         (
-            "params: M={live_space} n={max_object} "
-            "c={compaction_divisor}".format(**manifest["params"])
+            f"profile: {profile.get('span_count', 0)} spans over "
+            f"{wall_ns / 1e6:.2f} ms"  # lint: float-ok
+            + (f" across {len(lanes)} lanes" if len(lanes) > 1 else "")
+            + (f", {profile['dropped']} dropped"
+               if profile.get("dropped") else "")
+        ),
+    ]
+    phases = profile.get("phases", [])
+    stage_phases = [p for p in phases
+                    if str(p.get("name", "")).startswith("stage:")]
+    for phase in stage_phases:
+        lines.append(
+            f"  +{phase.get('start_ns', 0) / 1e6:9.2f} ms  "  # lint: float-ok
+            f"{phase.get('name')} "
+            f"({phase.get('duration_ns', 0) / 1e6:.2f} ms)"  # lint: float-ok
+        )
+    return lines
+
+
+def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
+    """The full terminal report for one recorded run.
+
+    Degrades gracefully: manifests missing optional keys (older schema
+    additions like ``profile``, or hand-trimmed manifests) and empty or
+    absent ``events.jsonl`` files render a reduced report rather than
+    raising.
+    """
+    manifest = run.manifest
+    try:
+        live_bound = run.live_space_bound
+    except (KeyError, TypeError, ValueError):
+        live_bound = 0
+    result = manifest.get("result", {})
+    params = manifest.get("params", {})
+    lines = [
+        (
+            f"run: {manifest.get('program', '?')} vs "
+            f"{manifest.get('manager', '?')}"
+        ),
+        (
+            f"params: M={params.get('live_space', '?')} "
+            f"n={params.get('max_object', '?')} "
+            f"c={params.get('compaction_divisor', '?')}"
         ),
         (
             f"result: HS={result.get('heap_size', '?')} words "
@@ -226,13 +266,17 @@ def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
     placement = _format_placement_line(manifest.get("metrics", {}))
     if placement:
         lines.append(placement)
+    profile = manifest.get("profile")
+    if isinstance(profile, dict):
+        lines.extend(_format_profile_lines(profile))
 
+    bound = live_bound if live_bound > 0 else 1
     samples = manifest.get("samples", [])
     if samples:
-        waste = [s["high_water"] / live_bound for s in samples]
-        live = [float(s["live_words"]) for s in samples]
-        frag = [float(s["external_fragmentation"]) for s in samples]
-        budget = [float(s["budget_remaining"]) for s in samples]
+        waste = [s.get("high_water", 0) / bound for s in samples]  # lint: float-ok
+        live = [float(s.get("live_words", 0)) for s in samples]
+        frag = [float(s.get("external_fragmentation", 0.0)) for s in samples]
+        budget = [float(s.get("budget_remaining", 0.0)) for s in samples]
         lines.append("")
         lines.append(f"sampled series ({len(samples)} points):")
         lines.append(
@@ -258,7 +302,7 @@ def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
         from ..analysis.ascii_plot import render_series  # avoid import cycle
 
         xs = list(range(len(trajectory)))
-        ys = [point.high_water / live_bound for point in trajectory]
+        ys = [point.high_water / bound for point in trajectory]  # lint: float-ok
         lines.append("")
         lines.append("waste-factor trajectory (replayed from events):")
         lines.append(
@@ -273,7 +317,7 @@ def render_run(run: RunData, *, width: int = 60, plot: bool = True) -> str:
     if rows:
         lines.append("")
         lines.append("stage progression:")
-        lines.append(_format_stage_table(rows, live_bound))
+        lines.append(_format_stage_table(rows, bound))
     elif run.events:
         lines.append("")
         lines.append("stage progression: (no stage transitions recorded)")

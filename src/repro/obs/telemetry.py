@@ -24,6 +24,7 @@ from .export import (
 )
 from .metrics import MetricsCollector, MetricsRegistry
 from .sampler import HeapSampler
+from .trace import TRACE_FILENAME, Tracer, active_tracer, write_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..adversary.base import AdversaryProgram
@@ -125,6 +126,7 @@ def run_recorded(
     extra_config: dict | None = None,
     on_driver=None,
     extra_sinks=None,
+    tracer: Tracer | None = None,
 ) -> "ExecutionResult":
     """Run one fully instrumented execution and persist it.
 
@@ -137,14 +139,23 @@ def run_recorded(
     of event callables, e.g. a :class:`repro.check.Sanitizer`) are
     subscribed to the bus before the run.
 
+    ``tracer`` (when given and enabled) records hierarchical spans for
+    the run; the spans land in ``trace.jsonl`` next to the events and a
+    ``profile`` block is added to the manifest.  Spans are out-of-band:
+    ``event_digest`` is identical with or without them.
+
     The manifest records ``event_digest``, the canonical SHA-256 of the
     emitted stream, so ``repro check`` can detect any later tampering
     with ``events.jsonl`` and verify deterministic replays.
     """
     from ..adversary.driver import ExecutionDriver  # avoid import cycle
+    from .profile import profile_block
 
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
+
+    live_tracer = active_tracer(tracer)
+    trace_mark = live_tracer.mark() if live_tracer is not None else 0
 
     telemetry = Telemetry(sample_every=sample_every)
     writer = JsonlEventWriter()
@@ -161,6 +172,7 @@ def run_recorded(
         paranoid=paranoid,
         budget=budget,
         observer=telemetry.bus,
+        tracer=live_tracer,
     )
     telemetry.bind(driver)
     if on_driver is not None:
@@ -168,10 +180,17 @@ def run_recorded(
     result = driver.run(program)
     record_placement_metrics(telemetry.registry, driver)
 
+    profile = None
+    if live_tracer is not None:
+        run_spans = live_tracer.spans_since(trace_mark)
+        write_trace(target / TRACE_FILENAME, run_spans)
+        profile = profile_block(run_spans, dropped=live_tracer.dropped)
+
     writer.write(target / EVENTS_FILENAME)
     budget_snapshot = result.budget
     config = {"sample_every": sample_every, "record_trace": record_trace,
-              "paranoid": paranoid}
+              "paranoid": paranoid, "trace": live_tracer is not None,
+              "trace_fine": live_tracer is not None and live_tracer.fine}
     if extra_config:
         config.update(extra_config)
     manifest = build_manifest(
@@ -207,6 +226,7 @@ def run_recorded(
         events_per_second=result.events_per_second,
         event_count=telemetry.bus.event_count,
         event_digest=_stream_digest(writer),
+        profile=profile,
     )
     write_manifest(target, manifest)
     return result

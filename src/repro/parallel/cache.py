@@ -79,6 +79,13 @@ class ResultCache:
     def __init__(self, directory: _PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Lookup counters for this instance's lifetime.  ``evictions``
+        #: counts entries *deleted* by :meth:`get` because they were
+        #: unreadable or did not match their key (tampering / digest
+        #: collision); a plain absent entry is only a miss.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def key_for(self, task: SimTask) -> str:
         """The task's cache key."""
@@ -89,17 +96,38 @@ class ResultCache:
         return self.directory / self.key_for(task)
 
     def get(self, task: SimTask) -> TaskResult | None:
-        """The cached result, or None on a miss / incomplete entry."""
-        path = self.entry_dir(task) / RESULT_FILENAME
+        """The cached result, or None on a miss / incomplete entry.
+
+        Unreadable or mismatched entries are *evicted* (the entry
+        directory is deleted) so the subsequent execution can repopulate
+        the slot instead of colliding with the stale files forever.
+        """
+        entry = self.entry_dir(task)
+        path = entry / RESULT_FILENAME
         if not path.is_file():
+            self.misses += 1
             return None
-        record = json.loads(path.read_text(encoding="utf-8"))
-        result = TaskResult.from_dict(record)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            result = TaskResult.from_dict(record)
+        except (ValueError, KeyError, TypeError):
+            self._evict(entry)
+            return None
         if result.task != task:
-            # A digest collision or a tampered entry; treat as a miss
-            # rather than return someone else's numbers.
+            # A digest collision or a tampered entry; evict rather than
+            # return someone else's numbers.
+            self._evict(entry)
             return None
+        self.hits += 1
         return result
+
+    def _evict(self, entry: Path) -> None:
+        """Delete one corrupt/mismatched entry directory, counting it."""
+        import shutil
+
+        shutil.rmtree(entry, ignore_errors=True)
+        self.evictions += 1
+        self.misses += 1
 
     # The execution manifest ------------------------------------------------
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING, Sequence, Union
 
+from ..obs.trace import MAIN_LANE, Span, Tracer, active_tracer
 from .cache import ResultCache
 from .tasks import SimTask, TaskResult, run_task
 
@@ -55,6 +56,8 @@ class EngineStats:
     total: int = 0
     executed: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     jobs: int = 1
     wall_seconds: float = 0.0
     #: SHA-256 over the per-task event digests in submission order —
@@ -68,6 +71,8 @@ class EngineStats:
             "total": self.total,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "jobs": self.jobs,
             "wall_seconds": round(self.wall_seconds, 6),
             "grid_digest": self.grid_digest,
@@ -89,11 +94,19 @@ class ParallelEngine:
     chunk_size:
         Tasks per pool dispatch; ``None`` picks a deterministic value
         balancing dispatch overhead against tail latency.
+    tracer:
+        Optional parent :class:`~repro.obs.trace.Tracer`.  When enabled,
+        every executed task runs under a private worker tracer whose
+        spans ship back through ``TaskResult.trace_spans`` and are
+        adopted here — one lane per worker process — so a parallel
+        sweep's timeline renders next to a serial run's.  Digest-neutral
+        like all tracing.
     """
 
     jobs: int = 1
     cache_dir: "Union[str, os.PathLike[str], None]" = None
     chunk_size: int | None = None
+    tracer: "Tracer | None" = None
     #: Stats of the most recent :meth:`run` (reset each call).
     stats: EngineStats = field(default_factory=EngineStats)
 
@@ -102,11 +115,19 @@ class ParallelEngine:
             raise ValueError("jobs must be at least 1")
         self.cache = (ResultCache(self.cache_dir)
                       if self.cache_dir is not None else None)
+        self.tracer = active_tracer(self.tracer)
 
     def run(self, tasks: Sequence[SimTask]) -> list[TaskResult]:
         """Execute (or recall) every task; results in submission order."""
         start = time.perf_counter()
         tasks = list(tasks)
+        tracer = self.tracer
+        engine_span = (tracer.begin_unchecked("engine.run",
+                                              {"tasks": len(tasks),
+                                               "jobs": self.jobs})
+                       if tracer is not None else None)
+        evictions_before = (self.cache.evictions
+                            if self.cache is not None else 0)
         results: list[TaskResult | None] = [None] * len(tasks)
         pending: list[SimTask] = []
         pending_slots: list[int] = []
@@ -128,16 +149,25 @@ class ParallelEngine:
             if self.cache is not None:
                 self.cache.record_executions(executed)
 
+        if tracer is not None:
+            self._adopt_traces(tracer, executed, engine_span)
+
         # The merge loop filled every slot: cache hits up front, executed
         # results by pending_slots.
         merged = [result for result in results if result is not None]
         grid = hashlib.sha256()
         for result in merged:
             grid.update(result.event_digest.encode())
+        evictions = (self.cache.evictions - evictions_before
+                     if self.cache is not None else 0)
+        if tracer is not None and engine_span is not None:
+            tracer.end(engine_span)
         self.stats = EngineStats(
             total=len(tasks),
             executed=len(executed),
             cache_hits=len(tasks) - len(pending),
+            cache_misses=len(pending),
+            cache_evictions=evictions,
             jobs=self.jobs,
             wall_seconds=time.perf_counter() - start,
             grid_digest=grid.hexdigest(),
@@ -146,9 +176,27 @@ class ParallelEngine:
 
     # Internal ---------------------------------------------------------------
 
+    def _adopt_traces(self, tracer: Tracer, executed: list[TaskResult],
+                      engine_span: Span | None) -> None:
+        """Re-root worker span trees locally, one lane per worker pid.
+
+        Lane ids are assigned by pid order of first appearance (1..N);
+        the in-process path (``jobs <= 1``) executes in the parent pid,
+        which still gets its own worker lane so serial and parallel
+        sweeps render uniformly.
+        """
+        lanes: dict[int, int] = {}
+        for result in executed:
+            if not result.trace_spans:
+                continue
+            pid = result.worker_pid or 0
+            lane = lanes.setdefault(pid, MAIN_LANE + 1 + len(lanes))
+            tracer.adopt(result.trace_spans, lane=lane, parent=engine_span)
+
     def _execute(self, pending: list[SimTask],
                  record_root: str | None) -> list[TaskResult]:
-        worker = partial(run_task, record_root=record_root)
+        worker = partial(run_task, record_root=record_root,
+                         trace=self.tracer is not None)
         if self.jobs <= 1 or len(pending) == 1:
             return [worker(task) for task in pending]
         workers = min(self.jobs, len(pending))

@@ -18,6 +18,7 @@ references to it.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -30,6 +31,7 @@ from ..heap.metrics import HeapMetrics
 from ..mm.budget import BudgetSnapshot
 from ..mm.registry import create_manager
 from ..obs.events import EventBus, TelemetryEvent
+from ..obs.trace import Tracer
 
 __all__ = ["SimTask", "TaskResult", "StreamDigest", "run_task"]
 
@@ -127,6 +129,14 @@ class TaskResult:
     event_count: int
     wall_seconds: float = field(compare=False)
     from_cache: bool = field(default=False, compare=False)
+    #: Span records captured inside the worker (``Span.to_dict`` form),
+    #: shipped back for the parent tracer to adopt; None when tracing
+    #: was off.  Never persisted to the cache: a cache hit replays the
+    #: result, not the timing.
+    trace_spans: "list[dict[str, Any]] | None" = field(
+        default=None, compare=False)
+    #: The worker process that executed the task (lane attribution).
+    worker_pid: int | None = field(default=None, compare=False)
 
     @property
     def waste_factor(self) -> float:
@@ -154,9 +164,15 @@ class TaskResult:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready encoding (cache ``result.json`` schema)."""
+        """JSON-ready encoding (cache ``result.json`` schema).
+
+        Trace fields are transport-only and omitted: a cached entry
+        must not replay stale timings as if they were fresh.
+        """
         record = asdict(self)
         record["task"] = self.task.to_dict()
+        record.pop("trace_spans", None)
+        record.pop("worker_pid", None)
         return record
 
     @classmethod
@@ -222,7 +238,12 @@ def _result_from_execution(task: SimTask, result: ExecutionResult,
     )
 
 
-def run_task(task: SimTask, record_root: str | None = None) -> TaskResult:
+def _task_label(task: SimTask) -> str:
+    return f"task:{task.manager}/{task.program}"
+
+
+def run_task(task: SimTask, record_root: str | None = None,
+             trace: bool = False) -> TaskResult:
     """Execute one task; the worker-process entry point.
 
     Every run gets its own :class:`~repro.obs.events.EventBus` with a
@@ -232,19 +253,29 @@ def run_task(task: SimTask, record_root: str | None = None) -> TaskResult:
     directory under ``<record_root>/<cache key>/`` (manifest.json +
     events.jsonl) plus a ``result.json`` the cache reads back — written
     last, so a directory with ``result.json`` is always complete.
+
+    With ``trace=True`` the execution runs under a private (coarse)
+    :class:`~repro.obs.trace.Tracer`; the resulting span records travel
+    back in ``TaskResult.trace_spans`` for the parent to adopt.
+    ``perf_counter_ns`` is CLOCK_MONOTONIC on Linux, shared across
+    forked workers, so worker timestamps land on the parent's axis.
     """
     params = task.params
     program = make_program(task.program, params, **task.options_dict())
     manager = create_manager(task.manager, params)
     digest = StreamDigest()
+    tracer = Tracer() if trace else None
+    task_span = (tracer.begin_unchecked(_task_label(task), {"pid": os.getpid()})
+                 if tracer is not None else None)
 
     if record_root is None:
         bus = EventBus()
         bus.subscribe(digest)
         if hasattr(program, "bus"):
             program.bus = bus
-        result = run_execution(params, program, manager, observer=bus)
-        return _result_from_execution(task, result, digest)
+        result = run_execution(params, program, manager, observer=bus,
+                               tracer=tracer)
+        return _finish_task(task, result, digest, tracer, task_span)
 
     from .cache import RESULT_FILENAME, task_digest  # local: avoid cycle
     from ..obs.telemetry import run_recorded
@@ -255,12 +286,28 @@ def run_task(task: SimTask, record_root: str | None = None) -> TaskResult:
         params, program, manager, target,
         extra_config={"task": task.to_dict(), "cache_key": key},
         extra_sinks=[digest],
+        tracer=tracer,
     )
-    task_result = _result_from_execution(task, result, digest)
+    task_result = _finish_task(task, result, digest, tracer, task_span)
     payload = task_result.to_dict()
     payload["cache_key"] = key
     _write_json_atomic(target / RESULT_FILENAME, payload)
     return task_result
+
+
+def _finish_task(task: SimTask, result: ExecutionResult,
+                 digest: StreamDigest, tracer: "Tracer | None",
+                 task_span: Any) -> TaskResult:
+    """Close the task span and attach the serialized trace, if any."""
+    task_result = _result_from_execution(task, result, digest)
+    if tracer is None:
+        return task_result
+    if task_span is not None:
+        tracer.end(task_span)
+    from dataclasses import replace
+
+    return replace(task_result, trace_spans=tracer.to_dicts(),
+                   worker_pid=os.getpid())
 
 
 def _write_json_atomic(path: Path, payload: dict[str, Any]) -> None:

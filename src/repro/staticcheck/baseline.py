@@ -23,10 +23,17 @@ from typing import Iterable, Sequence
 
 from .base import Finding
 
-__all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_NAME"]
+__all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_NAME",
+           "UNJUSTIFIED_PLACEHOLDER"]
 
 #: The committed baseline's file name (repo root).
 DEFAULT_BASELINE_NAME = ".staticcheck-baseline.json"
+
+#: The placeholder ``--update-baseline`` writes for a new entry.  An
+#: entry still carrying it (or an empty string) is *unjustified*: the
+#: CLI refuses to write such a baseline unless ``--allow-unjustified``
+#: is passed, so the ledger cannot silently accumulate unreviewed debt.
+UNJUSTIFIED_PLACEHOLDER = "TODO: justify this suppression"
 
 
 @dataclass(frozen=True)
@@ -37,7 +44,13 @@ class BaselineEntry:
     rule: str
     path: str
     message: str
-    justification: str = "TODO: justify this suppression"
+    justification: str = UNJUSTIFIED_PLACEHOLDER
+
+    @property
+    def is_justified(self) -> bool:
+        """Whether the entry carries a real (non-placeholder) reason."""
+        text = self.justification.strip()
+        return bool(text) and text != UNJUSTIFIED_PLACEHOLDER
 
     @classmethod
     def from_finding(cls, finding: Finding, root: Path,
@@ -52,8 +65,7 @@ class BaselineEntry:
             rule=finding.rule,
             path=rel,
             message=finding.message,
-            justification=justification
-            or "TODO: justify this suppression",
+            justification=justification or UNJUSTIFIED_PLACEHOLDER,
         )
 
 
@@ -131,11 +143,28 @@ class Baseline:
                  if entry.fingerprint not in seen]
         return new, suppressed, stale
 
+    def unjustified(self) -> list[BaselineEntry]:
+        """Entries still carrying the placeholder (or no) justification."""
+        return [entry for entry in self.entries if not entry.is_justified]
+
     @classmethod
     def from_findings(cls, findings: Iterable[Finding], root: Path,
-                      justification: str | None = None) -> "Baseline":
-        """A baseline accepting every given finding (``--update-baseline``)."""
+                      justification: str | None = None,
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """A baseline accepting every given finding (``--update-baseline``).
+
+        ``previous`` carries justifications forward: an entry whose
+        fingerprint already exists keeps its reviewed justification
+        instead of being reset to the placeholder — only genuinely new
+        findings come out unjustified.
+        """
+        kept = ({entry.fingerprint: entry.justification
+                 for entry in previous.entries if entry.is_justified}
+                if previous is not None else {})
         return cls(entries=[
-            BaselineEntry.from_finding(finding, root, justification)
+            BaselineEntry.from_finding(
+                finding, root,
+                kept.get(finding.fingerprint, justification),
+            )
             for finding in findings
         ])

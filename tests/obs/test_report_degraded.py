@@ -1,0 +1,130 @@
+"""``repro report`` on degraded run directories: reduce, don't raise.
+
+Run directories age badly in practice — older manifests predate schema
+additions (``profile``, ``metrics``), cache entries get hand-trimmed,
+disks fill mid-write and leave empty event files.  The report command
+is a forensic tool, so it must render whatever survives instead of
+stack-tracing over the missing parts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import PFProgram
+from repro.core.params import BoundParams
+from repro.mm import create_manager
+from repro.obs.export import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    SCHEMA_VERSION,
+    load_run,
+)
+from repro.obs.report import render_run
+from repro.obs.telemetry import run_recorded
+from repro.cli import main
+
+
+@pytest.fixture
+def recorded_run(tmp_path):
+    """A complete, healthy run directory to degrade from."""
+    params = BoundParams(live_space=2048, max_object=64,
+                         compaction_divisor=20.0)
+    run_recorded(params, PFProgram(params),
+                 create_manager("sliding-compactor", params),
+                 tmp_path)
+    return tmp_path
+
+
+def _manifest(run_dir):
+    return json.loads(
+        (run_dir / MANIFEST_FILENAME).read_text(encoding="utf-8")
+    )
+
+
+def _write_manifest(run_dir, manifest):
+    (run_dir / MANIFEST_FILENAME).write_text(
+        json.dumps(manifest), encoding="utf-8"
+    )
+
+
+class TestDegradedManifests:
+    def test_minimal_manifest_renders(self, tmp_path):
+        # Schema version is the only hard requirement.
+        _write_manifest(tmp_path, {"schema": SCHEMA_VERSION})
+        text = render_run(load_run(tmp_path), plot=False)
+        assert "run: ? vs ?" in text
+        assert "M=?" in text
+
+    def test_missing_params_block_renders(self, recorded_run):
+        manifest = _manifest(recorded_run)
+        del manifest["params"]
+        _write_manifest(recorded_run, manifest)
+        text = render_run(load_run(recorded_run), plot=False)
+        assert "M=? n=? c=?" in text
+
+    def test_missing_result_block_renders(self, recorded_run):
+        manifest = _manifest(recorded_run)
+        del manifest["result"]
+        _write_manifest(recorded_run, manifest)
+        text = render_run(load_run(recorded_run), plot=False)
+        assert "HS=? words" in text
+
+    def test_pre_profile_manifest_renders_without_profile_block(
+            self, recorded_run):
+        manifest = _manifest(recorded_run)
+        manifest.pop("profile", None)  # older schema: no tracing yet
+        manifest.pop("metrics", None)
+        _write_manifest(recorded_run, manifest)
+        text = render_run(load_run(recorded_run), plot=False)
+        assert "profile:" not in text
+        assert "run: cohen-petrank-PF" in text
+
+    def test_trimmed_samples_render(self, recorded_run):
+        manifest = _manifest(recorded_run)
+        # Hand-trimmed samples: keys dropped to shrink the file.
+        manifest["samples"] = [{"seq": 1}, {"seq": 2}]
+        _write_manifest(recorded_run, manifest)
+        text = render_run(load_run(recorded_run), plot=False)
+        assert "sampled series (2 points)" in text
+
+    def test_zero_live_space_does_not_divide_by_zero(self, recorded_run):
+        manifest = _manifest(recorded_run)
+        manifest["params"]["live_space"] = 0
+        _write_manifest(recorded_run, manifest)
+        render_run(load_run(recorded_run), plot=False)  # must not raise
+
+
+class TestDegradedEventFiles:
+    def test_empty_events_file_renders(self, recorded_run):
+        (recorded_run / EVENTS_FILENAME).write_text("", encoding="utf-8")
+        text = render_run(load_run(recorded_run), plot=True)
+        assert "run: cohen-petrank-PF" in text
+
+    def test_absent_events_file_renders(self, recorded_run):
+        (recorded_run / EVENTS_FILENAME).unlink()
+        run = load_run(recorded_run)
+        assert run.events == []
+        render_run(run, plot=True)  # must not raise
+
+
+class TestCliOnDegradedRuns:
+    def test_report_command_succeeds_on_trimmed_run(self, recorded_run,
+                                                    capsys):
+        manifest = _manifest(recorded_run)
+        del manifest["result"]
+        manifest.pop("samples", None)
+        _write_manifest(recorded_run, manifest)
+        (recorded_run / EVENTS_FILENAME).unlink()
+        status = main(["report", str(recorded_run), "--no-plot"])
+        output = capsys.readouterr().out
+        assert status == 0, output
+        assert "run: cohen-petrank-PF" in output
+
+    def test_report_command_fails_cleanly_without_manifest(self, tmp_path,
+                                                           capsys):
+        status = main(["report", str(tmp_path)])
+        assert status != 0
+        assert "manifest" in capsys.readouterr().err.lower()

@@ -1,0 +1,136 @@
+"""Cross-process trace aggregation: worker lanes, wall-time accounting.
+
+A traced parallel sweep must tell the same timing story as a serial
+one: every executed task contributes a ``task:`` span shipped back from
+its worker, each worker process renders in its own lane, and no lane
+can be busier than the engine was running.  And — like every
+observability feature in this repository — tracing must be
+digest-neutral: the grid digest is byte-identical traced or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import BoundParams
+from repro.obs.trace import MAIN_LANE, Tracer, to_chrome_trace
+from repro.parallel import ParallelEngine, SimTask
+from repro.parallel.tasks import run_task
+from repro.obs.profile import lane_wall_ns, task_span_total_ns
+
+BASE = BoundParams(live_space=2048, max_object=32)
+MANAGERS = ("first-fit", "best-fit")
+
+
+def _tasks():
+    return [
+        SimTask.build(BASE.with_compaction(c), manager, "pf")
+        for c in (5.0, 10.0)
+        for manager in MANAGERS
+    ]
+
+
+def _traced_engine(jobs: int) -> ParallelEngine:
+    return ParallelEngine(jobs=jobs, tracer=Tracer())
+
+
+class TestWorkerLanes:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_every_executed_task_ships_spans(self, jobs):
+        engine = _traced_engine(jobs)
+        results = engine.run(_tasks())
+        for result in results:
+            assert result.trace_spans
+            assert result.worker_pid
+            names = {record["name"] for record in result.trace_spans}
+            assert f"task:{result.task.manager}/{result.task.program}" in names
+            assert "run" in names
+
+    def test_parallel_run_uses_multiple_lanes(self):
+        engine = _traced_engine(2)
+        engine.run(_tasks())
+        tracer = engine.tracer
+        lanes = {span.lane for span in tracer.spans}
+        assert MAIN_LANE in lanes  # the engine.run anchor span
+        worker_lanes = lanes - {MAIN_LANE}
+        # Four tasks over two workers: both workers appear (fork pool,
+        # deterministic chunking gives each worker two tasks).
+        assert len(worker_lanes) == 2
+        document = to_chrome_trace(tracer.spans)
+        assert document["otherData"]["lanes"] == len(lanes)
+
+    def test_worker_trees_hang_under_the_engine_span(self):
+        engine = _traced_engine(2)
+        engine.run(_tasks())
+        spans = engine.tracer.spans
+        engine_span = next(s for s in spans if s.name == "engine.run")
+        task_spans = [s for s in spans if s.name.startswith("task:")]
+        assert len(task_spans) == len(_tasks())
+        assert all(s.parent_id == engine_span.span_id for s in task_spans)
+
+    def test_lane_busy_time_bounded_by_engine_wall(self):
+        engine = _traced_engine(2)
+        engine.run(_tasks())
+        spans = engine.tracer.spans
+        engine_span = next(s for s in spans if s.name == "engine.run")
+        per_lane = lane_wall_ns(spans)
+        for lane, busy_ns in per_lane.items():
+            if lane == MAIN_LANE:
+                continue
+            # 20% slack: span timestamps are taken inside the worker,
+            # strictly within the engine span, but rounding and the
+            # final adoption pass deserve headroom.
+            assert busy_ns <= engine_span.duration_ns * 1.2  # lint: float-ok
+        assert task_span_total_ns(spans) == sum(
+            busy for lane, busy in per_lane.items() if lane != MAIN_LANE
+        )
+
+    def test_untraced_engine_ships_no_spans(self):
+        results = ParallelEngine(jobs=1).run(_tasks())
+        assert all(result.trace_spans is None for result in results)
+
+
+class TestTraceNeutrality:
+    def test_grid_digest_unchanged_by_tracing(self):
+        plain = ParallelEngine(jobs=2)
+        plain.run(_tasks())
+        traced = _traced_engine(2)
+        traced.run(_tasks())
+        assert plain.stats.grid_digest == traced.stats.grid_digest
+
+    def test_cached_result_json_carries_no_spans(self, tmp_path):
+        task = _tasks()[0]
+        result = run_task(task, record_root=str(tmp_path), trace=True)
+        assert result.trace_spans  # live result has them...
+        record = result.to_dict()
+        assert "trace_spans" not in record  # ...the archived one does not
+        assert "worker_pid" not in record
+
+    def test_warm_cache_hits_have_no_stale_spans(self, tmp_path):
+        engine = ParallelEngine(jobs=1, cache_dir=tmp_path, tracer=Tracer())
+        engine.run(_tasks())
+        warm = ParallelEngine(jobs=1, cache_dir=tmp_path, tracer=Tracer())
+        results = warm.run(_tasks())
+        assert warm.stats.cache_hits == len(results)
+        assert all(result.trace_spans is None for result in results)
+        # Only the engine anchor span: nothing executed, nothing adopted.
+        assert [s.name for s in warm.tracer.spans] == ["engine.run"]
+
+
+class TestCacheCounters:
+    def test_stats_expose_misses_and_evictions(self, tmp_path):
+        cold = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        cold.run(_tasks())
+        assert cold.stats.cache_misses == len(_tasks())
+        assert cold.stats.cache_evictions == 0
+
+        entry = cold.cache.entry_dirs()[0]
+        (entry / "result.json").write_text("{not json", encoding="utf-8")
+        rerun = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        rerun.run(_tasks())
+        assert rerun.stats.cache_hits == len(_tasks()) - 1
+        assert rerun.stats.cache_misses == 1
+        assert rerun.stats.cache_evictions == 1
+        as_dict = rerun.stats.as_dict()
+        assert as_dict["cache_misses"] == 1
+        assert as_dict["cache_evictions"] == 1

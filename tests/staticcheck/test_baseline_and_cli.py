@@ -170,7 +170,7 @@ class TestCli:
         baseline_path = tmp_path / "baseline.json"
         status = main(["staticcheck", str(target),
                        "--baseline", str(baseline_path),
-                       "--update-baseline"])
+                       "--update-baseline", "--allow-unjustified"])
         assert status == 0
         assert baseline_path.exists()
         capsys.readouterr()
@@ -179,6 +179,39 @@ class TestCli:
         output = capsys.readouterr().out
         assert status == 0, output
         assert "1 baselined" in output
+
+    def test_update_baseline_rejects_placeholder_justifications(
+            self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        status = main(["staticcheck", str(target),
+                       "--baseline", str(baseline_path),
+                       "--update-baseline"])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert not baseline_path.exists()
+        assert "lack a justification" in captured.err
+        assert "--allow-unjustified" in captured.err
+
+    def test_update_baseline_preserves_edited_justifications(
+            self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        main(["staticcheck", str(target), "--baseline", str(baseline_path),
+              "--update-baseline", "--allow-unjustified"])
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        payload["entries"][0]["justification"] = "legacy snippet, reviewed"
+        baseline_path.write_text(json.dumps(payload), encoding="utf-8")
+        capsys.readouterr()
+        # A justified baseline re-updates cleanly without the escape hatch,
+        # and the hand-written justification survives the rewrite.
+        status = main(["staticcheck", str(target),
+                       "--baseline", str(baseline_path),
+                       "--update-baseline"])
+        assert status == 0, capsys.readouterr().err
+        reloaded = json.loads(baseline_path.read_text(encoding="utf-8"))
+        assert reloaded["entries"][0]["justification"] == (
+            "legacy snippet, reviewed")
 
     def test_list_rules_covers_passes_and_lint(self, capsys):
         assert main(["staticcheck", "--list-rules"]) == 0

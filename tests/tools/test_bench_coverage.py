@@ -1,0 +1,59 @@
+"""Coverage gate: every benchmark emits a machine-readable record.
+
+The perf trajectory only works if *every* bench lands in it — a bench
+added without a ``BENCH_JSON`` record silently falls out of the
+cross-commit comparison, which is exactly the failure mode this gate
+exists to catch.  The contract (see ``benchmarks/conftest.py``): each
+``benchmarks/bench_*.py`` either calls the ``bench_record`` fixture or
+prints a ``BENCH_JSON `` line itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_FILES = sorted(BENCHMARKS.glob("bench_*.py"))
+
+
+def _test_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+            and node.name.startswith("test_")]
+
+
+def _emits_record(path: Path) -> bool:
+    source = path.read_text(encoding="utf-8")
+    if "BENCH_JSON" in source:
+        return True  # prints the record line itself
+    tree = ast.parse(source, filename=str(path))
+    for function in _test_functions(tree):
+        if any(arg.arg == "bench_record"
+               for arg in function.args.args + function.args.kwonlyargs):
+            return True
+    return False
+
+
+def test_benchmark_directory_is_nonempty():
+    assert BENCH_FILES, f"no bench_*.py under {BENCHMARKS}"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_every_bench_emits_bench_json(path: Path):
+    assert _emits_record(path), (
+        f"{path.name} has no BENCH_JSON output: request the "
+        "bench_record fixture (benchmarks/conftest.py) or print a "
+        "BENCH_JSON line so the bench lands in the perf trajectory"
+    )
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_every_bench_has_a_test_function(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    assert _test_functions(tree), (
+        f"{path.name} defines no test_* function, so pytest collects "
+        "nothing from it"
+    )

@@ -1,18 +1,21 @@
 #!/usr/bin/env python
 """Telemetry and sanitizer overhead smoke check.
 
-Runs the same P_F execution four ways — uninstrumented (``observer=None``
+Runs the same P_F execution five ways — uninstrumented (``observer=None``
 everywhere), with an :class:`repro.obs.events.EventBus` attached but
 *zero* subscribers (the ``has_sinks`` lazy-construction fast path: no
-event objects are built at all), with a full
+event objects are built at all), with a *disabled*
+:class:`repro.obs.trace.Tracer` passed to the driver (collapses to the
+no-tracer fast path: one pointer comparison per operation), with a full
 :class:`repro.obs.telemetry.Telemetry` attached (metrics collector,
 heap sampler and JSONL buffer all subscribed), and with the
 :class:`repro.check.Sanitizer` checker set riding the instrumented bus
 — and fails if the subscriber-free bus is more than
-``--no-sink-threshold`` (default 1.5) times slower, instrumentation
-more than ``--threshold`` (default 2.0) times slower, or sanitizing
-more than ``--sanitize-threshold`` (default 6.0) times slower than the
-baseline.  Each variant runs ``--repeats`` times and the *minimum* wall
+``--no-sink-threshold`` (default 1.5) times slower, the disabled tracer
+more than ``--no-trace-threshold`` (default 1.5, target ~1.05) times
+slower, instrumentation more than ``--threshold`` (default 2.0) times
+slower, or sanitizing more than ``--sanitize-threshold`` (default 6.0)
+times slower than the baseline.  Each variant runs ``--repeats`` times and the *minimum* wall
 time is compared, the standard trick to suppress scheduler noise.
 
 Usage::
@@ -64,6 +67,7 @@ class OverheadReport:
     instrumented_s: float
     sanitized_s: float | None = None
     no_sink_s: float | None = None
+    trace_disabled_s: float | None = None
 
     @property
     def ratio(self) -> float:
@@ -83,6 +87,13 @@ class OverheadReport:
             return None
         return self.no_sink_s / self.baseline_s if self.baseline_s else float("inf")
 
+    @property
+    def trace_disabled_ratio(self) -> float | None:
+        """Disabled-tracer/baseline ratio (``None`` if unmeasured)."""
+        if self.trace_disabled_s is None:
+            return None
+        return self.trace_disabled_s / self.baseline_s if self.baseline_s else float("inf")
+
     def describe(self) -> str:
         text = (
             f"baseline {self.baseline_s * 1e3:.1f} ms, "
@@ -93,6 +104,11 @@ class OverheadReport:
             text += (
                 f"; no-sink bus {self.no_sink_s * 1e3:.1f} ms, "
                 f"ratio {self.no_sink_ratio:.2f}x"
+            )
+        if self.trace_disabled_s is not None:
+            text += (
+                f"; disabled tracer {self.trace_disabled_s * 1e3:.1f} ms, "
+                f"ratio {self.trace_disabled_ratio:.2f}x"
             )
         if self.sanitized_s is not None:
             text += (
@@ -111,6 +127,11 @@ class OverheadReport:
         if self.no_sink_s is not None and self.no_sink_ratio is not None:
             results["no_sink_s"] = round(self.no_sink_s, 6)
             results["no_sink_ratio"] = round(self.no_sink_ratio, 4)
+        if (self.trace_disabled_s is not None
+                and self.trace_disabled_ratio is not None):
+            results["trace_disabled_s"] = round(self.trace_disabled_s, 6)
+            results["trace_disabled_ratio"] = round(
+                self.trace_disabled_ratio, 4)
         if self.sanitized_s is not None and self.sanitizer_ratio is not None:
             results["sanitized_s"] = round(self.sanitized_s, 6)
             results["sanitized_ratio"] = round(self.sanitizer_ratio, 4)
@@ -124,7 +145,8 @@ class OverheadReport:
             },
             "wall_s": round(self.baseline_s + self.instrumented_s
                             + (self.sanitized_s or 0.0)
-                            + (self.no_sink_s or 0.0), 6),
+                            + (self.no_sink_s or 0.0)
+                            + (self.trace_disabled_s or 0.0), 6),
             "results": results,
         }
 
@@ -146,6 +168,22 @@ def _run_no_sink() -> float:
         program.bus = bus
     driver = ExecutionDriver(
         PARAMS, create_manager(MANAGER, PARAMS), observer=bus
+    )
+    start = time.perf_counter()
+    driver.run(program)
+    return time.perf_counter() - start
+
+
+def _run_trace_disabled() -> float:
+    from repro.obs.trace import Tracer
+
+    # A constructed-but-disabled tracer: active_tracer() collapses it to
+    # None inside the driver, so the whole span machinery costs one
+    # pointer comparison per operation.  Target ratio <= 1.05.
+    tracer = Tracer(enabled=False)
+    program = PFProgram(PARAMS)
+    driver = ExecutionDriver(
+        PARAMS, create_manager(MANAGER, PARAMS), tracer=tracer
     )
     start = time.perf_counter()
     driver.run(program)
@@ -187,13 +225,16 @@ def _run_sanitized() -> float:
 
 
 def measure(repeats: int = 3, *, sanitize: bool = False,
-            no_sink: bool = False) -> OverheadReport:
+            no_sink: bool = False,
+            trace_disabled: bool = False) -> OverheadReport:
     """Run the variants ``repeats`` times each; compare the minima.
 
     ``sanitize=False`` (the default) measures baseline vs instrumented
     only, preserving the historical interface; ``sanitize=True`` adds
     the checker-loaded variant as ``sanitized_s``; ``no_sink=True``
-    adds the subscriber-free-bus variant as ``no_sink_s``.
+    adds the subscriber-free-bus variant as ``no_sink_s``;
+    ``trace_disabled=True`` adds the disabled-tracer variant as
+    ``trace_disabled_s``.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -203,8 +244,11 @@ def measure(repeats: int = 3, *, sanitize: bool = False,
                  if sanitize else None)
     empty_bus = (min(_run_no_sink() for _ in range(repeats))
                  if no_sink else None)
+    traceless = (min(_run_trace_disabled() for _ in range(repeats))
+                 if trace_disabled else None)
     return OverheadReport(baseline_s=baseline, instrumented_s=instrumented,
-                          sanitized_s=sanitized, no_sink_s=empty_bus)
+                          sanitized_s=sanitized, no_sink_s=empty_bus,
+                          trace_disabled_s=traceless)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -216,6 +260,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-sink-threshold", type=float, default=1.5,
                         help="maximum tolerated subscriber-free-bus/"
                              "baseline ratio (target is ~1.05)")
+    parser.add_argument("--no-trace-threshold", type=float, default=1.5,
+                        help="maximum tolerated disabled-tracer/baseline "
+                             "ratio (target is ~1.05)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per variant (minimum is compared)")
     parser.add_argument("--no-sanitize", action="store_true",
@@ -227,15 +274,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
     if (args.threshold <= 0 or args.sanitize_threshold <= 0
-            or args.no_sink_threshold <= 0):
+            or args.no_sink_threshold <= 0 or args.no_trace_threshold <= 0):
         parser.error("thresholds must be positive")
 
     report = measure(repeats=args.repeats, sanitize=not args.no_sanitize,
-                     no_sink=True)
+                     no_sink=True, trace_disabled=True)
     print(f"telemetry overhead: {report.describe()} "
           f"(thresholds {args.threshold:.2f}x / "
           f"{args.sanitize_threshold:.2f}x / "
-          f"no-sink {args.no_sink_threshold:.2f}x)")
+          f"no-sink {args.no_sink_threshold:.2f}x / "
+          f"no-trace {args.no_trace_threshold:.2f}x)")
     payload = report.to_bench_payload()
     print("BENCH_JSON " + json.dumps(payload, sort_keys=True))
     if args.bench_out:
@@ -257,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
     no_sink_ratio = report.no_sink_ratio
     if no_sink_ratio is not None and no_sink_ratio > args.no_sink_threshold:
         print("FAIL: subscriber-free bus exceeds the overhead budget",
+              file=sys.stderr)
+        failed = True
+    trace_ratio = report.trace_disabled_ratio
+    if trace_ratio is not None and trace_ratio > args.no_trace_threshold:
+        print("FAIL: disabled tracer exceeds the overhead budget",
               file=sys.stderr)
         failed = True
     if failed:

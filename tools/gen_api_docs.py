@@ -36,7 +36,7 @@ MODULES = [
     "repro.exact.budgeted",
     "repro.obs", "repro.obs.events", "repro.obs.metrics",
     "repro.obs.sampler", "repro.obs.export", "repro.obs.telemetry",
-    "repro.obs.report",
+    "repro.obs.report", "repro.obs.trace", "repro.obs.profile",
     "repro.parallel", "repro.parallel.tasks", "repro.parallel.cache",
     "repro.parallel.engine",
     "repro.check", "repro.check.base", "repro.check.shadow_heap",
