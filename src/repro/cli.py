@@ -302,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
     staticcheck.add_argument("--max-findings", type=int, default=100,
                              help="findings to print before eliding "
                                   "(text format, default 100)")
+    staticcheck.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes for the module-rule "
+                                  "tier (default 1; output is byte-"
+                                  "identical across values)")
+    staticcheck.add_argument("--cache-dir", metavar="DIR", default=None,
+                             help="incremental cache directory: unchanged "
+                                  "modules reuse their cached findings, so "
+                                  "a warm run re-analyzes only edited files")
 
     exact = commands.add_parser("exact", help="micro-heap exact game value")
     exact.add_argument("--live", type=int, default=4)
@@ -699,13 +707,31 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
     paths = [Path(p) for p in args.paths] if args.paths else None
     rules = ([token for token in args.rules.split(",") if token]
              if args.rules else None)
+    if rules:
+        known: set[str] = set()
+        for spec in rule_catalog():
+            known.add(spec.name)
+            known.update(spec.rule_ids)
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print("available rules:", file=sys.stderr)
+            for spec in rule_catalog():
+                ids = ", ".join(i for i in spec.rule_ids if i != spec.name)
+                extra = f" (reports: {ids})" if ids else ""
+                print(f"  {spec.name}{extra}", file=sys.stderr)
+            return 2
+    jobs = max(1, args.jobs)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
     baseline_path = (Path(args.baseline) if args.baseline
                      else root / DEFAULT_BASELINE_NAME)
     baseline = Baseline() if args.no_baseline else None
 
     if args.update_baseline:
         result = run_staticcheck(paths, root=root, rules=rules,
-                                 baseline=Baseline())
+                                 baseline=Baseline(), jobs=jobs,
+                                 cache_dir=cache_dir)
         previous = Baseline.load(baseline_path)
         updated = Baseline.from_findings(result.findings, root,
                                          previous=previous)
@@ -729,7 +755,11 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
         return 0
 
     result = run_staticcheck(paths, root=root, rules=rules,
-                             baseline=baseline, baseline_path=baseline_path)
+                             baseline=baseline, baseline_path=baseline_path,
+                             jobs=jobs, cache_dir=cache_dir)
+    if cache_dir is not None:
+        print(f"cache: {result.cache_hits} modules reused, "
+              f"{result.modules_reanalyzed} re-analyzed", file=sys.stderr)
     if args.format == "text":
         document = render_text(result.findings, result.suppressed,
                                len(result.stale_entries),

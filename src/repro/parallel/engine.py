@@ -174,6 +174,28 @@ class ParallelEngine:
         )
         return merged
 
+    def map(self, func, items: Sequence) -> list:
+        """Ordered generic fan-out: ``[func(x) for x in items]`` on the pool.
+
+        The simulation-agnostic sibling of :meth:`run` — no result cache,
+        no tracing, just the engine's pool policy (fork context, ordered
+        merge, deterministic chunking).  ``func`` must be picklable
+        (module-level, or a :func:`functools.partial` of one).  With
+        ``jobs <= 1`` or a single item it executes in-process, so callers
+        get byte-identical results across ``--jobs`` values for free.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [func(item) for item in items]
+        workers = min(self.jobs, len(items))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(items) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            return list(pool.map(func, items, chunksize=chunk))
+
     # Internal ---------------------------------------------------------------
 
     def _adopt_traces(self, tracer: Tracer, executed: list[TaskResult],

@@ -11,6 +11,13 @@ properties the paper's claims rest on, *interprocedurally*:
   identity, environment and wall-clock nondeterminism;
 * **pickle** (:mod:`~repro.staticcheck.picklecheck`) — task specs are
   picklable and worker-reachable code never mutates module state;
+* the **dataflow tier** (:mod:`~repro.staticcheck.cfg`,
+  :mod:`~repro.staticcheck.dataflow`) — per-function control-flow
+  graphs and a generic worklist solver feeding four flow-sensitive
+  passes: **budget-range** (:mod:`~repro.staticcheck.budget_range`,
+  interval analysis proving ledger counters non-negative and the
+  cross-multiplication exact), **invariant-safety**, **alias-escape**
+  and **dead-flow** (:mod:`~repro.staticcheck.flowpasses`);
 * the seven per-module lint rules migrated from ``tools/lint_repro.py``
   (:mod:`~repro.staticcheck.rules_lint`).
 
@@ -32,7 +39,18 @@ from .base import (
     rule_catalog,
 )
 from .baseline import Baseline, BaselineEntry
+from .cache import ModuleCache, package_fingerprint
 from .callgraph import CallGraph, build_call_graph
+from .cfg import CFG, Block, build_cfg
+from .dataflow import (
+    DataflowAnalysis,
+    IntervalAnalysis,
+    IntervalState,
+    IntRange,
+    Liveness,
+    ReachingDefinitions,
+    solve,
+)
 from .model import FunctionInfo, ModuleInfo, Program, module_name_for
 from .output import render_text, to_json, to_sarif
 from .runner import (
@@ -52,8 +70,20 @@ __all__ = [
     "rule_catalog",
     "Baseline",
     "BaselineEntry",
+    "ModuleCache",
+    "package_fingerprint",
     "CallGraph",
     "build_call_graph",
+    "CFG",
+    "Block",
+    "build_cfg",
+    "DataflowAnalysis",
+    "IntervalAnalysis",
+    "IntervalState",
+    "IntRange",
+    "Liveness",
+    "ReachingDefinitions",
+    "solve",
     "FunctionInfo",
     "ModuleInfo",
     "Program",

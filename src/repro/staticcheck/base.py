@@ -57,14 +57,21 @@ __all__ = [
     "FLOAT_OK_PRAGMA",
     "DETERMINISM_OK_PRAGMA",
     "PICKLE_OK_PRAGMA",
+    "INVARIANT_OK_PRAGMA",
+    "DEADFLOW_OK_PRAGMA",
 ]
 
-#: Pragma suppressing the float rules (``no-float`` and the taint pass).
+#: Pragma suppressing the float rules (``no-float``, the taint pass and
+#: the budget-range interval pass).
 FLOAT_OK_PRAGMA = "lint: float-ok"
 #: Pragma suppressing the determinism pass.
 DETERMINISM_OK_PRAGMA = "lint: determinism-ok"
 #: Pragma suppressing the picklability/purity pass.
 PICKLE_OK_PRAGMA = "lint: pickle-ok"
+#: Pragma suppressing the invariant-safety exception-path pass.
+INVARIANT_OK_PRAGMA = "lint: invariant-ok"
+#: Pragma suppressing the dead-flow pass (dead stores / unreachable code).
+DEADFLOW_OK_PRAGMA = "lint: deadflow-ok"
 
 
 class Severity:
@@ -260,6 +267,26 @@ class StaticCheckConfig:
     events_module: str = "src/repro/obs/events.py"
     #: Package owning the interval/gap-index internals.
     heap_package: str = "src/repro/heap"
+    #: Ledger counter attributes the budget-range pass proves non-negative
+    #: (seeded ``[0, +inf)`` at function entry: the inductive hypothesis).
+    budget_counter_attrs: tuple[str, ...] = ("_allocated", "_moved")
+    #: Paired mutations (open, close): once ``recv.open(...)`` runs, some
+    #: ``recv.close(...)`` must run before control can escape the function.
+    invariant_pairs: tuple[tuple[str, str], ...] = (
+        ("remove", "add"),
+        ("free", "place"),
+    )
+    #: Directories whose modules the invariant-safety pass analyzes
+    #: (heap structures and the managers that mutate them).
+    invariant_scope_dirs: tuple[str, ...] = (
+        "src/repro/heap",
+        "src/repro/mm",
+    )
+
+    def in_invariant_scope(self, relpath: str) -> bool:
+        """Whether ``relpath`` is subject to paired-mutation analysis."""
+        return any(relpath.startswith(prefix + "/")
+                   for prefix in self.invariant_scope_dirs)
 
     def is_float_sink(self, relpath: str) -> bool:
         """Whether ``relpath`` is budget-critical (exact-arithmetic scope)."""
@@ -331,7 +358,9 @@ def program_pass(name: str, description: str,
 def rule_catalog() -> list[RuleSpec]:
     """Every registered spec (importing the rule modules first)."""
     # Import for side effects: each module registers its rules on import.
-    from . import determinism, picklecheck, rules_lint, taint
+    from . import (budget_range, determinism, flowpasses, picklecheck,
+                   rules_lint, taint)
 
-    _ = (determinism, picklecheck, rules_lint, taint)
+    _ = (budget_range, determinism, flowpasses, picklecheck, rules_lint,
+         taint)
     return list(RULE_REGISTRY.values())

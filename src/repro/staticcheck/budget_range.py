@@ -1,0 +1,459 @@
+"""Budget-range pass: interval proofs over the compaction ledger.
+
+The paper's bounds assume the c-partial ledger
+(:mod:`repro.mm.budget`) is exact-integer and never goes negative.
+PR 5's lexical ``no-float`` rule catches float *syntax* in the budget
+files; this pass proves the two semantic properties across control
+flow, using the interval domain of
+:mod:`repro.staticcheck.dataflow`:
+
+* **budget-negative** — every assignment/augmented-assignment to a
+  ledger counter (``self._allocated``, ``self._moved``; see
+  :attr:`~repro.staticcheck.base.StaticCheckConfig.budget_counter_attrs`)
+  must have a provably non-negative right-hand side.  Counters are
+  seeded ``[0, +inf)`` at function entry (the inductive hypothesis);
+  guards like ``if words <= 0: raise`` refine the increment to
+  ``[1, +inf)`` on the surviving path, which is exactly how
+  ``charge_move`` proves clean.
+* **budget-int** — no operand of a ``*`` cross-multiplication (and no
+  value stored into a counter) may carry float evidence.  The
+  enforcement comparisons ``moved * num <= allocated * den`` are
+  ULP-tight at the boundary; one float operand silently re-introduces
+  the rounding the exact form exists to avoid.  ``# lint: float-ok``
+  exempts display-only lines, same as the lexical rule.
+* **budget-call** — *interprocedural*: every budget-file function gets
+  a validator summary ("on normal return, ``words >= 1``", derived
+  from its raising guards) and callers anywhere in the program are
+  checked against it — an argument whose interval is provably
+  non-positive can only raise at runtime.
+
+Summaries iterate to a fixpoint (validator facts of ``can_move``
+participate in proving ``charge_move``), mirroring the float-taint
+pass's summary loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from .base import (FLOAT_OK_PRAGMA, Finding, StaticCheckConfig,
+                   program_pass)
+from .cfg import CFG, build_cfg
+from .dataflow import IntervalAnalysis, IntervalState, IntRange, solve
+from .model import FunctionInfo, ModuleInfo, Program
+
+__all__ = [
+    "check_budget_range",
+    "BudgetRangeAnalysis",
+    "SUMMARY_ROUNDS",
+]
+
+#: Fixpoint rounds for validator/return summaries.  The call depth among
+#: budget functions is tiny (charge_move -> can_move); two rounds reach
+#: the fixpoint, the third is the safety margin.
+SUMMARY_ROUNDS = 3
+
+
+class _BudgetIntervals(IntervalAnalysis):
+    """Interval analysis with name-based validator application.
+
+    The generic :class:`IntervalAnalysis` keys validators by argument
+    *position*; methods need the bound-``self`` offset handled, so this
+    subclass maps call arguments onto the callee's parameter names.
+    """
+
+    def __init__(self, analysis: "BudgetRangeAnalysis",
+                 function: FunctionInfo, module: ModuleInfo,
+                 param_ranges: Mapping | None = None) -> None:
+        super().__init__(param_ranges=param_ranges)
+        self._analysis = analysis
+        self._function = function
+        self._module = module
+        # The base class stores ``resolve`` as an instance attribute;
+        # rebind it so eval()'s call handling sees the program resolver.
+        self.resolve = self._resolve_key
+
+    def _resolve_key(self, call: ast.Call) -> str | None:
+        return self._analysis.summary_key(self._module, call,
+                                          self._function.owner_class)
+
+    def _eval_call(self, call: ast.Call, state: IntervalState) -> IntRange:
+        builtin = super()._eval_call(call, state)
+        key = self.resolve(call)
+        if key is not None:
+            summary = self._analysis.return_summaries.get(key)
+            if summary is not None:
+                return summary
+        return builtin
+
+    def _apply_validators(self, node: ast.AST,
+                          state: IntervalState) -> IntervalState:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            key = self.resolve(call)
+            if key is None:
+                continue
+            constraints = self._analysis.validator_summaries.get(key)
+            if not constraints:
+                continue
+            for name, expr in self._analysis.bind_args(key, call):
+                required = constraints.get(name)
+                if required is None:
+                    continue
+                arg_key = self.key_of(expr)
+                if arg_key is not None:
+                    state = state.set(
+                        arg_key, state.get(arg_key).meet(required),
+                        keep_facts=True)
+        return state
+
+
+class BudgetRangeAnalysis:
+    """One whole-program run of the budget-range pass."""
+
+    def __init__(self, program: Program, config: StaticCheckConfig) -> None:
+        self.program = program
+        self.config = config
+        #: summary key -> {param name: interval that holds on normal return}
+        self.validator_summaries: dict[str, dict[str, IntRange]] = {}
+        #: summary key -> interval of the return value
+        self.return_summaries: dict[str, IntRange] = {}
+        #: summary key -> parameter names (bound self/cls stripped later)
+        self._signatures: dict[str, tuple[str, ...]] = {}
+        #: method name -> qualnames of budget functions carrying it, for
+        #: attr calls on instances the model cannot type.
+        self._by_method_name: dict[str, list[str]] = {}
+        self._sink_functions = [
+            (module, function)
+            for module in program.modules.values()
+            if config.is_float_sink(module.relpath)
+            for function in module.functions.values()
+            if not function.is_module_body
+        ]
+        for _, function in self._sink_functions:
+            self._signatures[function.qualname] = function.params
+            name = function.qualname.rsplit(".", 1)[-1]
+            self._by_method_name.setdefault(name, []).append(
+                function.qualname)
+        self._cfg_cache: dict[str, CFG] = {}
+
+    # -- call/summary resolution --------------------------------------------
+
+    def summary_key(self, module: ModuleInfo, call: ast.Call,
+                    owner_class: str | None) -> str | None:
+        """Canonical key of the callee, when it is a budget function.
+
+        Falls back to method-name matching for attr calls on untyped
+        instances (``budget.charge_move(...)``) — the same last-resort
+        the call graph uses — but only when every budget function with
+        that name agrees on its signature, so the summary is sound for
+        whichever one is called.
+        """
+        resolved = self.program.resolve_call(module, call, owner_class)
+        if resolved is not None and resolved in self._signatures:
+            return resolved
+        if isinstance(call.func, ast.Attribute):
+            candidates = self._by_method_name.get(call.func.attr, [])
+            signatures = {self._signatures[name] for name in candidates}
+            if len(signatures) == 1:
+                return candidates[0]
+        return None
+
+    def bind_args(self, key: str,
+                  call: ast.Call) -> list[tuple[str, ast.expr]]:
+        """``(param name, argument expression)`` pairs for a call."""
+        params = list(self._signatures.get(key, ()))
+        if (params and params[0] in ("self", "cls")
+                and isinstance(call.func, ast.Attribute)):
+            params = params[1:]
+        bound = list(zip(params, call.args))
+        named = {kw.arg: kw.value for kw in call.keywords
+                 if kw.arg is not None}
+        for param in params[len(call.args):]:
+            if param in named:
+                bound.append((param, named[param]))
+        return [(name, expr) for name, expr in bound]
+
+    # -- per-function analysis -------------------------------------------------
+
+    def _cfg_of(self, function: FunctionInfo) -> CFG:
+        cfg = self._cfg_cache.get(function.qualname)
+        if cfg is None:
+            cfg = build_cfg(function.node)
+            self._cfg_cache[function.qualname] = cfg
+        return cfg
+
+    def _entry_state(self, function: FunctionInfo) -> dict[str, IntRange]:
+        seeds: dict[str, IntRange] = {}
+        if function.params and function.params[0] == "self":
+            for attr in self.config.budget_counter_attrs:
+                seeds[f"self.{attr}"] = IntRange(0, None)
+        return seeds
+
+    def _solve(self, module: ModuleInfo, function: FunctionInfo,
+               ) -> tuple[CFG, dict[int, IntervalState]]:
+        cfg = self._cfg_of(function)
+        analysis = _BudgetIntervals(
+            self, function, module, param_ranges=self._entry_state(function))
+        before, _ = solve(cfg, analysis)
+        return cfg, before
+
+    def _evaluator(self, module: ModuleInfo,
+                   function: FunctionInfo) -> _BudgetIntervals:
+        return _BudgetIntervals(self, function, module)
+
+    # -- summary computation -------------------------------------------------
+
+    def compute_summaries(self) -> None:
+        """Iterate validator/return summaries over sink functions."""
+        for _ in range(SUMMARY_ROUNDS):
+            changed = False
+            for module, function in self._sink_functions:
+                cfg, before = self._solve(module, function)
+                evaluator = self._evaluator(module, function)
+                validators = self._exit_param_ranges(
+                    cfg, before, function)
+                returns = self._return_range(cfg, before, evaluator)
+                key = function.qualname
+                if validators != self.validator_summaries.get(key, {}):
+                    self.validator_summaries[key] = validators
+                    changed = True
+                if returns != self.return_summaries.get(key):
+                    if returns is not None:
+                        self.return_summaries[key] = returns
+                        changed = True
+            if not changed:
+                break
+
+    def _exit_param_ranges(self, cfg: CFG,
+                           before: dict[int, IntervalState],
+                           function: FunctionInfo,
+                           ) -> dict[str, IntRange]:
+        exit_state = before[cfg.exit]
+        if not exit_state.reachable:
+            return {}
+        out: dict[str, IntRange] = {}
+        for param in function.params:
+            if param in ("self", "cls"):
+                continue
+            rng = exit_state.get(param)
+            if (rng.lo is not None or rng.hi is not None) and not rng.is_float:
+                out[param] = rng
+        return out
+
+    def _return_range(self, cfg: CFG, before: dict[int, IntervalState],
+                      evaluator: _BudgetIntervals) -> IntRange | None:
+        joined: IntRange | None = None
+        for block in cfg.statement_blocks():
+            if not isinstance(block.node, ast.Return):
+                continue
+            state = before[block.index]
+            if not state.reachable:
+                continue
+            value = (evaluator.eval(block.node.value, state)
+                     if block.node.value is not None
+                     else IntRange.top())
+            joined = value if joined is None else joined.join(value)
+        return joined
+
+    # -- checks -----------------------------------------------------------------
+
+    def findings(self) -> Iterator[Finding]:
+        self.compute_summaries()
+        for module, function in self._sink_functions:
+            yield from self._check_sink_function(module, function)
+        yield from self._check_callers()
+
+    def _check_sink_function(self, module: ModuleInfo,
+                             function: FunctionInfo) -> Iterator[Finding]:
+        cfg, before = self._solve(module, function)
+        evaluator = self._evaluator(module, function)
+        exempt = module.exempt(FLOAT_OK_PRAGMA)
+        counters = {f"self.{attr}": attr
+                    for attr in self.config.budget_counter_attrs}
+        for block in cfg.statement_blocks():
+            state = before[block.index]
+            if not state.reachable:
+                continue
+            node = block.node
+            yield from self._check_counter_store(
+                module, function, evaluator, counters, node, state)
+            if block.line not in exempt:
+                yield from self._check_cross_mult(
+                    module, function, evaluator, node, state, exempt)
+
+    def _check_counter_store(self, module: ModuleInfo,
+                             function: FunctionInfo,
+                             evaluator: _BudgetIntervals,
+                             counters: dict[str, str], node: ast.AST,
+                             state: IntervalState) -> Iterator[Finding]:
+        targets: list[tuple[str, IntRange]] = []
+        if isinstance(node, ast.Assign):
+            value = evaluator.eval(node.value, state)
+            for target in node.targets:
+                key = evaluator.key_of(target)
+                if key in counters:
+                    targets.append((key, value))
+        elif isinstance(node, ast.AugAssign):
+            key = evaluator.key_of(node.target)
+            if key in counters:
+                synthetic = ast.BinOp(left=node.target, op=node.op,
+                                      right=node.value)
+                targets.append((key, evaluator.eval(synthetic, state)))
+        for key, value in targets:
+            attr = counters[key]
+            line = getattr(node, "lineno", 0)
+            if value.may_be_negative():
+                low = "-inf" if value.lo is None else str(value.lo)
+                yield Finding(
+                    module.path, line, "budget-negative",
+                    f"ledger counter {attr!r} may go negative here "
+                    f"(proved range [{low}, "
+                    f"{'+inf' if value.hi is None else value.hi}]); the "
+                    "c-partial inequality needs moved/allocated >= 0 — "
+                    "guard the operand (e.g. `if words <= 0: raise`) so "
+                    "the surviving path proves it",
+                    symbol=function.qualname, source="budget-range",
+                )
+            if value.is_float:
+                yield Finding(
+                    module.path, line, "budget-int",
+                    f"ledger counter {attr!r} is assigned a value with "
+                    "float evidence; the ledger must stay exact-integer "
+                    "(Theorem 1 is ULP-tight at the budget boundary)",
+                    symbol=function.qualname, source="budget-range",
+                )
+
+    def _check_cross_mult(self, module: ModuleInfo,
+                          function: FunctionInfo,
+                          evaluator: _BudgetIntervals, node: ast.AST,
+                          state: IntervalState,
+                          exempt: set[int]) -> Iterator[Finding]:
+        for expr in ast.walk(node):
+            if not (isinstance(expr, ast.BinOp)
+                    and isinstance(expr.op, ast.Mult)):
+                continue
+            line = getattr(expr, "lineno", 0)
+            if line in exempt:
+                continue
+            for side, operand in (("left", expr.left), ("right", expr.right)):
+                rng = evaluator.eval(operand, state)
+                if rng.is_float:
+                    yield Finding(
+                        module.path, line, "budget-int",
+                        f"{side} operand of `*` carries float evidence "
+                        f"({ast.unparse(operand)}); budget "
+                        "cross-multiplications must stay exact-integer — "
+                        "convert via as_integer_ratio/Fraction first",
+                        symbol=function.qualname, source="budget-range",
+                    )
+
+    # -- interprocedural caller check ---------------------------------------------
+
+    def _caller_candidates(self) -> Iterator[tuple[ModuleInfo, FunctionInfo]]:
+        """Functions (anywhere) that call into the budget API."""
+        method_names = set(self._by_method_name)
+        plain_names = {qual.rsplit(".", 1)[-1]
+                       for qual in self._signatures}
+        sink_quals = set(self._signatures)
+        for module in self.program.modules.values():
+            for function in module.functions.values():
+                if function.qualname in sink_quals:
+                    continue  # already analyzed intraprocedurally
+                for node in ast.walk(function.node):
+                    if isinstance(node, ast.Call) and (
+                            (isinstance(node.func, ast.Attribute)
+                             and node.func.attr in method_names)
+                            or (isinstance(node.func, ast.Name)
+                                and node.func.id in plain_names)):
+                        yield module, function
+                        break
+
+    def _check_callers(self) -> Iterator[Finding]:
+        seen: set[str] = set()
+        for module, function in self._caller_candidates():
+            if function.qualname in seen:
+                continue
+            seen.add(function.qualname)
+            expected_raise = _expected_raise_lines(function.node)
+            reported: set[tuple[int, int, str, str]] = set()
+            cfg, before = self._solve(module, function)
+            evaluator = self._evaluator(module, function)
+            for block in cfg.statement_blocks():
+                state = before[block.index]
+                if not state.reachable:
+                    continue
+                for call in ast.walk(block.node):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    if getattr(call, "lineno", 0) in expected_raise:
+                        continue  # `with pytest.raises(...)`: the point
+                    key = evaluator.resolve(call)
+                    if key is None:
+                        continue
+                    constraints = self.validator_summaries.get(key, {})
+                    for name, expr in self.bind_args(key, call):
+                        required = constraints.get(name)
+                        if required is None or required.lo is None:
+                            continue
+                        # A compound statement and the simple statements
+                        # inside it are distinct CFG blocks, both walked
+                        # here — report each call site once.
+                        site = (getattr(call, "lineno", 0),
+                                getattr(call, "col_offset", 0), key, name)
+                        if site in reported:
+                            continue
+                        actual = evaluator.eval(expr, state)
+                        if (actual.hi is not None
+                                and actual.hi < required.lo):
+                            reported.add(site)
+                            yield Finding(
+                                module.path, getattr(call, "lineno", 0),
+                                "budget-call",
+                                f"argument {name}={ast.unparse(expr)} is "
+                                f"provably <= {actual.hi}, but "
+                                f"{key.rsplit('.', 1)[-1]}() requires "
+                                f"{name} >= {required.lo} on every normal "
+                                "return (its guard raises otherwise) — "
+                                "this call can only raise at runtime",
+                                symbol=function.qualname,
+                                source="budget-range",
+                            )
+
+
+def _expected_raise_lines(node: ast.AST) -> set[int]:
+    """Lines inside a ``with ...raises(...):`` block (or similar).
+
+    A call there is *meant* to violate its callee's guard — that is
+    what the test asserts — so budget-call stays quiet about it.
+    """
+    lines: set[int] = set()
+    for child in ast.walk(node):
+        if not isinstance(child, (ast.With, ast.AsyncWith)):
+            continue
+        for item in child.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Call):
+                continue
+            func = expr.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else getattr(func, "id", ""))
+            if name == "raises":
+                end = child.end_lineno or child.lineno
+                lines.update(range(child.lineno, end + 1))
+    return lines
+
+
+@program_pass(
+    "budget-range",
+    "interval analysis over the compaction ledger: counters provably "
+    "non-negative, cross-multiplications exact-integer, callers checked "
+    "against validator summaries",
+    rule_ids=("budget-negative", "budget-int", "budget-call"),
+)
+def check_budget_range(program: Program,
+                       config: StaticCheckConfig) -> Iterator[Finding]:
+    """Run the budget-range interval pass over the program."""
+    yield from BudgetRangeAnalysis(program, config).findings()

@@ -1,0 +1,152 @@
+"""On-disk incremental cache for per-module analysis results.
+
+Module rules see exactly one module, so their findings are a pure
+function of (analyzer code, config, selected rules, module path, module
+content).  :class:`ModuleCache` persists that function: one small JSON
+file per analyzed module, keyed by a content hash over all five
+ingredients — edit one file and a warm run re-analyzes exactly that
+module, which is what lets CI restore the cache via ``actions/cache``
+and re-check a pull request in the time of its diff.
+
+The analyzer-code ingredient is :func:`package_fingerprint` — a hash of
+every ``.py`` file in this package — so changing any rule, the CFG
+builder or the solver invalidates the whole cache without anyone
+remembering to bump a version constant.
+
+Program passes (float-taint, determinism, pickle, budget-range) see
+the *whole* program and are deliberately never cached: any module edit
+may change their verdict anywhere.  They re-run on every invocation;
+the runner reports ``modules_reanalyzed`` for the cached tier only.
+
+Fingerprints are assigned *after* the cache merge (they carry an
+occurrence index that is global), so cached entries store findings
+without fingerprints and byte-identical output falls out of the
+runner's final :func:`~repro.staticcheck.base.fingerprint_findings`
+sort, cache hit or miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import Finding, StaticCheckConfig
+
+__all__ = ["ModuleCache", "package_fingerprint", "CACHE_FORMAT_VERSION"]
+
+#: Bump when the on-disk JSON layout changes (not for analyzer changes —
+#: those are covered by :func:`package_fingerprint`).
+CACHE_FORMAT_VERSION = 1
+
+_package_fp: str | None = None
+
+
+def package_fingerprint() -> str:
+    """Hash of the analyzer's own source (every ``.py`` in this package).
+
+    Cached per process: the sources cannot change under a running
+    analyzer, and the runner asks once per module.
+    """
+    global _package_fp
+    if _package_fp is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for path in sorted(package_dir.glob("*.py")):
+            digest.update(path.name.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _package_fp = digest.hexdigest()
+    return _package_fp
+
+
+class ModuleCache:
+    """Per-module findings cache rooted at ``directory``."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ------------------------------------------------------------
+
+    @staticmethod
+    def key_for(relpath: str, source: str, rule_names: Iterable[str],
+                config: StaticCheckConfig) -> str:
+        """Content key over everything a module rule's output depends on."""
+        material = "\0".join((
+            f"v{CACHE_FORMAT_VERSION}",
+            package_fingerprint(),
+            ",".join(sorted(rule_names)),
+            repr(config),
+            relpath,
+            source,
+        ))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, relpath: str) -> Path:
+        slug = hashlib.sha256(relpath.encode("utf-8")).hexdigest()[:24]
+        return self.directory / f"{slug}.json"
+
+    # -- load / store -----------------------------------------------------
+
+    def load(self, relpath: str, key: str,
+             root: Path) -> list[Finding] | None:
+        """Cached findings for ``relpath`` iff the key matches, else None."""
+        entry = self._entry_path(relpath)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (payload.get("version") != CACHE_FORMAT_VERSION
+                or payload.get("key") != key
+                or payload.get("relpath") != relpath):
+            self.misses += 1
+            return None
+        findings = []
+        for record in payload.get("findings", ()):
+            findings.append(Finding(
+                path=root / record["path"],
+                line=record["line"],
+                rule=record["rule"],
+                message=record["message"],
+                severity=record["severity"],
+                symbol=record["symbol"],
+                source=record["source"],
+            ))
+        self.hits += 1
+        return findings
+
+    def store(self, relpath: str, key: str, findings: Sequence[Finding],
+              root: Path) -> None:
+        """Persist one module's findings under its content key."""
+        records = []
+        for finding in findings:
+            try:
+                rel = finding.path.relative_to(root).as_posix()
+            except ValueError:
+                rel = finding.path.as_posix()
+            records.append({
+                "path": rel,
+                "line": finding.line,
+                "rule": finding.rule,
+                "message": finding.message,
+                "severity": finding.severity,
+                "symbol": finding.symbol,
+                "source": finding.source,
+            })
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "relpath": relpath,
+            "findings": records,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self._entry_path(relpath)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=0, sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(entry)  # atomic: a killed run never corrupts an entry

@@ -1,0 +1,457 @@
+"""Per-function control-flow graphs for the dataflow tier.
+
+The interprocedural passes of PR 5 reason about *which* functions call
+which; they cannot see *order* inside a function — that a ``raise``
+sits between two paired mutations, that a store is overwritten before
+any read, that a counter decrement happens on the branch where its
+guard failed.  :func:`build_cfg` provides that order: one
+:class:`CFG` per function, one atomic :class:`Block` per simple
+statement or branch test, with labelled edges
+(:data:`TRUE`/:data:`FALSE`/:data:`EXC`/...), a single normal exit and
+a single exceptional exit.
+
+Covered control flow
+--------------------
+
+``if``/``elif``/``else``, ``while``/``else`` and ``for``/``else``
+(``break`` skips the ``else``; constant tests are folded so ``while
+True:`` has no false exit), ``try``/``except``/``else``/``finally``,
+``with``, ``match`` (per-case pattern tests, guards as separate test
+blocks, irrefutable ``case _:`` ends the chain), ``return``/``raise``/
+``break``/``continue``, ``assert``.
+
+**Finally duplication.**  Like CPython's compiler, every distinct way
+*into* a ``finally`` suite (normal completion, exception, ``return``,
+``break``, ``continue``) gets its **own copy** of the suite's blocks.
+A shared suite would splice continuations together — a path entering
+via ``break`` could leave toward the ``return`` exit — and those
+phantom paths are exactly what the invariant-safety pass must not see.
+
+**Exception edges.**  The graph is deliberately *not* "every call may
+raise" (that would drown the path-sensitive passes in noise).  A block
+gets an exceptional successor when
+
+* it is an explicit ``raise`` or an ``assert`` (failure is the
+  statement's purpose), or
+* it sits in a ``try`` **body** — wrapping code in ``try`` is the
+  programmer's own declaration that it may raise, so every statement
+  there edges to the handlers and through the ``finally`` chain.
+
+Raises propagate outward through enclosing handlers and duplicated
+``finally`` suites to :attr:`CFG.raise_exit`.  ``with`` is transparent
+(no ``__exit__`` suppression is assumed).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Block",
+    "CFG",
+    "build_cfg",
+    "NEXT", "TRUE", "FALSE", "EXC", "LOOP",
+    "BREAK", "CONTINUE", "RETURN",
+]
+
+#: Edge kinds.
+NEXT = "next"          #: fall-through
+TRUE = "true"          #: branch taken
+FALSE = "false"        #: branch not taken
+EXC = "exc"            #: exceptional control flow
+LOOP = "loop"          #: back edge to a loop head
+BREAK = "break"        #: ``break`` leaving its loop
+CONTINUE = "continue"  #: ``continue`` returning to its loop head
+RETURN = "return"      #: ``return`` (or fall-off-end) reaching the exit
+
+
+@dataclass
+class Block:
+    """One atomic CFG node.
+
+    ``node`` is the owning AST fragment: a simple statement for
+    ``role == "stmt"``, the test *expression* for ``"test"``, the
+    ``ast.For``/``ast.With`` header for ``"for"``/``"with"``, a match
+    pattern for ``"case"``, an ``ast.ExceptHandler`` for ``"except"``.
+    Structural blocks (entry/exit/join) carry ``node None``.
+    """
+
+    index: int
+    node: ast.AST | None
+    role: str
+
+    @property
+    def line(self) -> int:
+        """Source line of the block's node (0 for structural blocks)."""
+        return getattr(self.node, "lineno", 0)
+
+
+class CFG:
+    """Blocks plus labelled successor/predecessor adjacency."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        #: block index -> [(successor index, edge kind)]
+        self.succs: list[list[tuple[int, str]]] = []
+        self.preds: list[list[tuple[int, str]]] = []
+        self.entry = 0
+        self.exit = 0
+        self.raise_exit = 0
+
+    def add_block(self, node: ast.AST | None, role: str) -> int:
+        index = len(self.blocks)
+        self.blocks.append(Block(index, node, role))
+        self.succs.append([])
+        self.preds.append([])
+        return index
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        self.succs[src].append((dst, kind))
+        self.preds[dst].append((src, kind))
+
+    def reachable(self, start: int | None = None) -> set[int]:
+        """Indices reachable from ``start`` (default: the entry block)."""
+        seen: set[int] = set()
+        stack = [self.entry if start is None else start]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(dst for dst, _ in self.succs[current])
+        return seen
+
+    def statement_blocks(self) -> Iterator[Block]:
+        """Blocks carrying an AST node (i.e. real program points)."""
+        for block in self.blocks:
+            if block.node is not None:
+                yield block
+
+    def describe(self) -> str:
+        """A compact multi-line dump, for debugging and tests."""
+        lines = []
+        for block in self.blocks:
+            text = (ast.unparse(block.node)[:40].replace("\n", " ")
+                    if block.node is not None else "")
+            succs = ", ".join(f"{kind}->{dst}"
+                              for dst, kind in self.succs[block.index])
+            lines.append(f"[{block.index}] {block.role} L{block.line} "
+                         f"{text!r} :: {succs}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LoopCtx:
+    head: int
+    after: int
+    #: try-stack depth at loop entry — break/continue unwind to here.
+    depth: int
+
+
+@dataclass
+class _TryCtx:
+    #: Handler entry blocks; raises inside the *body* edge here.
+    handlers: list[int] = field(default_factory=list)
+    #: The ``finally`` suite (shared AST, duplicated per entry path).
+    finalbody: list[ast.stmt] | None = None
+    #: Whether handlers still apply (True only while building the body).
+    catching: bool = True
+
+
+def _const_truth(test: ast.expr) -> bool | None:
+    """Truthiness of a constant test expression, else ``None``."""
+    if isinstance(test, ast.Constant):
+        return bool(test.value)
+    return None
+
+
+def _irrefutable(case: ast.match_case) -> bool:
+    """Whether a ``case`` always matches (``case _:`` / ``case x:``)."""
+    return (case.guard is None
+            and isinstance(case.pattern, ast.MatchAs)
+            and case.pattern.pattern is None)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self.cfg.add_block(None, "entry")
+        self.cfg.exit = self.cfg.add_block(None, "exit")
+        self.cfg.raise_exit = self.cfg.add_block(None, "raise")
+        #: Dangling (block, kind) edges awaiting their successor.
+        self.frontier: list[tuple[int, str]] = [(self.cfg.entry, NEXT)]
+        self.loop_stack: list[_LoopCtx] = []
+        self.try_stack: list[_TryCtx] = []
+        self.in_try_body = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connect(self, target: int) -> None:
+        for src, kind in self.frontier:
+            self.cfg.add_edge(src, target, kind)
+
+    def _step(self, node: ast.AST, role: str) -> int:
+        """Append a block for ``node`` and connect the frontier to it."""
+        block = self.cfg.add_block(node, role)
+        self._connect(block)
+        self.frontier = [(block, NEXT)]
+        return block
+
+    # -- raise / jump propagation ---------------------------------------------
+
+    def _build_suite_copy(self, suite: Sequence[ast.stmt],
+                          frontier: list[tuple[int, str]],
+                          depth: int) -> list[tuple[int, str]]:
+        """Build a fresh copy of ``suite`` entered from ``frontier``.
+
+        The copy executes *outside* the try levels above ``depth`` (the
+        finally suite of level ``depth`` runs with that level already
+        unwound).  Returns the copy's own exit frontier.
+        """
+        saved_frontier = self.frontier
+        saved_stack = self.try_stack
+        saved_in_body = self.in_try_body
+        self.frontier = frontier
+        self.try_stack = saved_stack[:depth]
+        self.in_try_body = sum(1 for ctx in self.try_stack if ctx.catching)
+        self._suite(suite)
+        out = self.frontier
+        self.frontier = saved_frontier
+        self.try_stack = saved_stack
+        self.in_try_body = saved_in_body
+        return out
+
+    def _connect_raise(self, block: int) -> None:
+        """Wire ``block``'s exceptional exit through handlers/finallies."""
+        frontier = [(block, EXC)]
+        for depth in range(len(self.try_stack) - 1, -1, -1):
+            ctx = self.try_stack[depth]
+            if ctx.catching:
+                for handler in ctx.handlers:
+                    for src, kind in frontier:
+                        self.cfg.add_edge(src, handler, kind)
+            if ctx.finalbody:
+                # The unmatched-exception path runs the finally suite
+                # (a private copy) and keeps propagating outward.
+                out = self._build_suite_copy(ctx.finalbody, frontier, depth)
+                frontier = [(src, EXC) for src, _ in out]
+                if not frontier:  # the finally suite never completes
+                    return
+        for src, kind in frontier:
+            self.cfg.add_edge(src, self.cfg.raise_exit, kind)
+
+    def _jump(self, block: int, target: int, kind: str, depth: int) -> None:
+        """A break/continue/return from ``block``, unwinding finallies
+        down to try-stack ``depth`` before reaching ``target``."""
+        frontier = [(block, kind)]
+        for level in range(len(self.try_stack) - 1, depth - 1, -1):
+            ctx = self.try_stack[level]
+            if ctx.finalbody:
+                out = self._build_suite_copy(ctx.finalbody, frontier, level)
+                frontier = [(src, kind) for src, _ in out]
+                if not frontier:
+                    return
+        for src, edge_kind in frontier:
+            self.cfg.add_edge(src, target, edge_kind)
+
+    # -- statements -------------------------------------------------------------
+
+    def _suite(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        handler = getattr(self, f"_visit_{type(stmt).__name__}", None)
+        if handler is not None:
+            handler(stmt)
+        else:
+            self._simple(stmt)
+
+    def _simple(self, stmt: ast.stmt) -> None:
+        block = self._step(stmt, "stmt")
+        if self.in_try_body:
+            self._connect_raise(block)
+
+    # Straight-line statements with special exits --------------------------------
+
+    def _visit_Return(self, stmt: ast.Return) -> None:
+        block = self._step(stmt, "stmt")
+        # Evaluating the returned expression can raise; a bare return
+        # cannot.  `return f()` inside a try must reach the handlers.
+        if stmt.value is not None and self.in_try_body:
+            self._connect_raise(block)
+        self._jump(block, self.cfg.exit, RETURN, 0)
+        self.frontier = []
+
+    def _visit_Raise(self, stmt: ast.Raise) -> None:
+        block = self._step(stmt, "stmt")
+        self._connect_raise(block)
+        self.frontier = []
+
+    def _visit_Assert(self, stmt: ast.Assert) -> None:
+        block = self._step(stmt, "stmt")
+        # Failure is this statement's purpose: always give it the
+        # exceptional path, wherever it appears.
+        self._connect_raise(block)
+
+    def _visit_Break(self, stmt: ast.Break) -> None:
+        block = self._step(stmt, "stmt")
+        if self.loop_stack:
+            ctx = self.loop_stack[-1]
+            self._jump(block, ctx.after, BREAK, ctx.depth)
+        self.frontier = []
+
+    def _visit_Continue(self, stmt: ast.Continue) -> None:
+        block = self._step(stmt, "stmt")
+        if self.loop_stack:
+            ctx = self.loop_stack[-1]
+            self._jump(block, ctx.head, CONTINUE, ctx.depth)
+        self.frontier = []
+
+    # Branching -------------------------------------------------------------------
+
+    def _visit_If(self, stmt: ast.If) -> None:
+        test = self._step(stmt.test, "test")
+        truth = _const_truth(stmt.test)
+        after: list[tuple[int, str]] = []
+        if truth is not False:
+            self.frontier = [(test, TRUE)]
+            self._suite(stmt.body)
+            after.extend(self.frontier)
+        if truth is not True:
+            self.frontier = [(test, FALSE)]
+            if stmt.orelse:
+                self._suite(stmt.orelse)
+            after.extend(self.frontier)
+        self.frontier = after
+
+    def _visit_While(self, stmt: ast.While) -> None:
+        head = self._step(stmt.test, "test")
+        after = self.cfg.add_block(None, "join")
+        truth = _const_truth(stmt.test)
+        self.loop_stack.append(
+            _LoopCtx(head=head, after=after, depth=len(self.try_stack)))
+        if truth is not False:
+            self.frontier = [(head, TRUE)]
+            self._suite(stmt.body)
+            for src, _ in self.frontier:
+                self.cfg.add_edge(src, head, LOOP)
+        self.loop_stack.pop()
+        if truth is not True:
+            self.frontier = [(head, FALSE)]
+            if stmt.orelse:  # runs on normal exhaustion, not on break
+                self._suite(stmt.orelse)
+            for src, kind in self.frontier:
+                self.cfg.add_edge(src, after, kind)
+        self.frontier = [(after, NEXT)]
+
+    def _visit_For(self, stmt: ast.For) -> None:
+        head = self._step(stmt, "for")
+        if self.in_try_body:  # the iterator itself runs in the try body
+            self._connect_raise(head)
+        after = self.cfg.add_block(None, "join")
+        self.loop_stack.append(
+            _LoopCtx(head=head, after=after, depth=len(self.try_stack)))
+        self.frontier = [(head, TRUE)]
+        self._suite(stmt.body)
+        for src, _ in self.frontier:
+            self.cfg.add_edge(src, head, LOOP)
+        self.loop_stack.pop()
+        self.frontier = [(head, FALSE)]  # iterator exhausted
+        if stmt.orelse:
+            self._suite(stmt.orelse)
+        for src, kind in self.frontier:
+            self.cfg.add_edge(src, after, kind)
+        self.frontier = [(after, NEXT)]
+
+    _visit_AsyncFor = _visit_For
+
+    def _visit_With(self, stmt: ast.With) -> None:
+        block = self._step(stmt, "with")
+        if self.in_try_body:
+            self._connect_raise(block)
+        self._suite(stmt.body)
+
+    _visit_AsyncWith = _visit_With
+
+    def _visit_Match(self, stmt: ast.Match) -> None:
+        subject = self._step(stmt.subject, "test")
+        after = self.cfg.add_block(None, "join")
+        unmatched: list[tuple[int, str]] = [(subject, NEXT)]
+        for case in stmt.cases:
+            if not unmatched:
+                break  # an irrefutable case already ended the chain
+            test = self.cfg.add_block(case.pattern, "case")
+            for src, kind in unmatched:
+                self.cfg.add_edge(src, test, kind)
+            matched: list[tuple[int, str]] = [(test, TRUE)]
+            unmatched = [] if _irrefutable(case) else [(test, FALSE)]
+            if case.guard is not None:
+                guard = self.cfg.add_block(case.guard, "test")
+                for src, kind in matched:
+                    self.cfg.add_edge(src, guard, kind)
+                matched = [(guard, TRUE)]
+                unmatched.append((guard, FALSE))
+            self.frontier = matched
+            self._suite(case.body)
+            for src, kind in self.frontier:
+                self.cfg.add_edge(src, after, kind)
+        for src, kind in unmatched:  # no case matched
+            self.cfg.add_edge(src, after, kind)
+        self.frontier = [(after, NEXT)]
+
+    # try/except/else/finally -------------------------------------------------------
+
+    def _visit_Try(self, stmt: ast.Try) -> None:
+        finalbody = stmt.finalbody or None
+        handler_entries = [self.cfg.add_block(handler, "except")
+                           for handler in stmt.handlers]
+        ctx = _TryCtx(handlers=handler_entries, finalbody=finalbody)
+        self.try_stack.append(ctx)
+        self.in_try_body += 1
+        self._suite(stmt.body)
+        self.in_try_body -= 1
+        ctx.catching = False  # handlers/else no longer catch
+
+        completed = self.frontier  # normal completion of the body
+        if stmt.orelse:
+            self.frontier = completed
+            self._suite(stmt.orelse)
+            completed = self.frontier
+
+        after = list(completed)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.frontier = [(entry, NEXT)]
+            self._suite(handler.body)
+            after.extend(self.frontier)
+        self.try_stack.pop()
+
+        # The normal-completion finally copy (exception/return/break
+        # paths each built their own inside _connect_raise/_jump).
+        self.frontier = after
+        if finalbody:
+            self._suite(finalbody)
+
+    _visit_TryStar = _visit_Try
+
+
+def build_cfg(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+              ) -> CFG:
+    """The CFG of one function (or module) body.
+
+    The frontier left dangling at the end of the body is the implicit
+    ``return None`` — it is wired to :attr:`CFG.exit` with kind
+    :data:`RETURN`.
+    """
+    builder = _Builder()
+    builder._suite(node.body)
+    for src, _ in builder.frontier:
+        builder.cfg.add_edge(src, builder.cfg.exit, RETURN)
+    return builder.cfg

@@ -447,6 +447,385 @@ _FIXTURE_WORKER_GLOBAL = StaticFixture(
 )
 
 
+# ---------------------------------------------------------------------------
+# budget-range pass (interval dataflow)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_BUDGET_REFUND = StaticFixture(
+    name="budget-unguarded-refund",
+    description=(
+        "a refund path subtracts an unconstrained amount from the "
+        "allocation counter: the interval analysis cannot bound the "
+        "result below by zero, so the ledger invariant is unproven"
+    ),
+    pass_name="budget-range",
+    expect_rule="budget-negative",
+    expect_symbol="repro.mm.budget.CompactionBudget.refund",
+    files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self):
+                    self._allocated = 0
+
+                def refund(self, words):
+                    self._allocated -= words
+        """),
+    },
+    fixed_files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self):
+                    self._allocated = 0
+
+                def refund(self, words):
+                    self._allocated = max(0, self._allocated - words)
+        """),
+    },
+)
+
+_FIXTURE_BUDGET_SENTINEL = StaticFixture(
+    name="budget-negative-sentinel",
+    description=(
+        "a reset path stores -1 into the moved-words counter as a "
+        "sentinel: provably negative, so every downstream comparison "
+        "against the budget is meaningless"
+    ),
+    pass_name="budget-range",
+    expect_rule="budget-negative",
+    expect_symbol="repro.mm.budget.CompactionBudget.reset",
+    files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self):
+                    self._moved = 0
+
+                def reset(self):
+                    self._moved = -1
+        """),
+    },
+    fixed_files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self):
+                    self._moved = 0
+
+                def reset(self):
+                    self._moved = 0
+        """),
+    },
+)
+
+_FIXTURE_BUDGET_FLOAT_MULT = StaticFixture(
+    name="budget-float-cross-mult",
+    description=(
+        "the budget comparison multiplies by a ratio computed with true "
+        "division: the cross-multiplication is float-valued, so the "
+        "exact-arithmetic comparison silently becomes approximate"
+    ),
+    pass_name="budget-range",
+    expect_rule="budget-int",
+    expect_symbol="repro.mm.budget.CompactionBudget.within_budget",
+    files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self, num, den):
+                    self._allocated = 0
+                    self._moved = 0
+                    self._num = num
+                    self._den = den
+
+                def within_budget(self, words):
+                    ratio = self._num / self._den
+                    return (self._moved + words) * ratio <= self._allocated
+        """),
+    },
+    fixed_files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self, num, den):
+                    self._allocated = 0
+                    self._moved = 0
+                    self._num = num
+                    self._den = den
+
+                def within_budget(self, words):
+                    lhs = (self._moved + words) * self._num
+                    return lhs <= self._allocated * self._den
+        """),
+    },
+)
+
+_FIXTURE_BUDGET_DOOMED_CALL = StaticFixture(
+    name="budget-doomed-call",
+    description=(
+        "a caller two modules away passes a provably-zero word count "
+        "into charge_allocation, whose guard raises on words <= 0 on "
+        "every path: the call can only raise at runtime; the validator "
+        "summary plus the caller's intervals prove it"
+    ),
+    pass_name="budget-range",
+    expect_rule="budget-call",
+    expect_symbol="repro.sim.engine.bootstrap",
+    files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self):
+                    self._allocated = 0
+
+                def charge_allocation(self, words):
+                    if words <= 0:
+                        raise ValueError("words must be positive")
+                    self._allocated += words
+        """),
+        "src/repro/sim/engine.py": _src("""
+            def bootstrap(budget):
+                words = 0
+                budget.charge_allocation(words)
+        """),
+    },
+    fixed_files={
+        "src/repro/mm/budget.py": _src("""
+            class CompactionBudget:
+                def __init__(self):
+                    self._allocated = 0
+
+                def charge_allocation(self, words):
+                    if words <= 0:
+                        raise ValueError("words must be positive")
+                    self._allocated += words
+        """),
+        "src/repro/sim/engine.py": _src("""
+            def bootstrap(budget):
+                words = 1
+                budget.charge_allocation(words)
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# invariant-safety pass (exception-path dataflow)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_INVARIANT_RAISE = StaticFixture(
+    name="invariant-raise-between-pair",
+    description=(
+        "an interval move removes the old entry, then validates the new "
+        "address and raises: the exception escapes between the paired "
+        "remove/add, leaving the index desynchronized from the heap"
+    ),
+    pass_name="invariant-safety",
+    expect_rule="invariant-safety",
+    expect_symbol="repro.heap.intervals.IntervalSet.move_interval",
+    files={
+        "src/repro/heap/intervals.py": _src("""
+            class IntervalSet:
+                def __init__(self):
+                    self._index = set()
+
+                def move_interval(self, old, new):
+                    self._index.remove(old)
+                    if new < 0:
+                        raise ValueError("negative address")
+                    self._index.add(new)
+        """),
+    },
+    fixed_files={
+        "src/repro/heap/intervals.py": _src("""
+            class IntervalSet:
+                def __init__(self):
+                    self._index = set()
+
+                def move_interval(self, old, new):
+                    if new < 0:
+                        raise ValueError("negative address")
+                    self._index.remove(old)
+                    self._index.add(new)
+        """),
+    },
+)
+
+_FIXTURE_INVARIANT_RETURN = StaticFixture(
+    name="invariant-return-between-pair",
+    description=(
+        "a relocation removes the old gap, then bails out with an early "
+        "return when the destination is taken: the normal return path "
+        "escapes with the pair half-applied"
+    ),
+    pass_name="invariant-safety",
+    expect_rule="invariant-safety",
+    expect_symbol="repro.heap.gap_index.GapTable.relocate",
+    files={
+        "src/repro/heap/gap_index.py": _src("""
+            class GapTable:
+                def __init__(self):
+                    self._gaps = set()
+                    self._taken = set()
+
+                def relocate(self, old, new):
+                    self._gaps.remove(old)
+                    if new in self._taken:
+                        return False
+                    self._gaps.add(new)
+                    return True
+        """),
+    },
+    fixed_files={
+        "src/repro/heap/gap_index.py": _src("""
+            class GapTable:
+                def __init__(self):
+                    self._gaps = set()
+                    self._taken = set()
+
+                def relocate(self, old, new):
+                    if new in self._taken:
+                        return False
+                    self._gaps.remove(old)
+                    self._gaps.add(new)
+                    return True
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# alias-escape pass (flow-sensitive escape analysis)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_ALIAS_MUTATION = StaticFixture(
+    name="alias-mutation-outside-heap",
+    description=(
+        "simulation code aliases an interval-set internal into a local "
+        "and mutates the alias one statement later: the lexical "
+        "interval-internals rule sees only the access, the dataflow "
+        "sees the mutation"
+    ),
+    pass_name="alias-escape",
+    expect_rule="interval-alias",
+    expect_symbol="repro.sim.compactor.trim_last",
+    files={
+        "src/repro/sim/compactor.py": _src("""
+            def trim_last(intervals):
+                rows = intervals._starts
+                rows.pop()
+                return rows
+        """),
+    },
+    fixed_files={
+        "src/repro/sim/compactor.py": _src("""
+            def trim_last(intervals):
+                rows = list(intervals._starts)
+                rows.pop()
+                return rows
+        """),
+    },
+)
+
+_FIXTURE_INTERNAL_ESCAPE = StaticFixture(
+    name="internal-escape-from-heap",
+    description=(
+        "a heap-package accessor returns the live list behind the "
+        "interval set: any caller can now desynchronize the index "
+        "without the lexical rule ever seeing an underscore access"
+    ),
+    pass_name="alias-escape",
+    expect_rule="interval-escape",
+    expect_symbol="repro.heap.gap_index.GapIndex.snapshot",
+    files={
+        "src/repro/heap/gap_index.py": _src("""
+            class GapIndex:
+                def __init__(self):
+                    self._starts = []
+
+                def snapshot(self):
+                    return self._starts
+        """),
+    },
+    fixed_files={
+        "src/repro/heap/gap_index.py": _src("""
+            class GapIndex:
+                def __init__(self):
+                    self._starts = []
+
+                def snapshot(self):
+                    return list(self._starts)
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# dead-flow pass (unreachable code, dead stores)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_DEAD_STORE = StaticFixture(
+    name="dead-store-overwritten",
+    description=(
+        "a binding computed from a call is overwritten before any read "
+        "on any path: backward liveness proves the store dead (the call "
+        "may still matter — the finding says keep the call, drop the "
+        "binding)"
+    ),
+    pass_name="dead-flow",
+    expect_rule="dead-store",
+    expect_symbol="repro.sim.planner.plan_total",
+    files={
+        "src/repro/sim/planner.py": _src("""
+            def checksum(n):
+                return n * 31
+
+
+            def plan_total(n):
+                total = checksum(n)
+                total = 0
+                for step in range(n):
+                    total += step
+                return total
+        """),
+    },
+    fixed_files={
+        "src/repro/sim/planner.py": _src("""
+            def checksum(n):
+                return n * 31
+
+
+            def plan_total(n):
+                checksum(n)
+                total = 0
+                for step in range(n):
+                    total += step
+                return total
+        """),
+    },
+)
+
+_FIXTURE_UNREACHABLE_TAIL = StaticFixture(
+    name="unreachable-after-return",
+    description=(
+        "cleanup code stranded after an unconditional return: no CFG "
+        "path from the function entry reaches it, so the close never "
+        "runs"
+    ),
+    pass_name="dead-flow",
+    expect_rule="unreachable-code",
+    expect_symbol="repro.sim.reporter.finish",
+    files={
+        "src/repro/sim/reporter.py": _src("""
+            def finish(report):
+                return report.total
+                report.close()
+        """),
+    },
+    fixed_files={
+        "src/repro/sim/reporter.py": _src("""
+            def finish(report):
+                report.close()
+                return report.total
+        """),
+    },
+)
+
+
 #: The full corpus, in documentation order.
 STATIC_FIXTURES: tuple[StaticFixture, ...] = (
     _FIXTURE_TAINT_RETURN,
@@ -459,4 +838,14 @@ STATIC_FIXTURES: tuple[StaticFixture, ...] = (
     _FIXTURE_LAMBDA_DEFAULT,
     _FIXTURE_WORKER_MUTATION,
     _FIXTURE_WORKER_GLOBAL,
+    _FIXTURE_BUDGET_REFUND,
+    _FIXTURE_BUDGET_SENTINEL,
+    _FIXTURE_BUDGET_FLOAT_MULT,
+    _FIXTURE_BUDGET_DOOMED_CALL,
+    _FIXTURE_INVARIANT_RAISE,
+    _FIXTURE_INVARIANT_RETURN,
+    _FIXTURE_ALIAS_MUTATION,
+    _FIXTURE_INTERNAL_ESCAPE,
+    _FIXTURE_DEAD_STORE,
+    _FIXTURE_UNREACHABLE_TAIL,
 )

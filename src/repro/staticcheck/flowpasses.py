@@ -1,0 +1,440 @@
+"""Flow-sensitive module passes: invariant-safety, alias-escape, dead-flow.
+
+Three passes built on the CFG (:mod:`repro.staticcheck.cfg`) and the
+worklist solver (:mod:`repro.staticcheck.dataflow`):
+
+* **invariant-safety** — exception-path analysis of *paired mutations*.
+  ``IntervalSet.add``/``remove`` keep the gap index synchronized as a
+  remove/add pair; ``SimHeap.move`` is a remove/add on the occupied
+  set.  Once the opening half has run, the structure is torn until the
+  closing half runs — so on every path between the pair, an explicit
+  ``raise``, a failing ``assert`` or an early ``return`` leaks a state
+  that ``check_invariants`` would reject.  The pass searches the CFG
+  from each open site and flags any such exit reachable before a close
+  on the same receiver.  ``try/finally`` and rollback-in-handler are
+  *naturally* clean: the duplicated finally/handler blocks put the
+  close on the exceptional path, so the search passes a close first
+  (``SimHeap.move`` verifies clean for exactly this reason).  A lone
+  ``remove`` with no reachable ``add`` is a complete operation
+  (``SimHeap.free``), not a pair — the pass only arms between a pair.
+
+* **alias-escape** — flow-sensitive may-alias tracking of interval /
+  gap-index internals, superseding the lexical ``interval-internals``
+  rule (which delegates to :func:`internal_access_findings` here).
+  Outside the heap package, *mutating through an alias*
+  (``rows = iv._starts; rows.pop()``) desynchronizes the index one
+  step removed from the attribute access — the lexical rule sees the
+  access, only the dataflow sees the mutation (``interval-alias``).
+  Inside the heap package, returning or yielding an alias of an
+  internal hands callers a live reference (``interval-escape``);
+  copies (``list(...)``, ``sorted(...)``, ``.copy()``) do not alias.
+
+* **dead-flow** — unreachable code (CFG blocks not reachable from the
+  entry, with constant-test folding so ``while True:`` has no false
+  exit) and dead stores (backward liveness; a binding never read on
+  any path out).  Names read inside nested functions are treated as
+  always-live (closure cells are read at call time), ``_``-prefixed
+  names are deliberate discards, and only plain single-name
+  assignments are flagged — loop/with/except binders and tuple
+  unpacking stay exempt.
+
+``# lint: invariant-ok`` / ``# lint: deadflow-ok`` pragmas suppress a
+finding on the statement carrying them, same spans as ``float-ok``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .base import (DEADFLOW_OK_PRAGMA, INVARIANT_OK_PRAGMA, Finding,
+                   StaticCheckConfig, module_rule)
+from .cfg import CFG, EXC, build_cfg
+from .dataflow import (DataflowAnalysis, Liveness, closure_loads, solve)
+from .model import FunctionInfo, ModuleInfo
+
+__all__ = [
+    "check_invariant_safety",
+    "check_alias_escape",
+    "check_dead_flow",
+    "internal_access_findings",
+    "INTERVAL_INTERNALS",
+    "MUTATOR_METHODS",
+]
+
+#: Interval-set / gap-index internals owned by ``src/repro/heap/``.
+#: (Authoritative home; ``rules_lint`` re-exports it for compatibility.)
+INTERVAL_INTERNALS = frozenset({
+    "_starts", "_ends",
+    "_gap_end", "_gap_buckets", "_class_mask", "_size_order",
+})
+
+#: Method calls that mutate a list/set/dict alias in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+})
+
+
+def _functions_of(module: ModuleInfo) -> Iterator[FunctionInfo]:
+    for function in module.functions.values():
+        if not function.is_module_body:
+            yield function
+
+
+# ---------------------------------------------------------------------------
+# interval-internals (lexical part, delegated to by rules_lint)
+# ---------------------------------------------------------------------------
+
+
+def internal_access_findings(module: ModuleInfo,
+                             config: StaticCheckConfig) -> Iterator[Finding]:
+    """Direct attribute access to interval/gap-index internals outside
+    the heap package — the lexical half of the alias-escape tier."""
+    if config.in_heap_package(module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr in INTERVAL_INTERNALS):
+            yield Finding(
+                module.path, node.lineno, "interval-internals",
+                f"direct access to {node.attr!r}: the gap index mirrors "
+                "the interval arrays, so external pokes desynchronize "
+                "placement search; use the IntervalSet public API",
+            )
+
+
+# ---------------------------------------------------------------------------
+# invariant-safety
+# ---------------------------------------------------------------------------
+
+
+def _attr_calls(node: ast.AST) -> Iterator[tuple[str, str]]:
+    """``(receiver text, method name)`` for attr calls inside ``node``."""
+    for call in ast.walk(node):
+        if (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)):
+            yield ast.unparse(call.func.value), call.func.attr
+
+
+def _torn_exits(cfg: CFG, open_block: int,
+                close_blocks: set[int]) -> Iterator[int]:
+    """Blocks with an exit statement reachable from ``open_block``
+    without first completing a close.
+
+    Traversal starts *after* the open: an exc edge out of the open
+    block itself means the open never mutated anything, and a normal
+    edge out of a close block means the pair completed (an exc edge
+    out of a close means the close itself failed, so the torn state
+    survives it — that path keeps exploring).
+    """
+    seen: set[int] = set()
+    frontier = [dst for dst, kind in cfg.succs[open_block] if kind != EXC]
+    while frontier:
+        index = frontier.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        node = cfg.blocks[index].node
+        if isinstance(node, (ast.Raise, ast.Assert, ast.Return)):
+            yield index
+        if index in close_blocks:
+            frontier.extend(dst for dst, kind in cfg.succs[index]
+                            if kind == EXC)
+        else:
+            frontier.extend(dst for dst, _ in cfg.succs[index])
+
+
+@module_rule(
+    "invariant-safety",
+    "paired mutations on IntervalSet/GapIndex/SimHeap must reach a "
+    "consistent state on every exit edge; raise/early-return between "
+    "the pair leaks a torn structure",
+)
+def check_invariant_safety(module: ModuleInfo,
+                           config: StaticCheckConfig) -> Iterator[Finding]:
+    """Flag exits reachable between a paired open/close mutation."""
+    if not config.in_invariant_scope(module.relpath):
+        return
+    exempt = module.exempt(INVARIANT_OK_PRAGMA)
+    for function in _functions_of(module):
+        cfg = build_cfg(function.node)
+        calls_by_block: dict[int, list[tuple[str, str]]] = {}
+        for block in cfg.statement_blocks():
+            pairs = list(_attr_calls(block.node))
+            if pairs:
+                calls_by_block[block.index] = pairs
+        reported: set[tuple[int, str]] = set()
+        for open_name, close_name in config.invariant_pairs:
+            opens = [(index, recv)
+                     for index, pairs in calls_by_block.items()
+                     for recv, meth in pairs if meth == open_name]
+            for open_block, receiver in opens:
+                open_line = cfg.blocks[open_block].line
+                if open_line in exempt:
+                    continue
+                closes = {index
+                          for index, pairs in calls_by_block.items()
+                          for recv, meth in pairs
+                          if meth == close_name and recv == receiver
+                          and index != open_block}
+                reachable = cfg.reachable(open_block)
+                if not closes & reachable:
+                    continue  # lone open: a complete operation, not a pair
+                for exit_block in _torn_exits(cfg, open_block, closes):
+                    block = cfg.blocks[exit_block]
+                    if block.line in exempt:
+                        continue
+                    key = (block.line, type(block.node).__name__)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    how = {"Raise": "raise", "Assert": "failing assert",
+                           "Return": "early return"}[
+                               type(block.node).__name__]
+                    yield Finding(
+                        module.path, block.line, "invariant-safety",
+                        f"{how} between `{receiver}.{open_name}(...)` "
+                        f"(line {open_line}) and its matching "
+                        f"`{receiver}.{close_name}(...)` leaves the "
+                        "structure torn (check_invariants would fail); "
+                        "complete the pair first, or protect it with "
+                        "try/finally or a rollback handler",
+                        symbol=function.qualname, source="invariant-safety",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# alias-escape
+# ---------------------------------------------------------------------------
+
+
+class _AliasAnalysis(DataflowAnalysis[frozenset]):
+    """Forward may-alias analysis: which local names alias an internal."""
+
+    direction = "forward"
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, block, state: frozenset) -> frozenset:
+        node = block.node
+        if node is None or not isinstance(node, ast.Assign):
+            return state
+        new = set(state)
+        if (len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(node.targets[0].elts) == len(node.value.elts)):
+            for target, value in zip(node.targets[0].elts, node.value.elts):
+                if isinstance(target, ast.Name):
+                    if is_alias_expr(value, state):
+                        new.add(target.id)
+                    else:
+                        new.discard(target.id)
+            return frozenset(new)
+        aliased = is_alias_expr(node.value, state)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if aliased:
+                    new.add(target.id)
+                else:
+                    new.discard(target.id)
+        return frozenset(new)
+
+
+def is_alias_expr(expr: ast.expr, aliases: Iterable[str]) -> bool:
+    """Whether ``expr`` evaluates to a live reference into an internal.
+
+    Attribute access to an internal aliases it; so does a name already
+    aliasing one, and a conditional choosing between aliases.  A
+    *subscript* of either does not: the internals are flat sequences of
+    ints, so ``self._ends[-1]`` extracts an immutable element (stores
+    through ``alias[i] = x`` are caught separately, on the container).
+    A call — ``list(...)``, ``sorted(...)``, ``x.copy()`` — returns a
+    fresh object, so it never aliases.
+    """
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in INTERVAL_INTERNALS
+    if isinstance(expr, ast.Name):
+        return expr.id in set(aliases)
+    if isinstance(expr, ast.IfExp):
+        return (is_alias_expr(expr.body, aliases)
+                or is_alias_expr(expr.orelse, aliases))
+    return False
+
+
+def _mutations_of(node: ast.AST,
+                  aliases: frozenset) -> Iterator[tuple[int, str]]:
+    """``(line, description)`` of in-place mutations through an alias."""
+    for child in ast.walk(node):
+        if (isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in MUTATOR_METHODS
+                and is_alias_expr(child.func.value, aliases)):
+            yield (child.lineno,
+                   f"{ast.unparse(child.func)}(...) mutates")
+        elif isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = (child.targets if isinstance(child, ast.Assign)
+                       else [child.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and is_alias_expr(target.value, aliases)):
+                    yield (child.lineno,
+                           f"subscript store into "
+                           f"{ast.unparse(target.value)} mutates")
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                if (isinstance(target, ast.Subscript)
+                        and is_alias_expr(target.value, aliases)):
+                    yield (child.lineno,
+                           f"del through {ast.unparse(target.value)} mutates")
+
+
+@module_rule(
+    "alias-escape",
+    "flow-sensitive escape analysis of interval/gap-index internals: "
+    "mutation through an alias outside the heap package, and heap code "
+    "returning a live reference to an internal",
+    rule_ids=("interval-alias", "interval-escape"),
+)
+def check_alias_escape(module: ModuleInfo,
+                       config: StaticCheckConfig) -> Iterator[Finding]:
+    """Flag alias mutations (outside heap) and alias escapes (inside)."""
+    inside_heap = config.in_heap_package(module.relpath)
+    for function in _functions_of(module):
+        cfg = build_cfg(function.node)
+        before, _ = solve(cfg, _AliasAnalysis())
+        for block in cfg.statement_blocks():
+            aliases = before[block.index]
+            node = block.node
+            if not inside_heap:
+                for line, what in _mutations_of(node, aliases):
+                    yield Finding(
+                        module.path, line, "interval-alias",
+                        f"{what} interval/gap-index internals through an "
+                        "alias; the gap index mirrors the interval "
+                        "arrays, so this desynchronizes placement "
+                        "search — copy (`list(...)`) instead of "
+                        "aliasing, or use the IntervalSet public API",
+                        symbol=function.qualname, source="alias-escape",
+                    )
+            else:
+                escaped: ast.expr | None = None
+                if isinstance(node, ast.Return) and node.value is not None:
+                    escaped = node.value
+                elif (isinstance(node, ast.Expr)
+                        and isinstance(node.value, (ast.Yield, ast.YieldFrom))
+                        and node.value.value is not None):
+                    escaped = node.value.value
+                if escaped is None:
+                    continue
+                leaking = [element for element in
+                           (escaped.elts if isinstance(escaped, ast.Tuple)
+                            else [escaped])
+                           if is_alias_expr(element, aliases)]
+                for element in leaking:
+                    yield Finding(
+                        module.path, node.lineno, "interval-escape",
+                        f"returning/yielding {ast.unparse(element)} hands "
+                        "the caller a live reference to interval/gap-index "
+                        "internals; return a copy (`list(...)`, "
+                        "`tuple(...)`) so external code cannot "
+                        "desynchronize the index",
+                        symbol=function.qualname, source="alias-escape",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# dead-flow
+# ---------------------------------------------------------------------------
+
+
+def _region_heads(cfg: CFG, unreachable: set[int]) -> Iterator[int]:
+    """First block of each contiguous unreachable region (one finding
+    per region, not one per statement)."""
+    for index in sorted(unreachable):
+        preds = {src for src, _ in cfg.preds[index]}
+        if not preds & unreachable:
+            yield index
+
+
+def _declared_nonlocal(func_node: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.update(node.names)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)  # `del x` counts as a use
+    return names
+
+
+@module_rule(
+    "dead-flow",
+    "unreachable code and dead stores, from the CFG and backward "
+    "liveness (closure-read names are always live; _-prefixed names "
+    "are deliberate discards)",
+    rule_ids=("dead-store", "unreachable-code"),
+)
+def check_dead_flow(module: ModuleInfo,
+                    config: StaticCheckConfig) -> Iterator[Finding]:
+    """Flag unreachable statements and never-read bindings."""
+    exempt = module.exempt(DEADFLOW_OK_PRAGMA)
+    for function in _functions_of(module):
+        cfg = build_cfg(function.node)
+        reachable = cfg.reachable()
+        reachable_lines = {cfg.blocks[index].line for index in reachable}
+        # Finally duplication can leave an unreachable *copy* of a line
+        # whose other copies run; only lines with no live copy count.
+        unreachable = {
+            block.index for block in cfg.statement_blocks()
+            if block.index not in reachable
+            and block.line not in reachable_lines
+            and block.line not in exempt
+        }
+        for index in _region_heads(cfg, unreachable):
+            block = cfg.blocks[index]
+            yield Finding(
+                module.path, block.line, "unreachable-code",
+                f"unreachable code: no path from the function entry "
+                f"reaches `{ast.unparse(block.node)[:60]}`",
+                symbol=function.qualname, source="dead-flow",
+            )
+
+        protected = (closure_loads(function.node)
+                     | _declared_nonlocal(function.node))
+        _, live_after = solve(cfg, Liveness())
+        for block in cfg.statement_blocks():
+            if block.index not in reachable or block.line in exempt:
+                continue
+            node = block.node
+            name: str | None = None
+            value: ast.expr | None = None
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                name, value = node.targets[0].id, node.value
+            elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                    and isinstance(node.target, ast.Name)):
+                name, value = node.target.id, node.value
+            if (name is None or name.startswith("_") or name in protected
+                    or name == getattr(value, "id", None)):
+                continue
+            if name not in live_after[block.index]:
+                side_effects = any(isinstance(child, (ast.Call, ast.Await))
+                                   for child in ast.walk(value))
+                hint = ("keep the call, drop the binding"
+                        if side_effects else "remove the statement")
+                yield Finding(
+                    module.path, block.line, "dead-store",
+                    f"dead store: {name!r} is assigned but never read on "
+                    f"any path from here; {hint}",
+                    symbol=function.qualname, source="dead-flow",
+                )

@@ -21,6 +21,7 @@ import re
 from typing import Iterator
 
 from .base import Finding, StaticCheckConfig, module_rule
+from .flowpasses import INTERVAL_INTERNALS, internal_access_findings
 from .model import ModuleInfo
 
 __all__ = [
@@ -45,11 +46,8 @@ GLOBAL_RANDOM_FUNCS = frozenset({
     "weibullvariate",
 })
 
-#: Interval-set / gap-index internals owned by ``src/repro/heap/``.
-INTERVAL_INTERNALS = frozenset({
-    "_starts", "_ends",
-    "_gap_end", "_gap_buckets", "_class_mask", "_size_order",
-})
+# INTERVAL_INTERNALS moved to flowpasses (the dataflow tier owns the
+# alias/escape semantics); re-exported above for compatibility.
 
 
 def _node_lines(node: ast.AST) -> range:
@@ -348,15 +346,11 @@ def check_unused_imports(module: ModuleInfo,
 )
 def check_interval_internals(module: ModuleInfo,
                              config: StaticCheckConfig) -> Iterator[Finding]:
-    """Flag attribute access to interval/gap-index internals."""
-    if config.in_heap_package(module.relpath):
-        return
-    for node in ast.walk(module.tree):
-        if (isinstance(node, ast.Attribute)
-                and node.attr in INTERVAL_INTERNALS):
-            yield Finding(
-                module.path, node.lineno, "interval-internals",
-                f"direct access to {node.attr!r}: the gap index mirrors "
-                "the interval arrays, so external pokes desynchronize "
-                "placement search; use the IntervalSet public API",
-            )
+    """Flag attribute access to interval/gap-index internals.
+
+    Thin delegate: the dataflow tier
+    (:mod:`repro.staticcheck.flowpasses`) owns the internals set and the
+    access semantics; its ``alias-escape`` rule adds the flow-sensitive
+    half (mutation through aliases, escapes from heap code).
+    """
+    yield from internal_access_findings(module, config)

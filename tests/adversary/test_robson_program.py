@@ -97,9 +97,6 @@ class TestEngineInternals:
         assert 0 <= offset < params.max_object
 
     def test_occupying_word(self):
-        view = None  # the engine only needs the view for steps
-        engine_cls = type(RobsonProgram(BoundParams(64, 8)))
-        _ = engine_cls  # constructed implicitly; direct engine test below
         from repro.adversary.robson_program import RobsonEngine
 
         engine = RobsonEngine.__new__(RobsonEngine)

@@ -100,7 +100,10 @@ class TestSarif:
         assert run["tool"]["driver"]["name"] == "repro-staticcheck"
         rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
         assert {"no-float", "float-taint", "unordered-iteration",
-                "unpicklable-field"} <= rule_ids
+                "unpicklable-field", "budget-negative", "budget-int",
+                "budget-call", "invariant-safety", "interval-alias",
+                "interval-escape", "dead-store",
+                "unreachable-code"} <= rule_ids
         results = run["results"]
         assert len(results) == len(findings)
         for record in results:
@@ -138,7 +141,43 @@ class TestCli:
 
     def test_unknown_rule_exits_two(self, capsys):
         assert main(["staticcheck", "--rules", "no-such-rule"]) == 2
-        assert "unknown rule" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        # The error is actionable: the full catalog is printed.
+        assert "available rules:" in err
+        for name in ("budget-range", "invariant-safety", "alias-escape",
+                     "dead-flow", "no-float"):
+            assert name in err
+
+    def _bad_pair(self, tmp_path: Path) -> Path:
+        tree = tmp_path / "pair"
+        tree.mkdir()
+        (tree / "one.py").write_text(
+            "try:\n    x = 1\nexcept:\n    pass\n", encoding="utf-8")
+        (tree / "two.py").write_text(
+            "import os\n\n\ndef f():\n    return 1\n", encoding="utf-8")
+        return tree
+
+    def test_jobs_output_is_byte_identical(self, tmp_path, capsys):
+        tree = self._bad_pair(tmp_path)
+        main(["staticcheck", str(tree), "--no-baseline", "--format", "json"])
+        serial = capsys.readouterr().out
+        main(["staticcheck", str(tree), "--no-baseline", "--format", "json",
+              "--jobs", "4"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_dir_reports_reuse(self, tmp_path, capsys):
+        tree = self._bad_pair(tmp_path)
+        cache = tmp_path / "cache"
+        main(["staticcheck", str(tree), "--no-baseline",
+              "--cache-dir", str(cache)])
+        first = capsys.readouterr().err
+        assert "0 modules reused, 2 re-analyzed" in first
+        main(["staticcheck", str(tree), "--no-baseline",
+              "--cache-dir", str(cache)])
+        second = capsys.readouterr().err
+        assert "2 modules reused, 0 re-analyzed" in second
 
     def test_rule_filter_runs_only_that_rule(self, tmp_path, capsys):
         target = self._bad_file(tmp_path)
@@ -217,5 +256,6 @@ class TestCli:
         assert main(["staticcheck", "--list-rules"]) == 0
         output = capsys.readouterr().out
         for name in ("float-taint", "determinism", "pickle", "no-float",
-                     "interval-internals"):
+                     "interval-internals", "budget-range",
+                     "invariant-safety", "alias-escape", "dead-flow"):
             assert name in output

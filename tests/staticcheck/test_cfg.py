@@ -1,0 +1,235 @@
+"""CFG construction corner cases.
+
+The dataflow tier is only as sound as the graph underneath it, so the
+shapes that historically break CFG builders get pinned here: finally
+suites duplicated per continuation (no phantom cross-continuation
+paths), break/continue unwinding *nested* finallies in order, ``with``
+bodies raising, ``match`` guards as real branch points, generators,
+and constant-test folding.
+"""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+from repro.staticcheck.cfg import (
+    EXC,
+    FALSE,
+    LOOP,
+    TRUE,
+    build_cfg,
+)
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(dedent(source).lstrip("\n"))
+    return build_cfg(tree.body[0])
+
+
+def _blocks_at_line(cfg, line: int):
+    return [b for b in cfg.blocks if b.line == line]
+
+
+def _reachable_lines(cfg):
+    reachable = cfg.reachable()
+    return {cfg.blocks[i].line for i in reachable if cfg.blocks[i].line}
+
+
+def test_while_true_has_no_false_exit():
+    cfg = _cfg_of("""
+        def f():
+            while True:
+                step()
+            tail()
+    """)
+    # The constant test is folded: no FALSE edge anywhere, and the
+    # statement after the loop is unreachable.
+    kinds = {kind for succs in cfg.succs for _, kind in succs}
+    assert FALSE not in kinds
+    assert 4 not in _reachable_lines(cfg)
+
+
+def test_break_skips_the_loop_else():
+    cfg = _cfg_of("""
+        def f(items):
+            while True:
+                break
+            else:
+                never()
+            after()
+    """)
+    lines = _reachable_lines(cfg)
+    assert 5 not in lines   # the else suite needs a normal loop exit
+    assert 6 in lines       # break still reaches the code after
+
+
+def test_nested_finallies_unwind_in_order_on_break():
+    cfg = _cfg_of("""
+        def f(items):
+            for item in items:
+                try:
+                    try:
+                        break
+                    finally:
+                        inner()
+                finally:
+                    outer()
+            after()
+    """)
+    [brk] = [b for b in cfg.blocks
+             if isinstance(b.node, ast.Break)]
+    # The break's continuation threads inner() then outer() then lands
+    # on after(): all three on the same path, in that order.
+    from_break = cfg.reachable(brk.index)
+    lines = {cfg.blocks[i].line for i in from_break}
+    assert {7, 9, 10} <= lines
+    # inner()'s break-copy leads to outer(), never straight to after().
+    inner_copies = [b for b in _blocks_at_line(cfg, 7)
+                    if b.index in from_break]
+    assert inner_copies
+    for copy in inner_copies:
+        succ_lines = {cfg.blocks[dst].line for dst, _ in cfg.succs[copy.index]}
+        assert 10 not in succ_lines
+
+
+def test_continue_inside_try_finally_returns_to_loop_head():
+    cfg = _cfg_of("""
+        def f(items):
+            for item in items:
+                try:
+                    continue
+                finally:
+                    cleanup()
+            after()
+    """)
+    [cont] = [b for b in cfg.blocks if isinstance(b.node, ast.Continue)]
+    from_cont = cfg.reachable(cont.index)
+    # continue runs the finally (cleanup, line 6), then re-enters the
+    # loop head (line 2).
+    assert any(cfg.blocks[i].line == 6 for i in from_cont)
+    assert any(cfg.blocks[i].line == 2 for i in from_cont)
+
+
+def test_with_suite_that_raises_reaches_the_raise_exit():
+    cfg = _cfg_of("""
+        def f(resource):
+            with resource:
+                raise ValueError("boom")
+            tail()
+    """)
+    [rse] = [b for b in cfg.blocks if isinstance(b.node, ast.Raise)]
+    assert cfg.raise_exit in cfg.reachable(rse.index)
+    assert 4 not in _reachable_lines(cfg)
+
+
+def test_with_body_inside_try_edges_to_the_handler():
+    cfg = _cfg_of("""
+        def f(resource):
+            try:
+                with resource:
+                    touch()
+            except OSError:
+                fallback()
+    """)
+    assert 6 in _reachable_lines(cfg)
+    kinds = {kind for succs in cfg.succs for _, kind in succs}
+    assert EXC in kinds
+
+
+def test_match_guard_is_a_real_branch():
+    cfg = _cfg_of("""
+        def f(cmd):
+            match cmd:
+                case [x] if x > 0:
+                    positive()
+                case _:
+                    other()
+            after()
+    """)
+    lines = _reachable_lines(cfg)
+    assert {4, 6, 7} <= lines
+    # The guard block has both a taken edge and a fall-to-next-case edge.
+    guards = [b for b in cfg.blocks
+              if b.role == "test" and b.line == 3
+              and isinstance(b.node, ast.Compare)]
+    assert guards
+    kinds = {kind for _, kind in cfg.succs[guards[0].index]}
+    assert {TRUE, FALSE} <= kinds
+
+
+def test_irrefutable_case_ends_the_chain():
+    cfg = _cfg_of("""
+        def f(cmd):
+            match cmd:
+                case _:
+                    handled()
+            after()
+    """)
+    lines = _reachable_lines(cfg)
+    assert {4, 5} <= lines
+
+
+def test_generator_loop_has_a_back_edge_and_reachable_yields():
+    cfg = _cfg_of("""
+        def gen(items):
+            for item in items:
+                yield item
+            yield -1
+    """)
+    lines = _reachable_lines(cfg)
+    assert {3, 4} <= lines
+    kinds = {kind for succs in cfg.succs for _, kind in succs}
+    assert LOOP in kinds
+
+
+def test_return_expression_in_try_reaches_the_handler():
+    # Regression: `return g(x)` inside a try evaluates g(x), which can
+    # raise — the handler must not be reported unreachable.
+    cfg = _cfg_of("""
+        def f(path):
+            try:
+                return parse(path)
+            except ValueError:
+                return None
+    """)
+    assert 5 in _reachable_lines(cfg)
+
+
+def test_bare_return_in_try_does_not_reach_the_handler():
+    cfg = _cfg_of("""
+        def f(flag):
+            try:
+                return
+            except ValueError:
+                impossible()
+    """)
+    assert 5 not in _reachable_lines(cfg)
+
+
+def test_finally_is_duplicated_per_continuation():
+    cfg = _cfg_of("""
+        def f():
+            try:
+                return compute()
+            finally:
+                release()
+            tail()
+    """)
+    # Two *live* ways into the finally (return, exception) -> two
+    # reachable copies of release(); the body never completes normally,
+    # so the normal-path copy and tail() stay unreachable.
+    reachable = cfg.reachable()
+    copies = [b for b in _blocks_at_line(cfg, 5) if b.index in reachable]
+    assert len(copies) == 2
+    assert 6 not in _reachable_lines(cfg)
+    # No phantom path: the exception copy must not reach the normal exit.
+    exc_copies = [
+        b for b in copies
+        if any(dst == cfg.raise_exit or kind == EXC
+               for dst, kind in cfg.succs[b.index])
+    ]
+    normal_copies = [b for b in copies if b not in exc_copies]
+    assert exc_copies and normal_copies
+    for copy in exc_copies:
+        assert cfg.exit not in {dst for dst, _ in cfg.succs[copy.index]}

@@ -17,12 +17,24 @@ from repro.staticcheck.fixtures import STATIC_FIXTURES, run_fixture
 _BY_NAME = {fixture.name: fixture for fixture in STATIC_FIXTURES}
 
 
-def test_corpus_covers_every_program_pass():
+def test_corpus_covers_every_analysis_pass():
     passes = {fixture.pass_name for fixture in STATIC_FIXTURES}
-    assert passes == {"float-taint", "determinism", "pickle"}
+    assert passes == {
+        "float-taint", "determinism", "pickle",
+        "budget-range", "invariant-safety", "alias-escape", "dead-flow",
+    }
     for name in sorted(passes):
         count = sum(1 for f in STATIC_FIXTURES if f.pass_name == name)
         assert count >= 2, f"pass {name} has only {count} fixture(s)"
+
+
+def test_every_dataflow_rule_id_has_a_fixture():
+    """Each rule id the dataflow tier can report is exercised by name."""
+    expected = {fixture.expect_rule for fixture in STATIC_FIXTURES}
+    for rule in ("budget-negative", "budget-int", "budget-call",
+                 "invariant-safety", "interval-alias", "interval-escape",
+                 "dead-store", "unreachable-code"):
+        assert rule in expected, f"no fixture exercises {rule!r}"
 
 
 def test_corpus_names_are_unique():

@@ -1,0 +1,212 @@
+"""The worklist solver and its stock lattices, tested in isolation.
+
+The flow passes get their own tests; here the question is whether the
+*engine* is right — liveness runs backward, reaching definitions merge
+over branches, the interval domain refines on guards, terminates on
+counting loops (widening) and honours validator-style parameter seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.dataflow import (
+    IntervalAnalysis,
+    IntRange,
+    Liveness,
+    ReachingDefinitions,
+    solve,
+)
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(dedent(source).lstrip("\n"))
+    return build_cfg(tree.body[0]), tree.body[0]
+
+
+def _block_of(cfg, predicate):
+    [block] = [b for b in cfg.statement_blocks() if predicate(b)]
+    return block
+
+
+def _assign_to(name):
+    def predicate(block):
+        node = block.node
+        return (isinstance(node, ast.Assign)
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name)
+    return predicate
+
+
+def _aug_assign_line(line):
+    return lambda b: isinstance(b.node, ast.AugAssign) and b.line == line
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+# ---------------------------------------------------------------------------
+
+
+def test_liveness_overwritten_store_is_dead():
+    cfg, _ = _cfg_of("""
+        def f(n):
+            x = expensive(n)
+            x = 0
+            return x
+    """)
+    _, out_states = solve(cfg, Liveness())
+    first = _block_of(cfg, lambda b: b.line == 2)
+    second = _block_of(cfg, lambda b: b.line == 3)
+    # x is not live after the first store (the second kills it), but is
+    # live after the second (the return reads it).
+    assert "x" not in out_states[first.index]
+    assert "x" in out_states[second.index]
+
+
+def test_liveness_sees_uses_on_only_one_branch():
+    cfg, _ = _cfg_of("""
+        def f(flag, n):
+            y = n * 2
+            if flag:
+                return y
+            return 0
+    """)
+    _, out_states = solve(cfg, Liveness())
+    store = _block_of(cfg, lambda b: b.line == 2)
+    assert "y" in out_states[store.index]
+
+
+def test_liveness_aug_assign_reads_its_target():
+    cfg, _ = _cfg_of("""
+        def f(n):
+            total = 0
+            total += n
+            return total
+    """)
+    _, out_states = solve(cfg, Liveness())
+    init = _block_of(cfg, lambda b: b.line == 2)
+    assert "total" in out_states[init.index]
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+
+def test_reaching_definitions_merge_over_branches():
+    cfg, _ = _cfg_of("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    in_states, _ = solve(cfg, ReachingDefinitions(params=("flag",)))
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    then_def = _block_of(cfg, lambda b: b.line == 3)
+    else_def = _block_of(cfg, lambda b: b.line == 5)
+    sites = in_states[ret.index]["x"]
+    assert sites == frozenset({then_def.index, else_def.index})
+    # The parameter's synthetic definition site reaches everywhere.
+    assert in_states[ret.index]["flag"] == frozenset({-1})
+
+
+def test_reaching_definitions_kill_on_redefinition():
+    cfg, _ = _cfg_of("""
+        def f():
+            x = 1
+            x = 2
+            return x
+    """)
+    in_states, _ = solve(cfg, ReachingDefinitions())
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    second = _block_of(cfg, lambda b: b.line == 3)
+    assert in_states[ret.index]["x"] == frozenset({second.index})
+
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+
+def test_interval_guard_refines_the_false_edge():
+    cfg, _ = _cfg_of("""
+        def charge(words):
+            if words <= 0:
+                raise ValueError("words must be positive")
+            words += 0
+    """)
+    analysis = IntervalAnalysis()
+    in_states, _ = solve(cfg, analysis)
+    after_guard = _block_of(cfg, _aug_assign_line(4))
+    rng = in_states[after_guard.index].get("words")
+    assert rng.lo == 1 and rng.hi is None
+
+
+def test_interval_widening_terminates_counting_loop():
+    cfg, _ = _cfg_of("""
+        def count(n):
+            i = 0
+            while i < n:
+                i = i + 1
+            return i
+    """)
+    in_states, _ = solve(cfg, IntervalAnalysis())
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    rng = in_states[ret.index].get("i")
+    # Widening keeps the stable lower bound and drops the rising upper.
+    assert rng.lo == 0
+    assert not rng.may_be_negative()
+
+
+def test_interval_param_seeds_flow_through_arithmetic():
+    cfg, _ = _cfg_of("""
+        def f(words):
+            doubled = words + words
+            return doubled
+    """)
+    analysis = IntervalAnalysis(param_ranges={"words": IntRange(1, None)})
+    in_states, _ = solve(cfg, analysis)
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    rng = in_states[ret.index].get("doubled")
+    assert rng.lo == 2 and rng.hi is None
+
+
+def test_interval_negative_literal_is_provably_negative():
+    cfg, _ = _cfg_of("""
+        def f():
+            sentinel = -1
+            return sentinel
+    """)
+    in_states, _ = solve(cfg, IntervalAnalysis())
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    rng = in_states[ret.index].get("sentinel")
+    assert rng.lo == -1 and rng.hi == -1
+    assert rng.may_be_negative()
+
+
+def test_interval_true_division_marks_float():
+    cfg, _ = _cfg_of("""
+        def f(num, den):
+            ratio = num / den
+            return ratio
+    """)
+    in_states, _ = solve(cfg, IntervalAnalysis())
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    assert in_states[ret.index].get("ratio").is_float
+
+
+def test_interval_max_builtin_clamps_the_lower_bound():
+    cfg, _ = _cfg_of("""
+        def f(delta):
+            clamped = max(0, delta)
+            return clamped
+    """)
+    in_states, _ = solve(cfg, IntervalAnalysis())
+    ret = _block_of(cfg, lambda b: isinstance(b.node, ast.Return))
+    rng = in_states[ret.index].get("clamped")
+    assert rng.lo == 0
+    assert not rng.may_be_negative()

@@ -1,0 +1,147 @@
+"""Incremental cache + parallel fan-out: fast, and provably identical.
+
+The acceptance bar for the cached tier: a warm run after a single-file
+edit re-analyzes exactly that module, and every execution strategy
+(serial, warm cache, process pool) emits byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.staticcheck.cache import CACHE_FORMAT_VERSION, ModuleCache
+from repro.staticcheck.base import StaticCheckConfig
+from repro.staticcheck.runner import run_staticcheck
+
+_CLEAN = dedent("""
+    def helper(n):
+        return n + 1
+""").lstrip("\n")
+
+_DEAD_STORE = dedent("""
+    def plan(n):
+        total = audit(n)
+        total = 0
+        return total
+
+
+    def audit(n):
+        return n * 31
+""").lstrip("\n")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "alpha.py").write_text(_CLEAN, encoding="utf-8")
+    (pkg / "beta.py").write_text(_DEAD_STORE, encoding="utf-8")
+    (pkg / "gamma.py").write_text(_CLEAN.replace("n + 1", "n + 2"),
+                                  encoding="utf-8")
+    return tmp_path
+
+
+def _run(tree, **kwargs):
+    return run_staticcheck([tree / "src"], root=tree, **kwargs)
+
+
+def _payload(result, root):
+    return json.dumps([f.to_dict(root) for f in result.findings])
+
+
+def test_warm_run_reanalyzes_exactly_the_edited_module(tree, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = _run(tree, cache_dir=cache_dir)
+    assert cold.modules_reanalyzed == 3
+    assert cold.cache_hits == 0
+    assert [f.rule for f in cold.findings] == ["dead-store"]
+
+    warm = _run(tree, cache_dir=cache_dir)
+    assert warm.modules_reanalyzed == 0
+    assert warm.cache_hits == 3
+    assert _payload(warm, tree) == _payload(cold, tree)
+
+    edited = tree / "src" / "repro" / "sim" / "alpha.py"
+    edited.write_text(_CLEAN + "\n\nEXTRA = 1\n", encoding="utf-8")
+    after_edit = _run(tree, cache_dir=cache_dir)
+    assert after_edit.modules_reanalyzed == 1
+    assert after_edit.cache_hits == 2
+    assert _payload(after_edit, tree) == _payload(cold, tree)
+
+
+def test_cached_findings_survive_with_fingerprints_intact(tree, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = _run(tree, cache_dir=cache_dir)
+    warm = _run(tree, cache_dir=cache_dir)
+    assert [f.fingerprint for f in warm.findings] == \
+        [f.fingerprint for f in cold.findings]
+    assert all(f.fingerprint for f in warm.findings)
+
+
+def test_rule_selection_is_part_of_the_cache_key(tree, tmp_path):
+    cache_dir = tmp_path / "cache"
+    full = _run(tree, cache_dir=cache_dir)
+    narrowed = _run(tree, cache_dir=cache_dir, rules=["unused-import"])
+    # Different rule set -> the narrowed run may not reuse the full
+    # run's entries (it would otherwise report dead stores it was asked
+    # to skip).
+    assert narrowed.cache_hits == 0
+    assert narrowed.findings == []
+    again = _run(tree, cache_dir=cache_dir)
+    assert _payload(again, tree) == _payload(full, tree)
+
+
+def test_config_change_invalidates_the_cache(tree, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run(tree, cache_dir=cache_dir)
+    tweaked = StaticCheckConfig(heap_package="src/other")
+    rerun = _run(tree, cache_dir=cache_dir, config=tweaked)
+    assert rerun.cache_hits == 0
+    assert rerun.modules_reanalyzed == 3
+
+
+def test_parallel_run_is_byte_identical_to_serial(tree):
+    serial = _run(tree)
+    parallel = _run(tree, jobs=4)
+    assert parallel.jobs == 4
+    assert _payload(parallel, tree) == _payload(serial, tree)
+
+
+def test_parallel_plus_cache_round_trip(tree, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = _run(tree, cache_dir=cache_dir, jobs=4)
+    assert cold.modules_reanalyzed == 3
+    warm = _run(tree, cache_dir=cache_dir, jobs=4)
+    assert warm.modules_reanalyzed == 0
+    assert _payload(warm, tree) == _payload(cold, tree)
+
+
+def test_corrupt_cache_entry_is_a_miss_not_a_crash(tree, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run(tree, cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("{not json", encoding="utf-8")
+    rerun = _run(tree, cache_dir=cache_dir)
+    assert rerun.cache_hits == 0
+    assert rerun.modules_reanalyzed == 3
+    assert [f.rule for f in rerun.findings] == ["dead-store"]
+
+
+def test_cache_key_covers_version_rules_config_and_source():
+    config = StaticCheckConfig()
+    base = ModuleCache.key_for("src/a.py", "x = 1\n", ("dead-flow",), config)
+    assert base == ModuleCache.key_for("src/a.py", "x = 1\n",
+                                       ("dead-flow",), config)
+    assert base != ModuleCache.key_for("src/a.py", "x = 2\n",
+                                       ("dead-flow",), config)
+    assert base != ModuleCache.key_for("src/b.py", "x = 1\n",
+                                       ("dead-flow",), config)
+    assert base != ModuleCache.key_for("src/a.py", "x = 1\n",
+                                       ("dead-flow", "no-float"), config)
+    assert base != ModuleCache.key_for(
+        "src/a.py", "x = 1\n", ("dead-flow",),
+        StaticCheckConfig(heap_package="src/other"))
+    assert isinstance(CACHE_FORMAT_VERSION, int)
