@@ -13,27 +13,37 @@ from repro.adversary import RandomChurnWorkload, run_execution
 from repro.core.params import BoundParams
 from repro.mm import create_manager, manager_names
 
-PARAMS = BoundParams(4096, 64, 10.0)
-OPERATIONS = 1500
+
+def _scaled(scale):
+    """(params, operations) scaled by ``REPRO_BENCH_SCALE``.
+
+    Both the live cap and the stream length grow with the scale, so the
+    per-operation heap pressure stays constant while the absolute heap
+    size — the quantity the bitmap kernel's costs and wins track —
+    multiplies.
+    """
+    return BoundParams(4096 * scale, 64, 10.0), 1500 * scale
 
 
 @pytest.mark.parametrize("name", manager_names())
-def test_churn_throughput(benchmark, name, bench_record):
+def test_churn_throughput(benchmark, name, bench_record, scale):
+    params, operations = _scaled(scale)
+
     def run():
-        workload = RandomChurnWorkload(PARAMS, operations=OPERATIONS, seed=11)
-        return run_execution(PARAMS, workload, create_manager(name, PARAMS))
+        workload = RandomChurnWorkload(params, operations=operations, seed=11)
+        return run_execution(params, workload, create_manager(name, params))
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     print(f"\n{name}: waste={result.waste_factor:.3f} x M, "
-          f"moved={result.total_moved} words over {OPERATIONS} ops")
+          f"moved={result.total_moved} words over {operations} ops")
     bench_record(
         f"manager_throughput__{name}",
-        {"live_space": PARAMS.live_space, "max_object": PARAMS.max_object,
-         "compaction_divisor": PARAMS.compaction_divisor,
-         "operations": OPERATIONS, "manager": name},
+        {"live_space": params.live_space, "max_object": params.max_object,
+         "compaction_divisor": params.compaction_divisor,
+         "operations": operations, "manager": name},
         {"waste_factor": result.waste_factor,
          "moved_words": result.total_moved,
          "wall_seconds": result.wall_seconds,
          "events_per_second": result.events_per_second},
     )
-    assert result.live_peak <= PARAMS.live_space
+    assert result.live_peak <= params.live_space

@@ -14,6 +14,7 @@ perf trajectories can be collected across commits.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -22,6 +23,27 @@ import pytest
 from repro.core.params import BoundParams
 
 BENCH_JSON_PREFIX = "BENCH_JSON "
+
+#: Env var multiplying the standard simulation scale (``M`` only — the
+#: object-size cap ``n`` stays fixed, so the paper's ``M = 64 n`` shape
+#: grows toward realistic ratios as the multiplier rises).
+BENCH_SCALE_VAR = "REPRO_BENCH_SCALE"
+
+
+def bench_scale() -> int:
+    """The active ``REPRO_BENCH_SCALE`` multiplier (default 1)."""
+    raw = os.environ.get(BENCH_SCALE_VAR, "1")
+    try:
+        scale = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{BENCH_SCALE_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if scale < 1:
+        raise ValueError(
+            f"{BENCH_SCALE_VAR} must be a positive integer, got {raw!r}"
+        )
+    return scale
 
 
 def pytest_addoption(parser):
@@ -58,7 +80,10 @@ def bench_record(request):
 
     def record(name: str, params: dict, results: dict) -> dict:
         payload = make_bench_payload(
-            name, params, time.perf_counter() - start, results
+            name,
+            {**params, "bench_scale": bench_scale()},
+            time.perf_counter() - start,
+            results,
         )
         line = json.dumps(payload, sort_keys=True, default=str)
         print(f"\n{BENCH_JSON_PREFIX}{line}")
@@ -77,11 +102,26 @@ def bench_record(request):
 
 
 @pytest.fixture(scope="session")
+def scale() -> int:
+    """The ``REPRO_BENCH_SCALE`` multiplier, as a fixture.
+
+    Bench modules take this instead of importing ``conftest`` by name
+    (several conftest files share that basename across the repo)."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
 def sim_params() -> BoundParams:
     """The standard scaled-down simulation point (see DESIGN.md):
     M = 8192 words, n = 128 words, c = 50 — the paper's M = 64 n shape
-    at a size pure Python finishes quickly."""
-    return BoundParams(live_space=8192, max_object=128, compaction_divisor=50.0)
+    at a size pure Python finishes quickly.  ``REPRO_BENCH_SCALE``
+    multiplies ``M`` (only): ``n`` stays fixed so the reference cost,
+    quadratic in ``M/n`` regions, dominates as the scale rises."""
+    return BoundParams(
+        live_space=8192 * bench_scale(),
+        max_object=128,
+        compaction_divisor=50.0,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..core.params import BoundParams
 from ..heap.errors import LiveSpaceExceeded
 from ..heap.heap import SimHeap
+from ..heap.kernel import make_kernel, resolve_kernel
 from ..heap.metrics import HeapMetrics, snapshot
 from ..heap.object_model import HeapObject
 from ..mm.base import ManagerContext, MemoryManager
@@ -96,10 +97,15 @@ class ExecutionDriver:
         budget: CompactionBudget | None = None,
         observer: EventBus | None = None,
         tracer: Tracer | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.params = params
         self.manager = manager
-        self.heap = SimHeap()
+        #: The occupancy backend actually in use ("reference" or
+        #: "bitmap") — explicit argument wins, then ``REPRO_KERNEL``,
+        #: then the reference path.  Recorded in run manifests.
+        self.kernel_name = resolve_kernel(kernel)
+        self.heap = SimHeap(kernel=make_kernel(self.kernel_name))
         #: The telemetry bus, or None (the null-sink fast path: every
         #: emission site below guards on this, so uninstrumented runs
         #: pay one comparison per operation and build no event objects).
@@ -315,10 +321,11 @@ def run_execution(
     budget: CompactionBudget | None = None,
     observer: EventBus | None = None,
     tracer: Tracer | None = None,
+    kernel: str | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a driver, run, return the result."""
     driver = ExecutionDriver(
         params, manager, record_trace=record_trace, paranoid=paranoid,
-        budget=budget, observer=observer, tracer=tracer,
+        budget=budget, observer=observer, tracer=tracer, kernel=kernel,
     )
     return driver.run(program)

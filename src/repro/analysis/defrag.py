@@ -27,6 +27,10 @@ def evacuation_cost(heap: SimHeap, start: int, size: int) -> int:
     """Live words inside ``[start, start + size)``."""
     if start < 0 or size <= 0:
         raise ValueError("need start >= 0 and size > 0")
+    if heap.kernel is not None:
+        from ..mm.fastpath import range_live_words
+
+        return range_live_words(heap, start, start + size)
     return heap.occupied.overlap_words(start, start + size)
 
 
@@ -77,6 +81,10 @@ def cheapest_interior_window(
         raise ValueError("size must be positive")
     if alignment < 1:
         raise ValueError("alignment must be at least 1")
+    if heap.kernel is not None and alignment == 1:
+        from ..mm.fastpath import cheapest_interior_window as fast_window
+
+        return fast_window(heap, size)
     span_end = heap.occupied.span_end
     limit = span_end - size
     if limit < 0:

@@ -73,6 +73,7 @@ def _engine_rows(
     jobs: int,
     cache_dir: Union[str, Path, None],
     tracer=None,
+    kernel: str | None = None,
 ) -> list[ExecutionResult]:
     """Run a (program, manager) grid through the parallel engine.
 
@@ -87,7 +88,7 @@ def _engine_rows(
 
     engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir, tracer=tracer)
     tasks = [
-        SimTask.build(params, manager, program, **options)
+        SimTask.build(params, manager, program, kernel=kernel, **options)
         for program, manager, options in grid
     ]
     return [result.to_execution_result() for result in engine.run(tasks)]
@@ -100,6 +101,7 @@ def _run_row(
     telemetry_dir: Union[str, Path, None],
     sanitize: bool = False,
     tracer=None,
+    kernel: str | None = None,
 ) -> ExecutionResult:
     """One grid cell: plain execution, or a recorded one when requested.
 
@@ -121,7 +123,8 @@ def _run_row(
         sanitizer.attach_program(program)
     if telemetry_dir is None:
         if sanitizer is None:
-            return run_execution(params, program, manager, tracer=tracer)
+            return run_execution(params, program, manager, tracer=tracer,
+                                 kernel=kernel)
         from ..obs.events import EventBus
 
         bus = EventBus()
@@ -129,7 +132,7 @@ def _run_row(
         if hasattr(program, "bus"):
             program.bus = bus
         result = run_execution(params, program, manager, observer=bus,
-                               tracer=tracer)
+                               tracer=tracer, kernel=kernel)
         sanitizer.finish()
         return result
     from ..obs.telemetry import run_recorded  # local: avoid import cycle
@@ -139,6 +142,7 @@ def _run_row(
         params, program, manager, row_dir,
         extra_sinks=None if sanitizer is None else [sanitizer],
         tracer=tracer,
+        kernel=kernel,
     )
     if sanitizer is not None:
         sanitizer.finish()
@@ -207,6 +211,7 @@ def robson_experiment(
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> list[ExperimentRow]:
     """Robson's :math:`P_R` against the non-moving manager family.
 
@@ -223,13 +228,14 @@ def robson_experiment(
         grid = [("robson", name, {}) for name in manager_names_to_run]
         return [
             ExperimentRow(result, bound, "robson-lower")
-            for result in _engine_rows(params, grid, jobs, cache_dir, tracer)
+            for result in _engine_rows(params, grid, jobs, cache_dir, tracer,
+                                       kernel)
         ]
     rows = []
     for name in manager_names_to_run:
         program = RobsonProgram(params)
         result = _run_row(params, program, name, telemetry_dir, sanitize,
-                          tracer)
+                          tracer, kernel)
         rows.append(ExperimentRow(result, bound, "robson-lower"))
     return rows
 
@@ -244,6 +250,7 @@ def pf_experiment(
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> list[ExperimentRow]:
     """The paper's :math:`P_F` against a manager family.
 
@@ -268,13 +275,14 @@ def pf_experiment(
         grid = [("pf", name, options) for name in manager_names_to_run]
         return [
             ExperimentRow(result, bound, "theorem1-h", allowance=allowance)
-            for result in _engine_rows(params, grid, jobs, cache_dir, tracer)
+            for result in _engine_rows(params, grid, jobs, cache_dir, tracer,
+                                       kernel)
         ]
     rows = []
     for name in manager_names_to_run:
         program = PFProgram(params, density_exponent=density_exponent)
         result = _run_row(params, program, name, telemetry_dir, sanitize,
-                          tracer)
+                          tracer, kernel)
         rows.append(
             ExperimentRow(result, bound, "theorem1-h", allowance=allowance)
         )
@@ -296,6 +304,7 @@ def upper_bound_experiment(
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> list[ExperimentRow]:
     """The BP collector against adversarial and benign programs.
 
@@ -315,7 +324,8 @@ def upper_bound_experiment(
                 for key in DEFAULT_UPPER_BOUND_PROGRAMS]
         return [
             ExperimentRow(result, c + 1.0, "bp-(c+1)M")
-            for result in _engine_rows(params, grid, jobs, cache_dir, tracer)
+            for result in _engine_rows(params, grid, jobs, cache_dir, tracer,
+                                       kernel)
         ]
     if programs is None:
         programs = (
@@ -328,7 +338,7 @@ def upper_bound_experiment(
     rows = []
     for program in programs:
         result = _run_row(params, program, "bp-collector", telemetry_dir,
-                          sanitize, tracer)
+                          sanitize, tracer, kernel)
         rows.append(ExperimentRow(result, c + 1.0, "bp-(c+1)M"))
     return rows
 

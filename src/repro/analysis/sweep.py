@@ -82,6 +82,7 @@ def simulation_sweep(
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
     engine: "ParallelEngine | None" = None,
+    kernel: str | None = None,
 ) -> list[SweepRow]:
     """Theory plus measured P_F waste per manager at each ``c``.
 
@@ -99,7 +100,7 @@ def simulation_sweep(
     if engine is None:
         engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir)
     tasks = [
-        SimTask.build(base.with_compaction(row.c), name, "pf")
+        SimTask.build(base.with_compaction(row.c), name, "pf", kernel=kernel)
         for row in theory_rows
         for name in manager_names
     ]

@@ -25,6 +25,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
+import re
+from dataclasses import fields as _dataclass_fields
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..obs.events import TelemetryEvent
@@ -44,9 +47,28 @@ __all__ = [
 #: Fields excluded from the canonical form (timing noise).
 _NONDETERMINISTIC_FIELDS = frozenset({"latency_ns"})
 
+#: Per-event-class canonical key order: ``kind`` plus every dataclass
+#: field except the nondeterministic ones, sorted — exactly the order
+#: ``json.dumps(..., sort_keys=True)`` produces for the same record.
+_FIELD_ORDER_CACHE: dict[type, tuple[str, ...]] = {}
 
-def canonical_event_bytes(event: TelemetryEvent) -> bytes:
-    """One event's canonical JSON line (stable field order, no timing)."""
+#: Strings this encoder may emit verbatim between quotes: printable
+#: ASCII minus ``"`` and ``\`` (anything else falls back to json.dumps,
+#: which owns the escaping rules the canonical form is defined by).
+_SAFE_STR = re.compile(r'^[ !#-\[\]-~]*$')
+
+
+def _field_order(cls: type) -> tuple[str, ...]:
+    order = tuple(sorted(
+        ["kind"] + [field.name for field in _dataclass_fields(cls)
+                    if field.name not in _NONDETERMINISTIC_FIELDS]
+    ))
+    _FIELD_ORDER_CACHE[cls] = order
+    return order
+
+
+def _canonical_event_bytes_slow(event: TelemetryEvent) -> bytes:
+    """The defining encoding: filtered to_dict through json.dumps."""
     record = {
         key: value
         for key, value in event.to_dict().items()
@@ -54,6 +76,44 @@ def canonical_event_bytes(event: TelemetryEvent) -> bytes:
     }
     return json.dumps(record, sort_keys=True,
                       separators=(",", ":")).encode() + b"\n"
+
+
+def canonical_event_bytes(event: TelemetryEvent) -> bytes:
+    """One event's canonical JSON line (stable field order, no timing).
+
+    The output is *defined* by :func:`_canonical_event_bytes_slow`
+    (``json.dumps`` with sorted keys and compact separators); this fast
+    path hand-assembles the identical bytes for the value shapes all
+    built-in events use — ints, finite floats (``json`` renders them
+    via ``float.__repr__``, so ``repr`` matches byte for byte), bools
+    and escape-free ASCII strings — and defers anything else to the
+    json encoder.  ``tests/check`` pins the two paths byte-equal over
+    the full event corpus.
+    """
+    cls = type(event)
+    order = _FIELD_ORDER_CACHE.get(cls)
+    if order is None:
+        order = _field_order(cls)
+    parts = []
+    for name in order:
+        value = getattr(event, name)
+        if value is True:
+            parts.append(f'"{name}":true')
+        elif value is False:
+            parts.append(f'"{name}":false')
+        elif type(value) is int:
+            parts.append(f'"{name}":{value}')
+        elif type(value) is str:
+            if _SAFE_STR.match(value) is None:
+                return _canonical_event_bytes_slow(event)
+            parts.append(f'"{name}":"{value}"')
+        elif type(value) is float:
+            if not math.isfinite(value):
+                return _canonical_event_bytes_slow(event)
+            parts.append(f'"{name}":{value!r}')
+        else:
+            return _canonical_event_bytes_slow(event)
+    return ("{" + ",".join(parts) + "}\n").encode()
 
 
 def event_stream_digest(events: Iterable[TelemetryEvent]) -> str:

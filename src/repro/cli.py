@@ -109,6 +109,18 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    """``--kernel``: the occupancy backend (reference or bitmap)."""
+    from .heap.kernel import KERNEL_ENV_VAR, KERNEL_NAMES
+
+    parser.add_argument(
+        "--kernel", choices=KERNEL_NAMES, default=None,
+        help="occupancy backend: 'bitmap' = vectorized numpy kernel, "
+             "'reference' = pure-Python interval set (default: the "
+             f"{KERNEL_ENV_VAR} environment variable, else reference)",
+    )
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser,
                     default_out: str) -> None:
     """``--trace [PATH]``: span tracing with a Chrome trace export."""
@@ -177,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--sanitize", action="store_true",
                           help="run the paper-invariant checkers online "
                                "(exit 1 on any violation)")
+    _add_kernel_flag(simulate)
     _add_trace_flag(simulate, "trace.json")
 
     experiment = commands.add_parser("experiment", help="grid vs the bounds")
@@ -190,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run the paper-invariant checkers on every "
                                  "row (exit 1 on any violation)")
     _add_engine_flags(experiment)
+    _add_kernel_flag(experiment)
     _add_trace_flag(experiment, "experiment-trace.json")
 
     sweep = commands.add_parser(
@@ -215,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="PATH", default=None,
                        help="also write the sweep as CSV to PATH")
     _add_engine_flags(sweep)
+    _add_kernel_flag(sweep)
     _add_trace_flag(sweep, "sweep-trace.json")
 
     figures = commands.add_parser(
@@ -398,6 +413,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             on_driver=drivers.append,
             extra_sinks=None if sanitizer is None else [sanitizer],
             tracer=tracer,
+            kernel=args.kernel,
         )
         heap = drivers[0].heap
     else:
@@ -411,7 +427,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             if hasattr(program, "bus"):
                 program.bus = observer
         driver = ExecutionDriver(params, manager, observer=observer,
-                                 tracer=tracer)
+                                 tracer=tracer, kernel=args.kernel)
         result = driver.run(program)
         heap = driver.heap
     print(result.summary())
@@ -562,7 +578,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     engine_kwargs = {"jobs": jobs, "cache_dir": args.cache_dir,
-                     "tracer": tracer}
+                     "tracer": tracer, "kernel": args.kernel}
     try:
         if args.which == "robson":
             rows = robson_experiment(params.with_compaction(None),
@@ -623,7 +639,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     engine = _engine_from(args, tracer=tracer)
-    rows = simulation_sweep(base, c_values, managers, engine=engine)
+    rows = simulation_sweep(base, c_values, managers, engine=engine,
+                            kernel=args.kernel)
     csv_text = sweep_to_csv(rows, managers)
     if args.csv:
         from pathlib import Path
@@ -644,11 +661,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         tracer.close_open()
         _export_chrome_trace(tracer, args.trace, trace_name="repro sweep")
     stats = stats_obj.as_dict()
+    from .heap.kernel import resolve_kernel
+
     print("BENCH_JSON " + json.dumps({
         "name": "repro_sweep",
         "params": {
             "live": args.live, "object": args.object,
             "grid": list(c_values), "managers": list(managers),
+            "kernel": resolve_kernel(args.kernel),
         },
         "wall_s": stats["wall_seconds"],
         "results": stats,

@@ -138,9 +138,14 @@ class ChunkPartition:
         """Live words per chunk index, for every touched chunk, in one
         sweep over the occupied intervals (the bulk version of
         :meth:`occupancy` — managers scanning for sparse chunks need all
-        of them at once).
+        of them at once).  With a bitmap kernel attached the sweep runs
+        vectorized over the packed occupancy instead; the resulting
+        dict (keys ascending, touched chunks only) is identical.
         """
         size = self.chunk_size
+        kernel = heap.kernel
+        if kernel is not None and hasattr(kernel, "chunk_occupancies"):
+            return kernel.chunk_occupancies(size, heap.occupied.span_end)
         totals: dict[int, int] = {}
         for start, end in heap.occupied:
             for k in chunks_spanned(start, end - start, size):

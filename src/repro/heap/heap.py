@@ -15,21 +15,42 @@ cap ``M`` — belong to :mod:`repro.mm.budget` and the driver.
 
 from __future__ import annotations
 
-from typing import Iterator
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Iterator
 
 from .errors import OverlapError, PlacementError
 from .intervals import IntervalSet
 from .object_model import HeapObject, ObjectTable
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import HeapKernel
+
 __all__ = ["SimHeap"]
 
 
 class SimHeap:
-    """An unbounded word-addressed heap with an occupancy index."""
+    """An unbounded word-addressed heap with an occupancy index.
 
-    def __init__(self) -> None:
+    ``kernel`` optionally attaches a vectorized occupancy sidecar (see
+    :mod:`repro.heap.kernel`): the heap mirrors every mutation into the
+    kernel's journal so bulk queries can run over the packed bitmap.
+    The :class:`IntervalSet` remains authoritative either way — the
+    kernel never changes an answer, only how fast bulk answers arrive.
+    """
+
+    def __init__(self, kernel: "HeapKernel | None" = None) -> None:
         self._occupied = IntervalSet()
         self._table = ObjectTable()
+        self._kernel = kernel
+        # Address-sorted live-object index, maintained only under a
+        # kernel backend (the reference path must not change cost or
+        # behaviour): lets :meth:`objects_in_range` answer victim scans
+        # in O(hits + log live) instead of O(live).  Built lazily on
+        # the first query, so managers that never enumerate victims
+        # (the non-compacting family) never pay the per-mutation upkeep.
+        self._by_address: dict[int, HeapObject] = {}
+        self._address_order: list[int] = []
+        self._address_index_ready = False
         self._seq = 0
         self._high_water = 0
         self._total_allocated = 0
@@ -47,6 +68,11 @@ class SimHeap:
     def occupied(self) -> IntervalSet:
         """The current occupancy index (do not mutate)."""
         return self._occupied
+
+    @property
+    def kernel(self) -> "HeapKernel | None":
+        """The attached vectorized kernel, or None (reference backend)."""
+        return self._kernel
 
     @property
     def high_water(self) -> int:
@@ -89,6 +115,41 @@ class SimHeap:
         end = self._high_water if upto is None else upto
         return self._occupied.gaps(0, end)
 
+    def objects_in_range(self, start: int, end: int) -> list[HeapObject]:
+        """Live objects intersecting ``[start, end)``, ascending address.
+
+        Under a kernel backend this answers from the address-sorted index
+        in O(hits + log live); on the reference backend it falls back to
+        a live-table scan (same result — live objects are disjoint, so
+        the address order is total).
+        """
+        if end <= start:
+            return []
+        if self._kernel is None:
+            hits = [
+                obj for obj in self._table.live_objects()
+                if obj.overlaps_range(start, end)
+            ]
+            hits.sort(key=lambda obj: obj.address)
+            return hits
+        if not self._address_index_ready:
+            self._by_address = {
+                obj.address: obj for obj in self._table.live_objects()
+            }
+            self._address_order = sorted(self._by_address)
+            self._address_index_ready = True
+        order = self._address_order
+        lo = bisect_left(order, start)
+        hits: list[HeapObject] = []
+        if lo > 0:
+            prev = self._by_address[order[lo - 1]]
+            if prev.end > start:
+                hits.append(prev)
+        hi = bisect_left(order, end, lo=lo)
+        for address in order[lo:hi]:
+            hits.append(self._by_address[address])
+        return hits
+
     # Mutations ----------------------------------------------------------------
 
     def place(self, address: int, size: int) -> HeapObject:
@@ -105,6 +166,11 @@ class SimHeap:
             raise OverlapError(str(exc)) from None
         self._seq += 1
         obj = self._table.create(address, size, alloc_seq=self._seq)
+        if self._kernel is not None:
+            self._kernel.record_add(address, address + size)
+            if self._address_index_ready:
+                self._by_address[address] = obj
+                insort(self._address_order, address)
         self._total_allocated += size
         self._high_water = max(self._high_water, obj.end)
         return obj
@@ -114,6 +180,12 @@ class SimHeap:
         self._seq += 1
         obj = self._table.mark_freed(object_id, free_seq=self._seq)
         self._occupied.remove(obj.address, obj.end)
+        if self._kernel is not None:
+            self._kernel.record_remove(obj.address, obj.end)
+            if self._address_index_ready:
+                del self._by_address[obj.address]
+                order = self._address_order
+                order.pop(bisect_left(order, obj.address))
         self._total_freed += obj.size
         return obj
 
@@ -136,6 +208,15 @@ class SimHeap:
             # Roll back so the heap stays consistent for the caller.
             self._occupied.add(obj.address, obj.end)
             raise OverlapError(str(exc)) from None
+        if self._kernel is not None:
+            self._kernel.record_remove(obj.address, obj.end)
+            self._kernel.record_add(new_address, new_address + obj.size)
+            if self._address_index_ready:
+                del self._by_address[obj.address]
+                order = self._address_order
+                order.pop(bisect_left(order, obj.address))
+                self._by_address[new_address] = obj
+                insort(order, new_address)
         self._seq += 1
         self._table.record_move(object_id, new_address)
         self._total_moved += obj.size
@@ -162,3 +243,16 @@ class SimHeap:
             "high-water mark below live span"
         )
         self._occupied.check_invariants()
+        if self._kernel is not None:
+            if self._address_index_ready:
+                expected = sorted(
+                    obj.address for obj in self._table.live_objects()
+                )
+                assert self._address_order == expected, \
+                    "address index drifted"
+                assert all(
+                    self._by_address[addr].address == addr
+                    for addr in self._address_order
+                ), "address map drifted"
+            if hasattr(self._kernel, "check_consistency"):
+                self._kernel.check_consistency(iter(self._occupied))

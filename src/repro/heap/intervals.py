@@ -43,6 +43,7 @@ metrics.
 from __future__ import annotations
 
 import bisect
+from array import array
 from typing import Iterable, Iterator
 
 from .gap_index import GapIndex, SearchStats
@@ -56,8 +57,13 @@ class IntervalSet:
     __slots__ = ("_starts", "_ends", "_gaps", "_covered", "_search_stats")
 
     def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
-        self._starts: list[int] = []
-        self._ends: list[int] = []
+        # Parallel sorted coordinate tables.  Typed ``array('q')`` rather
+        # than lists: same bisect/insert/del algorithmics, but the raw
+        # int64 storage means the vectorized fastpath can lift the whole
+        # table into numpy through the buffer protocol (one C memcpy)
+        # instead of boxing every element.
+        self._starts: array = array("q")
+        self._ends: array = array("q")
         #: Incremental index over the free gaps of [0, span_end).
         self._gaps = GapIndex()
         #: Covered words, maintained across mutations (O(1) ``total``).
@@ -121,6 +127,18 @@ class IntervalSet:
     def search_stats(self) -> SearchStats:
         """Cumulative placement-search counters for this set."""
         return self._search_stats
+
+    def interval_lists(self) -> tuple[array, array]:
+        """Sorted ``(starts, ends)`` coordinate tables, as ``array('q')``.
+
+        Exposed for bulk consumers (the vectorized fastpath) that want
+        to lift the whole interval table into numpy through the buffer
+        protocol instead of iterating interval by interval.  The typed
+        arrays are snapshot *copies* (one C memcpy each — still far
+        cheaper than boxing every element), so callers can hold them
+        across mutations without desynchronizing the index.
+        """
+        return self._starts[:], self._ends[:]
 
     def overlaps(self, start: int, end: int) -> bool:
         """Whether ``[start, end)`` intersects any interval."""
@@ -525,16 +543,16 @@ class IntervalSet:
 
     def clear(self) -> None:
         """Remove every interval."""
-        self._starts.clear()
-        self._ends.clear()
+        del self._starts[:]
+        del self._ends[:]
         self._gaps.clear()
         self._covered = 0
 
     def copy(self) -> "IntervalSet":
         """An independent copy (search counters start fresh)."""
         clone = IntervalSet()
-        clone._starts = list(self._starts)
-        clone._ends = list(self._ends)
+        clone._starts = self._starts[:]
+        clone._ends = self._ends[:]
         clone._gaps = self._gaps.copy()
         clone._covered = self._covered
         return clone
@@ -565,7 +583,7 @@ class IntervalSet:
             f"covered-word count {self._covered} != recomputed {words}"
         )
         expected_gaps = [
-            (s, e) for s, e in zip([0] + self._ends[:-1], self._starts)
+            (s, e) for s, e in zip([0, *self._ends[:-1]], self._starts)
             if s < e
         ]
         self._gaps.check_consistency(expected_gaps)

@@ -268,10 +268,17 @@ def find_relocation_target(
     intersecting the region contributes only its part **above**
     ``avoid_end`` (the part below would re-fragment what is being
     cleared).  Falls back to the free tail past both the covered span
-    and the region.  Kept as a deliberate linear scan: the clipping
-    semantics are not expressible as a plain gap-index query, and
-    evacuations are rare next to placements.
+    and the region.  Kept as a deliberate linear scan on the reference
+    backend: the clipping semantics are not expressible as a plain
+    gap-index query.  With a bitmap kernel attached the same rule runs
+    vectorized over the whole gap array at once
+    (:func:`repro.mm.fastpath.relocation_target` — proven to return the
+    identical address).
     """
+    if heap.kernel is not None:
+        from .fastpath import relocation_target
+
+        return relocation_target(heap, size, avoid_start, avoid_end)
     span_end = heap.occupied.span_end
     for gap_start, gap_end in heap.free_gaps(upto=span_end):
         start = gap_start

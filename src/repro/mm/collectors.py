@@ -121,6 +121,8 @@ class SemispaceManager(MemoryManager):
 
     def _evacuate(self) -> bool:
         """Copy all live objects to the other space; True on success."""
+        if self.heap.kernel is not None:
+            return self._evacuate_fast()
         live = sorted(
             self.heap.objects.live_objects(), key=lambda obj: obj.address
         )
@@ -142,6 +144,45 @@ class SemispaceManager(MemoryManager):
                     return False
                 self.ctx.move(obj.object_id, target)
             if self.heap.objects.is_live(obj.object_id):
+                target += obj.size
+        self._active_base = self._other_base
+        self._bump = target
+        self.collections += 1
+        return True
+
+    def _evacuate_fast(self) -> bool:
+        """The bitmap-kernel evacuation: same decisions, vectorized.
+
+        Three exact equivalences with the reference path above:
+        ``heap.live_words`` *is* the survivor sum (live objects are
+        disjoint and the table maintains the total), so the size and
+        budget gates fire identically — and before any per-object work;
+        the address sort runs through numpy (addresses are unique, so
+        the order is the same); and "would the copy target collide with
+        anything but the object itself" is a range popcount minus the
+        object's own overlap with the target range, which is exactly
+        ``vacated.overlaps(...)`` without materializing the copy.
+        """
+        from .fastpath import live_objects_by_address, range_live_words
+
+        heap = self.heap
+        survivors = heap.live_words
+        if survivors > self.space_words:
+            return False
+        if survivors and not self.ctx.can_afford_move(survivors):
+            return False
+        target = self._other_base
+        for obj in live_objects_by_address(heap):
+            if not self.ctx.can_afford_move(obj.size):
+                return False  # adversary freed mid-copy can shift budget
+            if obj.address != target:
+                occupied = range_live_words(heap, target, target + obj.size)
+                own = min(obj.end, target + obj.size) - max(obj.address,
+                                                            target)
+                if occupied - max(0, own) > 0:
+                    return False
+                self.ctx.move(obj.object_id, target)
+            if heap.objects.is_live(obj.object_id):
                 target += obj.size
         self._active_base = self._other_base
         self._bump = target

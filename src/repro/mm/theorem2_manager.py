@@ -94,12 +94,22 @@ class Theorem2Manager(MemoryManager):
         partition = ChunkPartition(floor_log2(cls))
         best_chunk = None
         best_occupancy: int | None = None
-        for index, occupancy in partition.occupancies(self.heap).items():
-            if occupancy > self.evacuation_fraction * cls:
-                continue
-            if best_occupancy is None or occupancy < best_occupancy:
-                best_chunk = ChunkId(partition.exponent, index)
-                best_occupancy = occupancy
+        if self.heap.kernel is not None:
+            from .fastpath import sparsest_chunk
+
+            found = sparsest_chunk(
+                self.heap, cls, self.evacuation_fraction * cls
+            )
+            if found is not None:
+                best_chunk = ChunkId(partition.exponent, found[0])
+                best_occupancy = found[1]
+        else:
+            for index, occupancy in partition.occupancies(self.heap).items():
+                if occupancy > self.evacuation_fraction * cls:
+                    continue
+                if best_occupancy is None or occupancy < best_occupancy:
+                    best_chunk = ChunkId(partition.exponent, index)
+                    best_occupancy = occupancy
         if best_chunk is None or best_occupancy is None:
             self._evac_state[cls] = (self._layout_epoch, float("inf"))
             return None
@@ -108,10 +118,17 @@ class Theorem2Manager(MemoryManager):
             return None
         self._evac_state.pop(cls, None)
         # Move every live object intersecting the chunk out of it.
-        victims = [
-            obj for obj in self.heap.objects.live_objects()
-            if obj.overlaps_range(best_chunk.start, best_chunk.end)
-        ]
+        if self.heap.kernel is not None:
+            from .fastpath import objects_overlapping
+
+            victims = objects_overlapping(
+                self.heap, best_chunk.start, best_chunk.end
+            )
+        else:
+            victims = [
+                obj for obj in self.heap.objects.live_objects()
+                if obj.overlaps_range(best_chunk.start, best_chunk.end)
+            ]
         for victim in victims:
             if not self.ctx.can_afford_move(victim.size):
                 return None  # partial evacuation; region not reusable

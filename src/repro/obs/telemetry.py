@@ -127,6 +127,7 @@ def run_recorded(
     on_driver=None,
     extra_sinks=None,
     tracer: Tracer | None = None,
+    kernel: str | None = None,
 ) -> "ExecutionResult":
     """Run one fully instrumented execution and persist it.
 
@@ -173,6 +174,7 @@ def run_recorded(
         budget=budget,
         observer=telemetry.bus,
         tracer=live_tracer,
+        kernel=kernel,
     )
     telemetry.bind(driver)
     if on_driver is not None:
@@ -190,7 +192,8 @@ def run_recorded(
     budget_snapshot = result.budget
     config = {"sample_every": sample_every, "record_trace": record_trace,
               "paranoid": paranoid, "trace": live_tracer is not None,
-              "trace_fine": live_tracer is not None and live_tracer.fine}
+              "trace_fine": live_tracer is not None and live_tracer.fine,
+              "kernel": driver.kernel_name}
     if extra_config:
         config.update(extra_config)
     manifest = build_manifest(

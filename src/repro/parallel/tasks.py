@@ -52,11 +52,19 @@ class SimTask:
     manager: str
     program: str
     program_options: tuple[tuple[str, Any], ...] = ()
+    #: Occupancy backend ("reference" or "bitmap").  Resolved at build
+    #: time — not in the worker — so ``REPRO_KERNEL`` set in the parent
+    #: applies even when workers are spawned with a clean environment,
+    #: and the cache key distinguishes backends (their digests must be
+    #: equal, but their wall times must not be conflated).
+    kernel: str = "reference"
 
     @classmethod
     def build(cls, params: BoundParams, manager: str, program: str,
-              **options: Any) -> "SimTask":
+              kernel: str | None = None, **options: Any) -> "SimTask":
         """The convenient constructor: params object + keyword options."""
+        from ..heap.kernel import resolve_kernel
+
         return cls(
             live_space=params.live_space,
             max_object=params.max_object,
@@ -64,6 +72,7 @@ class SimTask:
             manager=manager,
             program=program,
             program_options=tuple(sorted(options.items())),
+            kernel=resolve_kernel(kernel),
         )
 
     @property
@@ -97,6 +106,7 @@ class SimTask:
                 (str(name), value)
                 for name, value in record.get("program_options", ())
             ),
+            kernel=str(record.get("kernel", "reference")),
         )
 
 
@@ -274,7 +284,7 @@ def run_task(task: SimTask, record_root: str | None = None,
         if hasattr(program, "bus"):
             program.bus = bus
         result = run_execution(params, program, manager, observer=bus,
-                               tracer=tracer)
+                               tracer=tracer, kernel=task.kernel)
         return _finish_task(task, result, digest, tracer, task_span)
 
     from .cache import RESULT_FILENAME, task_digest  # local: avoid cycle
@@ -287,6 +297,7 @@ def run_task(task: SimTask, record_root: str | None = None,
         extra_config={"task": task.to_dict(), "cache_key": key},
         extra_sinks=[digest],
         tracer=tracer,
+        kernel=task.kernel,
     )
     task_result = _finish_task(task, result, digest, tracer, task_span)
     payload = task_result.to_dict()

@@ -215,6 +215,94 @@ _FIXTURE_TAINT_ARG = StaticFixture(
 )
 
 
+_FIXTURE_NUMPY_FLOAT_RETURN = StaticFixture(
+    name="numpy-float-into-budget",
+    description=(
+        "budget code consumes a helper built on np.mean: numpy floats "
+        "carry the same ULP hazard as Python floats, so the typed "
+        "boundary must treat np.float producers as taint sources"
+    ),
+    pass_name="float-taint",
+    expect_rule="float-taint",
+    expect_symbol="repro.mm.budget.spent_fraction",
+    files={
+        "src/repro/util/kernel_stats.py": _src("""
+            import numpy as np
+
+
+            def window_cost(costs):
+                return np.mean(costs)
+        """),
+        "src/repro/mm/budget.py": _src("""
+            from repro.util.kernel_stats import window_cost
+
+
+            def spent_fraction(costs):
+                return window_cost(costs)
+        """),
+    },
+    fixed_files={
+        "src/repro/util/kernel_stats.py": _src("""
+            import numpy as np
+
+
+            def window_cost(costs):
+                return int(np.count_nonzero(costs))
+        """),
+        "src/repro/mm/budget.py": _src("""
+            from repro.util.kernel_stats import window_cost
+
+
+            def spent_fraction(costs):
+                return window_cost(costs)
+        """),
+    },
+)
+
+_FIXTURE_NUMPY_INT_BOUNDARY = StaticFixture(
+    name="numpy-float-scalar-arg",
+    description=(
+        "a caller passes np.float64(...) into a budget function typed "
+        "int: the boundary flags the float scalar, while the fixed "
+        "variant's np.int64(...) crosses clean — numpy *integer* "
+        "scalars compare exactly and must not trip the rule"
+    ),
+    pass_name="float-taint",
+    expect_rule="float-taint-arg",
+    expect_symbol="repro.sim.engine.charge_window",
+    files={
+        "src/repro/mm/budget.py": _src("""
+            def charge(amount: int) -> int:
+                return amount * 2
+        """),
+        "src/repro/sim/engine.py": _src("""
+            import numpy as np
+
+            from repro.mm.budget import charge
+
+
+            def charge_window(costs):
+                return charge(np.float64(costs[0]))
+        """),
+    },
+    fixed_files={
+        "src/repro/mm/budget.py": _src("""
+            def charge(amount: int) -> int:
+                return amount * 2
+        """),
+        "src/repro/sim/engine.py": _src("""
+            import numpy as np
+
+            from repro.mm.budget import charge
+
+
+            def charge_window(costs):
+                return charge(np.int64(costs[0]))
+        """),
+    },
+)
+
+
 # ---------------------------------------------------------------------------
 # determinism pass
 # ---------------------------------------------------------------------------
@@ -831,6 +919,8 @@ STATIC_FIXTURES: tuple[StaticFixture, ...] = (
     _FIXTURE_TAINT_RETURN,
     _FIXTURE_TAINT_CALL,
     _FIXTURE_TAINT_ARG,
+    _FIXTURE_NUMPY_FLOAT_RETURN,
+    _FIXTURE_NUMPY_INT_BOUNDARY,
     _FIXTURE_UNORDERED_DICT,
     _FIXTURE_ID_ORDERING,
     _FIXTURE_TIME_READ,

@@ -47,12 +47,37 @@ __all__ = [
     "FloatTaintAnalysis",
     "run_float_taint",
     "MATH_INT_RETURNING",
+    "NUMPY_FLOAT_PRODUCING",
+    "NUMPY_INT_PRODUCING",
 ]
 
 #: ``math`` members that return integers (not taint sources).
 MATH_INT_RETURNING = frozenset({
     "ceil", "floor", "gcd", "lcm", "isqrt", "factorial", "comb", "perm",
     "trunc",
+})
+
+#: The typed boundary for numpy values flowing toward budget-critical
+#: code.  Numpy *integer* scalars compare exactly against Python ints
+#: (both sides are integers below 2**63), so the bitmap kernel may hand
+#: e.g. an ``np.int64`` popcount to the ledger without breaking
+#: Theorem 1's exactness.  Anything float-typed must still be flagged —
+#: an ``np.float64`` carries the same ULP hazard as a Python float.
+NUMPY_FLOAT_PRODUCING = frozenset({
+    "float16", "float32", "float64", "float128", "floating", "double",
+    "half", "single", "longdouble",
+    "mean", "average", "median", "std", "var", "percentile", "quantile",
+    "true_divide", "divide", "sqrt", "cbrt", "exp", "expm1",
+    "log", "log1p", "log2", "log10", "sin", "cos", "tan", "interp",
+    "linspace", "rad2deg", "deg2rad", "hypot",
+})
+
+#: Known integer-scalar producers, declared clean at the boundary.
+NUMPY_INT_PRODUCING = frozenset({
+    "int8", "int16", "int32", "int64", "intp", "int_",
+    "uint8", "uint16", "uint32", "uint64", "uintp", "uint",
+    "bitwise_count", "count_nonzero", "argmin", "argmax",
+    "searchsorted", "packbits", "ndim", "size",
 })
 
 #: Annotation substrings that declare a parameter float-accepting.
@@ -71,6 +96,11 @@ def _is_external_float_source(dotted: str) -> bool:
         return dotted.split(".", 1)[1] not in MATH_INT_RETURNING
     if dotted.startswith("time."):
         return not dotted.endswith("_ns")
+    if dotted.startswith("numpy."):
+        member = dotted.split(".")[-1]
+        if member in NUMPY_INT_PRODUCING:
+            return False
+        return member in NUMPY_FLOAT_PRODUCING
     return False
 
 

@@ -1,0 +1,179 @@
+"""Differential tests: the bitmap kernel against the reference index.
+
+Every query the bitmap kernel answers is also answerable by the
+authoritative :class:`IntervalSet` / pure-Python reference path.  The
+property tests here drive two heaps — one with the kernel sidecar, one
+without — through identical random mutation sequences and require every
+answer to agree exactly: occupancy, gap arrays, range popcounts, chunk
+occupancies, the cheapest-window candidate search, relocation targets,
+and the address-sorted object index.  Exact agreement (not approximate)
+is the contract that makes the two backends digest-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.heap.heap import SimHeap  # noqa: E402
+from repro.heap.kernel import (  # noqa: E402
+    BitmapKernel,
+    KERNEL_ENV_VAR,
+    make_kernel,
+    resolve_kernel,
+)
+
+
+# ---------------------------------------------------------------------------
+# Backend resolution
+# ---------------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert resolve_kernel(None) == "reference"
+        assert make_kernel(None) is None
+
+    def test_env_var_selects_bitmap(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "bitmap")
+        assert resolve_kernel(None) == "bitmap"
+        assert isinstance(make_kernel(None), BitmapKernel)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "bitmap")
+        assert resolve_kernel("reference") == "reference"
+        assert make_kernel("reference") is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("simd")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "fast")
+        with pytest.raises(ValueError):
+            resolve_kernel(None)
+
+
+# ---------------------------------------------------------------------------
+# Random mutation sequences, applied to both backends in lockstep
+# ---------------------------------------------------------------------------
+
+#: One op: (kind, a, b) — interpreted against current heap state, so any
+#: random triple is valid and shrinking stays effective.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["place", "free", "move"]),
+        st.integers(min_value=0, max_value=600),
+        st.integers(min_value=1, max_value=48),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _apply(heaps: tuple[SimHeap, ...], kind: str, a: int, b: int) -> None:
+    """Apply one op to every heap identically (ops are state-dependent
+    but the states are identical, so the interpretations agree)."""
+    lead = heaps[0]
+    if kind == "place":
+        if all(h.is_free(a, b) for h in heaps):
+            for h in heaps:
+                h.place(a, b)
+        return
+    live = sorted(obj.object_id for obj in lead.objects.live_objects())
+    if not live:
+        return
+    victim = live[a % len(live)]
+    if kind == "free":
+        for h in heaps:
+            h.free(victim)
+        return
+    size = lead.objects.require_live(victim).size
+    if all(h.is_free(a, size) for h in heaps):
+        for h in heaps:
+            h.move(victim, a)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_ops)
+def test_bitmap_matches_interval_set(ops):
+    """The kernel's view of occupancy equals the IntervalSet's, always."""
+    heap = SimHeap(kernel=make_kernel("bitmap"))
+    mirror = SimHeap()
+    for kind, a, b in ops:
+        _apply((heap, mirror), kind, a, b)
+    kernel = heap.kernel
+    assert list(kernel.to_intervals()) == list(heap.occupied)
+    assert list(heap.occupied) == list(mirror.occupied)
+    heap.check_invariants()  # includes kernel + address-index cross-checks
+    span = heap.occupied.span_end
+    for start, end in [(0, span), (0, span + 64), (7, 131), (64, 128),
+                       (span // 2, span + 1)]:
+        if end <= start:
+            continue
+        assert kernel.range_popcount(start, end) == \
+            heap.occupied.overlap_words(start, end)
+    starts, ends = kernel.gap_arrays(span)
+    assert list(zip(starts.tolist(), ends.tolist())) == \
+        list(heap.occupied.gaps(0, span))
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops, chunk_exp=st.integers(min_value=3, max_value=7))
+def test_chunk_occupancies_match(ops, chunk_exp):
+    from repro.heap.chunks import ChunkPartition
+
+    heap = SimHeap(kernel=make_kernel("bitmap"))
+    mirror = SimHeap()
+    for kind, a, b in ops:
+        _apply((heap, mirror), kind, a, b)
+    partition = ChunkPartition(chunk_exp)
+    assert partition.occupancies(heap) == partition.occupancies(mirror)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops, size=st.integers(min_value=1, max_value=96))
+def test_placement_answers_match(ops, size):
+    """Cheapest-window and relocation answers agree across backends."""
+    from repro.analysis.defrag import cheapest_interior_window
+
+    from repro.mm.base import find_relocation_target
+
+    heap = SimHeap(kernel=make_kernel("bitmap"))
+    mirror = SimHeap()
+    for kind, a, b in ops:
+        _apply((heap, mirror), kind, a, b)
+    assert cheapest_interior_window(heap, size) == \
+        cheapest_interior_window(mirror, size)
+    span = heap.occupied.span_end
+    for avoid_start, avoid_end in [(0, size), (span // 3, span // 2 + 1),
+                                   (0, max(1, span))]:
+        if avoid_end <= avoid_start:
+            continue
+        assert find_relocation_target(heap, size, avoid_start, avoid_end) \
+            == find_relocation_target(mirror, size, avoid_start, avoid_end)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops, lo=st.integers(min_value=0, max_value=500),
+       width=st.integers(min_value=1, max_value=200))
+def test_objects_in_range_matches_scan(ops, lo, width):
+    heap = SimHeap(kernel=make_kernel("bitmap"))
+    mirror = SimHeap()
+    for kind, a, b in ops:
+        _apply((heap, mirror), kind, a, b)
+    fast = [(o.object_id, o.address) for o in
+            heap.objects_in_range(lo, lo + width)]
+    slow = [(o.object_id, o.address) for o in
+            mirror.objects_in_range(lo, lo + width)]
+    assert fast == slow
+    naive = sorted(
+        (o.object_id, o.address)
+        for o in mirror.objects.live_objects()
+        if o.overlaps_range(lo, lo + width)
+    )
+    assert sorted(fast) == naive

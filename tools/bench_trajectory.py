@@ -9,20 +9,28 @@ moved over time?".  Each invocation appends one record::
       "date": "2026-08-06T12:34:56Z",
       "commit": "8d02b25",
       "sweep": {...},       # `repro sweep` BENCH_JSON (engine stats)
-      "gap_index": {...}    # bench_gap_index results (naive vs indexed)
+      "gap_index": {...},   # bench_gap_index results (naive vs indexed)
+      "sim_pf": {...},      # bench_sim_pf, reference vs bitmap kernel
+      "manager_throughput": {...}  # bench_manager_throughput, both kernels
     }
 
 to the ``records`` list (the file is created on first use), so the
 allocator microbench speedup and the end-to-end sweep wall time travel
-together.  CI runs this in the perf-smoke job and uploads the file as
-an artifact; committing a refreshed file on perf-relevant PRs extends
-the committed trajectory.
+together.  The ``sim_pf`` and ``manager_throughput`` sections run the
+same bench under both heap backends (``REPRO_KERNEL=reference`` and
+``=bitmap``) at the ``--bench-scale`` multiplier and record the wall
+ratio, so the bitmap kernel's speedup is part of the committed
+trajectory.  When numpy is unavailable the bitmap half is skipped and
+the sections record the reference wall only.  CI runs this in the
+perf-smoke job and uploads the file as an artifact; committing a
+refreshed file on perf-relevant PRs extends the committed trajectory.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_trajectory.py [--output PATH]
         [--grid 20,50] [--managers first-fit,best-fit]
-        [--live 4096] [--object 64] [--jobs N]
+        [--live 4096] [--object 64] [--jobs N] [--bench-scale N]
+        [--skip-kernel-benches]
 
 Exit status 0 on success, 2 when a bench or the sweep fails.
 """
@@ -31,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -83,6 +92,105 @@ def run_gap_index_bench() -> dict:
         return json.loads(record.read_text(encoding="utf-8"))
 
 
+def numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_pytest_bench(
+    bench_file: str,
+    *,
+    select: str | None = None,
+    kernel: str = "reference",
+    bench_scale: int = 1,
+) -> list[dict]:
+    """Run one benchmark file under a given heap backend and scale.
+
+    Returns every ``BENCH_*.json`` record the run emitted (one per
+    ``bench_record`` call — parameterized benches emit several).
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-trajectory-") as scratch:
+        command = [
+            sys.executable, "-m", "pytest", bench_file,
+            "-q", "-p", "no:cacheprovider", "--bench-out", scratch,
+        ]
+        if select:
+            command += ["-k", select]
+        env = dict(os.environ)
+        env["REPRO_KERNEL"] = kernel
+        env["REPRO_BENCH_SCALE"] = str(bench_scale)
+        env.setdefault("PYTHONPATH", "src")
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"{bench_file} failed under kernel={kernel} "
+                f"(exit {completed.returncode})"
+            )
+        records = [
+            json.loads(path.read_text(encoding="utf-8"))
+            for path in sorted(Path(scratch).glob("BENCH_*.json"))
+        ]
+        if not records:
+            raise RuntimeError(f"{bench_file} emitted no records")
+        return records
+
+
+def _kernel_comparison(
+    bench_file: str,
+    *,
+    select: str | None,
+    bench_scale: int,
+    with_bitmap: bool,
+) -> dict:
+    """Run a bench under both backends; summarize walls and the ratio."""
+    section: dict = {"bench_scale": bench_scale}
+    for kernel in ("reference", "bitmap") if with_bitmap else ("reference",):
+        records = run_pytest_bench(
+            bench_file, select=select, kernel=kernel, bench_scale=bench_scale
+        )
+        total = sum(record["wall_s"] for record in records)
+        section[kernel] = {
+            "wall_s": round(total, 6),
+            "records": {
+                record["name"]: {
+                    "wall_s": record["wall_s"],
+                    "results": record["results"],
+                }
+                for record in records
+            },
+        }
+    if with_bitmap and section["bitmap"]["wall_s"] > 0:
+        section["speedup"] = round(
+            section["reference"]["wall_s"] / section["bitmap"]["wall_s"], 2
+        )
+    return section
+
+
+def run_sim_pf_section(bench_scale: int, with_bitmap: bool) -> dict:
+    """``bench_sim_pf`` family bench, reference vs bitmap kernel."""
+    return _kernel_comparison(
+        "benchmarks/bench_sim_pf.py",
+        select="test_sim_pf_vs_manager_family",
+        bench_scale=bench_scale,
+        with_bitmap=with_bitmap,
+    )
+
+
+def run_manager_throughput_section(
+    bench_scale: int, with_bitmap: bool
+) -> dict:
+    """``bench_manager_throughput``, reference vs bitmap kernel."""
+    return _kernel_comparison(
+        "benchmarks/bench_manager_throughput.py",
+        select=None,
+        bench_scale=bench_scale,
+        with_bitmap=with_bitmap,
+    )
+
+
 def current_commit() -> str:
     try:
         completed = subprocess.run(
@@ -124,11 +232,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="sweep manager family, comma-separated")
     parser.add_argument("--jobs", type=int, default=1,
                         help="sweep worker processes")
+    parser.add_argument("--bench-scale", type=int, default=1,
+                        metavar="N",
+                        help="REPRO_BENCH_SCALE for the sim_pf section "
+                             "(multiplies the standard M = 8192)")
+    parser.add_argument("--skip-kernel-benches", action="store_true",
+                        help="skip the sim_pf / manager_throughput "
+                             "kernel-comparison sections")
     args = parser.parse_args(argv)
 
+    with_bitmap = numpy_available()
     try:
         sweep = run_sweep(args)
         gap_index = run_gap_index_bench()
+        if args.skip_kernel_benches:
+            sim_pf = manager_throughput = None
+        else:
+            sim_pf = run_sim_pf_section(args.bench_scale, with_bitmap)
+            manager_throughput = run_manager_throughput_section(
+                args.bench_scale, with_bitmap
+            )
         trajectory = load_trajectory(args.output)
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -143,15 +266,26 @@ def main(argv: list[str] | None = None) -> int:
                       "wall_s": gap_index["wall_s"],
                       "results": gap_index["results"]},
     }
+    if sim_pf is not None:
+        record["sim_pf"] = sim_pf
+    if manager_throughput is not None:
+        record["manager_throughput"] = manager_throughput
     trajectory["records"].append(record)
     args.output.write_text(
         json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     speedup = record["gap_index"]["results"].get("speedup")
-    print(f"appended record #{len(trajectory['records'])} to "
-          f"{args.output.name}: sweep {record['sweep']['wall_s']:.3f}s, "
-          f"gap index {speedup}x vs naive")
+    summary = (f"appended record #{len(trajectory['records'])} to "
+               f"{args.output.name}: sweep {record['sweep']['wall_s']:.3f}s, "
+               f"gap index {speedup}x vs naive")
+    if sim_pf is not None and "speedup" in sim_pf:
+        summary += (f", sim_pf bitmap {sim_pf['speedup']}x at scale "
+                    f"{sim_pf['bench_scale']}")
+    if manager_throughput is not None and "speedup" in manager_throughput:
+        summary += (f", manager throughput bitmap "
+                    f"{manager_throughput['speedup']}x")
+    print(summary)
     return 0
 
 

@@ -14,10 +14,11 @@ MODULES = [
     "repro.core.envelope", "repro.core.absolute", "repro.core.series",
     "repro.core.tables",
     "repro.heap", "repro.heap.heap", "repro.heap.intervals",
-    "repro.heap.gap_index",
+    "repro.heap.gap_index", "repro.heap.kernel",
     "repro.heap.object_model", "repro.heap.chunks", "repro.heap.metrics",
     "repro.heap.units", "repro.heap.errors",
-    "repro.mm", "repro.mm.base", "repro.mm.budget", "repro.mm.fits",
+    "repro.mm", "repro.mm.base", "repro.mm.budget", "repro.mm.fastpath",
+    "repro.mm.fits",
     "repro.mm.segregated", "repro.mm.buddy", "repro.mm.compacting",
     "repro.mm.collectors", "repro.mm.randomized", "repro.mm.robson_manager",
     "repro.mm.theorem2_manager", "repro.mm.registry",
