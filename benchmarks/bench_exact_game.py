@@ -1,20 +1,46 @@
 """Exact micro-heap game values vs Robson's closed form.
 
 Ground truth for the framework: the program-vs-manager game is solved
-exactly (attractor computation) at micro parameters and compared against
-Robson's formula M (log2 n / 2 + 1) - n + 1.  The formula matches the
-game value exactly at every point we can afford to solve — independent
-confirmation that the analytic machinery the paper builds on is tight,
-not merely asymptotic.
+exactly (canonical attractor computation) at micro parameters and
+compared against Robson's formula M (log2 n / 2 + 1) - n + 1.  The
+formula matches the game value exactly at every point we can afford to
+solve — independent confirmation that the analytic machinery the paper
+builds on is tight, not merely asymptotic.
+
+Two benches:
+
+* ``test_exact_game_matches_robson`` — the legacy points, solved by the
+  scaled canonical solver *and* by the naive tuple-keyed explorer, so
+  every run re-verifies verdict parity and reports the measured
+  speedup of the reduction.
+* ``test_exact_game_frontier`` — points the naive explorer cannot
+  reach in reasonable time, gated behind ``REPRO_BENCH_SCALE`` (>= 2
+  adds M=8,n=4 and M=10,n=2; >= 4 adds M=12,n=2).  Each frontier value
+  is asserted equal to Robson's formula, extending the exact
+  confirmation beyond the naive explorer's horizon.
 """
+
+import pytest
 
 from repro.analysis import format_table
 from repro.core import robson
 from repro.core.params import BoundParams
-from repro.exact import minimum_heap_words
+from repro.exact import GameSolver, minimum_heap_words, naive_program_wins
+from repro.exact.game import GameConfig
 
 
 POINTS = ((2, 2), (4, 2), (4, 4), (6, 2), (8, 2))
+
+#: (minimum REPRO_BENCH_SCALE, point) — beyond the naive horizon.
+FRONTIER = ((2, (8, 4)), (2, (10, 2)), (4, (12, 2)))
+
+
+def _naive_minimum_heap_words(live, objects):
+    """The pre-reduction reference: a linear walk of naive solves."""
+    heap = live
+    while naive_program_wins(GameConfig(live, objects, heap)):
+        heap += 1
+    return heap
 
 
 def _solve_all():
@@ -29,18 +55,71 @@ def _solve_all():
 def test_exact_game_matches_robson(benchmark, bench_record):
     minimum_heap_words.cache_clear()
     rows = benchmark.pedantic(_solve_all, rounds=1, iterations=1)
+    canonical_seconds = benchmark.stats.stats.total
+
+    # The naive explorer re-derives the same values; its wall time over
+    # the identical points is the denominator of the reported speedup.
+    import time
+
+    naive_start = time.perf_counter()
+    naive_values = {
+        (m, n): _naive_minimum_heap_words(m, n) for m, n in POINTS
+    }
+    naive_seconds = time.perf_counter() - naive_start
+    speedup = naive_seconds / canonical_seconds if canonical_seconds else 0.0
 
     print("\n=== Exact game value vs Robson's formula (no compaction) ===")
     print(format_table(
         ("point", "exact heap (game)", "Robson formula", "waste factor"),
         rows,
     ))
+    print(f"canonical solver: {canonical_seconds:.3f}s   "
+          f"naive explorer: {naive_seconds:.3f}s   "
+          f"speedup: {speedup:.1f}x")
     bench_record(
         "exact_game",
         {"points": [f"M={m},n={n}" for m, n in POINTS]},
         {"rows": [{"point": point, "exact": exact, "formula": formula,
                    "waste_factor": factor}
-                  for point, exact, formula, factor in rows]},
+                  for point, exact, formula, factor in rows],
+         "canonical_seconds": round(canonical_seconds, 6),
+         "naive_seconds": round(naive_seconds, 6),
+         "speedup": round(speedup, 2)},
     )
-    for _, exact, formula, _factor in rows:
+    for (point, exact, formula, _factor), (m, n) in zip(rows, POINTS):
         assert exact == int(formula), "formula-vs-game mismatch"
+        assert exact == naive_values[(m, n)], (
+            f"canonical/naive divergence at {point}"
+        )
+
+
+def test_exact_game_frontier(benchmark, bench_record, scale):
+    points = [point for floor, point in FRONTIER if scale >= floor]
+    if not points:
+        pytest.skip("frontier points need REPRO_BENCH_SCALE >= 2")
+
+    def _solve_frontier():
+        rows = []
+        for m, n in points:
+            solver = GameSolver(m, n)
+            exact = solver.minimum_heap_words()
+            formula = robson.lower_bound_words(BoundParams(m, n))
+            orbits = sum(s.orbits_visited for s in solver.history)
+            rows.append((f"M={m}, n={n}", exact, formula, orbits))
+        return rows
+
+    rows = benchmark.pedantic(_solve_frontier, rounds=1, iterations=1)
+    print("\n=== Frontier game values (beyond the naive horizon) ===")
+    print(format_table(
+        ("point", "exact heap (game)", "Robson formula", "orbits"),
+        rows,
+    ))
+    bench_record(
+        "exact_game_frontier",
+        {"points": [f"M={m},n={n}" for m, n in points]},
+        {"rows": [{"point": point, "exact": exact, "formula": formula,
+                   "orbits": orbits}
+                  for point, exact, formula, orbits in rows]},
+    )
+    for _point, exact, formula, _orbits in rows:
+        assert exact == int(formula), "formula-vs-game mismatch at frontier"

@@ -27,6 +27,9 @@ Commands:
   digest-relevant code, worker picklability/purity, plus the per-module
   lint rules), gated by the committed baseline;
 * ``exact`` — solve the micro-heap game exactly (optionally budgeted);
+* ``solve`` — the scaled exact solver with probe detail: canonical
+  orbits, transposition tables, bracketed search, ``--jobs`` frontier
+  fan-out, result caching and ``solver.*`` manifest counters;
 * ``absolute`` — the Theorem-1 corollary for B-bounded managers;
 * ``verify`` — re-run every reproduction check in one pass;
 * ``managers`` / ``programs`` — list what is available.
@@ -333,6 +336,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allow every size, not just powers of two")
     exact.add_argument("--budget", type=int, default=None,
                        help="solve the budgeted game with B moved words")
+
+    solve = commands.add_parser(
+        "solve",
+        help="scaled exact-game solver (canonical orbits, transposition "
+             "tables, bracketed search, parallel frontier)",
+    )
+    solve.add_argument("--live", type=int, default=8,
+                       help="live-space bound M in words (default 8)")
+    solve.add_argument("--object", type=int, default=2,
+                       help="largest object n in words (default 2)")
+    solve.add_argument("--all-sizes", action="store_true",
+                       help="allow every size, not just powers of two")
+    solve.add_argument("--budget", type=int, default=None,
+                       help="solve the budgeted game with B moved words")
+    solve.add_argument("--search", choices=("auto", "gallop", "linear"),
+                       default="auto",
+                       help="heap-size search strategy (default auto: "
+                            "formula-seeded bracket)")
+    solve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for frontier expansion "
+                            "(default 1; 0 = all available cores)")
+    solve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="on-disk result cache; repeated solves replay "
+                            "the stored value")
+    solve.add_argument("--record", metavar="DIR", default=None,
+                       help="write a run manifest with solver.* counters "
+                            "into DIR")
+    solve.add_argument("--stats", action="store_true",
+                       help="print per-probe solver counters")
 
     absolute = commands.add_parser(
         "absolute", help="Theorem-1 corollary for a B-bounded manager"
@@ -824,7 +856,87 @@ def _cmd_exact(args: argparse.Namespace) -> int:
         args.live, args.object, power_of_two_sizes=not args.all_sizes
     )
     print(f"exact minimum heap for M={args.live}, n={args.object}: "
-          f"{words} words ({factor:.4f} x M)")
+          f"{words} words ({float(factor):.4f} x M)")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .parallel.cache import RESULT_FILENAME, ResultCache
+    from .parallel.engine import default_jobs
+    from .parallel.tasks import (
+        SolveResult,
+        SolveTask,
+        _write_json_atomic,
+        run_solve_task,
+    )
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    task = SolveTask(
+        live_bound=args.live,
+        max_object=args.object,
+        power_of_two_sizes=not args.all_sizes,
+        move_budget=args.budget,
+    )
+    cache = (ResultCache(args.cache_dir, result_type=SolveResult)
+             if args.cache_dir is not None else None)
+    result = cache.get(task) if cache is not None else None
+    if result is None:
+        result = run_solve_task(task, jobs=jobs, search=args.search)
+        if cache is not None:
+            entry = cache.entry_dir(task)
+            entry.mkdir(parents=True, exist_ok=True)
+            payload = result.to_dict()
+            payload["cache_key"] = cache.key_for(task)
+            _write_json_atomic(entry / RESULT_FILENAME, payload)
+            cache.record_executions([result])
+    assert isinstance(result, SolveResult)
+
+    family = f"sizes 1..{args.object}" if args.all_sizes else "P2 sizes"
+    budget_note = (f", B={args.budget}" if args.budget is not None else "")
+    source = "cache" if result.from_cache else f"solved, jobs={jobs}"
+    print(f"exact minimum heap for M={args.live}, n={args.object}"
+          f"{budget_note} ({family}): {result.minimum_heap_words} words "
+          f"[{source}, {result.wall_seconds:.3f}s]")
+    probe_text = ", ".join(
+        f"H={heap}:{'program' if wins else 'manager'}"
+        for heap, wins in result.probes
+    )
+    print(f"probes: {probe_text}")
+    print(f"orbits visited: {result.event_count}")
+    if args.stats:
+        for stats in result.stats:
+            print(
+                f"  H={stats['heap_words']}: orbits={stats['orbits_visited']}"
+                f" edges={stats['edges']} epochs={stats['epochs']}"
+                f" peak_frontier={stats['peak_frontier']}"
+                f" tt_safe={stats['tt_safe_hits']}"
+                f" tt_win={stats['tt_win_hits']}"
+                f" wall={stats['wall_seconds']}s"
+            )
+    if args.record is not None:
+        from .obs.export import build_manifest, write_manifest
+        from .obs.metrics import MetricsRegistry
+        from .obs.telemetry import record_solver_metrics
+
+        registry = MetricsRegistry()
+        record_solver_metrics(registry, list(result.stats))
+        manifest = build_manifest(
+            program="exact-solve",
+            manager="game-solver",
+            params={"live_space": args.live, "max_object": args.object,
+                    "compaction_divisor": None},
+            config={"task": task.to_dict(), "search": args.search,
+                    "jobs": jobs},
+            result={"minimum_heap_words": result.minimum_heap_words,
+                    "probes": [list(pair) for pair in result.probes],
+                    "from_cache": result.from_cache},
+            metrics=registry.as_dict(),
+            wall_seconds=result.wall_seconds,
+            event_count=result.event_count,
+            event_digest=result.event_digest,
+        )
+        path = write_manifest(args.record, manifest)
+        print(f"recorded: {path}")
     return 0
 
 
@@ -869,6 +981,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_staticcheck(args)
         if args.command == "exact":
             return _cmd_exact(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
         if args.command == "absolute":
             return _cmd_absolute(args)
         if args.command == "verify":

@@ -5,6 +5,13 @@ the game value ``H*``; this module extracts the *program's* winning
 strategy at ``H* - 1`` — by attractor ranks, so following it always
 makes progress toward a forced failure.
 
+Like the manager side, extraction runs on the canonical solver (ranks
+mode: full exploration, no transposition shortcuts, breadth-first
+attractor) and decanonicalizes afterwards: the rank-decreasing move
+chosen on each canonical representative is emitted for both
+orientations of the orbit, with ``free`` payloads reflected so the
+successor state matches the orientation of the key it is filed under.
+
 Driven inside the simulator, the extracted adversary forces **every**
 non-moving manager to a heap of at least ``H*``: as long as the manager
 keeps placing within ``[0, H* - 1)`` the program replays its winning
@@ -23,7 +30,9 @@ reproduction can offer:
 from __future__ import annotations
 
 from ..adversary.base import AdversaryProgram, ProgramView
-from .game import GameConfig, State, _explore, minimum_heap_words
+from .canonical import canonical_code, decode_state, mirror_state
+from .game import GameConfig, State, minimum_heap_words
+from .solver import Q_FLAG, GameSolver
 
 __all__ = ["solve_program_strategy", "ExactAdversaryProgram"]
 
@@ -38,52 +47,55 @@ def solve_program_strategy(
     Following the returned moves strictly decreases the attractor rank,
     so play reaches a dead-end manager node in finitely many steps.
     """
-    nodes, successors, predecessors = _explore(config)
-    rank: dict = {}
-    pending_counts = {
-        node: len(successors[node]) for node in nodes if node[0] == "Q"
-    }
-    frontier = [
-        node for node in nodes if node[0] == "Q" and not successors[node]
-    ]
-    for node in frontier:
-        rank[node] = 0
-    queue = list(frontier)
-    while queue:
-        node = queue.pop(0)
-        for pred in predecessors.get(node, ()):
-            if pred in rank:
-                continue
-            if pred[0] == "P":
-                rank[pred] = rank[node] + 1
-                queue.append(pred)
-            else:
-                pending_counts[pred] -= 1
-                if pending_counts[pred] == 0:
-                    rank[pred] = (
-                        max(rank[succ] for succ in successors[pred]) + 1
-                    )
-                    queue.append(pred)
-    if ("P", ()) not in rank:
+    solver = GameSolver(
+        config.live_bound, config.max_object,
+        power_of_two_sizes=config.power_of_two_sizes, use_tt=False,
+    )
+    report = solver.solve(config.heap_words, compute_ranks=True)
+    if not report.program_wins:
         return None
+    assert report.settled, "ranks solve stopped early"
+    heap_words = config.heap_words
+    shift = report.state_shift
+    tag_mask = (1 << shift) - 1
     strategy: dict[State, tuple[str, object]] = {}
-    for node, node_rank in rank.items():
-        if node[0] != "P":
-            continue
-        state = node[1]
+    for key in report.index:
+        if key & tag_mask:
+            continue  # program nodes only (tag 0)
+        node_rank = report.node_rank(key)
+        if node_rank is None:
+            continue  # outside the winning region
+        rep = decode_state(key >> shift)
         best_move: tuple[str, object] | None = None
+        best_mirror: tuple[str, object] | None = None
         best_rank: int | None = None
-        for successor in successors[node]:
-            if successor not in rank or rank[successor] >= node_rank:
+        for index in range(len(rep)):
+            child = rep[:index] + rep[index + 1:]
+            child_rank = report.node_rank(
+                canonical_code(child, heap_words) << shift
+            )
+            if child_rank is None or child_rank >= node_rank:
                 continue
-            if best_rank is None or rank[successor] < best_rank:
-                best_rank = rank[successor]
-                if successor[0] == "P":
-                    best_move = ("free", successor[1])
-                else:
-                    best_move = ("request", successor[2])
+            if best_rank is None or child_rank < best_rank:
+                best_rank = child_rank
+                best_move = ("free", child)
+                best_mirror = ("free", mirror_state(child, heap_words))
+        live = sum(size for _, size in rep)
+        for size in config.sizes:
+            if live + size > config.live_bound:
+                continue
+            child_rank = report.node_rank(key | Q_FLAG | size)
+            if child_rank is None or child_rank >= node_rank:
+                continue
+            if best_rank is None or child_rank < best_rank:
+                best_rank = child_rank
+                best_move = ("request", size)
+                best_mirror = ("request", size)
         assert best_move is not None, "winning P-node without progress move"
-        strategy[state] = best_move
+        assert best_mirror is not None
+        # Mirror first, so palindromic states keep the canonical move.
+        strategy[mirror_state(rep, heap_words)] = best_mirror
+        strategy[rep] = best_move
     return strategy
 
 

@@ -34,6 +34,7 @@ from .game import GameConfig, State, program_moves
 __all__ = [
     "BudgetedConfig",
     "budgeted_manager_actions",
+    "naive_program_wins_budgeted",
     "program_wins_budgeted",
     "minimum_heap_words_budgeted",
     "compaction_value_curve",
@@ -102,13 +103,14 @@ def budgeted_manager_actions(
     return actions
 
 
-def program_wins_budgeted(config: BudgetedConfig) -> bool:
-    """Attractor computation over the budgeted game graph.
+def naive_program_wins_budgeted(config: BudgetedConfig) -> bool:
+    """Reference verdict over the concrete budgeted game graph.
 
     Nodes: ``("P", state, budget)`` and ``("Q", state, size, budget)``.
     The program wins a manager node only if *every* action (moves and
     placements alike) leads into its winning region; a manager node with
     no placement *and* no useful move is an immediate program win.
+    Kept as the differential-test reference for the scaled route.
     """
     initial = ("P", (), config.move_budget)
     nodes = {initial}
@@ -164,11 +166,42 @@ def program_wins_budgeted(config: BudgetedConfig) -> bool:
     return initial in winning
 
 
+def program_wins_budgeted(config: BudgetedConfig) -> bool:
+    """Whether the program beats every ``B``-budgeted manager at ``H``.
+
+    Routed through the scaled :class:`~repro.exact.solver.GameSolver`
+    (budget folded into the node key); parameters beyond the packed
+    encoding fall back to :func:`naive_program_wins_budgeted`.
+    """
+    from .canonical import MAX_HEAP_WORDS
+    from .solver import MAX_MOVE_BUDGET, GameSolver
+
+    base = config.base
+    if (base.heap_words > MAX_HEAP_WORDS
+            or config.move_budget > MAX_MOVE_BUDGET):
+        return naive_program_wins_budgeted(config)
+    solver = GameSolver(
+        base.live_bound, base.max_object,
+        power_of_two_sizes=base.power_of_two_sizes,
+        move_budget=config.move_budget,
+    )
+    return solver.program_wins(base.heap_words)
+
+
 @lru_cache(maxsize=None)
 def minimum_heap_words_budgeted(
     live_bound: int, max_object: int, move_budget: int
 ) -> int:
     """The least heap within which some B-bounded manager always wins."""
+    from .canonical import MAX_HEAP_WORDS
+    from .solver import MAX_MOVE_BUDGET, GameSolver, solver_ceiling
+
+    if (solver_ceiling(live_bound, max_object) <= MAX_HEAP_WORDS
+            and move_budget <= MAX_MOVE_BUDGET):
+        solver = GameSolver(
+            live_bound, max_object, move_budget=move_budget
+        )
+        return solver.minimum_heap_words()
     heap = live_bound
     log_n = max(1, max_object).bit_length() - 1
     ceiling = live_bound * (log_n + 2) + max_object + 1
@@ -176,7 +209,7 @@ def minimum_heap_words_budgeted(
         config = BudgetedConfig(
             GameConfig(live_bound, max_object, heap), move_budget
         )
-        if not program_wins_budgeted(config):
+        if not naive_program_wins_budgeted(config):
             return heap
         heap += 1
     raise AssertionError("budgeted search exceeded the ceiling — solver bug")

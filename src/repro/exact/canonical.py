@@ -1,0 +1,143 @@
+"""Compact state encoding and symmetry reduction for the exact game.
+
+The scaled solver (:mod:`repro.exact.solver`) never stores a
+``State`` tuple per node.  Each sorted segment tuple is packed into a
+single Python integer — 12 bits per segment, ``(address << 6) | size``
+with the first segment in the low bits — so interning, transposition
+lookups and adjacency all operate on machine-friendly ints.  Sizes are
+at least 1, so every 12-bit chunk is non-zero and the encoding is
+prefix-free: decoding peels chunks until the integer runs out.  The
+empty heap encodes as ``0``.
+
+Symmetry.  The heap ``[0, H)`` has exactly one non-trivial symmetry
+that commutes with every game move: **reflection**.  Mirroring a state
+(segment ``(a, s)`` maps to ``(H - a - s, s)``) is a game automorphism —
+frees, requests and placements all commute with it, and the initial
+empty state is self-mirrored — so game values are constant on
+``{s, mirror(s)}`` orbits and the solver may explore one canonical
+representative (the orientation with the smaller encoding) per orbit.
+
+The stronger "gap-permutation" abstraction — identifying states with
+the same multiset of maximal free runs — is **not** sound, which is why
+this module stops at reflection.  Permuting gaps is not a graph
+automorphism: a free can merge two *adjacent* gaps into one long run,
+and which gaps are adjacent depends on the interleaving order that the
+multiset forgets.  Two states with identical run multisets can have
+different game values; ``tests/exact/test_canonical.py`` pins a
+concrete counterexample found by exhaustive search.  The differential
+suite (naive vs canonical verdicts) guards the reduction that *is*
+used.
+
+Addresses and sizes must fit 6 bits, so the packed encoding supports
+heaps up to 63 words — far beyond what attractor computation can
+afford anyway (state counts grow like ``2^H``).
+"""
+
+from __future__ import annotations
+
+from .game import State
+
+__all__ = [
+    "ADDRESS_BITS",
+    "SEGMENT_BITS",
+    "MAX_HEAP_WORDS",
+    "encode_state",
+    "decode_state",
+    "mirror_state",
+    "encode_mirror",
+    "canonical_code",
+    "canonical_pair",
+    "map_placement",
+]
+
+#: Bits per address / size field.  6 bits each bounds the solvable
+#: heap at 63 words; the attractor explodes long before that.
+ADDRESS_BITS = 6
+SEGMENT_BITS = 2 * ADDRESS_BITS
+MAX_HEAP_WORDS = (1 << ADDRESS_BITS) - 1
+
+_SIZE_MASK = (1 << ADDRESS_BITS) - 1
+_CHUNK_MASK = (1 << SEGMENT_BITS) - 1
+
+
+def check_heap_words(heap_words: int) -> None:
+    """Reject heaps the packed encoding cannot address."""
+    if heap_words > MAX_HEAP_WORDS:
+        raise ValueError(
+            f"packed encoding supports heaps up to {MAX_HEAP_WORDS} words, "
+            f"got {heap_words}"
+        )
+
+
+def encode_state(state: State) -> int:
+    """Pack a sorted segment tuple into one integer (low chunk first)."""
+    code = 0
+    for address, size in reversed(state):
+        code = (code << SEGMENT_BITS) | (address << ADDRESS_BITS) | size
+    return code
+
+
+def decode_state(code: int) -> State:
+    """Inverse of :func:`encode_state`."""
+    segments = []
+    while code:
+        chunk = code & _CHUNK_MASK
+        segments.append((chunk >> ADDRESS_BITS, chunk & _SIZE_MASK))
+        code >>= SEGMENT_BITS
+    return tuple(segments)
+
+
+def mirror_state(state: State, heap_words: int) -> State:
+    """The reflected state — sorted, so segment order reverses."""
+    return tuple(
+        (heap_words - address - size, size)
+        for address, size in reversed(state)
+    )
+
+
+def encode_mirror(state: State, heap_words: int) -> int:
+    """``encode_state(mirror_state(state, heap_words))`` without building
+    the intermediate tuple (hot path)."""
+    code = 0
+    for address, size in state:
+        code = ((code << SEGMENT_BITS)
+                | ((heap_words - address - size) << ADDRESS_BITS) | size)
+    return code
+
+
+def canonical_pair(state: State, heap_words: int) -> tuple[int, int]:
+    """``(canonical code, other-orientation code)`` for one state.
+
+    The canonical representative of the orbit ``{s, mirror(s)}`` is the
+    orientation with the numerically smaller encoding; the second
+    element is the encoding of the discarded orientation (equal for
+    palindromic states).  Transposition tables key facts by *both*
+    orientations because the mirror map depends on ``H`` — see
+    :mod:`repro.exact.solver`.
+    """
+    code = encode_state(state)
+    mirrored = encode_mirror(state, heap_words)
+    if code <= mirrored:
+        return code, mirrored
+    return mirrored, code
+
+
+def canonical_code(state: State, heap_words: int) -> int:
+    """Just the canonical orbit representative's encoding."""
+    code = encode_state(state)
+    mirrored = encode_mirror(state, heap_words)
+    return code if code <= mirrored else mirrored
+
+
+def map_placement(
+    address: int, size: int, heap_words: int, mirrored: bool
+) -> int:
+    """Decanonicalize one placement address.
+
+    Strategies are extracted on canonical representatives; when the
+    concrete position at play is the *mirrored* orientation of its
+    orbit, the extracted address must reflect back.
+    """
+    if mirrored:
+        return heap_words - address - size
+    return address

@@ -21,19 +21,30 @@ compaction?*  Formally a safety game:
   failure in finitely many steps).
 
 The program's winning region is the least fixpoint of the classic
-attractor operator; :func:`minimum_heap_words` then walks ``H`` upward
-until the manager wins.  Ground truth from this solver anchors the
-analytic bounds: Robson's formula is exact in the limit, and the tests
-check the solver brackets it correctly at tiny scale.
+attractor operator; :func:`minimum_heap_words` finds the least winning
+``H``.  Ground truth from this solver anchors the analytic bounds:
+Robson's formula is exact in the limit, and the tests check the solver
+brackets it correctly at tiny scale.
+
+Two implementations coexist.  :func:`naive_program_wins` is the
+original tuple-keyed explorer — slow, obviously correct, kept as the
+reference for the parity tool and the differential tests.  The public
+entry points (:func:`program_wins`, :func:`minimum_heap_words`) route
+through the scaled :class:`~repro.exact.solver.GameSolver` (canonical
+orbits, packed encodings, transposition tables, bracketed search) and
+fall back to the naive walk only when the heap exceeds the packed
+encoding's 63-word limit.
 
 No compaction: adding budgeted moves makes the state space infinite
-(the budget accrues without bound).  The c-partial regime is covered by
-the simulation experiments instead.
+(the budget accrues without bound).  The absolute-budget variant lives
+in :mod:`repro.exact.budgeted`; the c-partial regime is covered by the
+simulation experiments instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from fractions import Fraction
 from functools import lru_cache
 from typing import Iterator
 
@@ -42,6 +53,7 @@ __all__ = [
     "State",
     "program_moves",
     "manager_placements",
+    "naive_program_wins",
     "program_wins",
     "minimum_heap_words",
     "exact_waste_factor",
@@ -65,6 +77,10 @@ class GameConfig:
     max_object: int
     heap_words: int
     power_of_two_sizes: bool = True
+    #: The request sizes the program may issue.  Precomputed here —
+    #: ``program_moves`` consults it once per node expansion, so a
+    #: recomputing property sat directly on the hot loop.
+    sizes: tuple[int, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.live_bound < 1:
@@ -75,17 +91,15 @@ class GameConfig:
             raise ValueError(
                 "heap_words below live_bound is trivially unwinnable"
             )
-
-    @property
-    def sizes(self) -> tuple[int, ...]:
-        """The request sizes the program may issue."""
         if self.power_of_two_sizes:
-            return tuple(
+            sizes = tuple(
                 1 << e
                 for e in range(self.max_object.bit_length())
                 if (1 << e) <= self.max_object
             )
-        return tuple(range(1, self.max_object + 1))
+        else:
+            sizes = tuple(range(1, self.max_object + 1))
+        object.__setattr__(self, "sizes", sizes)
 
 
 def _live_words(state: State) -> int:
@@ -163,13 +177,15 @@ def _explore(config: GameConfig) -> tuple[set, dict, dict]:
     return nodes, successors, predecessors
 
 
-def program_wins(config: GameConfig) -> bool:
-    """Whether the program can force an unservable request in ``H`` words.
+def naive_program_wins(config: GameConfig) -> bool:
+    """Reference verdict: attractor over the concrete (tuple-keyed) graph.
 
     Attractor computation: seed with dead-end manager nodes (no legal
     placement), propagate backward — a program node joins when *some*
     successor is winning; a manager node joins when *all* successors
-    are.
+    are.  Kept verbatim as ground truth for the scaled solver: the
+    ``solver-parity`` CI step and the hypothesis differential suite
+    compare :func:`program_wins` against this on micro grids.
     """
     nodes, successors, predecessors = _explore(config)
     winning: set = set()
@@ -197,6 +213,25 @@ def program_wins(config: GameConfig) -> bool:
     return ("P", ()) in winning
 
 
+def program_wins(config: GameConfig) -> bool:
+    """Whether the program can force an unservable request in ``H`` words.
+
+    Routed through the scaled :class:`~repro.exact.solver.GameSolver`
+    (identical verdicts, orders of magnitude faster); heaps beyond the
+    packed encoding's limit fall back to :func:`naive_program_wins`.
+    """
+    from .canonical import MAX_HEAP_WORDS
+    from .solver import GameSolver
+
+    if config.heap_words > MAX_HEAP_WORDS:
+        return naive_program_wins(config)
+    solver = GameSolver(
+        config.live_bound, config.max_object,
+        power_of_two_sizes=config.power_of_two_sizes,
+    )
+    return solver.program_wins(config.heap_words)
+
+
 @lru_cache(maxsize=None)
 def minimum_heap_words(
     live_bound: int, max_object: int, *, power_of_two_sizes: bool = True
@@ -205,12 +240,21 @@ def minimum_heap_words(
     all-sizes family), no compaction: the least ``H`` at which the
     manager wins the safety game.
 
-    Monotone in ``H`` (more room only helps the manager), so a linear
-    walk from ``M`` terminates at the first manager win; Robson's upper
-    bound guarantees termination.
+    Monotone in ``H`` (more room only helps the manager), so the least
+    win exists; Robson's upper bound caps the search.  The scaled
+    solver brackets it (formula-seeded gallop + bisection, sharing one
+    transposition table across probes) instead of walking linearly.
     """
+    from .canonical import MAX_HEAP_WORDS
+    from .solver import GameSolver, solver_ceiling
+
+    if solver_ceiling(live_bound, max_object) <= MAX_HEAP_WORDS:
+        solver = GameSolver(
+            live_bound, max_object, power_of_two_sizes=power_of_two_sizes
+        )
+        return solver.minimum_heap_words()
+    # Parameters beyond the packed encoding: naive linear walk.
     heap = live_bound
-    # Robson's formula (rounded up generously) bounds the search.
     log_n = max(1, max_object).bit_length() - 1
     ceiling = live_bound * (log_n + 2) + max_object + 1
     while heap <= ceiling:
@@ -218,7 +262,7 @@ def minimum_heap_words(
             live_bound, max_object, heap,
             power_of_two_sizes=power_of_two_sizes,
         )
-        if not program_wins(config):
+        if not naive_program_wins(config):
             return heap
         heap += 1
     raise AssertionError(
@@ -228,11 +272,16 @@ def minimum_heap_words(
 
 def exact_waste_factor(
     live_bound: int, max_object: int, *, power_of_two_sizes: bool = True
-) -> float:
-    """:func:`minimum_heap_words` normalized by ``M``."""
-    return (
+) -> Fraction:
+    """:func:`minimum_heap_words` normalized by ``M``, exactly.
+
+    A :class:`~fractions.Fraction` — the same exact-ratio presentation
+    the analysis layer uses — so no float enters budget-critical code
+    and staticcheck's float-taint pass needs no exemption.
+    """
+    return Fraction(
         minimum_heap_words(
             live_bound, max_object, power_of_two_sizes=power_of_two_sizes
-        )
-        / live_bound  # lint: float-ok - presentation-layer ratio
+        ),
+        live_bound,
     )

@@ -1,11 +1,21 @@
 """Optimal manager strategies extracted from the solved game.
 
-Solving the game (:mod:`repro.exact.game`) does more than produce a
+Solving the game (:mod:`repro.exact.solver`) does more than produce a
 number: outside the program's winning region, every manager node has at
 least one placement that stays outside it.  Collecting one such
 placement per reachable state yields a *complete optimal strategy* — a
 manager that provably serves every program in the family within the
 exact minimum heap.
+
+Extraction runs on the canonical solver, so each orbit is solved once
+and the strategy is **decanonicalized** afterwards: placements chosen
+on the canonical representative are emitted for *both* orientations of
+the orbit (the mirrored state gets the reflected address, via
+:func:`~repro.exact.canonical.map_placement`), so lookups by the
+concrete simulator state always hit regardless of which orientation is
+at play.  Extraction solves with the transposition table disabled —
+verdict transfer across heap sizes is sound for *values*, but a
+strategy needs every node's status derived at this exact ``H``.
 
 :class:`OptimalMicroManager` wraps that strategy as a
 :class:`~repro.mm.base.MemoryManager`, so the optimum can be *driven* in
@@ -19,7 +29,9 @@ tests can assert the optimum never needed the fallback in-family.
 from __future__ import annotations
 
 from ..mm.base import MemoryManager, find_first_fit
-from .game import GameConfig, State, _explore, manager_placements, minimum_heap_words
+from .canonical import canonical_code, decode_state, map_placement, mirror_state
+from .game import GameConfig, State, _fits, minimum_heap_words
+from .solver import Q_FLAG, SIZE_MASK, GameSolver
 
 __all__ = ["solve_strategy", "OptimalMicroManager"]
 
@@ -29,44 +41,47 @@ def solve_strategy(config: GameConfig) -> dict[tuple[State, int], int] | None:
     when the program wins at this heap size (no strategy exists).
 
     The returned placement keeps the game outside the program's winning
-    region, so following it forever never reaches a dead end.
+    region, so following it forever never reaches a dead end.  Keys
+    cover both orientations of every explored orbit; the placement is
+    the lowest safe address on the canonical representative, reflected
+    for the mirrored orientation.
     """
-    nodes, successors, predecessors = _explore(config)
-    winning: set = set()
-    pending_counts = {
-        node: len(successors[node]) for node in nodes if node[0] == "Q"
-    }
-    frontier = [
-        node for node in nodes if node[0] == "Q" and not successors[node]
-    ]
-    winning.update(frontier)
-    while frontier:
-        node = frontier.pop()
-        for pred in predecessors.get(node, ()):
-            if pred in winning:
-                continue
-            if pred[0] == "P":
-                winning.add(pred)
-                frontier.append(pred)
-            else:
-                pending_counts[pred] -= 1
-                if pending_counts[pred] == 0:
-                    winning.add(pred)
-                    frontier.append(pred)
-    if ("P", ()) in winning:
+    solver = GameSolver(
+        config.live_bound, config.max_object,
+        power_of_two_sizes=config.power_of_two_sizes, use_tt=False,
+    )
+    report = solver.solve(config.heap_words)
+    if report.program_wins:
         return None
+    # Manager-win solves always run to completion (the root is never
+    # marked winning mid-flight), so every explored node's status is
+    # final — exactly what picking safe placements requires.
+    assert report.settled, "manager-win solve stopped early"
+    heap_words = config.heap_words
+    shift = report.state_shift
+    tag_mask = (1 << shift) - 1
     strategy: dict[tuple[State, int], int] = {}
-    for node in nodes:
-        if node[0] != "Q" or node in winning:
+    for key in report.index:
+        tag = key & tag_mask
+        if not tag & Q_FLAG or report.is_winning(key):
             continue
-        _, state, size = node
-        for placed in manager_placements(config, state, size):
-            if ("P", placed) not in winning:
-                # Recover the address from the added segment.
-                added = set(placed) - set(state)
-                address = next(iter(added))[0]
-                strategy[(state, size)] = address
-                break
+        size = tag & SIZE_MASK
+        rep = decode_state(key >> shift)
+        for address in range(heap_words - size + 1):
+            if not _fits(rep, address, size, heap_words):
+                continue
+            placed = tuple(sorted(rep + ((address, size),)))
+            child_key = canonical_code(placed, heap_words) << shift
+            if report.is_winning(child_key):
+                continue
+            # Mirror first: for palindromic states both writes share a
+            # key and the canonical (lowest-address) choice must win.
+            mirrored = mirror_state(rep, heap_words)
+            strategy[(mirrored, size)] = map_placement(
+                address, size, heap_words, True
+            )
+            strategy[(rep, size)] = address
+            break
         else:  # pragma: no cover - contradicts the attractor computation
             raise AssertionError("losing manager node outside winning region")
     return strategy

@@ -13,7 +13,7 @@ persist a ``manifest.json`` / ``events.jsonl`` pair.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Sequence, Union
 
 from .events import EventBus
 from .export import (
@@ -36,6 +36,7 @@ __all__ = [
     "Telemetry",
     "run_recorded",
     "record_placement_metrics",
+    "record_solver_metrics",
     "DEFAULT_SAMPLE_EVERY",
 ]
 
@@ -111,6 +112,42 @@ def record_placement_metrics(
     stats = driver.heap.occupied.search_stats
     for name, value in stats.as_dict().items():
         registry.counter(f"placement.{name}").inc(value)
+
+
+#: Per-probe exact-solver counters lifted into ``solver.*`` metrics.
+_SOLVER_COUNTER_KEYS = (
+    "orbits_visited",
+    "p_orbits",
+    "q_orbits",
+    "raw_successors",
+    "edges",
+    "epochs",
+    "tt_safe_hits",
+    "tt_win_hits",
+    "winning_orbits",
+    "safe_orbits",
+)
+
+
+def record_solver_metrics(
+    registry: MetricsRegistry, stats_dicts: "Sequence[dict]"
+) -> None:
+    """Lift exact-solver probe counters into ``solver.*`` metrics.
+
+    ``stats_dicts`` is a sequence of
+    :meth:`repro.exact.solver.SolveStats.as_dict` records (one per heap
+    size probed — the shape both a live ``GameSolver.history`` and a
+    cached :class:`~repro.parallel.tasks.SolveResult` provide).
+    Counters accumulate across probes; ``solver.peak_frontier`` is a
+    gauge holding the widest frontier any probe reached, and
+    ``solver.probes`` counts the solves themselves.
+    """
+    peak = registry.gauge("solver.peak_frontier")
+    for stats in stats_dicts:
+        registry.counter("solver.probes").inc()
+        for key in _SOLVER_COUNTER_KEYS:
+            registry.counter(f"solver.{key}").inc(int(stats.get(key, 0)))
+        peak.set(max(peak.value, int(stats.get("peak_frontier", 0))))
 
 
 def run_recorded(

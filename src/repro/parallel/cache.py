@@ -31,7 +31,10 @@ import time
 from pathlib import Path
 from typing import Union
 
-from .tasks import SimTask, TaskResult
+from .tasks import SimTask, SolveResult, SolveTask, TaskResult
+
+_AnyTask = Union[SimTask, SolveTask]
+_AnyResult = Union[TaskResult, SolveResult]
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -57,7 +60,7 @@ def _code_version() -> str:
     return f"{__version__}+cache{CACHE_SCHEMA}"
 
 
-def task_digest(task: SimTask, *, code_version: str | None = None) -> str:
+def task_digest(task: _AnyTask, *, code_version: str | None = None) -> str:
     """The cache key: SHA-256 of (task spec, code version)."""
     record = task.to_dict()
     record["code_version"] = (code_version if code_version is not None
@@ -74,11 +77,22 @@ class ResultCache:
     resolves keys, reads completed entries back, and appends the
     execution manifest from the parent process (one writer, no append
     races).
+
+    ``result_type`` selects the record class entries decode into:
+    :class:`~repro.parallel.tasks.TaskResult` (simulations, the
+    default) or :class:`~repro.parallel.tasks.SolveResult` (exact-game
+    solves).  Any type with ``from_dict`` / a ``task`` field /
+    ``event_digest`` / ``event_count`` / ``wall_seconds`` fits; task
+    specs embed a ``kind`` so the two families never share a key even
+    in one directory.
     """
 
-    def __init__(self, directory: _PathLike) -> None:
+    def __init__(self, directory: _PathLike,
+                 result_type: "type[TaskResult] | type[SolveResult]"
+                 = TaskResult) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.result_type = result_type
         #: Lookup counters for this instance's lifetime.  ``evictions``
         #: counts entries *deleted* by :meth:`get` because they were
         #: unreadable or did not match their key (tampering / digest
@@ -87,15 +101,15 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
 
-    def key_for(self, task: SimTask) -> str:
+    def key_for(self, task: _AnyTask) -> str:
         """The task's cache key."""
         return task_digest(task)
 
-    def entry_dir(self, task: SimTask) -> Path:
+    def entry_dir(self, task: _AnyTask) -> Path:
         """Where the task's run directory lives (existing or not)."""
         return self.directory / self.key_for(task)
 
-    def get(self, task: SimTask) -> TaskResult | None:
+    def get(self, task: _AnyTask) -> _AnyResult | None:
         """The cached result, or None on a miss / incomplete entry.
 
         Unreadable or mismatched entries are *evicted* (the entry
@@ -109,7 +123,7 @@ class ResultCache:
             return None
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
-            result = TaskResult.from_dict(record)
+            result = self.result_type.from_dict(record)
         except (ValueError, KeyError, TypeError):
             self._evict(entry)
             return None
@@ -136,7 +150,7 @@ class ResultCache:
         """The append-only execution log."""
         return self.directory / CACHE_MANIFEST_FILENAME
 
-    def record_executions(self, results: list[TaskResult]) -> None:
+    def record_executions(self, results: "list[TaskResult] | list[SolveResult]") -> None:
         """Append one manifest line per freshly executed result."""
         if not results:
             return

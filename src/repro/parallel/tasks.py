@@ -33,7 +33,15 @@ from ..mm.registry import create_manager
 from ..obs.events import EventBus, TelemetryEvent
 from ..obs.trace import Tracer
 
-__all__ = ["SimTask", "TaskResult", "StreamDigest", "run_task"]
+__all__ = [
+    "SimTask",
+    "TaskResult",
+    "SolveTask",
+    "SolveResult",
+    "StreamDigest",
+    "run_task",
+    "run_solve_task",
+]
 
 
 @dataclass(frozen=True)
@@ -207,6 +215,154 @@ class TaskResult:
             wall_seconds=float(record["wall_seconds"]),
             from_cache=True,
         )
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One exact-game solve: parameters in, the game value out.
+
+    The solve analogue of :class:`SimTask` — a picklable, JSON-able
+    spec that hashes into a :class:`~repro.parallel.cache.ResultCache`
+    key, so repeated ``repro solve`` invocations replay the cached
+    value instead of re-running the attractor.  ``jobs`` and search
+    strategy are deliberately *not* part of the spec: they change wall
+    time, never the value, and must not fragment the cache.
+    """
+
+    live_bound: int
+    max_object: int
+    power_of_two_sizes: bool = True
+    move_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.live_bound < 1:
+            raise ValueError("live_bound must be at least 1")
+        if not 1 <= self.max_object <= self.live_bound:
+            raise ValueError("need 1 <= max_object <= live_bound")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding; ``kind`` keeps solve keys disjoint from
+        simulation keys in a shared cache directory."""
+        return {
+            "kind": "exact-solve",
+            "live_bound": self.live_bound,
+            "max_object": self.max_object,
+            "power_of_two_sizes": self.power_of_two_sizes,
+            "move_budget": self.move_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "SolveTask":
+        """Inverse of :meth:`to_dict`."""
+        budget = record.get("move_budget")
+        return cls(
+            live_bound=int(record["live_bound"]),
+            max_object=int(record["max_object"]),
+            power_of_two_sizes=bool(record.get("power_of_two_sizes", True)),
+            move_budget=int(budget) if budget is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """The outcome of one :class:`SolveTask`, cache-shaped.
+
+    ``probes`` is the deterministic ``(heap_words, program_wins)``
+    sequence the bracketed search actually ran; ``event_digest`` hashes
+    the task, value and probe verdicts (not timings), so identical
+    inputs produce identical digests at any ``--jobs`` value — the same
+    determinism anchor the simulation tasks carry.
+    """
+
+    task: SolveTask
+    minimum_heap_words: int
+    probes: tuple[tuple[int, bool], ...]
+    stats: tuple[dict, ...]
+    event_digest: str
+    event_count: int
+    wall_seconds: float = field(compare=False)
+    from_cache: bool = field(default=False, compare=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding (cache ``result.json`` schema)."""
+        return {
+            "task": self.task.to_dict(),
+            "minimum_heap_words": self.minimum_heap_words,
+            "probes": [list(pair) for pair in self.probes],
+            "stats": [dict(entry) for entry in self.stats],
+            "event_digest": self.event_digest,
+            "event_count": self.event_count,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "SolveResult":
+        """Inverse of :meth:`to_dict`; always marks the result cached."""
+        return cls(
+            task=SolveTask.from_dict(record["task"]),
+            minimum_heap_words=int(record["minimum_heap_words"]),
+            probes=tuple(
+                (int(heap), bool(wins)) for heap, wins in record["probes"]
+            ),
+            stats=tuple(dict(entry) for entry in record["stats"]),
+            event_digest=str(record["event_digest"]),
+            event_count=int(record["event_count"]),
+            wall_seconds=float(record["wall_seconds"]),
+            from_cache=True,
+        )
+
+
+def solve_digest(task: SolveTask, value: int,
+                 probes: tuple[tuple[int, bool], ...]) -> str:
+    """The canonical digest over a solve's deterministic surface."""
+    import json
+
+    payload = json.dumps(
+        {"task": task.to_dict(), "minimum_heap_words": value,
+         "probes": [list(pair) for pair in probes]},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def run_solve_task(task: SolveTask, jobs: int = 1,
+                   search: str = "auto") -> SolveResult:
+    """Execute one exact solve and package the cacheable result.
+
+    Runs in the parent process — the parallelism (``jobs > 1``) lives
+    *inside* the solver's frontier expansion, not across tasks.
+    """
+    import time
+
+    from ..exact.solver import GameSolver
+
+    engine = None
+    if jobs > 1:
+        from .engine import ParallelEngine
+
+        engine = ParallelEngine(jobs=jobs)
+    started = time.perf_counter()
+    solver = GameSolver(
+        task.live_bound, task.max_object,
+        power_of_two_sizes=task.power_of_two_sizes,
+        move_budget=task.move_budget,
+        engine=engine,
+    )
+    value = solver.minimum_heap_words(search=search)
+    wall = time.perf_counter() - started
+    probes = tuple(
+        (entry.heap_words, entry.program_wins) for entry in solver.history
+    )
+    stats = tuple(entry.as_dict() for entry in solver.history)
+    return SolveResult(
+        task=task,
+        minimum_heap_words=value,
+        probes=probes,
+        stats=stats,
+        event_digest=solve_digest(task, value, probes),
+        event_count=sum(entry.orbits_visited for entry in solver.history),
+        wall_seconds=wall,
+    )
 
 
 class StreamDigest:

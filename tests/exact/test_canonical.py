@@ -1,0 +1,237 @@
+"""Tests for the packed state encoding and the reflection symmetry.
+
+Includes the load-bearing negative result: the "gap-permutation"
+abstraction (identify states by their multiset of maximal free runs
+plus live sizes) is NOT a sound reduction — a concrete counterexample,
+found by exhaustive search over every state at M=6, n=2, H=8, is
+pinned below.  Reflection is the symmetry the solver actually uses,
+and its soundness properties are exercised here.
+"""
+
+import pytest
+
+from repro.exact.canonical import (
+    MAX_HEAP_WORDS,
+    canonical_code,
+    canonical_pair,
+    check_heap_words,
+    decode_state,
+    encode_mirror,
+    encode_state,
+    map_placement,
+    mirror_state,
+)
+from repro.exact.game import GameConfig, manager_placements, program_moves
+
+# A representative batch of sorted segment states within a 10-word heap.
+_STATES = [
+    (),
+    ((0, 1),),
+    ((3, 2),),
+    ((0, 2), (4, 1), (7, 3)),
+    ((1, 1), (2, 2), (6, 1)),
+    ((0, 4), (5, 4)),
+    ((2, 1), (4, 1), (6, 1), (8, 1)),
+]
+_HEAP = 10
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("state", _STATES)
+    def test_roundtrip(self, state):
+        assert decode_state(encode_state(state)) == state
+
+    def test_empty_is_zero(self):
+        assert encode_state(()) == 0
+        assert decode_state(0) == ()
+
+    def test_first_segment_in_low_bits(self):
+        code = encode_state(((3, 2), (7, 1)))
+        assert code & 0xFFF == (3 << 6) | 2
+
+    def test_encoding_is_injective(self):
+        codes = {encode_state(state) for state in _STATES}
+        assert len(codes) == len(_STATES)
+
+    def test_heap_guard(self):
+        check_heap_words(MAX_HEAP_WORDS)  # boundary is fine
+        with pytest.raises(ValueError):
+            check_heap_words(MAX_HEAP_WORDS + 1)
+
+
+class TestMirror:
+    @pytest.mark.parametrize("state", _STATES)
+    def test_involution(self, state):
+        assert mirror_state(mirror_state(state, _HEAP), _HEAP) == state
+
+    @pytest.mark.parametrize("state", _STATES)
+    def test_mirror_stays_sorted(self, state):
+        mirrored = mirror_state(state, _HEAP)
+        assert mirrored == tuple(sorted(mirrored))
+
+    @pytest.mark.parametrize("state", _STATES)
+    def test_encode_mirror_matches_composition(self, state):
+        assert encode_mirror(state, _HEAP) == encode_state(
+            mirror_state(state, _HEAP)
+        )
+
+    @pytest.mark.parametrize("state", _STATES)
+    def test_canonical_code_orientation_invariant(self, state):
+        mirrored = mirror_state(state, _HEAP)
+        assert canonical_code(state, _HEAP) == canonical_code(
+            mirrored, _HEAP
+        )
+
+    @pytest.mark.parametrize("state", _STATES)
+    def test_canonical_pair_is_both_orientations(self, state):
+        code, other = canonical_pair(state, _HEAP)
+        assert code <= other
+        assert {code, other} == {
+            encode_state(state), encode_mirror(state, _HEAP)
+        }
+
+    def test_map_placement(self):
+        # Placing 2 words at address 1 in a 10-word heap mirrors to 7.
+        assert map_placement(1, 2, _HEAP, mirrored=False) == 1
+        assert map_placement(1, 2, _HEAP, mirrored=True) == 7
+
+
+class TestMirrorIsGameAutomorphism:
+    """Move-by-move commutation — the actual soundness argument."""
+
+    @pytest.mark.parametrize("state", _STATES)
+    def test_program_moves_commute(self, state):
+        config = GameConfig(10, 2, _HEAP)
+        mirrored = mirror_state(state, _HEAP)
+        direct = set()
+        for kind, payload in program_moves(config, state):
+            if kind == "free":
+                direct.add(("free", mirror_state(payload, _HEAP)))
+            else:
+                direct.add(("request", payload))
+        through = {
+            (kind, payload if kind == "request" else payload)
+            for kind, payload in program_moves(config, mirrored)
+        }
+        assert direct == through
+
+    @pytest.mark.parametrize("state", _STATES)
+    @pytest.mark.parametrize("size", [1, 2])
+    def test_placements_commute(self, state, size):
+        config = GameConfig(10, 2, _HEAP)
+        mirrored = mirror_state(state, _HEAP)
+        direct = {
+            mirror_state(placed, _HEAP)
+            for placed in manager_placements(config, state, size)
+        }
+        through = set(manager_placements(config, mirrored, size))
+        assert direct == through
+
+
+# ---------------------------------------------------------------------------
+# The pinned gap-permutation counterexample
+# ---------------------------------------------------------------------------
+
+#: Two states at M=6, n=2, H=8 with *identical* free-run multisets
+#: (one maximal run of 2 words) and identical live-size multisets
+#: (six 1-word objects) — yet opposite game values.  Found by
+#: exhaustive search over every state of that configuration (smaller
+#: grids — M=4 at H=6..7, M=6 at H=7 — contain no mismatch at all,
+#: which is exactly why the unsound abstraction looks plausible).
+_COUNTER_CONFIG = (6, 2, 8)
+_COUNTER_PROGRAM_WINS = ((0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (7, 1))
+_COUNTER_MANAGER_WINS = ((0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (5, 1))
+
+
+def _free_runs(state, heap_words):
+    occupied = [False] * heap_words
+    for address, size in state:
+        for word in range(address, address + size):
+            occupied[word] = True
+    runs = []
+    cursor = 0
+    while cursor < heap_words:
+        if occupied[cursor]:
+            cursor += 1
+            continue
+        end = cursor
+        while end < heap_words and not occupied[end]:
+            end += 1
+        runs.append(end - cursor)
+        cursor = end
+    return tuple(sorted(runs))
+
+
+def _subgame_program_wins(config, root_state):
+    """Naive attractor with an arbitrary root (the reference verdict)."""
+    initial = ("P", root_state)
+    nodes = {initial}
+    successors = {}
+    stack = [initial]
+    while stack:
+        node = stack.pop()
+        if node[0] == "P":
+            outs = []
+            for kind, payload in program_moves(config, node[1]):
+                if kind == "free":
+                    outs.append(("P", payload))
+                else:
+                    outs.append(("Q", node[1], payload))
+        else:
+            _, state, size = node
+            outs = [
+                ("P", placed)
+                for placed in manager_placements(config, state, size)
+            ]
+        successors[node] = outs
+        for nxt in outs:
+            if nxt not in nodes:
+                nodes.add(nxt)
+                stack.append(nxt)
+    predecessors = {}
+    for node, outs in successors.items():
+        for nxt in outs:
+            predecessors.setdefault(nxt, []).append(node)
+    pending = {n: len(successors[n]) for n in nodes if n[0] == "Q"}
+    frontier = [n for n in nodes if n[0] == "Q" and not successors[n]]
+    winning = set(frontier)
+    while frontier:
+        node = frontier.pop()
+        for pred in predecessors.get(node, ()):
+            if pred in winning:
+                continue
+            if pred[0] == "P":
+                winning.add(pred)
+                frontier.append(pred)
+            else:
+                pending[pred] -= 1
+                if pending[pred] == 0:
+                    winning.add(pred)
+                    frontier.append(pred)
+    return initial in winning
+
+
+class TestGapPermutationIsUnsound:
+    def test_counterexample_has_equal_abstractions(self):
+        _, _, heap = _COUNTER_CONFIG
+        assert _free_runs(_COUNTER_PROGRAM_WINS, heap) == _free_runs(
+            _COUNTER_MANAGER_WINS, heap
+        )
+        assert sorted(s for _, s in _COUNTER_PROGRAM_WINS) == sorted(
+            s for _, s in _COUNTER_MANAGER_WINS
+        )
+
+    def test_counterexample_verdicts_differ(self):
+        live, objects, heap = _COUNTER_CONFIG
+        config = GameConfig(live, objects, heap)
+        assert _subgame_program_wins(config, _COUNTER_PROGRAM_WINS)
+        assert not _subgame_program_wins(config, _COUNTER_MANAGER_WINS)
+
+    def test_reflection_preserves_verdicts_on_the_counterexample(self):
+        """The reduction the solver *does* use survives the same probe."""
+        live, objects, heap = _COUNTER_CONFIG
+        config = GameConfig(live, objects, heap)
+        for state in (_COUNTER_PROGRAM_WINS, _COUNTER_MANAGER_WINS):
+            assert _subgame_program_wins(config, state) == (
+                _subgame_program_wins(config, mirror_state(state, heap))
+            )

@@ -1,0 +1,97 @@
+"""Differential suites guarding the canonical reduction.
+
+Two hypothesis-driven checks back the scaled solver's soundness story:
+
+(a) the canonical solver and the naive tuple-keyed explorer return the
+    same ``program_wins`` verdict on a randomized micro-grid (both
+    request-size families, budgeted and not);
+
+(b) strategies extracted from the canonical solver really are optimal
+    in the simulator: :class:`~repro.exact.strategy.OptimalMicroManager`
+    never exceeds the game value against any program in the adversary
+    catalog.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.catalog import make_program, program_names
+from repro.adversary.driver import run_execution
+from repro.core.params import BoundParams
+from repro.exact import (
+    GameConfig,
+    GameSolver,
+    OptimalMicroManager,
+    minimum_heap_words,
+    naive_program_wins,
+)
+from repro.exact.budgeted import BudgetedConfig, naive_program_wins_budgeted
+
+# Micro parameters the naive reference can afford inside a test run.
+_micro_params = st.tuples(
+    st.integers(min_value=1, max_value=5),   # live bound M
+    st.integers(min_value=1, max_value=5),   # max object n (clamped to M)
+    st.integers(min_value=0, max_value=4),   # heap slack above M
+    st.booleans(),                           # power-of-two family
+)
+
+
+class TestVerdictParity:
+    @settings(max_examples=60, deadline=None)
+    @given(_micro_params)
+    def test_canonical_matches_naive(self, params):
+        live, objects, slack, power_of_two = params
+        objects = min(objects, live)
+        heap = live + slack
+        config = GameConfig(
+            live, objects, heap, power_of_two_sizes=power_of_two
+        )
+        solver = GameSolver(
+            live, objects, power_of_two_sizes=power_of_two
+        )
+        assert solver.program_wins(heap) == naive_program_wins(config)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_micro_params, st.integers(min_value=0, max_value=2))
+    def test_budgeted_canonical_matches_naive(self, params, budget):
+        live, objects, slack, power_of_two = params
+        live = min(live, 4)  # budgeted graphs grow much faster
+        objects = min(objects, live)
+        heap = live + slack
+        config = BudgetedConfig(
+            GameConfig(live, objects, heap,
+                       power_of_two_sizes=power_of_two),
+            budget,
+        )
+        solver = GameSolver(
+            live, objects, power_of_two_sizes=power_of_two,
+            move_budget=budget,
+        )
+        assert solver.program_wins(heap) == (
+            naive_program_wins_budgeted(config)
+        )
+
+
+class TestExtractedStrategyIsOptimal:
+    """(b): the canonical solver's strategies hold the exact bound."""
+
+    # P_F targets c-partial managers and refuses construction without a
+    # finite compaction divisor (and its Stage II cannot run at micro
+    # scale anyway); OptimalMicroManager is non-moving, so the bound it
+    # certifies is out of P_F's scope.
+    @pytest.mark.parametrize(
+        "program_name",
+        [name for name in program_names() if name != "pf"],
+    )
+    def test_never_exceeds_game_value(self, program_name):
+        live, objects = 6, 2
+        params = BoundParams(live, objects)
+        value = minimum_heap_words(live, objects)
+        manager = OptimalMicroManager(live, objects)
+        program = make_program(program_name, params)
+        result = run_execution(params, program, manager)
+        assert result.heap_size <= value, (
+            f"{program_name} pushed the optimal manager past the game "
+            f"value {value}"
+        )

@@ -91,6 +91,16 @@ class TestGameValue:
     def test_waste_factor(self):
         assert exact_waste_factor(4, 2) == pytest.approx(5 / 4)
 
+    def test_waste_factor_is_exact_rational(self):
+        """No float leaves the budget-critical scope: the ratio is a
+        ``Fraction``, exact even where a float would round."""
+        from fractions import Fraction
+
+        factor = exact_waste_factor(6, 2)
+        assert isinstance(factor, Fraction)
+        assert factor == Fraction(8, 6)
+        assert exact_waste_factor(4, 2) == Fraction(5, 4)
+
     def test_all_sizes_at_least_powers(self):
         """Letting the program use every size can only help it."""
         pow2 = minimum_heap_words(4, 2, power_of_two_sizes=True)

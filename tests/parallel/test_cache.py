@@ -77,6 +77,66 @@ class TestResultCache:
         assert ResultCache(tmp_path).execution_count() == 0
 
 
+class TestSolveResultCache:
+    """Solve entries share the directory but never a key."""
+
+    def _solve_cache(self, tmp_path):
+        from repro.parallel.tasks import SolveResult
+
+        return ResultCache(tmp_path, result_type=SolveResult)
+
+    def _store(self, cache, result):
+        from repro.parallel.tasks import _write_json_atomic
+
+        entry = cache.entry_dir(result.task)
+        entry.mkdir(parents=True, exist_ok=True)
+        payload = result.to_dict()
+        payload["cache_key"] = cache.key_for(result.task)
+        _write_json_atomic(entry / RESULT_FILENAME, payload)
+
+    def test_roundtrip(self, tmp_path):
+        from repro.parallel.tasks import SolveTask, run_solve_task
+
+        cache = self._solve_cache(tmp_path)
+        task = SolveTask(live_bound=4, max_object=2)
+        assert cache.get(task) is None
+        executed = run_solve_task(task)
+        self._store(cache, executed)
+        hit = cache.get(task)
+        assert hit is not None
+        assert hit.from_cache
+        assert hit == executed  # wall_seconds/from_cache excluded
+        assert hit.minimum_heap_words == 5
+
+    def test_every_field_is_load_bearing(self, tmp_path):
+        from repro.parallel.tasks import SolveTask
+
+        base = task_digest(SolveTask(4, 2))
+        assert task_digest(SolveTask(5, 2)) != base
+        assert task_digest(SolveTask(4, 3)) != base
+        assert task_digest(SolveTask(4, 2, power_of_two_sizes=False)) != base
+        assert task_digest(SolveTask(4, 2, move_budget=1)) != base
+
+    def test_solve_keys_disjoint_from_sim_keys(self):
+        from repro.parallel.tasks import SolveTask
+
+        # Even a shared directory cannot alias the two families: the
+        # solve spec embeds "kind": "exact-solve".
+        solve_keys = {task_digest(SolveTask(m, 2)) for m in (2, 4, 6)}
+        assert task_digest(_task()) not in solve_keys
+
+    def test_digest_is_jobs_invariant(self):
+        from repro.parallel.tasks import SolveTask, run_solve_task
+
+        task = SolveTask(live_bound=4, max_object=2)
+        first = run_solve_task(task, jobs=1)
+        second = run_solve_task(task, jobs=1, search="linear")
+        # Search order may differ (different probes => different
+        # digest), but the same search is bit-stable.
+        assert first.event_digest == run_solve_task(task).event_digest
+        assert first.minimum_heap_words == second.minimum_heap_words
+
+
 class TestUnknownProgram:
     def test_run_task_rejects_unknown_program(self):
         with pytest.raises(ValueError, match="unknown program"):

@@ -96,6 +96,39 @@ class TestMisc:
         out = capsys.readouterr().out
         assert "B=2" in out and "5 words" in out
 
+    def test_solve(self, capsys):
+        assert main(["solve", "--live", "4", "--object", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact minimum heap for M=4, n=2" in out
+        assert "5 words" in out
+        assert "probes:" in out
+
+    def test_solve_stats_and_budget(self, capsys):
+        assert main(["solve", "--live", "4", "--object", "2",
+                     "--budget", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "B=2" in out and "5 words" in out
+        assert "peak_frontier=" in out
+
+    def test_solve_cache_roundtrip(self, tmp_path, capsys):
+        cache_dir = tmp_path / "solve-cache"
+        argv = ["solve", "--live", "4", "--object", "2",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "solved, jobs=" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "[cache," in warm
+        assert "5 words" in warm
+
+    def test_solve_record_writes_manifest(self, tmp_path, capsys):
+        target = tmp_path / "solve-run"
+        assert main(["solve", "--live", "4", "--object", "2",
+                     "--record", str(target)]) == 0
+        assert "recorded:" in capsys.readouterr().out
+        assert (target / "manifest.json").is_file()
+
     def test_absolute(self, capsys):
         assert main(["absolute", "--budget", str(1 << 24)]) == 0
         out = capsys.readouterr().out

@@ -11,7 +11,9 @@ moved over time?".  Each invocation appends one record::
       "sweep": {...},       # `repro sweep` BENCH_JSON (engine stats)
       "gap_index": {...},   # bench_gap_index results (naive vs indexed)
       "sim_pf": {...},      # bench_sim_pf, reference vs bitmap kernel
-      "manager_throughput": {...}  # bench_manager_throughput, both kernels
+      "manager_throughput": {...},  # bench_manager_throughput, both kernels
+      "exact_game": {...}   # exact-solver benches: speedup vs naive,
+                            # frontier points (bench-scale >= 2)
     }
 
 to the ``records`` list (the file is created on first use), so the
@@ -191,6 +193,36 @@ def run_manager_throughput_section(
     )
 
 
+def run_exact_game_section(bench_scale: int) -> dict:
+    """The exact-solver benches: parity/speedup plus frontier points.
+
+    ``bench_exact_game`` measures the canonical solver against the
+    naive explorer on the legacy points (the recorded ``speedup``) and,
+    at ``bench_scale >= 2``, solves frontier points beyond the naive
+    horizon (each asserted equal to Robson's formula before the record
+    is emitted).  ``bench_budgeted_game`` rides along so the budgeted
+    solver's wall time is part of the same trajectory.
+    """
+    section: dict = {"bench_scale": bench_scale}
+    records = run_pytest_bench(
+        "benchmarks/bench_exact_game.py", bench_scale=bench_scale
+    )
+    records += run_pytest_bench(
+        "benchmarks/bench_budgeted_game.py", bench_scale=bench_scale
+    )
+    section["records"] = {
+        record["name"]: {
+            "wall_s": record["wall_s"],
+            "results": record["results"],
+        }
+        for record in records
+    }
+    exact = section["records"].get("exact_game", {}).get("results", {})
+    if "speedup" in exact:
+        section["speedup"] = exact["speedup"]
+    return section
+
+
 def current_commit() -> str:
     try:
         completed = subprocess.run(
@@ -239,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-kernel-benches", action="store_true",
                         help="skip the sim_pf / manager_throughput "
                              "kernel-comparison sections")
+    parser.add_argument("--skip-solver-benches", action="store_true",
+                        help="skip the exact_game solver section")
     args = parser.parse_args(argv)
 
     with_bitmap = numpy_available()
@@ -252,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
             manager_throughput = run_manager_throughput_section(
                 args.bench_scale, with_bitmap
             )
+        exact_game = (None if args.skip_solver_benches
+                      else run_exact_game_section(args.bench_scale))
         trajectory = load_trajectory(args.output)
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -270,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         record["sim_pf"] = sim_pf
     if manager_throughput is not None:
         record["manager_throughput"] = manager_throughput
+    if exact_game is not None:
+        record["exact_game"] = exact_game
     trajectory["records"].append(record)
     args.output.write_text(
         json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
@@ -285,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
     if manager_throughput is not None and "speedup" in manager_throughput:
         summary += (f", manager throughput bitmap "
                     f"{manager_throughput['speedup']}x")
+    if exact_game is not None and "speedup" in exact_game:
+        summary += (f", exact solver {exact_game['speedup']}x vs naive")
     print(summary)
     return 0
 
