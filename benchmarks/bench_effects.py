@@ -1,0 +1,90 @@
+"""Benchmark: the concurrency tier (effect summaries), cold and warm.
+
+The effect inference walks every function body once per fixpoint
+iteration and the four concurrency passes share one memoized
+:class:`~repro.staticcheck.effects.EffectAnalysis` per (program,
+config), so the whole tier should price like *one* extra interprocedural
+pass, not four.  This bench pins that:
+
+* a **cold** run of the four passes over ``src/repro`` + ``tools``
+  stays under ``BUDGET_SECONDS``;
+* a **warm** run against the same cache re-analyzes **zero** modules
+  (the program passes themselves are uncached, so the warm run still
+  re-proves the tier — the property under test is that the *module*
+  tier scales with the diff while the effect fixpoint stays cheap);
+* the summary fixpoint itself is measured apart from the passes
+  (functions summarized per second), so an inference regression and a
+  pass regression are distinguishable in the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.staticcheck.base import StaticCheckConfig
+from repro.staticcheck.effects import EffectAnalysis
+from repro.staticcheck.runner import (
+    default_paths,
+    repo_root,
+    run_staticcheck,
+)
+
+#: Hard wall-clock ceiling for one cold concurrency-tier run (ISSUE 10).
+BUDGET_SECONDS = 20.0
+
+_CONCURRENCY_RULES = ["worker-shared-state", "fork-unsafe-resource",
+                      "cache-key-completeness", "merge-order"]
+
+
+def test_concurrency_tier_cold_and_warm_under_budget(bench_record, tmp_path):
+    root = repo_root()
+    scope = default_paths(root)
+    cache_dir = tmp_path / "staticcheck-cache"
+
+    started = time.perf_counter()
+    cold = run_staticcheck(scope, root=root, rules=_CONCURRENCY_RULES,
+                           cache_dir=cache_dir)
+    cold_s = time.perf_counter() - started
+    assert cold_s < BUDGET_SECONDS, (
+        f"cold concurrency tier took {cold_s:.2f}s on "
+        f"{cold.files_checked} files (budget {BUDGET_SECONDS}s)"
+    )
+    assert not cold.parse_errors
+    assert cold.ok, "\n".join(f.describe(root) for f in cold.findings)
+
+    started = time.perf_counter()
+    warm = run_staticcheck(scope, root=root, rules=_CONCURRENCY_RULES,
+                           cache_dir=cache_dir)
+    warm_s = time.perf_counter() - started
+    assert warm.modules_reanalyzed == 0, (
+        "warm run re-analyzed modules despite an unchanged tree"
+    )
+    assert warm.ok
+
+    # The effect fixpoint alone, apart from the four passes.
+    started = time.perf_counter()
+    analysis = EffectAnalysis(cold.program, StaticCheckConfig())
+    fixpoint_s = time.perf_counter() - started
+    summarized = len(analysis.summaries)
+    effects = sum(len(s.effects) for s in analysis.summaries.values())
+
+    print(f"concurrency tier: {cold.files_checked} files cold "
+          f"{cold_s:.2f}s, warm {warm_s:.2f}s; {summarized} summaries, "
+          f"{effects} effects in {fixpoint_s:.2f}s")
+    bench_record(
+        "concurrency_tier",
+        params={
+            "files": cold.files_checked,
+            "rules": ",".join(_CONCURRENCY_RULES),
+            "budget_s": BUDGET_SECONDS,
+        },
+        results={
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_reanalyzed": warm.modules_reanalyzed,
+            "summaries": summarized,
+            "effects": effects,
+            "fixpoint_s": round(fixpoint_s, 4),
+            "findings": len(cold.findings),
+        },
+    )

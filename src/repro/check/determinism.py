@@ -63,7 +63,9 @@ def _field_order(cls: type) -> tuple[str, ...]:
         ["kind"] + [field.name for field in _dataclass_fields(cls)
                     if field.name not in _NONDETERMINISTIC_FIELDS]
     ))
-    _FIELD_ORDER_CACHE[cls] = order
+    # Idempotent memo: the value is a pure function of ``cls``, so a
+    # worker recomputing it writes the identical tuple the parent would.
+    _FIELD_ORDER_CACHE[cls] = order  # lint: effect-ok(worker-shared-state)
     return order
 
 
@@ -91,7 +93,9 @@ def canonical_event_bytes(event: TelemetryEvent) -> bytes:
     the full event corpus.
     """
     cls = type(event)
-    order = _FIELD_ORDER_CACHE.get(cls)
+    # Memo read: every entry is deterministic in ``cls`` (see
+    # ``_field_order``), so the cache key already covers it.
+    order = _FIELD_ORDER_CACHE.get(cls)  # lint: effect-ok(cache-key-completeness)
     if order is None:
         order = _field_order(cls)
     parts = []

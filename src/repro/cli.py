@@ -749,10 +749,18 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
     from .staticcheck.runner import repo_root, run_staticcheck
 
     if args.list_rules:
-        for spec in rule_catalog():
-            ids = ", ".join(spec.rule_ids)
-            print(f"{spec.name} [{spec.kind}] ({ids})")
-            print(f"    {spec.description}")
+        from .staticcheck.base import TIERS
+
+        catalog = rule_catalog()
+        for tier in TIERS:
+            specs = [spec for spec in catalog if spec.tier == tier]
+            if not specs:
+                continue
+            print(f"{tier} tier:")
+            for spec in specs:
+                ids = ", ".join(spec.rule_ids)
+                print(f"  {spec.name} [{spec.kind}] ({ids})")
+                print(f"      {spec.description}")
         return 0
 
     root = repo_root()

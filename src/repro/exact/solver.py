@@ -128,6 +128,14 @@ def formula_guess(live_bound: int, max_object: int) -> int:
 
 
 def _numpy_csr_enabled() -> bool:
+    """Whether the vectorized CSR successor kernel is allowed.
+
+    Value-neutral by contract: both backends are pinned byte-identical
+    by the parity suites, so the toggle may stay out of the result
+    cache key (``StaticCheckConfig.cache_neutral_env_vars`` declares
+    ``REPRO_SOLVER_NUMPY``; the ``cache-key-completeness`` rule holds
+    every other env read in solve scope to the digest).
+    """
     return os.environ.get(_ENV_NO_NUMPY, "1") != "0"
 
 

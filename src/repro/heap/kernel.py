@@ -87,6 +87,14 @@ def resolve_kernel(name: str | None = None) -> str:
     Raises ``ValueError`` on an unknown name (from either source), so a
     typo in the environment fails loudly instead of silently running
     the other backend.
+
+    Cache-key contract: the env read below is reachable from cached
+    task results, which is sound only because ``SimTask.build`` resolves
+    the kernel parent-side into ``SimTask.kernel`` — part of the task
+    digest.  ``REPRO_KERNEL`` is declared in
+    ``StaticCheckConfig.cache_keyed_env_vars``; the staticcheck
+    ``cache-key-completeness`` rule flags any *new* env read here that
+    lacks such a declaration.
     """
     if name is None:
         name = os.environ.get(KERNEL_ENV_VAR) or "reference"

@@ -101,6 +101,15 @@ class ParallelEngine:
         adopted here — one lane per worker process — so a parallel
         sweep's timeline renders next to a serial run's.  Digest-neutral
         like all tracing.
+
+    Statically enforced contracts (``repro staticcheck``, concurrency
+    tier): code reachable from the worker entry points must not write
+    shared state (``worker-shared-state``) or touch module-level
+    resources created before the fork (``fork-unsafe-resource``), and
+    the merge paths here — :meth:`run`, :meth:`map`,
+    ``_adopt_traces`` — must not iterate unordered containers of
+    worker output (``merge-order``); together they are the static half
+    of the byte-identical serial/parallel guarantee.
     """
 
     jobs: int = 1

@@ -18,6 +18,13 @@ properties the paper's claims rest on, *interprocedurally*:
   interval analysis proving ledger counters non-negative and the
   cross-multiplication exact), **invariant-safety**, **alias-escape**
   and **dead-flow** (:mod:`~repro.staticcheck.flowpasses`);
+* the **concurrency tier** (:mod:`~repro.staticcheck.effects`,
+  :mod:`~repro.staticcheck.concurrency`) — per-function effect
+  summaries iterated to fixpoint (shared-state writes, env/time/RNG/
+  filesystem reads, resource acquisition) feeding four passes:
+  **worker-shared-state**, **fork-unsafe-resource**,
+  **cache-key-completeness** and **merge-order** — the static proof
+  behind the engine's byte-identical serial/parallel contract;
 * the seven per-module lint rules migrated from ``tools/lint_repro.py``
   (:mod:`~repro.staticcheck.rules_lint`).
 
@@ -42,6 +49,7 @@ from .baseline import Baseline, BaselineEntry
 from .cache import ModuleCache, package_fingerprint
 from .callgraph import CallGraph, build_call_graph
 from .cfg import CFG, Block, build_cfg
+from .concurrency import effect_exempt_lines
 from .dataflow import (
     DataflowAnalysis,
     IntervalAnalysis,
@@ -51,6 +59,7 @@ from .dataflow import (
     ReachingDefinitions,
     solve,
 )
+from .effects import Effect, EffectAnalysis, EffectSummary, effect_analysis
 from .model import FunctionInfo, ModuleInfo, Program, module_name_for
 from .output import render_text, to_json, to_sarif
 from .runner import (
@@ -74,6 +83,11 @@ __all__ = [
     "package_fingerprint",
     "CallGraph",
     "build_call_graph",
+    "Effect",
+    "EffectAnalysis",
+    "EffectSummary",
+    "effect_analysis",
+    "effect_exempt_lines",
     "CFG",
     "Block",
     "build_cfg",

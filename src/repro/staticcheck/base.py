@@ -53,12 +53,15 @@ __all__ = [
     "rule_catalog",
     "pragma_lines",
     "exempt_lines",
+    "statement_spans",
     "fingerprint_findings",
     "FLOAT_OK_PRAGMA",
     "DETERMINISM_OK_PRAGMA",
     "PICKLE_OK_PRAGMA",
     "INVARIANT_OK_PRAGMA",
     "DEADFLOW_OK_PRAGMA",
+    "EFFECT_OK_PRAGMA",
+    "TIERS",
 ]
 
 #: Pragma suppressing the float rules (``no-float``, the taint pass and
@@ -72,6 +75,15 @@ PICKLE_OK_PRAGMA = "lint: pickle-ok"
 INVARIANT_OK_PRAGMA = "lint: invariant-ok"
 #: Pragma suppressing the dead-flow pass (dead stores / unreachable code).
 DEADFLOW_OK_PRAGMA = "lint: deadflow-ok"
+#: Pragma family suppressing the concurrency tier.  Bare
+#: ``# lint: effect-ok`` silences every concurrency rule on the
+#: statement; ``# lint: effect-ok(worker-shared-state)`` silences one
+#: rule only (see :func:`repro.staticcheck.concurrency.effect_exempt_lines`
+#: — plain substring matching cannot tell the two forms apart).
+EFFECT_OK_PRAGMA = "lint: effect-ok"
+
+#: Analysis tiers, in the order the rule catalog presents them.
+TIERS = ("lexical", "interprocedural", "dataflow", "concurrency")
 
 
 class Severity:
@@ -192,9 +204,20 @@ def exempt_lines(tree: "ast.Module", source: str, pragma: str) -> set[int]:
     ``if`` header from silencing the whole suite below it: only when no
     simple statement covers the line does the compound statement win.
     """
+    carriers = pragma_lines(source, pragma)
+    return statement_spans(tree, carriers)
+
+
+def statement_spans(tree: "ast.Module", carriers: set[int]) -> set[int]:
+    """Expand pragma-carrier lines to their covering statement spans.
+
+    The span half of :func:`exempt_lines`, exposed separately so passes
+    with *parametrized* pragmas (``# lint: effect-ok(<rule>)``) can
+    classify the carrier lines themselves and still inherit the exact
+    statement-span semantics every other pragma has.
+    """
     import ast
 
-    carriers = pragma_lines(source, pragma)
     if not carriers:
         return set()
     # (span start, span end, last exempted line): a simple statement
@@ -282,6 +305,54 @@ class StaticCheckConfig:
         "src/repro/heap",
         "src/repro/mm",
     )
+    #: Functions dispatched through ``ParallelEngine.map`` (as opposed
+    #: to the ``run_task`` entry in ``worker_entry_points``); together
+    #: they root the concurrency tier's worker-reachable scope.
+    worker_map_functions: tuple[str, ...] = (
+        "repro.staticcheck.runner._analyze_module_payload",
+        "repro.exact.solver._expand_shard",
+    )
+    #: Functions whose return value lands in the content-addressed
+    #: ``ResultCache`` — every input they (transitively) consult must be
+    #: part of the task digest, or the cache serves stale results.
+    cached_result_functions: tuple[str, ...] = (
+        "repro.parallel.tasks.run_task",
+        "repro.parallel.tasks.run_solve_task",
+    )
+    #: Environment variables that *do* flow into the cache key: resolved
+    #: parent-side into a task field (``SimTask.kernel`` carries
+    #: ``REPRO_KERNEL``), so a read in cached scope is already keyed.
+    cache_keyed_env_vars: tuple[str, ...] = ("REPRO_KERNEL",)
+    #: Environment variables declared value-neutral: they may toggle an
+    #: internal backend but provably never change a cached result
+    #: (``REPRO_SOLVER_NUMPY`` switches the CSR successor kernel, whose
+    #: outputs the parity suites pin byte-identical to the reference).
+    cache_neutral_env_vars: tuple[str, ...] = ("REPRO_SOLVER_NUMPY",)
+    #: External callables whose module-level call binds a process-wide
+    #: resource (fork-hostile: the child inherits the parent's copy).
+    resource_factories: tuple[str, ...] = (
+        "open", "threading.Lock", "threading.RLock",
+        "threading.Condition", "threading.Semaphore",
+        "threading.BoundedSemaphore", "threading.Event",
+        "socket.socket", "random.Random",
+    )
+    #: Program classes whose instances hold fork-hostile state (locks,
+    #: buffers, sinks) when constructed at module level, pre-fork.
+    resource_classes: tuple[str, ...] = (
+        "repro.obs.trace.Tracer",
+        "repro.obs.events.EventBus",
+    )
+    #: Reducer/merge functions fed by *ordered* parallel results; they
+    #: must not iterate unordered containers of worker output.
+    merge_functions: tuple[str, ...] = (
+        "repro.parallel.engine.ParallelEngine.run",
+        "repro.parallel.engine.ParallelEngine.map",
+        "repro.parallel.engine.ParallelEngine._adopt_traces",
+        "repro.exact.solver.GameSolver._expand_epoch",
+        "repro.staticcheck.runner._run_rules",
+        "repro.analysis.sweep.simulation_sweep",
+        "repro.analysis.experiments._engine_rows",
+    )
 
     def in_invariant_scope(self, relpath: str) -> bool:
         """Whether ``relpath`` is subject to paired-mutation analysis."""
@@ -321,6 +392,9 @@ class RuleSpec:
     func: Callable = field(compare=False)
     #: Rule ids this spec may report (SARIF rule catalog entries).
     rule_ids: tuple[str, ...] = ()
+    #: Analysis tier (one of :data:`TIERS`) — how ``--list-rules``
+    #: groups the catalog.
+    tier: str = "lexical"
 
 
 #: Every registered rule/pass, in registration order.
@@ -334,23 +408,25 @@ def _register(spec: RuleSpec) -> None:
 
 
 def module_rule(name: str, description: str,
-                rule_ids: tuple[str, ...] = ()) -> Callable[
+                rule_ids: tuple[str, ...] = (),
+                tier: str = "lexical") -> Callable[
                     [ModuleRuleFunc], ModuleRuleFunc]:
     """Register a per-module rule under ``name``."""
     def decorate(func: ModuleRuleFunc) -> ModuleRuleFunc:
         _register(RuleSpec(name, "module", description, func,
-                           rule_ids or (name,)))
+                           rule_ids or (name,), tier))
         return func
     return decorate
 
 
 def program_pass(name: str, description: str,
-                 rule_ids: tuple[str, ...] = ()) -> Callable[
+                 rule_ids: tuple[str, ...] = (),
+                 tier: str = "interprocedural") -> Callable[
                      [ProgramPassFunc], ProgramPassFunc]:
     """Register a whole-program pass under ``name``."""
     def decorate(func: ProgramPassFunc) -> ProgramPassFunc:
         _register(RuleSpec(name, "program", description, func,
-                           rule_ids or (name,)))
+                           rule_ids or (name,), tier))
         return func
     return decorate
 
@@ -358,9 +434,9 @@ def program_pass(name: str, description: str,
 def rule_catalog() -> list[RuleSpec]:
     """Every registered spec (importing the rule modules first)."""
     # Import for side effects: each module registers its rules on import.
-    from . import (budget_range, determinism, flowpasses, picklecheck,
-                   rules_lint, taint)
+    from . import (budget_range, concurrency, determinism, flowpasses,
+                   picklecheck, rules_lint, taint)
 
-    _ = (budget_range, determinism, flowpasses, picklecheck, rules_lint,
-         taint)
+    _ = (budget_range, concurrency, determinism, flowpasses, picklecheck,
+         rules_lint, taint)
     return list(RULE_REGISTRY.values())

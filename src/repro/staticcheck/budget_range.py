@@ -452,6 +452,7 @@ def _expected_raise_lines(node: ast.AST) -> set[int]:
     "non-negative, cross-multiplications exact-integer, callers checked "
     "against validator summaries",
     rule_ids=("budget-negative", "budget-int", "budget-call"),
+    tier="dataflow",
 )
 def check_budget_range(program: Program,
                        config: StaticCheckConfig) -> Iterator[Finding]:

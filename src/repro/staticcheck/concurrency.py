@@ -1,0 +1,462 @@
+"""The concurrency tier: four passes over the effect summaries.
+
+The parallel engine's contract is *byte-identical serial/parallel runs
+served from a content-addressed cache* (PR 3); the runtime can only
+falsify that contract after the fact, one lucky schedule at a time.
+These passes prove the code cannot break it, using the
+:mod:`repro.staticcheck.effects` summaries plus the augmented
+reachability they carry (constructor edges, ``functools.partial``):
+
+* ``worker-shared-state`` — nothing reachable from a worker entry point
+  (``run_task``, the ``ParallelEngine.map`` workers) may write shared
+  mutable state: module globals, module-level containers (own module or
+  imported), class attributes, or a module-level mutable passed into a
+  callee that mutates the matching parameter.  Extends the pickle
+  pass's purity rule from "picklable" to "effect-free on shared state".
+* ``fork-unsafe-resource`` — a resource bound at module level (open
+  file, lock, tracer, event bus, RNG instance) is created *before* the
+  pool forks; worker-side code that touches it operates on the parent's
+  duplicated handle, so buffers tear and locks deadlock.  Flagged at
+  the worker-side reference.
+* ``cache-key-completeness`` — everything that influences a cached
+  result must flow into the task digest.  Flags env reads in
+  cached-result scope whose variable is neither parent-side-keyed
+  (``cache_keyed_env_vars``) nor declared value-neutral
+  (``cache_neutral_env_vars``), and reads of module-level mutables that
+  some function elsewhere mutates at runtime — both with
+  ``root -> ... -> reader`` provenance chains like float-taint's.
+* ``merge-order`` — reducer functions fed by *ordered* parallel results
+  (``merge_functions``) must not iterate unordered containers: a set
+  (hash-seed order) or an unsorted directory listing re-randomizes the
+  exact order the engine worked to preserve.
+
+Suppression: ``# lint: effect-ok`` silences every concurrency rule on
+the statement; ``# lint: effect-ok(<rule>)`` silences exactly one rule
+(see :func:`effect_exempt_lines` — the framework's substring pragmas
+cannot make that distinction on their own).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .base import (
+    EFFECT_OK_PRAGMA,
+    Finding,
+    StaticCheckConfig,
+    pragma_lines,
+    program_pass,
+    statement_spans,
+)
+from .effects import EffectAnalysis, effect_analysis
+from .model import ModuleInfo, Program
+
+__all__ = [
+    "effect_exempt_lines",
+    "run_worker_shared_state",
+    "run_fork_unsafe_resource",
+    "run_cache_key_completeness",
+    "run_merge_order",
+]
+
+#: ``effect-ok`` *not* followed by ``(``: the bare, rule-agnostic form.
+_BARE_PRAGMA = re.compile(re.escape(EFFECT_OK_PRAGMA) + r"(?!\()")
+
+
+def effect_exempt_lines(module: ModuleInfo, rule: str) -> set[int]:
+    """Lines exempt from ``rule``, honouring both pragma forms.
+
+    ``module.exempt`` matches pragmas by substring, so the bare
+    ``lint: effect-ok`` would also match every parametrized
+    ``lint: effect-ok(other-rule)`` comment.  This helper classifies
+    each carrier line itself: a line is a carrier for ``rule`` when its
+    comment says ``effect-ok(rule)`` or names no rule at all.
+    """
+    carriers = pragma_lines(module.source, EFFECT_OK_PRAGMA)
+    if not carriers:
+        return set()
+    lines = module.source.splitlines()
+    selected: set[int] = set()
+    specific = f"{EFFECT_OK_PRAGMA}({rule})"
+    for lineno in carriers:
+        text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        if specific in text or _BARE_PRAGMA.search(text):
+            selected.add(lineno)
+    return statement_spans(module.tree, selected)
+
+
+def _worker_roots(program: Program, config: StaticCheckConfig) -> list[str]:
+    names = (tuple(config.worker_entry_points)
+             + tuple(config.worker_map_functions))
+    return sorted({
+        resolved for name in names
+        if (resolved := program.resolve_symbol(name)) is not None
+    })
+
+
+def _scope_functions(analysis: EffectAnalysis,
+                     parents: dict[str, str | None]) -> Iterator[str]:
+    """Scope members that are real, non-module-body program functions."""
+    for qualname in sorted(parents):
+        function = analysis.program.functions.get(qualname)
+        if function is None or function.is_module_body:
+            continue
+        yield qualname
+
+
+@program_pass(
+    "worker-shared-state",
+    "functions reachable from the parallel workers (run_task and the "
+    "ParallelEngine.map dispatch targets) must not write shared mutable "
+    "state: module globals, class attributes, or globals mutated "
+    "through a callee's parameter",
+    tier="concurrency",
+)
+def run_worker_shared_state(program: Program,
+                            config: StaticCheckConfig) -> Iterator[Finding]:
+    """Flag every shared-state write in worker-reachable code."""
+    analysis = effect_analysis(program, config)
+    parents = analysis.reachable(_worker_roots(program, config))
+    for qualname in _scope_functions(analysis, parents):
+        function = program.functions[qualname]
+        module = program.modules[function.module]
+        exempt = effect_exempt_lines(module, "worker-shared-state")
+        summary = analysis.summaries[qualname]
+        seen: set[tuple[str, int]] = set()
+        for effect in summary.direct:
+            if effect.kind != "shared-write":
+                continue
+            if effect.line in exempt:
+                continue
+            if (effect.detail, effect.line) in seen:
+                continue
+            seen.add((effect.detail, effect.line))
+            chain = EffectAnalysis.chain(parents, qualname)
+            yield Finding(
+                module.path, effect.line, "worker-shared-state",
+                f"worker-reachable ({chain}) writes {effect.detail}: "
+                "worker processes never share the write back, so serial "
+                "and parallel runs diverge; carry state through the task "
+                "and its result instead",
+                symbol=qualname, source="concurrency",
+            )
+
+
+@program_pass(
+    "fork-unsafe-resource",
+    "resources bound at module level (open files, locks, tracers, "
+    "event buses, RNG instances) are created before the pool forks and "
+    "must not be used on the worker side",
+    tier="concurrency",
+)
+def run_fork_unsafe_resource(program: Program,
+                             config: StaticCheckConfig) -> Iterator[Finding]:
+    """Flag worker-side references to pre-fork module-level resources."""
+    analysis = effect_analysis(program, config)
+    parents = analysis.reachable(_worker_roots(program, config))
+    bindings = _module_resource_bindings(program, config)
+    if not bindings:
+        return
+    for qualname in _scope_functions(analysis, parents):
+        function = program.functions[qualname]
+        module = program.modules[function.module]
+        exempt = effect_exempt_lines(module, "fork-unsafe-resource")
+        local = _assigned_or_param_names(function)
+        reported: set[tuple[str, int]] = set()
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Name):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if node.id in local:
+                continue
+            owner = None
+            if (module.name, node.id) in bindings:
+                owner = (module.name, node.id)
+            else:
+                imported = module.imports.get(node.id)
+                if imported is not None and "." in imported:
+                    mod, _, attr = imported.rpartition(".")
+                    if (mod, attr) in bindings:
+                        owner = (mod, attr)
+            if owner is None:
+                continue
+            line = node.lineno
+            if line in exempt or (node.id, line) in reported:
+                continue
+            reported.add((node.id, line))
+            factory, bind_line = bindings[owner]
+            chain = EffectAnalysis.chain(parents, qualname)
+            yield Finding(
+                module.path, line, "fork-unsafe-resource",
+                f"worker-reachable ({chain}) uses {node.id!r}, bound at "
+                f"module level to {factory} ({owner[0]}:{bind_line}): the "
+                "binding predates the pool fork, so workers inherit the "
+                "parent's handle (torn buffers, duplicated locks); "
+                "construct the resource inside the worker instead",
+                symbol=qualname, source="concurrency",
+            )
+
+
+def _module_resource_bindings(
+        program: Program, config: StaticCheckConfig,
+) -> dict[tuple[str, str], tuple[str, int]]:
+    """``{(module, name): (factory, line)}`` for pre-fork resources."""
+    bindings: dict[tuple[str, str], tuple[str, int]] = {}
+    for module in program.modules.values():
+        for node in module.tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            resolved = program.resolve_call(module, value)
+            is_open = (isinstance(value.func, ast.Name)
+                       and value.func.id == "open")
+            if not is_open and (
+                    resolved is None
+                    or (resolved not in config.resource_factories
+                        and resolved not in config.resource_classes)):
+                continue
+            factory = "open" if is_open else str(resolved)
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bindings[(module.name, target.id)] = (factory,
+                                                          node.lineno)
+    return bindings
+
+
+def _assigned_or_param_names(function) -> set[str]:
+    """Local names of a function (assignments, params, loop targets)."""
+    from .effects import _assigned_names
+
+    names = _assigned_names(function.node)
+    names.update(function.params)
+    return names
+
+
+@program_pass(
+    "cache-key-completeness",
+    "every input that can influence a cached task result (env reads, "
+    "runtime-mutated globals) must flow into the ResultCache key "
+    "digest; reads outside the digest serve stale results",
+    tier="concurrency",
+)
+def run_cache_key_completeness(program: Program,
+                               config: StaticCheckConfig,
+                               ) -> Iterator[Finding]:
+    """Flag un-keyed inputs consulted in cached-result scope."""
+    analysis = effect_analysis(program, config)
+    roots = sorted({
+        resolved for name in config.cached_result_functions
+        if (resolved := program.resolve_symbol(name)) is not None
+    })
+    parents = analysis.reachable(roots)
+    keyed = set(config.cache_keyed_env_vars)
+    neutral = set(config.cache_neutral_env_vars)
+    writers = _runtime_global_writers(analysis)
+    for qualname in _scope_functions(analysis, parents):
+        function = program.functions[qualname]
+        module = program.modules[function.module]
+        exempt = effect_exempt_lines(module, "cache-key-completeness")
+        summary = analysis.summaries[qualname]
+        chain = EffectAnalysis.chain(parents, qualname)
+        for effect in summary.direct:
+            if effect.line in exempt:
+                continue
+            if effect.kind == "env-read":
+                var = _env_name_of(effect.detail)
+                if var in keyed or var in neutral:
+                    continue
+                yield Finding(
+                    module.path, effect.line, "cache-key-completeness",
+                    f"cached-result scope ({chain}) reads {effect.detail}: "
+                    "the variable is not part of the task digest, so two "
+                    "environments share one cache entry; resolve it "
+                    "parent-side into a task field, or declare it in "
+                    "cache_keyed_env_vars / cache_neutral_env_vars",
+                    symbol=qualname, source="concurrency",
+                )
+        # Reads of globals some function mutates at runtime: the read
+        # value is invisible to the digest.
+        yield from _global_read_findings(
+            analysis, function, module, writers, chain, exempt)
+
+
+def _env_name_of(detail: str) -> str:
+    """The variable name out of ``env 'NAME'`` effect details."""
+    match = re.search(r"env '([^']*)'", detail)
+    return match.group(1) if match else "?"
+
+
+def _runtime_global_writers(analysis: EffectAnalysis) -> dict[str, str]:
+    """``{'module.name mutable': writer}`` for runtime global writes.
+
+    Module bodies are excluded: populating a registry at import time is
+    initialization, not runtime mutation — every process replays it
+    identically on import.
+    """
+    writers: dict[str, str] = {}
+    for qualname, summary in sorted(analysis.summaries.items()):
+        function = analysis.program.functions.get(qualname)
+        if function is None or function.is_module_body:
+            continue
+        for effect in summary.direct:
+            if effect.kind != "shared-write":
+                continue
+            match = re.search(
+                r"module-level mutable '([^']+)' of ([\w.]+)",
+                effect.detail)
+            if match is None:
+                match = re.search(r"module global '([^']+)' of ([\w.]+)",
+                                  effect.detail)
+            if match is not None:
+                key = f"{match.group(2)}.{match.group(1)}"
+                writers.setdefault(key, qualname)
+    return writers
+
+
+def _global_read_findings(analysis: EffectAnalysis, function,
+                          module: ModuleInfo, writers: dict[str, str],
+                          chain: str, exempt: set[int],
+                          ) -> Iterator[Finding]:
+    if not writers:
+        return
+    local = _assigned_or_param_names(function)
+    reported: set[tuple[str, int]] = set()
+    for node in ast.walk(function.node):
+        if (not isinstance(node, ast.Name)
+                or not isinstance(node.ctx, ast.Load)
+                or node.id in local):
+            continue
+        if node.id in module.module_level_mutables:
+            key = f"{module.name}.{node.id}"
+        else:
+            imported = module.imports.get(node.id)
+            if imported is None or imported not in writers:
+                continue
+            key = imported
+        writer = writers.get(key)
+        if writer is None or writer == function.qualname:
+            continue
+        line = node.lineno
+        if line in exempt or (node.id, line) in reported:
+            continue
+        reported.add((node.id, line))
+        short_writer = writer.split(".")[-1]
+        yield Finding(
+            module.path, line, "cache-key-completeness",
+            f"cached-result scope ({chain}) reads module-level "
+            f"{node.id!r}, which {short_writer} mutates at runtime: the "
+            "mutable's state is not part of the task digest, so cached "
+            "results go stale when it changes; pass it through the task "
+            "spec instead",
+            symbol=function.qualname, source="concurrency",
+        )
+
+
+@program_pass(
+    "merge-order",
+    "reducer/merge functions fed by ordered parallel results must not "
+    "iterate unordered containers (sets, unsorted directory listings) "
+    "of worker output",
+    tier="concurrency",
+)
+def run_merge_order(program: Program,
+                    config: StaticCheckConfig) -> Iterator[Finding]:
+    """Flag unordered iteration inside the configured merge functions."""
+    for name in config.merge_functions:
+        qualname = program.resolve_symbol(name)
+        if qualname is None or qualname not in program.functions:
+            continue
+        function = program.functions[qualname]
+        module = program.modules[function.module]
+        exempt = effect_exempt_lines(module, "merge-order")
+        for node in _own_nodes(function.node):
+            iter_exprs: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_exprs.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iter_exprs.extend(gen.iter for gen in node.generators)
+            for expr in iter_exprs:
+                line = getattr(expr, "lineno",
+                               getattr(node, "lineno", 0))
+                if line in exempt:
+                    continue
+                if _is_set_expression(expr):
+                    yield Finding(
+                        module.path, line, "merge-order",
+                        f"merge function {qualname} iterates a set: the "
+                        "engine delivers worker results in submission "
+                        "order, and set iteration re-randomizes it per "
+                        "process (hash seeding); iterate the ordered "
+                        "results or wrap in sorted(...)",
+                        symbol=qualname, source="concurrency",
+                    )
+                elif _is_unsorted_listing(expr, module):
+                    yield Finding(
+                        module.path, line, "merge-order",
+                        f"merge function {qualname} iterates an unsorted "
+                        "directory listing: filesystem order is "
+                        "platform- and history-dependent; wrap the "
+                        "listing in sorted(...)",
+                        symbol=qualname, source="concurrency",
+                    )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Whether an expression's value iterates in hash order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in {"set", "frozenset"}):
+        return True
+    return False
+
+
+#: Callables returning filesystem-ordered listings.
+_LISTING_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob",
+                            "glob.iglob"})
+_LISTING_ATTRS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _is_unsorted_listing(node: ast.expr, module: ModuleInfo) -> bool:
+    """A directory-listing call not wrapped in ``sorted(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "sorted":
+        return False
+    if isinstance(func, ast.Attribute):
+        if func.attr in _LISTING_ATTRS:
+            return True
+        dotted_parts: list[str] = []
+        current: ast.expr = func
+        while isinstance(current, ast.Attribute):
+            dotted_parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            root = module.imports.get(current.id, current.id)
+            dotted = ".".join([root, *reversed(dotted_parts)])
+            if dotted in _LISTING_CALLS:
+                return True
+    return False
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``root`` excluding nested defs/classes (their order
+    discipline is their own concern)."""
+    def walk(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            yield child
+            yield from walk(child)
+
+    yield from walk(root)

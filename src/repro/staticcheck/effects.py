@@ -1,0 +1,751 @@
+"""Interprocedural effect-and-escape inference: per-function summaries.
+
+The concurrency tier (:mod:`repro.staticcheck.concurrency`) needs one
+question answered precisely: *what does this function touch besides its
+arguments and locals?*  This module computes, for every function in the
+program, an :class:`EffectSummary` — the function's observable side
+effects — and iterates them to a fixpoint over the call graph so a
+mutation four helpers deep still surfaces at the worker entry point,
+with a ``via`` chain spelling out every hop (the same provenance scheme
+as :meth:`~repro.staticcheck.taint.FloatTaintAnalysis.taint_path`).
+
+Tracked effect kinds (:class:`Effect`):
+
+* ``shared-write`` — rebinding a declared ``global``, storing into or
+  calling a mutating method on a module-level mutable container (own
+  module or imported from another), writing a class attribute
+  (``Cls.attr = ...`` / ``cls.attr = ...``), or passing a module-level
+  mutable into a callee that mutates the matching parameter (the
+  param-mutation half of the fixpoint);
+* ``env-read`` — ``os.environ[...]`` / ``os.environ.get`` /
+  ``os.getenv``, with the variable name recovered when it is a string
+  constant;
+* ``time-read`` / ``rng-read`` / ``fs-read`` — wall-clock reads,
+  module-level RNG draws, filesystem reads: inputs a cached or
+  replayed result must not silently depend on;
+* ``resource-acquire`` — opening/constructing a process-wide resource
+  (files, locks, sockets, tracers, event buses).
+
+Two escape hatches the plain call graph does not have:
+
+* **constructor edges** — a call that resolves to a program *class*
+  continues into ``Class.__init__``, so effects inside constructors are
+  not invisible (the call graph proper stops at the class name);
+* **``functools.partial`` references** — ``partial(f, ...)`` counts as
+  an edge to ``f``: the engine dispatches partials of module-level
+  workers, and their effects must not hide behind the wrapper.
+
+Summaries are deliberately *cut off at external dotted calls*: a call
+into ``json``/``math``/any non-program module contributes no effects
+(except the recognized env/time/rng/fs/resource sources above), so the
+analysis under-reports rather than flooding — the same contract as
+:meth:`~repro.staticcheck.model.Program.resolve_call`.
+
+Nested functions are not call-graph nodes (see ``_own_nodes``), but
+their bodies run under the definer's control sooner or later, so their
+``global`` writes and closure-cell mutations of module-level state are
+attributed to the enclosing function — a decorator's wrapper that bumps
+a module counter is an effect of the decorated function's module scope,
+not of nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .base import StaticCheckConfig
+from .callgraph import CallGraph, build_call_graph
+from .model import FunctionInfo, ModuleInfo, Program
+
+__all__ = [
+    "Effect",
+    "EffectSummary",
+    "EffectAnalysis",
+    "MUTATING_METHODS",
+    "effect_analysis",
+]
+
+#: Method names that mutate their receiver in place (the purity pass's
+#: list, plus ``write``-family names for file-like receivers).
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "appendleft", "remove", "discard",
+    "clear", "sort", "reverse", "write", "writelines",
+})
+
+#: Wall-clock callables (canonical dotted names) that vary run to run.
+_TIME_SOURCES = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.localtime", "time.gmtime", "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Module-level RNG draws (unseeded, process-global state).
+_RNG_SOURCES = frozenset({
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle", "random.sample",
+    "random.uniform", "random.gauss", "random.getrandbits",
+})
+
+#: Filesystem readers reached by dotted name.
+_FS_SOURCES = frozenset({
+    "os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob",
+})
+
+#: Attribute-call names that read the filesystem through a Path-like
+#: receiver (best effort: the receiver's type is unknown).
+_FS_ATTR_CALLS = frozenset({
+    "read_text", "read_bytes", "iterdir", "glob", "rglob",
+})
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One observable side effect of one function.
+
+    ``key`` (kind, detail) identifies the effect for fixpoint merging;
+    ``line`` anchors the *local* evidence — the write/read itself for a
+    direct effect, the propagating call site for an inherited one.
+    """
+
+    kind: str    # shared-write | env-read | time-read | rng-read |
+                 # fs-read | resource-acquire
+    detail: str  # "module global '_CACHE'", "env 'REPRO_KERNEL'", ...
+    line: int
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Identity for merging: the effect minus its location."""
+        return (self.kind, self.detail)
+
+
+@dataclass
+class EffectSummary:
+    """Everything one function (transitively) does to the outside world."""
+
+    qualname: str
+    #: Effects whose evidence is in this function's own body.
+    direct: list[Effect]
+    #: Direct plus everything inherited from callees, keyed for lookup.
+    effects: dict[tuple[str, str], Effect]
+    #: Parameter names this function mutates in place (directly or by
+    #: forwarding into a mutating callee).
+    mutated_params: frozenset[str]
+
+    def by_kind(self, kind: str) -> list[Effect]:
+        """Transitive effects of one kind, in deterministic order."""
+        return sorted(
+            (effect for effect in self.effects.values()
+             if effect.kind == kind),
+            key=lambda effect: (effect.detail, effect.line),
+        )
+
+
+class EffectAnalysis:
+    """Per-function effect summaries, iterated to a fixpoint.
+
+    Also owns the *augmented* reachability the concurrency passes run
+    on: call-graph edges plus constructor edges plus
+    ``functools.partial`` references, with BFS parent pointers so a
+    finding can print the exact ``root -> ... -> function`` chain that
+    put the function in scope.
+    """
+
+    def __init__(self, program: Program, config: StaticCheckConfig,
+                 graph: CallGraph | None = None) -> None:
+        self.program = program
+        self.config = config
+        self.graph = graph if graph is not None else build_call_graph(program)
+        #: Canonical qualname -> resolved module-level mutable names it
+        #: exports ({local name -> owning module}).
+        self._module_mutables: dict[str, set[str]] = {
+            name: set(module.module_level_mutables)
+            for name, module in program.modules.items()
+        }
+        #: module name -> its top-level string constants (for recovering
+        #: env-var names passed as ``os.environ.get(KERNEL_ENV_VAR)``).
+        self._module_consts: dict[str, dict[str, str]] = {}
+        #: caller -> augmented callees (constructor + partial edges in).
+        self.edges: dict[str, set[str]] = {}
+        self.summaries: dict[str, EffectSummary] = {}
+        #: qualname -> next hop each inherited effect came through.
+        self.via: dict[str, dict[tuple[str, str], str]] = {}
+        self._build_edges()
+        self._compute_summaries()
+
+    # -- augmented edges -----------------------------------------------------
+
+    def _build_edges(self) -> None:
+        for qualname, function in self.program.functions.items():
+            module = self.program.modules[function.module]
+            local_imports = self._function_imports(module, function)
+            receivers = self._receiver_types(module, function, local_imports)
+            targets: set[str] = set()
+            for site in self.graph.sites.get(qualname, ()):
+                callee = site.callee
+                if callee is None:
+                    callee = self._resolve_with_locals(
+                        site.node, local_imports, receivers)
+                if callee is not None:
+                    targets.add(callee)
+                    init = self._constructor_of(callee)
+                    if init is not None:
+                        targets.add(init)
+                for referenced in self._partial_references(module, site.node,
+                                                           local_imports):
+                    targets.add(referenced)
+            self.edges[qualname] = targets
+
+    def _function_imports(self, module: ModuleInfo,
+                          function: FunctionInfo) -> dict[str, str]:
+        """Alias → target for imports *inside* the function body.
+
+        The repo leans on function-level imports to keep module import
+        graphs light; without them ``run_solve_task``'s call into the
+        locally-imported ``GameSolver`` would be invisible.
+        """
+        if function.is_module_body:
+            return {}
+        imports: dict[str, str] = {}
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imports[bound] = alias.name if alias.asname else bound
+            elif isinstance(node, ast.ImportFrom):
+                base = module._resolve_import_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound = alias.asname or alias.name
+                        imports[bound] = f"{base}.{alias.name}"
+        return imports
+
+    def _receiver_types(self, module: ModuleInfo, function: FunctionInfo,
+                        local_imports: dict[str, str]) -> dict[str, str]:
+        """Local variable → program class, for single-class bindings.
+
+        ``solver = GameSolver(...)`` followed by ``solver.solve()`` is a
+        resolvable method call even though the plain call graph drops
+        it; a name rebound to two different classes is dropped again.
+        """
+        types: dict[str, str | None] = {}
+        for node in ast.walk(function.node):
+            if (not isinstance(node, ast.Assign)
+                    or len(node.targets) != 1
+                    or not isinstance(node.targets[0], ast.Name)
+                    or not isinstance(node.value, ast.Call)):
+                continue
+            resolved = self.program.resolve_call(
+                module, node.value, owner_class=function.owner_class)
+            if resolved is None:
+                resolved = self._resolve_with_locals(
+                    node.value, local_imports, {})
+            if resolved is None or resolved not in self.program.classes:
+                continue
+            name = node.targets[0].id
+            if name in types and types[name] != resolved:
+                types[name] = None
+            else:
+                types.setdefault(name, resolved)
+        return {name: cls for name, cls in types.items() if cls is not None}
+
+    def _resolve_with_locals(self, call: ast.Call,
+                             local_imports: dict[str, str],
+                             receivers: dict[str, str]) -> str | None:
+        """Resolution through function-level imports and typed locals."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = local_imports.get(func.id)
+            if target is not None:
+                return self.program.resolve_symbol(target) or target
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            receiver_class = receivers.get(func.value.id)
+            if receiver_class is not None:
+                return self.program._resolve_method(receiver_class,
+                                                    func.attr)
+            target = local_imports.get(func.value.id)
+            if target is not None:
+                dotted = f"{target}.{func.attr}"
+                return self.program.resolve_symbol(dotted) or dotted
+        return None
+
+    def _constructor_of(self, callee: str) -> str | None:
+        """``Class.__init__`` when ``callee`` names a program class."""
+        if callee in self.program.classes:
+            init = f"{callee}.__init__"
+            if init in self.program.functions:
+                return init
+        return None
+
+    def _partial_references(self, module: ModuleInfo, call: ast.Call,
+                            local_imports: dict[str, str]) -> Iterator[str]:
+        """Functions referenced through ``functools.partial(f, ...)``."""
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "partial" or not call.args:
+            return
+        target = call.args[0]
+        if not isinstance(target, ast.Name):
+            return
+        dotted = local_imports.get(
+            target.id,
+            module.imports.get(target.id, f"{module.name}.{target.id}"))
+        resolved = self.program.resolve_symbol(dotted)
+        if resolved is not None and resolved in self.program.functions:
+            yield resolved
+
+    def reachable(self, roots: Iterable[str]) -> dict[str, str | None]:
+        """BFS closure over augmented edges, with parent pointers.
+
+        Returns ``{qualname: parent}`` (roots map to ``None``) in
+        deterministic order: roots are visited sorted, neighbours too.
+        """
+        parents: dict[str, str | None] = {}
+        frontier = sorted(set(roots))
+        for root in frontier:
+            parents[root] = None
+        while frontier:
+            next_frontier: list[str] = []
+            for current in frontier:
+                for callee in sorted(self.edges.get(current, ())):
+                    if callee in parents:
+                        continue
+                    parents[callee] = current
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return parents
+
+    @staticmethod
+    def chain(parents: dict[str, str | None], qualname: str,
+              limit: int = 8) -> str:
+        """``root -> a -> b -> qualname`` from BFS parent pointers."""
+        hops = [qualname]
+        current = parents.get(qualname)
+        while current is not None and len(hops) < limit:
+            hops.append(current)
+            current = parents.get(current)
+        short = [hop.split(".")[-1] if hop.count(".") > 1 else hop
+                 for hop in reversed(hops)]
+        return " -> ".join(short)
+
+    # -- direct effect extraction --------------------------------------------
+
+    def _resolve_global(self, module: ModuleInfo, name: str,
+                        local_names: set[str]) -> str | None:
+        """The owning module of a module-level mutable ``name`` reads.
+
+        Checks the function's own module first, then names imported from
+        sibling modules (``from x import REGISTRY``); shadowed names are
+        not global references at all.
+        """
+        if name in local_names:
+            return None
+        if name in module.module_level_mutables:
+            return module.name
+        imported = module.imports.get(name)
+        if imported is None:
+            return None
+        parts = imported.rsplit(".", 1)
+        if len(parts) != 2:
+            return None
+        owner, attr = parts
+        if attr in self._module_mutables.get(owner, ()):
+            return owner
+        return None
+
+    def _direct_effects(self, function: FunctionInfo) -> tuple[
+            list[Effect], set[str]]:
+        """(direct effects, directly mutated params) for one function.
+
+        Walks the whole function *including nested defs* — a closure
+        mutating module-level state acts on behalf of its definer — but
+        tracks each nesting level's local names so shadowing is honoured
+        per scope.
+        """
+        module = self.program.modules[function.module]
+        effects: list[Effect] = []
+        mutated_params: set[str] = set()
+        params = set(function.params)
+
+        def scan(node: ast.AST, local_names: set[str],
+                 declared_global: set[str], top_level: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    inner_locals = _assigned_names(child)
+                    inner_locals.update(
+                        a.arg for a in (list(child.args.posonlyargs)
+                                        + list(child.args.args)
+                                        + list(child.args.kwonlyargs)))
+                    # The enclosing scope's locals shadow module state
+                    # for the closure too (cell reads), but its own
+                    # globals start fresh.
+                    scan(child, local_names | inner_locals, set(), False)
+                    continue
+                if isinstance(child, ast.ClassDef):
+                    continue
+                self._scan_node(child, module, function, local_names,
+                                declared_global, top_level, params,
+                                effects, mutated_params)
+                scan(child, local_names, declared_global, top_level)
+
+        if function.is_module_body:
+            return [], set()
+        local_names = _assigned_names(function.node)
+        local_names.update(function.params)
+        declared_global: set[str] = set()
+        # `global` declarations un-shadow their names at this level.
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        local_names -= declared_global
+        scan(function.node, local_names, declared_global, True)
+        return effects, mutated_params
+
+    def _scan_node(self, node: ast.AST, module: ModuleInfo,
+                   function: FunctionInfo, local_names: set[str],
+                   declared_global: set[str], top_level: bool,
+                   params: set[str], effects: list[Effect],
+                   mutated_params: set[str]) -> None:
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+            local_names.difference_update(node.names)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                self._scan_store(target, module, function, local_names,
+                                 declared_global, top_level, params,
+                                 effects, mutated_params, line)
+            return
+        if isinstance(node, ast.Call):
+            self._scan_call(node, module, function, local_names,
+                            declared_global, top_level, params,
+                            effects, mutated_params, line)
+            return
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            # os.environ["X"] reads.
+            if isinstance(node.value, ast.Attribute):
+                dotted = _dotted_name(node.value, module)
+                if dotted == "os.environ":
+                    effects.append(Effect(
+                        "env-read", self._env_detail(module, node.slice),
+                        line))
+
+    def _scan_store(self, target: ast.expr, module: ModuleInfo,
+                    function: FunctionInfo, local_names: set[str],
+                    declared_global: set[str], top_level: bool,
+                    params: set[str], effects: list[Effect],
+                    mutated_params: set[str], line: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in declared_global:
+                effects.append(Effect(
+                    "shared-write",
+                    f"module global {target.id!r} of {module.name}", line))
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._scan_store(element, module, function, local_names,
+                                 declared_global, top_level, params,
+                                 effects, mutated_params, line)
+            return
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return
+        root = _root_name(target)
+        if root is None:
+            return
+        if root in params and top_level and isinstance(target, ast.Subscript):
+            mutated_params.add(root)
+        if root in ("self", "cls"):
+            if root == "cls" and function.owner_class is not None:
+                effects.append(Effect(
+                    "shared-write",
+                    f"class attribute of {function.owner_class}", line))
+            return
+        owner = self._resolve_global(module, root, local_names)
+        if owner is not None:
+            effects.append(Effect(
+                "shared-write",
+                f"module-level mutable {root!r} of {owner}", line))
+            return
+        # Cls.attr = ... on a program class: shared across every instance.
+        if isinstance(target, ast.Attribute):
+            resolved = self.program.resolve_symbol(
+                module.imports.get(root, f"{module.name}.{root}"))
+            if resolved in self.program.classes:
+                effects.append(Effect(
+                    "shared-write",
+                    f"class attribute {target.attr!r} of {resolved}", line))
+
+    def _scan_call(self, node: ast.Call, module: ModuleInfo,
+                   function: FunctionInfo, local_names: set[str],
+                   declared_global: set[str], top_level: bool,
+                   params: set[str], effects: list[Effect],
+                   mutated_params: set[str], line: int) -> None:
+        func = node.func
+        # Mutating method on a shared container / a parameter.
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            root = _root_name(func.value)
+            if root is not None:
+                if root in params and top_level:
+                    mutated_params.add(root)
+                owner = self._resolve_global(module, root, local_names)
+                if owner is not None:
+                    effects.append(Effect(
+                        "shared-write",
+                        f"module-level mutable {root!r} of {owner} "
+                        f"(.{func.attr}())", line))
+        if isinstance(func, ast.Name) and func.id == "open":
+            effects.append(Effect("resource-acquire", "open()", line))
+            effects.append(Effect("fs-read", "open()", line))
+        resolved = self.program.resolve_call(
+            module, node, owner_class=function.owner_class)
+        if resolved is None:
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _FS_ATTR_CALLS):
+                effects.append(Effect(
+                    "fs-read", f".{func.attr}() filesystem read", line))
+            return
+        if resolved in self.program.functions:
+            # Param-mutation propagation: a module-level mutable passed
+            # into a parameter the callee mutates is a shared write here.
+            callee_summary = self.summaries.get(resolved)
+            if callee_summary is not None and callee_summary.mutated_params:
+                target = self.program.functions[resolved]
+                callee_params = target.params
+                if callee_params and callee_params[0] in ("self", "cls"):
+                    callee_params = callee_params[1:]
+                bound: list[tuple[str | None, ast.expr]] = [
+                    (callee_params[i] if i < len(callee_params) else None,
+                     arg)
+                    for i, arg in enumerate(node.args)
+                ]
+                bound.extend((kw.arg, kw.value) for kw in node.keywords
+                             if kw.arg is not None)
+                for name, arg in bound:
+                    if name not in callee_summary.mutated_params:
+                        continue
+                    if not isinstance(arg, ast.Name):
+                        continue
+                    owner = self._resolve_global(module, arg.id, local_names)
+                    if owner is not None:
+                        effects.append(Effect(
+                            "shared-write",
+                            f"module-level mutable {arg.id!r} of {owner} "
+                            f"(mutated by {resolved.split('.')[-1]})", line))
+                    elif arg.id in params and top_level:
+                        mutated_params.add(arg.id)
+            return
+        # External dotted callee: recognized sources only, else cut off.
+        if resolved in ("os.getenv", "os.environ.get"):
+            detail = (self._env_detail(module, node.args[0])
+                      if node.args else "env '?'")
+            effects.append(Effect("env-read", detail, line))
+        elif resolved in _TIME_SOURCES:
+            effects.append(Effect("time-read", f"{resolved}()", line))
+        elif resolved in _RNG_SOURCES:
+            effects.append(Effect("rng-read", f"{resolved}()", line))
+        elif resolved in _FS_SOURCES:
+            effects.append(Effect("fs-read", f"{resolved}()", line))
+        if (resolved in self.config.resource_factories
+                or resolved in self.config.resource_classes):
+            effects.append(Effect("resource-acquire", f"{resolved}()", line))
+
+    def _env_detail(self, module: ModuleInfo, node: ast.expr) -> str:
+        """``env 'NAME'`` with module-level constants chased.
+
+        ``os.environ.get(KERNEL_ENV_VAR)`` names the variable through a
+        top-level constant; resolving it keeps the keyed-variable lists
+        in :class:`StaticCheckConfig` usable.
+        """
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return f"env {node.value!r}"
+        if isinstance(node, ast.Name):
+            consts = self._module_consts.get(module.name)
+            if consts is None:
+                consts = {}
+                for stmt in module.tree.body:
+                    if (isinstance(stmt, ast.Assign)
+                            and isinstance(stmt.value, ast.Constant)
+                            and isinstance(stmt.value.value, str)):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                consts[target.id] = stmt.value.value
+                self._module_consts[module.name] = consts
+            value = consts.get(node.id)
+            if value is not None:
+                return f"env {value!r}"
+        return "env '?'"
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _compute_summaries(self) -> None:
+        direct: dict[str, tuple[list[Effect], set[str]]] = {}
+        for qualname, function in self.program.functions.items():
+            direct[qualname] = self._direct_effects(function)
+            effects, mutated = direct[qualname]
+            self.summaries[qualname] = EffectSummary(
+                qualname=qualname,
+                direct=list(effects),
+                effects={e.key: e for e in effects},
+                mutated_params=frozenset(mutated),
+            )
+            self.via[qualname] = {}
+        for _ in range(20):
+            changed = False
+            for qualname, function in self.program.functions.items():
+                summary = self.summaries[qualname]
+                # Re-extract direct effects: param-mutation propagation
+                # can add call-site shared-writes once callee summaries
+                # have converged further.
+                effects, mutated = self._direct_effects(function)
+                for effect in effects:
+                    if effect.key not in summary.effects:
+                        summary.effects[effect.key] = effect
+                        summary.direct.append(effect)
+                        changed = True
+                if not mutated <= summary.mutated_params:
+                    summary.mutated_params = (summary.mutated_params
+                                              | frozenset(mutated))
+                    changed = True
+                # Inherit callee effects (resource acquisition stays
+                # local: acquiring inside the callee is the callee's
+                # business, only *pre-fork bindings* matter upstream).
+                for callee in sorted(self.edges.get(qualname, ())):
+                    callee_summary = self.summaries.get(callee)
+                    if callee_summary is None:
+                        continue
+                    call_line = min(
+                        (site.line
+                         for site in self.graph.sites.get(qualname, ())
+                         if site.callee == callee
+                         or self._constructor_of(site.callee or "")
+                         == callee),
+                        default=0,
+                    )
+                    for key, effect in callee_summary.effects.items():
+                        if effect.kind == "resource-acquire":
+                            continue
+                        if key not in summary.effects:
+                            summary.effects[key] = Effect(
+                                effect.kind, effect.detail, call_line)
+                            self.via[qualname][key] = callee
+                            changed = True
+            if not changed:
+                break
+
+    # -- provenance ----------------------------------------------------------
+
+    def effect_path(self, qualname: str, key: tuple[str, str],
+                    limit: int = 8) -> str:
+        """``f -> g -> h (evidence)``: where an inherited effect lives."""
+        hops = [qualname]
+        current = qualname
+        while len(hops) < limit:
+            nxt = self.via.get(current, {}).get(key)
+            if nxt is None or nxt in hops:
+                break
+            hops.append(nxt)
+            current = nxt
+        origin = self.summaries[hops[-1]].effects.get(key)
+        short = [hop.split(".")[-1] if hop.count(".") > 1 else hop
+                 for hop in hops]
+        chain = " -> ".join(short)
+        if origin is not None and hops[-1] != qualname:
+            return f"{chain} (line {origin.line})"
+        return chain
+
+
+def _binding_names(target: ast.expr) -> Iterator[str]:
+    """Names a store target *binds* in the local scope.
+
+    ``x = ...`` binds ``x``; ``x[k] = ...`` and ``x.f = ...`` mutate an
+    existing object and bind nothing — collecting their roots would
+    shadow the very module globals the effect scan must see.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _binding_names(element)
+
+
+def _assigned_names(root: ast.AST) -> set[str]:
+    """Names bound anywhere under ``root`` (its local scope)."""
+    names: set[str] = set()
+    for node in ast.walk(root):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                names.update(_binding_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_binding_names(item.optional_vars))
+        elif isinstance(node, ast.NamedExpr):
+            names.add(node.target.id)
+    return names
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _dotted_name(node: ast.Attribute, module: ModuleInfo) -> str | None:
+    """``os.environ``-style dotted text with the root resolved."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = module.imports.get(current.id, current.id)
+    return ".".join([root, *reversed(parts)])
+
+
+#: Per-program memo so the four concurrency passes share one fixpoint.
+_ANALYSIS_MEMO: dict[tuple[int, str], EffectAnalysis] = {}
+
+
+def effect_analysis(program: Program,
+                    config: StaticCheckConfig) -> EffectAnalysis:
+    """The (memoized) effect analysis for one program/config pair.
+
+    Program passes run serially over the same :class:`Program` object;
+    keying on its identity keeps the memo correct across programs while
+    letting the four concurrency passes pay for one fixpoint, not four.
+    The memo is bounded: entries for dead programs are dropped.
+    """
+    key = (id(program), repr(config))
+    cached = _ANALYSIS_MEMO.get(key)
+    if cached is not None and cached.program is program:
+        return cached
+    analysis = EffectAnalysis(program, config)
+    _ANALYSIS_MEMO.clear()
+    _ANALYSIS_MEMO[key] = analysis
+    return analysis

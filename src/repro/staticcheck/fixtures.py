@@ -914,6 +914,346 @@ _FIXTURE_UNREACHABLE_TAIL = StaticFixture(
 )
 
 
+# ---------------------------------------------------------------------------
+# worker-shared-state pass (concurrency tier)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_WORKER_CLASS_ATTR = StaticFixture(
+    name="worker-class-attr-write",
+    description=(
+        "run_task bumps a counter stored as a *class* attribute: shared "
+        "across every instance in a process, never shared back across "
+        "the pool fork — serial and parallel totals silently diverge"
+    ),
+    pass_name="worker-shared-state",
+    expect_rule="worker-shared-state",
+    expect_symbol="repro.parallel.tasks.run_task",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            class TaskStats:
+                completed = 0
+
+
+            def run_task(task):
+                TaskStats.completed = TaskStats.completed + 1
+                return task
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/tasks.py": _src("""
+            class TaskStats:
+                completed = 0
+
+
+            def run_task(task):
+                return (task, 1)
+        """),
+    },
+)
+
+_FIXTURE_WORKER_PARAM_MUTATION = StaticFixture(
+    name="worker-param-mutation",
+    description=(
+        "run_task passes an *imported* module-level dict into a helper "
+        "that stores through the matching parameter: neither function "
+        "alone looks wrong, only the summary fixpoint (helper mutates "
+        "its param) composed with the call-site binding exposes the "
+        "shared write"
+    ),
+    pass_name="worker-shared-state",
+    expect_rule="worker-shared-state",
+    expect_symbol="repro.parallel.tasks.run_task",
+    files={
+        "src/repro/parallel/registry.py": _src("""
+            SEEN = {}
+
+
+            def remember(store, task):
+                store[task] = True
+        """),
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.parallel.registry import SEEN, remember
+
+
+            def run_task(task):
+                remember(SEEN, task)
+                return task
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/registry.py": _src("""
+            def remember(store, task):
+                store[task] = True
+        """),
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.parallel.registry import remember
+
+
+            def run_task(task):
+                seen = {}
+                remember(seen, task)
+                return task
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# fork-unsafe-resource pass (concurrency tier)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_FORK_LOCK = StaticFixture(
+    name="fork-unsafe-lock",
+    description=(
+        "a module-level threading.Lock is created before the pool forks "
+        "and then taken inside run_task: each worker inherits a private "
+        "copy, so the lock synchronizes nothing (and a lock held at "
+        "fork time deadlocks the child)"
+    ),
+    pass_name="fork-unsafe-resource",
+    expect_rule="fork-unsafe-resource",
+    expect_symbol="repro.parallel.tasks.run_task",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            import threading
+
+            _IO_LOCK = threading.Lock()
+
+
+            def run_task(task):
+                with _IO_LOCK:
+                    return task
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/tasks.py": _src("""
+            import threading
+
+            _IO_LOCK = threading.Lock()
+
+
+            def submit(engine, tasks):
+                with _IO_LOCK:
+                    return engine.run(tasks)
+
+
+            def run_task(task):
+                return task
+        """),
+    },
+)
+
+_FIXTURE_FORK_TRACER = StaticFixture(
+    name="fork-unsafe-tracer",
+    description=(
+        "a module-level Tracer singleton (a configured resource class) "
+        "is used worker-side: its buffers and lock predate the fork, so "
+        "worker spans land in a copy nobody ever reads; the fixed "
+        "variant constructs the tracer inside the worker"
+    ),
+    pass_name="fork-unsafe-resource",
+    expect_rule="fork-unsafe-resource",
+    expect_symbol="repro.parallel.tasks.run_task",
+    files={
+        "src/repro/obs/trace.py": _src("""
+            class Tracer:
+                def __init__(self):
+                    self.spans = []
+
+                def record(self, name):
+                    self.spans.append(name)
+
+
+            NULL_TRACER = Tracer()
+        """),
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.obs.trace import NULL_TRACER
+
+
+            def run_task(task):
+                NULL_TRACER.record(task)
+                return task
+        """),
+    },
+    fixed_files={
+        "src/repro/obs/trace.py": _src("""
+            class Tracer:
+                def __init__(self):
+                    self.spans = []
+
+                def record(self, name):
+                    self.spans.append(name)
+        """),
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.obs.trace import Tracer
+
+
+            def run_task(task):
+                tracer = Tracer()
+                tracer.record(task)
+                return (task, tracer.spans)
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# cache-key-completeness pass (concurrency tier)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_CACHE_ENV = StaticFixture(
+    name="cache-unkeyed-env-read",
+    description=(
+        "run_task short-circuits on an env variable that is neither "
+        "parent-side-keyed nor declared value-neutral: two environments "
+        "share one ResultCache entry, so whichever ran first poisons "
+        "the other"
+    ),
+    pass_name="cache-key-completeness",
+    expect_rule="cache-key-completeness",
+    expect_symbol="repro.parallel.tasks.run_task",
+    files={
+        "src/repro/parallel/tasks.py": _src("""
+            import os
+
+
+            def run_task(task):
+                if os.environ.get("REPRO_FAST_PATH"):
+                    return 0
+                return task
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/tasks.py": _src("""
+            def run_task(task):
+                if task.fast_path:
+                    return 0
+                return task
+        """),
+    },
+)
+
+_FIXTURE_CACHE_GLOBAL = StaticFixture(
+    name="cache-runtime-global-read",
+    description=(
+        "cached-result scope reads a module-level override table that "
+        "another function mutates at runtime: the table's state never "
+        "reaches the task digest, so cached results go stale the "
+        "moment an override lands"
+    ),
+    pass_name="cache-key-completeness",
+    expect_rule="cache-key-completeness",
+    expect_symbol="repro.heap.kernel.resolve_kernel",
+    files={
+        "src/repro/heap/kernel.py": _src("""
+            KERNEL_OVERRIDES = {}
+
+
+            def set_kernel_override(name, value):
+                KERNEL_OVERRIDES[name] = value
+
+
+            def resolve_kernel(name):
+                return KERNEL_OVERRIDES.get(name, name)
+        """),
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.heap.kernel import resolve_kernel
+
+
+            def run_task(task):
+                return resolve_kernel(task)
+        """),
+    },
+    fixed_files={
+        "src/repro/heap/kernel.py": _src("""
+            def resolve_kernel(name, overrides):
+                return overrides.get(name, name)
+        """),
+        "src/repro/parallel/tasks.py": _src("""
+            from repro.heap.kernel import resolve_kernel
+
+
+            def run_task(task):
+                return resolve_kernel(task, {})
+        """),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# merge-order pass (concurrency tier)
+# ---------------------------------------------------------------------------
+
+_FIXTURE_MERGE_SET = StaticFixture(
+    name="merge-order-set-iteration",
+    description=(
+        "the engine's merge loop deduplicates through set(): worker "
+        "results submitted in order come back out in hash order, which "
+        "PYTHONHASHSEED re-randomizes per process — the exact bug the "
+        "serial/parallel byte-identity contract exists to prevent"
+    ),
+    pass_name="merge-order",
+    expect_rule="merge-order",
+    expect_symbol="repro.parallel.engine.ParallelEngine.run",
+    files={
+        "src/repro/parallel/engine.py": _src("""
+            class ParallelEngine:
+                def run(self, tasks):
+                    results = []
+                    for task in set(tasks):
+                        results.append(task)
+                    return results
+        """),
+    },
+    fixed_files={
+        "src/repro/parallel/engine.py": _src("""
+            class ParallelEngine:
+                def run(self, tasks):
+                    results = []
+                    for task in tasks:
+                        results.append(task)
+                    return results
+        """),
+    },
+)
+
+_FIXTURE_MERGE_LISTING = StaticFixture(
+    name="merge-order-dir-listing",
+    description=(
+        "a sweep merge iterates os.listdir: filesystem order is "
+        "platform- and history-dependent, so the merged rows differ "
+        "between machines that computed identical shards"
+    ),
+    pass_name="merge-order",
+    expect_rule="merge-order",
+    expect_symbol="repro.analysis.sweep.simulation_sweep",
+    files={
+        "src/repro/analysis/sweep.py": _src("""
+            import os
+
+
+            def simulation_sweep(shard_dir):
+                rows = []
+                for name in os.listdir(shard_dir):
+                    rows.append(name)
+                return rows
+        """),
+    },
+    fixed_files={
+        "src/repro/analysis/sweep.py": _src("""
+            import os
+
+
+            def simulation_sweep(shard_dir):
+                rows = []
+                for name in sorted(os.listdir(shard_dir)):
+                    rows.append(name)
+                return rows
+        """),
+    },
+)
+
+
 #: The full corpus, in documentation order.
 STATIC_FIXTURES: tuple[StaticFixture, ...] = (
     _FIXTURE_TAINT_RETURN,
@@ -938,4 +1278,12 @@ STATIC_FIXTURES: tuple[StaticFixture, ...] = (
     _FIXTURE_INTERNAL_ESCAPE,
     _FIXTURE_DEAD_STORE,
     _FIXTURE_UNREACHABLE_TAIL,
+    _FIXTURE_WORKER_CLASS_ATTR,
+    _FIXTURE_WORKER_PARAM_MUTATION,
+    _FIXTURE_FORK_LOCK,
+    _FIXTURE_FORK_TRACER,
+    _FIXTURE_CACHE_ENV,
+    _FIXTURE_CACHE_GLOBAL,
+    _FIXTURE_MERGE_SET,
+    _FIXTURE_MERGE_LISTING,
 )

@@ -150,6 +150,7 @@ def _torn_exits(cfg: CFG, open_block: int,
     "paired mutations on IntervalSet/GapIndex/SimHeap must reach a "
     "consistent state on every exit edge; raise/early-return between "
     "the pair leaks a torn structure",
+    tier="dataflow",
 )
 def check_invariant_safety(module: ModuleInfo,
                            config: StaticCheckConfig) -> Iterator[Finding]:
@@ -303,6 +304,7 @@ def _mutations_of(node: ast.AST,
     "mutation through an alias outside the heap package, and heap code "
     "returning a live reference to an internal",
     rule_ids=("interval-alias", "interval-escape"),
+    tier="dataflow",
 )
 def check_alias_escape(module: ModuleInfo,
                        config: StaticCheckConfig) -> Iterator[Finding]:
@@ -383,6 +385,7 @@ def _declared_nonlocal(func_node: ast.AST) -> set[str]:
     "liveness (closure-read names are always live; _-prefixed names "
     "are deliberate discards)",
     rule_ids=("dead-store", "unreachable-code"),
+    tier="dataflow",
 )
 def check_dead_flow(module: ModuleInfo,
                     config: StaticCheckConfig) -> Iterator[Finding]:

@@ -82,7 +82,8 @@ def to_sarif(new: Sequence[Finding], suppressed: Sequence[Finding],
             rules.append({
                 "id": rule_id,
                 "shortDescription": {"text": spec.description},
-                "properties": {"pass": spec.name, "kind": spec.kind},
+                "properties": {"pass": spec.name, "kind": spec.kind,
+                               "tier": spec.tier},
             })
     # Findings may carry rule ids outside the catalog (defensive).
     for finding in [*new, *suppressed]:

@@ -102,8 +102,16 @@ class TestSarif:
         assert {"no-float", "float-taint", "unordered-iteration",
                 "unpicklable-field", "budget-negative", "budget-int",
                 "budget-call", "invariant-safety", "interval-alias",
-                "interval-escape", "dead-store",
-                "unreachable-code"} <= rule_ids
+                "interval-escape", "dead-store", "unreachable-code",
+                "worker-shared-state", "fork-unsafe-resource",
+                "cache-key-completeness", "merge-order"} <= rule_ids
+        tiers = {rule["id"]: rule["properties"]["tier"]
+                 for rule in run["tool"]["driver"]["rules"]
+                 if "properties" in rule}
+        assert tiers["worker-shared-state"] == "concurrency"
+        assert tiers["dead-store"] == "dataflow"
+        assert tiers["float-taint"] == "interprocedural"
+        assert tiers["no-float"] == "lexical"
         results = run["results"]
         assert len(results) == len(findings)
         for record in results:
@@ -257,5 +265,19 @@ class TestCli:
         output = capsys.readouterr().out
         for name in ("float-taint", "determinism", "pickle", "no-float",
                      "interval-internals", "budget-range",
-                     "invariant-safety", "alias-escape", "dead-flow"):
+                     "invariant-safety", "alias-escape", "dead-flow",
+                     "worker-shared-state", "fork-unsafe-resource",
+                     "cache-key-completeness", "merge-order"):
             assert name in output
+
+    def test_list_rules_groups_by_tier(self, capsys):
+        assert main(["staticcheck", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        headers = [line for line in output.splitlines()
+                   if line.endswith(" tier:")]
+        assert headers == ["lexical tier:", "interprocedural tier:",
+                           "dataflow tier:", "concurrency tier:"]
+        # Every catalog entry sits under its tier header.
+        assert output.index("concurrency tier:") < output.index(
+            "worker-shared-state")
+        assert output.index("dataflow tier:") < output.index("dead-flow")

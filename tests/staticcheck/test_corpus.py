@@ -22,6 +22,8 @@ def test_corpus_covers_every_analysis_pass():
     assert passes == {
         "float-taint", "determinism", "pickle",
         "budget-range", "invariant-safety", "alias-escape", "dead-flow",
+        "worker-shared-state", "fork-unsafe-resource",
+        "cache-key-completeness", "merge-order",
     }
     for name in sorted(passes):
         count = sum(1 for f in STATIC_FIXTURES if f.pass_name == name)
@@ -33,7 +35,9 @@ def test_every_dataflow_rule_id_has_a_fixture():
     expected = {fixture.expect_rule for fixture in STATIC_FIXTURES}
     for rule in ("budget-negative", "budget-int", "budget-call",
                  "invariant-safety", "interval-alias", "interval-escape",
-                 "dead-store", "unreachable-code"):
+                 "dead-store", "unreachable-code",
+                 "worker-shared-state", "fork-unsafe-resource",
+                 "cache-key-completeness", "merge-order"):
         assert rule in expected, f"no fixture exercises {rule!r}"
 
 

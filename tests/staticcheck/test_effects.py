@@ -1,0 +1,333 @@
+"""Edge cases of the interprocedural effect inference.
+
+Each test builds a tiny in-memory program and checks the summaries (or
+the augmented reachability edges) directly — the concurrency passes are
+exercised separately; here the question is whether the *inference* sees
+through the constructs that usually blind a call-graph walk: decorators,
+``functools.partial``, ``self`` dispatch, closures, function-level
+imports and constructor calls — and whether it stays silent past
+external dotted calls (the under-reporting contract).
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.staticcheck.base import StaticCheckConfig
+from repro.staticcheck.effects import EffectAnalysis, effect_analysis
+from repro.staticcheck.model import Program
+
+
+def _analysis(files: dict[str, str]) -> EffectAnalysis:
+    program = Program.from_sources(
+        {path: dedent(source).lstrip("\n")
+         for path, source in files.items()})
+    return EffectAnalysis(program, StaticCheckConfig())
+
+
+def _kinds(analysis: EffectAnalysis, qualname: str) -> set[str]:
+    return {effect.kind
+            for effect in analysis.summaries[qualname].effects.values()}
+
+
+def test_decorated_function_keeps_its_effects():
+    """A decorator does not hide the decorated body from the scan."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            import functools
+
+            COUNT = 0
+
+
+            def logged(fn):
+                @functools.wraps(fn)
+                def wrapper(*args, **kwargs):
+                    return fn(*args, **kwargs)
+                return wrapper
+
+
+            @logged
+            def bump():
+                global COUNT
+                COUNT = COUNT + 1
+        """,
+    })
+    summary = analysis.summaries["repro.sim.engine.bump"]
+    assert any(effect.kind == "shared-write" and "COUNT" in effect.detail
+               for effect in summary.direct)
+
+
+def test_partial_reference_counts_as_an_edge():
+    """``functools.partial(record, ...)`` links dispatcher to record."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            import functools
+
+            HISTORY = []
+
+
+            def record(item):
+                HISTORY.append(item)
+
+
+            def dispatch(items):
+                return [functools.partial(record, item) for item in items]
+        """,
+    })
+    assert ("repro.sim.engine.record"
+            in analysis.edges["repro.sim.engine.dispatch"])
+    assert "shared-write" in _kinds(analysis, "repro.sim.engine.dispatch")
+
+
+def test_method_resolution_through_self():
+    """Effects flow through ``self.helper()`` dispatch."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            REGISTRY = {}
+
+
+            class Engine:
+                def step(self, key):
+                    return self._note(key)
+
+                def _note(self, key):
+                    REGISTRY[key] = True
+        """,
+    })
+    assert "shared-write" in _kinds(analysis, "repro.sim.engine.Engine.step")
+
+
+def test_closure_mutation_attributed_to_definer():
+    """A nested def mutating module state is the definer's effect."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            SINKS = []
+
+
+            def outer():
+                def inner(value):
+                    SINKS.append(value)
+                return inner
+        """,
+    })
+    summary = analysis.summaries["repro.sim.engine.outer"]
+    assert any(effect.kind == "shared-write" and "SINKS" in effect.detail
+               for effect in summary.direct)
+
+
+def test_closure_local_shadowing_is_per_scope():
+    """A name local to the closure does not count as module state."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            SINKS = []
+
+
+            def outer():
+                def inner(value):
+                    SINKS = []
+                    SINKS.append(value)
+                    return SINKS
+                return inner
+        """,
+    })
+    assert "shared-write" not in _kinds(analysis, "repro.sim.engine.outer")
+
+
+def test_summaries_cut_off_at_external_dotted_calls():
+    """json/math/os.path calls contribute nothing (under-reporting)."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            import json
+            import math
+
+
+            def encode(payload):
+                return json.dumps({"root": math.sqrt(payload)})
+        """,
+    })
+    assert _kinds(analysis, "repro.sim.engine.encode") == set()
+
+
+def test_recognized_sources_survive_the_cutoff():
+    """env/time/rng/fs reads are the exception to the external cutoff."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            import os
+            import random
+            import time
+
+
+            def probe():
+                return (os.environ.get("REPRO_PROBE"), time.time(),
+                        random.random(), os.listdir("."))
+        """,
+    })
+    assert _kinds(analysis, "repro.sim.engine.probe") >= {
+        "env-read", "time-read", "rng-read", "fs-read"}
+
+
+def test_env_variable_named_through_module_constant():
+    """``os.environ.get(KERNEL_ENV_VAR)`` recovers the real name."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            import os
+
+            PROBE_VAR = "REPRO_PROBE"
+
+
+            def probe():
+                return os.environ.get(PROBE_VAR)
+        """,
+    })
+    summary = analysis.summaries["repro.sim.engine.probe"]
+    assert any(effect.detail == "env 'REPRO_PROBE'"
+               for effect in summary.direct)
+
+
+def test_function_level_import_resolves_the_call():
+    """``from x import f`` inside the body still yields the edge."""
+    analysis = _analysis({
+        "src/repro/exact/solver.py": """
+            TABLE = {}
+
+
+            class GameSolver:
+                def __init__(self, params):
+                    self.params = params
+
+                def solve(self):
+                    TABLE[self.params] = True
+                    return self.params
+        """,
+        "src/repro/parallel/tasks.py": """
+            def run_solve_task(task):
+                from repro.exact.solver import GameSolver
+                solver = GameSolver(task)
+                return solver.solve()
+        """,
+    })
+    edges = analysis.edges["repro.parallel.tasks.run_solve_task"]
+    assert "repro.exact.solver.GameSolver.__init__" in edges
+    assert "repro.exact.solver.GameSolver.solve" in edges
+    assert ("shared-write"
+            in _kinds(analysis, "repro.parallel.tasks.run_solve_task"))
+
+
+def test_constructor_edges_reach_init_effects():
+    """A call resolving to a class continues into ``__init__``."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            INSTANCES = []
+
+
+            class Engine:
+                def __init__(self):
+                    INSTANCES.append(self)
+
+
+            def boot():
+                return Engine()
+        """,
+    })
+    assert "shared-write" in _kinds(analysis, "repro.sim.engine.boot")
+
+
+def test_receiver_rebound_to_two_classes_is_dropped():
+    """Ambiguously-typed locals resolve no methods (no guessing)."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            SEEN = []
+
+
+            class A:
+                def go(self):
+                    SEEN.append("a")
+
+
+            class B:
+                def go(self):
+                    return "b"
+
+
+            def drive(flag):
+                obj = A()
+                obj = B()
+                obj.go()
+        """,
+    })
+    edges = analysis.edges["repro.sim.engine.drive"]
+    assert "repro.sim.engine.A.go" not in edges
+    assert "repro.sim.engine.B.go" not in edges
+
+
+def test_param_mutation_propagates_to_the_call_site():
+    """Passing a module mutable into a mutating param is a write."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            STATE = {}
+
+
+            def poke(store, key):
+                store[key] = True
+
+
+            def tick(key):
+                poke(STATE, key)
+        """,
+    })
+    assert ("store"
+            in analysis.summaries["repro.sim.engine.poke"].mutated_params)
+    summary = analysis.summaries["repro.sim.engine.tick"]
+    assert any(effect.kind == "shared-write" and "STATE" in effect.detail
+               for effect in summary.direct)
+
+
+def test_subscript_store_is_not_a_local_binding():
+    """``CACHE[k] = v`` must not shadow the module global it mutates."""
+    analysis = _analysis({
+        "src/repro/sim/engine.py": """
+            CACHE = {}
+
+
+            def memoize(key, value):
+                CACHE[key] = value
+        """,
+    })
+    assert "shared-write" in _kinds(analysis, "repro.sim.engine.memoize")
+
+
+def test_chain_spells_out_the_provenance():
+    """reachable() parents reconstruct a root -> ... -> leaf chain."""
+    analysis = _analysis({
+        "src/repro/parallel/tasks.py": """
+            from repro.sim.engine import helper
+
+
+            def run_task(task):
+                return helper(task)
+        """,
+        "src/repro/sim/engine.py": """
+            HISTORY = []
+
+
+            def helper(task):
+                deep(task)
+
+
+            def deep(task):
+                HISTORY.append(task)
+        """,
+    })
+    parents = analysis.reachable(["repro.parallel.tasks.run_task"])
+    assert "repro.sim.engine.deep" in parents
+    chain = EffectAnalysis.chain(parents, "repro.sim.engine.deep")
+    assert chain == "run_task -> helper -> deep"
+
+
+def test_effect_analysis_memo_reuses_the_instance():
+    program = Program.from_sources({
+        "src/repro/sim/engine.py": "def noop():\n    return None\n"})
+    config = StaticCheckConfig()
+    first = effect_analysis(program, config)
+    second = effect_analysis(program, config)
+    assert first is second

@@ -130,6 +130,51 @@ def test_corrupt_cache_entry_is_a_miss_not_a_crash(tree, tmp_path):
     assert [f.rule for f in rerun.findings] == ["dead-store"]
 
 
+_WORKER_RACE = dedent("""
+    TOTALS = {}
+
+
+    def run_task(task):
+        TOTALS[task] = True
+        return task
+""").lstrip("\n")
+
+
+@pytest.fixture
+def worker_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "parallel"
+    pkg.mkdir(parents=True)
+    (pkg / "tasks.py").write_text(_WORKER_RACE, encoding="utf-8")
+    sim = tmp_path / "src" / "repro" / "sim"
+    sim.mkdir(parents=True)
+    (sim / "alpha.py").write_text(_CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+def test_concurrency_tier_is_identical_across_strategies(worker_tree,
+                                                         tmp_path):
+    """Serial, warm-cache and --jobs runs agree byte-for-byte while the
+    concurrency tier (uncached program passes) is reporting findings,
+    and a 1-file edit still re-analyzes exactly 1 module."""
+    cache_dir = tmp_path / "cache"
+    cold = _run(worker_tree, cache_dir=cache_dir)
+    assert any(f.rule == "worker-shared-state" for f in cold.findings)
+
+    warm = _run(worker_tree, cache_dir=cache_dir)
+    assert warm.modules_reanalyzed == 0
+    assert _payload(warm, worker_tree) == _payload(cold, worker_tree)
+
+    pooled = _run(worker_tree, cache_dir=cache_dir, jobs=4)
+    assert _payload(pooled, worker_tree) == _payload(cold, worker_tree)
+
+    edited = worker_tree / "src" / "repro" / "sim" / "alpha.py"
+    edited.write_text(_CLEAN + "\n\nEXTRA = 1\n", encoding="utf-8")
+    after_edit = _run(worker_tree, cache_dir=cache_dir)
+    assert after_edit.modules_reanalyzed == 1
+    assert after_edit.cache_hits == 1
+    assert _payload(after_edit, worker_tree) == _payload(cold, worker_tree)
+
+
 def test_cache_key_covers_version_rules_config_and_source():
     config = StaticCheckConfig()
     base = ModuleCache.key_for("src/a.py", "x = 1\n", ("dead-flow",), config)

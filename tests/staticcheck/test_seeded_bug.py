@@ -128,6 +128,41 @@ def test_seeded_bug_in_worker_scope_is_caught(real_sources):
     ]
 
 
+def test_seeded_unordered_dict_write_fails_the_gate(real_sources):
+    """Concurrency-tier acceptance: a module-dict write inside the real
+    ``run_task`` body — the default worker entry point, no config
+    override — must surface as ``worker-shared-state`` and must not be
+    excused by the committed baseline."""
+    sources = dict(real_sources)
+    tasks = "src/repro/parallel/tasks.py"
+    assert tasks in sources
+    sources[tasks] += dedent("""
+
+
+        _SEEDED_WINDOW: dict = {}
+    """)
+    anchor = "    params = task.params\n"
+    assert anchor in sources[tasks]
+    sources[tasks] = sources[tasks].replace(
+        anchor, anchor + "    _SEEDED_WINDOW[task.seed] = params\n", 1)
+
+    program = Program.from_sources(sources, root=ROOT)
+    findings = run_on_program(program)
+
+    races = [f for f in findings if f.rule == "worker-shared-state"
+             and f.path == ROOT / tasks]
+    assert races, (
+        "seeded worker-side dict write was not caught; findings: "
+        + "; ".join(f.describe(ROOT) for f in findings)
+    )
+    assert any("run_task" in (f.symbol or "") for f in races)
+    assert any("_SEEDED_WINDOW" in f.message for f in races)
+
+    baseline = Baseline.load(ROOT / ".staticcheck-baseline.json")
+    new, _suppressed, _stale = baseline.split(findings)
+    assert any(f.rule == "worker-shared-state" for f in new)
+
+
 def test_real_repo_on_disk_runs_clean():
     """End-to-end: the shipped tree + committed baseline gate passes."""
     from repro.staticcheck.runner import run_staticcheck
